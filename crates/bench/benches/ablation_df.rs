@@ -1,0 +1,67 @@
+//! Ablation A1: derivation with the decision-function classification
+//! disabled (every df treated as conflict-ignoring `any`). Reports what
+//! the §5.1.2 analysis buys: the df-combination constraints disappear
+//! and value subjectivity goes undetected.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interop_core::derive::DerivationOrigin;
+use interop_core::fixtures;
+use interop_core::{Integrator, IntegratorOptions};
+
+fn integrator(ablate: bool) -> Integrator {
+    let fx = fixtures::paper_fixture();
+    Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ablate_df_classification: ablate,
+        ..Default::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_df");
+    g.sample_size(20);
+    let full = integrator(false);
+    let ablated = integrator(true);
+    g.bench_function("with_df_classification", |b| {
+        b.iter(|| full.run().expect("runs"))
+    });
+    g.bench_function("ablated_all_any", |b| {
+        b.iter(|| ablated.run().expect("runs"))
+    });
+    g.finish();
+
+    let f = full.run().expect("runs");
+    let a = ablated.run().expect("runs");
+    let df_count = |o: &interop_core::IntegrationOutcome| {
+        o.global
+            .object
+            .iter()
+            .filter(|d| matches!(d.origin, DerivationOrigin::DfCombination(_)))
+            .count()
+    };
+    println!(
+        "\n[A1] df-combinations: full={} ablated={} | implicit risks: full={} ablated={} | subjective constraints: full={} ablated={}",
+        df_count(&f),
+        df_count(&a),
+        f.conflicts.len(),
+        a.conflicts.len(),
+        f.statuses
+            .values()
+            .filter(|s| **s == interop_constraint::Status::Subjective)
+            .count(),
+        a.statuses
+            .values()
+            .filter(|s| **s == interop_constraint::Status::Subjective)
+            .count(),
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Use-case bench B2: global-constraint derivation cost vs the number of
+//! component constraints. Pairwise df-combination is quadratic in the
+//! constraints per equivalent property — the sweep shows where that
+//! matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::{synthetic_fixture, SyntheticConfig};
+use interop_core::derive::{derive_global_constraints, DeriveOptions};
+use interop_core::subjectivity::{classify_constraints, property_subjectivity};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derive_scaling");
+    g.sample_size(10);
+    for n_constraints in [4usize, 16, 64, 256] {
+        let fx = synthetic_fixture(SyntheticConfig {
+            local_n: 10,
+            remote_n: 10,
+            match_ratio: 0.5,
+            constraints_per_side: n_constraints,
+            seed: 42,
+        });
+        let conf = interop_conform::conform(
+            &fx.local_db,
+            &fx.local_catalog,
+            &fx.remote_db,
+            &fx.remote_catalog,
+            &fx.spec,
+        )
+        .expect("conforms");
+        let subj = property_subjectivity(&conf);
+        let (statuses, _) = classify_constraints(&conf, &subj);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_constraints),
+            &n_constraints,
+            |b, _| {
+                b.iter(|| {
+                    derive_global_constraints(&conf, &subj, &statuses, DeriveOptions::default())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment F1 bench: parsing and printing the Figure-1 schemas.
+//! Regenerates the figure (parse → print → parse fixpoint) and measures
+//! front-end throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interop_core::fixtures::{BOOKSELLER_TM, CSLIBRARY_TM, PAPER_SPEC};
+use interop_lang::{parse_database, parse_spec, print_database};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_schemas");
+    g.bench_function("parse_cslibrary", |b| {
+        b.iter(|| parse_database(std::hint::black_box(CSLIBRARY_TM)).expect("parses"))
+    });
+    g.bench_function("parse_bookseller", |b| {
+        b.iter(|| parse_database(std::hint::black_box(BOOKSELLER_TM)).expect("parses"))
+    });
+    let local = parse_database(CSLIBRARY_TM).expect("parses");
+    let remote = parse_database(BOOKSELLER_TM).expect("parses");
+    g.bench_function("parse_spec", |b| {
+        b.iter(|| {
+            parse_spec(
+                std::hint::black_box(PAPER_SPEC),
+                &local.schema,
+                &remote.schema,
+            )
+            .expect("parses")
+        })
+    });
+    g.bench_function("print_round_trip", |b| {
+        b.iter(|| {
+            let printed = print_database(&local);
+            parse_database(&printed).expect("round trip")
+        })
+    });
+    g.finish();
+
+    println!(
+        "\n[F1] constraints parsed: CSLibrary={} Bookseller={}",
+        local.catalog.len(),
+        remote.catalog.len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

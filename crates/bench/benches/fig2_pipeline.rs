@@ -1,0 +1,73 @@
+//! Experiment F2 bench: the conformation + merging pipeline on the paper
+//! fixture and on synthetic extents of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::{synthetic_fixture, SyntheticConfig};
+use interop_core::fixtures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_pipeline");
+    g.sample_size(20);
+
+    let fx = fixtures::paper_fixture();
+    g.bench_function("paper_conform", |b| {
+        b.iter(|| {
+            interop_conform::conform(
+                &fx.local_db,
+                &fx.local_catalog,
+                &fx.remote_db,
+                &fx.remote_catalog,
+                &fx.spec,
+            )
+            .expect("conforms")
+        })
+    });
+    let conf = interop_conform::conform(
+        &fx.local_db,
+        &fx.local_catalog,
+        &fx.remote_db,
+        &fx.remote_catalog,
+        &fx.spec,
+    )
+    .expect("conforms");
+    let opts = fixtures::merge_options();
+    g.bench_function("paper_merge", |b| {
+        b.iter(|| interop_merge::merge(&conf, &opts).expect("merges"))
+    });
+
+    for n in [100usize, 1_000, 10_000] {
+        let sfx = synthetic_fixture(SyntheticConfig {
+            local_n: n,
+            remote_n: n,
+            match_ratio: 0.5,
+            constraints_per_side: 4,
+            seed: 42,
+        });
+        let sconf = interop_conform::conform(
+            &sfx.local_db,
+            &sfx.local_catalog,
+            &sfx.remote_db,
+            &sfx.remote_catalog,
+            &sfx.spec,
+        )
+        .expect("conforms");
+        g.bench_with_input(BenchmarkId::new("synthetic_merge", n), &n, |b, _| {
+            b.iter(|| interop_merge::merge(&sconf, &Default::default()).expect("merges"))
+        });
+    }
+    g.finish();
+
+    let view = interop_merge::merge(&conf, &opts).expect("merges");
+    println!(
+        "\n[F2] global objects={} intersections={:?}",
+        view.objects.len(),
+        view.hierarchy
+            .intersections
+            .iter()
+            .map(|i| i.name.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Experiment F3 bench: one full methodology round and the complete
+//! repair loop on the paper fixture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interop_core::fixtures;
+use interop_core::{Integrator, IntegratorOptions};
+
+fn integrator() -> Integrator {
+    let fx = fixtures::paper_fixture();
+    Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_methodology");
+    g.sample_size(20);
+    let integ = integrator();
+    g.bench_function("single_round", |b| b.iter(|| integ.run().expect("runs")));
+    g.bench_function("repair_loop", |b| {
+        b.iter(|| {
+            let mut fresh = integrator();
+            fresh.run_with_repairs(5).expect("loop terminates")
+        })
+    });
+    g.finish();
+
+    let outcome = integ.run().expect("runs");
+    println!(
+        "\n[F3] derived={} conflicts={} implied={} skipped={}",
+        outcome.global.object.len(),
+        outcome.conflicts.len(),
+        outcome.implied.len(),
+        outcome.global.skipped.len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Use-case bench B1: entity-resolution + fusion throughput vs extent
+//! size and match ratio. The hash-join resolver should scale near
+//! linearly; the match ratio shifts work between matching and fusion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use interop_bench::{synthetic_fixture, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_scaling");
+    g.sample_size(10);
+    for n in [100usize, 1_000, 10_000, 50_000] {
+        for ratio in [0.1f64, 0.9] {
+            let fx = synthetic_fixture(SyntheticConfig {
+                local_n: n,
+                remote_n: n,
+                match_ratio: ratio,
+                constraints_per_side: 2,
+                seed: 42,
+            });
+            let conf = interop_conform::conform(
+                &fx.local_db,
+                &fx.local_catalog,
+                &fx.remote_db,
+                &fx.remote_catalog,
+                &fx.spec,
+            )
+            .expect("conforms");
+            g.throughput(Throughput::Elements((2 * n) as u64));
+            g.bench_with_input(BenchmarkId::new(format!("match_{ratio}"), n), &n, |b, _| {
+                b.iter(|| interop_merge::merge(&conf, &Default::default()).expect("merges"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Use-case bench B4 — the paper's §1 claim: derived global constraints
+//! optimise queries against the integrated view by "eliminating
+//! subqueries which are known to yield empty results". Compares the
+//! constraint-pruned path against the full scan it replaces, across
+//! store sizes, plus the key-index fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::synthetic_store;
+use interop_constraint::{CmpOp, Formula};
+use interop_storage::{OptimizeOutcome, Optimizer, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_optimization");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let store = synthetic_store(n, 42);
+        // The derived global constraint: rating >= 5 for every item.
+        let opt = Optimizer::new(
+            &store,
+            "Item",
+            vec![Formula::cmp("rating", CmpOp::Ge, 5i64)],
+        );
+        // A subquery contradicting the derived constraint: empty.
+        let doomed = Formula::cmp("rating", CmpOp::Lt, 5i64);
+        // Sanity: the optimizer prunes it without scanning.
+        let (hits, outcome) = opt.execute(&store, &doomed).expect("executes");
+        assert!(hits.is_empty());
+        assert_eq!(outcome, OptimizeOutcome::PrunedEmpty);
+
+        g.bench_with_input(BenchmarkId::new("pruned_empty", n), &n, |b, _| {
+            b.iter(|| {
+                opt.execute(&store, std::hint::black_box(&doomed))
+                    .expect("executes")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("baseline_scan", n), &n, |b, _| {
+            b.iter(|| {
+                Query::new("Item", doomed.clone())
+                    .scan(&store)
+                    .expect("scans")
+            })
+        });
+        let key_probe = Formula::cmp("isbn", CmpOp::Eq, format!("isbn-{}", n / 2).as_str());
+        g.bench_with_input(BenchmarkId::new("key_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                opt.execute(&store, std::hint::black_box(&key_probe))
+                    .expect("executes")
+            })
+        });
+        // A satisfiable predicate pays the pruning check and then scans —
+        // the overhead side of the trade.
+        let satisfiable = Formula::cmp("rating", CmpOp::Ge, 9i64);
+        g.bench_with_input(BenchmarkId::new("pruning_overhead_scan", n), &n, |b, _| {
+            b.iter(|| {
+                opt.execute(&store, std::hint::black_box(&satisfiable))
+                    .expect("executes")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Bench B3: the satisfiability/implication solver. Sweeps the number of
+//! conjoined atoms (linear domain work) and the disjunction width (DNF
+//! growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_constraint::solve::{implies, is_satisfiable, TypeEnv};
+use interop_constraint::{CmpOp, Formula};
+use interop_model::Type;
+
+fn env(vars: usize) -> TypeEnv {
+    let mut e = TypeEnv::new();
+    for i in 0..vars {
+        e.insert(
+            interop_constraint::Path::parse(&format!("x{i}")),
+            Type::Range(0, 100),
+        );
+    }
+    e
+}
+
+fn chain(atoms: usize) -> Formula {
+    Formula::conj((0..atoms).map(|i| {
+        Formula::cmp(
+            &format!("x{}", i % 8),
+            if i % 2 == 0 { CmpOp::Ge } else { CmpOp::Le },
+            ((i * 7) % 100) as i64,
+        )
+    }))
+}
+
+fn disjunction(width: usize) -> Formula {
+    (0..width)
+        .map(|i| Formula::cmp("x0", CmpOp::Eq, i as i64))
+        .fold(Formula::False, Formula::or)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    let e = env(8);
+    for atoms in [2usize, 8, 32, 64] {
+        let f = chain(atoms);
+        g.bench_with_input(
+            BenchmarkId::new("sat_conjunction", atoms),
+            &atoms,
+            |b, _| b.iter(|| is_satisfiable(std::hint::black_box(&f), &e)),
+        );
+    }
+    for width in [2usize, 8, 32] {
+        let f = disjunction(width).and(chain(8));
+        g.bench_with_input(
+            BenchmarkId::new("sat_disjunction", width),
+            &width,
+            |b, _| b.iter(|| is_satisfiable(std::hint::black_box(&f), &e)),
+        );
+    }
+    // The paper's actual checks: implication between conditional
+    // constraints (strict-similarity admission shape).
+    let phi = Formula::cmp("x0", CmpOp::Eq, 1i64)
+        .implies(Formula::cmp("x1", CmpOp::Ge, 70i64))
+        .and(Formula::cmp("x0", CmpOp::Eq, 1i64));
+    let psi = Formula::cmp("x1", CmpOp::Ge, 40i64);
+    g.bench_function("implies_conditional", |b| {
+        b.iter(|| implies(std::hint::black_box(&phi), &psi, &e))
+    });
+    // Difference atoms exercise the DBM path.
+    let diff = Formula::Cmp(
+        interop_constraint::Expr::attr("x0"),
+        CmpOp::Le,
+        interop_constraint::Expr::attr("x1"),
+    )
+    .and(Formula::Cmp(
+        interop_constraint::Expr::attr("x1"),
+        CmpOp::Lt,
+        interop_constraint::Expr::attr("x2"),
+    ))
+    .and(Formula::cmp("x2", CmpOp::Le, 10i64))
+    .and(Formula::cmp("x0", CmpOp::Ge, 10i64));
+    g.bench_function("dbm_negative_cycle", |b| {
+        b.iter(|| is_satisfiable(std::hint::black_box(&diff), &e))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Use-case bench B5 — the paper's §1 claim: knowing the local
+//! constraints, a global transaction manager can pre-validate update
+//! subtransactions and skip submitting those "which will certainly be
+//! rejected by the local transaction manager". Compares cheap
+//! pre-validation against submit-and-roll-back, sweeping the violation
+//! rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop_bench::synthetic_store;
+use interop_model::Value;
+use interop_storage::{Transaction, TxnOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn batch(
+    store: &interop_storage::Store,
+    n_ops: usize,
+    violation_rate: f64,
+    seed: u64,
+) -> Transaction {
+    let ids: Vec<_> = store.db().objects().map(|o| o.id).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut txn = Transaction::new();
+    for i in 0..n_ops {
+        let id = ids[rng.gen_range(0..ids.len())];
+        // Violations push the rating below the enforced `rating >= 5`;
+        // valid updates stay within bounds.
+        let violating = (i as f64 / n_ops as f64) < violation_rate;
+        let rating = if violating {
+            rng.gen_range(1..5)
+        } else {
+            rng.gen_range(5..=10)
+        };
+        txn = txn.update(id, "rating", Value::Int(rating));
+    }
+    txn
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_validation");
+    g.sample_size(10);
+    let store = synthetic_store(5_000, 42);
+    for rate in [0.0f64, 0.1, 0.5, 1.0] {
+        let txn = batch(&store, 500, rate, 7);
+        g.bench_with_input(
+            BenchmarkId::new("prevalidate", format!("viol_{rate}")),
+            &rate,
+            |b, _| {
+                b.iter(|| {
+                    // The early-reject path: side-effect free, stops at
+                    // the first doomed operation.
+                    let _ = std::hint::black_box(&txn).prevalidate(&store);
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("submit_and_rollback", format!("viol_{rate}")),
+            &rate,
+            |b, _| {
+                b.iter_batched(
+                    || (store.clone(), txn.clone()),
+                    |(mut s, t)| match t.commit(&mut s) {
+                        TxnOutcome::Committed { .. } | TxnOutcome::RolledBack { .. } => s,
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! End-to-end soundness property: on arbitrary synthetic workloads whose
+//! component databases satisfy their own constraints, the *derived*
+//! global constraints are never violated by the merged instances — i.e.
+//! the §5.2.1 derivation machinery (pass-through, single-source scopes,
+//! df-combination with conditions (1)/(2)) produces only sound
+//! constraints.
+
+use interop_bench::{synthetic_fixture, SyntheticConfig};
+use interop_core::conflict::ConflictKind;
+use interop_core::{Integrator, IntegratorOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn derived_constraints_sound_on_instances(
+        local_n in 5usize..60,
+        remote_n in 5usize..60,
+        match_pct in 0u8..=100,
+        constraints in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let fx = synthetic_fixture(SyntheticConfig {
+            local_n,
+            remote_n,
+            match_ratio: match_pct as f64 / 100.0,
+            constraints_per_side: constraints,
+            seed,
+        });
+        // Precondition: each side satisfies its own constraints. The
+        // generator draws scores uniformly, so conditional constraints
+        // may be violated locally — filter those runs out (the paper's
+        // premise is locally-enforced constraints).
+        let locally_clean = interop_constraint::eval::check_all_object(&fx.local_db, &fx.local_catalog)
+            && interop_constraint::eval::check_all_object(&fx.remote_db, &fx.remote_catalog);
+        prop_assume!(locally_clean);
+        let outcome = Integrator::new(
+            fx.local_db,
+            fx.local_catalog,
+            fx.remote_db,
+            fx.remote_catalog,
+            fx.spec,
+        )
+        .with_options(IntegratorOptions::default())
+        .run()
+        .expect("synthetic integrates");
+        for c in &outcome.conflicts {
+            prop_assert!(
+                !matches!(c.kind, ConflictKind::InstanceViolation { .. }),
+                "derived constraint violated by an instance: {c}"
+            );
+        }
+    }
+
+    /// The ablated pipeline (all decision functions treated as `any`)
+    /// still runs and derives no df combinations.
+    #[test]
+    fn ablation_runs_and_derives_nothing(
+        seed in 0u64..100,
+    ) {
+        let fx = synthetic_fixture(SyntheticConfig {
+            local_n: 20,
+            remote_n: 20,
+            match_ratio: 0.5,
+            constraints_per_side: 3,
+            seed,
+        });
+        let outcome = Integrator::new(
+            fx.local_db,
+            fx.local_catalog,
+            fx.remote_db,
+            fx.remote_catalog,
+            fx.spec,
+        )
+        .with_options(IntegratorOptions {
+            ablate_df_classification: true,
+            ..Default::default()
+        })
+        .run()
+        .expect("ablated run completes");
+        prop_assert!(!outcome.global.object.iter().any(|d| matches!(
+            d.origin,
+            interop_core::derive::DerivationOrigin::DfCombination(_)
+        )));
+    }
+}

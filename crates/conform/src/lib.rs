@@ -1,0 +1,32 @@
+//! # interop-conform
+//!
+//! The **conformation phase** of §4: before local and remote constraints
+//! can be compared, both databases are brought into a common semantical
+//! context. This crate implements the paper's four subtasks:
+//!
+//! 1. **Allocating constraints to conformed classes** — object–value
+//!    conflicts are settled by creating virtual classes from values (the
+//!    paper's `VirtPublisher`); constraints whose properties move to the
+//!    virtual class are reallocated there (`oc2: publisher in
+//!    KNOWNPUBLISHERS` becomes `VirtPublisher: name in KNOWNPUBLISHERS`).
+//! 2. **Attribute substitution** — equivalent properties get identical
+//!    conformed names (`ourprice` → `libprice`) and joined types.
+//! 3. **Domain conversion** — constants inside constraints are mapped
+//!    through the conversion function (`rating >= 2` under `multiply(2)`
+//!    becomes `rating >= 4`).
+//! 4. **Derived attributes** — non-trivial conversions yield derived
+//!    conformed attributes whose constraints are converted with them.
+//!
+//! Constraints that cannot be conformed exactly (e.g. a `contains` atom
+//! under a non-identity conversion) are *dropped with a note* rather than
+//! silently kept wrong — the conservative direction for everything
+//! downstream.
+
+pub mod conform;
+pub mod objectify;
+pub mod plan;
+pub mod rewrite;
+
+pub use conform::{conform, Conformed, ConformedSide};
+pub use plan::{AttrPlan, ConformError, Objectify, SidePlan};
+pub use rewrite::{ConformNote, RewriteOutcome, Rewriter};

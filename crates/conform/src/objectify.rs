@@ -1,0 +1,294 @@
+//! Database transformation: attribute renames, value conversion, and
+//! value→object conversion (virtual classes).
+
+use std::collections::BTreeMap;
+
+use interop_model::{AttrName, ClassDef, Database, Object, Schema, Type, Value};
+
+use crate::plan::{ConformError, SidePlan};
+
+/// Applies a side's plan to its database: builds the conformed schema
+/// (renamed/retyped attributes, virtual classes), converts every stored
+/// value, and materialises virtual objects from objectified values.
+///
+/// `virt_space` tags the object ids of created virtual objects; it must
+/// differ from both component databases' spaces.
+pub fn conform_database(
+    db: &Database,
+    plan: &SidePlan,
+    virt_space: u32,
+) -> Result<Database, ConformError> {
+    let schema = conform_schema(&db.schema, plan)?;
+    let mut out = Database::new(schema, db.space());
+    // Virtual object registry: (virt class, value tuple) → id.
+    let mut virt_ids: BTreeMap<(interop_model::ClassName, Vec<Value>), interop_model::ObjectId> =
+        BTreeMap::new();
+    let mut next_virt: u64 = 0;
+    for obj in db.objects() {
+        let mut new_obj = Object::new(obj.id, obj.class.clone());
+        for (attr, value) in &obj.attrs {
+            if let Some(o) = plan.objectify_for(&db.schema, &obj.class, attr) {
+                // Collect the full value tuple for this objectification.
+                if attr != &o.ref_attr {
+                    continue; // handled when we meet the ref attr
+                }
+                let tuple: Vec<Value> = o
+                    .attr_names
+                    .iter()
+                    .map(|(a, _)| obj.get(a).clone())
+                    .collect();
+                let key = (o.virt_class.clone(), tuple.clone());
+                let virt_id = *virt_ids.entry(key).or_insert_with(|| {
+                    let id = interop_model::ObjectId::new(virt_space, next_virt);
+                    next_virt += 1;
+                    let mut v = Object::new(id, o.virt_class.clone());
+                    for ((_, virt_attr), val) in o.attr_names.iter().zip(tuple.iter()) {
+                        v.set(virt_attr.clone(), val.clone());
+                    }
+                    out.insert(v)
+                        .expect("virtual object matches virtual schema");
+                    id
+                });
+                new_obj.set(o.ref_attr.clone(), Value::Ref(virt_id));
+                continue;
+            }
+            let (new_name, converted) = match plan.attr_plan(&db.schema, &obj.class, attr) {
+                Some(ap) => {
+                    let v = ap.conversion.apply(value).ok_or_else(|| {
+                        ConformError::UnconvertibleValue {
+                            class: obj.class.clone(),
+                            attr: attr.clone(),
+                            value: value.to_string(),
+                        }
+                    })?;
+                    (ap.new_name.clone(), v)
+                }
+                None => (attr.clone(), value.clone()),
+            };
+            new_obj.set(new_name, converted);
+        }
+        out.insert(new_obj)
+            .map_err(|e| ConformError::Model(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Builds the conformed schema: renames/retypes planned attributes,
+/// replaces objectified value attributes with a reference to the new
+/// virtual class, and installs the virtual classes.
+pub fn conform_schema(schema: &Schema, plan: &SidePlan) -> Result<Schema, ConformError> {
+    let mut defs: Vec<ClassDef> = Vec::new();
+    for def in schema.classes() {
+        let mut new_def = ClassDef::new(def.name.clone());
+        if let Some(p) = &def.parent {
+            new_def = new_def.isa(p.clone());
+        }
+        if def.virtual_class {
+            new_def = new_def.virt();
+        }
+        for a in &def.attrs {
+            if let Some(o) = plan.objectify_for(schema, &def.name, &a.name) {
+                if a.name == o.ref_attr {
+                    new_def = new_def.attr(o.ref_attr.clone(), Type::Ref(o.virt_class.clone()));
+                }
+                // Non-ref value attributes disappear into the virtual class.
+                continue;
+            }
+            match plan.attr_plan(schema, &def.name, &a.name) {
+                // Only rename/retype at the declaring class (the plan's
+                // class must be an ancestor-or-self of the declarer).
+                Some(ap) => {
+                    new_def = new_def.attr(ap.new_name.clone(), ap.new_type.clone());
+                }
+                None => {
+                    new_def = new_def.attr(a.name.clone(), a.ty.clone());
+                }
+            }
+        }
+        defs.push(new_def);
+    }
+    // Virtual classes for objectifications.
+    for o in &plan.objectifications {
+        let mut vdef = ClassDef::new(o.virt_class.clone()).virt();
+        for (local_attr, virt_attr) in &o.attr_names {
+            let ty = schema
+                .resolve_attr(&o.described_class, local_attr)
+                .map(|(_, d)| d.ty.clone())
+                .ok_or_else(|| ConformError::UnknownProperty {
+                    class: o.described_class.clone(),
+                    path: local_attr.to_string(),
+                })?;
+            vdef = vdef.attr(virt_attr.clone(), ty);
+        }
+        defs.push(vdef);
+    }
+    Schema::new(schema.db.clone(), defs).map_err(|e| ConformError::Model(e.to_string()))
+}
+
+/// Convenience: the renamed form of an attribute on a class (identity
+/// when unplanned).
+pub fn conformed_attr_name(
+    schema: &Schema,
+    plan: &SidePlan,
+    class: &interop_model::ClassName,
+    attr: &AttrName,
+) -> AttrName {
+    plan.attr_plan(schema, class, attr)
+        .map(|p| p.new_name.clone())
+        .unwrap_or_else(|| attr.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plans;
+    use interop_model::ClassName;
+    use interop_spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Side, Spec};
+
+    fn setup() -> (Database, SidePlan) {
+        let local = Schema::new(
+            "CSLibrary",
+            vec![
+                ClassDef::new("Publication")
+                    .attr("isbn", Type::Str)
+                    .attr("publisher", Type::Str)
+                    .attr("ourprice", Type::Real),
+                ClassDef::new("ScientificPubl")
+                    .isa("Publication")
+                    .attr("rating", Type::Range(1, 5)),
+            ],
+        )
+        .unwrap();
+        let remote = Schema::new(
+            "Bookseller",
+            vec![
+                ClassDef::new("Publisher").attr("name", Type::Str),
+                ClassDef::new("Item")
+                    .attr("isbn", Type::Str)
+                    .attr("libprice", Type::Real),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("rating", Type::Range(1, 10)),
+            ],
+        )
+        .unwrap();
+        let mut spec = Spec::new("CSLibrary", "Bookseller");
+        spec.add_rule(ComparisonRule::descriptivity(
+            "r2",
+            "Publication",
+            vec!["publisher"],
+            "Publisher",
+            vec![InterCond::eq("publisher", "name")],
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "ourprice",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Trust(Side::Local),
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "ScientificPubl",
+            "rating",
+            "Proceedings",
+            "rating",
+            Conversion::Multiply(2.0),
+            Conversion::Id,
+            Decision::Avg,
+        ));
+        let (lp, _) = build_plans(&spec, &local, &remote).unwrap();
+        let mut db = Database::new(local, 1);
+        db.create(
+            "ScientificPubl",
+            vec![
+                ("isbn", "A".into()),
+                ("publisher", "ACM".into()),
+                ("ourprice", 26.0.into()),
+                ("rating", 3i64.into()),
+            ],
+        )
+        .unwrap();
+        db.create(
+            "Publication",
+            vec![("isbn", "B".into()), ("publisher", "ACM".into())],
+        )
+        .unwrap();
+        db.create(
+            "Publication",
+            vec![("isbn", "C".into()), ("publisher", "IEEE".into())],
+        )
+        .unwrap();
+        (db, lp)
+    }
+
+    #[test]
+    fn schema_gains_virtual_class_and_renames() {
+        let (db, lp) = setup();
+        let s2 = conform_schema(&db.schema, &lp).unwrap();
+        let virt = s2.class(&ClassName::new("VirtPublisher")).unwrap();
+        assert!(virt.virtual_class);
+        assert_eq!(virt.attrs[0].name, AttrName::new("name"));
+        // publisher attr became a reference.
+        let (_, pdef) = s2
+            .resolve_attr(&ClassName::new("Publication"), &AttrName::new("publisher"))
+            .unwrap();
+        assert_eq!(pdef.ty, Type::Ref(ClassName::new("VirtPublisher")));
+        // ourprice renamed to libprice.
+        assert!(s2
+            .resolve_attr(&ClassName::new("Publication"), &AttrName::new("libprice"))
+            .is_some());
+        assert!(s2
+            .resolve_attr(&ClassName::new("Publication"), &AttrName::new("ourprice"))
+            .is_none());
+        // rating retyped to the joined 1..10 scale.
+        let (_, rdef) = s2
+            .resolve_attr(&ClassName::new("ScientificPubl"), &AttrName::new("rating"))
+            .unwrap();
+        assert_eq!(rdef.ty, Type::Range(1, 10));
+    }
+
+    #[test]
+    fn values_converted_and_virt_objects_deduped() {
+        let (db, lp) = setup();
+        let out = conform_database(&db, &lp, 9).unwrap();
+        // Two distinct publishers → two virtual objects.
+        assert_eq!(out.extent(&ClassName::new("VirtPublisher")).len(), 2);
+        // Rating 3 on the 1..5 scale became 6 on the 1..10 scale.
+        let sci = out.extent(&ClassName::new("ScientificPubl"))[0];
+        let obj = out.object(sci).unwrap();
+        assert_eq!(obj.get(&AttrName::new("rating")), &Value::int(6));
+        assert_eq!(obj.get(&AttrName::new("libprice")), &Value::real(26.0));
+        assert!(obj.get(&AttrName::new("ourprice")).is_null());
+        // publisher now references a VirtPublisher carrying name='ACM'.
+        let pref = obj.get(&AttrName::new("publisher")).as_ref_id().unwrap();
+        assert_eq!(pref.space(), 9);
+        let virt = out.object(pref).unwrap();
+        assert_eq!(virt.get(&AttrName::new("name")), &Value::str("ACM"));
+        // The two 'ACM' publications share one virtual object.
+        let pubs = out.extension(&ClassName::new("Publication"));
+        let acm_refs: Vec<_> = pubs
+            .iter()
+            .filter_map(|id| {
+                out.object(*id)
+                    .unwrap()
+                    .get(&AttrName::new("publisher"))
+                    .as_ref_id()
+            })
+            .filter(|r| out.object(*r).unwrap().get(&AttrName::new("name")) == &Value::str("ACM"))
+            .collect();
+        assert_eq!(acm_refs.len(), 2);
+        assert_eq!(acm_refs[0], acm_refs[1]);
+    }
+
+    #[test]
+    fn object_ids_preserved() {
+        let (db, lp) = setup();
+        let out = conform_database(&db, &lp, 9).unwrap();
+        for obj in db.objects() {
+            assert!(out.object(obj.id).is_some(), "object {} lost", obj.id);
+        }
+        assert_eq!(out.len(), db.len() + 2); // + two virtual publishers
+    }
+}

@@ -1,0 +1,510 @@
+//! Conformation planning: what gets renamed, converted, and objectified.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use interop_constraint::Path;
+use interop_model::{AttrName, ClassName, Schema, Type};
+use interop_spec::{Conversion, Relationship, Spec};
+
+/// Errors raised while planning or executing conformation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConformError {
+    /// A propeq references an attribute that does not exist.
+    UnknownProperty {
+        /// The class named in the propeq.
+        class: ClassName,
+        /// The missing attribute path.
+        path: String,
+    },
+    /// The converted local and remote types have no common supertype.
+    IncompatibleTypes {
+        /// Conformed property name.
+        prop: String,
+        /// Converted local type (display form).
+        local: String,
+        /// Converted remote type (display form).
+        remote: String,
+    },
+    /// A conversion function cannot transform the attribute's type.
+    UntransformableType {
+        /// The class.
+        class: ClassName,
+        /// The attribute.
+        attr: AttrName,
+    },
+    /// Conformation only supports single-segment propeq paths (the
+    /// paper's fragment); a longer path was given.
+    MultiSegmentPath(String),
+    /// A value in the database falls outside its conversion's domain.
+    UnconvertibleValue {
+        /// The class.
+        class: ClassName,
+        /// The attribute.
+        attr: AttrName,
+        /// Display form of the value.
+        value: String,
+    },
+    /// Underlying model error while rebuilding the conformed database.
+    Model(String),
+}
+
+impl fmt::Display for ConformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformError::UnknownProperty { class, path } => {
+                write!(f, "propeq references unknown property {class}.{path}")
+            }
+            ConformError::IncompatibleTypes {
+                prop,
+                local,
+                remote,
+            } => write!(
+                f,
+                "conformed property '{prop}': converted types {local} and {remote} have no common supertype"
+            ),
+            ConformError::UntransformableType { class, attr } => {
+                write!(f, "conversion cannot transform the type of {class}.{attr}")
+            }
+            ConformError::MultiSegmentPath(p) => {
+                write!(f, "propeq path '{p}' has multiple segments; conformation supports head attributes only")
+            }
+            ConformError::UnconvertibleValue { class, attr, value } => {
+                write!(f, "value {value} of {class}.{attr} is outside the conversion's domain")
+            }
+            ConformError::Model(m) => write!(f, "model error during conformation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConformError {}
+
+/// Per-attribute conformation actions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrPlan {
+    /// The conformed attribute name.
+    pub new_name: AttrName,
+    /// The conversion into the common domain.
+    pub conversion: Conversion,
+    /// The conformed (joined) type.
+    pub new_type: Type,
+}
+
+/// One object–value conflict resolution (object view): values of
+/// `described_class.{value attrs}` become objects of a virtual class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Objectify {
+    /// The class whose attribute values are objectified (local side in the
+    /// paper's example).
+    pub described_class: ClassName,
+    /// The virtual class created from the values (e.g. `VirtPublisher`).
+    pub virt_class: ClassName,
+    /// The remote class the virtual objects will be compared with.
+    pub counterpart_class: ClassName,
+    /// `(value attribute on the described class, attribute name on the
+    /// virtual class)` pairs.
+    pub attr_names: Vec<(AttrName, AttrName)>,
+    /// The reference attribute replacing the value attributes.
+    pub ref_attr: AttrName,
+}
+
+/// The conformation plan for one side.
+#[derive(Clone, Debug, Default)]
+pub struct SidePlan {
+    /// Attribute-level actions, keyed by the propeq's declaring class and
+    /// the attribute's name. Lookup is hierarchy-aware ([`SidePlan::attr_plan`]).
+    pub attr_map: BTreeMap<(ClassName, AttrName), AttrPlan>,
+    /// Object–value conflicts to settle on this side.
+    pub objectifications: Vec<Objectify>,
+}
+
+impl SidePlan {
+    /// Looks up the plan for `class.attr`, honouring inheritance: a
+    /// propeq declared on `ScientificPubl.rating` also governs
+    /// `RefereedPubl.rating`.
+    pub fn attr_plan(
+        &self,
+        schema: &Schema,
+        class: &ClassName,
+        attr: &AttrName,
+    ) -> Option<&AttrPlan> {
+        for c in schema.self_and_ancestors(class) {
+            if let Some(p) = self.attr_map.get(&(c.clone(), attr.clone())) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// The objectification affecting `class.attr`, if any.
+    pub fn objectify_for(
+        &self,
+        schema: &Schema,
+        class: &ClassName,
+        attr: &AttrName,
+    ) -> Option<&Objectify> {
+        self.objectifications.iter().find(|o| {
+            schema.is_subclass(class, &o.described_class)
+                && o.attr_names.iter().any(|(a, _)| a == attr)
+        })
+    }
+}
+
+fn head_attr(path: &Path) -> Result<AttrName, ConformError> {
+    if path.len() != 1 {
+        return Err(ConformError::MultiSegmentPath(path.to_string()));
+    }
+    Ok(path.head().expect("len checked").clone())
+}
+
+/// Builds the local and remote conformation plans from a specification.
+pub fn build_plans(
+    spec: &Spec,
+    local: &Schema,
+    remote: &Schema,
+) -> Result<(SidePlan, SidePlan), ConformError> {
+    let mut lp = SidePlan::default();
+    let mut rp = SidePlan::default();
+    // Objectifications first: their attributes are excluded from plain
+    // renames (the propeq then governs the *virtual* attribute name).
+    if spec.object_view {
+        for rule in spec.descriptivity_rules() {
+            let (described, value_attrs) = match &rule.relationship {
+                Relationship::Descriptivity { class, value_attrs } => (class, value_attrs),
+                _ => continue,
+            };
+            let mut attr_names = Vec::new();
+            for vp in value_attrs {
+                let va = head_attr(vp)?;
+                if local.resolve_attr(described, &va).is_none() {
+                    return Err(ConformError::UnknownProperty {
+                        class: described.clone(),
+                        path: va.to_string(),
+                    });
+                }
+                // The virtual attribute is named after the remote
+                // counterpart attribute when an interobject condition
+                // pairs them; otherwise it keeps the local name.
+                let virt_name = rule
+                    .inter
+                    .iter()
+                    .find(|ic| ic.local.head() == Some(&va))
+                    .and_then(|ic| ic.remote.head().cloned())
+                    .unwrap_or_else(|| va.clone());
+                attr_names.push((va, virt_name));
+            }
+            let ref_attr = attr_names
+                .first()
+                .map(|(a, _)| a.clone())
+                .ok_or_else(|| ConformError::MultiSegmentPath("<empty value set>".into()))?;
+            lp.objectifications.push(Objectify {
+                described_class: described.clone(),
+                virt_class: ClassName::new(format!("Virt{}", rule.subject_class)),
+                counterpart_class: rule.subject_class.clone(),
+                attr_names,
+                ref_attr,
+            });
+        }
+    }
+    for pe in &spec.propeqs {
+        let la = head_attr(&pe.local_path)?;
+        let ra = head_attr(&pe.remote_path)?;
+        let conformed = head_attr(&pe.conformed_name)?;
+        let (_, ldef) = local.resolve_attr(&pe.local_class, &la).ok_or_else(|| {
+            ConformError::UnknownProperty {
+                class: pe.local_class.clone(),
+                path: la.to_string(),
+            }
+        })?;
+        let (_, rdef) = remote.resolve_attr(&pe.remote_class, &ra).ok_or_else(|| {
+            ConformError::UnknownProperty {
+                class: pe.remote_class.clone(),
+                path: ra.to_string(),
+            }
+        })?;
+        let lt =
+            pe.cf_local
+                .apply_type(&ldef.ty)
+                .ok_or_else(|| ConformError::UntransformableType {
+                    class: pe.local_class.clone(),
+                    attr: la.clone(),
+                })?;
+        let rt =
+            pe.cf_remote
+                .apply_type(&rdef.ty)
+                .ok_or_else(|| ConformError::UntransformableType {
+                    class: pe.remote_class.clone(),
+                    attr: ra.clone(),
+                })?;
+        let joint = lt
+            .join(&rt)
+            .ok_or_else(|| ConformError::IncompatibleTypes {
+                prop: conformed.to_string(),
+                local: lt.to_string(),
+                remote: rt.to_string(),
+            })?;
+        // If the local attribute is objectified, the conformed name
+        // applies to the virtual class attribute instead.
+        if let Some(pos) = lp.objectifications.iter().position(|o| {
+            local.is_subclass(&pe.local_class, &o.described_class)
+                && o.attr_names.iter().any(|(a, _)| a == &la)
+        }) {
+            let o = &mut lp.objectifications[pos];
+            for (a, virt) in &mut o.attr_names {
+                if a == &la {
+                    *virt = conformed.clone();
+                }
+            }
+        } else {
+            lp.attr_map.insert(
+                (pe.local_class.clone(), la),
+                AttrPlan {
+                    new_name: conformed.clone(),
+                    conversion: pe.cf_local.clone(),
+                    new_type: joint.clone(),
+                },
+            );
+        }
+        rp.attr_map.insert(
+            (pe.remote_class.clone(), ra),
+            AttrPlan {
+                new_name: conformed,
+                conversion: pe.cf_remote.clone(),
+                new_type: joint,
+            },
+        );
+    }
+    Ok((lp, rp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_model::ClassDef;
+    use interop_spec::{ComparisonRule, Decision, InterCond, PropEq, Side};
+
+    fn schemas() -> (Schema, Schema) {
+        let local = Schema::new(
+            "CSLibrary",
+            vec![
+                ClassDef::new("Publication")
+                    .attr("isbn", Type::Str)
+                    .attr("publisher", Type::Str)
+                    .attr("shopprice", Type::Real)
+                    .attr("ourprice", Type::Real),
+                ClassDef::new("ScientificPubl")
+                    .isa("Publication")
+                    .attr("rating", Type::Range(1, 5)),
+                ClassDef::new("RefereedPubl").isa("ScientificPubl"),
+            ],
+        )
+        .unwrap();
+        let remote = Schema::new(
+            "Bookseller",
+            vec![
+                ClassDef::new("Publisher").attr("name", Type::Str),
+                ClassDef::new("Item")
+                    .attr("isbn", Type::Str)
+                    .attr("publisher", Type::Ref(ClassName::new("Publisher")))
+                    .attr("shopprice", Type::Real)
+                    .attr("libprice", Type::Real),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("rating", Type::Range(1, 10)),
+            ],
+        )
+        .unwrap();
+        (local, remote)
+    }
+
+    fn spec() -> Spec {
+        let mut s = Spec::new("CSLibrary", "Bookseller");
+        s.add_rule(ComparisonRule::descriptivity(
+            "r2",
+            "Publication",
+            vec!["publisher"],
+            "Publisher",
+            vec![InterCond::eq("publisher", "name")],
+        ));
+        s.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "ourprice",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Trust(Side::Local),
+        ));
+        s.add_propeq(PropEq::named_after_remote(
+            "ScientificPubl",
+            "rating",
+            "Proceedings",
+            "rating",
+            Conversion::Multiply(2.0),
+            Conversion::Id,
+            Decision::Avg,
+        ));
+        s.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "publisher",
+            "Publisher",
+            "name",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Any,
+        ));
+        s
+    }
+
+    #[test]
+    fn plan_records_renames_and_conversions() {
+        let (l, r) = schemas();
+        let (lp, rp) = build_plans(&spec(), &l, &r).unwrap();
+        let p = lp
+            .attr_plan(
+                &l,
+                &ClassName::new("Publication"),
+                &AttrName::new("ourprice"),
+            )
+            .unwrap();
+        assert_eq!(p.new_name, AttrName::new("libprice"));
+        assert_eq!(p.conversion, Conversion::Id);
+        // Rating: joined type after multiply(2) is 2..10 ∪ 1..10 = 1..10.
+        let rt = lp
+            .attr_plan(
+                &l,
+                &ClassName::new("ScientificPubl"),
+                &AttrName::new("rating"),
+            )
+            .unwrap();
+        assert_eq!(rt.new_type, Type::Range(1, 10));
+        assert_eq!(rt.conversion, Conversion::Multiply(2.0));
+        let rr = rp
+            .attr_plan(&r, &ClassName::new("Proceedings"), &AttrName::new("rating"))
+            .unwrap();
+        assert_eq!(rr.conversion, Conversion::Id);
+    }
+
+    #[test]
+    fn hierarchy_aware_lookup() {
+        let (l, r) = schemas();
+        let (lp, _) = build_plans(&spec(), &l, &r).unwrap();
+        // RefereedPubl inherits the ScientificPubl.rating propeq.
+        assert!(lp
+            .attr_plan(
+                &l,
+                &ClassName::new("RefereedPubl"),
+                &AttrName::new("rating")
+            )
+            .is_some());
+        // Publication does not see it.
+        assert!(lp
+            .attr_plan(&l, &ClassName::new("Publication"), &AttrName::new("rating"))
+            .is_none());
+    }
+
+    #[test]
+    fn objectification_planned_with_conformed_names() {
+        let (l, r) = schemas();
+        let (lp, _) = build_plans(&spec(), &l, &r).unwrap();
+        assert_eq!(lp.objectifications.len(), 1);
+        let o = &lp.objectifications[0];
+        assert_eq!(o.virt_class.as_str(), "VirtPublisher");
+        assert_eq!(o.counterpart_class.as_str(), "Publisher");
+        assert_eq!(
+            o.attr_names,
+            vec![(AttrName::new("publisher"), AttrName::new("name"))]
+        );
+        // The publisher propeq went to the objectification, not attr_map.
+        assert!(lp
+            .attr_plan(
+                &l,
+                &ClassName::new("Publication"),
+                &AttrName::new("publisher")
+            )
+            .is_none());
+        assert!(lp
+            .objectify_for(
+                &l,
+                &ClassName::new("Publication"),
+                &AttrName::new("publisher")
+            )
+            .is_some());
+        // Subclasses are covered too.
+        assert!(lp
+            .objectify_for(
+                &l,
+                &ClassName::new("RefereedPubl"),
+                &AttrName::new("publisher")
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        let (l, r) = schemas();
+        let mut s = Spec::new("CSLibrary", "Bookseller");
+        s.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "ghost",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Any,
+        ));
+        let err = build_plans(&s, &l, &r).unwrap_err();
+        assert!(matches!(err, ConformError::UnknownProperty { .. }));
+    }
+
+    #[test]
+    fn incompatible_types_rejected() {
+        let (l, r) = schemas();
+        let mut s = Spec::new("CSLibrary", "Bookseller");
+        s.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "isbn",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Any,
+        ));
+        let err = build_plans(&s, &l, &r).unwrap_err();
+        assert!(matches!(err, ConformError::IncompatibleTypes { .. }));
+    }
+
+    #[test]
+    fn untransformable_type_rejected() {
+        let (l, r) = schemas();
+        let mut s = Spec::new("CSLibrary", "Bookseller");
+        s.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "isbn",
+            "Item",
+            "isbn",
+            Conversion::Multiply(2.0),
+            Conversion::Id,
+            Decision::Any,
+        ));
+        let err = build_plans(&s, &l, &r).unwrap_err();
+        assert!(matches!(err, ConformError::UntransformableType { .. }));
+    }
+
+    #[test]
+    fn value_view_skips_objectification() {
+        let (l, r) = schemas();
+        let mut s = spec();
+        s.object_view = false;
+        let (lp, _) = build_plans(&s, &l, &r).unwrap();
+        assert!(lp.objectifications.is_empty());
+        // The publisher propeq then lands in the plain attr map.
+        assert!(lp
+            .attr_plan(
+                &l,
+                &ClassName::new("Publication"),
+                &AttrName::new("publisher")
+            )
+            .is_some());
+    }
+}

@@ -1,0 +1,794 @@
+//! Constraint rewriting: attribute substitution, domain conversion, and
+//! reallocation to conformed classes (§4).
+
+use interop_constraint::expr::AggOp;
+use interop_constraint::{
+    ClassConstraint, ClassConstraintBody, CmpOp, DbConstraint, Expr, Formula, ObjectConstraint,
+    Path,
+};
+use interop_model::{ClassName, Schema, Type, Value};
+use interop_spec::Conversion;
+
+use crate::plan::SidePlan;
+
+/// A note about a constraint that could not be conformed exactly and was
+/// therefore dropped (conservative) or otherwise adjusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConformNote {
+    /// What the note is about (constraint id, rule id, ...).
+    pub context: String,
+    /// Why the item could not be conformed.
+    pub reason: String,
+}
+
+/// Outcome of rewriting one object constraint.
+#[derive(Clone, Debug)]
+pub enum RewriteOutcome {
+    /// Conformed in place (possibly with renamed/converted parts).
+    Kept(ObjectConstraint),
+    /// Moved to a virtual class created by objectification.
+    Reallocated(ObjectConstraint),
+    /// Dropped; see the note.
+    Dropped(ConformNote),
+}
+
+/// Rewrites formulas and constraints for one side according to its plan.
+pub struct Rewriter<'a> {
+    /// The side's (pre-conformation) schema.
+    pub schema: &'a Schema,
+    /// The side's plan.
+    pub plan: &'a SidePlan,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter.
+    pub fn new(schema: &'a Schema, plan: &'a SidePlan) -> Self {
+        Rewriter { schema, plan }
+    }
+
+    /// Rewrites a path on `class`: objectified value attributes extend
+    /// into the virtual class (`publisher` → `publisher.name`), every
+    /// segment is renamed per the plan, and the terminal segment's
+    /// conversion is returned for constant conversion.
+    pub fn rewrite_path(
+        &self,
+        class: &ClassName,
+        path: &Path,
+    ) -> Result<(Path, Conversion), String> {
+        let mut out = Vec::new();
+        let mut cur = class.clone();
+        let mut terminal = Conversion::Id;
+        let mut i = 0;
+        while i < path.0.len() {
+            let attr = &path.0[i];
+            let last = i + 1 == path.0.len();
+            if let Some(o) = self.plan.objectify_for(self.schema, &cur, attr) {
+                if last {
+                    // Bare value attribute: extend into the virtual class.
+                    let virt_attr = o
+                        .attr_names
+                        .iter()
+                        .find(|(a, _)| a == attr)
+                        .map(|(_, v)| v.clone())
+                        .expect("objectify_for guarantees membership");
+                    out.push(o.ref_attr.clone());
+                    out.push(virt_attr);
+                    terminal = Conversion::Id;
+                    i += 1;
+                    continue;
+                }
+                // Already-extended form `ref_attr.virt_attr` (appears in
+                // repaired rule conditions written in conformed terms).
+                let next = &path.0[i + 1];
+                if i + 2 == path.0.len()
+                    && attr == &o.ref_attr
+                    && o.attr_names.iter().any(|(_, v)| v == next)
+                {
+                    out.push(o.ref_attr.clone());
+                    out.push(next.clone());
+                    terminal = Conversion::Id;
+                    i += 2;
+                    continue;
+                }
+                return Err(format!(
+                    "path continues past objectified value attribute '{attr}'"
+                ));
+            }
+            let (new_name, cv) = match self.plan.attr_plan(self.schema, &cur, attr) {
+                Some(p) => (p.new_name.clone(), p.conversion.clone()),
+                None => (attr.clone(), Conversion::Id),
+            };
+            out.push(new_name);
+            terminal = cv;
+            if !last {
+                let (_, def) = self
+                    .schema
+                    .resolve_attr(&cur, attr)
+                    .ok_or_else(|| format!("unknown attribute '{cur}.{attr}'"))?;
+                match &def.ty {
+                    Type::Ref(c2) => cur = c2.clone(),
+                    other => {
+                        return Err(format!(
+                            "path navigates non-reference attribute '{attr}' of type {other}"
+                        ))
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok((Path(out), terminal))
+    }
+
+    fn convert_const(&self, cv: &Conversion, v: &Value) -> Result<Value, String> {
+        cv.apply(v)
+            .ok_or_else(|| format!("constant {v} outside conversion domain of {cv}"))
+    }
+
+    fn adjust_op(&self, cv: &Conversion, op: CmpOp) -> Result<CmpOp, String> {
+        match cv {
+            Conversion::Id => Ok(op),
+            Conversion::Multiply(k) | Conversion::Linear { a: k, .. } => {
+                if *k > 0.0 {
+                    Ok(op)
+                } else if *k < 0.0 {
+                    Ok(op.flip())
+                } else {
+                    Err("conversion with zero slope erases comparisons".into())
+                }
+            }
+            Conversion::Table(_) => match op {
+                CmpOp::Eq => Ok(op),
+                CmpOp::Ne if cv.invert().is_some() => Ok(op),
+                _ => Err("table conversion supports only (in)equality atoms".into()),
+            },
+        }
+    }
+
+    /// Rewrites an expression, requiring identity conversions on every
+    /// path inside arithmetic (a converted attribute inside `a + b` would
+    /// change the arithmetic's meaning).
+    fn rewrite_expr_id_only(&self, class: &ClassName, e: &Expr) -> Result<Expr, String> {
+        match e {
+            Expr::Const(_) => Ok(e.clone()),
+            Expr::Attr(p) => {
+                let (p2, cv) = self.rewrite_path(class, p)?;
+                if cv != Conversion::Id {
+                    return Err(format!(
+                        "attribute '{p}' under non-identity conversion inside a compound expression"
+                    ));
+                }
+                Ok(Expr::Attr(p2))
+            }
+            Expr::Neg(inner) => Ok(Expr::Neg(Box::new(
+                self.rewrite_expr_id_only(class, inner)?,
+            ))),
+            Expr::Bin(a, op, b) => Ok(Expr::Bin(
+                Box::new(self.rewrite_expr_id_only(class, a)?),
+                *op,
+                Box::new(self.rewrite_expr_id_only(class, b)?),
+            )),
+        }
+    }
+
+    /// Rewrites a formula on `class` into conformed terms.
+    pub fn rewrite_formula(&self, class: &ClassName, f: &Formula) -> Result<Formula, String> {
+        match f {
+            Formula::True | Formula::False => Ok(f.clone()),
+            Formula::Cmp(a, op, b) => match (a, b) {
+                (Expr::Attr(p), Expr::Const(v)) => {
+                    let (p2, cv) = self.rewrite_path(class, p)?;
+                    let v2 = self.convert_const(&cv, v)?;
+                    let op2 = self.adjust_op(&cv, *op)?;
+                    Ok(Formula::Cmp(Expr::Attr(p2), op2, Expr::Const(v2)))
+                }
+                (Expr::Const(v), Expr::Attr(p)) => {
+                    let (p2, cv) = self.rewrite_path(class, p)?;
+                    let v2 = self.convert_const(&cv, v)?;
+                    let op2 = self.adjust_op(&cv, op.flip())?;
+                    Ok(Formula::Cmp(Expr::Attr(p2), op2, Expr::Const(v2)))
+                }
+                (Expr::Attr(p), Expr::Attr(q)) => {
+                    let (p2, cvp) = self.rewrite_path(class, p)?;
+                    let (q2, cvq) = self.rewrite_path(class, q)?;
+                    if cvp != cvq {
+                        return Err(format!(
+                            "attributes '{p}' and '{q}' compared under different conversions"
+                        ));
+                    }
+                    let op2 = self.adjust_op(&cvp, *op)?;
+                    Ok(Formula::Cmp(Expr::Attr(p2), op2, Expr::Attr(q2)))
+                }
+                _ => {
+                    let a2 = self.rewrite_expr_id_only(class, a)?;
+                    let b2 = self.rewrite_expr_id_only(class, b)?;
+                    Ok(Formula::Cmp(a2, *op, b2))
+                }
+            },
+            Formula::In(e, set) => match e {
+                Expr::Attr(p) => {
+                    let (p2, cv) = self.rewrite_path(class, p)?;
+                    let mut set2 = std::collections::BTreeSet::new();
+                    for v in set {
+                        set2.insert(self.convert_const(&cv, v)?);
+                    }
+                    Ok(Formula::In(Expr::Attr(p2), set2))
+                }
+                _ => Ok(Formula::In(
+                    self.rewrite_expr_id_only(class, e)?,
+                    set.clone(),
+                )),
+            },
+            Formula::Contains(e, s) => match e {
+                Expr::Attr(p) => {
+                    let (p2, cv) = self.rewrite_path(class, p)?;
+                    if cv != Conversion::Id {
+                        return Err(format!("contains() on '{p}' under non-identity conversion"));
+                    }
+                    Ok(Formula::Contains(Expr::Attr(p2), s.clone()))
+                }
+                _ => Ok(Formula::Contains(
+                    self.rewrite_expr_id_only(class, e)?,
+                    s.clone(),
+                )),
+            },
+            Formula::Not(inner) => Ok(Formula::Not(Box::new(self.rewrite_formula(class, inner)?))),
+            Formula::And(fs) => Ok(Formula::And(
+                fs.iter()
+                    .map(|g| self.rewrite_formula(class, g))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Formula::Or(fs) => Ok(Formula::Or(
+                fs.iter()
+                    .map(|g| self.rewrite_formula(class, g))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Formula::Implies(a, b) => Ok(Formula::Implies(
+                Box::new(self.rewrite_formula(class, a)?),
+                Box::new(self.rewrite_formula(class, b)?),
+            )),
+        }
+    }
+
+    /// Maps a formula written in *conformed* terms back into the
+    /// original terms of `class` (inverse attribute substitution and
+    /// inverse domain conversion). Needed when a repair suggestion —
+    /// phrased in conformed terms, like everything the designer sees —
+    /// is applied to the original specification (§5.2.1's "change the
+    /// object comparison rules").
+    pub fn unrewrite_formula(&self, class: &ClassName, f: &Formula) -> Result<Formula, String> {
+        // Enumerate original candidate paths (length ≤ 2) and build the
+        // conformed → (original, inverse conversion) map.
+        let mut map: std::collections::BTreeMap<Path, (Path, Conversion)> =
+            std::collections::BTreeMap::new();
+        let mut candidates: Vec<Path> = Vec::new();
+        for a in self.schema.all_attrs(class) {
+            candidates.push(Path::attr(a.name.clone()));
+            if let Type::Ref(target) = &a.ty {
+                for b in self.schema.all_attrs(target) {
+                    candidates.push(Path(vec![a.name.clone(), b.name.clone()]));
+                }
+            }
+        }
+        for orig in candidates {
+            if let Ok((conformed, cv)) = self.rewrite_path(class, &orig) {
+                if let Some(inv) = cv.invert() {
+                    map.entry(conformed).or_insert((orig, inv));
+                }
+            }
+        }
+        let lookup = |p: &Path| -> Result<(Path, Conversion), String> {
+            map.get(p)
+                .cloned()
+                .ok_or_else(|| format!("no original form for conformed path '{p}'"))
+        };
+        self.map_atoms(f, &|atom| match atom {
+            Formula::Cmp(Expr::Attr(p), op, Expr::Const(v)) => {
+                let (orig, inv) = lookup(p)?;
+                let v2 = inv
+                    .apply(v)
+                    .ok_or_else(|| format!("constant {v} not invertible"))?;
+                let op2 = self.adjust_op(&inv, *op)?;
+                Ok(Formula::Cmp(Expr::Attr(orig), op2, Expr::Const(v2)))
+            }
+            Formula::Cmp(Expr::Const(v), op, Expr::Attr(p)) => {
+                let (orig, inv) = lookup(p)?;
+                let v2 = inv
+                    .apply(v)
+                    .ok_or_else(|| format!("constant {v} not invertible"))?;
+                let op2 = self.adjust_op(&inv, op.flip())?;
+                Ok(Formula::Cmp(Expr::Attr(orig), op2, Expr::Const(v2)))
+            }
+            Formula::Cmp(Expr::Attr(p), op, Expr::Attr(q)) => {
+                let (po, pi) = lookup(p)?;
+                let (qo, qi) = lookup(q)?;
+                if pi != qi {
+                    return Err("paths compared under different conversions".into());
+                }
+                Ok(Formula::Cmp(
+                    Expr::Attr(po),
+                    self.adjust_op(&pi, *op)?,
+                    Expr::Attr(qo),
+                ))
+            }
+            Formula::In(Expr::Attr(p), set) => {
+                let (orig, inv) = lookup(p)?;
+                let mut set2 = std::collections::BTreeSet::new();
+                for v in set {
+                    set2.insert(
+                        inv.apply(v)
+                            .ok_or_else(|| format!("constant {v} not invertible"))?,
+                    );
+                }
+                Ok(Formula::In(Expr::Attr(orig), set2))
+            }
+            Formula::Contains(Expr::Attr(p), s) => {
+                let (orig, inv) = lookup(p)?;
+                if inv != Conversion::Id {
+                    return Err("contains() under non-identity conversion".into());
+                }
+                Ok(Formula::Contains(Expr::Attr(orig), s.clone()))
+            }
+            other => Ok(other.clone()),
+        })
+    }
+
+    /// Applies `f` to every atomic subformula, rebuilding the boolean
+    /// structure.
+    fn map_atoms(
+        &self,
+        f: &Formula,
+        g: &impl Fn(&Formula) -> Result<Formula, String>,
+    ) -> Result<Formula, String> {
+        match f {
+            Formula::True | Formula::False => Ok(f.clone()),
+            Formula::Not(inner) => Ok(Formula::Not(Box::new(self.map_atoms(inner, g)?))),
+            Formula::And(fs) => Ok(Formula::And(
+                fs.iter()
+                    .map(|x| self.map_atoms(x, g))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Formula::Or(fs) => Ok(Formula::Or(
+                fs.iter()
+                    .map(|x| self.map_atoms(x, g))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Formula::Implies(a, b) => Ok(Formula::Implies(
+                Box::new(self.map_atoms(a, g)?),
+                Box::new(self.map_atoms(b, g)?),
+            )),
+            atom => g(atom),
+        }
+    }
+
+    /// Rewrites an object constraint; constraints whose (rewritten) paths
+    /// all live inside an objectified value are *reallocated* to the
+    /// virtual class (the paper's `oc2` → `VirtPublisher` example).
+    pub fn rewrite_object_constraint(&self, c: &ObjectConstraint) -> RewriteOutcome {
+        let formula = match self.rewrite_formula(&c.class, &c.formula) {
+            Ok(f) => f,
+            Err(reason) => {
+                return RewriteOutcome::Dropped(ConformNote {
+                    context: c.id.to_string(),
+                    reason,
+                })
+            }
+        };
+        // Reallocation: all paths start with an objectification's ref
+        // attribute on this constraint's class.
+        for o in &self.plan.objectifications {
+            if !self.schema.is_subclass(&c.class, &o.described_class) {
+                continue;
+            }
+            let paths = formula.paths();
+            if !paths.is_empty()
+                && paths
+                    .iter()
+                    .all(|p| p.head() == Some(&o.ref_attr) && p.len() > 1)
+            {
+                let stripped = formula.map_exprs(&|e| match e {
+                    Expr::Attr(p) if p.head() == Some(&o.ref_attr) => {
+                        Expr::Attr(Path(p.0[1..].to_vec()))
+                    }
+                    other => other.clone(),
+                });
+                let mut c2 = c.clone();
+                c2.class = o.virt_class.clone();
+                c2.formula = stripped;
+                return RewriteOutcome::Reallocated(c2);
+            }
+        }
+        let mut c2 = c.clone();
+        c2.formula = formula;
+        RewriteOutcome::Kept(c2)
+    }
+
+    /// Rewrites a class constraint (keys rename; aggregates rename +
+    /// convert the bound when the aggregate commutes with the conversion).
+    pub fn rewrite_class_constraint(
+        &self,
+        c: &ClassConstraint,
+    ) -> Result<ClassConstraint, ConformNote> {
+        let note = |reason: String| ConformNote {
+            context: c.id.to_string(),
+            reason,
+        };
+        match &c.body {
+            ClassConstraintBody::Key(attrs) => {
+                let mut renamed = Vec::new();
+                for a in attrs {
+                    let (p2, cv) = self
+                        .rewrite_path(&c.class, &Path::attr(a.clone()))
+                        .map_err(&note)?;
+                    if cv != Conversion::Id && cv.invert().is_none() {
+                        return Err(note(format!(
+                            "key attribute '{a}' under non-injective conversion"
+                        )));
+                    }
+                    if p2.len() != 1 {
+                        return Err(note(format!("key attribute '{a}' was objectified")));
+                    }
+                    renamed.push(p2.head().expect("len 1").clone());
+                }
+                let mut c2 = c.clone();
+                c2.body = ClassConstraintBody::Key(renamed);
+                Ok(c2)
+            }
+            ClassConstraintBody::Aggregate {
+                op,
+                path,
+                cmp,
+                bound,
+            } => {
+                let (p2, cv) = self.rewrite_path(&c.class, path).map_err(&note)?;
+                let (op2, cmp2, bound2) = match (&cv, op) {
+                    (Conversion::Id, _) => (*op, *cmp, bound.clone()),
+                    // count ignores the values entirely.
+                    (_, AggOp::Count) => (*op, *cmp, bound.clone()),
+                    // avg commutes with any affine map.
+                    (Conversion::Multiply(k) | Conversion::Linear { a: k, .. }, AggOp::Avg) => {
+                        let b2 = cv
+                            .apply(bound)
+                            .ok_or_else(|| note("aggregate bound not convertible".into()))?;
+                        let c2 = if *k < 0.0 { cmp.flip() } else { *cmp };
+                        (*op, c2, b2)
+                    }
+                    // sum commutes with pure scaling only.
+                    (Conversion::Multiply(k), AggOp::Sum) => {
+                        let b2 = cv
+                            .apply(bound)
+                            .ok_or_else(|| note("aggregate bound not convertible".into()))?;
+                        let c2 = if *k < 0.0 { cmp.flip() } else { *cmp };
+                        (*op, c2, b2)
+                    }
+                    // min/max commute with monotone affine maps; a negative
+                    // slope swaps min and max.
+                    (
+                        Conversion::Multiply(k) | Conversion::Linear { a: k, .. },
+                        AggOp::Min | AggOp::Max,
+                    ) => {
+                        let b2 = cv
+                            .apply(bound)
+                            .ok_or_else(|| note("aggregate bound not convertible".into()))?;
+                        let swapped = if *k < 0.0 {
+                            match op {
+                                AggOp::Min => AggOp::Max,
+                                AggOp::Max => AggOp::Min,
+                                _ => unreachable!("matched Min/Max"),
+                            }
+                        } else {
+                            *op
+                        };
+                        let c2 = if *k < 0.0 { cmp.flip() } else { *cmp };
+                        (swapped, c2, b2)
+                    }
+                    _ => {
+                        return Err(note(format!(
+                            "aggregate {op} does not commute with conversion {cv}"
+                        )))
+                    }
+                };
+                let mut c2 = c.clone();
+                c2.body = ClassConstraintBody::Aggregate {
+                    op: op2,
+                    path: p2,
+                    cmp: cmp2,
+                    bound: bound2,
+                };
+                Ok(c2)
+            }
+        }
+    }
+
+    /// Rewrites a database constraint (renames on both quantified
+    /// classes; conversions must agree since the atom compares values
+    /// across objects).
+    pub fn rewrite_db_constraint(&self, c: &DbConstraint) -> Result<DbConstraint, ConformNote> {
+        let mut atoms = Vec::new();
+        for a in &c.atoms {
+            let (outer2, cv_o) = if a.outer.is_this() {
+                (a.outer.clone(), Conversion::Id)
+            } else {
+                self.rewrite_path(&c.outer_class, &a.outer)
+                    .map_err(|e| ConformNote {
+                        context: c.id.to_string(),
+                        reason: e,
+                    })?
+            };
+            let (inner2, cv_i) = if a.inner.is_this() {
+                (a.inner.clone(), Conversion::Id)
+            } else {
+                self.rewrite_path(&c.inner_class, &a.inner)
+                    .map_err(|e| ConformNote {
+                        context: c.id.to_string(),
+                        reason: e,
+                    })?
+            };
+            if cv_o != cv_i {
+                return Err(ConformNote {
+                    context: c.id.to_string(),
+                    reason: "atom compares attributes under different conversions".into(),
+                });
+            }
+            atoms.push(interop_constraint::PairAtom {
+                outer: outer2,
+                op: a.op,
+                inner: inner2,
+            });
+        }
+        let mut c2 = c.clone();
+        c2.atoms = atoms;
+        Ok(c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{build_plans, SidePlan};
+    use interop_constraint::{ConstraintId, Formula};
+    use interop_model::{AttrName, ClassDef, DbName};
+    use interop_spec::{ComparisonRule, Decision, InterCond, PropEq, Side, Spec};
+
+    fn setup() -> (Schema, Schema, SidePlan, SidePlan) {
+        let local = Schema::new(
+            "CSLibrary",
+            vec![
+                ClassDef::new("Publication")
+                    .attr("isbn", Type::Str)
+                    .attr("publisher", Type::Str)
+                    .attr("shopprice", Type::Real)
+                    .attr("ourprice", Type::Real),
+                ClassDef::new("ScientificPubl")
+                    .isa("Publication")
+                    .attr("rating", Type::Range(1, 5)),
+                ClassDef::new("RefereedPubl").isa("ScientificPubl"),
+            ],
+        )
+        .unwrap();
+        let remote = Schema::new(
+            "Bookseller",
+            vec![
+                ClassDef::new("Publisher").attr("name", Type::Str),
+                ClassDef::new("Item")
+                    .attr("isbn", Type::Str)
+                    .attr("publisher", Type::Ref(ClassName::new("Publisher")))
+                    .attr("shopprice", Type::Real)
+                    .attr("libprice", Type::Real),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("rating", Type::Range(1, 10)),
+            ],
+        )
+        .unwrap();
+        let mut spec = Spec::new("CSLibrary", "Bookseller");
+        spec.add_rule(ComparisonRule::descriptivity(
+            "r2",
+            "Publication",
+            vec!["publisher"],
+            "Publisher",
+            vec![InterCond::eq("publisher", "name")],
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "ourprice",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Trust(Side::Local),
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "ScientificPubl",
+            "rating",
+            "Proceedings",
+            "rating",
+            Conversion::Multiply(2.0),
+            Conversion::Id,
+            Decision::Avg,
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "publisher",
+            "Publisher",
+            "name",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Any,
+        ));
+        let (lp, rp) = build_plans(&spec, &local, &remote).unwrap();
+        (local, remote, lp, rp)
+    }
+
+    fn cid(label: &str) -> ConstraintId {
+        ConstraintId::new(
+            &DbName::new("CSLibrary"),
+            &ClassName::new("Publication"),
+            label,
+        )
+    }
+
+    #[test]
+    fn paper_rating_conversion() {
+        // §4: RefereedPubl ocl `rating >= 2` conformed via multiply(2)
+        // becomes `rating >= 4`.
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let c = ObjectConstraint::new(
+            ConstraintId::new(
+                &DbName::new("CSLibrary"),
+                &ClassName::new("RefereedPubl"),
+                "oc1",
+            ),
+            "RefereedPubl",
+            Formula::cmp("rating", CmpOp::Ge, 2i64),
+        );
+        match rw.rewrite_object_constraint(&c) {
+            RewriteOutcome::Kept(c2) => {
+                assert_eq!(c2.formula.to_string(), "rating >= 4");
+            }
+            other => panic!("expected Kept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_publisher_reallocation() {
+        // §4: oc2 `publisher in KNOWNPUBLISHERS` moves to VirtPublisher as
+        // `name in KNOWNPUBLISHERS`.
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let c = ObjectConstraint::new(
+            cid("oc2"),
+            "Publication",
+            Formula::isin("publisher", [Value::str("ACM"), Value::str("IEEE")]),
+        );
+        match rw.rewrite_object_constraint(&c) {
+            RewriteOutcome::Reallocated(c2) => {
+                assert_eq!(c2.class.as_str(), "VirtPublisher");
+                assert_eq!(c2.formula.to_string(), "name in {'ACM', 'IEEE'}");
+            }
+            other => panic!("expected Reallocated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_in_two_path_comparison() {
+        // ocl: ourprice <= shopprice → libprice <= shopprice.
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let c = ObjectConstraint::new(
+            cid("oc1"),
+            "Publication",
+            Formula::Cmp(Expr::attr("ourprice"), CmpOp::Le, Expr::attr("shopprice")),
+        );
+        match rw.rewrite_object_constraint(&c) {
+            RewriteOutcome::Kept(c2) => {
+                assert_eq!(c2.formula.to_string(), "libprice <= shopprice");
+            }
+            other => panic!("expected Kept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn differing_conversions_in_comparison_dropped() {
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let c = ObjectConstraint::new(
+            ConstraintId::new(
+                &DbName::new("CSLibrary"),
+                &ClassName::new("ScientificPubl"),
+                "ocx",
+            ),
+            "ScientificPubl",
+            // rating is multiplied by 2; shopprice is identity — cannot
+            // compare them after conformation.
+            Formula::Cmp(Expr::attr("rating"), CmpOp::Le, Expr::attr("shopprice")),
+        );
+        match rw.rewrite_object_constraint(&c) {
+            RewriteOutcome::Dropped(note) => {
+                assert!(note.reason.contains("different conversions"));
+            }
+            other => panic!("expected Dropped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_set_converted() {
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let f = Formula::isin("rating", [1i64, 3]);
+        let out = rw
+            .rewrite_formula(&ClassName::new("ScientificPubl"), &f)
+            .unwrap();
+        assert_eq!(out.to_string(), "rating in {2, 6}");
+    }
+
+    #[test]
+    fn remote_side_ref_paths_survive() {
+        // Remote constraints use publisher.name; the remote plan leaves
+        // Publisher.name in place (it is the conformed name).
+        let (_, remote, _, rp) = setup();
+        let rw = Rewriter::new(&remote, &rp);
+        let f = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").implies(Formula::cmp(
+            "rating",
+            CmpOp::Ge,
+            6i64,
+        ));
+        let out = rw
+            .rewrite_formula(&ClassName::new("Proceedings"), &f)
+            .unwrap();
+        assert_eq!(
+            out.to_string(),
+            "publisher.name = 'ACM' implies rating >= 6"
+        );
+    }
+
+    #[test]
+    fn aggregate_bound_scaling() {
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        // avg rating < 4 on the 1..5 scale → avg rating < 8 on 1..10.
+        let c = ClassConstraint::new(
+            ConstraintId::new(
+                &DbName::new("CSLibrary"),
+                &ClassName::new("ScientificPubl"),
+                "cc1",
+            ),
+            "ScientificPubl",
+            ClassConstraintBody::Aggregate {
+                op: AggOp::Avg,
+                path: Path::parse("rating"),
+                cmp: CmpOp::Lt,
+                bound: Value::int(4),
+            },
+        );
+        let c2 = rw.rewrite_class_constraint(&c).unwrap();
+        match &c2.body {
+            ClassConstraintBody::Aggregate { bound, .. } => assert_eq!(bound, &Value::int(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn key_rename_and_objectified_key_rejected() {
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let key = ClassConstraint::key(cid("cc1"), "Publication", vec!["isbn"]);
+        let out = rw.rewrite_class_constraint(&key).unwrap();
+        match &out.body {
+            ClassConstraintBody::Key(attrs) => assert_eq!(attrs, &[AttrName::new("isbn")]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let bad = ClassConstraint::key(cid("cc9"), "Publication", vec!["publisher"]);
+        assert!(rw.rewrite_class_constraint(&bad).is_err());
+    }
+
+    #[test]
+    fn contains_under_conversion_dropped() {
+        let (local, _, lp, _) = setup();
+        let rw = Rewriter::new(&local, &lp);
+        let f = Formula::Contains(Expr::attr("rating"), "x".into());
+        assert!(rw
+            .rewrite_formula(&ClassName::new("ScientificPubl"), &f)
+            .is_err());
+    }
+}

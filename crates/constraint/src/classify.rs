@@ -1,0 +1,114 @@
+//! Syntactic constraint classification.
+//!
+//! The paper assumes constraints arrive already sorted into object /
+//! class / database categories ("design tools supporting proper
+//! classification of constraints exist \[FKS94\]"). The TM front-end in
+//! `interop-lang` records the section a constraint was declared in; this
+//! module *re-derives* the category from the constraint's syntax so the
+//! two can be cross-checked — a cheap but effective validation of
+//! reverse-engineered specifications.
+
+use crate::constraint::{ClassConstraintBody, DbConstraint, ObjectConstraint};
+use crate::expr::Formula;
+
+/// The three constraint categories of §2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// Constrains the state of a single (complex) object.
+    Object,
+    /// Constrains a set of objects from a single class.
+    Class,
+    /// Constrains sets of objects from different classes.
+    Database,
+}
+
+impl std::fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConstraintKind::Object => "object constraint",
+            ConstraintKind::Class => "class constraint",
+            ConstraintKind::Database => "database constraint",
+        })
+    }
+}
+
+/// Classifies a plain formula: a formula over one object's paths is an
+/// object constraint. (Aggregates and quantifiers never appear in
+/// [`Formula`]; they are carried by the dedicated class/database
+/// constraint types, so a bare formula is always `Object`.)
+pub fn classify_formula(_f: &Formula) -> ConstraintKind {
+    ConstraintKind::Object
+}
+
+/// Classifies an object constraint (sanity: always `Object`).
+pub fn classify_object(_c: &ObjectConstraint) -> ConstraintKind {
+    ConstraintKind::Object
+}
+
+/// Classifies a class-constraint body: keys and aggregates both range
+/// over the class extension.
+pub fn classify_class_body(_b: &ClassConstraintBody) -> ConstraintKind {
+    ConstraintKind::Class
+}
+
+/// Classifies a database constraint: it relates two classes, so it is
+/// `Database` unless both quantified classes coincide (then it is a
+/// class-level restriction expressed with quantifiers).
+pub fn classify_db(c: &DbConstraint) -> ConstraintKind {
+    if c.outer_class == c.inner_class {
+        ConstraintKind::Class
+    } else {
+        ConstraintKind::Database
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{ConstraintId, PairAtom, Quantifier, Status};
+    use crate::expr::{CmpOp, Path};
+    use interop_model::{ClassName, DbName};
+
+    #[test]
+    fn formula_is_object() {
+        let f = Formula::cmp("rating", CmpOp::Ge, 2i64);
+        assert_eq!(classify_formula(&f), ConstraintKind::Object);
+    }
+
+    #[test]
+    fn cross_class_quantified_is_database() {
+        let c = DbConstraint {
+            id: ConstraintId::db_level(&DbName::new("B"), "dbl"),
+            outer_class: ClassName::new("Publisher"),
+            quant: Quantifier::Exists,
+            inner_class: ClassName::new("Item"),
+            atoms: vec![PairAtom {
+                outer: Path::this(),
+                op: CmpOp::Eq,
+                inner: Path::parse("publisher"),
+            }],
+            status: Status::Subjective,
+        };
+        assert_eq!(classify_db(&c), ConstraintKind::Database);
+    }
+
+    #[test]
+    fn same_class_quantified_is_class() {
+        let c = DbConstraint {
+            id: ConstraintId::db_level(&DbName::new("B"), "x"),
+            outer_class: ClassName::new("Item"),
+            quant: Quantifier::Forall,
+            inner_class: ClassName::new("Item"),
+            atoms: vec![],
+            status: Status::Subjective,
+        };
+        assert_eq!(classify_db(&c), ConstraintKind::Class);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ConstraintKind::Object.to_string(), "object constraint");
+        assert_eq!(ConstraintKind::Class.to_string(), "class constraint");
+        assert_eq!(ConstraintKind::Database.to_string(), "database constraint");
+    }
+}

@@ -1,0 +1,518 @@
+//! Constraint kinds and the per-database constraint catalog.
+//!
+//! Mirrors the paper's three-way distinction (§2): *object constraints*
+//! restrict the state of a single (complex) object and are implicitly
+//! universally quantified over the class's instances; *class constraints*
+//! restrict the class extension as a whole (aggregates and keys); and
+//! *database constraints* relate objects from different classes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use interop_model::{AttrName, ClassName, DbName, Value};
+
+use crate::expr::{AggOp, CmpOp, Formula, Path};
+
+/// A stable, human-readable constraint identifier, e.g.
+/// `CSLibrary.Publication.oc1`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(String);
+
+impl ConstraintId {
+    /// Builds an id from database, class and label components.
+    pub fn new(db: &DbName, class: &ClassName, label: &str) -> Self {
+        ConstraintId(format!("{db}.{class}.{label}"))
+    }
+
+    /// Builds a database-level constraint id.
+    pub fn db_level(db: &DbName, label: &str) -> Self {
+        ConstraintId(format!("{db}.{label}"))
+    }
+
+    /// Builds an id for a derived constraint.
+    pub fn derived(base: &str) -> Self {
+        ConstraintId(base.to_owned())
+    }
+
+    /// The id text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConstraintId({})", self.0)
+    }
+}
+
+/// Objectivity status of a constraint (§5.1.1).
+///
+/// *Objective*: represents an axiom of the modelled world, valid beyond
+/// the owning database. *Subjective*: a business rule valid only within
+/// the owning database's context. Until classified, a constraint is
+/// `Unclassified` and the integration layer applies the paper's rules to
+/// assign a status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Status {
+    /// Valid beyond the owning database.
+    Objective,
+    /// Valid only within the owning database's context.
+    Subjective,
+    /// Not yet classified.
+    Unclassified,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Status::Objective => "objective",
+            Status::Subjective => "subjective",
+            Status::Unclassified => "unclassified",
+        })
+    }
+}
+
+/// An object constraint: `∀ o ∈ class : formula(o)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectConstraint {
+    /// Identifier.
+    pub id: ConstraintId,
+    /// The class whose instances are constrained.
+    pub class: ClassName,
+    /// The constraint body.
+    pub formula: Formula,
+    /// Designer-assigned objectivity status (defaults to `Unclassified`).
+    pub status: Status,
+}
+
+impl ObjectConstraint {
+    /// Creates an unclassified object constraint.
+    pub fn new(id: ConstraintId, class: impl Into<ClassName>, formula: Formula) -> Self {
+        ObjectConstraint {
+            id,
+            class: class.into(),
+            formula,
+            status: Status::Unclassified,
+        }
+    }
+
+    /// Builder: marks the constraint objective.
+    pub fn objective(mut self) -> Self {
+        self.status = Status::Objective;
+        self
+    }
+
+    /// Builder: marks the constraint subjective.
+    pub fn subjective(mut self) -> Self {
+        self.status = Status::Subjective;
+        self
+    }
+}
+
+impl fmt::Display for ObjectConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] on {}: {}", self.id, self.class, self.formula)
+    }
+}
+
+/// The body of a class constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClassConstraintBody {
+    /// `key isbn` — the listed attributes uniquely identify instances.
+    Key(Vec<AttrName>),
+    /// `(agg (collect x for x in self) over path) cmp bound`, e.g.
+    /// `(sum ... over ourprice) < MAX`.
+    Aggregate {
+        /// Aggregate operator.
+        op: AggOp,
+        /// Attribute aggregated over the extension.
+        path: Path,
+        /// Comparison against the bound.
+        cmp: CmpOp,
+        /// The bound.
+        bound: Value,
+    },
+}
+
+impl fmt::Display for ClassConstraintBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassConstraintBody::Key(attrs) => {
+                write!(f, "key ")?;
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+            ClassConstraintBody::Aggregate {
+                op,
+                path,
+                cmp,
+                bound,
+            } => write!(
+                f,
+                "({op} (collect x for x in self) over {path}) {cmp} {bound}"
+            ),
+        }
+    }
+}
+
+/// A class constraint: a restriction on a class's extension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassConstraint {
+    /// Identifier.
+    pub id: ConstraintId,
+    /// The constrained class.
+    pub class: ClassName,
+    /// The body.
+    pub body: ClassConstraintBody,
+    /// Objectivity status (class constraints default to subjective in the
+    /// integration — §5.2.2 — but the designer may record intent here).
+    pub status: Status,
+}
+
+impl ClassConstraint {
+    /// Creates an unclassified class constraint.
+    pub fn new(id: ConstraintId, class: impl Into<ClassName>, body: ClassConstraintBody) -> Self {
+        ClassConstraint {
+            id,
+            class: class.into(),
+            body,
+            status: Status::Unclassified,
+        }
+    }
+
+    /// Key-constraint shorthand.
+    pub fn key(id: ConstraintId, class: impl Into<ClassName>, attrs: Vec<&str>) -> Self {
+        ClassConstraint::new(
+            id,
+            class,
+            ClassConstraintBody::Key(attrs.into_iter().map(AttrName::new).collect()),
+        )
+    }
+
+    /// True for key constraints.
+    pub fn is_key(&self) -> bool {
+        matches!(self.body, ClassConstraintBody::Key(_))
+    }
+}
+
+impl fmt::Display for ClassConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] on {}: {}", self.id, self.class, self.body)
+    }
+}
+
+/// Quantifier for the inner variable of a database constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `exists`
+    Exists,
+    /// `forall`
+    Forall,
+}
+
+/// An atom relating the outer and inner objects of a database constraint.
+/// An empty [`Path`] denotes the object itself (compared as a reference),
+/// as in the paper's `i.publisher = p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairAtom {
+    /// Path evaluated on the outer (`forall`) object.
+    pub outer: Path,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Path evaluated on the inner (quantified) object.
+    pub inner: Path,
+}
+
+/// A database constraint:
+/// `∀ x ∈ outer_class : Q y ∈ inner_class : ⋀ atoms(x, y)`,
+/// e.g. Figure 1's `dbl: forall p in Publisher exists i in Item |
+/// i.publisher = p` (outer = Publisher, inner = Item, atom
+/// `inner.publisher = outer.self`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbConstraint {
+    /// Identifier.
+    pub id: ConstraintId,
+    /// Class of the universally quantified outer variable.
+    pub outer_class: ClassName,
+    /// Quantifier of the inner variable.
+    pub quant: Quantifier,
+    /// Class of the inner variable.
+    pub inner_class: ClassName,
+    /// Conjunction of atoms over the two objects. Note: atoms are written
+    /// with `outer`/`inner` referring to the respective quantified
+    /// variable; the paper writes `i.publisher = p`, which here is
+    /// `PairAtom { outer: self, op: Eq, inner: publisher }` with outer =
+    /// Publisher and inner = Item.
+    pub atoms: Vec<PairAtom>,
+    /// Objectivity status (always subjective per §5.2.3; recorded for
+    /// reporting).
+    pub status: Status,
+}
+
+impl fmt::Display for DbConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = match self.quant {
+            Quantifier::Exists => "exists",
+            Quantifier::Forall => "forall",
+        };
+        write!(
+            f,
+            "[{}] forall p in {} {q} i in {} | ",
+            self.id, self.outer_class, self.inner_class
+        )?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            let o = if a.outer.is_this() {
+                "p".to_owned()
+            } else {
+                format!("p.{}", a.outer)
+            };
+            let inn = if a.inner.is_this() {
+                "i".to_owned()
+            } else {
+                format!("i.{}", a.inner)
+            };
+            write!(f, "{inn} {} {o}", a.op)?;
+        }
+        Ok(())
+    }
+}
+
+/// All constraints enforced by one component database.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    object: BTreeMap<ClassName, Vec<ObjectConstraint>>,
+    class: BTreeMap<ClassName, Vec<ClassConstraint>>,
+    database: Vec<DbConstraint>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds an object constraint.
+    pub fn add_object(&mut self, c: ObjectConstraint) {
+        self.object.entry(c.class.clone()).or_default().push(c);
+    }
+
+    /// Adds a class constraint.
+    pub fn add_class(&mut self, c: ClassConstraint) {
+        self.class.entry(c.class.clone()).or_default().push(c);
+    }
+
+    /// Adds a database constraint.
+    pub fn add_database(&mut self, c: DbConstraint) {
+        self.database.push(c);
+    }
+
+    /// Object constraints declared directly on `class`.
+    pub fn object_on(&self, class: &ClassName) -> &[ObjectConstraint] {
+        self.object.get(class).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Object constraints *effective* on `class`: declared on it or
+    /// inherited from ancestors (object constraints are inheritable —
+    /// §5.2.2 notes class constraints are not).
+    pub fn object_effective(
+        &self,
+        schema: &interop_model::Schema,
+        class: &ClassName,
+    ) -> Vec<&ObjectConstraint> {
+        schema
+            .self_and_ancestors(class)
+            .iter()
+            .flat_map(|c| self.object_on(c))
+            .collect()
+    }
+
+    /// Class constraints declared on `class` (not inherited).
+    pub fn class_on(&self, class: &ClassName) -> &[ClassConstraint] {
+        self.class.get(class).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All database constraints.
+    pub fn database_constraints(&self) -> &[DbConstraint] {
+        &self.database
+    }
+
+    /// All object constraints, in class order.
+    pub fn all_object(&self) -> impl Iterator<Item = &ObjectConstraint> {
+        self.object.values().flatten()
+    }
+
+    /// All class constraints, in class order.
+    pub fn all_class(&self) -> impl Iterator<Item = &ClassConstraint> {
+        self.class.values().flatten()
+    }
+
+    /// Total number of constraints of all kinds.
+    pub fn len(&self) -> usize {
+        self.all_object().count() + self.all_class().count() + self.database.len()
+    }
+
+    /// True when no constraints are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The key attributes of `class`, if a key constraint is declared
+    /// (searching ancestors too — keys are the inheritable exception the
+    /// paper highlights in §5.2.2).
+    pub fn key_of(&self, schema: &interop_model::Schema, class: &ClassName) -> Option<&[AttrName]> {
+        for c in schema.self_and_ancestors(class) {
+            for cc in self.class_on(&c) {
+                if let ClassConstraintBody::Key(attrs) = &cc.body {
+                    return Some(attrs);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_model::{ClassDef, Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "L",
+            vec![
+                ClassDef::new("Publication")
+                    .attr("isbn", Type::Str)
+                    .attr("ourprice", Type::Real)
+                    .attr("shopprice", Type::Real),
+                ClassDef::new("ScientificPubl")
+                    .isa("Publication")
+                    .attr("rating", Type::Range(1, 5)),
+                ClassDef::new("RefereedPubl").isa("ScientificPubl"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn oc(label: &str, class: &str, f: Formula) -> ObjectConstraint {
+        ObjectConstraint::new(
+            ConstraintId::new(&DbName::new("L"), &ClassName::new(class), label),
+            class,
+            f,
+        )
+    }
+
+    #[test]
+    fn ids_and_display() {
+        let c = oc(
+            "oc1",
+            "Publication",
+            Formula::cmp("ourprice", CmpOp::Le, 100.0),
+        );
+        assert_eq!(c.id.to_string(), "L.Publication.oc1");
+        assert_eq!(
+            c.to_string(),
+            "[L.Publication.oc1] on Publication: ourprice <= 100"
+        );
+    }
+
+    #[test]
+    fn effective_object_constraints_inherit() {
+        let s = schema();
+        let mut cat = Catalog::new();
+        cat.add_object(oc(
+            "oc1",
+            "Publication",
+            Formula::cmp("ourprice", CmpOp::Le, 100.0),
+        ));
+        cat.add_object(oc(
+            "oc1",
+            "RefereedPubl",
+            Formula::cmp("rating", CmpOp::Ge, 2i64),
+        ));
+        let eff = cat.object_effective(&s, &ClassName::new("RefereedPubl"));
+        assert_eq!(eff.len(), 2);
+        let eff_pub = cat.object_effective(&s, &ClassName::new("Publication"));
+        assert_eq!(eff_pub.len(), 1);
+    }
+
+    #[test]
+    fn key_lookup_walks_isa() {
+        let s = schema();
+        let mut cat = Catalog::new();
+        cat.add_class(ClassConstraint::key(
+            ConstraintId::new(&DbName::new("L"), &ClassName::new("Publication"), "cc1"),
+            "Publication",
+            vec!["isbn"],
+        ));
+        let key = cat.key_of(&s, &ClassName::new("RefereedPubl")).unwrap();
+        assert_eq!(key, &[AttrName::new("isbn")]);
+        assert!(cat.class_on(&ClassName::new("RefereedPubl")).is_empty());
+    }
+
+    #[test]
+    fn db_constraint_display_matches_paper() {
+        let c = DbConstraint {
+            id: ConstraintId::db_level(&DbName::new("Bookseller"), "dbl"),
+            outer_class: ClassName::new("Publisher"),
+            quant: Quantifier::Exists,
+            inner_class: ClassName::new("Item"),
+            atoms: vec![PairAtom {
+                outer: Path::this(),
+                op: CmpOp::Eq,
+                inner: Path::parse("publisher"),
+            }],
+            status: Status::Subjective,
+        };
+        assert_eq!(
+            c.to_string(),
+            "[Bookseller.dbl] forall p in Publisher exists i in Item | i.publisher = p"
+        );
+    }
+
+    #[test]
+    fn aggregate_display() {
+        let cc = ClassConstraint::new(
+            ConstraintId::new(&DbName::new("L"), &ClassName::new("Publication"), "cc2"),
+            "Publication",
+            ClassConstraintBody::Aggregate {
+                op: AggOp::Sum,
+                path: Path::parse("ourprice"),
+                cmp: CmpOp::Lt,
+                bound: Value::real(10000.0),
+            },
+        );
+        assert_eq!(
+            cc.body.to_string(),
+            "(sum (collect x for x in self) over ourprice) < 10000"
+        );
+        assert!(!cc.is_key());
+    }
+
+    #[test]
+    fn catalog_counts() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.add_object(oc("oc1", "Publication", Formula::True));
+        cat.add_class(ClassConstraint::key(
+            ConstraintId::new(&DbName::new("L"), &ClassName::new("Publication"), "cc1"),
+            "Publication",
+            vec!["isbn"],
+        ));
+        assert_eq!(cat.len(), 2);
+    }
+}

@@ -1,0 +1,1107 @@
+//! The typed domain algebra.
+//!
+//! A [`Domain`] denotes a set of candidate values for one attribute term.
+//! Two carriers cover the paper's fragment:
+//!
+//! * [`NumSet`] — a finite union of intervals over the reals, optionally
+//!   *integral* (for `int` and range types, where the open interval
+//!   `(3, 4)` is empty);
+//! * [`DiscSet`] — a finite or cofinite set of discrete [`Value`]s
+//!   (strings, booleans, references, sets).
+//!
+//! The algebra supports intersection, union, complement, emptiness,
+//! subset, and — crucially for §5.2.1 of the paper — **images under
+//! decision functions**: [`NumSet::combine_monotone`] pushes interval
+//! endpoints through a function monotone in both arguments (`avg`, `min`,
+//! `max`), and [`Domain::combine_pointwise`] maps finite sets pointwise.
+//! The latter reproduces the paper's introduction example, where `avg`
+//! maps `trav_reimb ∈ {10,20}` and `{14,24}` to the global constraint
+//! `trav_reimb ∈ {12,17,22}`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use interop_model::{Type, Value, R64};
+
+/// An interval bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bnd {
+    /// Unbounded below.
+    NegInf,
+    /// Closed bound.
+    Incl(R64),
+    /// Open bound.
+    Excl(R64),
+    /// Unbounded above.
+    PosInf,
+}
+
+impl Bnd {
+    fn lo_key(self) -> (R64, u8) {
+        match self {
+            Bnd::NegInf => (R64::new(f64::NEG_INFINITY), 0),
+            Bnd::Incl(v) => (v, 0),
+            Bnd::Excl(v) => (v, 1),
+            Bnd::PosInf => (R64::new(f64::INFINITY), 2),
+        }
+    }
+
+    fn hi_key(self) -> (R64, u8) {
+        match self {
+            Bnd::NegInf => (R64::new(f64::NEG_INFINITY), 0),
+            Bnd::Incl(v) => (v, 2),
+            Bnd::Excl(v) => (v, 1),
+            Bnd::PosInf => (R64::new(f64::INFINITY), 2),
+        }
+    }
+
+    /// The finite value of the bound, if any.
+    pub fn value(self) -> Option<R64> {
+        match self {
+            Bnd::Incl(v) | Bnd::Excl(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A non-empty interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Iv {
+    /// Lower bound (`NegInf`, `Incl`, or `Excl`).
+    pub lo: Bnd,
+    /// Upper bound (`Incl`, `Excl`, or `PosInf`).
+    pub hi: Bnd,
+}
+
+impl Iv {
+    /// Constructs an interval; returns `None` if it denotes ∅.
+    pub fn new(lo: Bnd, hi: Bnd) -> Option<Iv> {
+        let iv = Iv { lo, hi };
+        if iv.empty() {
+            None
+        } else {
+            Some(iv)
+        }
+    }
+
+    /// The full line.
+    pub fn full() -> Iv {
+        Iv {
+            lo: Bnd::NegInf,
+            hi: Bnd::PosInf,
+        }
+    }
+
+    /// Closed interval `[a, b]`.
+    pub fn closed(a: f64, b: f64) -> Iv {
+        Iv {
+            lo: Bnd::Incl(R64::new(a)),
+            hi: Bnd::Incl(R64::new(b)),
+        }
+    }
+
+    /// Singleton `[v, v]`.
+    pub fn point(v: R64) -> Iv {
+        Iv {
+            lo: Bnd::Incl(v),
+            hi: Bnd::Incl(v),
+        }
+    }
+
+    fn empty(&self) -> bool {
+        let (lv, lk) = self.lo.lo_key();
+        let (hv, hk) = self.hi.hi_key();
+        match lv.cmp(&hv) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => {
+                // [v,v] non-empty only if both bounds closed.
+                !(lk == 0 && hk == 2)
+            }
+            std::cmp::Ordering::Less => false,
+        }
+    }
+
+    /// Does the interval contain `v`?
+    pub fn contains(&self, v: R64) -> bool {
+        let lo_ok = match self.lo {
+            Bnd::NegInf => true,
+            Bnd::Incl(l) => l <= v,
+            Bnd::Excl(l) => l < v,
+            Bnd::PosInf => false,
+        };
+        let hi_ok = match self.hi {
+            Bnd::PosInf => true,
+            Bnd::Incl(h) => v <= h,
+            Bnd::Excl(h) => v < h,
+            Bnd::NegInf => false,
+        };
+        lo_ok && hi_ok
+    }
+
+    fn intersect(&self, other: &Iv) -> Option<Iv> {
+        let lo = if self.lo.lo_key() >= other.lo.lo_key() {
+            self.lo
+        } else {
+            other.lo
+        };
+        let hi = if self.hi.hi_key() <= other.hi.hi_key() {
+            self.hi
+        } else {
+            other.hi
+        };
+        Iv::new(lo, hi)
+    }
+
+    /// Snaps an interval to integral bounds: `(2.5, 7)` over ℤ becomes
+    /// `[3, 6]`. Returns `None` if no integer remains.
+    fn snap_integral(&self) -> Option<Iv> {
+        let lo = match self.lo {
+            Bnd::NegInf => Bnd::NegInf,
+            Bnd::Incl(v) => Bnd::Incl(R64::new(v.get().ceil())),
+            Bnd::Excl(v) => {
+                let c = v.get().floor() + 1.0;
+                Bnd::Incl(R64::new(c.max(v.get().ceil().max(c))))
+            }
+            Bnd::PosInf => return None,
+        };
+        let hi = match self.hi {
+            Bnd::PosInf => Bnd::PosInf,
+            Bnd::Incl(v) => Bnd::Incl(R64::new(v.get().floor())),
+            Bnd::Excl(v) => {
+                let c = v.get().ceil() - 1.0;
+                Bnd::Incl(R64::new(c.min(v.get().floor().min(c))))
+            }
+            Bnd::NegInf => return None,
+        };
+        Iv::new(lo, hi)
+    }
+}
+
+impl fmt::Display for Iv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lo {
+            Bnd::NegInf => write!(f, "(-inf")?,
+            Bnd::Incl(v) => write!(f, "[{v}")?,
+            Bnd::Excl(v) => write!(f, "({v}")?,
+            Bnd::PosInf => write!(f, "(+inf")?,
+        }
+        write!(f, ", ")?;
+        match self.hi {
+            Bnd::PosInf => write!(f, "+inf)"),
+            Bnd::Incl(v) => write!(f, "{v}]"),
+            Bnd::Excl(v) => write!(f, "{v})"),
+            Bnd::NegInf => write!(f, "-inf)"),
+        }
+    }
+}
+
+/// A finite union of disjoint, sorted intervals; `integral` restricts the
+/// carrier to ℤ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumSet {
+    /// Whether the carrier is ℤ (true) or ℝ (false).
+    pub integral: bool,
+    ivs: Vec<Iv>,
+}
+
+impl NumSet {
+    /// The empty set.
+    pub fn empty(integral: bool) -> NumSet {
+        NumSet {
+            integral,
+            ivs: Vec::new(),
+        }
+    }
+
+    /// The full carrier.
+    pub fn full(integral: bool) -> NumSet {
+        NumSet {
+            integral,
+            ivs: vec![Iv::full()],
+        }
+    }
+
+    /// From one interval.
+    pub fn from_iv(integral: bool, iv: Iv) -> NumSet {
+        NumSet::from_ivs(integral, vec![iv])
+    }
+
+    /// From a list of intervals (normalised: snapped, sorted, merged).
+    pub fn from_ivs(integral: bool, ivs: Vec<Iv>) -> NumSet {
+        let mut s = NumSet { integral, ivs };
+        s.normalise();
+        s
+    }
+
+    /// Singleton.
+    pub fn point(integral: bool, v: R64) -> NumSet {
+        NumSet::from_iv(integral, Iv::point(v))
+    }
+
+    /// From a finite set of numbers.
+    pub fn points(integral: bool, vals: impl IntoIterator<Item = R64>) -> NumSet {
+        NumSet::from_ivs(integral, vals.into_iter().map(Iv::point).collect())
+    }
+
+    /// A half-line or segment from a comparison against a constant:
+    /// the solution set of `x op v`.
+    pub fn from_cmp(integral: bool, op: crate::expr::CmpOp, v: R64) -> NumSet {
+        use crate::expr::CmpOp::*;
+        let iv = match op {
+            Eq => Some(Iv::point(v)),
+            Lt => Iv::new(Bnd::NegInf, Bnd::Excl(v)),
+            Le => Iv::new(Bnd::NegInf, Bnd::Incl(v)),
+            Gt => Iv::new(Bnd::Excl(v), Bnd::PosInf),
+            Ge => Iv::new(Bnd::Incl(v), Bnd::PosInf),
+            Ne => {
+                return NumSet::from_ivs(
+                    integral,
+                    vec![
+                        Iv::new(Bnd::NegInf, Bnd::Excl(v)),
+                        Iv::new(Bnd::Excl(v), Bnd::PosInf),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+                )
+            }
+        };
+        NumSet {
+            integral,
+            ivs: iv.into_iter().collect(),
+        }
+        .normalised()
+    }
+
+    fn normalised(mut self) -> NumSet {
+        self.normalise();
+        self
+    }
+
+    fn normalise(&mut self) {
+        if self.integral {
+            self.ivs = self.ivs.iter().filter_map(Iv::snap_integral).collect();
+        }
+        self.ivs.retain(|iv| !iv.empty());
+        self.ivs.sort_by_key(|a| a.lo.lo_key());
+        let mut merged: Vec<Iv> = Vec::with_capacity(self.ivs.len());
+        for iv in self.ivs.drain(..) {
+            match merged.last_mut() {
+                Some(last) if touches(last, &iv, self.integral) => {
+                    if iv.hi.hi_key() > last.hi.hi_key() {
+                        last.hi = iv.hi;
+                    }
+                }
+                _ => merged.push(iv),
+            }
+        }
+        self.ivs = merged;
+    }
+
+    /// The intervals (sorted, disjoint).
+    pub fn intervals(&self) -> &[Iv] {
+        &self.ivs
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Is the set the whole carrier?
+    pub fn is_full(&self) -> bool {
+        self.ivs.len() == 1
+            && matches!(self.ivs[0].lo, Bnd::NegInf)
+            && matches!(self.ivs[0].hi, Bnd::PosInf)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: R64) -> bool {
+        if self.integral && v.get().fract() != 0.0 {
+            return false;
+        }
+        self.ivs.iter().any(|iv| iv.contains(v))
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &NumSet) -> NumSet {
+        let integral = self.integral || other.integral;
+        let mut out = Vec::new();
+        for a in &self.ivs {
+            for b in &other.ivs {
+                if let Some(c) = a.intersect(b) {
+                    out.push(c);
+                }
+            }
+        }
+        NumSet::from_ivs(integral, out)
+    }
+
+    /// Set union (carriers must agree on integrality; the coarser carrier
+    /// — ℝ — wins otherwise).
+    pub fn union(&self, other: &NumSet) -> NumSet {
+        let integral = self.integral && other.integral;
+        let mut ivs = self.ivs.clone();
+        ivs.extend(other.ivs.iter().copied());
+        NumSet::from_ivs(integral, ivs)
+    }
+
+    /// Complement within the carrier.
+    pub fn complement(&self) -> NumSet {
+        let mut out = Vec::new();
+        let mut lo = Bnd::NegInf;
+        for iv in &self.ivs {
+            let hi = match iv.lo {
+                Bnd::NegInf => None,
+                Bnd::Incl(v) => Some(Bnd::Excl(v)),
+                Bnd::Excl(v) => Some(Bnd::Incl(v)),
+                Bnd::PosInf => Some(Bnd::PosInf),
+            };
+            if let Some(hi) = hi {
+                if let Some(gap) = Iv::new(lo, hi) {
+                    out.push(gap);
+                }
+            }
+            lo = match iv.hi {
+                Bnd::PosInf => return NumSet::from_ivs(self.integral, out),
+                Bnd::Incl(v) => Bnd::Excl(v),
+                Bnd::Excl(v) => Bnd::Incl(v),
+                Bnd::NegInf => Bnd::NegInf,
+            };
+        }
+        if let Some(tail) = Iv::new(lo, Bnd::PosInf) {
+            out.push(tail);
+        }
+        NumSet::from_ivs(self.integral, out)
+    }
+
+    /// Subset test. Carrier-aware: a real-carrier set is a subset of an
+    /// integral-carrier set only when it consists of integer points that
+    /// all belong to the other set.
+    pub fn is_subset(&self, other: &NumSet) -> bool {
+        if !self.integral && other.integral {
+            return match self.enumerate(1024) {
+                Some(pts) => pts
+                    .iter()
+                    .all(|p| p.get().fract() == 0.0 && other.contains(*p)),
+                None => self.is_empty(),
+            };
+        }
+        self.intersect(&other.complement()).is_empty()
+    }
+
+    /// True when every interval is a single point (the set stems from
+    /// finite-membership constraints rather than ranges).
+    pub fn is_point_set(&self) -> bool {
+        self.ivs.iter().all(|iv| match (iv.lo, iv.hi) {
+            (Bnd::Incl(a), Bnd::Incl(b)) => a == b,
+            _ => false,
+        })
+    }
+
+    /// Enumerates the set if it is finite and has at most `cap` elements.
+    pub fn enumerate(&self, cap: usize) -> Option<Vec<R64>> {
+        if !self.integral {
+            // Reals: finite only if every interval is a point.
+            let mut out = Vec::new();
+            for iv in &self.ivs {
+                match (iv.lo, iv.hi) {
+                    (Bnd::Incl(a), Bnd::Incl(b)) if a == b => out.push(a),
+                    _ => return None,
+                }
+                if out.len() > cap {
+                    return None;
+                }
+            }
+            return Some(out);
+        }
+        let mut out = Vec::new();
+        for iv in &self.ivs {
+            let (lo, hi) = match (iv.lo, iv.hi) {
+                (Bnd::Incl(a), Bnd::Incl(b)) => (a.get() as i64, b.get() as i64),
+                _ => return None, // unbounded
+            };
+            for v in lo..=hi {
+                out.push(R64::from(v));
+                if out.len() > cap {
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Image under a function **monotone non-decreasing in both
+    /// arguments** (e.g. `avg`, `min`, `max`, `+`): combines interval
+    /// endpoints pairwise. This is how a decision function maps local and
+    /// remote constraint ranges to a global range (§5.2.1 — `avg` of
+    /// `[4, ∞)` and `[6, ∞)` is `[5, ∞)`).
+    ///
+    /// `integral_out` states whether the image carrier is ℤ (e.g. `avg` of
+    /// two integer scales generally is not integral).
+    pub fn combine_monotone(
+        &self,
+        other: &NumSet,
+        integral_out: bool,
+        f: impl Fn(R64, R64) -> R64,
+    ) -> NumSet {
+        // Openness: the combined endpoint is open only when *both* input
+        // endpoints are open. With one closed side, functions like `min`
+        // still attain the boundary (min of a closed -17 and any open set
+        // above it is exactly -17), so marking it open would wrongly
+        // exclude attainable global values. For functions needing both
+        // endpoints (`avg`), a closed bound merely over-approximates —
+        // the sound direction for derived constraints.
+        let combine_lo = |a: Bnd, b: Bnd| -> Bnd {
+            match (a, b) {
+                (Bnd::NegInf, _) | (_, Bnd::NegInf) => Bnd::NegInf,
+                (Bnd::Excl(x), Bnd::Excl(y)) => Bnd::Excl(f(x, y)),
+                (Bnd::Incl(x) | Bnd::Excl(x), Bnd::Incl(y) | Bnd::Excl(y)) => Bnd::Incl(f(x, y)),
+                (Bnd::PosInf, _) | (_, Bnd::PosInf) => Bnd::PosInf,
+            }
+        };
+        let combine_hi = |a: Bnd, b: Bnd| -> Bnd {
+            match (a, b) {
+                (Bnd::PosInf, _) | (_, Bnd::PosInf) => Bnd::PosInf,
+                (Bnd::Excl(x), Bnd::Excl(y)) => Bnd::Excl(f(x, y)),
+                (Bnd::Incl(x) | Bnd::Excl(x), Bnd::Incl(y) | Bnd::Excl(y)) => Bnd::Incl(f(x, y)),
+                (Bnd::NegInf, _) | (_, Bnd::NegInf) => Bnd::NegInf,
+            }
+        };
+        // Exact pointwise image where both sides are genuine point sets
+        // (finite-membership constraints like `{10, 20}`): this is what
+        // reproduces the paper's `{12,17,22}`. Contiguous ranges combine
+        // by endpoints instead — `avg` of `[4,10]` and `[6,10]` is the
+        // paper's `[5,10]`, not an enumeration of half-integers.
+        if self.is_point_set() && other.is_point_set() {
+            if let (Some(xs), Some(ys)) = (self.enumerate(64), other.enumerate(64)) {
+                if xs.len() * ys.len() <= 4096 {
+                    let mut pts = Vec::with_capacity(xs.len() * ys.len());
+                    for &x in &xs {
+                        for &y in &ys {
+                            pts.push(f(x, y));
+                        }
+                    }
+                    return NumSet::points(integral_out, pts);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for a in &self.ivs {
+            for b in &other.ivs {
+                if let Some(iv) = Iv::new(combine_lo(a.lo, b.lo), combine_hi(a.hi, b.hi)) {
+                    out.push(iv);
+                }
+            }
+        }
+        NumSet::from_ivs(integral_out, out)
+    }
+
+    /// Image under an affine map `x ↦ a·x + b` (conversion functions such
+    /// as `multiply(2)`; §4's domain conversion of constraint constants).
+    pub fn affine_image(&self, a: R64, b: R64, integral_out: bool) -> NumSet {
+        let map = |v: R64| a * v + b;
+        let map_bnd = |bd: Bnd| match bd {
+            Bnd::NegInf => Bnd::NegInf,
+            Bnd::PosInf => Bnd::PosInf,
+            Bnd::Incl(v) => Bnd::Incl(map(v)),
+            Bnd::Excl(v) => Bnd::Excl(map(v)),
+        };
+        let flip = a.get() < 0.0;
+        let mut out = Vec::new();
+        for iv in &self.ivs {
+            let (lo, hi) = if flip {
+                (map_bnd(iv.hi), map_bnd(iv.lo))
+            } else {
+                (map_bnd(iv.lo), map_bnd(iv.hi))
+            };
+            // Infinities swap roles under reflection.
+            let lo = if matches!(lo, Bnd::PosInf) {
+                Bnd::NegInf
+            } else {
+                lo
+            };
+            let hi = if matches!(hi, Bnd::NegInf) {
+                Bnd::PosInf
+            } else {
+                hi
+            };
+            if let Some(iv) = Iv::new(lo, hi) {
+                out.push(iv);
+            }
+        }
+        NumSet::from_ivs(integral_out, out)
+    }
+}
+
+fn touches(a: &Iv, b: &Iv, integral: bool) -> bool {
+    // b.lo is known >= a.lo (sorted). Merge when overlapping or adjacent.
+    let (av, a_closed) = match a.hi {
+        Bnd::PosInf => return true,
+        Bnd::Incl(v) => (v, true),
+        Bnd::Excl(v) => (v, false),
+        Bnd::NegInf => return false,
+    };
+    let (bv, b_closed) = match b.lo {
+        Bnd::NegInf => return true,
+        Bnd::Incl(v) => (v, true),
+        Bnd::Excl(v) => (v, false),
+        Bnd::PosInf => return false,
+    };
+    match bv.cmp(&av) {
+        std::cmp::Ordering::Less => true,
+        // Equal endpoints: contiguous unless both open (gap of one point).
+        std::cmp::Ordering::Equal => a_closed || b_closed,
+        // Integer adjacency: [.., x] u [x+1, ..].
+        std::cmp::Ordering::Greater => {
+            integral && a_closed && b_closed && bv.get() - av.get() == 1.0
+        }
+    }
+}
+
+impl fmt::Display for NumSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ivs.is_empty() {
+            return write!(f, "{{}}");
+        }
+        if let Some(pts) = self.enumerate(16) {
+            write!(f, "{{")?;
+            for (i, p) in pts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            return write!(f, "}}");
+        }
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " u ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A finite (`In`) or cofinite (`NotIn`) set of discrete values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiscSet {
+    /// Exactly these values.
+    In(BTreeSet<Value>),
+    /// Everything except these values.
+    NotIn(BTreeSet<Value>),
+}
+
+impl DiscSet {
+    /// The full discrete carrier.
+    pub fn full() -> DiscSet {
+        DiscSet::NotIn(BTreeSet::new())
+    }
+
+    /// The empty set.
+    pub fn empty() -> DiscSet {
+        DiscSet::In(BTreeSet::new())
+    }
+
+    /// Singleton.
+    pub fn point(v: Value) -> DiscSet {
+        DiscSet::In([v].into_iter().collect())
+    }
+
+    /// Is this ∅? (Cofinite sets are never empty — the carrier is assumed
+    /// infinite; booleans get a finite carrier via [`Domain::full_of`].)
+    pub fn is_empty(&self) -> bool {
+        matches!(self, DiscSet::In(s) if s.is_empty())
+    }
+
+    /// Membership.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            DiscSet::In(s) => s.contains(v),
+            DiscSet::NotIn(s) => !s.contains(v),
+        }
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &DiscSet) -> DiscSet {
+        match (self, other) {
+            (DiscSet::In(a), DiscSet::In(b)) => DiscSet::In(a.intersection(b).cloned().collect()),
+            (DiscSet::In(a), DiscSet::NotIn(b)) => DiscSet::In(a.difference(b).cloned().collect()),
+            (DiscSet::NotIn(a), DiscSet::In(b)) => DiscSet::In(b.difference(a).cloned().collect()),
+            (DiscSet::NotIn(a), DiscSet::NotIn(b)) => DiscSet::NotIn(a.union(b).cloned().collect()),
+        }
+    }
+
+    /// Union.
+    pub fn union(&self, other: &DiscSet) -> DiscSet {
+        match (self, other) {
+            (DiscSet::In(a), DiscSet::In(b)) => DiscSet::In(a.union(b).cloned().collect()),
+            (DiscSet::In(a), DiscSet::NotIn(b)) => {
+                DiscSet::NotIn(b.difference(a).cloned().collect())
+            }
+            (DiscSet::NotIn(a), DiscSet::In(b)) => {
+                DiscSet::NotIn(a.difference(b).cloned().collect())
+            }
+            (DiscSet::NotIn(a), DiscSet::NotIn(b)) => {
+                DiscSet::NotIn(a.intersection(b).cloned().collect())
+            }
+        }
+    }
+
+    /// Complement.
+    pub fn complement(&self) -> DiscSet {
+        match self {
+            DiscSet::In(s) => DiscSet::NotIn(s.clone()),
+            DiscSet::NotIn(s) => DiscSet::In(s.clone()),
+        }
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &DiscSet) -> bool {
+        self.intersect(&other.complement()).is_empty()
+    }
+}
+
+impl fmt::Display for DiscSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let write_set = |f: &mut fmt::Formatter<'_>, s: &BTreeSet<Value>| -> fmt::Result {
+            write!(f, "{{")?;
+            for (i, v) in s.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")
+        };
+        match self {
+            DiscSet::In(s) => write_set(f, s),
+            DiscSet::NotIn(s) if s.is_empty() => write!(f, "ANY"),
+            DiscSet::NotIn(s) => {
+                write!(f, "not ")?;
+                write_set(f, s)
+            }
+        }
+    }
+}
+
+/// A candidate-value set for one attribute term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// Numeric carrier.
+    Num(NumSet),
+    /// Discrete carrier.
+    Disc(DiscSet),
+}
+
+impl Domain {
+    /// The full domain of an attribute type. Range types contribute their
+    /// bounds as an implicit constraint (the paper leans on this:
+    /// `rating : 1..5` already bounds ratings before any explicit
+    /// constraint).
+    pub fn full_of(ty: &Type) -> Domain {
+        match ty {
+            Type::Int => Domain::Num(NumSet::full(true)),
+            Type::Real => Domain::Num(NumSet::full(false)),
+            Type::Range(lo, hi) => {
+                Domain::Num(NumSet::from_iv(true, Iv::closed(*lo as f64, *hi as f64)))
+            }
+            Type::Bool => Domain::Disc(DiscSet::In(
+                [Value::Bool(false), Value::Bool(true)]
+                    .into_iter()
+                    .collect(),
+            )),
+            _ => Domain::Disc(DiscSet::full()),
+        }
+    }
+
+    /// The empty domain (numeric carrier by convention).
+    pub fn empty() -> Domain {
+        Domain::Num(NumSet::empty(false))
+    }
+
+    /// A domain from a finite value set; numeric if all members are.
+    pub fn from_values(vals: &BTreeSet<Value>, integral: bool) -> Domain {
+        if !vals.is_empty() && vals.iter().all(|v| v.as_num().is_some()) {
+            Domain::Num(NumSet::points(
+                integral,
+                vals.iter().filter_map(|v| v.as_num()),
+            ))
+        } else {
+            Domain::Disc(DiscSet::In(vals.clone()))
+        }
+    }
+
+    /// Is the domain provably empty?
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Domain::Num(n) => n.is_empty(),
+            Domain::Disc(d) => d.is_empty(),
+        }
+    }
+
+    /// Is the domain the full carrier (no information)?
+    pub fn is_full(&self) -> bool {
+        match self {
+            Domain::Num(n) => n.is_full(),
+            Domain::Disc(DiscSet::NotIn(s)) => s.is_empty(),
+            Domain::Disc(_) => false,
+        }
+    }
+
+    /// Membership.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::Num(n) => v.as_num().is_some_and(|x| n.contains(x)),
+            Domain::Disc(d) => d.contains(v),
+        }
+    }
+
+    /// Intersection. Mixed carriers intersect conservatively: numeric
+    /// values inside a `Disc` set are lifted into the numeric carrier;
+    /// otherwise the intersection over-approximates to the numeric side
+    /// (sound for "satisfiable unless proven empty").
+    pub fn intersect(&self, other: &Domain) -> Domain {
+        match (self, other) {
+            (Domain::Num(a), Domain::Num(b)) => Domain::Num(a.intersect(b)),
+            (Domain::Disc(a), Domain::Disc(b)) => Domain::Disc(a.intersect(b)),
+            (Domain::Num(n), Domain::Disc(DiscSet::In(s)))
+            | (Domain::Disc(DiscSet::In(s)), Domain::Num(n)) => {
+                let pts: Vec<R64> = s
+                    .iter()
+                    .filter_map(|v| v.as_num())
+                    .filter(|&x| n.contains(x))
+                    .collect();
+                Domain::Num(NumSet::points(n.integral, pts))
+            }
+            (Domain::Num(n), Domain::Disc(DiscSet::NotIn(s)))
+            | (Domain::Disc(DiscSet::NotIn(s)), Domain::Num(n)) => {
+                let mut acc = n.clone();
+                for v in s {
+                    if let Some(x) = v.as_num() {
+                        acc = acc.intersect(&NumSet::from_cmp(
+                            acc.integral,
+                            crate::expr::CmpOp::Ne,
+                            x,
+                        ));
+                    }
+                }
+                Domain::Num(acc)
+            }
+        }
+    }
+
+    /// Union (mixed carriers widen to full — conservative).
+    pub fn union(&self, other: &Domain) -> Domain {
+        match (self, other) {
+            (Domain::Num(a), Domain::Num(b)) => Domain::Num(a.union(b)),
+            (Domain::Disc(a), Domain::Disc(b)) => Domain::Disc(a.union(b)),
+            _ => Domain::Disc(DiscSet::full()),
+        }
+    }
+
+    /// Subset test (false on mixed carriers — conservative).
+    pub fn is_subset(&self, other: &Domain) -> bool {
+        match (self, other) {
+            (Domain::Num(a), Domain::Num(b)) => a.is_subset(b),
+            (Domain::Disc(a), Domain::Disc(b)) => a.is_subset(b),
+            (a, b) => a.is_empty() || b.is_full(),
+        }
+    }
+
+    /// Pointwise image under a binary value function, exact when both
+    /// domains enumerate to small finite sets (`≤ cap` each). Reproduces
+    /// the paper's `{10,20} × {14,24} —avg→ {12,17,22}`.
+    pub fn combine_pointwise(
+        &self,
+        other: &Domain,
+        cap: usize,
+        f: impl Fn(&Value, &Value) -> Option<Value>,
+    ) -> Option<Domain> {
+        let enumerate = |d: &Domain| -> Option<Vec<Value>> {
+            match d {
+                Domain::Num(n) => {
+                    let pts = n.enumerate(cap)?;
+                    Some(
+                        pts.into_iter()
+                            .map(|r| {
+                                if n.integral && r.get().fract() == 0.0 {
+                                    Value::Int(r.get() as i64)
+                                } else {
+                                    Value::Real(r)
+                                }
+                            })
+                            .collect(),
+                    )
+                }
+                Domain::Disc(DiscSet::In(s)) if s.len() <= cap => Some(s.iter().cloned().collect()),
+                _ => None,
+            }
+        };
+        let xs = enumerate(self)?;
+        let ys = enumerate(other)?;
+        let mut out = BTreeSet::new();
+        for x in &xs {
+            for y in &ys {
+                out.insert(f(x, y)?);
+            }
+        }
+        Some(Domain::from_values(&out, false))
+    }
+
+    /// The numeric view, if this is a numeric domain.
+    pub fn as_num(&self) -> Option<&NumSet> {
+        match self {
+            Domain::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The discrete view, if this is a discrete domain.
+    pub fn as_disc(&self) -> Option<&DiscSet> {
+        match self {
+            Domain::Disc(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Num(n) => write!(f, "{n}"),
+            Domain::Disc(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn ge(v: f64) -> NumSet {
+        NumSet::from_cmp(false, CmpOp::Ge, R64::new(v))
+    }
+
+    fn le(v: f64) -> NumSet {
+        NumSet::from_cmp(false, CmpOp::Le, R64::new(v))
+    }
+
+    #[test]
+    fn interval_emptiness() {
+        assert!(Iv::new(Bnd::Incl(R64::new(2.0)), Bnd::Incl(R64::new(1.0))).is_none());
+        assert!(Iv::new(Bnd::Excl(R64::new(1.0)), Bnd::Incl(R64::new(1.0))).is_none());
+        assert!(Iv::new(Bnd::Incl(R64::new(1.0)), Bnd::Incl(R64::new(1.0))).is_some());
+    }
+
+    #[test]
+    fn from_cmp_solution_sets() {
+        assert!(ge(4.0).contains(R64::new(4.0)));
+        assert!(!ge(4.0).contains(R64::new(3.9)));
+        let ne = NumSet::from_cmp(false, CmpOp::Ne, R64::new(2.0));
+        assert!(!ne.contains(R64::new(2.0)));
+        assert!(ne.contains(R64::new(2.1)));
+        let gt = NumSet::from_cmp(false, CmpOp::Gt, R64::new(4.0));
+        assert!(!gt.contains(R64::new(4.0)));
+    }
+
+    #[test]
+    fn intersect_and_empty_detection() {
+        // rating >= 7 and rating <= 3 is empty
+        assert!(ge(7.0).intersect(&le(3.0)).is_empty());
+        // rating >= 7 and rating >= 4 is rating >= 7
+        let i = ge(7.0).intersect(&ge(4.0));
+        assert_eq!(i, ge(7.0));
+    }
+
+    #[test]
+    fn integral_snapping() {
+        // 3 < x < 4 over the integers is empty.
+        let s = NumSet::from_cmp(true, CmpOp::Gt, R64::new(3.0)).intersect(&NumSet::from_cmp(
+            true,
+            CmpOp::Lt,
+            R64::new(4.0),
+        ));
+        assert!(s.is_empty());
+        // 2.5 <= x over the integers starts at 3.
+        let s = NumSet::from_cmp(true, CmpOp::Ge, R64::new(2.5));
+        assert!(s.contains(R64::new(3.0)));
+        assert!(!s.contains(R64::new(2.5)));
+    }
+
+    #[test]
+    fn union_merges_adjacent_integrals() {
+        let a = NumSet::from_iv(true, Iv::closed(1.0, 3.0));
+        let b = NumSet::from_iv(true, Iv::closed(4.0, 6.0));
+        let u = a.union(&b);
+        assert_eq!(u.intervals().len(), 1);
+        assert!(u.contains(R64::new(4.0)));
+    }
+
+    #[test]
+    fn union_merges_touching_reals() {
+        let a = NumSet::from_ivs(
+            false,
+            vec![Iv::new(Bnd::NegInf, Bnd::Excl(R64::new(2.0))).unwrap()],
+        );
+        let b = NumSet::from_ivs(
+            false,
+            vec![Iv::new(Bnd::Incl(R64::new(2.0)), Bnd::PosInf).unwrap()],
+        );
+        assert!(a.union(&b).is_full());
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let s = ge(4.0).intersect(&le(10.0));
+        let c = s.complement();
+        assert!(c.contains(R64::new(3.0)));
+        assert!(c.contains(R64::new(11.0)));
+        assert!(!c.contains(R64::new(7.0)));
+        assert_eq!(c.complement(), s);
+        assert!(NumSet::full(false).complement().is_empty());
+        assert!(NumSet::empty(false).complement().is_full());
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(ge(7.0).is_subset(&ge(4.0)));
+        assert!(!ge(4.0).is_subset(&ge(7.0)));
+        let pts = NumSet::points(true, [R64::from(1), R64::from(3)]);
+        assert!(pts.is_subset(&NumSet::from_iv(true, Iv::closed(1.0, 5.0))));
+    }
+
+    #[test]
+    fn enumerate_finite_sets() {
+        let pts = NumSet::points(true, [R64::from(10), R64::from(20)]);
+        let e = pts.enumerate(10).unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(ge(1.0).enumerate(1000).is_none());
+        let range = NumSet::from_iv(true, Iv::closed(1.0, 5.0));
+        assert_eq!(range.enumerate(10).unwrap().len(), 5);
+        assert!(range.enumerate(3).is_none()); // over cap
+    }
+
+    #[test]
+    fn paper_intro_example_avg_image() {
+        // trav_reimb in {10,20} and {14,24}; avg => {12, 15, 17, 22}?
+        // Paper: {12, 17, 22} — avg(10,14)=12, avg(10,24)=17=avg(20,14),
+        // avg(20,24)=22.
+        let a = NumSet::points(true, [R64::from(10), R64::from(20)]);
+        let b = NumSet::points(true, [R64::from(14), R64::from(24)]);
+        let img = a.combine_monotone(&b, true, |x, y| (x + y) / R64::new(2.0));
+        let vals: Vec<f64> = img.enumerate(10).unwrap().iter().map(|r| r.get()).collect();
+        assert_eq!(vals, vec![12.0, 17.0, 22.0]);
+    }
+
+    #[test]
+    fn paper_acm_example_avg_interval() {
+        // avg of [4, +inf) and [6, +inf) = [5, +inf)
+        let img = ge(4.0).combine_monotone(&ge(6.0), false, |x, y| (x + y) / R64::new(2.0));
+        assert_eq!(img, ge(5.0));
+    }
+
+    #[test]
+    fn min_max_combination() {
+        let a = ge(4.0).intersect(&le(8.0));
+        let b = ge(6.0).intersect(&le(10.0));
+        let mx = a.combine_monotone(&b, false, |x, y| x.max(y));
+        assert!(mx.contains(R64::new(6.0)));
+        assert!(!mx.contains(R64::new(5.0)));
+        assert!(mx.contains(R64::new(10.0)));
+        assert!(!mx.contains(R64::new(10.5)));
+    }
+
+    #[test]
+    fn affine_image_multiply_2() {
+        // Paper §4: rating >= 2 on a 1..5 scale conformed via multiply(2)
+        // becomes rating >= 4.
+        let s = NumSet::from_cmp(true, CmpOp::Ge, R64::new(2.0));
+        let img = s.affine_image(R64::new(2.0), R64::new(0.0), true);
+        assert!(img.contains(R64::new(4.0)));
+        assert!(!img.contains(R64::new(3.0)));
+    }
+
+    #[test]
+    fn affine_image_negative_slope_flips() {
+        let s = ge(1.0); // [1, inf)
+        let img = s.affine_image(R64::new(-1.0), R64::new(0.0), false);
+        // (-inf, -1]
+        assert!(img.contains(R64::new(-1.0)));
+        assert!(!img.contains(R64::new(0.0)));
+    }
+
+    #[test]
+    fn disc_set_algebra() {
+        let known = DiscSet::In(
+            ["ACM", "IEEE", "Springer"]
+                .into_iter()
+                .map(Value::str)
+                .collect(),
+        );
+        let not_acm = DiscSet::NotIn([Value::str("ACM")].into_iter().collect());
+        let i = known.intersect(&not_acm);
+        assert!(i.contains(&Value::str("IEEE")));
+        assert!(!i.contains(&Value::str("ACM")));
+        assert!(known.is_subset(&DiscSet::full()));
+        assert!(!DiscSet::full().is_subset(&known));
+        let u = DiscSet::point(Value::str("X")).union(&not_acm);
+        assert!(u.contains(&Value::str("X")));
+        assert!(!u.contains(&Value::str("ACM")));
+        assert_eq!(known.complement().complement(), known);
+    }
+
+    #[test]
+    fn domain_full_of_types() {
+        let d = Domain::full_of(&Type::Range(1, 5));
+        assert!(d.contains(&Value::int(5)));
+        assert!(!d.contains(&Value::int(6)));
+        let b = Domain::full_of(&Type::Bool);
+        assert!(b.contains(&Value::Bool(true)));
+        let s = Domain::full_of(&Type::Str);
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn domain_mixed_intersection_lifts_numeric_points() {
+        let num = Domain::Num(ge(5.0));
+        let disc = Domain::Disc(DiscSet::In(
+            [Value::int(3), Value::int(7)].into_iter().collect(),
+        ));
+        let i = num.intersect(&disc);
+        assert!(i.contains(&Value::int(7)));
+        assert!(!i.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn domain_pointwise_avg_reproduces_intro() {
+        let a = Domain::from_values(
+            &[Value::int(10), Value::int(20)].into_iter().collect(),
+            true,
+        );
+        let b = Domain::from_values(
+            &[Value::int(14), Value::int(24)].into_iter().collect(),
+            true,
+        );
+        let img = a
+            .combine_pointwise(&b, 64, |x, y| {
+                let (x, y) = (x.as_num()?, y.as_num()?);
+                Some(Value::Real((x + y) / R64::new(2.0)))
+            })
+            .unwrap();
+        assert!(img.contains(&Value::real(12.0)));
+        assert!(img.contains(&Value::real(17.0)));
+        assert!(img.contains(&Value::real(22.0)));
+        assert!(!img.contains(&Value::real(15.0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ge(4.0).to_string(), "[4, +inf)");
+        let pts = NumSet::points(true, [R64::from(12), R64::from(17), R64::from(22)]);
+        assert_eq!(pts.to_string(), "{12, 17, 22}");
+        assert_eq!(DiscSet::full().to_string(), "ANY");
+    }
+}

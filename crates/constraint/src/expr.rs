@@ -1,0 +1,580 @@
+//! Expressions and first-order formulas over a single object.
+//!
+//! The fragment is the one TM constraints in the paper actually use:
+//! attribute paths (possibly navigating object references, e.g.
+//! `publisher.name`), constants, arithmetic, comparisons, finite-set
+//! membership (`trav_reimb in {10, 20}`), substring tests
+//! (`contains(title, 'Proceed')`), and the boolean connectives including
+//! implication (`ref? = true implies rating >= 7`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use interop_model::{AttrName, Value};
+
+/// An attribute path on the constrained object: `publisher.name` is
+/// `Path(["publisher", "name"])`. The empty path denotes the object
+/// itself (used by database constraints comparing references).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Path(pub Vec<AttrName>);
+
+impl Path {
+    /// Builds a path from dotted text: `"publisher.name"`.
+    pub fn parse(s: &str) -> Self {
+        if s.is_empty() {
+            return Path(Vec::new());
+        }
+        Path(s.split('.').map(AttrName::new).collect())
+    }
+
+    /// Single-attribute path.
+    pub fn attr(a: impl Into<AttrName>) -> Self {
+        Path(vec![a.into()])
+    }
+
+    /// The empty path (the object itself).
+    pub fn this() -> Self {
+        Path(Vec::new())
+    }
+
+    /// First segment, if any.
+    pub fn head(&self) -> Option<&AttrName> {
+        self.0.first()
+    }
+
+    /// True for the empty path.
+    pub fn is_this(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a copy with the first segment replaced (attribute
+    /// substitution during conformation).
+    pub fn with_head(&self, head: AttrName) -> Self {
+        let mut segs = self.0.clone();
+        if segs.is_empty() {
+            segs.push(head);
+        } else {
+            segs[0] = head;
+        }
+        Path(segs)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "self");
+        }
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path({self})")
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The negated operator (`<` ↦ `>=`, ...).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with operands swapped (`<` ↦ `>`, `=` ↦ `=`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// Applies the comparison to an [`std::cmp::Ordering`].
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Aggregate operators used by class constraints
+/// (`(sum (collect x for x in self) over ourprice) < MAX`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AggOp {
+    /// `sum`
+    Sum,
+    /// `avg`
+    Avg,
+    /// `count`
+    Count,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggOp::Sum => "sum",
+            AggOp::Avg => "avg",
+            AggOp::Count => "count",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+        })
+    }
+}
+
+/// A scalar expression over one object.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Value),
+    /// An attribute path on the constrained object.
+    Attr(Path),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Bin(Box<Expr>, ArithOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant shorthand.
+    pub fn val(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// Attribute shorthand from dotted text.
+    pub fn attr(p: &str) -> Expr {
+        Expr::Attr(Path::parse(p))
+    }
+
+    /// All attribute paths mentioned by the expression.
+    pub fn paths(&self, out: &mut BTreeSet<Path>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Attr(p) => {
+                out.insert(p.clone());
+            }
+            Expr::Neg(e) => e.paths(out),
+            Expr::Bin(a, _, b) => {
+                a.paths(out);
+                b.paths(out);
+            }
+        }
+    }
+
+    /// Is the expression a constant?
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Expr::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Is the expression a bare attribute path?
+    pub fn as_path(&self) -> Option<&Path> {
+        match self {
+            Expr::Attr(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Attr(p) => write!(f, "{p}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(a, op, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A boolean formula over one object — the body of an object constraint or
+/// of an intraobject comparison-rule condition.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Comparison between two expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// Finite-set membership: `trav_reimb in {10, 20}`.
+    In(Expr, BTreeSet<Value>),
+    /// Substring test: `contains(title, 'Proceed')`.
+    Contains(Expr, String),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication (kept explicit: the paper's conditional constraints are
+    /// first-class in derivation, §5.2.1).
+    Implies(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// `path op const` shorthand.
+    pub fn cmp(path: &str, op: CmpOp, v: impl Into<Value>) -> Formula {
+        Formula::Cmp(Expr::attr(path), op, Expr::val(v))
+    }
+
+    /// `path in {values}` shorthand.
+    pub fn isin<I, V>(path: &str, vals: I) -> Formula
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Formula::In(Expr::attr(path), vals.into_iter().map(Into::into).collect())
+    }
+
+    /// Conjunction of two formulas, flattening nested `And`s.
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, f) | (f, Formula::True) => f,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), f) => {
+                a.push(f);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (a, b) => Formula::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two formulas, flattening nested `Or`s.
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, f) | (f, Formula::False) => f,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), f) => {
+                a.push(f);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (a, b) => Formula::Or(vec![a, b]),
+        }
+    }
+
+    /// Logical negation (not simplified — see [`crate::normalize::nnf`]).
+    pub fn negate(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `guard implies body`.
+    pub fn implies(self, body: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(body))
+    }
+
+    /// Conjunction of many formulas.
+    pub fn conj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        fs.into_iter().fold(Formula::True, Formula::and)
+    }
+
+    /// All attribute paths mentioned by the formula.
+    pub fn paths(&self) -> BTreeSet<Path> {
+        let mut out = BTreeSet::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths(&self, out: &mut BTreeSet<Path>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Cmp(a, _, b) => {
+                a.paths(out);
+                b.paths(out);
+            }
+            Formula::In(e, _) | Formula::Contains(e, _) => e.paths(out),
+            Formula::Not(f) => f.collect_paths(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_paths(out);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.collect_paths(out);
+                b.collect_paths(out);
+            }
+        }
+    }
+
+    /// Applies `f` to every expression in the formula (bottom-up rewrite
+    /// helper used by conformation's attribute substitution and domain
+    /// conversion).
+    pub fn map_exprs(&self, f: &impl Fn(&Expr) -> Expr) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Cmp(a, op, b) => Formula::Cmp(f(a), *op, f(b)),
+            Formula::In(e, set) => Formula::In(f(e), set.clone()),
+            Formula::Contains(e, s) => Formula::Contains(f(e), s.clone()),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.map_exprs(f))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|x| x.map_exprs(f)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|x| x.map_exprs(f)).collect()),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.map_exprs(f)), Box::new(b.map_exprs(f)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Cmp(a, op, b) => write!(f, "{a} {op} {b}"),
+            Formula::In(e, set) => {
+                write!(f, "{e} in {{")?;
+                for (i, v) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Formula::Contains(e, s) => write!(f, "contains({e}, '{s}')"),
+            Formula::Not(inner) => write!(f, "not ({inner})"),
+            Formula::And(fs) => join(f, fs, " and "),
+            Formula::Or(fs) => join(f, fs, " or "),
+            Formula::Implies(a, b) => write!(f, "{a} implies {b}"),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+fn join(f: &mut fmt::Formatter<'_>, fs: &[Formula], sep: &str) -> fmt::Result {
+    if fs.is_empty() {
+        return write!(f, "true");
+    }
+    for (i, item) in fs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        let parens = matches!(
+            item,
+            Formula::And(_) | Formula::Or(_) | Formula::Implies(..)
+        );
+        if parens {
+            write!(f, "({item})")?;
+        } else {
+            write!(f, "{item}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_parse_display() {
+        let p = Path::parse("publisher.name");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.to_string(), "publisher.name");
+        assert_eq!(Path::this().to_string(), "self");
+        assert!(Path::parse("").is_this());
+    }
+
+    #[test]
+    fn path_with_head() {
+        let p = Path::parse("ourprice");
+        assert_eq!(
+            p.with_head(AttrName::new("libprice")).to_string(),
+            "libprice"
+        );
+        let q = Path::parse("publisher.name").with_head(AttrName::new("pub"));
+        assert_eq!(q.to_string(), "pub.name");
+    }
+
+    #[test]
+    fn cmp_op_negate_flip_test() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Le.test(Less));
+        assert!(!CmpOp::Le.test(Greater));
+        assert!(CmpOp::Ne.test(Less));
+    }
+
+    #[test]
+    fn formula_display_matches_paper_style() {
+        let f = Formula::cmp("ourprice", CmpOp::Le, 100.0)
+            .and(Formula::isin("trav_reimb", [10i64, 20]));
+        assert_eq!(f.to_string(), "ourprice <= 100 and trav_reimb in {10, 20}");
+        let g = Formula::cmp("publisher.name", CmpOp::Eq, "IEEE").implies(Formula::cmp(
+            "ref?",
+            CmpOp::Eq,
+            true,
+        ));
+        assert_eq!(g.to_string(), "publisher.name = 'IEEE' implies ref? = true");
+    }
+
+    #[test]
+    fn and_or_flatten_and_absorb() {
+        let a = Formula::cmp("x", CmpOp::Eq, 1i64);
+        let b = Formula::cmp("y", CmpOp::Eq, 2i64);
+        let c = Formula::cmp("z", CmpOp::Eq, 3i64);
+        match a.clone().and(b.clone()).and(c.clone()) {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flat And, got {other}"),
+        }
+        assert_eq!(a.clone().and(Formula::True), a);
+        assert_eq!(a.clone().and(Formula::False), Formula::False);
+        assert_eq!(a.clone().or(Formula::False), a);
+        assert_eq!(a.clone().or(Formula::True), Formula::True);
+        match a.clone().or(b).or(c) {
+            Formula::Or(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flat Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn paths_collected() {
+        let f = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").implies(Formula::cmp(
+            "rating",
+            CmpOp::Ge,
+            6i64,
+        ));
+        let ps = f.paths();
+        assert!(ps.contains(&Path::parse("publisher.name")));
+        assert!(ps.contains(&Path::parse("rating")));
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn map_exprs_rewrites_attrs() {
+        let f = Formula::cmp("ourprice", CmpOp::Le, 10.0);
+        let g = f.map_exprs(&|e| match e {
+            Expr::Attr(p) if p == &Path::parse("ourprice") => Expr::attr("libprice"),
+            other => other.clone(),
+        });
+        assert_eq!(g.to_string(), "libprice <= 10");
+    }
+
+    #[test]
+    fn conj_of_empty_is_true() {
+        assert_eq!(Formula::conj(Vec::new()), Formula::True);
+    }
+}

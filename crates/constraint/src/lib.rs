@@ -1,0 +1,44 @@
+//! # interop-constraint
+//!
+//! The constraint language and its decision procedures — the formal core
+//! that the reproduction of Vermeer & Apers (VLDB 1996) is built on.
+//!
+//! The paper distinguishes *object constraints* (implicitly universally
+//! quantified over the instances of a class), *class constraints*
+//! (aggregates over the class extension plus key constraints), and
+//! *database constraints* (quantified across classes). All three are
+//! represented here, together with:
+//!
+//! * an evaluator ([`eval`]) checking constraints against populated
+//!   databases (the "enforced by the component databases" premise),
+//! * a normaliser ([`normalize`]) producing the paper's *normalised*
+//!   constraints (top-level conjunctions split apart, §5.2.1),
+//! * a typed **domain algebra** ([`domain`]) — unions of intervals over
+//!   numerics and finite/cofinite sets over discrete values — which is the
+//!   machinery behind both constraint conformation (applying conversion
+//!   functions to constraint constants, §4) and global-constraint
+//!   derivation through decision functions (§5.2.1),
+//! * a sound satisfiability / implication solver ([`solve`]) for the
+//!   paper's constraint fragment, used to detect *explicit conflicts*
+//!   (`Ω̂ ⊨ false`) and check strict-similarity admission (`Ω' ⊨ Ω̂`),
+//! * a syntactic classifier ([`classify`]) assigning raw constraints to
+//!   the object/class/database categories (the role played by the IMPRESS
+//!   design toolbox \[FKS94\] in the paper).
+
+pub mod classify;
+pub mod constraint;
+pub mod domain;
+pub mod eval;
+pub mod expr;
+pub mod normalize;
+pub mod solve;
+
+pub use classify::{classify_formula, ConstraintKind};
+pub use constraint::{
+    Catalog, ClassConstraint, ClassConstraintBody, ConstraintId, DbConstraint, ObjectConstraint,
+    PairAtom, Quantifier, Status,
+};
+pub use domain::{Bnd, DiscSet, Domain, Iv, NumSet};
+pub use eval::{eval_expr, eval_formula, Truth};
+pub use expr::{AggOp, ArithOp, CmpOp, Expr, Formula, Path};
+pub use solve::{GuardedAtom, TypeEnv};

@@ -1,0 +1,1102 @@
+//! Satisfiability and implication for the paper's constraint fragment.
+//!
+//! The decision procedure handles boolean combinations of:
+//!
+//! * unary atoms — an affine function of one attribute path compared
+//!   against a constant, or finite-set membership (`rating >= 4`,
+//!   `trav_reimb in {10,20}`, `2*rating - 1 <= 9`);
+//! * binary atoms — two paths compared (`libprice <= shopprice`), handled
+//!   by a difference-bound system with strictness-aware negative-cycle
+//!   detection;
+//! * substring atoms (`contains(title, 'Proceed')`), refutable when the
+//!   path's domain is a finite string set or when contradictory
+//!   `contains`/`not contains` pairs occur.
+//!
+//! Everything else is treated as *opaque* and dropped, which
+//! over-approximates the solution set. Consequently [`is_satisfiable`]
+//! means "not provably unsatisfiable" and [`implies`] returns `true` only
+//! for *proven* entailments — exactly the conservative behaviour the
+//! paper's conflict detection (`Ω̂ ⊨ false`) and strict-similarity check
+//! (`Ω' ⊨ Ω̂`, §5.2.1) require.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use interop_model::{Type, Value, R64};
+
+use crate::domain::{DiscSet, Domain, NumSet};
+use crate::expr::{ArithOp, CmpOp, Expr, Formula, Path};
+use crate::normalize::{dnf, simplify};
+
+/// Default cap on DNF size before the solver gives up (returns "unknown").
+pub const DNF_CAP: usize = 512;
+
+/// Types of the attribute paths a formula may mention. Paths absent from
+/// the environment get an unconstrained discrete domain.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEnv {
+    types: BTreeMap<Path, Type>,
+}
+
+impl TypeEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        TypeEnv::default()
+    }
+
+    /// Registers a path's type.
+    pub fn insert(&mut self, path: Path, ty: Type) {
+        self.types.insert(path, ty);
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, path: &str, ty: Type) -> Self {
+        self.insert(Path::parse(path), ty);
+        self
+    }
+
+    /// Looks up a path's type.
+    pub fn get(&self, path: &Path) -> Option<&Type> {
+        self.types.get(path)
+    }
+
+    /// The base domain of a path: its type's full domain, or an
+    /// unconstrained discrete domain when the type is unknown.
+    pub fn base_domain(&self, path: &Path) -> Domain {
+        match self.types.get(path) {
+            Some(ty) => Domain::full_of(ty),
+            None => Domain::Disc(DiscSet::full()),
+        }
+    }
+
+    /// Is the path known to carry an integral numeric type?
+    pub fn integral(&self, path: &Path) -> bool {
+        matches!(self.types.get(path), Some(Type::Int | Type::Range(_, _)))
+    }
+
+    /// Is the path numeric (int, real, or range)?
+    pub fn numeric(&self, path: &Path) -> bool {
+        self.types.get(path).is_some_and(Type::is_numeric)
+    }
+
+    /// Builds the environment of all paths reachable from `class` in
+    /// `schema`: every visible attribute, and — for reference attributes —
+    /// the referenced class's attributes one level deep (`publisher.name`).
+    /// One level suffices for the paper's fragment; deeper paths simply
+    /// stay untyped (unconstrained), which is conservative.
+    pub fn for_class(schema: &interop_model::Schema, class: &interop_model::ClassName) -> Self {
+        let mut env = TypeEnv::new();
+        for attr in schema.all_attrs(class) {
+            let head = Path::attr(attr.name.clone());
+            env.insert(head.clone(), attr.ty.clone());
+            if let Type::Ref(target) = &attr.ty {
+                for inner in schema.all_attrs(target) {
+                    let mut segs = head.0.clone();
+                    segs.push(inner.name.clone());
+                    env.insert(Path(segs), inner.ty.clone());
+                }
+            }
+        }
+        env
+    }
+
+    /// Iterates over all registered paths and types.
+    pub fn iter(&self) -> impl Iterator<Item = (&Path, &Type)> {
+        self.types.iter()
+    }
+}
+
+/// An affine view of an expression: `coeff · path + offset` (path may be
+/// absent for pure constants).
+struct Lin {
+    coeff: R64,
+    path: Option<Path>,
+    offset: R64,
+}
+
+fn linearize(e: &Expr) -> Option<Lin> {
+    match e {
+        Expr::Const(v) => Some(Lin {
+            coeff: R64::new(0.0),
+            path: None,
+            offset: v.as_num()?,
+        }),
+        Expr::Attr(p) => Some(Lin {
+            coeff: R64::new(1.0),
+            path: Some(p.clone()),
+            offset: R64::new(0.0),
+        }),
+        Expr::Neg(inner) => {
+            let l = linearize(inner)?;
+            Some(Lin {
+                coeff: -l.coeff,
+                path: l.path,
+                offset: -l.offset,
+            })
+        }
+        Expr::Bin(a, op, b) => {
+            let (la, lb) = (linearize(a)?, linearize(b)?);
+            match op {
+                ArithOp::Add | ArithOp::Sub => {
+                    let sign = if *op == ArithOp::Add {
+                        R64::new(1.0)
+                    } else {
+                        R64::new(-1.0)
+                    };
+                    match (&la.path, &lb.path) {
+                        (_, None) => Some(Lin {
+                            coeff: la.coeff,
+                            path: la.path,
+                            offset: la.offset + sign * lb.offset,
+                        }),
+                        (None, _) => Some(Lin {
+                            coeff: sign * lb.coeff,
+                            path: lb.path,
+                            offset: la.offset + sign * lb.offset,
+                        }),
+                        (Some(p), Some(q)) if p == q => Some(Lin {
+                            coeff: la.coeff + sign * lb.coeff,
+                            path: Some(p.clone()),
+                            offset: la.offset + sign * lb.offset,
+                        }),
+                        _ => None, // two distinct paths: not unary-affine
+                    }
+                }
+                ArithOp::Mul => {
+                    if lb.path.is_none() && lb.coeff.get() == 0.0 {
+                        Some(Lin {
+                            coeff: la.coeff * lb.offset,
+                            path: la.path,
+                            offset: la.offset * lb.offset,
+                        })
+                    } else if la.path.is_none() && la.coeff.get() == 0.0 {
+                        Some(Lin {
+                            coeff: lb.coeff * la.offset,
+                            path: lb.path,
+                            offset: lb.offset * la.offset,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                ArithOp::Div => {
+                    if lb.path.is_none() && lb.coeff.get() == 0.0 && lb.offset.get() != 0.0 {
+                        Some(Lin {
+                            coeff: la.coeff / lb.offset,
+                            path: la.path,
+                            offset: la.offset / lb.offset,
+                        })
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-conjunct solver state.
+struct Conj {
+    domains: BTreeMap<Path, Domain>,
+    /// `p - q <= c` (strict when the flag is set).
+    diffs: Vec<(Path, Path, R64, bool)>,
+    /// Discrete equalities / disequalities between paths.
+    eqs: Vec<(Path, Path)>,
+    neqs: Vec<(Path, Path)>,
+    contains_pos: Vec<(Path, String)>,
+    contains_neg: Vec<(Path, String)>,
+    /// Proven false already.
+    dead: bool,
+}
+
+impl Conj {
+    fn new() -> Self {
+        Conj {
+            domains: BTreeMap::new(),
+            diffs: Vec::new(),
+            eqs: Vec::new(),
+            neqs: Vec::new(),
+            contains_pos: Vec::new(),
+            contains_neg: Vec::new(),
+            dead: false,
+        }
+    }
+
+    fn domain_mut(&mut self, env: &TypeEnv, p: &Path) -> &mut Domain {
+        self.domains
+            .entry(p.clone())
+            .or_insert_with(|| env.base_domain(p))
+    }
+
+    fn restrict(&mut self, env: &TypeEnv, p: &Path, d: &Domain) {
+        let cur = self.domain_mut(env, p);
+        *cur = cur.intersect(d);
+        if cur.is_empty() {
+            self.dead = true;
+        }
+    }
+
+    #[allow(clippy::collapsible_match)] // the outer match arms document the atom taxonomy
+    fn add_atom(&mut self, env: &TypeEnv, atom: &Formula) {
+        match atom {
+            Formula::True => {}
+            Formula::False => self.dead = true,
+            Formula::Cmp(a, op, b) => self.add_cmp(env, a, *op, b),
+            Formula::In(e, set) => {
+                if let Some(l) = linearize(e) {
+                    if let Some(p) = l.path.clone() {
+                        // Solve coeff·p + offset ∈ set for p where possible.
+                        if l.coeff.get() != 0.0 {
+                            let mut pre = BTreeSet::new();
+                            let mut all_num = true;
+                            for v in set {
+                                match v.as_num() {
+                                    Some(n) => {
+                                        pre.insert(Value::Real((n - l.offset) / l.coeff));
+                                    }
+                                    None => all_num = false,
+                                }
+                            }
+                            if all_num {
+                                let d = Domain::from_values(&pre, env.integral(&p));
+                                self.restrict(env, &p, &d);
+                                return;
+                            }
+                        }
+                    }
+                }
+                if let Expr::Attr(p) = e {
+                    let d = Domain::from_values(set, env.integral(p));
+                    self.restrict(env, p, &d);
+                }
+                // Otherwise opaque: drop (over-approximation).
+            }
+            Formula::Contains(e, s) => {
+                if let Expr::Attr(p) = e {
+                    self.contains_pos.push((p.clone(), s.clone()));
+                }
+            }
+            Formula::Not(inner) => match &**inner {
+                Formula::In(e, set) => {
+                    if let Expr::Attr(p) = e {
+                        let d = match Domain::from_values(set, env.integral(p)) {
+                            Domain::Num(n) => Domain::Num(n.complement()),
+                            Domain::Disc(d) => Domain::Disc(d.complement()),
+                        };
+                        self.restrict(env, p, &d);
+                    }
+                }
+                Formula::Contains(e, s) => {
+                    if let Expr::Attr(p) = e {
+                        self.contains_neg.push((p.clone(), s.clone()));
+                    }
+                }
+                _ => {} // NNF leaves Not only on In/Contains.
+            },
+            // And/Or/Implies do not reach atoms after DNF.
+            _ => {}
+        }
+    }
+
+    fn add_cmp(&mut self, env: &TypeEnv, a: &Expr, op: CmpOp, b: &Expr) {
+        // Try the affine route first: la op lb with at most one path per
+        // side (same path allowed on both).
+        if let (Some(la), Some(lb)) = (linearize(a), linearize(b)) {
+            match (&la.path, &lb.path) {
+                (Some(_), None) | (None, Some(_)) => {
+                    // coeff·p + off op const  (or reversed)
+                    let (p, coeff, off, konst, op) = if let Some(p) = &la.path {
+                        (p.clone(), la.coeff, la.offset, lb.offset, op)
+                    } else {
+                        let p = lb.path.clone().expect("checked by match arm");
+                        (p, lb.coeff, lb.offset, la.offset, op.flip())
+                    };
+                    if coeff.get() == 0.0 {
+                        // Degenerate: constant vs constant.
+                        let ord = off.cmp(&konst);
+                        if !op.test(ord) {
+                            self.dead = true;
+                        }
+                        return;
+                    }
+                    let rhs = (konst - off) / coeff;
+                    let op = if coeff.get() < 0.0 { op.flip() } else { op };
+                    let d = Domain::Num(NumSet::from_cmp(env.integral(&p), op, rhs));
+                    self.restrict(env, &p, &d);
+                    return;
+                }
+                (Some(p), Some(q)) if p != q => {
+                    // Difference form requires matching unit coefficients.
+                    if la.coeff == lb.coeff && la.coeff.get() == 1.0 {
+                        let c = lb.offset - la.offset; // p - q op c
+                        match op {
+                            CmpOp::Le => self.diffs.push((p.clone(), q.clone(), c, false)),
+                            CmpOp::Lt => self.diffs.push((p.clone(), q.clone(), c, true)),
+                            CmpOp::Ge => self.diffs.push((q.clone(), p.clone(), -c, false)),
+                            CmpOp::Gt => self.diffs.push((q.clone(), p.clone(), -c, true)),
+                            CmpOp::Eq => {
+                                self.diffs.push((p.clone(), q.clone(), c, false));
+                                self.diffs.push((q.clone(), p.clone(), -c, false));
+                            }
+                            CmpOp::Ne => self.neqs.push((p.clone(), q.clone())),
+                        }
+                        return;
+                    }
+                }
+                (Some(p), Some(_)) => {
+                    // Same path both sides: (c1-c2)·p op (off2-off1).
+                    let coeff = la.coeff - lb.coeff;
+                    let konst = lb.offset - la.offset;
+                    if coeff.get() == 0.0 {
+                        if !op.test(R64::new(0.0).cmp(&konst)) {
+                            self.dead = true;
+                        }
+                        return;
+                    }
+                    let rhs = konst / coeff;
+                    let op = if coeff.get() < 0.0 { op.flip() } else { op };
+                    let d = Domain::Num(NumSet::from_cmp(env.integral(p), op, rhs));
+                    self.restrict(env, p, &d);
+                    return;
+                }
+                (None, None) => {
+                    if !op.test(la.offset.cmp(&lb.offset)) {
+                        self.dead = true;
+                    }
+                    return;
+                }
+            }
+        }
+        // Non-numeric path-vs-const or path-vs-path comparisons.
+        match (a, b) {
+            (Expr::Attr(p), Expr::Const(v)) | (Expr::Const(v), Expr::Attr(p)) => {
+                let op = if matches!(a, Expr::Const(_)) {
+                    op.flip()
+                } else {
+                    op
+                };
+                match op {
+                    CmpOp::Eq => {
+                        let d = Domain::from_values(
+                            &[v.clone()].into_iter().collect(),
+                            env.integral(p),
+                        );
+                        self.restrict(env, p, &d);
+                    }
+                    CmpOp::Ne => {
+                        let d = Domain::Disc(DiscSet::NotIn([v.clone()].into_iter().collect()));
+                        self.restrict(env, p, &d);
+                    }
+                    _ => {} // string ordering: opaque
+                }
+            }
+            (Expr::Attr(p), Expr::Attr(q)) => match op {
+                CmpOp::Eq => self.eqs.push((p.clone(), q.clone())),
+                CmpOp::Ne => self.neqs.push((p.clone(), q.clone())),
+                _ => {}
+            },
+            _ => {} // opaque
+        }
+    }
+
+    /// Full per-conjunct unsatisfiability check.
+    fn unsat(mut self, env: &TypeEnv) -> bool {
+        if self.dead {
+            return true;
+        }
+        // Discrete equalities: union-find by repeated propagation (small n).
+        let eqs = std::mem::take(&mut self.eqs);
+        for _ in 0..=eqs.len() {
+            let mut changed = false;
+            for (p, q) in &eqs {
+                let dp = self.domain_mut(env, p).clone();
+                let dq = self.domain_mut(env, q).clone();
+                let joint = dp.intersect(&dq);
+                if joint != dp || joint != dq {
+                    changed = true;
+                }
+                self.restrict(env, p, &joint);
+                self.restrict(env, q, &joint);
+                if self.dead {
+                    return true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Disequalities: refutable when both sides are the same singleton.
+        let neqs = std::mem::take(&mut self.neqs);
+        for (p, q) in &neqs {
+            let sp = singleton(self.domain_mut(env, p));
+            let sq = singleton(self.domain_mut(env, q));
+            if let (Some(a), Some(b)) = (sp, sq) {
+                if a.sem_eq(&b) {
+                    return true;
+                }
+            }
+        }
+        // Contains filters.
+        let pos = std::mem::take(&mut self.contains_pos);
+        let neg = std::mem::take(&mut self.contains_neg);
+        for (p, s) in &pos {
+            if neg.iter().any(|(q, t)| q == p && t == s) {
+                return true; // contains(x,s) ∧ ¬contains(x,s)
+            }
+            let dom = self.domain_mut(env, p).clone();
+            if let Domain::Disc(DiscSet::In(vals)) = &dom {
+                let filtered: BTreeSet<Value> = vals
+                    .iter()
+                    .filter(|v| v.as_str().is_some_and(|x| x.contains(s.as_str())))
+                    .cloned()
+                    .collect();
+                self.restrict(env, p, &Domain::Disc(DiscSet::In(filtered)));
+                if self.dead {
+                    return true;
+                }
+            }
+        }
+        for (p, s) in &neg {
+            let dom = self.domain_mut(env, p).clone();
+            if let Domain::Disc(DiscSet::In(vals)) = &dom {
+                let filtered: BTreeSet<Value> = vals
+                    .iter()
+                    .filter(|v| !v.as_str().is_some_and(|x| x.contains(s.as_str())))
+                    .cloned()
+                    .collect();
+                self.restrict(env, p, &Domain::Disc(DiscSet::In(filtered)));
+                if self.dead {
+                    return true;
+                }
+            }
+        }
+        if self.domains.values().any(Domain::is_empty) {
+            return true;
+        }
+        // Difference-bound system with strictness-aware negative cycles.
+        self.dbm_unsat(env)
+    }
+
+    fn dbm_unsat(&mut self, env: &TypeEnv) -> bool {
+        if self.diffs.is_empty() {
+            return false;
+        }
+        // Node universe: paths in diffs plus a ZERO node (index 0).
+        let mut idx: BTreeMap<&Path, usize> = BTreeMap::new();
+        for (p, q, _, _) in &self.diffs {
+            let n = idx.len() + 1;
+            idx.entry(p).or_insert(n);
+            let n = idx.len() + 1;
+            idx.entry(q).or_insert(n);
+        }
+        let n = idx.len() + 1;
+        // Edge (u → v, w): x_v - x_u ≤ w.
+        let mut edges: Vec<(usize, usize, R64, bool)> = Vec::new();
+        for (p, q, c, strict) in &self.diffs {
+            // p - q ≤ c: edge q → p with weight c.
+            edges.push((idx[q], idx[p], *c, *strict));
+        }
+        // Unary hull bounds as edges to/from ZERO. (Relaxation of a union
+        // domain to its hull — sound for unsat detection.)
+        for (p, i) in &idx {
+            let dom = self
+                .domains
+                .get(*p)
+                .cloned()
+                .unwrap_or_else(|| env.base_domain(p));
+            if let Domain::Num(ns) = dom {
+                if let Some(first) = ns.intervals().first() {
+                    match first.lo {
+                        crate::domain::Bnd::Incl(v) => edges.push((*i, 0, -v, false)),
+                        crate::domain::Bnd::Excl(v) => edges.push((*i, 0, -v, true)),
+                        _ => {}
+                    }
+                }
+                if let Some(last) = ns.intervals().last() {
+                    match last.hi {
+                        crate::domain::Bnd::Incl(v) => edges.push((0, *i, v, false)),
+                        crate::domain::Bnd::Excl(v) => edges.push((0, *i, v, true)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Bellman-Ford from a virtual source (all distances 0). A strict
+        // edge behaves like weight `c - ε`; distances carry an ε-count so
+        // that an all-strict zero-weight cycle keeps relaxing and is
+        // detected like any negative cycle.
+        let mut dist: Vec<(R64, u32)> = vec![(R64::new(0.0), 0); n];
+        let tighter =
+            |a: (R64, u32), b: (R64, u32)| -> bool { a.0 < b.0 || (a.0 == b.0 && a.1 > b.1) };
+        for round in 0..=n {
+            let mut changed = false;
+            for (u, v, w, s) in &edges {
+                let cand = (dist[*u].0 + *w, dist[*u].1 + u32::from(*s));
+                if tighter(cand, dist[*v]) {
+                    dist[*v] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+            if round == n {
+                return true; // still relaxing after n+1 passes → negative cycle
+            }
+        }
+        false
+    }
+}
+
+fn singleton(d: &Domain) -> Option<Value> {
+    match d {
+        Domain::Num(n) => {
+            let pts = n.enumerate(1)?;
+            if pts.len() == 1 {
+                Some(Value::Real(pts[0]))
+            } else {
+                None
+            }
+        }
+        Domain::Disc(DiscSet::In(s)) if s.len() == 1 => s.iter().next().cloned(),
+        _ => None,
+    }
+}
+
+/// Is the formula satisfiable? Returns `true` when satisfiability cannot
+/// be ruled out (over-approximation: opaque atoms are dropped, DNF blow-up
+/// returns `true`).
+pub fn is_satisfiable(f: &Formula, env: &TypeEnv) -> bool {
+    match dnf(f, DNF_CAP) {
+        None => true, // too big to decide — assume satisfiable
+        Some(conjs) => conjs.into_iter().any(|c| {
+            let mut st = Conj::new();
+            for atom in &c {
+                st.add_atom(env, atom);
+            }
+            !st.unsat(env)
+        }),
+    }
+}
+
+/// Proven entailment: `phi ⊨ psi` iff `phi ∧ ¬psi` is unsatisfiable.
+/// Returns `false` when entailment cannot be proven (conservative).
+pub fn implies(phi: &Formula, psi: &Formula, env: &TypeEnv) -> bool {
+    let neg = Formula::Not(Box::new(psi.clone()));
+    let conj = phi.clone().and(neg);
+    !is_satisfiable(&conj, env)
+}
+
+/// Proven equivalence (entailment both ways).
+pub fn equivalent(phi: &Formula, psi: &Formula, env: &TypeEnv) -> bool {
+    implies(phi, psi, env) && implies(psi, phi, env)
+}
+
+/// Is the conjunction of all formulas unsatisfiable? (The paper's
+/// *explicit conflict*: `Ω̂ ⊨ false`.)
+pub fn conjunction_unsat(fs: &[&Formula], env: &TypeEnv) -> bool {
+    let conj = Formula::conj(fs.iter().map(|f| (*f).clone()));
+    !is_satisfiable(&conj, env)
+}
+
+/// Projects the solution set of `f` onto `path`: the union over DNF
+/// conjuncts of the per-conjunct domain (an over-approximation whenever
+/// opaque atoms were dropped; exact for the paper's examples).
+pub fn project(f: &Formula, path: &Path, env: &TypeEnv) -> Domain {
+    let conjs = match dnf(f, DNF_CAP) {
+        None => return env.base_domain(path),
+        Some(c) => c,
+    };
+    let mut acc: Option<Domain> = None;
+    for conj in conjs {
+        let mut st = Conj::new();
+        for atom in &conj {
+            st.add_atom(env, atom);
+        }
+        // Materialise the domain before the (destructive) unsat check.
+        let dom = st
+            .domains
+            .get(path)
+            .cloned()
+            .unwrap_or_else(|| env.base_domain(path));
+        if st.unsat(env) {
+            continue;
+        }
+        acc = Some(match acc {
+            None => dom,
+            Some(a) => a.union(&dom),
+        });
+    }
+    acc.unwrap_or_else(Domain::empty)
+}
+
+/// A *guarded atom*: the decomposed form of a normalised object
+/// constraint used by the derivation engine (§5.2.1). `guard ⇒ path ∈
+/// domain`, with `guard = true` for unconditional constraints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardedAtom {
+    /// The condition under which the body applies (`true` if none).
+    pub guard: Formula,
+    /// The constrained path.
+    pub path: Path,
+    /// The allowed value set.
+    pub domain: Domain,
+}
+
+impl GuardedAtom {
+    /// Rebuilds a formula from the guarded-atom form.
+    pub fn to_formula(&self) -> Formula {
+        let body = domain_to_formula(&self.path, &self.domain);
+        match &self.guard {
+            Formula::True => body,
+            g => g.clone().implies(body),
+        }
+    }
+}
+
+/// Decomposes a normalised constraint into guarded atoms. Returns `None`
+/// when the constraint does not fit the `guard ⇒ single-path-body` shape
+/// (such constraints are conservatively not derivable through decision
+/// functions — the paper's general derivation problem is noted as out of
+/// scope there too).
+pub fn guarded_atoms(f: &Formula, env: &TypeEnv) -> Option<Vec<GuardedAtom>> {
+    fn body_target(f: &Formula) -> Option<Path> {
+        let ps = f.paths();
+        if ps.len() == 1 {
+            ps.into_iter().next()
+        } else {
+            None
+        }
+    }
+    match f {
+        Formula::Implies(g, b) => {
+            let inner = guarded_atoms(b, env)?;
+            Some(
+                inner
+                    .into_iter()
+                    .map(|ga| GuardedAtom {
+                        guard: simplify(&(*g.clone()).and(ga.guard)),
+                        path: ga.path,
+                        domain: ga.domain,
+                    })
+                    .collect(),
+            )
+        }
+        Formula::And(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                out.extend(guarded_atoms(g, env)?);
+            }
+            Some(out)
+        }
+        Formula::True => Some(Vec::new()),
+        atom => {
+            let path = body_target(atom)?;
+            // Contains bodies carry no domain information we can combine.
+            if matches!(atom, Formula::Contains(_, _)) {
+                return None;
+            }
+            let domain = project(atom, &path, env);
+            Some(vec![GuardedAtom {
+                guard: Formula::True,
+                path,
+                domain,
+            }])
+        }
+    }
+}
+
+/// Converts a domain back into formula syntax over `path` (used when
+/// rendering derived constraints and repair suggestions).
+pub fn domain_to_formula(path: &Path, d: &Domain) -> Formula {
+    match d {
+        Domain::Disc(DiscSet::In(s)) => {
+            if s.is_empty() {
+                Formula::False
+            } else if s.len() == 1 {
+                Formula::Cmp(
+                    Expr::Attr(path.clone()),
+                    CmpOp::Eq,
+                    Expr::Const(s.iter().next().expect("non-empty").clone()),
+                )
+            } else {
+                Formula::In(Expr::Attr(path.clone()), s.clone())
+            }
+        }
+        Domain::Disc(DiscSet::NotIn(s)) => {
+            if s.is_empty() {
+                Formula::True
+            } else if s.len() == 1 {
+                Formula::Cmp(
+                    Expr::Attr(path.clone()),
+                    CmpOp::Ne,
+                    Expr::Const(s.iter().next().expect("non-empty").clone()),
+                )
+            } else {
+                Formula::Not(Box::new(Formula::In(Expr::Attr(path.clone()), s.clone())))
+            }
+        }
+        Domain::Num(ns) => {
+            if ns.is_empty() {
+                return Formula::False;
+            }
+            if ns.is_full() {
+                return Formula::True;
+            }
+            if let Some(pts) = ns.enumerate(32) {
+                let vals: BTreeSet<Value> = pts
+                    .into_iter()
+                    .map(|r| {
+                        if ns.integral && r.get().fract() == 0.0 {
+                            Value::Int(r.get() as i64)
+                        } else {
+                            Value::Real(r)
+                        }
+                    })
+                    .collect();
+                return if vals.len() == 1 {
+                    Formula::Cmp(
+                        Expr::Attr(path.clone()),
+                        CmpOp::Eq,
+                        Expr::Const(vals.iter().next().expect("non-empty").clone()),
+                    )
+                } else {
+                    Formula::In(Expr::Attr(path.clone()), vals)
+                };
+            }
+            let mut parts = Vec::new();
+            for iv in ns.intervals() {
+                let mut conj = Vec::new();
+                match iv.lo {
+                    crate::domain::Bnd::Incl(v) => conj.push(Formula::Cmp(
+                        Expr::Attr(path.clone()),
+                        CmpOp::Ge,
+                        Expr::Const(num_val(v, ns.integral)),
+                    )),
+                    crate::domain::Bnd::Excl(v) => conj.push(Formula::Cmp(
+                        Expr::Attr(path.clone()),
+                        CmpOp::Gt,
+                        Expr::Const(num_val(v, ns.integral)),
+                    )),
+                    _ => {}
+                }
+                match iv.hi {
+                    crate::domain::Bnd::Incl(v) => conj.push(Formula::Cmp(
+                        Expr::Attr(path.clone()),
+                        CmpOp::Le,
+                        Expr::Const(num_val(v, ns.integral)),
+                    )),
+                    crate::domain::Bnd::Excl(v) => conj.push(Formula::Cmp(
+                        Expr::Attr(path.clone()),
+                        CmpOp::Lt,
+                        Expr::Const(num_val(v, ns.integral)),
+                    )),
+                    _ => {}
+                }
+                parts.push(Formula::conj(conj));
+            }
+            parts.into_iter().fold(Formula::False, |acc, p| acc.or(p))
+        }
+    }
+}
+
+fn num_val(v: R64, integral: bool) -> Value {
+    if integral && v.get().fract() == 0.0 {
+        Value::Int(v.get() as i64)
+    } else {
+        Value::Real(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> TypeEnv {
+        TypeEnv::new()
+            .with("rating", Type::Range(1, 10))
+            .with("libprice", Type::Real)
+            .with("shopprice", Type::Real)
+            .with("ref?", Type::Bool)
+            .with("publisher.name", Type::Str)
+            .with("trav_reimb", Type::Int)
+            .with("salary", Type::Real)
+    }
+
+    #[test]
+    fn unary_contradiction_unsat() {
+        let f =
+            Formula::cmp("rating", CmpOp::Ge, 7i64).and(Formula::cmp("rating", CmpOp::Lt, 4i64));
+        assert!(!is_satisfiable(&f, &env()));
+    }
+
+    #[test]
+    fn paper_strict_sim_check() {
+        // §5.2.1: rating >= 7 ⊨ rating >= 4 (conformed ocl of RefereedPubl).
+        let e = env();
+        assert!(implies(
+            &Formula::cmp("rating", CmpOp::Ge, 7i64),
+            &Formula::cmp("rating", CmpOp::Ge, 4i64),
+            &e
+        ));
+        // ... but rating >= 3 ⊭ rating >= 4 (the paper's variant).
+        assert!(!implies(
+            &Formula::cmp("rating", CmpOp::Ge, 3i64),
+            &Formula::cmp("rating", CmpOp::Ge, 4i64),
+            &e
+        ));
+    }
+
+    #[test]
+    fn range_types_feed_implicit_bounds() {
+        // rating : 1..10, so rating >= 11 is unsatisfiable by type alone.
+        assert!(!is_satisfiable(
+            &Formula::cmp("rating", CmpOp::Ge, 11i64),
+            &env()
+        ));
+        // And rating <= 10 is implied by anything.
+        assert!(implies(
+            &Formula::True,
+            &Formula::cmp("rating", CmpOp::Le, 10i64),
+            &env()
+        ));
+    }
+
+    #[test]
+    fn difference_constraints_strictness() {
+        let e = env();
+        // libprice <= shopprice ∧ libprice > shopprice : unsat
+        let f = Formula::Cmp(Expr::attr("libprice"), CmpOp::Le, Expr::attr("shopprice")).and(
+            Formula::Cmp(Expr::attr("libprice"), CmpOp::Gt, Expr::attr("shopprice")),
+        );
+        assert!(!is_satisfiable(&f, &e));
+        // libprice <= shopprice ∧ libprice >= shopprice : satisfiable (=)
+        let g = Formula::Cmp(Expr::attr("libprice"), CmpOp::Le, Expr::attr("shopprice")).and(
+            Formula::Cmp(Expr::attr("libprice"), CmpOp::Ge, Expr::attr("shopprice")),
+        );
+        assert!(is_satisfiable(&g, &e));
+    }
+
+    #[test]
+    fn difference_chain_with_bounds() {
+        let e = env();
+        // libprice <= shopprice ∧ shopprice <= 10 ∧ libprice >= 20 : unsat
+        let f = Formula::Cmp(Expr::attr("libprice"), CmpOp::Le, Expr::attr("shopprice"))
+            .and(Formula::cmp("shopprice", CmpOp::Le, 10.0))
+            .and(Formula::cmp("libprice", CmpOp::Ge, 20.0));
+        assert!(!is_satisfiable(&f, &e));
+    }
+
+    #[test]
+    fn implication_atoms_in_context() {
+        let e = env();
+        // (ref?=true ⇒ rating>=7) ∧ ref?=true ⊨ rating >= 7
+        let phi = Formula::cmp("ref?", CmpOp::Eq, true)
+            .implies(Formula::cmp("rating", CmpOp::Ge, 7i64))
+            .and(Formula::cmp("ref?", CmpOp::Eq, true));
+        assert!(implies(&phi, &Formula::cmp("rating", CmpOp::Ge, 7i64), &e));
+        assert!(implies(&phi, &Formula::cmp("rating", CmpOp::Ge, 4i64), &e));
+        assert!(!implies(&phi, &Formula::cmp("rating", CmpOp::Ge, 8i64), &e));
+    }
+
+    #[test]
+    fn bool_domain_finite() {
+        let e = env();
+        // ref? ≠ true ∧ ref? ≠ false : unsat (bool carrier is {t,f})
+        let f = Formula::cmp("ref?", CmpOp::Ne, true).and(Formula::cmp("ref?", CmpOp::Ne, false));
+        assert!(!is_satisfiable(&f, &e));
+    }
+
+    #[test]
+    fn string_equalities() {
+        let e = env();
+        let f = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").and(Formula::cmp(
+            "publisher.name",
+            CmpOp::Eq,
+            "IEEE",
+        ));
+        assert!(!is_satisfiable(&f, &e));
+        let g = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").and(Formula::cmp(
+            "publisher.name",
+            CmpOp::Ne,
+            "IEEE",
+        ));
+        assert!(is_satisfiable(&g, &e));
+    }
+
+    #[test]
+    fn membership_sets() {
+        let e = env();
+        // trav_reimb in {10,20} ∧ trav_reimb in {14,24} : unsat (disjoint)
+        let f =
+            Formula::isin("trav_reimb", [10i64, 20]).and(Formula::isin("trav_reimb", [14i64, 24]));
+        assert!(!is_satisfiable(&f, &e));
+        // overlapping sets fine
+        let g =
+            Formula::isin("trav_reimb", [10i64, 20]).and(Formula::isin("trav_reimb", [20i64, 30]));
+        assert!(is_satisfiable(&g, &e));
+    }
+
+    #[test]
+    fn negated_membership() {
+        let e = env();
+        let f = Formula::isin("trav_reimb", [10i64, 20]).and(Formula::Not(Box::new(
+            Formula::isin("trav_reimb", [10i64, 20]),
+        )));
+        assert!(!is_satisfiable(&f, &e));
+    }
+
+    #[test]
+    fn contains_contradiction() {
+        let e = env();
+        let c = Formula::Contains(Expr::attr("publisher.name"), "IEE".into());
+        let f = c.clone().and(Formula::Not(Box::new(c)));
+        assert!(!is_satisfiable(&f, &e));
+    }
+
+    #[test]
+    fn contains_filters_finite_domains() {
+        let e = env();
+        // name in {ACM, IEEE} ∧ contains(name, 'Springer') : unsat
+        let f = Formula::isin("publisher.name", [Value::str("ACM"), Value::str("IEEE")]).and(
+            Formula::Contains(Expr::attr("publisher.name"), "Springer".into()),
+        );
+        assert!(!is_satisfiable(&f, &e));
+        // name in {ACM, IEEE} ∧ contains(name, 'EE') : satisfiable (IEEE)
+        let g = Formula::isin("publisher.name", [Value::str("ACM"), Value::str("IEEE")])
+            .and(Formula::Contains(Expr::attr("publisher.name"), "EE".into()));
+        assert!(is_satisfiable(&g, &e));
+    }
+
+    #[test]
+    fn affine_atoms() {
+        let e = env();
+        // 2*rating - 1 >= 13  ⇔  rating >= 7
+        let f = Formula::Cmp(
+            Expr::Bin(
+                Box::new(Expr::Bin(
+                    Box::new(Expr::val(2i64)),
+                    ArithOp::Mul,
+                    Box::new(Expr::attr("rating")),
+                )),
+                ArithOp::Sub,
+                Box::new(Expr::val(1i64)),
+            ),
+            CmpOp::Ge,
+            Expr::val(13i64),
+        );
+        assert!(equivalent(&f, &Formula::cmp("rating", CmpOp::Ge, 7i64), &e));
+    }
+
+    #[test]
+    fn project_extracts_domains() {
+        let e = env();
+        let f = Formula::cmp("rating", CmpOp::Ge, 4i64);
+        let d = project(&f, &Path::parse("rating"), &e);
+        assert!(d.contains(&Value::int(4)));
+        assert!(!d.contains(&Value::int(3)));
+        assert!(d.contains(&Value::int(10)));
+        assert!(!d.contains(&Value::int(11))); // type bound 1..10
+    }
+
+    #[test]
+    fn project_through_disjunction() {
+        let e = env();
+        let f = Formula::cmp("rating", CmpOp::Le, 2i64).or(Formula::cmp("rating", CmpOp::Ge, 9i64));
+        let d = project(&f, &Path::parse("rating"), &e);
+        assert!(d.contains(&Value::int(1)));
+        assert!(d.contains(&Value::int(9)));
+        assert!(!d.contains(&Value::int(5)));
+    }
+
+    #[test]
+    fn project_conditional_yields_full_when_guard_open() {
+        let e = env();
+        // ref?=true ⇒ rating>=7 : projection on rating is everything
+        // (guard may be false).
+        let f =
+            Formula::cmp("ref?", CmpOp::Eq, true).implies(Formula::cmp("rating", CmpOp::Ge, 7i64));
+        let d = project(&f, &Path::parse("rating"), &e);
+        assert!(d.contains(&Value::int(1)));
+    }
+
+    #[test]
+    fn guarded_atoms_unconditional() {
+        let e = env();
+        let gas = guarded_atoms(&Formula::cmp("rating", CmpOp::Ge, 4i64), &e).unwrap();
+        assert_eq!(gas.len(), 1);
+        assert_eq!(gas[0].guard, Formula::True);
+        assert_eq!(gas[0].path, Path::parse("rating"));
+        assert!(!gas[0].domain.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn guarded_atoms_conditional_acm() {
+        // §5.2.1: publisher.name='ACM' ⇒ rating >= 6
+        let e = env();
+        let f = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").implies(Formula::cmp(
+            "rating",
+            CmpOp::Ge,
+            6i64,
+        ));
+        let gas = guarded_atoms(&f, &e).unwrap();
+        assert_eq!(gas.len(), 1);
+        assert_eq!(gas[0].guard.to_string(), "publisher.name = 'ACM'");
+        assert!(!gas[0].domain.contains(&Value::int(5)));
+    }
+
+    #[test]
+    fn guarded_atoms_reject_multi_path_bodies() {
+        let e = env();
+        let f = Formula::Cmp(Expr::attr("libprice"), CmpOp::Le, Expr::attr("shopprice"));
+        assert!(guarded_atoms(&f, &e).is_none());
+    }
+
+    #[test]
+    fn guarded_atoms_roundtrip_formula() {
+        let e = env();
+        let f = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").implies(Formula::cmp(
+            "rating",
+            CmpOp::Ge,
+            6i64,
+        ));
+        let gas = guarded_atoms(&f, &e).unwrap();
+        let back = gas[0].to_formula();
+        assert!(equivalent(&f, &back, &e));
+    }
+
+    #[test]
+    fn domain_to_formula_forms() {
+        let p = Path::parse("x");
+        let d = Domain::Num(NumSet::from_cmp(false, CmpOp::Ge, R64::new(5.0)));
+        assert_eq!(domain_to_formula(&p, &d).to_string(), "x >= 5");
+        let pts = Domain::Num(NumSet::points(
+            true,
+            [R64::from(12), R64::from(17), R64::from(22)],
+        ));
+        assert_eq!(domain_to_formula(&p, &pts).to_string(), "x in {12, 17, 22}");
+        let one = Domain::Disc(DiscSet::point(Value::str("ACM")));
+        assert_eq!(domain_to_formula(&p, &one).to_string(), "x = 'ACM'");
+        assert_eq!(domain_to_formula(&p, &Domain::empty()), Formula::False);
+    }
+
+    #[test]
+    fn conjunction_unsat_reports_explicit_conflicts() {
+        let e = env();
+        let a = Formula::cmp("rating", CmpOp::Ge, 7i64);
+        let b = Formula::cmp("rating", CmpOp::Le, 3i64);
+        assert!(conjunction_unsat(&[&a, &b], &e));
+        let c = Formula::cmp("rating", CmpOp::Ge, 2i64);
+        assert!(!conjunction_unsat(&[&a, &c], &e));
+    }
+
+    #[test]
+    fn implies_is_conservative_on_opaque() {
+        // An opaque atom (string ordering) cannot prove entailment.
+        let e = env();
+        let f = Formula::Cmp(Expr::attr("publisher.name"), CmpOp::Lt, Expr::val("ZZZ"));
+        assert!(!implies(&f, &Formula::cmp("rating", CmpOp::Ge, 2i64), &e));
+        // But every formula implies True and False implies everything.
+        assert!(implies(&f, &Formula::True, &e));
+        assert!(implies(&Formula::False, &f, &e));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the domain algebra: lattice laws, complement
+//! involution, and exactness of images against brute-force enumeration.
+
+use interop_constraint::{CmpOp, DiscSet, Iv, NumSet};
+use interop_model::{Value, R64};
+use proptest::prelude::*;
+
+fn arb_numset() -> impl Strategy<Value = NumSet> {
+    (
+        any::<bool>(),
+        prop::collection::vec((-50i32..50, 0i32..20), 0..4),
+    )
+        .prop_map(|(integral, raw)| {
+            let ivs: Vec<Iv> = raw
+                .into_iter()
+                .map(|(lo, len)| Iv::closed(lo as f64, (lo + len) as f64))
+                .collect();
+            NumSet::from_ivs(integral, ivs)
+        })
+}
+
+fn arb_points() -> impl Strategy<Value = NumSet> {
+    prop::collection::btree_set(-30i64..30, 0..6)
+        .prop_map(|s| NumSet::points(true, s.into_iter().map(R64::from)))
+}
+
+fn sample_points() -> Vec<R64> {
+    (-60..=60).map(|i| R64::new(i as f64 / 2.0)).collect()
+}
+
+proptest! {
+    #[test]
+    fn complement_is_involution(s in arb_numset()) {
+        let cc = s.complement().complement();
+        for p in sample_points() {
+            prop_assert_eq!(s.contains(p), cc.contains(p), "at {}", p);
+        }
+    }
+
+    #[test]
+    fn complement_partitions_the_line(s in arb_numset()) {
+        let c = s.complement();
+        for p in sample_points() {
+            if !s.integral || p.get().fract() == 0.0 {
+                prop_assert!(s.contains(p) ^ c.contains(p), "at {}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_is_pointwise_and(a in arb_numset(), b in arb_numset()) {
+        let i = a.intersect(&b);
+        for p in sample_points() {
+            prop_assert_eq!(i.contains(p), a.contains(p) && b.contains(p), "at {}", p);
+        }
+    }
+
+    #[test]
+    fn union_is_pointwise_or(a in arb_numset(), b in arb_numset()) {
+        // Union downgrades to the coarser carrier; only compare where the
+        // carriers agree on membership semantics.
+        let u = a.union(&b);
+        for p in sample_points() {
+            if u.integral || (!a.integral && !b.integral) {
+                prop_assert_eq!(u.contains(p), a.contains(p) || b.contains(p), "at {}", p);
+            } else if a.contains(p) || b.contains(p) {
+                prop_assert!(u.contains(p), "union must be a superset at {}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_agrees_with_membership(a in arb_numset(), b in arb_numset()) {
+        if a.is_subset(&b) {
+            for p in sample_points() {
+                if a.contains(p) {
+                    prop_assert!(b.contains(p), "subset violated at {}", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_cmp_matches_direct_test(op in prop::sample::select(vec![
+        CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge
+    ]), bound in -20i32..20) {
+        let b = R64::new(bound as f64);
+        let s = NumSet::from_cmp(false, op, b);
+        for p in sample_points() {
+            let expect = op.test(p.cmp(&b));
+            prop_assert_eq!(s.contains(p), expect, "{} {} {}", p, op, b);
+        }
+    }
+
+    #[test]
+    fn monotone_image_exact_on_finite_sets(a in arb_points(), b in arb_points()) {
+        // avg image vs brute force.
+        let img = a.combine_monotone(&b, false, |x, y| (x + y) / R64::new(2.0));
+        let xs = a.enumerate(64).expect("finite");
+        let ys = b.enumerate(64).expect("finite");
+        for &x in &xs {
+            for &y in &ys {
+                let v = (x + y) / R64::new(2.0);
+                prop_assert!(img.contains(v), "missing avg({}, {})", x, y);
+            }
+        }
+        // And nothing spurious: every member of the image must be the avg
+        // of some pair.
+        if let Some(members) = img.enumerate(4096) {
+            for m in members {
+                let witnessed = xs.iter().any(|&x| ys.iter().any(|&y| (x + y) / R64::new(2.0) == m));
+                prop_assert!(witnessed, "spurious member {}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_image_sound_on_intervals(a in arb_numset(), b in arb_numset()) {
+        let img = a.combine_monotone(&b, false, |x, y| x.max(y));
+        for p in sample_points() {
+            for q in sample_points() {
+                if a.contains(p) && b.contains(q) {
+                    prop_assert!(img.contains(p.max(q)), "max({}, {}) escaped", p, q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_image_exact(a in arb_numset(), k in -3i32..=3, c in -5i32..=5) {
+        prop_assume!(k != 0);
+        let img = a.affine_image(R64::new(k as f64), R64::new(c as f64), false);
+        for p in sample_points() {
+            if a.contains(p) {
+                let v = R64::new(k as f64) * p + R64::new(c as f64);
+                prop_assert!(img.contains(v), "{} * {} + {} escaped", k, p, c);
+            }
+        }
+    }
+
+    #[test]
+    fn disc_set_laws(xs in prop::collection::btree_set(0i64..20, 0..6),
+                     ys in prop::collection::btree_set(0i64..20, 0..6),
+                     cofinite_a in any::<bool>(), cofinite_b in any::<bool>()) {
+        let mk = |s: &std::collections::BTreeSet<i64>, co: bool| {
+            let vals = s.iter().map(|&v| Value::Int(v)).collect();
+            if co { DiscSet::NotIn(vals) } else { DiscSet::In(vals) }
+        };
+        let a = mk(&xs, cofinite_a);
+        let b = mk(&ys, cofinite_b);
+        for v in 0i64..20 {
+            let val = Value::Int(v);
+            prop_assert_eq!(
+                a.intersect(&b).contains(&val),
+                a.contains(&val) && b.contains(&val)
+            );
+            prop_assert_eq!(
+                a.union(&b).contains(&val),
+                a.contains(&val) || b.contains(&val)
+            );
+            prop_assert_eq!(a.complement().contains(&val), !a.contains(&val));
+        }
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        if a.is_subset(&b) {
+            for v in 0i64..20 {
+                let val = Value::Int(v);
+                if a.contains(&val) {
+                    prop_assert!(b.contains(&val));
+                }
+            }
+        }
+    }
+}

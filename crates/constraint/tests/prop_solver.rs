@@ -1,0 +1,174 @@
+//! Property-based tests for the solver: soundness of satisfiability and
+//! implication against brute-force evaluation over sampled assignments,
+//! and semantic preservation of the normalisation passes.
+
+use std::collections::BTreeMap;
+
+use interop_constraint::normalize::{nnf, simplify, split_conjuncts};
+use interop_constraint::solve::{implies, is_satisfiable, project, TypeEnv};
+use interop_constraint::{CmpOp, Expr, Formula, Path};
+use interop_model::{Type, Value};
+use proptest::prelude::*;
+
+/// Three attributes: x, y (ints 0..=9 via range type), flag (bool).
+fn env() -> TypeEnv {
+    TypeEnv::new()
+        .with("x", Type::Range(0, 9))
+        .with("y", Type::Range(0, 9))
+        .with("flag", Type::Bool)
+}
+
+type Assignment = BTreeMap<&'static str, Value>;
+
+fn assignments() -> Vec<Assignment> {
+    let mut out = Vec::new();
+    for x in 0..10i64 {
+        for y in [0i64, 3, 7, 9] {
+            for flag in [false, true] {
+                let mut m = BTreeMap::new();
+                m.insert("x", Value::Int(x));
+                m.insert("y", Value::Int(y));
+                m.insert("flag", Value::Bool(flag));
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// Ground evaluation of the fragment used in this suite.
+fn eval(f: &Formula, a: &Assignment) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Cmp(Expr::Attr(p), op, Expr::Const(v)) => {
+            let lhs = &a[p.to_string().as_str()];
+            lhs.compare(v).map(|o| op.test(o)).unwrap_or(false)
+        }
+        Formula::Cmp(Expr::Attr(p), op, Expr::Attr(q)) => {
+            let lhs = &a[p.to_string().as_str()];
+            let rhs = &a[q.to_string().as_str()];
+            lhs.compare(rhs).map(|o| op.test(o)).unwrap_or(false)
+        }
+        Formula::In(Expr::Attr(p), set) => set.iter().any(|v| v.sem_eq(&a[p.to_string().as_str()])),
+        Formula::Not(inner) => !eval(inner, a),
+        Formula::And(fs) => fs.iter().all(|g| eval(g, a)),
+        Formula::Or(fs) => fs.iter().any(|g| eval(g, a)),
+        Formula::Implies(l, r) => !eval(l, a) || eval(r, a),
+        other => panic!("unsupported formula in ground eval: {other}"),
+    }
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    let var = prop::sample::select(vec!["x", "y"]);
+    let op = prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ]);
+    prop_oneof![
+        (var.clone(), op.clone(), 0i64..10).prop_map(|(v, o, c)| Formula::cmp(v, o, c)),
+        (op, prop::sample::select(vec![("x", "y"), ("y", "x")]))
+            .prop_map(|(o, (a, b))| Formula::Cmp(Expr::attr(a), o, Expr::attr(b))),
+        prop::collection::btree_set(0i64..10, 1..4).prop_map(|s| Formula::isin("x", s)),
+        prop::sample::select(vec![true, false]).prop_map(|b| Formula::cmp("flag", CmpOp::Eq, b)),
+    ]
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    arb_atom().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// If the solver says UNSAT, no assignment satisfies the formula.
+    #[test]
+    fn unsat_is_sound(f in arb_formula()) {
+        let e = env();
+        if !is_satisfiable(&f, &e) {
+            for a in assignments() {
+                prop_assert!(!eval(&f, &a), "solver claimed unsat but {:?} satisfies {}", a, f);
+            }
+        }
+    }
+
+    /// If the solver proves `phi ⊨ psi`, every model of phi models psi.
+    #[test]
+    fn implication_is_sound(phi in arb_formula(), psi in arb_formula()) {
+        let e = env();
+        if implies(&phi, &psi, &e) {
+            for a in assignments() {
+                if eval(&phi, &a) {
+                    prop_assert!(eval(&psi, &a), "{:?}: {} does not imply {}", a, phi, psi);
+                }
+            }
+        }
+    }
+
+    /// NNF preserves ground semantics.
+    #[test]
+    fn nnf_preserves_semantics(f in arb_formula()) {
+        let n = nnf(&f);
+        for a in assignments() {
+            prop_assert_eq!(eval(&f, &a), eval(&n, &a), "nnf changed {} at {:?}", f, a);
+        }
+    }
+
+    /// Simplification preserves ground semantics.
+    #[test]
+    fn simplify_preserves_semantics(f in arb_formula()) {
+        let s = simplify(&f);
+        for a in assignments() {
+            prop_assert_eq!(eval(&f, &a), eval(&s, &a), "simplify changed {} at {:?}", f, a);
+        }
+    }
+
+    /// The conjunction of split parts equals the original.
+    #[test]
+    fn split_conjuncts_preserves_semantics(f in arb_formula()) {
+        let parts = split_conjuncts(&f);
+        let rebuilt = Formula::conj(parts);
+        for a in assignments() {
+            prop_assert_eq!(eval(&f, &a), eval(&rebuilt, &a));
+        }
+    }
+
+    /// Projection over-approximates: every model's value of x lies in the
+    /// projected domain.
+    #[test]
+    fn projection_is_an_over_approximation(f in arb_formula()) {
+        let e = env();
+        let dom = project(&f, &Path::parse("x"), &e);
+        for a in assignments() {
+            if eval(&f, &a) {
+                prop_assert!(
+                    dom.contains(&a["x"]),
+                    "x = {} satisfies {} but escapes the projection {}",
+                    &a["x"], f, dom
+                );
+            }
+        }
+    }
+
+    /// Satisfiable-by-witness formulas are never reported unsat
+    /// (completeness on the ground fragment).
+    #[test]
+    fn witnessed_sat_never_reported_unsat(f in arb_formula()) {
+        let e = env();
+        let has_model = assignments().iter().any(|a| eval(&f, a));
+        if has_model {
+            prop_assert!(is_satisfiable(&f, &e), "witnessed formula reported unsat: {}", f);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The paper's running examples as executable fixtures.
+//!
+//! [`paper_fixture`] is Figure 1 verbatim (modulo the documented dialect
+//! differences): the `CSLibrary` and `Bookseller` schemas with all 13
+//! constraints, populated extents engineered to exercise every comparison
+//! rule, and the §2.2 example specification. [`personnel_fixture`] is the
+//! introduction's two-department employee example (travel reimbursement
+//! tariffs fused by `avg`). Both are used by unit tests, the integration
+//! tests under `tests/`, the examples, and the benchmark harness.
+
+use interop_constraint::Catalog;
+use interop_lang::{parse_database, parse_spec};
+use interop_merge::MergeOptions;
+use interop_model::{ClassName, Database, Value};
+use interop_spec::Spec;
+
+/// The TM source of the paper's `CSLibrary` database (Figure 1, left).
+pub const CSLIBRARY_TM: &str = "\
+database CSLibrary
+
+const KNOWNPUBLISHERS = {'ACM', 'IEEE', 'Springer', 'North-Holland'}
+const MAX = 10000
+
+class Publication
+  attributes
+    title : string
+    isbn : string
+    publisher : string
+    shopprice : real
+    ourprice : real
+  object constraints
+    oc1: ourprice <= shopprice
+    oc2: publisher in KNOWNPUBLISHERS
+  class constraints
+    cc1: key isbn
+    cc2: (sum (collect x for x in self) over ourprice) < MAX
+end Publication
+
+class ScientificPubl isa Publication
+  attributes
+    editors : Pstring
+    rating : 1..5
+  class constraints
+    cc1: (avg (collect x for x in self) over rating) < 4
+end ScientificPubl
+
+class RefereedPubl isa ScientificPubl
+  attributes
+    avgAccRate : real
+  object constraints
+    oc1: rating >= 2
+end RefereedPubl
+
+class NonRefereedPubl isa ScientificPubl
+  attributes
+    authAffil : string
+  object constraints
+    oc1: rating <= 3
+end NonRefereedPubl
+
+class ProfessionalPubl isa Publication
+  attributes
+    authors : Pstring
+end ProfessionalPubl
+";
+
+/// The TM source of the paper's `Bookseller` database (Figure 1, right).
+pub const BOOKSELLER_TM: &str = "\
+database Bookseller
+
+class Publisher
+  attributes
+    name : string
+    location : string
+end Publisher
+
+class Item
+  attributes
+    title : string
+    isbn : string
+    publisher : Publisher
+    authors : Pstring
+    shopprice : real
+    libprice : real
+  object constraints
+    oc1: libprice <= shopprice
+  class constraints
+    cc1: key isbn
+end Item
+
+class Proceedings isa Item
+  attributes
+    ref? : boolean
+    rating : 1..10
+  object constraints
+    oc1: publisher.name = 'IEEE' implies ref? = true
+    oc2: ref? = true implies rating >= 7
+    oc3: publisher.name = 'ACM' implies rating >= 6
+end Proceedings
+
+class Monograph isa Item
+  attributes
+    subjects : Pstring
+end Monograph
+
+database constraints
+  dbl: forall p in Publisher exists i in Item | i.publisher = p
+";
+
+/// The §2.2 example integration specification (rule variables renamed
+/// `O`/`O'` → `o`/`r`, see `interop-lang` docs).
+pub const PAPER_SPEC: &str = "\
+integration CSLibrary with Bookseller
+
+rule r1: Eq(o : Publication, r : Item) <- o.isbn = r.isbn
+rule r2: Eq(o : Publication.{publisher}, r : Publisher) <- o.publisher = r.name
+rule r3: Sim(r : Proceedings, RefereedPubl) <- r.ref? = true
+rule r4: Sim(r : Proceedings, NonRefereedPubl) <- r.ref? = false
+rule r5: Sim(o : ScientificPubl, Proceedings) <- contains(o.title, 'Proceed')
+
+propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary))
+propeq(Publication.shopprice, Item.shopprice, id, id, trust(Bookseller))
+propeq(Publication.publisher, Publisher.name, id, id, any)
+propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+propeq(ScientificPubl.editors, Item.authors, id, id, union)
+
+declare subjective CSLibrary.Publication.cc2
+";
+
+/// A complete two-database scenario: schemas, catalogs, extents, spec.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Local database (populated).
+    pub local_db: Database,
+    /// Local constraint catalog.
+    pub local_catalog: Catalog,
+    /// Remote database (populated).
+    pub remote_db: Database,
+    /// Remote constraint catalog.
+    pub remote_catalog: Catalog,
+    /// The integration specification.
+    pub spec: Spec,
+}
+
+/// Merge options matching the paper's naming: the Proceedings ∩
+/// RefereedPubl overlap is called `RefereedProceedings` (§2.3).
+pub fn merge_options() -> MergeOptions {
+    let mut opts = MergeOptions::default();
+    opts.intersection_names.insert(
+        (
+            ClassName::new("RefereedPubl"),
+            ClassName::new("Proceedings"),
+        ),
+        ClassName::new("RefereedProceedings"),
+    );
+    opts.intersection_names.insert(
+        (
+            ClassName::new("NonRefereedPubl"),
+            ClassName::new("Proceedings"),
+        ),
+        ClassName::new("NonRefereedProceedings"),
+    );
+    opts
+}
+
+/// Figure 1 with empty extents (schema + constraints + spec only).
+pub fn paper_fixture_empty() -> Fixture {
+    let local = parse_database(CSLIBRARY_TM).expect("CSLibrary source parses");
+    let remote = parse_database(BOOKSELLER_TM).expect("Bookseller source parses");
+    let spec = parse_spec(PAPER_SPEC, &local.schema, &remote.schema).expect("spec parses");
+    Fixture {
+        local_db: Database::new(local.schema, 1),
+        local_catalog: local.catalog,
+        remote_db: Database::new(remote.schema, 2),
+        remote_catalog: remote.catalog,
+        spec,
+    }
+}
+
+/// Figure 1 with populated extents. Every comparison rule fires at least
+/// once, every local/remote constraint is satisfied by its own database,
+/// and the `RefereedProceedings` overlap of Figure 2 arises.
+pub fn paper_fixture() -> Fixture {
+    let mut fx = paper_fixture_empty();
+    let l = &mut fx.local_db;
+    l.create(
+        "RefereedPubl",
+        vec![
+            ("title", "Proceedings of VLDB 22".into()),
+            ("isbn", "111".into()),
+            ("publisher", "ACM".into()),
+            ("shopprice", 29.0.into()),
+            ("ourprice", 26.0.into()),
+            ("rating", 3i64.into()),
+            ("avgAccRate", 0.2.into()),
+            ("editors", Value::str_set(["Apers"])),
+        ],
+    )
+    .expect("local fixture object");
+    l.create(
+        "RefereedPubl",
+        vec![
+            ("title", "Journal of the ACM 41".into()),
+            ("isbn", "888".into()),
+            ("publisher", "ACM".into()),
+            ("shopprice", 80.0.into()),
+            ("ourprice", 75.0.into()),
+            ("rating", 4i64.into()),
+            ("avgAccRate", 0.15.into()),
+        ],
+    )
+    .expect("local fixture object");
+    l.create(
+        "ScientificPubl",
+        vec![
+            ("title", "Database Theory".into()),
+            ("isbn", "222".into()),
+            ("publisher", "IEEE".into()),
+            ("shopprice", 50.0.into()),
+            ("ourprice", 45.0.into()),
+            ("rating", 2i64.into()),
+            ("editors", Value::str_set(["Vermeer"])),
+        ],
+    )
+    .expect("local fixture object");
+    l.create(
+        "NonRefereedPubl",
+        vec![
+            ("title", "Tech Report Digest".into()),
+            ("isbn", "333".into()),
+            ("publisher", "Springer".into()),
+            ("shopprice", 15.0.into()),
+            ("ourprice", 12.0.into()),
+            ("rating", 3i64.into()),
+            ("authAffil", "UTwente".into()),
+        ],
+    )
+    .expect("local fixture object");
+    l.create(
+        "ProfessionalPubl",
+        vec![
+            ("title", "Industry Databases".into()),
+            ("isbn", "444".into()),
+            ("publisher", "North-Holland".into()),
+            ("shopprice", 60.0.into()),
+            ("ourprice", 55.0.into()),
+            ("authors", Value::str_set(["Smith"])),
+        ],
+    )
+    .expect("local fixture object");
+
+    let r = &mut fx.remote_db;
+    let acm = r
+        .create(
+            "Publisher",
+            vec![("name", "ACM".into()), ("location", "New York".into())],
+        )
+        .expect("remote fixture object");
+    let ieee = r
+        .create(
+            "Publisher",
+            vec![("name", "IEEE".into()), ("location", "Montvale".into())],
+        )
+        .expect("remote fixture object");
+    let springer = r
+        .create(
+            "Publisher",
+            vec![("name", "Springer".into()), ("location", "Berlin".into())],
+        )
+        .expect("remote fixture object");
+    r.create(
+        "Proceedings",
+        vec![
+            ("title", "Proceedings of VLDB 22".into()),
+            ("isbn", "111".into()),
+            ("publisher", Value::Ref(acm)),
+            ("authors", Value::str_set(["Apers", "Vermeer"])),
+            ("shopprice", 25.0.into()),
+            ("libprice", 22.0.into()),
+            ("ref?", true.into()),
+            ("rating", 8i64.into()),
+        ],
+    )
+    .expect("remote fixture object");
+    r.create(
+        "Proceedings",
+        vec![
+            ("title", "Proceedings of ICDE 12".into()),
+            ("isbn", "555".into()),
+            ("publisher", Value::Ref(ieee)),
+            ("shopprice", 40.0.into()),
+            ("libprice", 35.0.into()),
+            ("ref?", true.into()),
+            ("rating", 9i64.into()),
+        ],
+    )
+    .expect("remote fixture object");
+    r.create(
+        "Proceedings",
+        vec![
+            ("title", "Workshop Notes 3".into()),
+            ("isbn", "666".into()),
+            ("publisher", Value::Ref(springer)),
+            ("shopprice", 20.0.into()),
+            ("libprice", 18.0.into()),
+            ("ref?", false.into()),
+            ("rating", 4i64.into()),
+        ],
+    )
+    .expect("remote fixture object");
+    r.create(
+        "Monograph",
+        vec![
+            ("title", "Database Theory".into()),
+            ("isbn", "222".into()),
+            ("publisher", Value::Ref(springer)),
+            ("shopprice", 48.0.into()),
+            ("libprice", 44.0.into()),
+            ("subjects", Value::str_set(["databases", "logic"])),
+        ],
+    )
+    .expect("remote fixture object");
+    fx
+}
+
+/// The introduction's personnel example: two departments, both recording
+/// employees; travel reimbursement tariffs differ and are fused by `avg`
+/// (deriving the global `trav_reimb ∈ {12,17,22}`), while `salary < 1500`
+/// is a department business rule (subjective).
+pub const DB1_TM: &str = "\
+database DB1
+
+class Employee
+  attributes
+    ssn : string
+    salary : real
+    trav_reimb : int
+  object constraints
+    c1: trav_reimb in {10, 20}
+    c2: salary < 1500
+  class constraints
+    cc1: key ssn
+end Employee
+";
+
+/// The second department's database of the intro example.
+pub const DB2_TM: &str = "\
+database DB2
+
+class Staff
+  attributes
+    ssn : string
+    salary : real
+    trav_reimb : int
+  object constraints
+    c1: trav_reimb in {14, 24}
+  class constraints
+    cc1: key ssn
+end Staff
+";
+
+/// The intro example's specification: multi-department employees are the
+/// same person (ssn equality); trips for multiple departments are
+/// reimbursed at the average tariff.
+pub const PERSONNEL_SPEC: &str = "\
+integration DB1 with DB2
+
+rule r1: Eq(e : Employee, s : Staff) <- e.ssn = s.ssn
+
+propeq(Employee.trav_reimb, Staff.trav_reimb, id, id, avg)
+propeq(Employee.salary, Staff.salary, id, id, trust(DB1))
+
+declare subjective DB1.Employee.c2
+";
+
+/// Builds the introduction's personnel fixture.
+pub fn personnel_fixture() -> Fixture {
+    let local = parse_database(DB1_TM).expect("DB1 parses");
+    let remote = parse_database(DB2_TM).expect("DB2 parses");
+    let spec = parse_spec(PERSONNEL_SPEC, &local.schema, &remote.schema).expect("spec parses");
+    let mut local_db = Database::new(local.schema, 1);
+    let mut remote_db = Database::new(remote.schema, 2);
+    local_db
+        .create(
+            "Employee",
+            vec![
+                ("ssn", "100".into()),
+                ("salary", 1200.0.into()),
+                ("trav_reimb", 10i64.into()),
+            ],
+        )
+        .expect("fixture employee");
+    local_db
+        .create(
+            "Employee",
+            vec![
+                ("ssn", "101".into()),
+                ("salary", 1400.0.into()),
+                ("trav_reimb", 20i64.into()),
+            ],
+        )
+        .expect("fixture employee");
+    remote_db
+        .create(
+            "Staff",
+            vec![
+                ("ssn", "100".into()),
+                ("salary", 1300.0.into()),
+                ("trav_reimb", 14i64.into()),
+            ],
+        )
+        .expect("fixture staff");
+    remote_db
+        .create(
+            "Staff",
+            vec![
+                ("ssn", "102".into()),
+                ("salary", 1250.0.into()),
+                ("trav_reimb", 24i64.into()),
+            ],
+        )
+        .expect("fixture staff");
+    Fixture {
+        local_db,
+        local_catalog: local.catalog,
+        remote_db,
+        remote_catalog: remote.catalog,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::eval::{
+        check_class_constraint, check_db_constraint, check_object_constraint, Truth,
+    };
+
+    #[test]
+    fn figure1_sources_parse_with_all_13_constraints() {
+        let fx = paper_fixture_empty();
+        // CSLibrary: oc1, oc2 (Publication), cc1, cc2 (Publication),
+        // cc1 (ScientificPubl), oc1 (Refereed), oc1 (NonRefereed) = 7.
+        assert_eq!(fx.local_catalog.len(), 7);
+        // Bookseller: oc1+cc1 (Item), oc1..oc3 (Proceedings), dbl = 6.
+        assert_eq!(fx.remote_catalog.len(), 6);
+        assert_eq!(fx.spec.rules.len(), 5);
+        assert_eq!(fx.spec.propeqs.len(), 5);
+    }
+
+    #[test]
+    fn local_extents_satisfy_local_constraints() {
+        let fx = paper_fixture();
+        for oc in fx.local_catalog.all_object() {
+            let viol = check_object_constraint(&fx.local_db, oc).unwrap();
+            assert!(viol.is_empty(), "{} violated by {viol:?}", oc.id);
+        }
+        for cc in fx.local_catalog.all_class() {
+            assert_ne!(
+                check_class_constraint(&fx.local_db, cc).unwrap(),
+                Truth::False,
+                "{} violated",
+                cc.id
+            );
+        }
+    }
+
+    #[test]
+    fn remote_extents_satisfy_remote_constraints() {
+        let fx = paper_fixture();
+        for oc in fx.remote_catalog.all_object() {
+            let viol = check_object_constraint(&fx.remote_db, oc).unwrap();
+            assert!(viol.is_empty(), "{} violated by {viol:?}", oc.id);
+        }
+        for cc in fx.remote_catalog.all_class() {
+            assert_ne!(
+                check_class_constraint(&fx.remote_db, cc).unwrap(),
+                Truth::False,
+                "{} violated",
+                cc.id
+            );
+        }
+        for dc in fx.remote_catalog.database_constraints() {
+            assert_eq!(check_db_constraint(&fx.remote_db, dc).unwrap(), Truth::True);
+        }
+    }
+
+    #[test]
+    fn personnel_fixture_parses_and_satisfies() {
+        let fx = personnel_fixture();
+        assert_eq!(fx.local_db.len(), 2);
+        assert_eq!(fx.remote_db.len(), 2);
+        for oc in fx.local_catalog.all_object() {
+            assert!(check_object_constraint(&fx.local_db, oc)
+                .unwrap()
+                .is_empty());
+        }
+        for oc in fx.remote_catalog.all_object() {
+            assert!(check_object_constraint(&fx.remote_db, oc)
+                .unwrap()
+                .is_empty());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Implied object constraints from intraobject rule conditions (§3).
+//!
+//! The intraobject conditions of a comparison rule resemble object
+//! constraints. Two consequences (§3): the condition must not conflict
+//! with the subject class's object constraints (checked here, reported as
+//! a [`SpecIssue`]), and from the conjunction of both, *implied object
+//! constraints* can be derived — e.g. from `Sim(O':Proceedings,
+//! RefereedPubl) ← O'.ref? = true` and `oc2: ref? = true ⇒ rating >= 7`
+//! the implied constraint `rating >= 7` on admitted objects.
+
+use interop_conform::Conformed;
+use interop_constraint::solve::{domain_to_formula, is_satisfiable, project, TypeEnv};
+use interop_constraint::{Bnd, ConstraintId, Domain, Formula, NumSet, Path};
+use interop_model::ClassName;
+use interop_spec::{RuleId, Side};
+
+use crate::subjectivity::SpecIssue;
+
+/// An object constraint implied for rule-admitted subjects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImpliedConstraint {
+    /// The rule whose condition participates.
+    pub rule: RuleId,
+    /// The subject class the constraint is implied on.
+    pub subject_class: ClassName,
+    /// The side the subject lives on.
+    pub subject_side: Side,
+    /// The target class admitted subjects join.
+    pub target_class: ClassName,
+    /// The implied constraint (e.g. `rating >= 7`).
+    pub formula: Formula,
+    /// Contributing enforced constraints.
+    pub sources: Vec<ConstraintId>,
+}
+
+/// The full admission formula for a similarity rule: the subject's
+/// effective object constraints conjoined with the rule's intraobject
+/// condition. Everything an admitted object is known to satisfy.
+pub fn admission_formula(conf: &Conformed, rule: &interop_spec::ComparisonRule) -> Formula {
+    let (catalog, schema) = match rule.subject_side {
+        Side::Local => (&conf.local.catalog, &conf.local.db.schema),
+        Side::Remote => (&conf.remote.catalog, &conf.remote.db.schema),
+    };
+    let mut f = rule.intra_subject.clone();
+    for oc in catalog.object_effective(schema, &rule.subject_class) {
+        f = f.and(oc.formula.clone());
+    }
+    f
+}
+
+/// Tidies a projected domain against the base (type) domain: bounds that
+/// merely restate the attribute type are dropped, so `rating ∈ [7, 10]`
+/// over a `1..10` attribute renders as the paper's `rating >= 7`.
+pub fn tidy_domain(d: &Domain, base: &Domain) -> Domain {
+    let (Domain::Num(n), Domain::Num(b)) = (d, base) else {
+        return d.clone();
+    };
+    if n.intervals().len() != 1 || b.intervals().len() != 1 {
+        return d.clone();
+    }
+    let (iv, biv) = (n.intervals()[0], b.intervals()[0]);
+    let lo = if bound_eq(iv.lo, biv.lo) {
+        Bnd::NegInf
+    } else {
+        iv.lo
+    };
+    let hi = if bound_eq(iv.hi, biv.hi) {
+        Bnd::PosInf
+    } else {
+        iv.hi
+    };
+    match interop_constraint::Iv::new(lo, hi) {
+        Some(tidied) => Domain::Num(NumSet::from_iv(n.integral, tidied)),
+        None => d.clone(),
+    }
+}
+
+fn bound_eq(a: Bnd, b: Bnd) -> bool {
+    match (a, b) {
+        (Bnd::NegInf, Bnd::NegInf) | (Bnd::PosInf, Bnd::PosInf) => true,
+        (Bnd::Incl(x), Bnd::Incl(y)) | (Bnd::Excl(x), Bnd::Excl(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Computes implied constraints for every similarity rule, and flags rule
+/// conditions that conflict with the subject's object constraints.
+pub fn implied_constraints(conf: &Conformed) -> (Vec<ImpliedConstraint>, Vec<SpecIssue>) {
+    let mut implied = Vec::new();
+    let mut issues = Vec::new();
+    for rule in conf.spec.similarity_rules() {
+        let target = match rule.relationship.target_class() {
+            Some(t) => t.clone(),
+            None => continue,
+        };
+        let (catalog, schema) = match rule.subject_side {
+            Side::Local => (&conf.local.catalog, &conf.local.db.schema),
+            Side::Remote => (&conf.remote.catalog, &conf.remote.db.schema),
+        };
+        let env = TypeEnv::for_class(schema, &rule.subject_class);
+        let admission = admission_formula(conf, rule);
+        // §3 consequence 1: the intraobject condition must not conflict
+        // with the subject's object constraints.
+        if !is_satisfiable(&admission, &env) {
+            issues.push(SpecIssue {
+                context: rule.id.to_string(),
+                reason: format!(
+                    "intraobject condition '{}' conflicts with the object constraints of {}",
+                    rule.intra_subject, rule.subject_class
+                ),
+            });
+            continue;
+        }
+        // §3 consequence 2: derive implied constraints by projecting the
+        // admission formula onto each constrained path.
+        let sources: Vec<ConstraintId> = catalog
+            .object_effective(schema, &rule.subject_class)
+            .iter()
+            .map(|c| c.id.clone())
+            .collect();
+        let mut paths: std::collections::BTreeSet<Path> = admission.paths();
+        paths.retain(|p| !p.is_this());
+        for p in paths {
+            let dom = project(&admission, &p, &env);
+            let base = env.base_domain(&p);
+            if dom == base || dom.is_full() {
+                continue; // nothing beyond the type
+            }
+            // Also skip when the projection is no tighter than what the
+            // condition alone already states (pure restatements).
+            let cond_only = project(&rule.intra_subject, &p, &env);
+            if dom == cond_only && rule.intra_subject.paths().contains(&p) {
+                continue;
+            }
+            let tidied = tidy_domain(&dom, &base);
+            let formula = domain_to_formula(&p, &tidied);
+            if formula == Formula::True {
+                continue;
+            }
+            implied.push(ImpliedConstraint {
+                rule: rule.id.clone(),
+                subject_class: rule.subject_class.clone(),
+                subject_side: rule.subject_side,
+                target_class: target.clone(),
+                formula,
+                sources: sources.clone(),
+            });
+        }
+    }
+    (implied, issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use interop_constraint::CmpOp;
+
+    fn conformed() -> Conformed {
+        let fx = fixtures::paper_fixture();
+        interop_conform::conform(
+            &fx.local_db,
+            &fx.local_catalog,
+            &fx.remote_db,
+            &fx.remote_catalog,
+            &fx.spec,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_section3_example() {
+        // From r3's condition ref?=true and oc2 (ref?=true ⇒ rating>=7),
+        // the implied constraint rating >= 7 on admitted Proceedings.
+        let conf = conformed();
+        let (implied, issues) = implied_constraints(&conf);
+        assert!(issues.is_empty(), "{issues:?}");
+        let r3_rating = implied
+            .iter()
+            .find(|i| {
+                i.rule == RuleId::new("r3")
+                    && i.formula.paths().iter().any(|p| p.to_string() == "rating")
+            })
+            .expect("rating implication for r3");
+        assert_eq!(r3_rating.formula.to_string(), "rating >= 7");
+        assert_eq!(r3_rating.target_class, ClassName::new("RefereedPubl"));
+    }
+
+    #[test]
+    fn no_implied_rating_for_non_refereed() {
+        // r4 (ref?=false) does not trigger oc2; projected rating domain is
+        // the full 1..10 — no implied rating constraint.
+        let conf = conformed();
+        let (implied, _) = implied_constraints(&conf);
+        assert!(!implied.iter().any(|i| i.rule == RuleId::new("r4")
+            && i.formula.paths().iter().any(|p| p.to_string() == "rating")));
+    }
+
+    #[test]
+    fn conflicting_condition_reported() {
+        // A rule demanding rating <= 3 for refereed proceedings conflicts
+        // with oc2 once ref?=true: admission unsatisfiable.
+        let fx = fixtures::paper_fixture();
+        let mut spec = fx.spec.clone();
+        spec.add_rule(interop_spec::ComparisonRule::similarity(
+            "r_bad",
+            Side::Remote,
+            "Proceedings",
+            "NonRefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true).and(Formula::cmp("rating", CmpOp::Le, 3i64)),
+        ));
+        let conf = interop_conform::conform(
+            &fx.local_db,
+            &fx.local_catalog,
+            &fx.remote_db,
+            &fx.remote_catalog,
+            &spec,
+        )
+        .unwrap();
+        let (_, issues) = implied_constraints(&conf);
+        assert!(issues.iter().any(|i| i.context == "r_bad"));
+    }
+
+    #[test]
+    fn tidy_drops_type_bounds() {
+        use interop_constraint::NumSet;
+        use interop_model::R64;
+        let base = Domain::Num(NumSet::from_iv(
+            true,
+            interop_constraint::Iv::closed(1.0, 10.0),
+        ));
+        let d = Domain::Num(NumSet::from_iv(
+            true,
+            interop_constraint::Iv::closed(7.0, 10.0),
+        ));
+        let t = tidy_domain(&d, &base);
+        match &t {
+            Domain::Num(n) => {
+                assert!(n.contains(R64::new(100.0)), "upper type bound dropped");
+                assert!(!n.contains(R64::new(6.0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_formula_conjoins_condition_and_constraints() {
+        let conf = conformed();
+        let r3 = conf
+            .spec
+            .rules
+            .iter()
+            .find(|r| r.id.as_str() == "r3")
+            .unwrap();
+        let f = admission_formula(&conf, r3);
+        let s = f.to_string();
+        assert!(s.contains("ref? = true"));
+        assert!(s.contains("rating >= 7"));
+        assert!(s.contains("libprice <= shopprice"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # interop-core
+//!
+//! The paper's contribution (Vermeer & Apers, VLDB 1996, §3 and §5): the
+//! two roles of integrity constraints in database interoperation.
+//!
+//! **Role 1 — deriving global constraints.** Given the constraints
+//! enforced by the component databases and the integration specification,
+//! compute the constraints valid on the integrated view:
+//!
+//! * [`subjectivity`] — property subjectivity from the decision-function
+//!   classification (§5.1.2) and constraint subjectivity via the rule
+//!   *subjective values ⇒ subjective constraints* (§5.1.3), validating
+//!   designer declarations against it;
+//! * [`implied`] — implied object constraints from intraobject rule
+//!   conditions (§3);
+//! * [`mod@derive`] — the integrated constraint sets for object equality
+//!   (objective pass-through + decision-function combination under the
+//!   paper's necessary conditions (1)/(2)), strict similarity (union +
+//!   admission check `Ω' ⊨ Ω̂`), approximate similarity (disjunction on
+//!   the virtual superclass, horizontal-fragment detection), class
+//!   constraints (subjective by default, objective-extension and
+//!   key-propagation exceptions) and database constraints (§5.2).
+//!
+//! **Role 2 — validating the integration specification.**
+//!
+//! * [`conflict`] — explicit conflicts (`Ω̂ ⊨ false`), implicit conflicts
+//!   from conflict-ignoring decision functions, admission conflicts, and
+//!   instance-level violations on the merged view;
+//! * [`repair`] — the paper's three resolution options: demote
+//!   constraints to subjective, strengthen comparison rules with
+//!   additional intraobject conditions, or change decision functions.
+//!
+//! [`pipeline`] wires the phases into the Figure-3 methodology loop and
+//! [`report`] renders the outcome; [`fixtures`] provides the paper's
+//! Figure-1 databases, extents and specification for tests, examples and
+//! benchmarks.
+
+pub mod conflict;
+pub mod derive;
+pub mod fixtures;
+pub mod implied;
+pub mod pipeline;
+pub mod repair;
+pub mod report;
+pub mod subjectivity;
+
+pub use conflict::{Conflict, ConflictKind};
+pub use derive::{DerivationOrigin, DerivedConstraint, GlobalConstraints, Scope, SkipReason};
+pub use implied::ImpliedConstraint;
+pub use pipeline::{IntegrationOutcome, Integrator, IntegratorOptions};
+pub use repair::Repair;
+pub use subjectivity::{classify_constraints, property_subjectivity, SpecIssue, SubjectivityMap};

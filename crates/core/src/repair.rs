@@ -1,0 +1,237 @@
+//! Conflict resolution (§5.2.1): the paper's three options and their
+//! application to a specification, enabling the Figure-3 methodology loop
+//! (detect → suggest → correct → re-run).
+
+use interop_constraint::{ConstraintId, Formula, Status};
+use interop_model::AttrName;
+use interop_spec::{Decision, RuleId, Side, Spec};
+
+use crate::conflict::{Conflict, ConflictKind};
+
+/// One resolution option.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Repair {
+    /// Option 1: change the constraint's specified status from objective
+    /// to subjective ("change or ignore local and/or remote constraints").
+    DemoteToSubjective(ConstraintId),
+    /// Option 2: adapt the object comparison rules — add the missing
+    /// restriction as an intraobject condition on the rule's subject.
+    StrengthenRule {
+        /// The rule to strengthen.
+        rule: RuleId,
+        /// The condition to conjoin to the subject's intraobject
+        /// condition.
+        add_condition: Formula,
+    },
+    /// Option 3: change the decision function of an equivalent property,
+    /// altering which global constraints can be derived.
+    ChangeDecisionFunction {
+        /// The conformed property name.
+        prop: AttrName,
+        /// The current function.
+        from: Decision,
+        /// The suggested replacement.
+        to: Decision,
+    },
+}
+
+impl std::fmt::Display for Repair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Repair::DemoteToSubjective(id) => {
+                write!(f, "declare constraint {id} subjective")
+            }
+            Repair::StrengthenRule {
+                rule,
+                add_condition,
+            } => write!(
+                f,
+                "strengthen rule {rule} with intraobject condition '{add_condition}'"
+            ),
+            Repair::ChangeDecisionFunction { prop, from, to } => {
+                write!(
+                    f,
+                    "change decision function of '{prop}' from {from} to {to}"
+                )
+            }
+        }
+    }
+}
+
+/// Suggests resolution options for a conflict (§5.2.1's three options,
+/// instantiated per conflict kind).
+pub fn suggest(conflict: &Conflict) -> Vec<Repair> {
+    match &conflict.kind {
+        ConflictKind::Admission {
+            rule,
+            violated,
+            needed,
+        } => vec![
+            // The paper's §5.2.1 example resolution: add the target's
+            // object constraint to the rule condition; objects failing it
+            // are simply not admitted.
+            Repair::StrengthenRule {
+                rule: rule.clone(),
+                add_condition: needed.clone(),
+            },
+            Repair::DemoteToSubjective(violated.clone()),
+        ],
+        ConflictKind::Implicit { constraint, path } => {
+            let prop = path.0.last().cloned().unwrap_or_else(|| AttrName::new("?"));
+            vec![
+                Repair::DemoteToSubjective(constraint.clone()),
+                // Trusting the side that enforces the constraint removes
+                // the non-determinism.
+                Repair::ChangeDecisionFunction {
+                    prop,
+                    from: Decision::Any,
+                    to: Decision::Trust(Side::Local),
+                },
+            ]
+        }
+        ConflictKind::Explicit { constraints, .. } => constraints
+            .iter()
+            .map(|c| Repair::DemoteToSubjective(c.clone()))
+            .collect(),
+        ConflictKind::InstanceViolation { .. } => Vec::new(), // data, not spec
+    }
+}
+
+/// Applies a repair to a specification, yielding the corrected spec.
+/// `StrengthenRule` conditions are in conformed terms; they apply cleanly
+/// when the subject side's attributes keep their names through
+/// conformation (true for every remote-subject rule in the paper, whose
+/// conformed names are the remote ones).
+pub fn apply(spec: &Spec, repair: &Repair) -> Spec {
+    let mut out = spec.clone();
+    match repair {
+        Repair::DemoteToSubjective(id) => {
+            out.declare_status(id.clone(), Status::Subjective);
+        }
+        Repair::StrengthenRule {
+            rule,
+            add_condition,
+        } => {
+            for r in &mut out.rules {
+                if &r.id == rule {
+                    r.intra_subject = r.intra_subject.clone().and(add_condition.clone());
+                }
+            }
+        }
+        Repair::ChangeDecisionFunction { prop, from, to } => {
+            for pe in &mut out.propeqs {
+                if pe.conformed_name.head() == Some(prop) && &pe.df == from {
+                    pe.df = *to;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::CmpOp;
+    use interop_spec::ComparisonRule;
+
+    fn admission_conflict() -> Conflict {
+        Conflict {
+            detail: "test".into(),
+            kind: ConflictKind::Admission {
+                rule: RuleId::new("r3"),
+                violated: ConstraintId::derived("CSLibrary.RefereedPubl.oc1"),
+                needed: Formula::cmp("rating", CmpOp::Ge, 4i64),
+            },
+        }
+    }
+
+    #[test]
+    fn admission_suggestions_match_paper() {
+        let options = suggest(&admission_conflict());
+        // §5.2.1: "the object comparison rule would have to be changed
+        // into Sim(...) ⇐ O'.ref? = true ∧ O'.rating >= 4".
+        assert!(matches!(
+            &options[0],
+            Repair::StrengthenRule { rule, add_condition }
+                if rule.as_str() == "r3" && add_condition.to_string() == "rating >= 4"
+        ));
+        assert!(matches!(&options[1], Repair::DemoteToSubjective(_)));
+    }
+
+    #[test]
+    fn apply_strengthen_rule() {
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::similarity(
+            "r3",
+            Side::Remote,
+            "Proceedings",
+            "RefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true),
+        ));
+        let repaired = apply(
+            &spec,
+            &Repair::StrengthenRule {
+                rule: RuleId::new("r3"),
+                add_condition: Formula::cmp("rating", CmpOp::Ge, 4i64),
+            },
+        );
+        assert_eq!(
+            repaired.rules[0].intra_subject.to_string(),
+            "ref? = true and rating >= 4"
+        );
+    }
+
+    #[test]
+    fn apply_demote_and_change_df() {
+        let mut spec = Spec::new("L", "R");
+        spec.add_propeq(interop_spec::PropEq::named_after_remote(
+            "A",
+            "name",
+            "B",
+            "name",
+            interop_spec::Conversion::Id,
+            interop_spec::Conversion::Id,
+            Decision::Any,
+        ));
+        let id = ConstraintId::derived("L.A.oc1");
+        let s2 = apply(&spec, &Repair::DemoteToSubjective(id.clone()));
+        assert_eq!(s2.status_overrides.get(&id), Some(&Status::Subjective));
+        let s3 = apply(
+            &s2,
+            &Repair::ChangeDecisionFunction {
+                prop: AttrName::new("name"),
+                from: Decision::Any,
+                to: Decision::Trust(Side::Local),
+            },
+        );
+        assert_eq!(s3.propeqs[0].df, Decision::Trust(Side::Local));
+    }
+
+    #[test]
+    fn implicit_suggestions() {
+        let c = Conflict {
+            detail: "x".into(),
+            kind: ConflictKind::Implicit {
+                constraint: ConstraintId::derived("L.A.oc2"),
+                path: interop_constraint::Path::parse("name"),
+            },
+        };
+        let options = suggest(&c);
+        assert_eq!(options.len(), 2);
+        assert!(matches!(&options[0], Repair::DemoteToSubjective(_)));
+        assert!(matches!(&options[1], Repair::ChangeDecisionFunction { .. }));
+    }
+
+    #[test]
+    fn instance_violations_have_no_spec_repair() {
+        let c = Conflict {
+            detail: "x".into(),
+            kind: ConflictKind::InstanceViolation {
+                object: interop_model::ObjectId::new(200, 0),
+                constraint: "c".into(),
+            },
+        };
+        assert!(suggest(&c).is_empty());
+    }
+}

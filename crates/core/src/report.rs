@@ -1,0 +1,179 @@
+//! Plain-text reporting of an integration outcome — the artifact a
+//! design tool (the paper's conclusion envisions one) would show the
+//! integration designer.
+
+use std::fmt::Write as _;
+
+use interop_constraint::Status;
+
+use crate::pipeline::IntegrationOutcome;
+
+/// Renders the outcome as a multi-section plain-text report.
+pub fn render(outcome: &IntegrationOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Integration report ==");
+    let _ = writeln!(
+        s,
+        "databases: {} (local) + {} (remote)",
+        outcome.conformed.local.db.name(),
+        outcome.conformed.remote.db.name()
+    );
+    let _ = writeln!(
+        s,
+        "global objects: {}   merged pairs: {}",
+        outcome.view.objects.len(),
+        outcome
+            .view
+            .objects
+            .values()
+            .filter(|g| g.local.is_some() && g.remote.is_some())
+            .count()
+    );
+
+    let _ = writeln!(s, "\n-- Property subjectivity (§5.1.2) --");
+    for ((side, class, attr), subjective) in outcome.subjectivity.iter() {
+        let _ = writeln!(
+            s,
+            "  {side} {class}.{attr}: {}",
+            if *subjective {
+                "subjective"
+            } else {
+                "objective"
+            }
+        );
+    }
+
+    let _ = writeln!(s, "\n-- Constraint statuses (§5.1.3) --");
+    for (id, status) in &outcome.statuses {
+        let tag = match status {
+            Status::Objective => "objective",
+            Status::Subjective => "subjective",
+            Status::Unclassified => "unclassified",
+        };
+        let _ = writeln!(s, "  {id}: {tag}");
+    }
+
+    if !outcome.spec_issues.is_empty() {
+        let _ = writeln!(s, "\n-- Specification issues --");
+        for i in &outcome.spec_issues {
+            let _ = writeln!(s, "  {i}");
+        }
+    }
+
+    if !outcome.implied.is_empty() {
+        let _ = writeln!(s, "\n-- Implied constraints (§3) --");
+        for i in &outcome.implied {
+            let _ = writeln!(
+                s,
+                "  [{}] on {} (joining {}): {}",
+                i.rule, i.subject_class, i.target_class, i.formula
+            );
+        }
+    }
+
+    let _ = writeln!(s, "\n-- Derived global object constraints (§5.2.1) --");
+    for d in &outcome.global.object {
+        let _ = writeln!(s, "  {d}");
+    }
+
+    if !outcome.global.class_constraints.is_empty() {
+        let _ = writeln!(s, "\n-- Propagated class constraints (§5.2.2) --");
+        for (c, origin) in &outcome.global.class_constraints {
+            let _ = writeln!(s, "  [{}] ({origin}) on {}: {}", c.id, c.class, c.body);
+        }
+    }
+
+    if !outcome.global.fragments.is_empty() {
+        let _ = writeln!(s, "\n-- Horizontal fragmentations --");
+        for fr in &outcome.global.fragments {
+            let _ = writeln!(
+                s,
+                "  {} = {} | {} split by '{}'",
+                fr.virtual_class, fr.local_class, fr.remote_class, fr.condition
+            );
+        }
+    }
+
+    if !outcome.global.skipped.is_empty() {
+        let _ = writeln!(s, "\n-- Not propagated --");
+        for sk in &outcome.global.skipped {
+            let _ = writeln!(s, "  {}: {}", sk.source, sk.reason);
+        }
+    }
+
+    let _ = writeln!(s, "\n-- Inferred hierarchy (§2.3) --");
+    for (sub, sup) in &outcome.view.hierarchy.edges {
+        let _ = writeln!(s, "  {sub} isa {sup}");
+    }
+    for i in &outcome.view.hierarchy.intersections {
+        let _ = writeln!(
+            s,
+            "  virtual subclass {} = {} ∩ {} ({} objects)",
+            i.name,
+            i.parents.0,
+            i.parents.1,
+            i.extension.len()
+        );
+    }
+
+    if outcome.conflicts.is_empty() {
+        let _ = writeln!(s, "\nno conflicts detected");
+    } else {
+        let _ = writeln!(s, "\n-- Conflicts --");
+        for (c, repairs) in outcome.conflicts.iter().zip(&outcome.repairs) {
+            let _ = writeln!(s, "  {c}");
+            for r in repairs {
+                let _ = writeln!(s, "    option: {r}");
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::pipeline::{Integrator, IntegratorOptions};
+
+    #[test]
+    fn report_contains_paper_artifacts() {
+        let fx = fixtures::paper_fixture();
+        let outcome = Integrator::new(
+            fx.local_db,
+            fx.local_catalog,
+            fx.remote_db,
+            fx.remote_catalog,
+            fx.spec,
+        )
+        .with_options(IntegratorOptions {
+            merge: fixtures::merge_options(),
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        let text = render(&outcome);
+        assert!(text.contains("RefereedProceedings"));
+        assert!(text.contains("publisher.name = 'ACM' implies rating >= 5"));
+        assert!(text.contains("rating >= 7"));
+        assert!(text.contains("subjective"));
+        assert!(text.contains("Bookseller.dbl"));
+    }
+
+    #[test]
+    fn personnel_report_shows_intro_example() {
+        let fx = fixtures::personnel_fixture();
+        let outcome = Integrator::new(
+            fx.local_db,
+            fx.local_catalog,
+            fx.remote_db,
+            fx.remote_catalog,
+            fx.spec,
+        )
+        .run()
+        .unwrap();
+        let text = render(&outcome);
+        assert!(text.contains("trav_reimb in {12, 17, 22}"));
+        assert!(text.contains("salary < 1500"));
+    }
+}

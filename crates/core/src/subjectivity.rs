@@ -1,0 +1,422 @@
+//! Objectivity and subjectivity (§5.1).
+//!
+//! Property subjectivity follows mechanically from the decision-function
+//! classification (§5.1.2). Constraint subjectivity is then governed by
+//! the consistency rule of §5.1.3 — *subjectivity of values implies
+//! subjectivity of constraints* — with designer declarations validated
+//! against it: declaring a constraint objective while it involves a
+//! subjective property is a specification inconsistency, reported as a
+//! [`SpecIssue`] (the implication is one-directional; demoting an
+//! all-objective constraint to subjective is always allowed).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use interop_conform::Conformed;
+use interop_constraint::{ConstraintId, Path, Status};
+use interop_model::{AttrName, ClassName, Schema, Type};
+use interop_spec::Side;
+
+/// A validation problem found in the integration specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecIssue {
+    /// What the issue is about (constraint id, rule id, ...).
+    pub context: String,
+    /// Human-readable description.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.context, self.reason)
+    }
+}
+
+/// Property subjectivity per side: `(side, declaring class, attribute)` →
+/// subjective? Properties not covered by any propeq are objective (their
+/// global value is never decided between two sources).
+#[derive(Clone, Debug, Default)]
+pub struct SubjectivityMap {
+    map: BTreeMap<(Side, ClassName, AttrName), bool>,
+}
+
+impl SubjectivityMap {
+    /// Is `class.attr` on `side` subjective? Hierarchy-aware: an entry on
+    /// an ancestor class covers subclasses.
+    pub fn is_subjective(
+        &self,
+        schema: &Schema,
+        side: Side,
+        class: &ClassName,
+        attr: &AttrName,
+    ) -> bool {
+        for c in schema.self_and_ancestors(class) {
+            if let Some(&s) = self.map.get(&(side, c, attr.clone())) {
+                return s;
+            }
+        }
+        false
+    }
+
+    /// Records subjectivity for a property.
+    pub fn insert(&mut self, side: Side, class: ClassName, attr: AttrName, subjective: bool) {
+        self.map.insert((side, class, attr), subjective);
+    }
+
+    /// Iterates all entries `((side, class, attr), subjective)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Side, ClassName, AttrName), &bool)> {
+        self.map.iter()
+    }
+
+    /// The subjectivity of the *terminal* attribute of a path on `class`
+    /// (navigating reference attributes).
+    pub fn path_subjective(
+        &self,
+        schema: &Schema,
+        side: Side,
+        class: &ClassName,
+        path: &Path,
+    ) -> bool {
+        let mut cur = class.clone();
+        for (i, attr) in path.0.iter().enumerate() {
+            if i + 1 == path.0.len() {
+                return self.is_subjective(schema, side, &cur, attr);
+            }
+            match schema.resolve_attr(&cur, attr).map(|(_, d)| d.ty.clone()) {
+                Some(Type::Ref(next)) => cur = next,
+                _ => return false, // unknown path: conservatively objective
+            }
+        }
+        false
+    }
+}
+
+/// Computes property subjectivity from the conformed propeqs (§5.1.2).
+pub fn property_subjectivity(conf: &Conformed) -> SubjectivityMap {
+    let mut map = SubjectivityMap::default();
+    for pe in &conf.spec.propeqs {
+        if let Some(la) = pe.local_path.head() {
+            map.insert(
+                Side::Local,
+                pe.local_class.clone(),
+                la.clone(),
+                pe.df.subjective(Side::Local),
+            );
+        }
+        if let Some(ra) = pe.remote_path.head() {
+            map.insert(
+                Side::Remote,
+                pe.remote_class.clone(),
+                ra.clone(),
+                pe.df.subjective(Side::Remote),
+            );
+        }
+    }
+    map
+}
+
+fn schema_of(conf: &Conformed, side: Side) -> &Schema {
+    match side {
+        Side::Local => &conf.local.db.schema,
+        Side::Remote => &conf.remote.db.schema,
+    }
+}
+
+/// Does a conformed object constraint involve any subjective property?
+pub fn constraint_touches_subjective(
+    conf: &Conformed,
+    subj: &SubjectivityMap,
+    side: Side,
+    class: &ClassName,
+    formula: &interop_constraint::Formula,
+) -> bool {
+    let schema = schema_of(conf, side);
+    formula
+        .paths()
+        .iter()
+        .any(|p| subj.path_subjective(schema, side, class, p))
+}
+
+/// Assigns an objectivity status to every conformed constraint (§5.1.3,
+/// §5.2.2, §5.2.3) and validates designer declarations.
+///
+/// Rules applied, in order:
+/// * object constraints touching a subjective property are **forced
+///   subjective**; a designer declaration of `objective` is rejected as a
+///   [`SpecIssue`];
+/// * other object constraints default to objective, overridable to
+///   subjective;
+/// * class constraints default to subjective (classifications are
+///   inherently subjective); the *objective extension* exception (§5.2.2)
+///   is handled in `derive` where rule coverage is known;
+/// * database constraints are always subjective (§5.2.3); declaring one
+///   objective is an issue.
+pub fn classify_constraints(
+    conf: &Conformed,
+    subj: &SubjectivityMap,
+) -> (BTreeMap<ConstraintId, Status>, Vec<SpecIssue>) {
+    let mut statuses = BTreeMap::new();
+    let mut issues = Vec::new();
+    let declared = &conf.spec.status_overrides;
+    for (side, cat) in [
+        (Side::Local, &conf.local.catalog),
+        (Side::Remote, &conf.remote.catalog),
+    ] {
+        for oc in cat.all_object() {
+            let touches = constraint_touches_subjective(conf, subj, side, &oc.class, &oc.formula);
+            let status = match (touches, declared.get(&oc.id)) {
+                (true, Some(Status::Objective)) => {
+                    issues.push(SpecIssue {
+                        context: oc.id.to_string(),
+                        reason: format!(
+                            "declared objective but involves a subjective property; \
+                             subjectivity of values implies subjectivity of constraints \
+                             (constraint: {})",
+                            oc.formula
+                        ),
+                    });
+                    Status::Subjective
+                }
+                (true, _) => Status::Subjective,
+                (false, Some(s)) => *s,
+                (false, None) => Status::Objective,
+            };
+            statuses.insert(oc.id.clone(), status);
+        }
+        for cc in cat.all_class() {
+            let status = match declared.get(&cc.id) {
+                Some(Status::Objective) => Status::Objective, // checked in derive
+                Some(Status::Subjective) | None => Status::Subjective,
+                Some(Status::Unclassified) => Status::Subjective,
+            };
+            statuses.insert(cc.id.clone(), status);
+        }
+        for dc in cat.database_constraints() {
+            if declared.get(&dc.id) == Some(&Status::Objective) {
+                issues.push(SpecIssue {
+                    context: dc.id.to_string(),
+                    reason: "database constraints are subjective in the integration \
+                             (the complications of treating them as objective are immense, §5.2.3)"
+                        .into(),
+                });
+            }
+            statuses.insert(dc.id.clone(), Status::Subjective);
+        }
+    }
+    (statuses, issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use interop_constraint::ConstraintId;
+
+    fn conformed() -> Conformed {
+        let fx = fixtures::paper_fixture();
+        interop_conform::conform(
+            &fx.local_db,
+            &fx.local_catalog,
+            &fx.remote_db,
+            &fx.remote_catalog,
+            &fx.spec,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_property_table() {
+        // §5.1.2's classification on the Figure-1 propeqs.
+        let conf = conformed();
+        let subj = property_subjectivity(&conf);
+        let l = &conf.local.db.schema;
+        let r = &conf.remote.db.schema;
+        // ourprice (conformed: libprice) trusted locally → local objective.
+        assert!(!subj.is_subjective(
+            l,
+            Side::Local,
+            &ClassName::new("Publication"),
+            &AttrName::new("libprice")
+        ));
+        // Item.libprice (remote side of trust(local)) → subjective.
+        assert!(subj.is_subjective(
+            r,
+            Side::Remote,
+            &ClassName::new("Item"),
+            &AttrName::new("libprice")
+        ));
+        // shopprice trusted remotely → local subjective, remote objective.
+        assert!(subj.is_subjective(
+            l,
+            Side::Local,
+            &ClassName::new("Publication"),
+            &AttrName::new("shopprice")
+        ));
+        assert!(!subj.is_subjective(
+            r,
+            Side::Remote,
+            &ClassName::new("Item"),
+            &AttrName::new("shopprice")
+        ));
+        // publisher name: any → both objective.
+        assert!(!subj.is_subjective(
+            l,
+            Side::Local,
+            &ClassName::new("VirtPublisher"),
+            &AttrName::new("name")
+        ));
+        // rating: avg → both subjective.
+        assert!(subj.is_subjective(
+            l,
+            Side::Local,
+            &ClassName::new("ScientificPubl"),
+            &AttrName::new("rating")
+        ));
+        assert!(subj.is_subjective(
+            r,
+            Side::Remote,
+            &ClassName::new("Proceedings"),
+            &AttrName::new("rating")
+        ));
+        // editors/authors: union → both subjective.
+        assert!(subj.is_subjective(
+            r,
+            Side::Remote,
+            &ClassName::new("Item"),
+            &AttrName::new("authors")
+        ));
+    }
+
+    #[test]
+    fn hierarchy_aware_property_lookup() {
+        let conf = conformed();
+        let subj = property_subjectivity(&conf);
+        let l = &conf.local.db.schema;
+        // RefereedPubl inherits ScientificPubl.rating's subjectivity.
+        assert!(subj.is_subjective(
+            l,
+            Side::Local,
+            &ClassName::new("RefereedPubl"),
+            &AttrName::new("rating")
+        ));
+    }
+
+    #[test]
+    fn path_subjectivity_navigates_refs() {
+        let conf = conformed();
+        let subj = property_subjectivity(&conf);
+        let r = &conf.remote.db.schema;
+        // Proceedings → publisher.name: terminal is Publisher.name (any →
+        // objective).
+        assert!(!subj.path_subjective(
+            r,
+            Side::Remote,
+            &ClassName::new("Proceedings"),
+            &Path::parse("publisher.name")
+        ));
+        assert!(subj.path_subjective(
+            r,
+            Side::Remote,
+            &ClassName::new("Proceedings"),
+            &Path::parse("rating")
+        ));
+    }
+
+    #[test]
+    fn subjective_values_force_subjective_constraints() {
+        let conf = conformed();
+        let subj = property_subjectivity(&conf);
+        let (statuses, issues) = classify_constraints(&conf, &subj);
+        // §5.1.3: ocl of Publication (libprice <= shopprice) involves the
+        // subjective shopprice → subjective, even though defined in both
+        // databases.
+        assert_eq!(
+            statuses[&ConstraintId::derived("CSLibrary.Publication.oc1")],
+            Status::Subjective
+        );
+        assert_eq!(
+            statuses[&ConstraintId::derived("Bookseller.Item.oc1")],
+            Status::Subjective
+        );
+        // Proceedings oc1 (publisher.name='IEEE' ⇒ ref?=true) touches only
+        // objective props → objective (paper calls it objective).
+        assert_eq!(
+            statuses[&ConstraintId::derived("Bookseller.Proceedings.oc1")],
+            Status::Objective
+        );
+        // Proceedings oc2 involves rating (avg → subjective) → subjective.
+        assert_eq!(
+            statuses[&ConstraintId::derived("Bookseller.Proceedings.oc2")],
+            Status::Subjective
+        );
+        // VirtPublisher reallocated oc2 (name in KNOWNPUBLISHERS): name is
+        // objective (any) — but the designer declared cc2... oc2 itself is
+        // declared subjective in the fixture spec per the paper.
+        assert!(issues.is_empty(), "unexpected issues: {issues:?}");
+    }
+
+    #[test]
+    fn declaring_objective_on_subjective_prop_is_issue() {
+        let fx = fixtures::paper_fixture();
+        let mut spec = fx.spec.clone();
+        // rating is subjective (avg); declaring oc2 of Proceedings
+        // objective violates §5.1.3.
+        spec.declare_status(
+            ConstraintId::derived("Bookseller.Proceedings.oc2"),
+            Status::Objective,
+        );
+        let conf = interop_conform::conform(
+            &fx.local_db,
+            &fx.local_catalog,
+            &fx.remote_db,
+            &fx.remote_catalog,
+            &spec,
+        )
+        .unwrap();
+        let subj = property_subjectivity(&conf);
+        let (statuses, issues) = classify_constraints(&conf, &subj);
+        assert!(issues.iter().any(|i| i.context.contains("Proceedings.oc2")));
+        // Forced subjective despite the declaration.
+        assert_eq!(
+            statuses[&ConstraintId::derived("Bookseller.Proceedings.oc2")],
+            Status::Subjective
+        );
+    }
+
+    #[test]
+    fn database_constraints_always_subjective() {
+        let fx = fixtures::paper_fixture();
+        let mut spec = fx.spec.clone();
+        spec.declare_status(ConstraintId::derived("Bookseller.dbl"), Status::Objective);
+        let conf = interop_conform::conform(
+            &fx.local_db,
+            &fx.local_catalog,
+            &fx.remote_db,
+            &fx.remote_catalog,
+            &spec,
+        )
+        .unwrap();
+        let subj = property_subjectivity(&conf);
+        let (statuses, issues) = classify_constraints(&conf, &subj);
+        assert_eq!(
+            statuses[&ConstraintId::derived("Bookseller.dbl")],
+            Status::Subjective
+        );
+        assert!(issues.iter().any(|i| i.context.contains("dbl")));
+    }
+
+    #[test]
+    fn class_constraints_default_subjective() {
+        let conf = conformed();
+        let subj = property_subjectivity(&conf);
+        let (statuses, _) = classify_constraints(&conf, &subj);
+        assert_eq!(
+            statuses[&ConstraintId::derived("CSLibrary.Publication.cc2")],
+            Status::Subjective
+        );
+        assert_eq!(
+            statuses[&ConstraintId::derived("CSLibrary.ScientificPubl.cc1")],
+            Status::Subjective
+        );
+    }
+}

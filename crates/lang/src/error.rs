@@ -1,0 +1,58 @@
+//! Parse errors.
+
+use std::fmt;
+
+use crate::lexer::LexError;
+
+/// A parse (or lex) error with a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(message: impl Into<String>, line: u32) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from_lex() {
+        let e = ParseError::new("expected ':'", 3);
+        assert_eq!(e.to_string(), "parse error at line 3: expected ':'");
+        let le = LexError {
+            message: "bad".into(),
+            line: 7,
+        };
+        let pe: ParseError = le.into();
+        assert_eq!(pe.line, 7);
+    }
+}

@@ -1,0 +1,437 @@
+//! Lexer for the TM dialect.
+//!
+//! Token inventory covers Figure 1 of the paper plus the integration-spec
+//! syntax: identifiers (which may end in `?`, as in `ref?`), integer and
+//! real literals, single-quoted strings, ranges (`1..5`), comparison and
+//! arithmetic operators, rule arrows (`<-`), and structural punctuation.
+//! `#` starts a line comment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are matched by text in the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<-`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Real(r) => write!(f, "{r}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Arrow => write!(f, "<-"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error messages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `src`. The resulting vector always ends with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let push = |out: &mut Vec<SpannedTok>, tok: Tok, line: u32| {
+        out.push(SpannedTok { tok, line });
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(&mut out, Tok::LParen, line);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Tok::RParen, line);
+                i += 1;
+            }
+            '{' => {
+                push(&mut out, Tok::LBrace, line);
+                i += 1;
+            }
+            '}' => {
+                push(&mut out, Tok::RBrace, line);
+                i += 1;
+            }
+            ':' => {
+                push(&mut out, Tok::Colon, line);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Tok::Comma, line);
+                i += 1;
+            }
+            '|' => {
+                push(&mut out, Tok::Pipe, line);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Tok::Eq, line);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Tok::Plus, line);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Tok::Star, line);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, Tok::Slash, line);
+                i += 1;
+            }
+            '-' => {
+                push(&mut out, Tok::Minus, line);
+                i += 1;
+            }
+            '.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    push(&mut out, Tok::DotDot, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Dot, line);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Le, line);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push(&mut out, Tok::Ne, line);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    push(&mut out, Tok::Arrow, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Lt, line);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Ge, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Gt, line);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    if bytes[j] == b'\n' {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            line,
+                        });
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                push(
+                    &mut out,
+                    Tok::Str(String::from_utf8_lossy(&bytes[start..j]).into_owned()),
+                    line,
+                );
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A '.' followed by a digit continues a real; '..' is a range.
+                let mut is_real = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_real = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii digits");
+                if is_real {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("invalid real literal '{text}'"),
+                        line,
+                    })?;
+                    push(&mut out, Tok::Real(v), line);
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        message: format!("invalid integer literal '{text}'"),
+                        line,
+                    })?;
+                    push(&mut out, Tok::Int(v), line);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                // Trailing '?' is part of the identifier (TM's `ref?`).
+                if i < bytes.len() && bytes[i] == b'?' {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                push(&mut out, Tok::Ident(text), line);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                })
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            toks("class Publication isa Item"),
+            vec![
+                Tok::Ident("class".into()),
+                Tok::Ident("Publication".into()),
+                Tok::Ident("isa".into()),
+                Tok::Ident("Item".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ref_question_mark_ident() {
+        assert_eq!(
+            toks("ref? = true"),
+            vec![
+                Tok::Ident("ref?".into()),
+                Tok::Eq,
+                Tok::Ident("true".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_vs_real() {
+        assert_eq!(
+            toks("rating : 1..5"),
+            vec![
+                Tok::Ident("rating".into()),
+                Tok::Colon,
+                Tok::Int(1),
+                Tok::DotDot,
+                Tok::Int(5),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("2.5"), vec![Tok::Real(2.5), Tok::Eof]);
+        assert_eq!(
+            toks("2 .. 5"),
+            vec![Tok::Int(2), Tok::DotDot, Tok::Int(5), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<= >= <> < > = <-"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Arrow,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_sets() {
+        assert_eq!(
+            toks("publisher in {'ACM', 'IEEE'}"),
+            vec![
+                Tok::Ident("publisher".into()),
+                Tok::Ident("in".into()),
+                Tok::LBrace,
+                Tok::Str("ACM".into()),
+                Tok::Comma,
+                Tok::Str("IEEE".into()),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a # comment\nb").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("a".into()));
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].tok, Tok::Ident("b".into()));
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn dotted_paths() {
+        assert_eq!(
+            toks("publisher.name"),
+            vec![
+                Tok::Ident("publisher".into()),
+                Tok::Dot,
+                Tok::Ident("name".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("'oops\n'").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_literal() {
+        assert_eq!(toks("-3"), vec![Tok::Minus, Tok::Int(3), Tok::Eof]);
+    }
+}

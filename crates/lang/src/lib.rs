@@ -1,0 +1,29 @@
+//! # interop-lang
+//!
+//! Front-end for the TM-style specification language used throughout the
+//! paper (Figure 1 and the §2.2 integration-specification examples).
+//!
+//! The paper writes database schemas and constraints in TM \[BBZ93\]; this
+//! crate provides a lexer, a recursive-descent parser producing validated
+//! [`interop_model::Schema`]s plus [`interop_constraint::Catalog`]s, a
+//! parser for integration specifications (comparison rules, `propeq`
+//! assertions, objectivity declarations), and a pretty-printer whose
+//! output re-parses to the same structures (the Figure-1 round-trip
+//! property).
+//!
+//! Dialect deviations from TM, all documented in `DESIGN.md`:
+//! * symbolic constants must be declared (`const MAX = 10000`);
+//! * rule variables are plain identifiers (`o`, `r`) instead of `O`/`O'`
+//!   (the prime collides with string quotes);
+//! * supporting sugar such as `linear(a, b)` conversions.
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+pub mod spec_parser;
+
+pub use error::ParseError;
+pub use parser::{parse_database, ConstVal, ParsedDatabase};
+pub use print::print_database;
+pub use spec_parser::parse_spec;

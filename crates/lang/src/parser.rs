@@ -1,0 +1,969 @@
+//! Recursive-descent parser for TM-dialect database specifications.
+//!
+//! The dialect covers everything Figure 1 of the paper uses:
+//!
+//! ```text
+//! database CSLibrary
+//!
+//! const KNOWNPUBLISHERS = {'ACM', 'IEEE', 'Springer'}
+//! const MAX = 10000
+//!
+//! class Publication
+//!   attributes
+//!     title : string
+//!     isbn : string
+//!     publisher : string
+//!     shopprice : real
+//!     ourprice : real
+//!   object constraints
+//!     oc1: ourprice <= shopprice
+//!     oc2: publisher in KNOWNPUBLISHERS
+//!   class constraints
+//!     cc1: key isbn
+//!     cc2: (sum (collect x for x in self) over ourprice) < MAX
+//! end Publication
+//!
+//! class ScientificPubl isa Publication
+//!   ...
+//! end ScientificPubl
+//!
+//! database constraints
+//!   dbl: forall p in Publisher exists i in Item | i.publisher = p
+//! ```
+//!
+//! One deliberate deviation from TM: symbolic constants (`MAX`,
+//! `KNOWNPUBLISHERS`) must be declared with `const`, since the paper
+//! leaves their values open but the executable system needs them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use interop_constraint::{
+    AggOp, Catalog, ClassConstraint, ClassConstraintBody, CmpOp, ConstraintId, DbConstraint, Expr,
+    Formula, ObjectConstraint, PairAtom, Path, Quantifier, Status,
+};
+use interop_model::{AttrName, ClassDef, ClassName, DbName, Schema, Type, Value};
+
+use crate::error::ParseError;
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// A declared symbolic constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstVal {
+    /// A scalar constant (`MAX = 10000`).
+    Scalar(Value),
+    /// A set constant (`KNOWNPUBLISHERS = {'ACM', ...}`).
+    Set(BTreeSet<Value>),
+}
+
+/// The result of parsing one database specification.
+#[derive(Clone, Debug)]
+pub struct ParsedDatabase {
+    /// The validated schema.
+    pub schema: Schema,
+    /// The constraint catalog.
+    pub catalog: Catalog,
+    /// Declared constants (kept for printing).
+    pub consts: BTreeMap<String, ConstVal>,
+}
+
+/// Parses a database specification from source text.
+pub fn parse_database(src: &str) -> Result<ParsedDatabase, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser::new(&toks);
+    p.database()
+}
+
+pub(crate) struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(toks: &'a [SpannedTok]) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    pub(crate) fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    pub(crate) fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    pub(crate) fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    pub(crate) fn next(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(msg, self.line()))
+    }
+
+    pub(crate) fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected '{t}', found '{}'", self.peek()))
+        }
+    }
+
+    /// Consumes an identifier token (any text).
+    pub(crate) fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    /// Consumes a specific keyword (identifier with exact text).
+    pub(crate) fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => self.err(format!("expected '{kw}', found '{other}'")),
+        }
+    }
+
+    /// Consumes the keyword if present; returns whether it was.
+    pub(crate) fn accept_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ---------------------------------------------------------------
+    // Database specification
+    // ---------------------------------------------------------------
+
+    fn database(&mut self) -> Result<ParsedDatabase, ParseError> {
+        self.keyword("database")?;
+        let db_name = DbName::new(self.ident()?);
+        let mut consts: BTreeMap<String, ConstVal> = BTreeMap::new();
+        let mut classes: Vec<ClassDef> = Vec::new();
+        // Constraints are collected raw and installed after the schema
+        // validates (ids need the db name; formulas need const resolution
+        // which happens inline).
+        let mut catalog = Catalog::new();
+        loop {
+            if self.accept_kw("const") {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let val = self.const_val()?;
+                consts.insert(name, val);
+            } else if self.at_kw("class") && matches!(self.peek2(), Tok::Ident(_)) {
+                let (def, ocs, ccs) = self.class_decl(&db_name, &consts)?;
+                classes.push(def);
+                for c in ocs {
+                    catalog.add_object(c);
+                }
+                for c in ccs {
+                    catalog.add_class(c);
+                }
+            } else if self.at_kw("database") {
+                // `database constraints` section.
+                self.next();
+                self.keyword("constraints")?;
+                while matches!(self.peek(), Tok::Ident(_)) && matches!(self.peek2(), Tok::Colon) {
+                    let dc = self.db_constraint(&db_name)?;
+                    catalog.add_database(dc);
+                }
+            } else if matches!(self.peek(), Tok::Eof) {
+                break;
+            } else {
+                return self.err(format!(
+                    "expected 'const', 'class', or 'database constraints', found '{}'",
+                    self.peek()
+                ));
+            }
+        }
+        let schema = Schema::new(db_name, classes)
+            .map_err(|e| ParseError::new(format!("schema error: {e}"), 0))?;
+        Ok(ParsedDatabase {
+            schema,
+            catalog,
+            consts,
+        })
+    }
+
+    fn const_val(&mut self) -> Result<ConstVal, ParseError> {
+        if matches!(self.peek(), Tok::LBrace) {
+            let set = self.value_set()?;
+            Ok(ConstVal::Set(set))
+        } else {
+            Ok(ConstVal::Scalar(self.literal()?))
+        }
+    }
+
+    pub(crate) fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.next();
+                Ok(Value::Int(i))
+            }
+            Tok::Real(r) => {
+                self.next();
+                Ok(Value::real(r))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Value::Str(s))
+            }
+            Tok::Minus => {
+                self.next();
+                match self.literal()? {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Real(r) => Ok(Value::Real(-r)),
+                    other => self.err(format!("cannot negate {other}")),
+                }
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.next();
+                Ok(Value::Bool(true))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.next();
+                Ok(Value::Bool(false))
+            }
+            other => self.err(format!("expected literal value, found '{other}'")),
+        }
+    }
+
+    fn value_set(&mut self) -> Result<BTreeSet<Value>, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut set = BTreeSet::new();
+        if !matches!(self.peek(), Tok::RBrace) {
+            loop {
+                set.insert(self.literal()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(set)
+    }
+
+    fn class_decl(
+        &mut self,
+        db: &DbName,
+        consts: &BTreeMap<String, ConstVal>,
+    ) -> Result<(ClassDef, Vec<ObjectConstraint>, Vec<ClassConstraint>), ParseError> {
+        self.keyword("class")?;
+        let name = ClassName::new(self.ident()?);
+        let mut def = ClassDef::new(name.clone());
+        if self.accept_kw("isa") {
+            def = def.isa(self.ident()?);
+        }
+        let mut ocs = Vec::new();
+        let mut ccs = Vec::new();
+        loop {
+            if self.accept_kw("attributes") {
+                while matches!(self.peek(), Tok::Ident(_))
+                    && matches!(self.peek2(), Tok::Colon)
+                    && !self.at_section_start()
+                {
+                    let attr = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let ty = self.type_expr()?;
+                    def = def.attr(attr, ty);
+                }
+            } else if self.at_kw("object") {
+                self.next();
+                self.keyword("constraints")?;
+                while self.at_label() {
+                    let label = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let f = self.formula(consts)?;
+                    ocs.push(ObjectConstraint::new(
+                        ConstraintId::new(db, &name, &label),
+                        name.clone(),
+                        f,
+                    ));
+                }
+            } else if self.at_kw("class")
+                && matches!(self.peek2(), Tok::Ident(s) if s == "constraints")
+            {
+                self.next();
+                self.keyword("constraints")?;
+                while self.at_label() {
+                    let label = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let body = self.class_constraint_body(consts)?;
+                    ccs.push(ClassConstraint::new(
+                        ConstraintId::new(db, &name, &label),
+                        name.clone(),
+                        body,
+                    ));
+                }
+            } else if self.accept_kw("end") {
+                let closing = self.ident()?;
+                if closing != name.as_str() {
+                    return self.err(format!("'end {closing}' does not match 'class {name}'"));
+                }
+                break;
+            } else {
+                return self.err(format!(
+                    "expected 'attributes', 'object constraints', 'class constraints' or 'end', found '{}'",
+                    self.peek()
+                ));
+            }
+        }
+        Ok((def, ocs, ccs))
+    }
+
+    /// Is the cursor at a `label:` line (and not at a section keyword)?
+    fn at_label(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(_))
+            && matches!(self.peek2(), Tok::Colon)
+            && !self.at_section_start()
+    }
+
+    fn at_section_start(&self) -> bool {
+        self.at_kw("attributes")
+            || self.at_kw("object")
+            || self.at_kw("end")
+            || (self.at_kw("class") && matches!(self.peek2(), Tok::Ident(s) if s == "constraints"))
+            || (self.at_kw("database")
+                && matches!(self.peek2(), Tok::Ident(s) if s == "constraints"))
+    }
+
+    fn type_expr(&mut self) -> Result<Type, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(lo) => {
+                self.next();
+                self.expect(&Tok::DotDot)?;
+                match self.next() {
+                    Tok::Int(hi) => Ok(Type::Range(lo, hi)),
+                    other => self.err(format!("expected range upper bound, found '{other}'")),
+                }
+            }
+            Tok::Ident(s) => {
+                self.next();
+                Ok(match s.as_str() {
+                    "string" => Type::Str,
+                    "real" => Type::Real,
+                    "int" => Type::Int,
+                    "boolean" | "bool" => Type::Bool,
+                    "Pstring" => Type::pstring(),
+                    other => Type::Ref(ClassName::new(other)),
+                })
+            }
+            other => self.err(format!("expected type, found '{other}'")),
+        }
+    }
+
+    fn class_constraint_body(
+        &mut self,
+        consts: &BTreeMap<String, ConstVal>,
+    ) -> Result<ClassConstraintBody, ParseError> {
+        if self.accept_kw("key") {
+            let mut attrs = vec![AttrName::new(self.ident()?)];
+            while matches!(self.peek(), Tok::Comma) {
+                self.next();
+                attrs.push(AttrName::new(self.ident()?));
+            }
+            return Ok(ClassConstraintBody::Key(attrs));
+        }
+        // `(agg (collect x for x in self) over path) cmp bound`
+        self.expect(&Tok::LParen)?;
+        let op = match self.ident()?.as_str() {
+            "sum" => AggOp::Sum,
+            "avg" => AggOp::Avg,
+            "count" => AggOp::Count,
+            "min" => AggOp::Min,
+            "max" => AggOp::Max,
+            other => return self.err(format!("unknown aggregate '{other}'")),
+        };
+        self.expect(&Tok::LParen)?;
+        self.keyword("collect")?;
+        let v1 = self.ident()?;
+        self.keyword("for")?;
+        let v2 = self.ident()?;
+        if v1 != v2 {
+            return self.err(format!("collect variable '{v1}' does not match '{v2}'"));
+        }
+        self.keyword("in")?;
+        self.keyword("self")?;
+        self.expect(&Tok::RParen)?;
+        self.keyword("over")?;
+        let path = self.path()?;
+        self.expect(&Tok::RParen)?;
+        let cmp = self.cmp_op()?;
+        let bound = match self.peek().clone() {
+            Tok::Ident(s) if consts.contains_key(&s) => {
+                self.next();
+                match &consts[&s] {
+                    ConstVal::Scalar(v) => v.clone(),
+                    ConstVal::Set(_) => {
+                        return self.err(format!("set constant '{s}' cannot bound an aggregate"))
+                    }
+                }
+            }
+            _ => self.literal()?,
+        };
+        Ok(ClassConstraintBody::Aggregate {
+            op,
+            path,
+            cmp,
+            bound,
+        })
+    }
+
+    pub(crate) fn path(&mut self) -> Result<Path, ParseError> {
+        let mut segs = vec![AttrName::new(self.ident()?)];
+        while matches!(self.peek(), Tok::Dot) {
+            self.next();
+            segs.push(AttrName::new(self.ident()?));
+        }
+        Ok(Path(segs))
+    }
+
+    pub(crate) fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            other => return self.err(format!("expected comparison operator, found '{other}'")),
+        };
+        self.next();
+        Ok(op)
+    }
+
+    fn db_constraint(&mut self, db: &DbName) -> Result<DbConstraint, ParseError> {
+        let label = self.ident()?;
+        self.expect(&Tok::Colon)?;
+        self.keyword("forall")?;
+        let outer_var = self.ident()?;
+        self.keyword("in")?;
+        let outer_class = ClassName::new(self.ident()?);
+        let quant = if self.accept_kw("exists") {
+            Quantifier::Exists
+        } else {
+            self.keyword("forall")?;
+            Quantifier::Forall
+        };
+        let inner_var = self.ident()?;
+        self.keyword("in")?;
+        let inner_class = ClassName::new(self.ident()?);
+        self.expect(&Tok::Pipe)?;
+        let mut atoms = Vec::new();
+        loop {
+            atoms.push(self.pair_atom(&outer_var, &inner_var)?);
+            if !self.accept_kw("and") {
+                break;
+            }
+        }
+        Ok(DbConstraint {
+            id: ConstraintId::db_level(db, &label),
+            outer_class,
+            quant,
+            inner_class,
+            atoms,
+            status: Status::Unclassified,
+        })
+    }
+
+    /// One side of a database-constraint atom: a variable, optionally with
+    /// a path (`i.publisher` or bare `p`).
+    fn var_path(&mut self, outer: &str, inner: &str) -> Result<(bool, Path), ParseError> {
+        let head = self.ident()?;
+        let is_outer = if head == outer {
+            true
+        } else if head == inner {
+            false
+        } else {
+            return self.err(format!(
+                "unknown variable '{head}' (expected '{outer}' or '{inner}')"
+            ));
+        };
+        let mut segs = Vec::new();
+        while matches!(self.peek(), Tok::Dot) {
+            self.next();
+            segs.push(AttrName::new(self.ident()?));
+        }
+        Ok((is_outer, Path(segs)))
+    }
+
+    fn pair_atom(&mut self, outer: &str, inner: &str) -> Result<PairAtom, ParseError> {
+        let (lhs_outer, lhs) = self.var_path(outer, inner)?;
+        let op = self.cmp_op()?;
+        let (rhs_outer, rhs) = self.var_path(outer, inner)?;
+        match (lhs_outer, rhs_outer) {
+            (false, true) => Ok(PairAtom {
+                inner: lhs,
+                op,
+                outer: rhs,
+            }),
+            (true, false) => Ok(PairAtom {
+                inner: rhs,
+                op: op.flip(),
+                outer: lhs,
+            }),
+            _ => self.err("database-constraint atom must relate both variables"),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Formulas and expressions (shared with the spec parser)
+    // ---------------------------------------------------------------
+
+    pub(crate) fn formula(
+        &mut self,
+        consts: &BTreeMap<String, ConstVal>,
+    ) -> Result<Formula, ParseError> {
+        let lhs = self.or_formula(consts)?;
+        if self.accept_kw("implies") {
+            let rhs = self.formula(consts)?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_formula(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Formula, ParseError> {
+        let mut acc = self.and_formula(consts)?;
+        while self.accept_kw("or") {
+            let rhs = self.and_formula(consts)?;
+            acc = acc.or(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn and_formula(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Formula, ParseError> {
+        let mut acc = self.not_formula(consts)?;
+        while self.accept_kw("and") {
+            let rhs = self.not_formula(consts)?;
+            acc = acc.and(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn not_formula(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Formula, ParseError> {
+        if self.accept_kw("not") {
+            let inner = self.not_formula(consts)?;
+            return Ok(Formula::Not(Box::new(inner)));
+        }
+        self.atom_formula(consts)
+    }
+
+    fn atom_formula(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Formula, ParseError> {
+        // contains(path, 'lit')
+        if self.at_kw("contains") && matches!(self.peek2(), Tok::LParen) {
+            self.next();
+            self.expect(&Tok::LParen)?;
+            let e = self.expr(consts)?;
+            self.expect(&Tok::Comma)?;
+            let lit = match self.next() {
+                Tok::Str(s) => s,
+                other => return self.err(format!("expected string literal, found '{other}'")),
+            };
+            self.expect(&Tok::RParen)?;
+            return Ok(Formula::Contains(e, lit));
+        }
+        // Parenthesised formula — with backtracking to parenthesised expr.
+        if matches!(self.peek(), Tok::LParen) {
+            let save = self.pos;
+            self.next();
+            if let Ok(f) = self.formula(consts) {
+                if matches!(self.peek(), Tok::RParen) {
+                    self.next();
+                    // If a comparison or arithmetic operator follows, this
+                    // was really a parenthesised *expression*.
+                    if !matches!(
+                        self.peek(),
+                        Tok::Eq
+                            | Tok::Ne
+                            | Tok::Lt
+                            | Tok::Le
+                            | Tok::Gt
+                            | Tok::Ge
+                            | Tok::Plus
+                            | Tok::Minus
+                            | Tok::Star
+                            | Tok::Slash
+                    ) && !self.at_kw("in")
+                    {
+                        return Ok(f);
+                    }
+                }
+            }
+            self.pos = save; // fall through to expression route
+        }
+        // true / false as bare formulas (unless used as comparison operand).
+        if (self.at_kw("true") || self.at_kw("false"))
+            && !matches!(
+                self.peek2(),
+                Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge
+            )
+        {
+            let b = self.accept_kw("true");
+            if !b {
+                self.keyword("false")?;
+            }
+            return Ok(if b { Formula::True } else { Formula::False });
+        }
+        // expr (cmp expr | in set)
+        let lhs = self.expr(consts)?;
+        if self.accept_kw("in") {
+            let set = match self.peek().clone() {
+                Tok::Ident(s) if consts.contains_key(&s) => {
+                    self.next();
+                    match &consts[&s] {
+                        ConstVal::Set(set) => set.clone(),
+                        ConstVal::Scalar(v) => [v.clone()].into_iter().collect(),
+                    }
+                }
+                _ => self.value_set()?,
+            };
+            return Ok(Formula::In(lhs, set));
+        }
+        let op = self.cmp_op()?;
+        let rhs = self.expr(consts)?;
+        Ok(Formula::Cmp(lhs, op, rhs))
+    }
+
+    pub(crate) fn expr(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Expr, ParseError> {
+        let mut acc = self.term(consts)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => interop_constraint::ArithOp::Add,
+                Tok::Minus => interop_constraint::ArithOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term(consts)?;
+            acc = Expr::Bin(Box::new(acc), op, Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Expr, ParseError> {
+        let mut acc = self.factor(consts)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => interop_constraint::ArithOp::Mul,
+                Tok::Slash => interop_constraint::ArithOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.factor(consts)?;
+            acc = Expr::Bin(Box::new(acc), op, Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self, consts: &BTreeMap<String, ConstVal>) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(_) | Tok::Real(_) | Tok::Str(_) => Ok(Expr::Const(self.literal()?)),
+            Tok::Minus => {
+                self.next();
+                let inner = self.factor(consts)?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.expr(consts)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.next();
+                Ok(Expr::Const(Value::Bool(true)))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.next();
+                Ok(Expr::Const(Value::Bool(false)))
+            }
+            Tok::Ident(s) => {
+                if let Some(c) = consts.get(&s) {
+                    self.next();
+                    return match c {
+                        ConstVal::Scalar(v) => Ok(Expr::Const(v.clone())),
+                        ConstVal::Set(_) => {
+                            self.err(format!("set constant '{s}' used as a scalar"))
+                        }
+                    };
+                }
+                Ok(Expr::Attr(self.path()?))
+            }
+            other => self.err(format!("expected expression, found '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_DB: &str = "
+database Bookseller
+
+class Publisher
+  attributes
+    name : string
+    location : string
+end Publisher
+
+class Item
+  attributes
+    title : string
+    isbn : string
+    publisher : Publisher
+    shopprice : real
+    libprice : real
+  object constraints
+    oc1: libprice <= shopprice
+  class constraints
+    cc1: key isbn
+end Item
+
+class Proceedings isa Item
+  attributes
+    ref? : boolean
+    rating : 1..10
+  object constraints
+    oc1: publisher.name = 'IEEE' implies ref? = true
+    oc2: ref? = true implies rating >= 7
+    oc3: publisher.name = 'ACM' implies rating >= 6
+end Proceedings
+
+class Monograph isa Item
+  attributes
+    subjects : Pstring
+end Monograph
+
+database constraints
+  dbl: forall p in Publisher exists i in Item | i.publisher = p
+";
+
+    #[test]
+    fn parses_bookseller_figure1() {
+        let parsed = parse_database(SMALL_DB).unwrap();
+        assert_eq!(parsed.schema.db.as_str(), "Bookseller");
+        assert_eq!(parsed.schema.len(), 4);
+        let proc_class = ClassName::new("Proceedings");
+        assert_eq!(parsed.catalog.object_on(&proc_class).len(), 3);
+        assert_eq!(
+            parsed.catalog.object_on(&proc_class)[1].formula.to_string(),
+            "ref? = true implies rating >= 7"
+        );
+        assert_eq!(parsed.catalog.database_constraints().len(), 1);
+        assert_eq!(
+            parsed.catalog.database_constraints()[0].to_string(),
+            "[Bookseller.dbl] forall p in Publisher exists i in Item | i.publisher = p"
+        );
+    }
+
+    #[test]
+    fn range_and_ref_types() {
+        let parsed = parse_database(SMALL_DB).unwrap();
+        let (_, rating) = parsed
+            .schema
+            .resolve_attr(&ClassName::new("Proceedings"), &AttrName::new("rating"))
+            .unwrap();
+        assert_eq!(rating.ty, Type::Range(1, 10));
+        let (_, publ) = parsed
+            .schema
+            .resolve_attr(&ClassName::new("Item"), &AttrName::new("publisher"))
+            .unwrap();
+        assert_eq!(publ.ty, Type::Ref(ClassName::new("Publisher")));
+    }
+
+    #[test]
+    fn consts_resolve_in_constraints() {
+        let src = "
+database L
+const MAX = 100
+const NAMES = {'ACM', 'IEEE'}
+class C
+  attributes
+    price : real
+    publisher : string
+  object constraints
+    oc1: publisher in NAMES
+  class constraints
+    cc1: (sum (collect x for x in self) over price) < MAX
+end C
+";
+        let parsed = parse_database(src).unwrap();
+        let c = ClassName::new("C");
+        assert_eq!(
+            parsed.catalog.object_on(&c)[0].formula.to_string(),
+            "publisher in {'ACM', 'IEEE'}"
+        );
+        match &parsed.catalog.class_on(&c)[0].body {
+            ClassConstraintBody::Aggregate { op, bound, .. } => {
+                assert_eq!(*op, AggOp::Sum);
+                assert_eq!(bound, &Value::Int(100));
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+        assert_eq!(parsed.catalog.class_on(&c).len(), 1);
+    }
+
+    #[test]
+    fn key_constraint_parses() {
+        let parsed = parse_database(SMALL_DB).unwrap();
+        let item = ClassName::new("Item");
+        assert!(parsed.catalog.class_on(&item)[0].is_key());
+    }
+
+    #[test]
+    fn undefined_const_is_attr_path() {
+        // An undeclared uppercase name is treated as an attribute path —
+        // schema validation will catch it if it doesn't exist; here we
+        // check the parse shape only.
+        let src = "
+database L
+class C
+  attributes
+    x : real
+  object constraints
+    oc1: x < BOGUS
+end C
+";
+        let parsed = parse_database(src).unwrap();
+        assert_eq!(
+            parsed.catalog.object_on(&ClassName::new("C"))[0]
+                .formula
+                .to_string(),
+            "x < BOGUS"
+        );
+    }
+
+    #[test]
+    fn mismatched_end_errors() {
+        let src = "
+database L
+class C
+  attributes
+    x : real
+end D
+";
+        let err = parse_database(src).unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn arithmetic_and_parens() {
+        let src = "
+database L
+class C
+  attributes
+    a : real
+    b : real
+  object constraints
+    oc1: (a + b) / 2 < 10
+    oc2: not (a > 5 and b > 5)
+    oc3: a > 1 or b > 1
+end C
+";
+        let parsed = parse_database(src).unwrap();
+        let ocs = parsed.catalog.object_on(&ClassName::new("C"));
+        assert_eq!(ocs[0].formula.to_string(), "((a + b) / 2) < 10");
+        assert_eq!(ocs[1].formula.to_string(), "not (a > 5 and b > 5)");
+        assert_eq!(ocs[2].formula.to_string(), "a > 1 or b > 1");
+    }
+
+    #[test]
+    fn boolean_literals_in_comparisons() {
+        let src = "
+database L
+class C
+  attributes
+    flag : boolean
+  object constraints
+    oc1: flag = true
+end C
+";
+        let parsed = parse_database(src).unwrap();
+        assert_eq!(
+            parsed.catalog.object_on(&ClassName::new("C"))[0]
+                .formula
+                .to_string(),
+            "flag = true"
+        );
+    }
+
+    #[test]
+    fn forall_forall_db_constraint() {
+        let src = "
+database L
+class A
+  attributes
+    x : real
+end A
+class B
+  attributes
+    y : real
+end B
+database constraints
+  d1: forall a in A forall b in B | b.y >= a.x
+";
+        let parsed = parse_database(src).unwrap();
+        let dc = &parsed.catalog.database_constraints()[0];
+        assert_eq!(dc.quant, Quantifier::Forall);
+        assert_eq!(dc.atoms.len(), 1);
+    }
+
+    #[test]
+    fn db_constraint_flips_sides_when_outer_first() {
+        let src = "
+database L
+class A
+  attributes
+    x : real
+end A
+class B
+  attributes
+    y : real
+end B
+database constraints
+  d1: forall a in A exists b in B | a.x = b.y
+";
+        let parsed = parse_database(src).unwrap();
+        let atom = &parsed.catalog.database_constraints()[0].atoms[0];
+        assert_eq!(atom.outer, Path::parse("x"));
+        assert_eq!(atom.inner, Path::parse("y"));
+        assert_eq!(atom.op, CmpOp::Eq);
+    }
+
+    #[test]
+    fn schema_errors_surface() {
+        let src = "
+database L
+class C isa Ghost
+  attributes
+    x : real
+end C
+";
+        let err = parse_database(src).unwrap_err();
+        assert!(err.to_string().contains("schema error"));
+    }
+}

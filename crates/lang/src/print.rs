@@ -1,0 +1,215 @@
+//! Pretty-printer: renders schemas, catalogs and specs back into the TM
+//! dialect. `parse(print(x)) == x` is the Figure-1 round-trip property
+//! tested by the F1 experiment.
+
+use std::fmt::Write as _;
+
+use interop_constraint::{Catalog, ClassConstraintBody, Quantifier};
+use interop_model::Schema;
+
+use crate::parser::{ConstVal, ParsedDatabase};
+
+/// Renders a parsed database back into source form.
+pub fn print_database(db: &ParsedDatabase) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "database {}", db.schema.db);
+    for (name, val) in &db.consts {
+        match val {
+            ConstVal::Scalar(v) => {
+                let _ = writeln!(out, "const {name} = {v}");
+            }
+            ConstVal::Set(set) => {
+                let items: Vec<String> = set.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "const {name} = {{{}}}", items.join(", "));
+            }
+        }
+    }
+    let _ = writeln!(out);
+    for class in classes_in_topo_order(&db.schema) {
+        let def = db.schema.class(&class).expect("class listed");
+        match &def.parent {
+            Some(p) => {
+                let _ = writeln!(out, "class {} isa {}", def.name, p);
+            }
+            None => {
+                let _ = writeln!(out, "class {}", def.name);
+            }
+        }
+        if !def.attrs.is_empty() {
+            let _ = writeln!(out, "  attributes");
+            for a in &def.attrs {
+                let _ = writeln!(out, "    {} : {}", a.name, a.ty);
+            }
+        }
+        let ocs = db.catalog.object_on(&def.name);
+        if !ocs.is_empty() {
+            let _ = writeln!(out, "  object constraints");
+            for c in ocs {
+                let label = c.id.as_str().rsplit('.').next().expect("dotted id");
+                let _ = writeln!(out, "    {label}: {}", c.formula);
+            }
+        }
+        let ccs = db.catalog.class_on(&def.name);
+        if !ccs.is_empty() {
+            let _ = writeln!(out, "  class constraints");
+            for c in ccs {
+                let label = c.id.as_str().rsplit('.').next().expect("dotted id");
+                match &c.body {
+                    ClassConstraintBody::Key(attrs) => {
+                        let names: Vec<&str> = attrs.iter().map(|a| a.as_str()).collect();
+                        let _ = writeln!(out, "    {label}: key {}", names.join(", "));
+                    }
+                    ClassConstraintBody::Aggregate {
+                        op,
+                        path,
+                        cmp,
+                        bound,
+                    } => {
+                        let _ = writeln!(
+                            out,
+                            "    {label}: ({op} (collect x for x in self) over {path}) {cmp} {bound}"
+                        );
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "end {}", def.name);
+        let _ = writeln!(out);
+    }
+    print_db_constraints(&mut out, &db.catalog);
+    out
+}
+
+fn print_db_constraints(out: &mut String, catalog: &Catalog) {
+    let dbs = catalog.database_constraints();
+    if dbs.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "database constraints");
+    for c in dbs {
+        let label = c.id.as_str().rsplit('.').next().expect("dotted id");
+        let q = match c.quant {
+            Quantifier::Exists => "exists",
+            Quantifier::Forall => "forall",
+        };
+        let mut atoms = Vec::new();
+        for a in &c.atoms {
+            let inner = if a.inner.is_this() {
+                "i".to_owned()
+            } else {
+                format!("i.{}", a.inner)
+            };
+            let outer = if a.outer.is_this() {
+                "p".to_owned()
+            } else {
+                format!("p.{}", a.outer)
+            };
+            atoms.push(format!("{inner} {} {outer}", a.op));
+        }
+        let _ = writeln!(
+            out,
+            "  {label}: forall p in {} {q} i in {} | {}",
+            c.outer_class,
+            c.inner_class,
+            atoms.join(" and ")
+        );
+    }
+}
+
+/// Classes ordered parents-before-children (the parser requires parents to
+/// be defined first only at schema level, but printing in topological
+/// order keeps round-trips stable).
+fn classes_in_topo_order(schema: &Schema) -> Vec<interop_model::ClassName> {
+    let mut out = Vec::new();
+    let mut emitted = std::collections::BTreeSet::new();
+    // Roots first, then repeatedly emit classes whose parent is emitted.
+    loop {
+        let mut progress = false;
+        for def in schema.classes() {
+            if emitted.contains(&def.name) {
+                continue;
+            }
+            let ready = match &def.parent {
+                None => true,
+                Some(p) => emitted.contains(p),
+            };
+            if ready {
+                emitted.insert(def.name.clone());
+                out.push(def.name.clone());
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+
+    const SRC: &str = "
+database Bookseller
+const LIMIT = 50
+
+class Publisher
+  attributes
+    name : string
+    location : string
+end Publisher
+
+class Item
+  attributes
+    isbn : string
+    publisher : Publisher
+    shopprice : real
+    libprice : real
+  object constraints
+    oc1: libprice <= shopprice
+  class constraints
+    cc1: key isbn
+    cc2: (count (collect x for x in self) over isbn) < LIMIT
+end Item
+
+class Proceedings isa Item
+  attributes
+    ref? : boolean
+    rating : 1..10
+  object constraints
+    oc2: ref? = true implies rating >= 7
+end Proceedings
+
+database constraints
+  dbl: forall p in Publisher exists i in Item | i.publisher = p
+";
+
+    #[test]
+    fn round_trip_is_stable() {
+        let first = parse_database(SRC).unwrap();
+        let printed = print_database(&first);
+        let second = parse_database(&printed).unwrap();
+        assert_eq!(first.schema, second.schema);
+        assert_eq!(
+            print_database(&first),
+            print_database(&second),
+            "printing must be a fixpoint"
+        );
+        // Constraint counts survive.
+        assert_eq!(first.catalog.len(), second.catalog.len());
+    }
+
+    #[test]
+    fn printed_form_contains_key_lines() {
+        let parsed = parse_database(SRC).unwrap();
+        let printed = print_database(&parsed);
+        assert!(printed.contains("class Proceedings isa Item"));
+        assert!(printed.contains("oc2: ref? = true implies rating >= 7"));
+        assert!(printed.contains("cc1: key isbn"));
+        assert!(printed.contains("rating : 1..10"));
+        assert!(printed.contains("dbl: forall p in Publisher exists i in Item | i.publisher = p"));
+        assert!(printed.contains("const LIMIT = 50"));
+    }
+}

@@ -1,0 +1,695 @@
+//! Parser for integration specifications (§2.2 syntax).
+//!
+//! ```text
+//! integration CSLibrary with Bookseller
+//!
+//! rule r1: Eq(o : Publication, r : Item) <- o.isbn = r.isbn
+//! rule r2: Eq(o : Publication.{publisher}, r : Publisher) <- o.publisher = r.name
+//! rule r3: Sim(r : Proceedings, RefereedPubl) <- r.ref? = true
+//! rule r4: Sim(r : Monograph, ScientificPubl, SciOrMono) <- true
+//!
+//! propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary))
+//! propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+//!
+//! declare subjective CSLibrary.Publication.cc2
+//! ```
+//!
+//! One deviation from the paper's notation: rule variables are named
+//! (`o`, `r`) instead of `O`/`O'`, because the prime collides with the
+//! string-literal quote. Which side a variable belongs to is inferred
+//! from its declared class.
+
+use std::collections::BTreeMap;
+
+use interop_constraint::{ConstraintId, Expr, Formula, Path, Status};
+use interop_model::{ClassName, Schema};
+use interop_spec::{
+    ComparisonRule, Conversion, Decision, InterCond, PropEq, Relationship, Side, Spec,
+};
+
+use crate::error::ParseError;
+use crate::lexer::{lex, Tok};
+use crate::parser::Parser;
+
+/// Parses an integration specification. `local`/`remote` are the schemas
+/// of the two component databases (used to resolve class sides).
+pub fn parse_spec(src: &str, local: &Schema, remote: &Schema) -> Result<Spec, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser::new(&toks);
+    let mut sp = SpecParser {
+        p: &mut p,
+        local,
+        remote,
+    };
+    sp.spec()
+}
+
+struct SpecParser<'a, 'b> {
+    p: &'a mut Parser<'b>,
+    local: &'a Schema,
+    remote: &'a Schema,
+}
+
+impl SpecParser<'_, '_> {
+    fn side_of(&self, class: &ClassName) -> Option<Side> {
+        if self.local.class(class).is_some() {
+            Some(Side::Local)
+        } else if self.remote.class(class).is_some() {
+            Some(Side::Remote)
+        } else {
+            None
+        }
+    }
+
+    fn spec(&mut self) -> Result<Spec, ParseError> {
+        self.p.keyword("integration")?;
+        let local_db = self.p.ident()?;
+        self.p.keyword("with")?;
+        let remote_db = self.p.ident()?;
+        if local_db != self.local.db.as_str() {
+            return self
+                .p
+                .err(format!("local database '{local_db}' does not match schema"));
+        }
+        if remote_db != self.remote.db.as_str() {
+            return self.p.err(format!(
+                "remote database '{remote_db}' does not match schema"
+            ));
+        }
+        let mut spec = Spec::new(local_db, remote_db);
+        loop {
+            if self.p.accept_kw("rule") {
+                let r = self.rule()?;
+                spec.add_rule(r);
+            } else if self.p.at_kw("propeq") {
+                let pe = self.propeq()?;
+                spec.add_propeq(pe);
+            } else if self.p.accept_kw("declare") {
+                let status = if self.p.accept_kw("subjective") {
+                    Status::Subjective
+                } else {
+                    self.p.keyword("objective")?;
+                    Status::Objective
+                };
+                let id = self.dotted_id()?;
+                spec.declare_status(ConstraintId::derived(&id), status);
+            } else if self.p.accept_kw("value_view") {
+                spec.object_view = false;
+            } else if matches!(self.p.peek(), Tok::Eof) {
+                break;
+            } else {
+                return self.p.err(format!(
+                    "expected 'rule', 'propeq', 'declare' or end of file, found '{}'",
+                    self.p.peek()
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    fn dotted_id(&mut self) -> Result<String, ParseError> {
+        let mut s = self.p.ident()?;
+        while matches!(self.p.peek(), Tok::Dot) {
+            self.p.next();
+            s.push('.');
+            s.push_str(&self.p.ident()?);
+        }
+        Ok(s)
+    }
+
+    fn rule(&mut self) -> Result<ComparisonRule, ParseError> {
+        let id = self.p.ident()?;
+        self.p.expect(&Tok::Colon)?;
+        let head = self.p.ident()?; // Eq | Sim
+        self.p.expect(&Tok::LParen)?;
+        let rule = match head.as_str() {
+            "Eq" => self.eq_rule(&id)?,
+            "Sim" => self.sim_rule(&id)?,
+            other => return self.p.err(format!("unknown relationship '{other}'")),
+        };
+        Ok(rule)
+    }
+
+    /// `Eq(o : Class, r : Class') <- cond` or descriptivity
+    /// `Eq(o : Class.{attrs}, r : Class') <- cond`.
+    fn eq_rule(&mut self, id: &str) -> Result<ComparisonRule, ParseError> {
+        let var1 = self.p.ident()?;
+        self.p.expect(&Tok::Colon)?;
+        let class1 = ClassName::new(self.p.ident()?);
+        // Optional `.{a, b}` descriptivity value set.
+        let mut value_attrs: Option<Vec<Path>> = None;
+        if matches!(self.p.peek(), Tok::Dot) && matches!(self.p.peek2(), Tok::LBrace) {
+            self.p.next();
+            self.p.next();
+            let mut attrs = vec![Path::attr(self.p.ident()?)];
+            while matches!(self.p.peek(), Tok::Comma) {
+                self.p.next();
+                attrs.push(Path::attr(self.p.ident()?));
+            }
+            self.p.expect(&Tok::RBrace)?;
+            value_attrs = Some(attrs);
+        }
+        self.p.expect(&Tok::Comma)?;
+        let var2 = self.p.ident()?;
+        self.p.expect(&Tok::Colon)?;
+        let class2 = ClassName::new(self.p.ident()?);
+        self.p.expect(&Tok::RParen)?;
+        self.p.expect(&Tok::Arrow)?;
+        // Resolve sides: exactly one class must be local, one remote.
+        let side1 = self
+            .side_of(&class1)
+            .ok_or_else(|| ParseError::new(format!("unknown class '{class1}'"), self.p.line()))?;
+        let side2 = self
+            .side_of(&class2)
+            .ok_or_else(|| ParseError::new(format!("unknown class '{class2}'"), self.p.line()))?;
+        if side1 == side2 {
+            return self
+                .p
+                .err("equality rule must relate a local and a remote class");
+        }
+        let (local_var, local_class, remote_var, remote_class) = if side1 == Side::Local {
+            (var1, class1, var2, class2)
+        } else {
+            (var2, class2, var1, class1)
+        };
+        let cond = self.condition(&local_var, &remote_var)?;
+        let mut rule = match value_attrs {
+            None => ComparisonRule::equality(id, local_class, remote_class, Vec::new()),
+            Some(attrs) => {
+                let mut r = ComparisonRule::descriptivity(
+                    id,
+                    local_class,
+                    Vec::new(),
+                    remote_class,
+                    Vec::new(),
+                );
+                r.relationship = Relationship::Descriptivity {
+                    class: match &r.relationship {
+                        Relationship::Descriptivity { class, .. } => class.clone(),
+                        _ => unreachable!("constructed as descriptivity"),
+                    },
+                    value_attrs: attrs,
+                };
+                r
+            }
+        };
+        rule.inter = cond.inter;
+        rule.intra_subject = cond.intra_remote;
+        rule.intra_counterpart = cond.intra_local;
+        Ok(rule)
+    }
+
+    /// `Sim(v : SubjectClass, Target)` or
+    /// `Sim(v : SubjectClass, Target, Virtual)`.
+    fn sim_rule(&mut self, id: &str) -> Result<ComparisonRule, ParseError> {
+        let var = self.p.ident()?;
+        self.p.expect(&Tok::Colon)?;
+        let subject_class = ClassName::new(self.p.ident()?);
+        self.p.expect(&Tok::Comma)?;
+        let target_class = ClassName::new(self.p.ident()?);
+        let mut virtual_class = None;
+        if matches!(self.p.peek(), Tok::Comma) {
+            self.p.next();
+            virtual_class = Some(ClassName::new(self.p.ident()?));
+        }
+        self.p.expect(&Tok::RParen)?;
+        self.p.expect(&Tok::Arrow)?;
+        let subject_side = self.side_of(&subject_class).ok_or_else(|| {
+            ParseError::new(format!("unknown class '{subject_class}'"), self.p.line())
+        })?;
+        let target_side = self.side_of(&target_class);
+        if target_side == Some(subject_side) {
+            return self
+                .p
+                .err("similarity rule must target a class on the other side");
+        }
+        // Condition: only the subject variable may occur.
+        let cond = self.condition_single(&var)?;
+        Ok(match virtual_class {
+            None => ComparisonRule::similarity(id, subject_side, subject_class, target_class, cond),
+            Some(v) => ComparisonRule::approx_similarity(
+                id,
+                subject_side,
+                subject_class,
+                target_class,
+                v,
+                cond,
+            ),
+        })
+    }
+
+    /// Parses a condition over one variable; paths must start with `var`.
+    fn condition_single(&mut self, var: &str) -> Result<Formula, ParseError> {
+        let raw = self.p.formula(&BTreeMap::new())?;
+        strip_var(&raw, var).map_err(|m| ParseError::new(m, self.p.line()))
+    }
+
+    /// Parses a two-variable condition and splits it into interobject and
+    /// intraobject parts (§3).
+    fn condition(&mut self, local_var: &str, remote_var: &str) -> Result<SplitCond, ParseError> {
+        let raw = self.p.formula(&BTreeMap::new())?;
+        split_condition(&raw, local_var, remote_var).map_err(|m| ParseError::new(m, self.p.line()))
+    }
+
+    /// `propeq(C.p, C'.p', cf, cf', df) [as name]`
+    fn propeq(&mut self) -> Result<PropEq, ParseError> {
+        self.p.keyword("propeq")?;
+        self.p.expect(&Tok::LParen)?;
+        let (lclass, lpath) = self.class_path()?;
+        self.p.expect(&Tok::Comma)?;
+        let (rclass, rpath) = self.class_path()?;
+        self.p.expect(&Tok::Comma)?;
+        let cf_local = self.conversion()?;
+        self.p.expect(&Tok::Comma)?;
+        let cf_remote = self.conversion()?;
+        self.p.expect(&Tok::Comma)?;
+        let df = self.decision()?;
+        self.p.expect(&Tok::RParen)?;
+        if self.side_of(&lclass) != Some(Side::Local) {
+            return self
+                .p
+                .err(format!("'{lclass}' is not a class of the local database"));
+        }
+        if self.side_of(&rclass) != Some(Side::Remote) {
+            return self
+                .p
+                .err(format!("'{rclass}' is not a class of the remote database"));
+        }
+        let conformed = if self.p.accept_kw("as") {
+            Path::attr(self.p.ident()?)
+        } else {
+            rpath.clone()
+        };
+        Ok(PropEq {
+            local_class: lclass,
+            local_path: lpath,
+            remote_class: rclass,
+            remote_path: rpath,
+            cf_local,
+            cf_remote,
+            df,
+            conformed_name: conformed,
+        })
+    }
+
+    fn class_path(&mut self) -> Result<(ClassName, Path), ParseError> {
+        let class = ClassName::new(self.p.ident()?);
+        self.p.expect(&Tok::Dot)?;
+        let path = self.p.path()?;
+        Ok((class, path))
+    }
+
+    fn conversion(&mut self) -> Result<Conversion, ParseError> {
+        let name = self.p.ident()?;
+        match name.as_str() {
+            "id" => Ok(Conversion::Id),
+            "multiply" => {
+                self.p.expect(&Tok::LParen)?;
+                let k = self.num()?;
+                self.p.expect(&Tok::RParen)?;
+                Ok(Conversion::Multiply(k))
+            }
+            "linear" => {
+                self.p.expect(&Tok::LParen)?;
+                let a = self.num()?;
+                self.p.expect(&Tok::Comma)?;
+                let b = self.num()?;
+                self.p.expect(&Tok::RParen)?;
+                Ok(Conversion::Linear { a, b })
+            }
+            other => self.p.err(format!("unknown conversion function '{other}'")),
+        }
+    }
+
+    fn num(&mut self) -> Result<f64, ParseError> {
+        match self.p.next() {
+            Tok::Int(i) => Ok(i as f64),
+            Tok::Real(r) => Ok(r),
+            Tok::Minus => Ok(-self.num()?),
+            other => self.p.err(format!("expected number, found '{other}'")),
+        }
+    }
+
+    fn decision(&mut self) -> Result<Decision, ParseError> {
+        let name = self.p.ident()?;
+        match name.as_str() {
+            "any" => Ok(Decision::Any),
+            "max" => Ok(Decision::Max),
+            "min" => Ok(Decision::Min),
+            "avg" => Ok(Decision::Avg),
+            "union" => Ok(Decision::Union),
+            "trust" => {
+                self.p.expect(&Tok::LParen)?;
+                let db = self.p.ident()?;
+                self.p.expect(&Tok::RParen)?;
+                if db == self.local.db.as_str() {
+                    Ok(Decision::Trust(Side::Local))
+                } else if db == self.remote.db.as_str() {
+                    Ok(Decision::Trust(Side::Remote))
+                } else {
+                    self.p.err(format!("unknown database '{db}' in trust()"))
+                }
+            }
+            other => self.p.err(format!("unknown decision function '{other}'")),
+        }
+    }
+}
+
+struct SplitCond {
+    inter: Vec<InterCond>,
+    intra_local: Formula,
+    intra_remote: Formula,
+}
+
+/// Strips the variable prefix from every path in `f`; errors if a path
+/// references a different variable.
+fn strip_var(f: &Formula, var: &str) -> Result<Formula, String> {
+    for p in f.paths() {
+        match p.head() {
+            Some(h) if h.as_str() == var => {}
+            Some(h) => return Err(format!("unknown variable '{h}' (expected '{var}')")),
+            None => {}
+        }
+    }
+    Ok(f.map_exprs(&|e| match e {
+        Expr::Attr(p) if p.head().is_some_and(|h| h.as_str() == var) => {
+            Expr::Attr(Path(p.0[1..].to_vec()))
+        }
+        other => other.clone(),
+    }))
+}
+
+/// Splits a two-variable rule condition into interobject atoms and
+/// per-variable intraobject formulas.
+fn split_condition(f: &Formula, local_var: &str, remote_var: &str) -> Result<SplitCond, String> {
+    let mut inter = Vec::new();
+    let mut intra_local = Formula::True;
+    let mut intra_remote = Formula::True;
+    for conj in interop_constraint::normalize::split_conjuncts(f) {
+        let heads: std::collections::BTreeSet<String> = conj
+            .paths()
+            .iter()
+            .filter_map(|p| p.head().map(|h| h.as_str().to_owned()))
+            .collect();
+        let has_local = heads.contains(local_var);
+        let has_remote = heads.contains(remote_var);
+        for h in &heads {
+            if h != local_var && h != remote_var {
+                return Err(format!("unknown variable '{h}'"));
+            }
+        }
+        match (has_local, has_remote) {
+            (true, false) => {
+                intra_local = intra_local.and(strip_var(&conj, local_var)?);
+            }
+            (false, true) => {
+                intra_remote = intra_remote.and(strip_var(&conj, remote_var)?);
+            }
+            (false, false) => {} // constant conjunct (true)
+            (true, true) => match &conj {
+                Formula::Cmp(Expr::Attr(p), op, Expr::Attr(q)) => {
+                    let (lp, op, rp) = if p.head().is_some_and(|h| h.as_str() == local_var) {
+                        (p, *op, q)
+                    } else {
+                        (q, op.flip(), p)
+                    };
+                    inter.push(InterCond {
+                        local: Path(lp.0[1..].to_vec()),
+                        op,
+                        remote: Path(rp.0[1..].to_vec()),
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "interobject condition must be a comparison of two paths, got '{other}'"
+                    ))
+                }
+            },
+        }
+    }
+    Ok(SplitCond {
+        inter,
+        intra_local,
+        intra_remote,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+    use interop_spec::{Relationship, RuleId};
+
+    fn schemas() -> (Schema, Schema) {
+        let local = parse_database(
+            "
+database CSLibrary
+class Publication
+  attributes
+    title : string
+    isbn : string
+    publisher : string
+    shopprice : real
+    ourprice : real
+end Publication
+class ScientificPubl isa Publication
+  attributes
+    editors : Pstring
+    rating : 1..5
+end ScientificPubl
+class RefereedPubl isa ScientificPubl
+  attributes
+    avgAccRate : real
+end RefereedPubl
+",
+        )
+        .unwrap()
+        .schema;
+        let remote = parse_database(
+            "
+database Bookseller
+class Publisher
+  attributes
+    name : string
+    location : string
+end Publisher
+class Item
+  attributes
+    title : string
+    isbn : string
+    publisher : Publisher
+    shopprice : real
+    libprice : real
+    authors : Pstring
+end Item
+class Proceedings isa Item
+  attributes
+    ref? : boolean
+    rating : 1..10
+end Proceedings
+class Monograph isa Item
+  attributes
+    subjects : Pstring
+end Monograph
+",
+        )
+        .unwrap()
+        .schema;
+        (local, remote)
+    }
+
+    const SPEC: &str = "
+integration CSLibrary with Bookseller
+
+rule r1: Eq(o : Publication, r : Item) <- o.isbn = r.isbn
+rule r2: Eq(o : Publication.{publisher}, r : Publisher) <- o.publisher = r.name
+rule r3: Sim(r : Proceedings, RefereedPubl) <- r.ref? = true
+rule r4: Sim(r : Proceedings, NonRefereedPubl) <- r.ref? = false
+rule r5: Sim(o : ScientificPubl, Proceedings) <- contains(o.title, 'Proceed')
+rule r6: Sim(r : Monograph, ScientificPubl, SciOrMono) <- true
+
+propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary))
+propeq(Publication.shopprice, Item.shopprice, id, id, trust(Bookseller))
+propeq(Publication.publisher, Publisher.name, id, id, any)
+propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+propeq(ScientificPubl.editors, Item.authors, id, id, union)
+
+declare subjective CSLibrary.Publication.cc2
+declare objective Bookseller.Proceedings.oc1
+";
+
+    #[test]
+    fn parses_full_paper_spec() {
+        let (local, remote) = schemas();
+        // NonRefereedPubl is referenced by r4 — add it to the local schema.
+        let mut local = local;
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        assert_eq!(spec.rules.len(), 6);
+        assert_eq!(spec.propeqs.len(), 5);
+        assert_eq!(spec.status_overrides.len(), 2);
+    }
+
+    #[test]
+    fn eq_rule_sides_resolved() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        let r1 = spec.rule(&RuleId::new("r1")).unwrap();
+        assert!(r1.is_equality());
+        assert_eq!(r1.subject_class.as_str(), "Item");
+        assert_eq!(
+            r1.counterpart_class.as_ref().unwrap().as_str(),
+            "Publication"
+        );
+        assert_eq!(r1.inter.len(), 1);
+        assert_eq!(r1.inter[0].local, Path::parse("isbn"));
+        assert_eq!(r1.inter[0].remote, Path::parse("isbn"));
+    }
+
+    #[test]
+    fn descriptivity_rule_parsed() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        let r2 = spec.rule(&RuleId::new("r2")).unwrap();
+        assert!(r2.is_descriptivity());
+        match &r2.relationship {
+            Relationship::Descriptivity { class, value_attrs } => {
+                assert_eq!(class.as_str(), "Publication");
+                assert_eq!(value_attrs, &[Path::parse("publisher")]);
+            }
+            other => panic!("expected descriptivity, got {other}"),
+        }
+        assert_eq!(r2.inter[0].local, Path::parse("publisher"));
+        assert_eq!(r2.inter[0].remote, Path::parse("name"));
+    }
+
+    #[test]
+    fn sim_rule_conditions_stripped() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        let r3 = spec.rule(&RuleId::new("r3")).unwrap();
+        assert_eq!(r3.intra_subject.to_string(), "ref? = true");
+        assert_eq!(r3.subject_side, Side::Remote);
+        let r5 = spec.rule(&RuleId::new("r5")).unwrap();
+        assert_eq!(r5.subject_side, Side::Local);
+        assert_eq!(r5.intra_subject.to_string(), "contains(title, 'Proceed')");
+    }
+
+    #[test]
+    fn approx_rule_has_virtual_class() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        let r6 = spec.rule(&RuleId::new("r6")).unwrap();
+        match &r6.relationship {
+            Relationship::ApproxSimilarity {
+                class,
+                virtual_class,
+            } => {
+                assert_eq!(class.as_str(), "ScientificPubl");
+                assert_eq!(virtual_class.as_str(), "SciOrMono");
+            }
+            other => panic!("expected approx similarity, got {other}"),
+        }
+    }
+
+    #[test]
+    fn propeq_trust_sides_and_conversions() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        let pe = &spec.propeqs[0];
+        assert_eq!(pe.df, Decision::Trust(Side::Local));
+        assert_eq!(pe.conformed_name, Path::parse("libprice"));
+        let rating = &spec.propeqs[3];
+        assert_eq!(rating.cf_local, Conversion::Multiply(2.0));
+        assert_eq!(rating.df, Decision::Avg);
+    }
+
+    #[test]
+    fn declares_recorded() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        assert_eq!(
+            spec.status_overrides
+                .get(&ConstraintId::derived("CSLibrary.Publication.cc2")),
+            Some(&Status::Subjective)
+        );
+        assert_eq!(
+            spec.status_overrides
+                .get(&ConstraintId::derived("Bookseller.Proceedings.oc1")),
+            Some(&Status::Objective)
+        );
+    }
+
+    #[test]
+    fn unknown_class_in_rule_errors() {
+        let (local, remote) = schemas();
+        let err = parse_spec(
+            "integration CSLibrary with Bookseller\nrule r: Sim(x : Ghost, Publication) <- true\n",
+            &local,
+            &remote,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown class"));
+    }
+
+    #[test]
+    fn same_side_equality_errors() {
+        let (local, remote) = schemas();
+        let err = parse_spec(
+            "integration CSLibrary with Bookseller\nrule r: Eq(a : Publication, b : ScientificPubl) <- a.isbn = b.isbn\n",
+            &local,
+            &remote,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("local and a remote"));
+    }
+
+    #[test]
+    fn mixed_variable_condition_splits() {
+        let (local, remote) = schemas();
+        let spec = parse_spec(
+            "integration CSLibrary with Bookseller\n\
+             rule r: Eq(o : Publication, r : Item) <- o.isbn = r.isbn and r.libprice >= 1 and o.ourprice >= 2\n",
+            &local,
+            &remote,
+        )
+        .unwrap();
+        let rule = &spec.rules[0];
+        assert_eq!(rule.inter.len(), 1);
+        assert_eq!(rule.intra_subject.to_string(), "libprice >= 1");
+        assert_eq!(rule.intra_counterpart.to_string(), "ourprice >= 2");
+    }
+
+    #[test]
+    fn unknown_trust_db_errors() {
+        let (local, remote) = schemas();
+        let err = parse_spec(
+            "integration CSLibrary with Bookseller\n\
+             propeq(Publication.ourprice, Item.libprice, id, id, trust(Nowhere))\n",
+            &local,
+            &remote,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown database"));
+    }
+}

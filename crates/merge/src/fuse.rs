@@ -1,0 +1,398 @@
+//! Value fusion: merging equivalent objects into global objects and
+//! determining global property values through decision functions (§2.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use interop_conform::Conformed;
+use interop_model::{AttrName, ClassName, ObjectId, Value};
+use interop_spec::{Decision, Side};
+
+use crate::resolve::{EqMatch, MergeError, SimMatch};
+
+/// Space tag of global (merged) object ids.
+pub const GLOBAL_SPACE: u32 = 200;
+
+/// A merged global object.
+#[derive(Clone, Debug)]
+pub struct GlobalObject {
+    /// Global identity.
+    pub id: ObjectId,
+    /// Global attribute valuation (decision functions applied; references
+    /// remapped to global ids).
+    pub attrs: BTreeMap<AttrName, Value>,
+    /// The contributing local (conformed) object, if any.
+    pub local: Option<ObjectId>,
+    /// The contributing remote (conformed) object, if any.
+    pub remote: Option<ObjectId>,
+    /// For each *equivalent* property: the conformed local and remote
+    /// values plus the decision function that fused them. This is the
+    /// evidence base for the implicit-conflict analysis (§5.2.1).
+    pub fused: BTreeMap<AttrName, (Value, Value, Decision)>,
+    /// Most-specific class memberships (local class, remote class, and
+    /// similarity targets).
+    pub classes: BTreeSet<ClassName>,
+}
+
+/// The fusion result.
+#[derive(Clone, Debug)]
+pub struct FuseResult {
+    /// Global objects by id.
+    pub objects: BTreeMap<ObjectId, GlobalObject>,
+    /// Conformed-object id → global id (spaces are disjoint, so one map
+    /// covers both sides and virtual objects).
+    pub id_map: BTreeMap<ObjectId, ObjectId>,
+    /// Fusion anomalies (value outside a decision function's domain,
+    /// objects merged with more than one counterpart, ...).
+    pub notes: Vec<String>,
+}
+
+/// Merges matched objects and copies unmatched ones.
+pub fn fuse(
+    conf: &Conformed,
+    eqs: &[EqMatch],
+    sims: &[SimMatch],
+) -> Result<FuseResult, MergeError> {
+    let mut notes = Vec::new();
+    // Union-find over conformed object ids.
+    let mut uf = UnionFind::default();
+    for obj in conf.local.db.objects() {
+        uf.add(obj.id);
+    }
+    for obj in conf.remote.db.objects() {
+        uf.add(obj.id);
+    }
+    for m in eqs {
+        uf.union(m.local, m.remote);
+    }
+    // Group members by root.
+    let mut groups: BTreeMap<ObjectId, Vec<ObjectId>> = BTreeMap::new();
+    for id in uf.ids() {
+        groups.entry(uf.find(id)).or_default().push(id);
+    }
+    let mut objects = BTreeMap::new();
+    let mut id_map = BTreeMap::new();
+    let mut serial = 0u64;
+    #[allow(clippy::explicit_counter_loop)] // serial numbers global ids, not group indexes
+    for (_, members) in groups {
+        let gid = ObjectId::new(GLOBAL_SPACE, serial);
+        serial += 1;
+        let locals: Vec<ObjectId> = members
+            .iter()
+            .copied()
+            .filter(|id| conf.local.db.object(*id).is_some())
+            .collect();
+        let remotes: Vec<ObjectId> = members
+            .iter()
+            .copied()
+            .filter(|id| conf.remote.db.object(*id).is_some())
+            .collect();
+        if locals.len() > 1 || remotes.len() > 1 {
+            notes.push(format!(
+                "global object {gid}: merged {} local and {} remote objects; \
+                 decision functions applied to the first of each",
+                locals.len(),
+                remotes.len()
+            ));
+        }
+        for id in &members {
+            id_map.insert(*id, gid);
+        }
+        let lobj = locals
+            .first()
+            .map(|id| conf.local.db.object_req(*id))
+            .transpose()?;
+        let robj = remotes
+            .first()
+            .map(|id| conf.remote.db.object_req(*id))
+            .transpose()?;
+        let mut attrs: BTreeMap<AttrName, Value> = BTreeMap::new();
+        let mut fused: BTreeMap<AttrName, (Value, Value, Decision)> = BTreeMap::new();
+        // Start from remote values, overlay local (implicit `any` with a
+        // deterministic local preference), then apply declared propeqs.
+        if let Some(r) = robj {
+            for (a, v) in &r.attrs {
+                attrs.insert(a.clone(), v.clone());
+            }
+        }
+        if let Some(l) = lobj {
+            for (a, v) in &l.attrs {
+                if !v.is_null() {
+                    attrs.insert(a.clone(), v.clone());
+                }
+            }
+        }
+        if let (Some(l), Some(r)) = (lobj, robj) {
+            for pe in &conf.spec.propeqs {
+                let applies_local = conf.local.db.schema.is_subclass(&l.class, &pe.local_class);
+                let applies_remote = conf
+                    .remote
+                    .db
+                    .schema
+                    .is_subclass(&r.class, &pe.remote_class);
+                if !(applies_local && applies_remote) {
+                    continue;
+                }
+                let attr = match pe.conformed_name.head() {
+                    Some(a) => a.clone(),
+                    None => continue,
+                };
+                let lv = l.get(&attr).clone();
+                let rv = r.get(&attr).clone();
+                match pe.df.apply(&lv, &rv) {
+                    Some(g) => {
+                        attrs.insert(attr.clone(), g);
+                        fused.insert(attr, (lv, rv, pe.df));
+                    }
+                    None => notes.push(format!(
+                        "global object {gid}: decision function {} cannot fuse {lv} and {rv} \
+                         for '{attr}'; kept the local value",
+                        pe.df
+                    )),
+                }
+            }
+        }
+        let mut classes = BTreeSet::new();
+        if let Some(l) = lobj {
+            classes.insert(l.class.clone());
+        }
+        if let Some(r) = robj {
+            classes.insert(r.class.clone());
+        }
+        objects.insert(
+            gid,
+            GlobalObject {
+                id: gid,
+                attrs,
+                local: locals.first().copied(),
+                remote: remotes.first().copied(),
+                fused,
+                classes,
+            },
+        );
+    }
+    // Similarity memberships.
+    for s in sims {
+        if let Some(gid) = id_map.get(&s.subject) {
+            let g = objects.get_mut(gid).expect("id_map targets exist");
+            match &s.virtual_class {
+                None => {
+                    g.classes.insert(s.target.clone());
+                }
+                Some(v) => {
+                    g.classes.insert(v.clone());
+                }
+            }
+        }
+    }
+    // Remap references to global ids.
+    let snapshot: Vec<ObjectId> = objects.keys().copied().collect();
+    for gid in snapshot {
+        let obj = objects.get_mut(&gid).expect("listed");
+        let remapped: BTreeMap<AttrName, Value> = obj
+            .attrs
+            .iter()
+            .map(|(a, v)| (a.clone(), remap_value(v, &id_map)))
+            .collect();
+        obj.attrs = remapped;
+    }
+    Ok(FuseResult {
+        objects,
+        id_map,
+        notes,
+    })
+}
+
+fn remap_value(v: &Value, id_map: &BTreeMap<ObjectId, ObjectId>) -> Value {
+    match v {
+        Value::Ref(id) => Value::Ref(*id_map.get(id).unwrap_or(id)),
+        Value::Set(items) => Value::Set(items.iter().map(|x| remap_value(x, id_map)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Tiny union-find over object ids.
+#[derive(Default)]
+struct UnionFind {
+    parent: BTreeMap<ObjectId, ObjectId>,
+}
+
+impl UnionFind {
+    fn add(&mut self, id: ObjectId) {
+        self.parent.entry(id).or_insert(id);
+    }
+
+    fn find(&self, mut id: ObjectId) -> ObjectId {
+        while self.parent[&id] != id {
+            id = self.parent[&id];
+        }
+        id
+    }
+
+    fn union(&mut self, a: ObjectId, b: ObjectId) {
+        self.add(a);
+        self.add(b);
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(rb, ra);
+        }
+    }
+
+    fn ids(&self) -> Vec<ObjectId> {
+        self.parent.keys().copied().collect()
+    }
+}
+
+/// Convenience: which side an id belongs to, given the conformed pair.
+pub fn side_of(conf: &Conformed, id: ObjectId) -> Option<Side> {
+    if conf.local.db.object(id).is_some() {
+        Some(Side::Local)
+    } else if conf.remote.db.object(id).is_some() {
+        Some(Side::Remote)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::resolve;
+    use interop_constraint::Catalog;
+    use interop_model::{ClassDef, Database, Schema, Type};
+    use interop_spec::{ComparisonRule, Conversion, InterCond, PropEq, Spec};
+
+    fn fixture() -> Conformed {
+        let local_schema = Schema::new(
+            "L",
+            vec![ClassDef::new("Publication")
+                .attr("isbn", Type::Str)
+                .attr("ourprice", Type::Real)
+                .attr("shopprice", Type::Real)],
+        )
+        .unwrap();
+        let remote_schema = Schema::new(
+            "R",
+            vec![ClassDef::new("Item")
+                .attr("isbn", Type::Str)
+                .attr("libprice", Type::Real)
+                .attr("shopprice", Type::Real)],
+        )
+        .unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        ldb.create(
+            "Publication",
+            vec![
+                ("isbn", "A".into()),
+                ("ourprice", 26.0.into()),
+                ("shopprice", 29.0.into()),
+            ],
+        )
+        .unwrap();
+        ldb.create("Publication", vec![("isbn", "L-only".into())])
+            .unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create(
+            "Item",
+            vec![
+                ("isbn", "A".into()),
+                ("libprice", 22.0.into()),
+                ("shopprice", 25.0.into()),
+            ],
+        )
+        .unwrap();
+        rdb.create("Item", vec![("isbn", "R-only".into())]).unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::equality(
+            "r1",
+            "Publication",
+            "Item",
+            vec![InterCond::eq("isbn", "isbn")],
+        ));
+        // The paper's §5.1.3 example: libprice trusted locally, shopprice
+        // trusted remotely.
+        spec.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "ourprice",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Trust(Side::Local),
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "Publication",
+            "shopprice",
+            "Item",
+            "shopprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Trust(Side::Remote),
+        ));
+        interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap()
+    }
+
+    #[test]
+    fn paper_trust_fusion() {
+        // §5.1.3: (libprice, shopprice) local (26, 29), remote (22, 25)
+        // under trust(local)/trust(remote) give global (26, 25) — which
+        // violates libprice <= shopprice even though both sides satisfied
+        // it. Fusion must produce exactly those values.
+        let conf = fixture();
+        let (eqs, sims) = resolve(&conf).unwrap();
+        let fused = fuse(&conf, &eqs, &sims).unwrap();
+        let merged: Vec<&GlobalObject> = fused
+            .objects
+            .values()
+            .filter(|g| g.local.is_some() && g.remote.is_some())
+            .collect();
+        assert_eq!(merged.len(), 1);
+        let g = merged[0];
+        assert_eq!(g.attrs[&AttrName::new("libprice")], Value::real(26.0));
+        assert_eq!(g.attrs[&AttrName::new("shopprice")], Value::real(25.0));
+        let (lv, rv, df) = &g.fused[&AttrName::new("libprice")];
+        assert_eq!(lv, &Value::real(26.0));
+        assert_eq!(rv, &Value::real(22.0));
+        assert_eq!(*df, Decision::Trust(Side::Local));
+    }
+
+    #[test]
+    fn unmatched_objects_become_singletons() {
+        let conf = fixture();
+        let (eqs, sims) = resolve(&conf).unwrap();
+        let fused = fuse(&conf, &eqs, &sims).unwrap();
+        assert_eq!(fused.objects.len(), 3); // merged + two singletons
+        let singles: Vec<_> = fused
+            .objects
+            .values()
+            .filter(|g| g.local.is_none() || g.remote.is_none())
+            .collect();
+        assert_eq!(singles.len(), 2);
+        for g in singles {
+            assert_eq!(g.classes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn id_map_covers_all_conformed_objects() {
+        let conf = fixture();
+        let (eqs, sims) = resolve(&conf).unwrap();
+        let fused = fuse(&conf, &eqs, &sims).unwrap();
+        for obj in conf.local.db.objects().chain(conf.remote.db.objects()) {
+            assert!(fused.id_map.contains_key(&obj.id));
+        }
+        // All global ids live in the global space.
+        for gid in fused.objects.keys() {
+            assert_eq!(gid.space(), GLOBAL_SPACE);
+        }
+    }
+
+    #[test]
+    fn null_sides_fall_back_to_present_value() {
+        let conf = fixture();
+        let (eqs, sims) = resolve(&conf).unwrap();
+        let fused = fuse(&conf, &eqs, &sims).unwrap();
+        // The remote-only item keeps its attrs.
+        let r_only = fused.objects.values().find(|g| g.local.is_none()).unwrap();
+        assert_eq!(r_only.attrs[&AttrName::new("isbn")], Value::str("R-only"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Global class hierarchy inference (§2.3).
+//!
+//! The instance-based approach's crux: after merging, both
+//! classifications apply to the global object set, and relationships
+//! *between* local and remote classes are detected extensionally —
+//! `C isa C'` iff every (global) member of `C` is also a member of `C'`.
+//! Partial overlaps give rise to virtual subclasses such as the paper's
+//! `RefereedProceedings`; approximate similarity gives rise to virtual
+//! superclasses.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use interop_conform::Conformed;
+use interop_model::{ClassName, ObjectId, Schema};
+use interop_spec::Side;
+
+use crate::fuse::FuseResult;
+use crate::resolve::SimMatch;
+use crate::view::MergeOptions;
+
+/// A virtual subclass arising from a partial extent overlap of a local
+/// and a remote class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntersectionClass {
+    /// The generated (or designer-named) class name.
+    pub name: ClassName,
+    /// The overlapping pair: (local-side class, remote-side class).
+    pub parents: (ClassName, ClassName),
+    /// The shared extension.
+    pub extension: BTreeSet<ObjectId>,
+}
+
+/// The inferred global hierarchy.
+#[derive(Clone, Debug, Default)]
+pub struct Hierarchy {
+    /// Extension (global ids) of every class, closed upward over both
+    /// schemas' `isa` chains.
+    pub extensions: BTreeMap<ClassName, BTreeSet<ObjectId>>,
+    /// `isa` edges `(subclass, superclass)`: schema edges from both sides
+    /// plus extensionally inferred cross edges.
+    pub edges: BTreeSet<(ClassName, ClassName)>,
+    /// Virtual subclasses from partial overlaps.
+    pub intersections: Vec<IntersectionClass>,
+    /// Virtual superclasses introduced by approximate similarity.
+    pub virtual_superclasses: BTreeSet<ClassName>,
+}
+
+impl Hierarchy {
+    /// The extension of a class (empty if unknown).
+    pub fn extension(&self, class: &ClassName) -> &BTreeSet<ObjectId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<ObjectId>> = std::sync::OnceLock::new();
+        self.extensions
+            .get(class)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Is `sub isa sup` in the inferred hierarchy (direct edge)?
+    pub fn is_direct_subclass(&self, sub: &ClassName, sup: &ClassName) -> bool {
+        self.edges.contains(&(sub.clone(), sup.clone()))
+    }
+}
+
+fn ancestors_any(local: &Schema, remote: &Schema, class: &ClassName) -> Vec<ClassName> {
+    if local.class(class).is_some() {
+        local.self_and_ancestors(class)
+    } else if remote.class(class).is_some() {
+        remote.self_and_ancestors(class)
+    } else {
+        vec![class.clone()] // virtual class: no schema ancestors
+    }
+}
+
+/// Infers the global hierarchy from fused memberships.
+pub fn infer_hierarchy(
+    conf: &Conformed,
+    fused: &FuseResult,
+    sims: &[SimMatch],
+    opts: &MergeOptions,
+) -> Hierarchy {
+    let local = &conf.local.db.schema;
+    let remote = &conf.remote.db.schema;
+    let mut h = Hierarchy::default();
+    // 1. Extensions, closed upward.
+    for g in fused.objects.values() {
+        for c in &g.classes {
+            for anc in ancestors_any(local, remote, c) {
+                h.extensions.entry(anc).or_default().insert(g.id);
+            }
+        }
+    }
+    // 2. Schema edges.
+    for schema in [local, remote] {
+        for def in schema.classes() {
+            if let Some(p) = &def.parent {
+                h.edges.insert((def.name.clone(), p.clone()));
+            }
+        }
+    }
+    // 3. Virtual superclasses from approximate similarity:
+    //    ext(Cᵛ) = ext(C) ∪ {subjects}; C isa Cᵛ.
+    for s in sims {
+        if let Some(v) = &s.virtual_class {
+            h.virtual_superclasses.insert(v.clone());
+            let mut ext = h.extension(&s.target).clone();
+            if let Some(gid) = fused.id_map.get(&s.subject) {
+                ext.insert(*gid);
+            }
+            h.extensions.entry(v.clone()).or_default().extend(ext);
+            h.edges.insert((s.target.clone(), v.clone()));
+            // The subject's own class is also generalised by Cᵛ.
+            let subj_class = match s.side {
+                Side::Local => conf.local.db.object(s.subject).map(|o| o.class.clone()),
+                Side::Remote => conf.remote.db.object(s.subject).map(|o| o.class.clone()),
+            };
+            if let Some(sc) = subj_class {
+                h.edges.insert((sc, v.clone()));
+            }
+        }
+    }
+    // 4. Extensionally inferred cross edges and intersections.
+    let local_classes: Vec<ClassName> = local.class_names().cloned().collect();
+    let remote_classes: Vec<ClassName> = remote.class_names().cloned().collect();
+    for a in &local_classes {
+        for b in &remote_classes {
+            let ea = h.extension(a).clone();
+            let eb = h.extension(b).clone();
+            if ea.is_empty() || eb.is_empty() {
+                continue;
+            }
+            let inter: BTreeSet<ObjectId> = ea.intersection(&eb).copied().collect();
+            let a_in_b = ea.is_subset(&eb);
+            let b_in_a = eb.is_subset(&ea);
+            if a_in_b {
+                h.edges.insert((a.clone(), b.clone()));
+            }
+            if b_in_a {
+                h.edges.insert((b.clone(), a.clone()));
+            }
+            if !inter.is_empty() && !a_in_b && !b_in_a {
+                let name = opts
+                    .intersection_names
+                    .get(&(a.clone(), b.clone()))
+                    .cloned()
+                    .unwrap_or_else(|| ClassName::new(format!("{b}And{a}")));
+                h.extensions.insert(name.clone(), inter.clone());
+                h.edges.insert((name.clone(), a.clone()));
+                h.edges.insert((name.clone(), b.clone()));
+                h.intersections.push(IntersectionClass {
+                    name,
+                    parents: (a.clone(), b.clone()),
+                    extension: inter,
+                });
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse;
+    use crate::resolve::resolve;
+    use interop_constraint::{Catalog, CmpOp, Formula};
+    use interop_model::{ClassDef, Database, Type};
+    use interop_spec::{ComparisonRule, InterCond, Spec};
+
+    /// Figure-2 style fixture: some Proceedings are refereed (→ end up in
+    /// RefereedPubl too), some are not; one Proceedings equals a local
+    /// ScientificPubl.
+    fn fixture() -> (Conformed, MergeOptions) {
+        let local_schema = Schema::new(
+            "L",
+            vec![
+                ClassDef::new("Publication").attr("isbn", Type::Str),
+                ClassDef::new("ScientificPubl").isa("Publication"),
+                ClassDef::new("RefereedPubl").isa("ScientificPubl"),
+            ],
+        )
+        .unwrap();
+        let remote_schema = Schema::new(
+            "R",
+            vec![
+                ClassDef::new("Item").attr("isbn", Type::Str),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("ref?", Type::Bool),
+                ClassDef::new("Monograph").isa("Item"),
+            ],
+        )
+        .unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        ldb.create("ScientificPubl", vec![("isbn", "X".into())])
+            .unwrap();
+        ldb.create("RefereedPubl", vec![("isbn", "Y".into())])
+            .unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create(
+            "Proceedings",
+            vec![("isbn", "X".into()), ("ref?", true.into())],
+        )
+        .unwrap();
+        rdb.create(
+            "Proceedings",
+            vec![("isbn", "N1".into()), ("ref?", false.into())],
+        )
+        .unwrap();
+        rdb.create("Monograph", vec![("isbn", "M1".into())])
+            .unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::equality(
+            "r1",
+            "Publication",
+            "Item",
+            vec![InterCond::eq("isbn", "isbn")],
+        ));
+        spec.add_rule(ComparisonRule::similarity(
+            "r3",
+            Side::Remote,
+            "Proceedings",
+            "RefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true),
+        ));
+        spec.add_rule(ComparisonRule::approx_similarity(
+            "r6",
+            Side::Remote,
+            "Monograph",
+            "ScientificPubl",
+            "SciOrMono",
+            Formula::True,
+        ));
+        let conf =
+            interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap();
+        let mut opts = MergeOptions::default();
+        opts.intersection_names.insert(
+            (
+                ClassName::new("RefereedPubl"),
+                ClassName::new("Proceedings"),
+            ),
+            ClassName::new("RefereedProceedings"),
+        );
+        (conf, opts)
+    }
+
+    fn build(conf: &Conformed, opts: &MergeOptions) -> (FuseResult, Hierarchy) {
+        let (eqs, sims) = resolve(conf).unwrap();
+        let fused = fuse(conf, &eqs, &sims).unwrap();
+        let h = infer_hierarchy(conf, &fused, &sims, opts);
+        (fused, h)
+    }
+
+    #[test]
+    fn figure2_virtual_subclass_refereed_proceedings() {
+        let (conf, opts) = fixture();
+        let (_, h) = build(&conf, &opts);
+        let inter = h
+            .intersections
+            .iter()
+            .find(|i| i.name == ClassName::new("RefereedProceedings"))
+            .expect("RefereedProceedings must arise");
+        assert_eq!(
+            inter.parents,
+            (
+                ClassName::new("RefereedPubl"),
+                ClassName::new("Proceedings")
+            )
+        );
+        assert_eq!(inter.extension.len(), 1);
+        assert!(h.is_direct_subclass(
+            &ClassName::new("RefereedProceedings"),
+            &ClassName::new("Proceedings")
+        ));
+        assert!(h.is_direct_subclass(
+            &ClassName::new("RefereedProceedings"),
+            &ClassName::new("RefereedPubl")
+        ));
+    }
+
+    #[test]
+    fn extensions_close_upward_across_schemas() {
+        let (conf, opts) = fixture();
+        let (_, h) = build(&conf, &opts);
+        // The merged X object (ScientificPubl = Proceedings) is in both
+        // hierarchies' ancestors.
+        assert!(h.extension(&ClassName::new("Publication")).iter().count() >= 2);
+        assert!(!h.extension(&ClassName::new("Item")).is_empty());
+        // RefereedPubl extension: local Y + the refereed proceedings X.
+        assert_eq!(h.extension(&ClassName::new("RefereedPubl")).len(), 2);
+    }
+
+    #[test]
+    fn approx_similarity_builds_virtual_superclass() {
+        let (conf, opts) = fixture();
+        let (_, h) = build(&conf, &opts);
+        let v = ClassName::new("SciOrMono");
+        assert!(h.virtual_superclasses.contains(&v));
+        // ext(SciOrMono) ⊇ ext(ScientificPubl) ∪ {monograph}.
+        let sci = h.extension(&ClassName::new("ScientificPubl"));
+        let vext = h.extension(&v);
+        assert!(sci.is_subset(vext));
+        assert_eq!(vext.len(), sci.len() + 1);
+        assert!(h.is_direct_subclass(&ClassName::new("ScientificPubl"), &v));
+        assert!(h.is_direct_subclass(&ClassName::new("Monograph"), &v));
+    }
+
+    #[test]
+    fn schema_edges_present() {
+        let (conf, opts) = fixture();
+        let (_, h) = build(&conf, &opts);
+        assert!(h.is_direct_subclass(
+            &ClassName::new("RefereedPubl"),
+            &ClassName::new("ScientificPubl")
+        ));
+        assert!(h.is_direct_subclass(&ClassName::new("Proceedings"), &ClassName::new("Item")));
+    }
+
+    #[test]
+    fn full_inclusion_yields_isa_edge() {
+        // Every Monograph-free fixture: make all Proceedings refereed so
+        // ext(Proceedings) ⊆ ext(RefereedPubl) → inferred isa edge.
+        let local_schema = Schema::new(
+            "L",
+            vec![
+                ClassDef::new("Publication").attr("isbn", Type::Str),
+                ClassDef::new("RefereedPubl").isa("Publication"),
+            ],
+        )
+        .unwrap();
+        let remote_schema = Schema::new(
+            "R",
+            vec![
+                ClassDef::new("Item").attr("isbn", Type::Str),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("ref?", Type::Bool),
+            ],
+        )
+        .unwrap();
+        let ldb = Database::new(local_schema, 1);
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create(
+            "Proceedings",
+            vec![("isbn", "P1".into()), ("ref?", true.into())],
+        )
+        .unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::similarity(
+            "r",
+            Side::Remote,
+            "Proceedings",
+            "RefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true),
+        ));
+        let conf =
+            interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap();
+        let (_, h) = build(&conf, &MergeOptions::default());
+        assert!(h.is_direct_subclass(
+            &ClassName::new("Proceedings"),
+            &ClassName::new("RefereedPubl")
+        ));
+        assert!(h.intersections.is_empty());
+    }
+}

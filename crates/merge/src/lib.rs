@@ -1,0 +1,21 @@
+//! # interop-merge
+//!
+//! The **merging phase** of §2.3: objects from the conformed local and
+//! remote databases related by an equivalence relationship are merged
+//! into single global objects; equivalent property values are fused
+//! through decision functions; and — the crux of the paper's
+//! instance-based approach — the **global class hierarchy is inferred
+//! from the merged extents** rather than declared: `C isa C'` iff every
+//! object of `C` is equal/similar to an object of `C'`, partial overlaps
+//! yield virtual subclasses (the paper's `RefereedProceedings`), and
+//! approximate similarity yields virtual superclasses.
+
+pub mod fuse;
+pub mod hierarchy;
+pub mod resolve;
+pub mod view;
+
+pub use fuse::{fuse, FuseResult, GlobalObject, GLOBAL_SPACE};
+pub use hierarchy::{infer_hierarchy, Hierarchy, IntersectionClass};
+pub use resolve::{resolve, EqMatch, MergeError, SimMatch};
+pub use view::{merge, IntegratedView, MergeOptions};

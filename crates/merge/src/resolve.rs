@@ -1,0 +1,343 @@
+//! Entity resolution: evaluating comparison rules over conformed extents.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use interop_conform::Conformed;
+use interop_constraint::eval::{eval_formula, eval_path, Truth};
+use interop_model::{ClassName, Database, ModelError, ObjectId, Value};
+use interop_spec::{Relationship, RuleId, Side};
+
+/// Errors raised during merging.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MergeError {
+    /// Underlying model error (dangling reference etc.).
+    Model(String),
+    /// A rule references a class missing from the conformed schema.
+    UnknownClass(ClassName),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Model(m) => write!(f, "model error during merging: {m}"),
+            MergeError::UnknownClass(c) => write!(f, "merge rule references unknown class '{c}'"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<ModelError> for MergeError {
+    fn from(e: ModelError) -> Self {
+        MergeError::Model(e.to_string())
+    }
+}
+
+/// An established equality between a local and a remote object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EqMatch {
+    /// The establishing rule.
+    pub rule: RuleId,
+    /// Local (conformed) object.
+    pub local: ObjectId,
+    /// Remote (conformed) object.
+    pub remote: ObjectId,
+}
+
+/// An established similarity: `subject` would be classified under
+/// `target` (strict), or joins the virtual superclass (approximate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimMatch {
+    /// The establishing rule.
+    pub rule: RuleId,
+    /// Which side the subject object lives on.
+    pub side: Side,
+    /// The subject object.
+    pub subject: ObjectId,
+    /// The target class (on the other side).
+    pub target: ClassName,
+    /// For approximate similarity: the virtual common superclass.
+    pub virtual_class: Option<ClassName>,
+}
+
+/// Evaluates all comparison rules over the conformed extents.
+///
+/// Equality rules with an attribute-equality interobject condition are
+/// executed as hash joins (build side: remote extension); everything else
+/// falls back to a nested-loop check — the same asymptotics a real
+/// mediator would exhibit.
+pub fn resolve(conf: &Conformed) -> Result<(Vec<EqMatch>, Vec<SimMatch>), MergeError> {
+    let mut eqs = Vec::new();
+    let mut sims = Vec::new();
+    for rule in &conf.spec.rules {
+        match &rule.relationship {
+            Relationship::Equality => {
+                let local_class = rule
+                    .counterpart_class
+                    .as_ref()
+                    .ok_or_else(|| MergeError::UnknownClass(ClassName::new("<missing>")))?;
+                conf.local
+                    .db
+                    .schema
+                    .class_req(local_class)
+                    .map_err(|_| MergeError::UnknownClass(local_class.clone()))?;
+                conf.remote
+                    .db
+                    .schema
+                    .class_req(&rule.subject_class)
+                    .map_err(|_| MergeError::UnknownClass(rule.subject_class.clone()))?;
+                let locals = conf.local.db.extension(local_class);
+                let remotes = conf.remote.db.extension(&rule.subject_class);
+                // Hash join when the first interobject condition is an
+                // equality.
+                let join_cond = rule
+                    .inter
+                    .iter()
+                    .find(|ic| ic.op == interop_constraint::CmpOp::Eq);
+                if let Some(jc) = join_cond {
+                    let mut bucket: BTreeMap<Value, Vec<ObjectId>> = BTreeMap::new();
+                    for rid in &remotes {
+                        let robj = conf.remote.db.object_req(*rid)?;
+                        let v = eval_path(&conf.remote.db, robj, &jc.remote)?;
+                        if !v.is_null() {
+                            bucket.entry(v).or_default().push(*rid);
+                        }
+                    }
+                    for lid in &locals {
+                        let lobj = conf.local.db.object_req(*lid)?;
+                        let key = eval_path(&conf.local.db, lobj, &jc.local)?;
+                        if key.is_null() {
+                            continue;
+                        }
+                        if let Some(cands) = bucket.get(&key) {
+                            for rid in cands {
+                                if check_pair(conf, rule, *lid, *rid)? {
+                                    eqs.push(EqMatch {
+                                        rule: rule.id.clone(),
+                                        local: *lid,
+                                        remote: *rid,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for lid in &locals {
+                        for rid in &remotes {
+                            if check_pair(conf, rule, *lid, *rid)? {
+                                eqs.push(EqMatch {
+                                    rule: rule.id.clone(),
+                                    local: *lid,
+                                    remote: *rid,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Relationship::StrictSimilarity { class }
+            | Relationship::ApproxSimilarity { class, .. } => {
+                let (db, _other): (&Database, &Database) = match rule.subject_side {
+                    Side::Local => (&conf.local.db, &conf.remote.db),
+                    Side::Remote => (&conf.remote.db, &conf.local.db),
+                };
+                db.schema
+                    .class_req(&rule.subject_class)
+                    .map_err(|_| MergeError::UnknownClass(rule.subject_class.clone()))?;
+                let virtual_class = match &rule.relationship {
+                    Relationship::ApproxSimilarity { virtual_class, .. } => {
+                        Some(virtual_class.clone())
+                    }
+                    _ => None,
+                };
+                for id in db.extension(&rule.subject_class) {
+                    let obj = db.object_req(id)?;
+                    if eval_formula(db, obj, &rule.intra_subject)? == Truth::True {
+                        sims.push(SimMatch {
+                            rule: rule.id.clone(),
+                            side: rule.subject_side,
+                            subject: id,
+                            target: class.clone(),
+                            virtual_class: virtual_class.clone(),
+                        });
+                    }
+                }
+            }
+            Relationship::Descriptivity { .. } => {
+                // Already rewritten into an equality rule by conformation
+                // (object view) or handled by hiding (value view).
+            }
+        }
+    }
+    Ok((eqs, sims))
+}
+
+fn check_pair(
+    conf: &Conformed,
+    rule: &interop_spec::ComparisonRule,
+    lid: ObjectId,
+    rid: ObjectId,
+) -> Result<bool, MergeError> {
+    let lobj = conf.local.db.object_req(lid)?;
+    let robj = conf.remote.db.object_req(rid)?;
+    for ic in &rule.inter {
+        let lv = eval_path(&conf.local.db, lobj, &ic.local)?;
+        let rv = eval_path(&conf.remote.db, robj, &ic.remote)?;
+        if lv.is_null() || rv.is_null() {
+            return Ok(false);
+        }
+        let ok = match lv.compare(&rv) {
+            Some(ord) => ic.op.test(ord),
+            None => ic.op == interop_constraint::CmpOp::Ne,
+        };
+        if !ok {
+            return Ok(false);
+        }
+    }
+    if eval_formula(&conf.local.db, lobj, &rule.intra_counterpart)? != Truth::True
+        && rule.intra_counterpart != interop_constraint::Formula::True
+    {
+        return Ok(false);
+    }
+    if eval_formula(&conf.remote.db, robj, &rule.intra_subject)? != Truth::True
+        && rule.intra_subject != interop_constraint::Formula::True
+    {
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::{Catalog, CmpOp, Formula};
+    use interop_model::{ClassDef, Schema, Type};
+    use interop_spec::{ComparisonRule, InterCond, Spec};
+
+    fn conformed_fixture() -> Conformed {
+        let local_schema = Schema::new(
+            "L",
+            vec![ClassDef::new("Publication")
+                .attr("isbn", Type::Str)
+                .attr("title", Type::Str)],
+        )
+        .unwrap();
+        let remote_schema = Schema::new(
+            "R",
+            vec![
+                ClassDef::new("Item")
+                    .attr("isbn", Type::Str)
+                    .attr("title", Type::Str),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("ref?", Type::Bool),
+            ],
+        )
+        .unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        ldb.create("Publication", vec![("isbn", "A".into())])
+            .unwrap();
+        ldb.create("Publication", vec![("isbn", "B".into())])
+            .unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create("Item", vec![("isbn", "A".into())]).unwrap();
+        rdb.create(
+            "Proceedings",
+            vec![("isbn", "C".into()), ("ref?", true.into())],
+        )
+        .unwrap();
+        rdb.create(
+            "Proceedings",
+            vec![("isbn", "D".into()), ("ref?", false.into())],
+        )
+        .unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::equality(
+            "r1",
+            "Publication",
+            "Item",
+            vec![InterCond::eq("isbn", "isbn")],
+        ));
+        spec.add_rule(ComparisonRule::similarity(
+            "r3",
+            Side::Remote,
+            "Proceedings",
+            "RefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true),
+        ));
+        interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap()
+    }
+
+    #[test]
+    fn hash_join_finds_equalities() {
+        let conf = conformed_fixture();
+        let (eqs, _) = resolve(&conf).unwrap();
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].rule, RuleId::new("r1"));
+        // local A (space 1) matched remote A (space 2).
+        assert_eq!(eqs[0].local.space(), 1);
+        assert_eq!(eqs[0].remote.space(), 2);
+    }
+
+    #[test]
+    fn similarity_filters_on_condition() {
+        let conf = conformed_fixture();
+        let (_, sims) = resolve(&conf).unwrap();
+        // Only the ref?=true proceedings is similar; Item extension
+        // includes Proceedings but the rule is on Proceedings directly.
+        assert_eq!(sims.len(), 1);
+        assert_eq!(sims[0].target.as_str(), "RefereedPubl");
+        assert!(sims[0].virtual_class.is_none());
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let local_schema = Schema::new("L", vec![ClassDef::new("A").attr("k", Type::Str)]).unwrap();
+        let remote_schema =
+            Schema::new("R", vec![ClassDef::new("B").attr("k", Type::Str)]).unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        ldb.create("A", vec![]).unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create("B", vec![]).unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::equality(
+            "r",
+            "A",
+            "B",
+            vec![InterCond::eq("k", "k")],
+        ));
+        let conf =
+            interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap();
+        let (eqs, _) = resolve(&conf).unwrap();
+        assert!(eqs.is_empty());
+    }
+
+    #[test]
+    fn intra_conditions_gate_equality() {
+        let local_schema = Schema::new(
+            "L",
+            vec![ClassDef::new("A").attr("k", Type::Str).attr("x", Type::Int)],
+        )
+        .unwrap();
+        let remote_schema =
+            Schema::new("R", vec![ClassDef::new("B").attr("k", Type::Str)]).unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        ldb.create("A", vec![("k", "1".into()), ("x", 5i64.into())])
+            .unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create("B", vec![("k", "1".into())]).unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(
+            ComparisonRule::equality("r", "A", "B", vec![InterCond::eq("k", "k")])
+                .with_counterpart_condition(Formula::cmp("x", CmpOp::Ge, 10i64)),
+        );
+        let conf =
+            interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap();
+        let (eqs, _) = resolve(&conf).unwrap();
+        assert!(
+            eqs.is_empty(),
+            "intra condition x >= 10 must gate the match"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the merging phase: totality of the id map,
+//! determinism, extent-closure invariants, and fusion correctness under
+//! random extents.
+
+use interop_constraint::Catalog;
+use interop_merge::{merge, MergeOptions};
+use interop_model::{ClassDef, ClassName, Database, Schema, Type, Value};
+use interop_spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Spec};
+use proptest::prelude::*;
+
+fn schemas() -> (Schema, Schema) {
+    let local = Schema::new(
+        "L",
+        vec![ClassDef::new("A")
+            .attr("key", Type::Str)
+            .attr("score", Type::Range(1, 5))],
+    )
+    .expect("static schema");
+    let remote = Schema::new(
+        "R",
+        vec![ClassDef::new("B")
+            .attr("key", Type::Str)
+            .attr("score", Type::Range(1, 10))],
+    )
+    .expect("static schema");
+    (local, remote)
+}
+
+fn spec() -> Spec {
+    let mut s = Spec::new("L", "R");
+    s.add_rule(ComparisonRule::equality(
+        "r",
+        "A",
+        "B",
+        vec![InterCond::eq("key", "key")],
+    ));
+    s.add_propeq(PropEq::named_after_remote(
+        "A",
+        "score",
+        "B",
+        "score",
+        Conversion::Multiply(2.0),
+        Conversion::Id,
+        Decision::Avg,
+    ));
+    s
+}
+
+/// Local keys from `lk`, remote keys from `rk` — arbitrary overlap.
+fn build(lk: &[u8], rk: &[u8]) -> interop_merge::IntegratedView {
+    let (ls, rs) = schemas();
+    let mut ldb = Database::new(ls, 1);
+    for (i, k) in lk.iter().enumerate() {
+        ldb.create(
+            "A",
+            vec![
+                ("key", Value::str(format!("k{k}"))),
+                ("score", Value::Int((i % 5 + 1) as i64)),
+            ],
+        )
+        .expect("local object");
+    }
+    let mut rdb = Database::new(rs, 2);
+    for (i, k) in rk.iter().enumerate() {
+        rdb.create(
+            "B",
+            vec![
+                ("key", Value::str(format!("k{k}"))),
+                ("score", Value::Int((i % 10 + 1) as i64)),
+            ],
+        )
+        .expect("remote object");
+    }
+    let conf = interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec())
+        .expect("conforms");
+    merge(&conf, &MergeOptions::default()).expect("merges")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every conformed object maps to a global object; global ids form a
+    /// contiguous space.
+    #[test]
+    fn id_map_total(lk in prop::collection::vec(0u8..20, 0..15),
+                    rk in prop::collection::vec(0u8..20, 0..15)) {
+        let v = build(&lk, &rk);
+        prop_assert_eq!(v.id_map.len(), lk.len() + rk.len());
+        for gid in v.id_map.values() {
+            prop_assert!(v.objects.contains_key(gid));
+        }
+    }
+
+    /// Merging is deterministic.
+    #[test]
+    fn deterministic(lk in prop::collection::vec(0u8..10, 0..10),
+                     rk in prop::collection::vec(0u8..10, 0..10)) {
+        let a = build(&lk, &rk);
+        let b = build(&lk, &rk);
+        prop_assert_eq!(a.objects.len(), b.objects.len());
+        let keys_a: Vec<_> = a.objects.keys().collect();
+        let keys_b: Vec<_> = b.objects.keys().collect();
+        prop_assert_eq!(keys_a, keys_b);
+        for (x, y) in a.objects.values().zip(b.objects.values()) {
+            prop_assert_eq!(&x.attrs, &y.attrs);
+            prop_assert_eq!(&x.classes, &y.classes);
+        }
+    }
+
+    /// Merged pairs correspond exactly to shared keys (first local holder
+    /// wins; duplicates group transitively).
+    #[test]
+    fn merged_iff_shared_key(lk in prop::collection::btree_set(0u8..30, 0..15),
+                             rk in prop::collection::btree_set(0u8..30, 0..15)) {
+        let lv: Vec<u8> = lk.iter().copied().collect();
+        let rv: Vec<u8> = rk.iter().copied().collect();
+        let v = build(&lv, &rv);
+        let shared = lk.intersection(&rk).count();
+        let merged = v
+            .objects
+            .values()
+            .filter(|g| g.local.is_some() && g.remote.is_some())
+            .count();
+        prop_assert_eq!(merged, shared);
+        // Object conservation: singletons + merged = total global.
+        prop_assert_eq!(v.objects.len(), lv.len() + rv.len() - shared);
+    }
+
+    /// Fused scores respect the decision function: avg of the conformed
+    /// local (doubled) and remote values.
+    #[test]
+    fn fusion_applies_avg(lk in prop::collection::btree_set(0u8..10, 1..8),
+                          rk in prop::collection::btree_set(0u8..10, 1..8)) {
+        let lv: Vec<u8> = lk.iter().copied().collect();
+        let rv: Vec<u8> = rk.iter().copied().collect();
+        let v = build(&lv, &rv);
+        for g in v.objects.values() {
+            if let (Some(_), Some(_)) = (g.local, g.remote) {
+                let (lval, rval, df) = &g.fused[&interop_model::AttrName::new("score")];
+                prop_assert_eq!(*df, Decision::Avg);
+                let expect = df.apply(lval, rval).expect("numeric avg");
+                prop_assert!(g.attrs[&interop_model::AttrName::new("score")].sem_eq(&expect));
+            }
+        }
+    }
+
+    /// Extents are upward closed and every global object appears in the
+    /// extension of each of its classes.
+    #[test]
+    fn extents_cover_memberships(lk in prop::collection::vec(0u8..10, 0..10),
+                                 rk in prop::collection::vec(0u8..10, 0..10)) {
+        let v = build(&lk, &rk);
+        for g in v.objects.values() {
+            prop_assert!(!g.classes.is_empty());
+            for c in &g.classes {
+                prop_assert!(
+                    v.hierarchy.extension(c).contains(&g.id),
+                    "{} missing from ext({})", g.id, c
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_keys_group_transitively() {
+    // Two locals and two remotes all sharing one key collapse into a
+    // single global object (with a note).
+    let v = build(&[1, 1], &[1, 1]);
+    let merged: Vec<_> = v
+        .objects
+        .values()
+        .filter(|g| g.local.is_some() && g.remote.is_some())
+        .collect();
+    assert_eq!(merged.len(), 1);
+    assert_eq!(v.objects.len(), 1);
+    assert!(!v.notes.is_empty(), "multi-merge must be noted");
+}
+
+#[test]
+fn empty_extents_merge_to_empty_view() {
+    let v = build(&[], &[]);
+    assert!(v.objects.is_empty());
+    assert!(v.id_map.is_empty());
+    assert!(v.hierarchy.intersections.is_empty());
+}
+
+#[test]
+fn one_sided_population_is_all_singletons() {
+    let v = build(&[0, 1, 2], &[]);
+    assert_eq!(v.objects.len(), 3);
+    assert!(v.objects.values().all(|g| g.remote.is_none()));
+    let class_a = ClassName::new("A");
+    assert_eq!(v.hierarchy.extension(&class_a).len(), 3);
+}

@@ -1,0 +1,84 @@
+//! Errors raised by the model layer.
+
+use std::fmt;
+
+use crate::ident::{AttrName, ClassName};
+use crate::object::ObjectId;
+
+/// Errors from schema and database manipulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A class name was defined twice in one schema.
+    DuplicateClass(ClassName),
+    /// A class references an unknown parent or attribute class.
+    UnknownClass(ClassName),
+    /// The `isa` graph contains a cycle through this class.
+    CyclicInheritance(ClassName),
+    /// An attribute is declared both locally and in an ancestor.
+    ShadowedAttribute { class: ClassName, attr: AttrName },
+    /// An object carries an attribute its class does not declare.
+    UnknownAttribute { class: ClassName, attr: AttrName },
+    /// An attribute value does not inhabit the declared type.
+    TypeMismatch {
+        class: ClassName,
+        attr: AttrName,
+        expected: String,
+        got: String,
+    },
+    /// An object id was inserted twice.
+    DuplicateObject(ObjectId),
+    /// An operation referenced an object that does not exist.
+    UnknownObject(ObjectId),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateClass(c) => write!(f, "class '{c}' defined twice"),
+            ModelError::UnknownClass(c) => write!(f, "unknown class '{c}'"),
+            ModelError::CyclicInheritance(c) => {
+                write!(f, "cyclic isa hierarchy through class '{c}'")
+            }
+            ModelError::ShadowedAttribute { class, attr } => {
+                write!(
+                    f,
+                    "attribute '{attr}' of class '{class}' shadows an inherited attribute"
+                )
+            }
+            ModelError::UnknownAttribute { class, attr } => {
+                write!(f, "class '{class}' has no attribute '{attr}'")
+            }
+            ModelError::TypeMismatch {
+                class,
+                attr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "value for {class}.{attr} has kind {got}, expected type {expected}"
+            ),
+            ModelError::DuplicateObject(id) => write!(f, "object {id} already exists"),
+            ModelError::UnknownObject(id) => write!(f, "object {id} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::UnknownClass(ClassName::new("Foo"));
+        assert_eq!(e.to_string(), "unknown class 'Foo'");
+        let e = ModelError::TypeMismatch {
+            class: ClassName::new("C"),
+            attr: AttrName::new("a"),
+            expected: "int".into(),
+            got: "string".into(),
+        };
+        assert!(e.to_string().contains("C.a"));
+    }
+}

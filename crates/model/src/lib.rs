@@ -1,0 +1,35 @@
+//! # interop-model
+//!
+//! Data-model substrate for the instance-based database-interoperation
+//! library reproducing Vermeer & Apers, *The Role of Integrity Constraints
+//! in Database Interoperation* (VLDB 1996).
+//!
+//! This crate defines the object-oriented data model the paper assumes:
+//! typed attributes, classes arranged in an `isa` hierarchy, objects with
+//! attribute valuations, and databases holding class extents. It knows
+//! nothing about constraints or integration — those live in the crates
+//! layered on top (`interop-constraint`, `interop-spec`, ...).
+//!
+//! The model mirrors the TM specification language \[BBZ93\] used by the
+//! paper closely enough that Figure 1 of the paper can be represented
+//! loss-lessly: attribute types include ranges (`1..5`), set types
+//! (`Pstring`), and object references (`publisher : Publisher`).
+
+pub mod database;
+pub mod error;
+pub mod ident;
+pub mod object;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use database::{Database, Extent};
+pub use error::ModelError;
+pub use ident::{AttrName, ClassName, DbName};
+pub use object::{Object, ObjectId};
+pub use schema::{AttrDef, ClassDef, Schema};
+pub use types::Type;
+pub use value::{Value, R64};
+
+/// Convenient `Result` alias used across the model crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,418 @@
+//! Schemas: classes, attributes and the `isa` hierarchy.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::ModelError;
+use crate::ident::{AttrName, ClassName, DbName};
+use crate::types::Type;
+use crate::Result;
+
+/// An attribute declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: AttrName,
+    /// Declared type.
+    pub ty: Type,
+}
+
+impl AttrDef {
+    /// Creates an attribute declaration.
+    pub fn new(name: impl Into<AttrName>, ty: Type) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A class declaration: name, optional `isa` parent, and local attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: ClassName,
+    /// `isa` parent, if any (single inheritance, as in the paper).
+    pub parent: Option<ClassName>,
+    /// Locally declared attributes (inherited ones are not repeated).
+    pub attrs: Vec<AttrDef>,
+    /// True for classes synthesised during integration (e.g.
+    /// `VirtPublisher`); never set for classes parsed from a schema.
+    pub virtual_class: bool,
+}
+
+impl ClassDef {
+    /// Creates a root class.
+    pub fn new(name: impl Into<ClassName>) -> Self {
+        ClassDef {
+            name: name.into(),
+            parent: None,
+            attrs: Vec::new(),
+            virtual_class: false,
+        }
+    }
+
+    /// Builder: sets the `isa` parent.
+    pub fn isa(mut self, parent: impl Into<ClassName>) -> Self {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    /// Builder: appends an attribute.
+    pub fn attr(mut self, name: impl Into<AttrName>, ty: Type) -> Self {
+        self.attrs.push(AttrDef::new(name, ty));
+        self
+    }
+
+    /// Builder: marks the class as virtual.
+    pub fn virt(mut self) -> Self {
+        self.virtual_class = true;
+        self
+    }
+}
+
+/// A validated schema: a set of classes closed under `isa`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Owning database name (virtual/integrated schemas pick fresh names).
+    pub db: DbName,
+    classes: BTreeMap<ClassName, ClassDef>,
+}
+
+impl Schema {
+    /// Builds and validates a schema from class definitions.
+    ///
+    /// Validation checks: duplicate classes, unknown parents/reference
+    /// targets, `isa` cycles, attribute shadowing.
+    pub fn new(db: impl Into<DbName>, defs: Vec<ClassDef>) -> Result<Self> {
+        let mut classes = BTreeMap::new();
+        for def in defs {
+            if classes.contains_key(&def.name) {
+                return Err(ModelError::DuplicateClass(def.name));
+            }
+            classes.insert(def.name.clone(), def);
+        }
+        let schema = Schema {
+            db: db.into(),
+            classes,
+        };
+        schema.validate()?;
+        Ok(schema)
+    }
+
+    fn validate(&self) -> Result<()> {
+        for def in self.classes.values() {
+            if let Some(p) = &def.parent {
+                if !self.classes.contains_key(p) {
+                    return Err(ModelError::UnknownClass(p.clone()));
+                }
+            }
+            for a in &def.attrs {
+                if let Type::Ref(target) = &a.ty {
+                    if !self.classes.contains_key(target) {
+                        return Err(ModelError::UnknownClass(target.clone()));
+                    }
+                }
+            }
+        }
+        // Cycle detection: walk parent chains with a visited set.
+        for start in self.classes.keys() {
+            let mut seen = BTreeSet::new();
+            let mut cur = Some(start.clone());
+            while let Some(c) = cur {
+                if !seen.insert(c.clone()) {
+                    return Err(ModelError::CyclicInheritance(c));
+                }
+                cur = self.classes[&c].parent.clone();
+            }
+        }
+        // Attribute shadowing.
+        for def in self.classes.values() {
+            let mut inherited = BTreeSet::new();
+            for anc in self.ancestors(&def.name) {
+                for a in &self.classes[&anc].attrs {
+                    inherited.insert(a.name.clone());
+                }
+            }
+            for a in &def.attrs {
+                if inherited.contains(&a.name) {
+                    return Err(ModelError::ShadowedAttribute {
+                        class: def.name.clone(),
+                        attr: a.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a class to an existing schema (used to install virtual classes
+    /// during conformation). Re-validates.
+    pub fn add_class(&mut self, def: ClassDef) -> Result<()> {
+        if self.classes.contains_key(&def.name) {
+            return Err(ModelError::DuplicateClass(def.name));
+        }
+        self.classes.insert(def.name.clone(), def);
+        self.validate()
+    }
+
+    /// Looks up a class definition.
+    pub fn class(&self, name: &ClassName) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// Looks up a class, erroring if absent.
+    pub fn class_req(&self, name: &ClassName) -> Result<&ClassDef> {
+        self.classes
+            .get(name)
+            .ok_or_else(|| ModelError::UnknownClass(name.clone()))
+    }
+
+    /// Iterates over all class definitions in name order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    /// All class names in name order.
+    pub fn class_names(&self) -> impl Iterator<Item = &ClassName> {
+        self.classes.keys()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the schema has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Proper ancestors of `class`, nearest first. Empty for roots or
+    /// unknown classes.
+    pub fn ancestors(&self, class: &ClassName) -> Vec<ClassName> {
+        let mut out = Vec::new();
+        let mut cur = self.classes.get(class).and_then(|d| d.parent.clone());
+        while let Some(c) = cur {
+            out.push(c.clone());
+            cur = self.classes.get(&c).and_then(|d| d.parent.clone());
+        }
+        out
+    }
+
+    /// `class` itself followed by its proper ancestors.
+    pub fn self_and_ancestors(&self, class: &ClassName) -> Vec<ClassName> {
+        let mut out = vec![class.clone()];
+        out.extend(self.ancestors(class));
+        out
+    }
+
+    /// Direct children of `class`.
+    pub fn children(&self, class: &ClassName) -> Vec<ClassName> {
+        self.classes
+            .values()
+            .filter(|d| d.parent.as_ref() == Some(class))
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    /// All descendants (transitively), not including `class` itself.
+    pub fn descendants(&self, class: &ClassName) -> Vec<ClassName> {
+        let mut out = Vec::new();
+        let mut stack = self.children(class);
+        while let Some(c) = stack.pop() {
+            stack.extend(self.children(&c));
+            out.push(c);
+        }
+        out.sort();
+        out
+    }
+
+    /// True iff `sub` is `sup` or a descendant of `sup`.
+    pub fn is_subclass(&self, sub: &ClassName, sup: &ClassName) -> bool {
+        self.self_and_ancestors(sub).contains(sup)
+    }
+
+    /// Resolves an attribute on `class`, searching the `isa` chain.
+    /// Returns the defining class and the declaration.
+    pub fn resolve_attr(
+        &self,
+        class: &ClassName,
+        attr: &AttrName,
+    ) -> Option<(&ClassName, &AttrDef)> {
+        for c in self.self_and_ancestors(class) {
+            let def = self.classes.get(&c)?;
+            if let Some(a) = def.attrs.iter().find(|a| &a.name == attr) {
+                // Re-borrow the key so the returned reference outlives `c`.
+                let (key, _) = self.classes.get_key_value(&c).expect("class present");
+                return Some((key, a));
+            }
+        }
+        None
+    }
+
+    /// All attributes visible on `class` (inherited first), in declaration
+    /// order along the chain from root to `class`.
+    pub fn all_attrs(&self, class: &ClassName) -> Vec<&AttrDef> {
+        let mut chain = self.self_and_ancestors(class);
+        chain.reverse();
+        let mut out = Vec::new();
+        for c in chain {
+            if let Some(def) = self.classes.get(&c) {
+                out.extend(def.attrs.iter());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library_like() -> Schema {
+        Schema::new(
+            "CSLibrary",
+            vec![
+                ClassDef::new("Publication")
+                    .attr("title", Type::Str)
+                    .attr("isbn", Type::Str)
+                    .attr("publisher", Type::Str)
+                    .attr("shopprice", Type::Real)
+                    .attr("ourprice", Type::Real),
+                ClassDef::new("ScientificPubl")
+                    .isa("Publication")
+                    .attr("editors", Type::pstring())
+                    .attr("rating", Type::Range(1, 5)),
+                ClassDef::new("RefereedPubl")
+                    .isa("ScientificPubl")
+                    .attr("avgAccRate", Type::Real),
+                ClassDef::new("NonRefereedPubl")
+                    .isa("ScientificPubl")
+                    .attr("authAffil", Type::Str),
+                ClassDef::new("ProfessionalPubl")
+                    .isa("Publication")
+                    .attr("authors", Type::pstring()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_figure1_library_shape() {
+        let s = library_like();
+        assert_eq!(s.len(), 5);
+        assert!(s.class(&ClassName::new("Publication")).is_some());
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let err = Schema::new("X", vec![ClassDef::new("A"), ClassDef::new("A")]).unwrap_err();
+        assert_eq!(err, ModelError::DuplicateClass(ClassName::new("A")));
+    }
+
+    #[test]
+    fn rejects_unknown_parent() {
+        let err = Schema::new("X", vec![ClassDef::new("A").isa("Ghost")]).unwrap_err();
+        assert_eq!(err, ModelError::UnknownClass(ClassName::new("Ghost")));
+    }
+
+    #[test]
+    fn rejects_unknown_ref_target() {
+        let err = Schema::new(
+            "X",
+            vec![ClassDef::new("A").attr("r", Type::Ref(ClassName::new("Ghost")))],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::UnknownClass(ClassName::new("Ghost")));
+    }
+
+    #[test]
+    fn rejects_isa_cycle() {
+        let err = Schema::new(
+            "X",
+            vec![ClassDef::new("A").isa("B"), ClassDef::new("B").isa("A")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::CyclicInheritance(_)));
+    }
+
+    #[test]
+    fn rejects_attribute_shadowing() {
+        let err = Schema::new(
+            "X",
+            vec![
+                ClassDef::new("A").attr("x", Type::Int),
+                ClassDef::new("B").isa("A").attr("x", Type::Real),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::ShadowedAttribute { .. }));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let s = library_like();
+        assert_eq!(
+            s.ancestors(&ClassName::new("RefereedPubl")),
+            vec![
+                ClassName::new("ScientificPubl"),
+                ClassName::new("Publication")
+            ]
+        );
+        let desc = s.descendants(&ClassName::new("Publication"));
+        assert_eq!(desc.len(), 4);
+        assert!(desc.contains(&ClassName::new("RefereedPubl")));
+        assert!(s.is_subclass(
+            &ClassName::new("RefereedPubl"),
+            &ClassName::new("Publication")
+        ));
+        assert!(!s.is_subclass(
+            &ClassName::new("Publication"),
+            &ClassName::new("RefereedPubl")
+        ));
+    }
+
+    #[test]
+    fn attribute_resolution_walks_isa() {
+        let s = library_like();
+        let (owner, def) = s
+            .resolve_attr(&ClassName::new("RefereedPubl"), &AttrName::new("isbn"))
+            .unwrap();
+        assert_eq!(owner, &ClassName::new("Publication"));
+        assert_eq!(def.ty, Type::Str);
+        assert!(s
+            .resolve_attr(&ClassName::new("Publication"), &AttrName::new("rating"))
+            .is_none());
+    }
+
+    #[test]
+    fn all_attrs_inherited_first() {
+        let s = library_like();
+        let attrs: Vec<_> = s
+            .all_attrs(&ClassName::new("RefereedPubl"))
+            .iter()
+            .map(|a| a.name.as_str().to_owned())
+            .collect();
+        assert_eq!(attrs[0], "title"); // from Publication
+        assert!(attrs.contains(&"rating".to_owned()));
+        assert_eq!(attrs.last().unwrap(), "avgAccRate");
+    }
+
+    #[test]
+    fn add_virtual_class() {
+        let mut s = library_like();
+        s.add_class(
+            ClassDef::new("VirtPublisher")
+                .attr("name", Type::Str)
+                .virt(),
+        )
+        .unwrap();
+        assert!(
+            s.class(&ClassName::new("VirtPublisher"))
+                .unwrap()
+                .virtual_class
+        );
+        // Duplicate insertion rejected.
+        assert!(s.add_class(ClassDef::new("VirtPublisher")).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Attribute types.
+//!
+//! The type system is the fragment TM (the paper's specification language)
+//! actually uses in Figure 1: base scalars, integer ranges (`1..5`),
+//! powersets (`Pstring`), and object references.
+
+use std::fmt;
+
+use crate::ident::ClassName;
+use crate::value::Value;
+
+/// The type of an attribute.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Type {
+    /// `boolean`
+    Bool,
+    /// `int`
+    Int,
+    /// `real`
+    Real,
+    /// `string`
+    Str,
+    /// Inclusive integer range, e.g. `1..5`. The paper's rating scales.
+    Range(i64, i64),
+    /// Finite powerset type, e.g. `Pstring` is `SetOf(Str)`.
+    SetOf(Box<Type>),
+    /// Reference to objects of a class, e.g. `publisher : Publisher`.
+    Ref(ClassName),
+}
+
+impl Type {
+    /// Powerset-of-strings shorthand (TM's `Pstring`).
+    pub fn pstring() -> Type {
+        Type::SetOf(Box::new(Type::Str))
+    }
+
+    /// Is this a numeric type (int, real, or range)?
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Real | Type::Range(_, _))
+    }
+
+    /// Checks whether `v` is a member of this type.
+    ///
+    /// `Null` is a member of every type (attributes may be absent).
+    /// Numeric coercion applies: an `Int` value inhabits `Real`, and a
+    /// whole `Real` inhabits `Int`/`Range` — mirroring the evaluator's
+    /// cross-type comparison semantics.
+    pub fn admits(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return true;
+        }
+        match (self, v) {
+            (Type::Bool, Value::Bool(_)) => true,
+            (Type::Int, Value::Int(_)) => true,
+            (Type::Int, Value::Real(r)) => r.get().fract() == 0.0,
+            (Type::Real, Value::Int(_) | Value::Real(_)) => true,
+            (Type::Str, Value::Str(_)) => true,
+            (Type::Range(lo, hi), _) => match v.as_num() {
+                Some(n) => n.get().fract() == 0.0 && *lo as f64 <= n.get() && n.get() <= *hi as f64,
+                None => false,
+            },
+            (Type::SetOf(elem), Value::Set(items)) => items.iter().all(|i| elem.admits(i)),
+            (Type::Ref(_), Value::Ref(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// The common supertype of two types, if any. Used when conforming
+    /// equivalent properties to a shared domain (paper §2.3).
+    pub fn join(&self, other: &Type) -> Option<Type> {
+        if self == other {
+            return Some(self.clone());
+        }
+        match (self, other) {
+            (Type::Range(a, b), Type::Range(c, d)) => Some(Type::Range((*a).min(*c), (*b).max(*d))),
+            (Type::Range(_, _), Type::Int) | (Type::Int, Type::Range(_, _)) => Some(Type::Int),
+            (Type::Int, Type::Real)
+            | (Type::Real, Type::Int)
+            | (Type::Range(_, _), Type::Real)
+            | (Type::Real, Type::Range(_, _)) => Some(Type::Real),
+            (Type::SetOf(a), Type::SetOf(b)) => Some(Type::SetOf(Box::new(a.join(b)?))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "boolean"),
+            Type::Int => write!(f, "int"),
+            Type::Real => write!(f, "real"),
+            Type::Str => write!(f, "string"),
+            Type::Range(lo, hi) => write!(f, "{lo}..{hi}"),
+            Type::SetOf(t) => match **t {
+                Type::Str => write!(f, "Pstring"),
+                ref other => write!(f, "P({other})"),
+            },
+            Type::Ref(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_base_scalars() {
+        assert!(Type::Bool.admits(&Value::Bool(true)));
+        assert!(Type::Int.admits(&Value::int(5)));
+        assert!(Type::Real.admits(&Value::real(1.5)));
+        assert!(Type::Real.admits(&Value::int(5)));
+        assert!(Type::Str.admits(&Value::str("x")));
+        assert!(!Type::Str.admits(&Value::int(1)));
+    }
+
+    #[test]
+    fn null_admitted_everywhere() {
+        assert!(Type::Bool.admits(&Value::Null));
+        assert!(Type::Range(1, 5).admits(&Value::Null));
+    }
+
+    #[test]
+    fn range_membership() {
+        let r = Type::Range(1, 5);
+        assert!(r.admits(&Value::int(1)));
+        assert!(r.admits(&Value::int(5)));
+        assert!(!r.admits(&Value::int(0)));
+        assert!(!r.admits(&Value::int(6)));
+        assert!(r.admits(&Value::real(3.0)));
+        assert!(!r.admits(&Value::real(3.5)));
+    }
+
+    #[test]
+    fn int_admits_whole_reals_only() {
+        assert!(Type::Int.admits(&Value::real(4.0)));
+        assert!(!Type::Int.admits(&Value::real(4.5)));
+    }
+
+    #[test]
+    fn pstring_membership() {
+        let t = Type::pstring();
+        assert!(t.admits(&Value::str_set(["a", "b"])));
+        assert!(!t.admits(&Value::Set([Value::int(1)].into_iter().collect())));
+    }
+
+    #[test]
+    fn ref_membership() {
+        use crate::object::ObjectId;
+        let t = Type::Ref(ClassName::new("Publisher"));
+        assert!(t.admits(&Value::Ref(ObjectId::new(0, 1))));
+        assert!(!t.admits(&Value::str("ACM")));
+    }
+
+    #[test]
+    fn join_numeric_tower() {
+        assert_eq!(
+            Type::Range(1, 5).join(&Type::Range(1, 10)),
+            Some(Type::Range(1, 10))
+        );
+        assert_eq!(Type::Range(1, 5).join(&Type::Real), Some(Type::Real));
+        assert_eq!(Type::Int.join(&Type::Real), Some(Type::Real));
+        assert_eq!(Type::Str.join(&Type::Int), None);
+        assert_eq!(Type::Str.join(&Type::Str), Some(Type::Str));
+    }
+
+    #[test]
+    fn join_sets() {
+        assert_eq!(
+            Type::pstring().join(&Type::pstring()),
+            Some(Type::pstring())
+        );
+        let ints = Type::SetOf(Box::new(Type::Int));
+        let reals = Type::SetOf(Box::new(Type::Real));
+        assert_eq!(ints.join(&reals), Some(Type::SetOf(Box::new(Type::Real))));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Range(1, 5).to_string(), "1..5");
+        assert_eq!(Type::pstring().to_string(), "Pstring");
+        assert_eq!(
+            Type::Ref(ClassName::new("Publisher")).to_string(),
+            "Publisher"
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! Runtime values and the totally-ordered real wrapper [`R64`].
+//!
+//! All attribute values flowing through the system are [`Value`]s. Values
+//! must be usable as `BTreeSet`/`BTreeMap` keys (the constraint solver's
+//! finite-domain reasoning depends on it), so reals are wrapped in [`R64`],
+//! which bans NaN and therefore admits a total order.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::object::ObjectId;
+
+/// A 64-bit float with a total order. NaN is rejected at construction.
+///
+/// The paper's domains (prices, ratings, reimbursement tariffs) never need
+/// NaN; banning it lets the whole value space be `Ord`, which the domain
+/// algebra in `interop-constraint` relies on.
+#[derive(Clone, Copy, PartialEq)]
+pub struct R64(f64);
+
+impl PartialOrd for R64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl R64 {
+    /// Wraps a finite or infinite (but not NaN) float.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN. Use [`R64::try_new`] for fallible construction.
+    pub fn new(v: f64) -> Self {
+        Self::try_new(v).expect("R64 cannot hold NaN")
+    }
+
+    /// Fallible constructor: returns `None` for NaN.
+    pub fn try_new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(R64(v))
+        }
+    }
+
+    /// Returns the wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for R64 {}
+
+impl Ord for R64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is excluded by construction.
+        self.0.partial_cmp(&other.0).expect("R64 is NaN-free")
+    }
+}
+
+impl std::hash::Hash for R64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Normalise -0.0 to 0.0 so that Hash agrees with Eq.
+        let v = if self.0 == 0.0 { 0.0 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for R64 {
+    fn from(v: f64) -> Self {
+        R64::new(v)
+    }
+}
+
+impl From<i64> for R64 {
+    fn from(v: i64) -> Self {
+        R64::new(v as f64)
+    }
+}
+
+impl std::ops::Add for R64 {
+    type Output = R64;
+    fn add(self, rhs: Self) -> R64 {
+        R64::new(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for R64 {
+    type Output = R64;
+    fn sub(self, rhs: Self) -> R64 {
+        R64::new(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul for R64 {
+    type Output = R64;
+    fn mul(self, rhs: Self) -> R64 {
+        R64::new(self.0 * rhs.0)
+    }
+}
+
+impl std::ops::Div for R64 {
+    type Output = R64;
+    fn div(self, rhs: Self) -> R64 {
+        R64::new(self.0 / rhs.0)
+    }
+}
+
+impl std::ops::Neg for R64 {
+    type Output = R64;
+    fn neg(self) -> R64 {
+        R64::new(-self.0)
+    }
+}
+
+/// A runtime attribute value.
+///
+/// `Null` models an absent/undefined attribute (the paper's remote objects
+/// need not supply every local attribute, and vice versa).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Absent / undefined.
+    Null,
+    /// Boolean, e.g. the bookseller's `ref?`.
+    Bool(bool),
+    /// Integer, used for range types such as `rating : 1..5`.
+    Int(i64),
+    /// Real, used for prices and tariffs.
+    Real(R64),
+    /// String.
+    Str(String),
+    /// Finite set of values, e.g. `editors : Pstring`.
+    Set(BTreeSet<Value>),
+    /// Reference to another object (e.g. `publisher : Publisher`).
+    Ref(ObjectId),
+}
+
+impl Value {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand for a real value.
+    pub fn real(v: f64) -> Self {
+        Value::Real(R64::new(v))
+    }
+
+    /// Shorthand for an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Shorthand for a set-of-strings value.
+    pub fn str_set<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Value::Set(items.into_iter().map(|s| Value::Str(s.into())).collect())
+    }
+
+    /// Returns true iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and reals expose an `R64`; everything else `None`.
+    pub fn as_num(&self) -> Option<R64> {
+        match self {
+            Value::Int(i) => Some(R64::from(*i)),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Set view.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Reference view.
+    pub fn as_ref_id(&self) -> Option<ObjectId> {
+        match self {
+            Value::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Compares two values *numerically where possible* — `Int(3)` equals
+    /// `Real(3.0)`. Falls back to the structural `Ord` for same-variant
+    /// pairs, and returns `None` for incomparable variants.
+    ///
+    /// This is the comparison semantics the constraint evaluator uses: the
+    /// paper freely mixes integer range types and reals (e.g. conversion
+    /// `multiply(2)` maps a `1..5` rating into the bookseller's `1..10`).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        if let (Some(a), Some(b)) = (self.as_num(), other.as_num()) {
+            return Some(a.cmp(&b));
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Set(a), Value::Set(b)) => Some(a.cmp(b)),
+            (Value::Ref(a), Value::Ref(b)) => Some(a.cmp(b)),
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            _ => None,
+        }
+    }
+
+    /// Semantic equality using [`Value::compare`] (so `Int(3) == Real(3.0)`).
+    pub fn sem_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Short type tag used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Str(_) => "string",
+            Value::Set(_) => "set",
+            Value::Ref(_) => "ref",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Ref(id) => write!(f, "@{id}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn r64_rejects_nan() {
+        let _ = R64::new(f64::NAN);
+    }
+
+    #[test]
+    fn r64_try_new() {
+        assert!(R64::try_new(f64::NAN).is_none());
+        assert_eq!(R64::try_new(1.5).unwrap().get(), 1.5);
+    }
+
+    #[test]
+    fn r64_total_order() {
+        let mut v = [R64::new(3.0), R64::new(-1.0), R64::new(f64::INFINITY)];
+        v.sort();
+        assert_eq!(v[0].get(), -1.0);
+        assert_eq!(v[2].get(), f64::INFINITY);
+    }
+
+    #[test]
+    fn r64_arithmetic() {
+        let a = R64::new(10.0);
+        let b = R64::new(4.0);
+        assert_eq!((a + b).get(), 14.0);
+        assert_eq!((a - b).get(), 6.0);
+        assert_eq!((a * b).get(), 40.0);
+        assert_eq!((a / b).get(), 2.5);
+        assert_eq!((-a).get(), -10.0);
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert!(Value::Int(3).sem_eq(&Value::real(3.0)));
+        assert_eq!(
+            Value::Int(2).compare(&Value::real(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_variants() {
+        assert_eq!(Value::Int(1).compare(&Value::str("x")), None);
+        assert!(!Value::Bool(true).sem_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("IEEE").to_string(), "'IEEE'");
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::real(2.5).to_string(), "2.5");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::str_set(["a", "b"]).to_string(), "{'a', 'b'}");
+    }
+
+    #[test]
+    fn set_values_are_ordered_and_deduped() {
+        let s = Value::str_set(["b", "a", "b"]);
+        assert_eq!(s.to_string(), "{'a', 'b'}");
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::int(5).as_num().unwrap().get(), 5.0);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert!(Value::str("x").as_num().is_none());
+    }
+
+    #[test]
+    fn negative_zero_hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |r: R64| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(R64::new(0.0), R64::new(-0.0));
+        assert_eq!(h(R64::new(0.0)), h(R64::new(-0.0)));
+    }
+}

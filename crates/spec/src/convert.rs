@@ -1,0 +1,368 @@
+//! Conversion functions `cf` (§2.2, §4).
+//!
+//! A conversion function maps a property's local domain into the common
+//! domain chosen for the conformed property. The paper uses `id` and
+//! `multiply(2)` (library 1..5 rating → bookseller 1..10 scale); we also
+//! provide general affine maps and lookup tables (the "correspondence
+//! tables" the paper mentions).
+//!
+//! Conversions act on **values** (during merging) and on **domains**
+//! (during constraint conformation: `rating >= 2` under `multiply(2)`
+//! becomes `rating >= 4` — §4's *domain conversion* subtask).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use interop_constraint::{Domain, NumSet};
+use interop_model::{Value, R64};
+
+/// A conversion function.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Conversion {
+    /// The identity.
+    Id,
+    /// `x ↦ k · x`.
+    Multiply(f64),
+    /// `x ↦ a · x + b`.
+    Linear {
+        /// Slope.
+        a: f64,
+        /// Intercept.
+        b: f64,
+    },
+    /// Explicit correspondence table.
+    Table(BTreeMap<Value, Value>),
+}
+
+impl Conversion {
+    /// Applies the conversion to a value. Returns `None` when the value
+    /// is outside the conversion's domain (non-numeric for affine maps,
+    /// missing from a table).
+    pub fn apply(&self, v: &Value) -> Option<Value> {
+        if v.is_null() {
+            return Some(Value::Null);
+        }
+        match self {
+            Conversion::Id => Some(v.clone()),
+            Conversion::Multiply(k) => {
+                let n = v.as_num()?;
+                Some(num_value(n * R64::new(*k), v))
+            }
+            Conversion::Linear { a, b } => {
+                let n = v.as_num()?;
+                Some(num_value(n * R64::new(*a) + R64::new(*b), v))
+            }
+            Conversion::Table(map) => map.get(v).cloned(),
+        }
+    }
+
+    /// The inverse conversion, when one exists (affine maps with non-zero
+    /// slope invert; tables invert when injective).
+    pub fn invert(&self) -> Option<Conversion> {
+        match self {
+            Conversion::Id => Some(Conversion::Id),
+            Conversion::Multiply(k) => {
+                if *k == 0.0 {
+                    None
+                } else {
+                    Some(Conversion::Multiply(1.0 / k))
+                }
+            }
+            Conversion::Linear { a, b } => {
+                if *a == 0.0 {
+                    None
+                } else {
+                    Some(Conversion::Linear {
+                        a: 1.0 / a,
+                        b: -b / a,
+                    })
+                }
+            }
+            Conversion::Table(map) => {
+                let mut inv = BTreeMap::new();
+                for (k, v) in map {
+                    if inv.insert(v.clone(), k.clone()).is_some() {
+                        return None; // not injective
+                    }
+                }
+                Some(Conversion::Table(inv))
+            }
+        }
+    }
+
+    /// Image of a domain under the conversion (used when conforming
+    /// constraint constants, §4). Returns `None` when the image cannot be
+    /// computed exactly (conservative callers then drop the constraint
+    /// from conformation and report it).
+    pub fn apply_domain(&self, d: &Domain, integral_out: bool) -> Option<Domain> {
+        match self {
+            Conversion::Id => Some(d.clone()),
+            Conversion::Multiply(k) => match d {
+                Domain::Num(n) => Some(Domain::Num(n.affine_image(
+                    R64::new(*k),
+                    R64::new(0.0),
+                    integral_out,
+                ))),
+                Domain::Disc(_) => None,
+            },
+            Conversion::Linear { a, b } => match d {
+                Domain::Num(n) => Some(Domain::Num(n.affine_image(
+                    R64::new(*a),
+                    R64::new(*b),
+                    integral_out,
+                ))),
+                Domain::Disc(_) => None,
+            },
+            Conversion::Table(map) => {
+                // Pointwise image of a finite domain.
+                match d {
+                    Domain::Num(n) => {
+                        let pts = n.enumerate(256)?;
+                        let mut out = std::collections::BTreeSet::new();
+                        for p in pts {
+                            let key_int = Value::Int(p.get() as i64);
+                            let key_real = Value::Real(p);
+                            let v = map
+                                .get(&key_real)
+                                .or_else(|| {
+                                    if p.get().fract() == 0.0 {
+                                        map.get(&key_int)
+                                    } else {
+                                        None
+                                    }
+                                })?
+                                .clone();
+                            out.insert(v);
+                        }
+                        Some(Domain::from_values(&out, integral_out))
+                    }
+                    Domain::Disc(interop_constraint::DiscSet::In(s)) => {
+                        let mut out = std::collections::BTreeSet::new();
+                        for v in s {
+                            out.insert(map.get(v)?.clone());
+                        }
+                        Some(Domain::from_values(&out, integral_out))
+                    }
+                    Domain::Disc(_) => None,
+                }
+            }
+        }
+    }
+
+    /// True when the conversion is monotone non-decreasing on numerics
+    /// (affine maps with non-negative slope, `id`). Tables are not
+    /// analysed.
+    pub fn is_monotone(&self) -> bool {
+        match self {
+            Conversion::Id => true,
+            Conversion::Multiply(k) => *k >= 0.0,
+            Conversion::Linear { a, .. } => *a >= 0.0,
+            Conversion::Table(_) => false,
+        }
+    }
+
+    /// Image of an attribute *type* under the conversion (used to compute
+    /// the conformed attribute's type). Affine maps transform numeric
+    /// types; ranges stay ranges when the endpoints stay whole.
+    pub fn apply_type(&self, ty: &interop_model::Type) -> Option<interop_model::Type> {
+        use interop_model::Type;
+        match self {
+            Conversion::Id => Some(ty.clone()),
+            Conversion::Multiply(k) => affine_type(ty, *k, 0.0),
+            Conversion::Linear { a, b } => affine_type(ty, *a, *b),
+            Conversion::Table(map) => {
+                // The output type is inferred from the table's range.
+                let mut out: Option<Type> = None;
+                for v in map.values() {
+                    let t = match v {
+                        interop_model::Value::Int(_) => Type::Int,
+                        interop_model::Value::Real(_) => Type::Real,
+                        interop_model::Value::Str(_) => Type::Str,
+                        interop_model::Value::Bool(_) => Type::Bool,
+                        _ => return None,
+                    };
+                    out = Some(match out {
+                        None => t,
+                        Some(prev) => prev.join(&t)?,
+                    });
+                }
+                out
+            }
+        }
+    }
+
+    /// Image of a full numeric set helper for convenience in tests.
+    pub fn apply_numset(&self, n: &NumSet, integral_out: bool) -> Option<NumSet> {
+        match self.apply_domain(&Domain::Num(n.clone()), integral_out)? {
+            Domain::Num(m) => Some(m),
+            Domain::Disc(_) => None,
+        }
+    }
+}
+
+fn affine_type(ty: &interop_model::Type, a: f64, b: f64) -> Option<interop_model::Type> {
+    use interop_model::Type;
+    let whole = |x: f64| x.fract() == 0.0;
+    match ty {
+        Type::Range(lo, hi) if whole(a) && whole(b) && a > 0.0 => Some(Type::Range(
+            (a * *lo as f64 + b) as i64,
+            (a * *hi as f64 + b) as i64,
+        )),
+        Type::Range(lo, hi) if whole(a) && whole(b) && a < 0.0 => Some(Type::Range(
+            (a * *hi as f64 + b) as i64,
+            (a * *lo as f64 + b) as i64,
+        )),
+        Type::Range(_, _) => Some(Type::Real),
+        Type::Int if whole(a) && whole(b) => Some(Type::Int),
+        Type::Int | Type::Real => Some(Type::Real),
+        _ => None,
+    }
+}
+
+fn num_value(r: R64, like: &Value) -> Value {
+    match like {
+        Value::Int(_) if r.get().fract() == 0.0 => Value::Int(r.get() as i64),
+        _ => Value::Real(r),
+    }
+}
+
+impl fmt::Display for Conversion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Conversion::Id => write!(f, "id"),
+            Conversion::Multiply(k) => write!(f, "multiply({k})"),
+            Conversion::Linear { a, b } => write!(f, "linear({a}, {b})"),
+            Conversion::Table(map) => write!(f, "table[{} entries]", map.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::CmpOp;
+
+    #[test]
+    fn id_and_multiply() {
+        assert_eq!(Conversion::Id.apply(&Value::int(3)), Some(Value::int(3)));
+        assert_eq!(
+            Conversion::Multiply(2.0).apply(&Value::int(2)),
+            Some(Value::int(4))
+        );
+        assert_eq!(
+            Conversion::Multiply(2.0).apply(&Value::real(1.5)),
+            Some(Value::real(3.0))
+        );
+        assert_eq!(Conversion::Multiply(2.0).apply(&Value::str("x")), None);
+        assert_eq!(
+            Conversion::Multiply(2.0).apply(&Value::Null),
+            Some(Value::Null)
+        );
+    }
+
+    #[test]
+    fn linear_and_inverse() {
+        let c = Conversion::Linear { a: 2.0, b: 1.0 };
+        assert_eq!(c.apply(&Value::int(3)), Some(Value::int(7)));
+        let inv = c.invert().unwrap();
+        assert_eq!(inv.apply(&Value::int(7)), Some(Value::int(3)));
+        assert!(Conversion::Linear { a: 0.0, b: 1.0 }.invert().is_none());
+        assert_eq!(
+            Conversion::Multiply(2.0).invert().unwrap(),
+            Conversion::Multiply(0.5)
+        );
+    }
+
+    #[test]
+    fn table_conversion() {
+        let mut map = BTreeMap::new();
+        map.insert(Value::str("NL"), Value::str("Netherlands"));
+        map.insert(Value::str("IN"), Value::str("India"));
+        let c = Conversion::Table(map);
+        assert_eq!(c.apply(&Value::str("NL")), Some(Value::str("Netherlands")));
+        assert_eq!(c.apply(&Value::str("??")), None);
+        let inv = c.invert().unwrap();
+        assert_eq!(inv.apply(&Value::str("India")), Some(Value::str("IN")));
+    }
+
+    #[test]
+    fn non_injective_table_has_no_inverse() {
+        let mut map = BTreeMap::new();
+        map.insert(Value::int(1), Value::str("x"));
+        map.insert(Value::int(2), Value::str("x"));
+        assert!(Conversion::Table(map).invert().is_none());
+    }
+
+    #[test]
+    fn paper_rating_conformation() {
+        // §4: RefereedPubl.oc1 `rating >= 2` on the 1..5 scale conformed
+        // through multiply(2) becomes `rating >= 4`.
+        let d = Domain::Num(NumSet::from_cmp(true, CmpOp::Ge, R64::new(2.0)));
+        let img = Conversion::Multiply(2.0).apply_domain(&d, true).unwrap();
+        assert!(img.contains(&Value::int(4)));
+        assert!(!img.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn table_domain_image() {
+        let mut map = BTreeMap::new();
+        map.insert(Value::int(1), Value::int(10));
+        map.insert(Value::int(2), Value::int(20));
+        let c = Conversion::Table(map);
+        let d = Domain::from_values(&[Value::int(1), Value::int(2)].into_iter().collect(), true);
+        let img = c.apply_domain(&d, true).unwrap();
+        assert!(img.contains(&Value::int(10)));
+        assert!(img.contains(&Value::int(20)));
+        assert!(!img.contains(&Value::int(1)));
+        // Missing key: no exact image.
+        let d2 = Domain::from_values(&[Value::int(3)].into_iter().collect(), true);
+        assert!(c.apply_domain(&d2, true).is_none());
+    }
+
+    #[test]
+    fn monotonicity() {
+        assert!(Conversion::Id.is_monotone());
+        assert!(Conversion::Multiply(2.0).is_monotone());
+        assert!(!Conversion::Multiply(-1.0).is_monotone());
+        assert!(!Conversion::Table(BTreeMap::new()).is_monotone());
+    }
+}
+
+#[cfg(test)]
+mod type_tests {
+    use super::*;
+    use interop_model::Type;
+
+    #[test]
+    fn multiply_scales_ranges() {
+        assert_eq!(
+            Conversion::Multiply(2.0).apply_type(&Type::Range(1, 5)),
+            Some(Type::Range(2, 10))
+        );
+        assert_eq!(Conversion::Id.apply_type(&Type::Str), Some(Type::Str));
+        assert_eq!(
+            Conversion::Multiply(0.5).apply_type(&Type::Range(1, 5)),
+            Some(Type::Real)
+        );
+        assert_eq!(Conversion::Multiply(2.0).apply_type(&Type::Str), None);
+    }
+
+    #[test]
+    fn negative_slope_flips_range() {
+        assert_eq!(
+            Conversion::Linear { a: -1.0, b: 6.0 }.apply_type(&Type::Range(1, 5)),
+            Some(Type::Range(1, 5))
+        );
+    }
+
+    #[test]
+    fn table_output_type_inferred() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(Value::int(1), Value::str("low"));
+        map.insert(Value::int(2), Value::str("high"));
+        assert_eq!(
+            Conversion::Table(map).apply_type(&Type::Int),
+            Some(Type::Str)
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Decision functions `df` and their four-way classification (§5.1.2).
+//!
+//! A decision function determines the global value of a property given
+//! (conformed) local and remote values. The paper requires idempotence,
+//! `∀a : df(a, a) = a`, and classifies decision functions by how they
+//! handle value conflicts; the classification determines property
+//! subjectivity:
+//!
+//! | kind                 | examples      | local prop | remote prop |
+//! |----------------------|---------------|------------|-------------|
+//! | conflict ignoring    | `any`         | objective  | objective   |
+//! | conflict avoiding    | `trust(DB)`   | trusted side objective, other subjective |
+//! | conflict settling    | `max`, `min`  | subjective | subjective  |
+//! | conflict eliminating | `avg`, `union`| subjective | subjective  |
+
+use std::fmt;
+
+use interop_constraint::Domain;
+use interop_model::{Value, R64};
+
+/// Which component database a side-sensitive function refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The local database (`s` in the paper's conventions).
+    Local,
+    /// The remote database (`s'`).
+    Remote,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Local => Side::Remote,
+            Side::Remote => Side::Local,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Side::Local => "local",
+            Side::Remote => "remote",
+        })
+    }
+}
+
+/// The paper's four decision-function kinds (§5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DfKind {
+    /// Non-deterministically pick either value (`any`).
+    Ignoring,
+    /// Always pick the value of one designated side (`trust`).
+    Avoiding(Side),
+    /// Pick one of the two values by comparing them (`max`, `min`).
+    Settling,
+    /// Compute a new value from both (`avg`, `union`).
+    Eliminating,
+}
+
+impl fmt::Display for DfKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfKind::Ignoring => write!(f, "conflict ignoring"),
+            DfKind::Avoiding(s) => write!(f, "conflict avoiding (trusts {s})"),
+            DfKind::Settling => write!(f, "conflict settling"),
+            DfKind::Eliminating => write!(f, "conflict eliminating"),
+        }
+    }
+}
+
+/// A decision function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// `any` — non-deterministic choice; both properties objective.
+    Any,
+    /// `trust(side)` — the designated side is the primary source.
+    Trust(Side),
+    /// `max` — the larger value wins.
+    Max,
+    /// `min` — the smaller value wins.
+    Min,
+    /// `avg` — the arithmetic mean.
+    Avg,
+    /// `union` — set union (for set-valued properties).
+    Union,
+}
+
+impl Decision {
+    /// The §5.1.2 classification.
+    pub fn kind(self) -> DfKind {
+        match self {
+            Decision::Any => DfKind::Ignoring,
+            Decision::Trust(s) => DfKind::Avoiding(s),
+            Decision::Max | Decision::Min => DfKind::Settling,
+            Decision::Avg | Decision::Union => DfKind::Eliminating,
+        }
+    }
+
+    /// Is the property on `side` *subjective* under this decision
+    /// function? (§5.1.2: ignoring → both objective; avoiding → only the
+    /// trusted side objective; settling/eliminating → both subjective.)
+    pub fn subjective(self, side: Side) -> bool {
+        match self.kind() {
+            DfKind::Ignoring => false,
+            DfKind::Avoiding(trusted) => side != trusted,
+            DfKind::Settling | DfKind::Eliminating => true,
+        }
+    }
+
+    /// Applies the function to two non-null values. `None` when the
+    /// values do not fit the function (e.g. `avg` of strings). For `Any`,
+    /// the *local* value is returned (a fixed representative of the
+    /// non-deterministic choice; the non-determinism itself is modelled by
+    /// the implicit-conflict analysis, §5.2.1).
+    pub fn apply(self, local: &Value, remote: &Value) -> Option<Value> {
+        match (local.is_null(), remote.is_null()) {
+            (true, true) => return Some(Value::Null),
+            (true, false) => return Some(remote.clone()),
+            (false, true) => return Some(local.clone()),
+            _ => {}
+        }
+        match self {
+            Decision::Any => Some(local.clone()),
+            Decision::Trust(Side::Local) => Some(local.clone()),
+            Decision::Trust(Side::Remote) => Some(remote.clone()),
+            Decision::Max => match local.compare(remote)? {
+                std::cmp::Ordering::Less => Some(remote.clone()),
+                _ => Some(local.clone()),
+            },
+            Decision::Min => match local.compare(remote)? {
+                std::cmp::Ordering::Greater => Some(remote.clone()),
+                _ => Some(local.clone()),
+            },
+            Decision::Avg => {
+                let (a, b) = (local.as_num()?, remote.as_num()?);
+                let avg = (a + b) / R64::new(2.0);
+                // Keep integer typing when both inputs and the mean are whole.
+                if matches!((local, remote), (Value::Int(_), Value::Int(_)))
+                    && avg.get().fract() == 0.0
+                {
+                    Some(Value::Int(avg.get() as i64))
+                } else {
+                    Some(Value::Real(avg))
+                }
+            }
+            Decision::Union => {
+                let (a, b) = (local.as_set()?, remote.as_set()?);
+                Some(Value::Set(a.union(b).cloned().collect()))
+            }
+        }
+    }
+
+    /// Checks the paper's idempotence requirement `df(a, a) = a` for one
+    /// sample (property tests sweep it across the value space).
+    pub fn idempotent_on(self, a: &Value) -> bool {
+        match self.apply(a, a) {
+            Some(v) => v.sem_eq(a) || (a.is_null() && v.is_null()),
+            None => true, // outside the function's domain — vacuous
+        }
+    }
+
+    /// Combines local and remote constraint **domains** through the
+    /// decision function: the image `{df(a,b) | a ∈ D, b ∈ D'}`.
+    ///
+    /// Returns `None` when the image cannot be computed exactly for this
+    /// function/domain combination; the derivation engine then refrains
+    /// from deriving a global constraint (conservative, matching the
+    /// paper's necessary conditions).
+    pub fn combine_domains(self, local: &Domain, remote: &Domain) -> Option<Domain> {
+        match self {
+            Decision::Trust(Side::Local) => Some(local.clone()),
+            Decision::Trust(Side::Remote) => Some(remote.clone()),
+            // `any` picks either value: the global value set is the union.
+            Decision::Any => Some(local.union(remote)),
+            Decision::Max => numeric_combine(local, remote, |a, b| a.max(b)),
+            Decision::Min => numeric_combine(local, remote, |a, b| a.min(b)),
+            Decision::Avg => numeric_combine(local, remote, |a, b| (a + b) / R64::new(2.0)),
+            Decision::Union => local.combine_pointwise(remote, 64, |a, b| {
+                let (x, y) = (a.as_set()?, b.as_set()?);
+                Some(Value::Set(x.union(y).cloned().collect()))
+            }),
+        }
+    }
+}
+
+fn numeric_combine(
+    local: &Domain,
+    remote: &Domain,
+    f: impl Fn(R64, R64) -> R64 + Copy,
+) -> Option<Domain> {
+    let (a, b) = (local.as_num()?, remote.as_num()?);
+    // `avg` of two integral scales is generally half-integral; `min`/`max`
+    // stay integral. Conservatively mark the output integral only when
+    // both inputs are and the function preserves integrality on a sample.
+    let integral_out =
+        a.integral && b.integral && f(R64::new(1.0), R64::new(2.0)).get().fract() == 0.0;
+    Some(Domain::Num(a.combine_monotone(b, integral_out, f)))
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Any => write!(f, "any"),
+            Decision::Trust(Side::Local) => write!(f, "trust(local)"),
+            Decision::Trust(Side::Remote) => write!(f, "trust(remote)"),
+            Decision::Max => write!(f, "max"),
+            Decision::Min => write!(f, "min"),
+            Decision::Avg => write!(f, "avg"),
+            Decision::Union => write!(f, "union"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::{CmpOp, NumSet};
+
+    #[test]
+    fn kinds_match_paper_table() {
+        assert_eq!(Decision::Any.kind(), DfKind::Ignoring);
+        assert_eq!(
+            Decision::Trust(Side::Local).kind(),
+            DfKind::Avoiding(Side::Local)
+        );
+        assert_eq!(Decision::Max.kind(), DfKind::Settling);
+        assert_eq!(Decision::Min.kind(), DfKind::Settling);
+        assert_eq!(Decision::Avg.kind(), DfKind::Eliminating);
+        assert_eq!(Decision::Union.kind(), DfKind::Eliminating);
+    }
+
+    #[test]
+    fn subjectivity_per_side() {
+        // §5.1.2: any → both objective.
+        assert!(!Decision::Any.subjective(Side::Local));
+        assert!(!Decision::Any.subjective(Side::Remote));
+        // trust(local): ourprice objective, shopprice-side subjective.
+        assert!(!Decision::Trust(Side::Local).subjective(Side::Local));
+        assert!(Decision::Trust(Side::Local).subjective(Side::Remote));
+        // settling/eliminating: both subjective.
+        for df in [Decision::Max, Decision::Min, Decision::Avg, Decision::Union] {
+            assert!(df.subjective(Side::Local));
+            assert!(df.subjective(Side::Remote));
+        }
+    }
+
+    #[test]
+    fn apply_semantics() {
+        assert_eq!(
+            Decision::Avg.apply(&Value::int(4), &Value::int(6)),
+            Some(Value::int(5))
+        );
+        assert_eq!(
+            Decision::Avg.apply(&Value::int(1), &Value::int(2)),
+            Some(Value::real(1.5))
+        );
+        assert_eq!(
+            Decision::Max.apply(&Value::real(26.0), &Value::real(22.0)),
+            Some(Value::real(26.0))
+        );
+        assert_eq!(
+            Decision::Min.apply(&Value::real(26.0), &Value::real(22.0)),
+            Some(Value::real(22.0))
+        );
+        assert_eq!(
+            Decision::Trust(Side::Remote).apply(&Value::int(1), &Value::int(9)),
+            Some(Value::int(9))
+        );
+        let u = Decision::Union
+            .apply(&Value::str_set(["a"]), &Value::str_set(["b"]))
+            .unwrap();
+        assert_eq!(u, Value::str_set(["a", "b"]));
+        assert_eq!(Decision::Avg.apply(&Value::str("x"), &Value::int(1)), None);
+    }
+
+    #[test]
+    fn null_handling_prefers_present_value() {
+        assert_eq!(
+            Decision::Avg.apply(&Value::Null, &Value::int(6)),
+            Some(Value::int(6))
+        );
+        assert_eq!(
+            Decision::Trust(Side::Local).apply(&Value::Null, &Value::int(6)),
+            Some(Value::int(6))
+        );
+        assert_eq!(
+            Decision::Max.apply(&Value::Null, &Value::Null),
+            Some(Value::Null)
+        );
+    }
+
+    #[test]
+    fn idempotence_requirement() {
+        for df in [
+            Decision::Any,
+            Decision::Trust(Side::Local),
+            Decision::Trust(Side::Remote),
+            Decision::Max,
+            Decision::Min,
+            Decision::Avg,
+            Decision::Union,
+        ] {
+            assert!(df.idempotent_on(&Value::int(7)), "{df} not idempotent");
+            assert!(df.idempotent_on(&Value::real(2.5)));
+            assert!(df.idempotent_on(&Value::str_set(["x", "y"])));
+        }
+    }
+
+    #[test]
+    fn combine_domains_avg_matches_paper() {
+        // §5.2.1: local rating >= 4 (conformed), remote rating >= 6,
+        // df = avg ⇒ global rating >= 5.
+        let local = Domain::Num(NumSet::from_cmp(false, CmpOp::Ge, R64::new(4.0)));
+        let remote = Domain::Num(NumSet::from_cmp(false, CmpOp::Ge, R64::new(6.0)));
+        let g = Decision::Avg.combine_domains(&local, &remote).unwrap();
+        assert!(g.contains(&Value::real(5.0)));
+        assert!(!g.contains(&Value::real(4.9)));
+    }
+
+    #[test]
+    fn combine_domains_intro_example() {
+        // §1: {10,20} and {14,24} under avg ⇒ {12,17,22}.
+        let local = Domain::from_values(
+            &[Value::int(10), Value::int(20)].into_iter().collect(),
+            true,
+        );
+        let remote = Domain::from_values(
+            &[Value::int(14), Value::int(24)].into_iter().collect(),
+            true,
+        );
+        let g = Decision::Avg.combine_domains(&local, &remote).unwrap();
+        for v in [12, 17, 22] {
+            assert!(g.contains(&Value::int(v)), "{v} missing");
+        }
+        assert!(!g.contains(&Value::int(10)));
+        assert!(!g.contains(&Value::int(24)));
+    }
+
+    #[test]
+    fn combine_domains_trust_projects_one_side() {
+        let local = Domain::Num(NumSet::from_cmp(false, CmpOp::Le, R64::new(10.0)));
+        let remote = Domain::Num(NumSet::full(false));
+        let g = Decision::Trust(Side::Local)
+            .combine_domains(&local, &remote)
+            .unwrap();
+        assert_eq!(g, local);
+    }
+
+    #[test]
+    fn combine_domains_any_is_union() {
+        let local = Domain::Num(NumSet::from_cmp(false, CmpOp::Le, R64::new(1.0)));
+        let remote = Domain::Num(NumSet::from_cmp(false, CmpOp::Ge, R64::new(9.0)));
+        let g = Decision::Any.combine_domains(&local, &remote).unwrap();
+        assert!(g.contains(&Value::real(0.0)));
+        assert!(g.contains(&Value::real(10.0)));
+        assert!(!g.contains(&Value::real(5.0)));
+    }
+
+    #[test]
+    fn combine_domains_union_of_sets() {
+        let mk = |items: &[&str]| -> Value { Value::str_set(items.iter().copied()) };
+        let local = Domain::from_values(&[mk(&["a"])].into_iter().collect(), false);
+        let remote = Domain::from_values(&[mk(&["b"]), mk(&["c"])].into_iter().collect(), false);
+        let g = Decision::Union.combine_domains(&local, &remote).unwrap();
+        assert!(g.contains(&mk(&["a", "b"])));
+        assert!(g.contains(&mk(&["a", "c"])));
+        assert!(!g.contains(&mk(&["b", "c"])));
+    }
+
+    #[test]
+    fn combine_domains_avg_on_strings_fails() {
+        let d = Domain::from_values(&[Value::str("x")].into_iter().collect(), false);
+        assert!(Decision::Avg.combine_domains(&d, &d).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # interop-spec
+//!
+//! Integration specifications (§2.2 of Vermeer & Apers, VLDB 1996): the
+//! designer-supplied artifacts describing how two databases relate.
+//!
+//! * [`rules`] — *object comparison rules* `ρ ← Q`, where `ρ` is one of
+//!   the relationships of [`relationship::Relationship`] (equality, strict
+//!   similarity, approximate similarity, descriptivity) and `Q` is a
+//!   conjunction of first-order predicates split into *interobject* and
+//!   *intraobject* conditions (§3);
+//! * [`propeq`] — *property equivalence assertions*
+//!   `propeq(C.p, C'.p', cf, cf', df)`;
+//! * [`convert`] — conversion functions `cf` mapping local/remote
+//!   property domains to a common domain (applied to values *and* to
+//!   constraint constants during conformation, §4);
+//! * [`decide`] — decision functions `df` determining global property
+//!   values, with the four-way classification of §5.1.2 (conflict
+//!   ignoring / avoiding / settling / eliminating) that drives property
+//!   subjectivity.
+
+pub mod convert;
+pub mod decide;
+pub mod propeq;
+pub mod relationship;
+pub mod rules;
+
+pub use convert::Conversion;
+pub use decide::{Decision, DfKind, Side};
+pub use propeq::PropEq;
+pub use relationship::Relationship;
+pub use rules::{ComparisonRule, InterCond, RuleId, Spec};

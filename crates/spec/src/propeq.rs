@@ -1,0 +1,140 @@
+//! Property equivalence assertions `propeq(C.p, C'.p', cf, cf', df)`.
+
+use std::fmt;
+
+use interop_constraint::Path;
+use interop_model::ClassName;
+
+use crate::convert::Conversion;
+use crate::decide::Decision;
+
+/// One property-equivalence assertion (§2.2): the local property `C.p`
+/// and the remote property `C'.p'` describe the same real-world property;
+/// `cf`/`cf'` convert both into a common domain, and `df` decides the
+/// global value when both sides supply one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropEq {
+    /// Local class.
+    pub local_class: ClassName,
+    /// Local property (basic or derived).
+    pub local_path: Path,
+    /// Remote class.
+    pub remote_class: ClassName,
+    /// Remote property.
+    pub remote_path: Path,
+    /// Local conversion function into the common domain.
+    pub cf_local: Conversion,
+    /// Remote conversion function into the common domain.
+    pub cf_remote: Conversion,
+    /// Decision function for the global value.
+    pub df: Decision,
+    /// The conformed (common) property name; defaults to the remote
+    /// head attribute when the paper renames the local one (e.g.
+    /// `ourprice` → `libprice`), but the designer may pick any name.
+    pub conformed_name: Path,
+}
+
+impl PropEq {
+    /// Creates a property equivalence with an explicit conformed name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        local_class: impl Into<ClassName>,
+        local_path: &str,
+        remote_class: impl Into<ClassName>,
+        remote_path: &str,
+        cf_local: Conversion,
+        cf_remote: Conversion,
+        df: Decision,
+        conformed_name: &str,
+    ) -> Self {
+        PropEq {
+            local_class: local_class.into(),
+            local_path: Path::parse(local_path),
+            remote_class: remote_class.into(),
+            remote_path: Path::parse(remote_path),
+            cf_local,
+            cf_remote,
+            df,
+            conformed_name: Path::parse(conformed_name),
+        }
+    }
+
+    /// Creates a property equivalence whose conformed name is the remote
+    /// property's name (the common case in the paper's example).
+    pub fn named_after_remote(
+        local_class: impl Into<ClassName>,
+        local_path: &str,
+        remote_class: impl Into<ClassName>,
+        remote_path: &str,
+        cf_local: Conversion,
+        cf_remote: Conversion,
+        df: Decision,
+    ) -> Self {
+        PropEq::new(
+            local_class,
+            local_path,
+            remote_class,
+            remote_path,
+            cf_local,
+            cf_remote,
+            df,
+            remote_path,
+        )
+    }
+}
+
+impl fmt::Display for PropEq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "propeq({}.{}, {}.{}, {}, {}, {})",
+            self.local_class,
+            self.local_path,
+            self.remote_class,
+            self.remote_path,
+            self.cf_local,
+            self.cf_remote,
+            self.df
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::Side;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let pe = PropEq::new(
+            "Publication",
+            "ourprice",
+            "Item",
+            "libprice",
+            Conversion::Id,
+            Conversion::Id,
+            Decision::Trust(Side::Local),
+            "libprice",
+        );
+        assert_eq!(
+            pe.to_string(),
+            "propeq(Publication.ourprice, Item.libprice, id, id, trust(local))"
+        );
+        assert_eq!(pe.conformed_name, Path::parse("libprice"));
+    }
+
+    #[test]
+    fn named_after_remote_defaults() {
+        let pe = PropEq::named_after_remote(
+            "ScientificPubl",
+            "rating",
+            "Proceedings",
+            "rating",
+            Conversion::Multiply(2.0),
+            Conversion::Id,
+            Decision::Avg,
+        );
+        assert_eq!(pe.conformed_name, Path::parse("rating"));
+        assert_eq!(pe.cf_local, Conversion::Multiply(2.0));
+    }
+}

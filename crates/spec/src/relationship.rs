@@ -1,0 +1,112 @@
+//! The object-relationship taxonomy of §2.2.
+
+use std::fmt;
+
+use interop_constraint::Path;
+use interop_model::ClassName;
+
+/// A relationship `ρ` that may hold between a remote object `O'` and a
+/// local object `O` or class `C`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Relationship {
+    /// `Eq(O', O)` — `O` and `O'` represent the same real-world object.
+    Equality,
+    /// `Sim(O', C)` — `O'` would locally be classified under `C`.
+    StrictSimilarity {
+        /// The local class `C` the remote object joins.
+        class: ClassName,
+    },
+    /// `Sim(O', C, Cᵛ)` — locally `C ∪ {O'}` can be regarded as a more
+    /// general virtual class `Cᵛ`.
+    ApproxSimilarity {
+        /// The local class `C`.
+        class: ClassName,
+        /// The virtual common superclass `Cᵛ`.
+        virtual_class: ClassName,
+    },
+    /// `Eq(O', O.S)` / `Sim(O', C.S)` — the remote object is considered a
+    /// set of values `S` describing a local object/class (object–value
+    /// conflict, settled during conformation).
+    Descriptivity {
+        /// The local class whose attribute set `S` the remote object
+        /// describes.
+        class: ClassName,
+        /// The attributes forming the descriptive value set `S`.
+        value_attrs: Vec<Path>,
+    },
+}
+
+impl Relationship {
+    /// Short tag used in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Relationship::Equality => "Eq",
+            Relationship::StrictSimilarity { .. } => "Sim",
+            Relationship::ApproxSimilarity { .. } => "SimApprox",
+            Relationship::Descriptivity { .. } => "Descr",
+        }
+    }
+
+    /// The local class the relationship targets, when it targets a class.
+    pub fn target_class(&self) -> Option<&ClassName> {
+        match self {
+            Relationship::Equality => None,
+            Relationship::StrictSimilarity { class }
+            | Relationship::ApproxSimilarity { class, .. }
+            | Relationship::Descriptivity { class, .. } => Some(class),
+        }
+    }
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relationship::Equality => write!(f, "Eq(O', O)"),
+            Relationship::StrictSimilarity { class } => write!(f, "Sim(O', {class})"),
+            Relationship::ApproxSimilarity {
+                class,
+                virtual_class,
+            } => write!(f, "Sim(O', {class}, {virtual_class})"),
+            Relationship::Descriptivity { class, value_attrs } => {
+                write!(f, "Eq(O', {class}.{{")?;
+                for (i, a) in value_attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "}})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_targets() {
+        assert_eq!(Relationship::Equality.tag(), "Eq");
+        assert!(Relationship::Equality.target_class().is_none());
+        let s = Relationship::StrictSimilarity {
+            class: ClassName::new("RefereedPubl"),
+        };
+        assert_eq!(s.tag(), "Sim");
+        assert_eq!(s.target_class().unwrap().as_str(), "RefereedPubl");
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Relationship::ApproxSimilarity {
+            class: ClassName::new("ScientificPubl"),
+            virtual_class: ClassName::new("AnyPubl"),
+        };
+        assert_eq!(a.to_string(), "Sim(O', ScientificPubl, AnyPubl)");
+        let d = Relationship::Descriptivity {
+            class: ClassName::new("Publication"),
+            value_attrs: vec![Path::parse("publisher")],
+        };
+        assert_eq!(d.to_string(), "Eq(O', Publication.{publisher})");
+    }
+}

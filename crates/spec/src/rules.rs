@@ -1,0 +1,475 @@
+//! Object comparison rules `ρ ← Q` and the integration specification.
+//!
+//! The condition `Q` of a rule splits into *interobject* conditions
+//! (relating the two objects, e.g. `O.isbn = O'.isbn`) and *intraobject*
+//! conditions (on one object only, e.g. `O'.ref? = true`) — the
+//! distinction §3 of the paper builds on, because intraobject conditions
+//! interact with object constraints.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use interop_constraint::{CmpOp, ConstraintId, Formula, Path, Status};
+use interop_model::{ClassName, DbName};
+
+use crate::decide::Side;
+use crate::propeq::PropEq;
+use crate::relationship::Relationship;
+
+/// A stable rule identifier.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(String);
+
+impl RuleId {
+    /// Creates a rule id.
+    pub fn new(s: impl Into<String>) -> Self {
+        RuleId(s.into())
+    }
+
+    /// The id text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RuleId({})", self.0)
+    }
+}
+
+/// An interobject condition: `subject.remote_path op counterpart.local_path`
+/// (paths may be empty, denoting the object itself).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterCond {
+    /// Path on the counterpart (local) object.
+    pub local: Path,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Path on the subject (remote) object.
+    pub remote: Path,
+}
+
+impl InterCond {
+    /// Equality of two attribute paths — the common case (`O.isbn =
+    /// O'.isbn`).
+    pub fn eq(local: &str, remote: &str) -> Self {
+        InterCond {
+            local: Path::parse(local),
+            op: CmpOp::Eq,
+            remote: Path::parse(remote),
+        }
+    }
+}
+
+impl fmt::Display for InterCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O.{} {} O'.{}", self.local, self.op, self.remote)
+    }
+}
+
+/// An object comparison rule.
+///
+/// The *subject* is the object being relatеd (usually remote — the paper
+/// mostly classifies bookseller objects into library classes — but
+/// similarity can also run local→remote, as in
+/// `Sim(O:ScientificPubl, Proceedings) ← contains(O.title, 'Proceed')`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComparisonRule {
+    /// Identifier.
+    pub id: RuleId,
+    /// The relationship the rule establishes.
+    pub relationship: Relationship,
+    /// Which database the subject object comes from.
+    pub subject_side: Side,
+    /// The subject object's class.
+    pub subject_class: ClassName,
+    /// For equality/descriptivity: the counterpart object's class on the
+    /// other side.
+    pub counterpart_class: Option<ClassName>,
+    /// Interobject conditions (equality/descriptivity rules).
+    pub inter: Vec<InterCond>,
+    /// Intraobject condition on the subject object (`true` if none).
+    pub intra_subject: Formula,
+    /// Intraobject condition on the counterpart object (`true` if none).
+    pub intra_counterpart: Formula,
+}
+
+impl ComparisonRule {
+    /// An equality rule `Eq(O:local, O':remote) ← ⋀ inter ∧ intra`.
+    pub fn equality(
+        id: impl Into<String>,
+        local_class: impl Into<ClassName>,
+        remote_class: impl Into<ClassName>,
+        inter: Vec<InterCond>,
+    ) -> Self {
+        ComparisonRule {
+            id: RuleId::new(id),
+            relationship: Relationship::Equality,
+            subject_side: Side::Remote,
+            subject_class: remote_class.into(),
+            counterpart_class: Some(local_class.into()),
+            inter,
+            intra_subject: Formula::True,
+            intra_counterpart: Formula::True,
+        }
+    }
+
+    /// A strict-similarity rule `Sim(O':subject, target) ← condition` with
+    /// the subject on `side`.
+    pub fn similarity(
+        id: impl Into<String>,
+        side: Side,
+        subject_class: impl Into<ClassName>,
+        target_class: impl Into<ClassName>,
+        condition: Formula,
+    ) -> Self {
+        ComparisonRule {
+            id: RuleId::new(id),
+            relationship: Relationship::StrictSimilarity {
+                class: target_class.into(),
+            },
+            subject_side: side,
+            subject_class: subject_class.into(),
+            counterpart_class: None,
+            inter: Vec::new(),
+            intra_subject: condition,
+            intra_counterpart: Formula::True,
+        }
+    }
+
+    /// An approximate-similarity rule `Sim(O':subject, target, virt) ←
+    /// condition`.
+    pub fn approx_similarity(
+        id: impl Into<String>,
+        side: Side,
+        subject_class: impl Into<ClassName>,
+        target_class: impl Into<ClassName>,
+        virtual_class: impl Into<ClassName>,
+        condition: Formula,
+    ) -> Self {
+        ComparisonRule {
+            id: RuleId::new(id),
+            relationship: Relationship::ApproxSimilarity {
+                class: target_class.into(),
+                virtual_class: virtual_class.into(),
+            },
+            subject_side: side,
+            subject_class: subject_class.into(),
+            counterpart_class: None,
+            inter: Vec::new(),
+            intra_subject: condition,
+            intra_counterpart: Formula::True,
+        }
+    }
+
+    /// A descriptivity rule: the subject object corresponds to the value
+    /// set `value_attrs` of the counterpart class.
+    pub fn descriptivity(
+        id: impl Into<String>,
+        described_class: impl Into<ClassName>,
+        value_attrs: Vec<&str>,
+        subject_class: impl Into<ClassName>,
+        inter: Vec<InterCond>,
+    ) -> Self {
+        let described = described_class.into();
+        ComparisonRule {
+            id: RuleId::new(id),
+            relationship: Relationship::Descriptivity {
+                class: described.clone(),
+                value_attrs: value_attrs.into_iter().map(Path::parse).collect(),
+            },
+            subject_side: Side::Remote,
+            subject_class: subject_class.into(),
+            counterpart_class: Some(described),
+            inter,
+            intra_subject: Formula::True,
+            intra_counterpart: Formula::True,
+        }
+    }
+
+    /// Builder: adds an intraobject condition on the subject.
+    pub fn with_subject_condition(mut self, f: Formula) -> Self {
+        self.intra_subject = self.intra_subject.and(f);
+        self
+    }
+
+    /// Builder: adds an intraobject condition on the counterpart.
+    pub fn with_counterpart_condition(mut self, f: Formula) -> Self {
+        self.intra_counterpart = self.intra_counterpart.and(f);
+        self
+    }
+
+    /// Is this an equality rule?
+    pub fn is_equality(&self) -> bool {
+        matches!(self.relationship, Relationship::Equality)
+    }
+
+    /// Is this a (strict or approximate) similarity rule?
+    pub fn is_similarity(&self) -> bool {
+        matches!(
+            self.relationship,
+            Relationship::StrictSimilarity { .. } | Relationship::ApproxSimilarity { .. }
+        )
+    }
+
+    /// Is this a descriptivity rule?
+    pub fn is_descriptivity(&self) -> bool {
+        matches!(self.relationship, Relationship::Descriptivity { .. })
+    }
+}
+
+impl fmt::Display for ComparisonRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} <- ", self.id, self.relationship)?;
+        let mut first = true;
+        for c in &self.inter {
+            if !first {
+                write!(f, " and ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        if self.intra_subject != Formula::True {
+            if !first {
+                write!(f, " and ")?;
+            }
+            write!(f, "O'[{}]", self.intra_subject)?;
+            first = false;
+        }
+        if self.intra_counterpart != Formula::True {
+            if !first {
+                write!(f, " and ")?;
+            }
+            write!(f, "O[{}]", self.intra_counterpart)?;
+            first = false;
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete integration specification between one local and one remote
+/// database (§2.2): comparison rules, property equivalences, the chosen
+/// object-value conflict resolution, and the designer's objectivity
+/// declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Spec {
+    /// The local database name.
+    pub local_db: DbName,
+    /// The remote database name.
+    pub remote_db: DbName,
+    /// Object comparison rules.
+    pub rules: Vec<ComparisonRule>,
+    /// Property equivalence assertions.
+    pub propeqs: Vec<PropEq>,
+    /// When true (the paper's example choice), object–value conflicts are
+    /// settled by *objectifying* values (creating virtual objects);
+    /// otherwise objects are *hidden* into values.
+    pub object_view: bool,
+    /// Designer-declared constraint statuses (objective/subjective). The
+    /// integration validates these against the subjectivity rules (§5.1.3)
+    /// and rejects declarations that violate "subjective values ⇒
+    /// subjective constraints".
+    pub status_overrides: BTreeMap<ConstraintId, Status>,
+}
+
+impl Spec {
+    /// Creates an empty specification between two databases, defaulting to
+    /// the object view.
+    pub fn new(local_db: impl Into<DbName>, remote_db: impl Into<DbName>) -> Self {
+        Spec {
+            local_db: local_db.into(),
+            remote_db: remote_db.into(),
+            rules: Vec::new(),
+            propeqs: Vec::new(),
+            object_view: true,
+            status_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a comparison rule.
+    pub fn add_rule(&mut self, r: ComparisonRule) -> &mut Self {
+        self.rules.push(r);
+        self
+    }
+
+    /// Adds a property equivalence.
+    pub fn add_propeq(&mut self, p: PropEq) -> &mut Self {
+        self.propeqs.push(p);
+        self
+    }
+
+    /// Declares a constraint objective or subjective.
+    pub fn declare_status(&mut self, id: ConstraintId, status: Status) -> &mut Self {
+        self.status_overrides.insert(id, status);
+        self
+    }
+
+    /// All equality rules.
+    pub fn equality_rules(&self) -> impl Iterator<Item = &ComparisonRule> {
+        self.rules.iter().filter(|r| r.is_equality())
+    }
+
+    /// All similarity rules (strict and approximate).
+    pub fn similarity_rules(&self) -> impl Iterator<Item = &ComparisonRule> {
+        self.rules.iter().filter(|r| r.is_similarity())
+    }
+
+    /// All descriptivity rules.
+    pub fn descriptivity_rules(&self) -> impl Iterator<Item = &ComparisonRule> {
+        self.rules.iter().filter(|r| r.is_descriptivity())
+    }
+
+    /// Property equivalences whose local side is `class.path` (exact
+    /// match; hierarchy-aware lookup lives in `interop-conform` where the
+    /// schema is available).
+    pub fn propeqs_for_local(&self, class: &ClassName, path: &Path) -> Vec<&PropEq> {
+        self.propeqs
+            .iter()
+            .filter(|p| &p.local_class == class && &p.local_path == path)
+            .collect()
+    }
+
+    /// Property equivalences whose remote side is `class.path`.
+    pub fn propeqs_for_remote(&self, class: &ClassName, path: &Path) -> Vec<&PropEq> {
+        self.propeqs
+            .iter()
+            .filter(|p| &p.remote_class == class && &p.remote_path == path)
+            .collect()
+    }
+
+    /// A rule by id.
+    pub fn rule(&self, id: &RuleId) -> Option<&ComparisonRule> {
+        self.rules.iter().find(|r| &r.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::Conversion;
+    use crate::decide::Decision;
+
+    fn sample_spec() -> Spec {
+        let mut spec = Spec::new("CSLibrary", "Bookseller");
+        spec.add_rule(ComparisonRule::equality(
+            "r_eq_pub_item",
+            "Publication",
+            "Item",
+            vec![InterCond::eq("isbn", "isbn")],
+        ));
+        spec.add_rule(ComparisonRule::similarity(
+            "r_sim_proc_ref",
+            Side::Remote,
+            "Proceedings",
+            "RefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true),
+        ));
+        spec.add_rule(ComparisonRule::similarity(
+            "r_sim_sci_proc",
+            Side::Local,
+            "ScientificPubl",
+            "Proceedings",
+            Formula::Contains(interop_constraint::Expr::attr("title"), "Proceed".into()),
+        ));
+        spec.add_rule(ComparisonRule::descriptivity(
+            "r_descr_publisher",
+            "Publication",
+            vec!["publisher"],
+            "Publisher",
+            vec![InterCond::eq("publisher", "name")],
+        ));
+        spec.add_propeq(PropEq::named_after_remote(
+            "ScientificPubl",
+            "rating",
+            "Proceedings",
+            "rating",
+            Conversion::Multiply(2.0),
+            Conversion::Id,
+            Decision::Avg,
+        ));
+        spec
+    }
+
+    #[test]
+    fn rule_kind_filters() {
+        let s = sample_spec();
+        assert_eq!(s.equality_rules().count(), 1);
+        assert_eq!(s.similarity_rules().count(), 2);
+        assert_eq!(s.descriptivity_rules().count(), 1);
+        assert_eq!(s.rules.len(), 4);
+    }
+
+    #[test]
+    fn rule_display() {
+        let s = sample_spec();
+        let r = s.rule(&RuleId::new("r_sim_proc_ref")).unwrap();
+        assert_eq!(
+            r.to_string(),
+            "[r_sim_proc_ref] Sim(O', RefereedPubl) <- O'[ref? = true]"
+        );
+        let eq = s.rule(&RuleId::new("r_eq_pub_item")).unwrap();
+        assert_eq!(
+            eq.to_string(),
+            "[r_eq_pub_item] Eq(O', O) <- O.isbn = O'.isbn"
+        );
+    }
+
+    #[test]
+    fn similarity_direction_recorded() {
+        let s = sample_spec();
+        let r = s.rule(&RuleId::new("r_sim_sci_proc")).unwrap();
+        assert_eq!(r.subject_side, Side::Local);
+        assert_eq!(r.subject_class.as_str(), "ScientificPubl");
+        assert_eq!(
+            r.relationship.target_class().unwrap().as_str(),
+            "Proceedings"
+        );
+    }
+
+    #[test]
+    fn propeq_lookup() {
+        let s = sample_spec();
+        let found = s.propeqs_for_local(&ClassName::new("ScientificPubl"), &Path::parse("rating"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].df, Decision::Avg);
+        assert!(s
+            .propeqs_for_local(&ClassName::new("Publication"), &Path::parse("rating"))
+            .is_empty());
+        let remote = s.propeqs_for_remote(&ClassName::new("Proceedings"), &Path::parse("rating"));
+        assert_eq!(remote.len(), 1);
+    }
+
+    #[test]
+    fn status_overrides() {
+        let mut s = sample_spec();
+        let id = ConstraintId::derived("CSLibrary.Publication.cc2");
+        s.declare_status(id.clone(), Status::Subjective);
+        assert_eq!(s.status_overrides.get(&id), Some(&Status::Subjective));
+    }
+
+    #[test]
+    fn rule_condition_builders() {
+        let r = ComparisonRule::similarity(
+            "r",
+            Side::Remote,
+            "Proceedings",
+            "RefereedPubl",
+            Formula::cmp("ref?", CmpOp::Eq, true),
+        )
+        .with_subject_condition(Formula::cmp("rating", CmpOp::Ge, 4i64));
+        match &r.intra_subject {
+            Formula::And(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected conjunction, got {other}"),
+        }
+    }
+}

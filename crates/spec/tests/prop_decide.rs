@@ -1,0 +1,150 @@
+//! Property-based tests for decision and conversion functions: the
+//! paper's idempotence requirement `df(a,a)=a`, soundness of domain
+//! combination, and inverse-conversion round trips.
+
+use interop_constraint::{CmpOp, Domain, NumSet};
+use interop_model::{Value, R64};
+use interop_spec::{Conversion, Decision, Side};
+use proptest::prelude::*;
+
+fn all_dfs() -> Vec<Decision> {
+    vec![
+        Decision::Any,
+        Decision::Trust(Side::Local),
+        Decision::Trust(Side::Remote),
+        Decision::Max,
+        Decision::Min,
+        Decision::Avg,
+        Decision::Union,
+    ]
+}
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::real(i as f64 / 4.0)),
+        prop::collection::btree_set("[a-c]{1,3}", 0..4).prop_map(|s| Value::str_set(s.into_iter())),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+fn arb_points() -> impl Strategy<Value = Domain> {
+    prop::collection::btree_set(-50i64..50, 1..6)
+        .prop_map(|s| Domain::Num(NumSet::points(true, s.into_iter().map(R64::from))))
+}
+
+fn arb_halfline() -> impl Strategy<Value = Domain> {
+    (
+        prop::sample::select(vec![CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt]),
+        -50i64..50,
+    )
+        .prop_map(|(op, b)| Domain::Num(NumSet::from_cmp(false, op, R64::from(b))))
+}
+
+proptest! {
+    /// §2.2's requirement: ∀a: df(a, a) = a.
+    #[test]
+    fn decision_functions_are_idempotent(v in arb_scalar()) {
+        for df in all_dfs() {
+            prop_assert!(df.idempotent_on(&v), "{df} not idempotent on {v}");
+        }
+    }
+
+    /// Whatever the decision function returns for members of two domains
+    /// must lie inside the combined domain (soundness of the image).
+    #[test]
+    fn combine_domains_covers_applications(a in arb_points(), b in arb_points()) {
+        for df in all_dfs() {
+            let Some(combined) = df.combine_domains(&a, &b) else { continue };
+            let (Domain::Num(na), Domain::Num(nb)) = (&a, &b) else { unreachable!() };
+            for x in na.enumerate(64).expect("finite") {
+                for y in nb.enumerate(64).expect("finite") {
+                    let (vx, vy) = (Value::Real(x), Value::Real(y));
+                    if let Some(g) = df.apply(&vx, &vy) {
+                        prop_assert!(
+                            combined.contains(&g),
+                            "{df}({vx}, {vy}) = {g} escapes {combined}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same soundness on half-line domains, sampled.
+    #[test]
+    fn combine_halflines_covers_samples(a in arb_halfline(), b in arb_halfline()) {
+        for df in [Decision::Max, Decision::Min, Decision::Avg] {
+            let Some(combined) = df.combine_domains(&a, &b) else { continue };
+            for x in -60..60i64 {
+                for y in [-55i64, -7, 0, 13, 42] {
+                    let (vx, vy) = (Value::real(x as f64), Value::real(y as f64));
+                    if a.contains(&vx) && b.contains(&vy) {
+                        let g = df.apply(&vx, &vy).expect("numeric");
+                        prop_assert!(
+                            combined.contains(&g),
+                            "{df}({vx}, {vy}) = {g} escapes {combined}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Affine conversions invert exactly on their numeric domain.
+    #[test]
+    fn conversion_inverse_round_trip(v in -10_000i64..10_000, k in 1i64..20, c in -50i64..50) {
+        for cv in [
+            Conversion::Id,
+            Conversion::Multiply(k as f64),
+            Conversion::Linear { a: k as f64, b: c as f64 },
+        ] {
+            let inv = cv.invert().expect("invertible");
+            let x = Value::real(v as f64 / 8.0);
+            let there = cv.apply(&x).expect("numeric");
+            let back = inv.apply(&there).expect("numeric");
+            // Floating-point round trip: exact for dyadic slopes, within
+            // an ulp-scale tolerance otherwise.
+            let (xa, xb) = (x.as_num().expect("real"), back.as_num().expect("real"));
+            prop_assert!(
+                (xa.get() - xb.get()).abs() <= 1e-9 * (1.0 + xa.get().abs()),
+                "{cv} round trip failed: {x} -> {there} -> {back}"
+            );
+        }
+    }
+
+    /// Domain images of conversions cover applications.
+    #[test]
+    fn conversion_domain_image_sound(vals in prop::collection::btree_set(-50i64..50, 1..6),
+                                     k in -5i64..5, c in -9i64..9) {
+        prop_assume!(k != 0);
+        let cv = Conversion::Linear { a: k as f64, b: c as f64 };
+        let dom = Domain::Num(NumSet::points(true, vals.iter().map(|&v| R64::from(v))));
+        let img = cv.apply_domain(&dom, false).expect("affine image");
+        for &v in &vals {
+            let out = cv.apply(&Value::Int(v)).expect("numeric");
+            prop_assert!(img.contains(&out), "{cv}({v}) = {out} escapes {img}");
+        }
+    }
+
+    /// Trust/any never invent values: the combined domain is covered by
+    /// the union of the inputs.
+    #[test]
+    fn picking_functions_stay_within_inputs(a in arb_points(), b in arb_points()) {
+        for df in [Decision::Any, Decision::Trust(Side::Local), Decision::Trust(Side::Remote),
+                   Decision::Max, Decision::Min] {
+            let combined = df.combine_domains(&a, &b).expect("numeric combine");
+            let hull = a.union(&b);
+            for v in -50i64..50 {
+                let val = Value::Int(v);
+                if combined.contains(&val) {
+                    prop_assert!(
+                        hull.contains(&val),
+                        "{df} invented {val}: {combined} vs inputs {a} / {b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Key indexes: one map per keyed class, from key tuple to object id.
+
+use std::collections::BTreeMap;
+
+use interop_model::{AttrName, ClassName, Object, ObjectId, Value};
+
+/// A unique index over the key attributes of one class (covering its
+/// whole extension, i.e. including subclass instances).
+#[derive(Clone, Debug, Default)]
+pub struct KeyIndex {
+    attrs: Vec<AttrName>,
+    map: BTreeMap<Vec<Value>, ObjectId>,
+}
+
+impl KeyIndex {
+    /// Creates an empty index over the given key attributes.
+    pub fn new(attrs: Vec<AttrName>) -> Self {
+        KeyIndex {
+            attrs,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The key attributes.
+    pub fn attrs(&self) -> &[AttrName] {
+        &self.attrs
+    }
+
+    /// Extracts the key tuple of an object; `None` when any component is
+    /// null (null keys are not indexed, mirroring the evaluator's
+    /// null-tolerant key check).
+    pub fn key_of(&self, obj: &Object) -> Option<Vec<Value>> {
+        let tuple: Vec<Value> = self.attrs.iter().map(|a| obj.get(a).clone()).collect();
+        if tuple.iter().any(Value::is_null) {
+            None
+        } else {
+            Some(tuple)
+        }
+    }
+
+    /// Inserts an object; returns the previous holder on key collision
+    /// (the caller rejects the insert in that case).
+    pub fn insert(&mut self, obj: &Object) -> Result<(), ObjectId> {
+        if let Some(key) = self.key_of(obj) {
+            if let Some(&prev) = self.map.get(&key) {
+                if prev != obj.id {
+                    return Err(prev);
+                }
+            }
+            self.map.insert(key, obj.id);
+        }
+        Ok(())
+    }
+
+    /// Removes an object's key entry.
+    pub fn remove(&mut self, obj: &Object) {
+        if let Some(key) = self.key_of(obj) {
+            if self.map.get(&key) == Some(&obj.id) {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[Value]) -> Option<ObjectId> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The set of key indexes of a store, keyed by class name.
+pub type IndexSet = BTreeMap<ClassName, KeyIndex>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(serial: u64, isbn: &str) -> Object {
+        Object::new(ObjectId::new(1, serial), ClassName::new("Item")).with("isbn", isbn)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = KeyIndex::new(vec![AttrName::new("isbn")]);
+        let a = obj(1, "X");
+        idx.insert(&a).unwrap();
+        assert_eq!(idx.get(&[Value::str("X")]), Some(a.id));
+        assert_eq!(idx.len(), 1);
+        idx.remove(&a);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn collision_reports_previous_holder() {
+        let mut idx = KeyIndex::new(vec![AttrName::new("isbn")]);
+        let a = obj(1, "X");
+        idx.insert(&a).unwrap();
+        let b = obj(2, "X");
+        assert_eq!(idx.insert(&b), Err(a.id));
+    }
+
+    #[test]
+    fn reinsert_same_object_is_fine() {
+        let mut idx = KeyIndex::new(vec![AttrName::new("isbn")]);
+        let a = obj(1, "X");
+        idx.insert(&a).unwrap();
+        idx.insert(&a).unwrap();
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn null_keys_not_indexed() {
+        let mut idx = KeyIndex::new(vec![AttrName::new("isbn")]);
+        let a = Object::new(ObjectId::new(1, 1), ClassName::new("Item"));
+        idx.insert(&a).unwrap();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = KeyIndex::new(vec![AttrName::new("isbn"), AttrName::new("title")]);
+        let a = Object::new(ObjectId::new(1, 1), ClassName::new("Item"))
+            .with("isbn", "X")
+            .with("title", "T");
+        idx.insert(&a).unwrap();
+        assert_eq!(idx.get(&[Value::str("X"), Value::str("T")]), Some(a.id));
+        assert_eq!(idx.get(&[Value::str("X")]), None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # interop-storage
+//!
+//! An in-memory, constraint-enforcing object store — the component-DBMS
+//! substrate the paper assumes ("the scope of this paper is restricted to
+//! constraints that are being enforced by the component databases").
+//!
+//! A [`Store`] couples a populated [`interop_model::Database`] with its
+//! [`interop_constraint::Catalog`] and rejects inserts/updates that
+//! violate any object, class, or database constraint. [`txn`] adds
+//! multi-operation transactions with validate-then-commit semantics and
+//! rollback, plus the *early validation* API that powers the paper's
+//! motivating use-case of pre-validating global update subtransactions.
+//! [`query`]/[`optimize`] implement predicate queries and the paper's
+//! other motivating use-case: pruning subqueries whose predicate
+//! contradicts a (derived) global constraint, without scanning.
+
+pub mod index;
+pub mod optimize;
+pub mod query;
+pub mod store;
+pub mod txn;
+
+pub use index::KeyIndex;
+pub use optimize::{OptimizeOutcome, Optimizer};
+pub use query::Query;
+pub use store::{Store, StoreError};
+pub use txn::{Transaction, TxnOp, TxnOutcome};

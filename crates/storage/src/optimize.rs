@@ -1,0 +1,214 @@
+//! Constraint-based query optimisation.
+//!
+//! The paper's first motivating use-case (§1): "Global integrity
+//! constraints thus obtained could for example be used in optimising
+//! queries against the integrated view, eliminating subqueries which are
+//! known to yield empty results." The [`Optimizer`] holds the (derived)
+//! constraints known to hold for a class and, before scanning, checks
+//! whether `pred ∧ constraints` is unsatisfiable — if so the answer is
+//! empty without touching a single object. A key-equality fast path uses
+//! the store's key index instead of scanning.
+
+use interop_constraint::solve::{is_satisfiable, TypeEnv};
+use interop_constraint::{CmpOp, Expr, Formula, Path};
+use interop_model::{ClassName, ModelError, ObjectId, Value};
+
+use crate::query::Query;
+use crate::store::Store;
+
+/// How a query was answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptimizeOutcome {
+    /// The predicate contradicts known constraints: empty without a scan.
+    PrunedEmpty,
+    /// Answered via the key index (at most one candidate probed).
+    KeyLookup,
+    /// Full extension scan.
+    Scanned,
+}
+
+/// A per-class query optimiser armed with known-valid constraints.
+#[derive(Clone, Debug)]
+pub struct Optimizer {
+    class: ClassName,
+    /// Constraints known to hold for every object of the class (locally
+    /// enforced ones, or global constraints derived by `interop-core`).
+    constraints: Vec<Formula>,
+    env: TypeEnv,
+}
+
+impl Optimizer {
+    /// Creates an optimiser for `class`, deriving the type environment
+    /// from the store's schema.
+    pub fn new(store: &Store, class: impl Into<ClassName>, constraints: Vec<Formula>) -> Self {
+        let class = class.into();
+        let env = TypeEnv::for_class(&store.db().schema, &class);
+        Optimizer {
+            class,
+            constraints,
+            env,
+        }
+    }
+
+    /// The constraints in use.
+    pub fn constraints(&self) -> &[Formula] {
+        &self.constraints
+    }
+
+    /// Answers `pred` over the class, using constraint pruning and the
+    /// key index before falling back to a scan.
+    pub fn execute(
+        &self,
+        store: &Store,
+        pred: &Formula,
+    ) -> Result<(Vec<ObjectId>, OptimizeOutcome), ModelError> {
+        // 1. Pruning: pred ∧ known constraints unsatisfiable ⇒ empty.
+        let mut conj = pred.clone();
+        for c in &self.constraints {
+            conj = conj.and(c.clone());
+        }
+        if !is_satisfiable(&conj, &self.env) {
+            return Ok((Vec::new(), OptimizeOutcome::PrunedEmpty));
+        }
+        // 2. Key fast path: `key = const` predicates probe the index.
+        if let Some(key_attrs) = store.key_attrs(&self.class) {
+            if key_attrs.len() == 1 {
+                if let Some(v) = key_eq_value(pred, &Path::attr(key_attrs[0].clone())) {
+                    let mut out = Vec::new();
+                    if let Some(id) = store.lookup_key(&self.class, &[v]) {
+                        // The index spans the keyed ancestor's extension;
+                        // re-check class membership and the full predicate.
+                        let obj = store.db().object_req(id)?;
+                        let in_class = store.db().schema.is_subclass(&obj.class, &self.class);
+                        if in_class
+                            && interop_constraint::eval::eval_formula(store.db(), obj, pred)?
+                                == interop_constraint::eval::Truth::True
+                        {
+                            out.push(id);
+                        }
+                    }
+                    return Ok((out, OptimizeOutcome::KeyLookup));
+                }
+            }
+        }
+        // 3. Scan.
+        let hits = Query::new(self.class.clone(), pred.clone()).scan(store)?;
+        Ok((hits, OptimizeOutcome::Scanned))
+    }
+}
+
+/// If `pred` is (a conjunction containing) `key = const`, returns the
+/// constant.
+fn key_eq_value(pred: &Formula, key: &Path) -> Option<Value> {
+    match pred {
+        Formula::Cmp(Expr::Attr(p), CmpOp::Eq, Expr::Const(v)) if p == key => Some(v.clone()),
+        Formula::Cmp(Expr::Const(v), CmpOp::Eq, Expr::Attr(p)) if p == key => Some(v.clone()),
+        Formula::And(fs) => fs.iter().find_map(|f| key_eq_value(f, key)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::{Catalog, ClassConstraint, ConstraintId};
+    use interop_model::{ClassDef, Database, DbName, Schema, Type};
+
+    fn store_with_items(n: i64) -> Store {
+        let schema = Schema::new(
+            "B",
+            vec![ClassDef::new("Item")
+                .attr("isbn", Type::Str)
+                .attr("libprice", Type::Real)
+                .attr("rating", Type::Range(1, 10))],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.add_class(ClassConstraint::key(
+            ConstraintId::new(&DbName::new("B"), &ClassName::new("Item"), "cc1"),
+            "Item",
+            vec!["isbn"],
+        ));
+        let mut s = Store::new(Database::new(schema, 1), cat);
+        for i in 0..n {
+            s.create(
+                "Item",
+                vec![
+                    ("isbn", Value::str(format!("isbn-{i}"))),
+                    ("libprice", Value::real(10.0 + i as f64)),
+                    ("rating", Value::int(1 + (i % 10))),
+                ],
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn pruning_detects_contradiction_with_constraints() {
+        let s = store_with_items(100);
+        // Derived global constraint: rating >= 5 (say, from integration).
+        let opt = Optimizer::new(&s, "Item", vec![Formula::cmp("rating", CmpOp::Ge, 5i64)]);
+        let (hits, outcome) = opt
+            .execute(&s, &Formula::cmp("rating", CmpOp::Lt, 5i64))
+            .unwrap();
+        assert_eq!(outcome, OptimizeOutcome::PrunedEmpty);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn pruning_respects_type_ranges() {
+        let s = store_with_items(10);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let (hits, outcome) = opt
+            .execute(&s, &Formula::cmp("rating", CmpOp::Gt, 10i64))
+            .unwrap();
+        assert_eq!(outcome, OptimizeOutcome::PrunedEmpty);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn key_lookup_path() {
+        let s = store_with_items(50);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let (hits, outcome) = opt
+            .execute(&s, &Formula::cmp("isbn", CmpOp::Eq, "isbn-7"))
+            .unwrap();
+        assert_eq!(outcome, OptimizeOutcome::KeyLookup);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn key_lookup_respects_extra_conjuncts() {
+        let s = store_with_items(50);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let pred = Formula::cmp("isbn", CmpOp::Eq, "isbn-7").and(Formula::cmp(
+            "libprice",
+            CmpOp::Gt,
+            1000.0,
+        ));
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::KeyLookup);
+        assert!(hits.is_empty(), "extra conjunct filters the probe");
+    }
+
+    #[test]
+    fn fallback_scan_matches_query() {
+        let s = store_with_items(30);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let pred = Formula::cmp("libprice", CmpOp::Ge, 30.0);
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::Scanned);
+        assert_eq!(hits.len(), Query::new("Item", pred).scan(&s).unwrap().len());
+    }
+
+    #[test]
+    fn satisfiable_predicate_not_pruned() {
+        let s = store_with_items(10);
+        let opt = Optimizer::new(&s, "Item", vec![Formula::cmp("rating", CmpOp::Ge, 5i64)]);
+        let (_, outcome) = opt
+            .execute(&s, &Formula::cmp("rating", CmpOp::Ge, 7i64))
+            .unwrap();
+        assert_eq!(outcome, OptimizeOutcome::Scanned);
+    }
+}

@@ -1,0 +1,103 @@
+//! Predicate queries over class extensions.
+
+use interop_constraint::eval::{eval_formula, Truth};
+use interop_constraint::Formula;
+use interop_model::{ClassName, ModelError, ObjectId};
+
+use crate::store::Store;
+
+/// A simple selection query: objects of `class` (including subclasses)
+/// satisfying `pred`.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// The queried class.
+    pub class: ClassName,
+    /// The selection predicate.
+    pub pred: Formula,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(class: impl Into<ClassName>, pred: Formula) -> Self {
+        Query {
+            class: class.into(),
+            pred,
+        }
+    }
+
+    /// Executes by scanning the class extension. Objects for which the
+    /// predicate is `Unknown` (nulls) are *not* returned — a query answer
+    /// must be definite, unlike constraint satisfaction.
+    pub fn scan(&self, store: &Store) -> Result<Vec<ObjectId>, ModelError> {
+        let mut out = Vec::new();
+        for id in store.db().extension(&self.class) {
+            let obj = store.db().object_req(id)?;
+            if eval_formula(store.db(), obj, &self.pred)? == Truth::True {
+                out.push(id);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::{Catalog, CmpOp};
+    use interop_model::{ClassDef, Database, Schema, Type};
+
+    fn store() -> Store {
+        let schema = Schema::new(
+            "B",
+            vec![
+                ClassDef::new("Item")
+                    .attr("isbn", Type::Str)
+                    .attr("libprice", Type::Real),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("rating", Type::Range(1, 10)),
+            ],
+        )
+        .unwrap();
+        let mut s = Store::new(Database::new(schema, 1), Catalog::new());
+        s.create(
+            "Item",
+            vec![("isbn", "A".into()), ("libprice", 10.0.into())],
+        )
+        .unwrap();
+        s.create(
+            "Proceedings",
+            vec![
+                ("isbn", "B".into()),
+                ("libprice", 30.0.into()),
+                ("rating", 8i64.into()),
+            ],
+        )
+        .unwrap();
+        s.create("Item", vec![("isbn", "C".into())]).unwrap(); // null price
+        s
+    }
+
+    #[test]
+    fn scan_filters_and_includes_subclasses() {
+        let s = store();
+        let q = Query::new("Item", Formula::cmp("libprice", CmpOp::Ge, 5.0));
+        let hits = q.scan(&s).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn unknown_rows_excluded() {
+        let s = store();
+        // The null-priced item satisfies neither >= 5 nor < 5.
+        let lo = Query::new("Item", Formula::cmp("libprice", CmpOp::Lt, 5.0));
+        assert_eq!(lo.scan(&s).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn subclass_scan_is_narrower() {
+        let s = store();
+        let q = Query::new("Proceedings", Formula::cmp("rating", CmpOp::Ge, 5i64));
+        assert_eq!(q.scan(&s).unwrap().len(), 1);
+    }
+}

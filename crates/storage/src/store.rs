@@ -1,0 +1,523 @@
+//! The constraint-enforcing store.
+
+use std::fmt;
+
+use interop_constraint::eval::{check_class_constraint, check_db_constraint, eval_formula, Truth};
+use interop_constraint::{Catalog, ConstraintId};
+use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId, Value};
+
+use crate::index::{IndexSet, KeyIndex};
+
+/// Errors from store operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoreError {
+    /// The underlying model rejected the operation (type error etc.).
+    Model(ModelError),
+    /// An object constraint is violated by the written object.
+    ObjectConstraintViolated {
+        /// The violated constraint.
+        constraint: ConstraintId,
+        /// The violating object.
+        object: ObjectId,
+    },
+    /// A class constraint is violated by the resulting extension.
+    ClassConstraintViolated {
+        /// The violated constraint.
+        constraint: ConstraintId,
+    },
+    /// A database constraint is violated by the resulting state.
+    DbConstraintViolated {
+        /// The violated constraint.
+        constraint: ConstraintId,
+    },
+    /// A key collision (fast-path detection via the index).
+    KeyViolation {
+        /// The class whose key is violated.
+        class: ClassName,
+        /// The object already holding the key.
+        holder: ObjectId,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Model(e) => write!(f, "model error: {e}"),
+            StoreError::ObjectConstraintViolated { constraint, object } => {
+                write!(f, "object {object} violates constraint {constraint}")
+            }
+            StoreError::ClassConstraintViolated { constraint } => {
+                write!(f, "class constraint {constraint} violated")
+            }
+            StoreError::DbConstraintViolated { constraint } => {
+                write!(f, "database constraint {constraint} violated")
+            }
+            StoreError::KeyViolation { class, holder } => {
+                write!(f, "key of class {class} already held by object {holder}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ModelError> for StoreError {
+    fn from(e: ModelError) -> Self {
+        StoreError::Model(e)
+    }
+}
+
+/// A database plus its enforced constraint catalog and key indexes.
+#[derive(Clone, Debug)]
+pub struct Store {
+    db: Database,
+    catalog: Catalog,
+    indexes: IndexSet,
+}
+
+impl Store {
+    /// Creates a store over an (empty or pre-populated) database. Builds
+    /// key indexes from the catalog's key constraints; pre-existing
+    /// objects are indexed (and trusted to satisfy the constraints —
+    /// callers loading untrusted data should [`Store::check_all`]).
+    pub fn new(db: Database, catalog: Catalog) -> Self {
+        let mut indexes = IndexSet::new();
+        for cc in catalog.all_class() {
+            if let interop_constraint::ClassConstraintBody::Key(attrs) = &cc.body {
+                indexes.insert(cc.class.clone(), KeyIndex::new(attrs.clone()));
+            }
+        }
+        let mut store = Store {
+            db,
+            catalog,
+            indexes,
+        };
+        // Index existing objects.
+        let ids: Vec<ObjectId> = store.db.objects().map(|o| o.id).collect();
+        for id in ids {
+            let obj = store.db.object(id).expect("listed").clone();
+            store.index_insert(&obj).ok();
+        }
+        store
+    }
+
+    /// Immutable access to the underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The enforced catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Consumes the store, returning the database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    fn index_class_for(&self, class: &ClassName) -> Option<ClassName> {
+        // The index lives at the class where `key` is declared; an object
+        // of a subclass belongs to the ancestor's index.
+        self.db
+            .schema
+            .self_and_ancestors(class)
+            .into_iter()
+            .find(|c| self.indexes.contains_key(c))
+    }
+
+    fn index_insert(&mut self, obj: &Object) -> Result<(), StoreError> {
+        if let Some(c) = self.index_class_for(&obj.class) {
+            let idx = self.indexes.get_mut(&c).expect("found above");
+            idx.insert(obj).map_err(|holder| StoreError::KeyViolation {
+                class: c.clone(),
+                holder,
+            })?;
+        }
+        Ok(())
+    }
+
+    fn index_remove(&mut self, obj: &Object) {
+        if let Some(c) = self.index_class_for(&obj.class) {
+            self.indexes.get_mut(&c).expect("found above").remove(obj);
+        }
+    }
+
+    /// Key lookup via the index (used by the query fast path).
+    pub fn lookup_key(&self, class: &ClassName, key: &[Value]) -> Option<ObjectId> {
+        let c = self.index_class_for(class)?;
+        self.indexes[&c].get(key)
+    }
+
+    /// The key attributes indexed for `class`, if any.
+    pub fn key_attrs(&self, class: &ClassName) -> Option<&[AttrName]> {
+        let c = self.index_class_for(class)?;
+        Some(self.indexes[&c].attrs())
+    }
+
+    /// Validates an object against the *object constraints* effective on
+    /// its class without touching the store. This is the early-validation
+    /// primitive: a global transaction manager can reject a doomed
+    /// subtransaction before submitting it (§1's update-validation
+    /// use-case).
+    pub fn validate_object(&self, obj: &Object) -> Result<(), StoreError> {
+        self.db.typecheck(obj)?;
+        for oc in self.catalog.object_effective(&self.db.schema, &obj.class) {
+            let t = eval_formula(&self.db, obj, &oc.formula)?;
+            if t == Truth::False {
+                return Err(StoreError::ObjectConstraintViolated {
+                    constraint: oc.id.clone(),
+                    object: obj.id,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_class_and_db_constraints(&self, touched: &ClassName) -> Result<(), StoreError> {
+        for c in self.db.schema.self_and_ancestors(touched) {
+            for cc in self.catalog.class_on(&c) {
+                // Keys are enforced incrementally via the index; re-check
+                // aggregates only.
+                if cc.is_key() {
+                    continue;
+                }
+                if check_class_constraint(&self.db, cc)? == Truth::False {
+                    return Err(StoreError::ClassConstraintViolated {
+                        constraint: cc.id.clone(),
+                    });
+                }
+            }
+        }
+        for dc in self.catalog.database_constraints() {
+            if check_db_constraint(&self.db, dc)? == Truth::False {
+                return Err(StoreError::DbConstraintViolated {
+                    constraint: dc.id.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts an object, enforcing all constraints. On any violation the
+    /// store is left unchanged.
+    pub fn insert(&mut self, obj: Object) -> Result<(), StoreError> {
+        self.validate_object(&obj)?;
+        self.index_insert(&obj)?;
+        let class = obj.class.clone();
+        let id = obj.id;
+        if let Err(e) = self.db.insert(obj) {
+            // Roll the index entry back.
+            if let Some(o) = self.db.object(id) {
+                let o = o.clone();
+                self.index_remove(&o);
+            }
+            return Err(e.into());
+        }
+        if let Err(e) = self.check_class_and_db_constraints(&class) {
+            let obj = self.db.remove(id).expect("just inserted");
+            self.index_remove(&obj);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Creates and inserts an object of `class`, returning its id.
+    pub fn create(
+        &mut self,
+        class: impl Into<ClassName>,
+        attrs: Vec<(&str, Value)>,
+    ) -> Result<ObjectId, StoreError> {
+        let class = class.into();
+        let id = self.db.fresh_id();
+        let mut obj = Object::new(id, class);
+        for (name, v) in attrs {
+            obj.set(name, v);
+        }
+        self.insert(obj)?;
+        Ok(id)
+    }
+
+    /// Updates one attribute, enforcing all constraints; rolls back on
+    /// violation.
+    pub fn update(
+        &mut self,
+        id: ObjectId,
+        attr: impl Into<AttrName>,
+        value: Value,
+    ) -> Result<(), StoreError> {
+        let attr = attr.into();
+        let before = self.db.object_req(id)?.clone();
+        let mut after = before.clone();
+        after.set(attr.clone(), value.clone());
+        self.validate_object(&after)?;
+        self.index_remove(&before);
+        if let Err(e) = self.index_insert(&after) {
+            self.index_insert(&before).expect("restoring old key");
+            return Err(e);
+        }
+        self.db.update(id, attr, value)?;
+        if let Err(e) = self.check_class_and_db_constraints(&before.class) {
+            // Restore the previous object state wholesale.
+            self.db.remove(id).expect("object exists");
+            self.db
+                .insert(before.clone())
+                .expect("reinsert during rollback");
+            self.index_remove(&after);
+            self.index_insert(&before).expect("restoring old key");
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Removes an object.
+    pub fn remove(&mut self, id: ObjectId) -> Result<Object, StoreError> {
+        let obj = self.db.remove(id)?;
+        self.index_remove(&obj);
+        if let Err(e) = self.check_class_and_db_constraints(&obj.class.clone()) {
+            self.index_insert(&obj).ok();
+            self.db.insert(obj).expect("reinsert after failed remove");
+            return Err(e);
+        }
+        Ok(obj)
+    }
+
+    /// Re-checks every constraint against the full state; returns all
+    /// violated constraint ids. Used after bulk-loading pre-existing data.
+    pub fn check_all(&self) -> Result<Vec<ConstraintId>, StoreError> {
+        let mut bad = Vec::new();
+        for oc in self.catalog.all_object() {
+            let viol = interop_constraint::eval::check_object_constraint(&self.db, oc)?;
+            if !viol.is_empty() {
+                bad.push(oc.id.clone());
+            }
+        }
+        for cc in self.catalog.all_class() {
+            if check_class_constraint(&self.db, cc)? == Truth::False {
+                bad.push(cc.id.clone());
+            }
+        }
+        for dc in self.catalog.database_constraints() {
+            if check_db_constraint(&self.db, dc)? == Truth::False {
+                bad.push(dc.id.clone());
+            }
+        }
+        Ok(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::{CmpOp, ConstraintId, Formula, ObjectConstraint};
+    use interop_model::{ClassDef, DbName, Schema, Type};
+
+    fn store() -> Store {
+        let schema = Schema::new(
+            "Bookseller",
+            vec![
+                ClassDef::new("Item")
+                    .attr("isbn", Type::Str)
+                    .attr("shopprice", Type::Real)
+                    .attr("libprice", Type::Real),
+                ClassDef::new("Proceedings")
+                    .isa("Item")
+                    .attr("ref?", Type::Bool)
+                    .attr("rating", Type::Range(1, 10)),
+            ],
+        )
+        .unwrap();
+        let db = Database::new(schema, 2);
+        let dbn = DbName::new("Bookseller");
+        let mut cat = Catalog::new();
+        cat.add_object(ObjectConstraint::new(
+            ConstraintId::new(&dbn, &ClassName::new("Item"), "oc1"),
+            "Item",
+            Formula::Cmp(
+                interop_constraint::Expr::attr("libprice"),
+                CmpOp::Le,
+                interop_constraint::Expr::attr("shopprice"),
+            ),
+        ));
+        cat.add_object(ObjectConstraint::new(
+            ConstraintId::new(&dbn, &ClassName::new("Proceedings"), "oc2"),
+            "Proceedings",
+            Formula::cmp("ref?", CmpOp::Eq, true).implies(Formula::cmp("rating", CmpOp::Ge, 7i64)),
+        ));
+        cat.add_class(interop_constraint::ClassConstraint::key(
+            ConstraintId::new(&dbn, &ClassName::new("Item"), "cc1"),
+            "Item",
+            vec!["isbn"],
+        ));
+        Store::new(db, cat)
+    }
+
+    #[test]
+    fn insert_enforces_object_constraints() {
+        let mut s = store();
+        assert!(s
+            .create(
+                "Item",
+                vec![
+                    ("isbn", "A".into()),
+                    ("shopprice", 29.0.into()),
+                    ("libprice", 26.0.into())
+                ]
+            )
+            .is_ok());
+        let err = s
+            .create(
+                "Item",
+                vec![
+                    ("isbn", "B".into()),
+                    ("shopprice", 20.0.into()),
+                    ("libprice", 26.0.into()),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ObjectConstraintViolated { .. }));
+        assert_eq!(s.db().len(), 1);
+    }
+
+    #[test]
+    fn inherited_constraints_enforced_on_subclass() {
+        let mut s = store();
+        let err = s
+            .create(
+                "Proceedings",
+                vec![
+                    ("isbn", "C".into()),
+                    ("shopprice", 10.0.into()),
+                    ("libprice", 20.0.into()),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ObjectConstraintViolated { .. }));
+    }
+
+    #[test]
+    fn conditional_constraint_enforced() {
+        let mut s = store();
+        let err = s
+            .create(
+                "Proceedings",
+                vec![
+                    ("isbn", "D".into()),
+                    ("ref?", true.into()),
+                    ("rating", 5i64.into()),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ObjectConstraintViolated { .. }));
+        assert!(s
+            .create(
+                "Proceedings",
+                vec![
+                    ("isbn", "D".into()),
+                    ("ref?", true.into()),
+                    ("rating", 8i64.into())
+                ]
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn key_enforced_via_index_across_hierarchy() {
+        let mut s = store();
+        s.create("Item", vec![("isbn", "X".into())]).unwrap();
+        // A Proceedings (subclass) with the same isbn hits the Item key.
+        let err = s
+            .create("Proceedings", vec![("isbn", "X".into())])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::KeyViolation { .. }));
+        assert_eq!(s.db().len(), 1);
+    }
+
+    #[test]
+    fn key_lookup_fast_path() {
+        let mut s = store();
+        let id = s.create("Item", vec![("isbn", "X".into())]).unwrap();
+        assert_eq!(
+            s.lookup_key(&ClassName::new("Item"), &[Value::str("X")]),
+            Some(id)
+        );
+        assert_eq!(
+            s.lookup_key(&ClassName::new("Proceedings"), &[Value::str("X")]),
+            Some(id)
+        );
+        assert_eq!(
+            s.key_attrs(&ClassName::new("Proceedings")).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn update_enforces_and_reindexes() {
+        let mut s = store();
+        let a = s
+            .create(
+                "Item",
+                vec![
+                    ("isbn", "A".into()),
+                    ("shopprice", 29.0.into()),
+                    ("libprice", 26.0.into()),
+                ],
+            )
+            .unwrap();
+        // Violating update rejected, state unchanged.
+        let err = s.update(a, "libprice", Value::real(35.0)).unwrap_err();
+        assert!(matches!(err, StoreError::ObjectConstraintViolated { .. }));
+        assert_eq!(
+            s.db().object(a).unwrap().get(&AttrName::new("libprice")),
+            &Value::real(26.0)
+        );
+        // Key change reindexes.
+        s.update(a, "isbn", Value::str("A2")).unwrap();
+        assert_eq!(
+            s.lookup_key(&ClassName::new("Item"), &[Value::str("A2")]),
+            Some(a)
+        );
+        assert_eq!(
+            s.lookup_key(&ClassName::new("Item"), &[Value::str("A")]),
+            None
+        );
+    }
+
+    #[test]
+    fn update_key_collision_restores_old_entry() {
+        let mut s = store();
+        let _a = s.create("Item", vec![("isbn", "A".into())]).unwrap();
+        let b = s.create("Item", vec![("isbn", "B".into())]).unwrap();
+        let err = s.update(b, "isbn", Value::str("A")).unwrap_err();
+        assert!(matches!(err, StoreError::KeyViolation { .. }));
+        // b still reachable under its old key.
+        assert_eq!(
+            s.lookup_key(&ClassName::new("Item"), &[Value::str("B")]),
+            Some(b)
+        );
+    }
+
+    #[test]
+    fn validate_object_is_side_effect_free() {
+        let s = store();
+        let obj = Object::new(ObjectId::new(9, 0), ClassName::new("Item"))
+            .with("isbn", "Z")
+            .with("shopprice", 10.0)
+            .with("libprice", 20.0);
+        assert!(s.validate_object(&obj).is_err());
+        assert_eq!(s.db().len(), 0);
+    }
+
+    #[test]
+    fn remove_and_check_all() {
+        let mut s = store();
+        let a = s.create("Item", vec![("isbn", "A".into())]).unwrap();
+        assert!(s.check_all().unwrap().is_empty());
+        s.remove(a).unwrap();
+        assert_eq!(s.db().len(), 0);
+        assert_eq!(
+            s.lookup_key(&ClassName::new("Item"), &[Value::str("A")]),
+            None
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Failure-injection property tests for the store: random operation
+//! batches either commit fully or roll back to exactly the prior state,
+//! and pre-validation never has side effects.
+
+use interop_constraint::{Catalog, CmpOp, ConstraintId, Formula, ObjectConstraint};
+use interop_model::{ClassDef, ClassName, Database, DbName, Object, ObjectId, Schema, Type, Value};
+use interop_storage::{Store, Transaction, TxnOutcome};
+use proptest::prelude::*;
+
+fn store(n: usize) -> Store {
+    let schema = Schema::new(
+        "S",
+        vec![ClassDef::new("Item")
+            .attr("k", Type::Str)
+            .attr("v", Type::Range(0, 100))],
+    )
+    .expect("static schema");
+    let db_name = DbName::new("S");
+    let class = ClassName::new("Item");
+    let mut cat = Catalog::new();
+    cat.add_class(interop_constraint::ClassConstraint::key(
+        ConstraintId::new(&db_name, &class, "key"),
+        "Item",
+        vec!["k"],
+    ));
+    // v must stay below 50 — the violation trigger.
+    cat.add_object(ObjectConstraint::new(
+        ConstraintId::new(&db_name, &class, "bound"),
+        "Item",
+        Formula::cmp("v", CmpOp::Lt, 50i64),
+    ));
+    let mut s = Store::new(Database::new(schema, 1), cat);
+    for i in 0..n {
+        s.create(
+            "Item",
+            vec![
+                ("k", Value::str(format!("k{i}"))),
+                ("v", Value::Int((i % 50) as i64)),
+            ],
+        )
+        .expect("seed object");
+    }
+    s
+}
+
+fn snapshot(s: &Store) -> Vec<(ObjectId, Vec<(String, Value)>)> {
+    s.db()
+        .objects()
+        .map(|o| {
+            (
+                o.id,
+                o.attrs
+                    .iter()
+                    .map(|(a, v)| (a.to_string(), v.clone()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { key_suffix: u8, v: i64 },
+    Update { target: u8, v: i64 },
+    Delete { target: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..30, 0i64..100).prop_map(|(key_suffix, v)| Op::Insert { key_suffix, v }),
+        (0u8..10, 0i64..100).prop_map(|(target, v)| Op::Update { target, v }),
+        (0u8..10).prop_map(|target| Op::Delete { target }),
+    ]
+}
+
+fn to_txn(store: &Store, ops: &[Op]) -> Transaction {
+    let ids: Vec<ObjectId> = store.db().objects().map(|o| o.id).collect();
+    let mut txn = Transaction::new();
+    let mut next = 1000u64;
+    for op in ops {
+        match op {
+            Op::Insert { key_suffix, v } => {
+                let obj = Object::new(ObjectId::new(1, next), ClassName::new("Item"))
+                    .with("k", format!("new{key_suffix}").as_str())
+                    .with("v", *v);
+                next += 1;
+                txn = txn.insert(obj);
+            }
+            Op::Update { target, v } => {
+                let id = ids[*target as usize % ids.len()];
+                txn = txn.update(id, "v", Value::Int(*v));
+            }
+            Op::Delete { target } => {
+                let id = ids[*target as usize % ids.len()];
+                txn = txn.delete(id);
+            }
+        }
+    }
+    txn
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Atomicity: a rolled-back batch leaves the store exactly as before.
+    #[test]
+    fn rollback_restores_exact_state(ops in prop::collection::vec(arb_op(), 1..12)) {
+        let mut s = store(10);
+        let before = snapshot(&s);
+        let txn = to_txn(&s, &ops);
+        match txn.commit(&mut s) {
+            TxnOutcome::Committed { .. } => {
+                // All constraints hold after a commit.
+                prop_assert!(s.check_all().expect("checkable").is_empty());
+            }
+            TxnOutcome::RolledBack { .. } => {
+                prop_assert_eq!(snapshot(&s), before, "rollback must be exact");
+            }
+        }
+    }
+
+    /// Prevalidation is side-effect free and implies object-level safety:
+    /// if it accepts, any later rejection stems from extension-level
+    /// constraints (keys) only.
+    #[test]
+    fn prevalidate_side_effect_free(ops in prop::collection::vec(arb_op(), 1..12)) {
+        let s = store(10);
+        let before = snapshot(&s);
+        let txn = to_txn(&s, &ops);
+        let _ = txn.prevalidate(&s);
+        prop_assert_eq!(snapshot(&s), before);
+    }
+
+    /// Agreement: if prevalidation rejects at index i, commit also fails
+    /// (at i or earlier — commits see evolving state).
+    #[test]
+    fn prevalidate_rejections_are_real(ops in prop::collection::vec(arb_op(), 1..12)) {
+        let mut s = store(10);
+        let txn = to_txn(&s, &ops);
+        if let Err((i, _)) = txn.prevalidate(&s) {
+            match txn.commit(&mut s) {
+                TxnOutcome::RolledBack { failed_at, .. } => {
+                    prop_assert!(failed_at <= i, "commit failed later ({failed_at}) than prevalidation predicted ({i})");
+                }
+                TxnOutcome::Committed { .. } => {
+                    // Possible only when an earlier op in the batch changed
+                    // the state the rejected op depended on (e.g. an
+                    // earlier update lowered v before a later one).
+                    // Re-validate the final state instead.
+                    prop_assert!(s.check_all().expect("checkable").is_empty());
+                }
+            }
+        }
+    }
+
+    /// Constraints are never violated in a committed store, whatever the
+    /// batch did.
+    #[test]
+    fn committed_state_always_consistent(ops in prop::collection::vec(arb_op(), 1..16)) {
+        let mut s = store(8);
+        let txn = to_txn(&s, &ops);
+        let _ = txn.commit(&mut s);
+        prop_assert!(s.check_all().expect("checkable").is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! The §5.2.1 conflict-and-repair walkthrough: weaken the bookseller's
+//! oc2 to `ref? = true implies rating >= 3` (the paper's hypothetical),
+//! watch the admission conflict `Ω' ⊭ Ω̂` appear, and let the Figure-3
+//! loop apply the paper's suggested correction — strengthening the
+//! comparison rule with the missing intraobject condition.
+//!
+//! Run with `cargo run --example conflict_repair`.
+
+use db_interop::constraint::{Catalog, CmpOp, Formula};
+use db_interop::core::fixtures;
+use db_interop::core::{Integrator, IntegratorOptions};
+use db_interop::spec::RuleId;
+
+fn main() {
+    let fx = fixtures::paper_fixture();
+
+    // Weaken oc2 exactly as the paper hypothesises.
+    let mut weakened = Catalog::new();
+    for oc in fx.remote_catalog.all_object() {
+        if oc.id.as_str() == "Bookseller.Proceedings.oc2" {
+            let mut weak = oc.clone();
+            weak.formula = Formula::cmp("ref?", CmpOp::Eq, true).implies(Formula::cmp(
+                "rating",
+                CmpOp::Ge,
+                3i64,
+            ));
+            println!("weakened {}: {}", weak.id, weak.formula);
+            weakened.add_object(weak);
+        } else {
+            weakened.add_object(oc.clone());
+        }
+    }
+    for cc in fx.remote_catalog.all_class() {
+        weakened.add_class(cc.clone());
+    }
+    for dc in fx.remote_catalog.database_constraints() {
+        weakened.add_database(dc.clone());
+    }
+
+    let mut integrator = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        weakened,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    });
+
+    let first = integrator.run().expect("pipeline runs");
+    println!("\n--- conflicts before repair ---");
+    for (c, repairs) in first.conflicts.iter().zip(&first.repairs) {
+        println!("{c}");
+        for r in repairs {
+            println!("  option: {r}");
+        }
+    }
+
+    let outcomes = integrator.run_with_repairs(5).expect("loop terminates");
+    println!(
+        "\n--- after {} repair round(s) ---",
+        outcomes.len().saturating_sub(1)
+    );
+    let last = outcomes.last().expect("rounds");
+    if last.conflicts.is_empty() {
+        println!("no conflicts remain");
+    } else {
+        for c in &last.conflicts {
+            println!("remaining: {c}");
+        }
+    }
+    let r3 = integrator
+        .spec()
+        .rules
+        .iter()
+        .find(|r| r.id == RuleId::new("r3"))
+        .expect("r3 exists");
+    println!("\nrepaired rule (the paper's corrected form):\n  {r3}");
+}

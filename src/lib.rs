@@ -1,0 +1,58 @@
+//! # db-interop
+//!
+//! Umbrella crate for the reproduction of Vermeer & Apers, *The Role of
+//! Integrity Constraints in Database Interoperation* (VLDB 1996).
+//!
+//! The workspace implements the paper's instance-based
+//! database-interoperation methodology end to end:
+//!
+//! * [`model`] — the object data model (schemas, `isa`, extents);
+//! * [`constraint`] — the constraint language, domain algebra, and the
+//!   satisfiability/implication solver;
+//! * [`spec`] — integration specifications (comparison rules, property
+//!   equivalences, conversion and decision functions);
+//! * [`lang`] — the TM-dialect front-end (Figure 1 parses verbatim);
+//! * [`storage`] — a constraint-enforcing in-memory object store with
+//!   constraint-based query pruning and transaction pre-validation;
+//! * [`conform`] — the §4 conformation phase;
+//! * [`merge`] — the §2.3 merging phase with extent-based hierarchy
+//!   inference;
+//! * [`core`] — the paper's contribution: subjectivity analysis, global
+//!   constraint derivation, conflict detection and repair (§3, §5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use db_interop::core::fixtures;
+//! use db_interop::core::{Integrator, IntegratorOptions};
+//!
+//! let fx = fixtures::paper_fixture();
+//! let outcome = Integrator::new(
+//!     fx.local_db,
+//!     fx.local_catalog,
+//!     fx.remote_db,
+//!     fx.remote_catalog,
+//!     fx.spec,
+//! )
+//! .with_options(IntegratorOptions {
+//!     merge: fixtures::merge_options(),
+//!     ..Default::default()
+//! })
+//! .run()
+//! .expect("paper fixture integrates");
+//! // The paper's §5.2.1 derivation appears among the global constraints:
+//! assert!(outcome
+//!     .global
+//!     .object
+//!     .iter()
+//!     .any(|d| d.formula.to_string() == "publisher.name = 'ACM' implies rating >= 5"));
+//! ```
+
+pub use interop_conform as conform;
+pub use interop_constraint as constraint;
+pub use interop_core as core;
+pub use interop_lang as lang;
+pub use interop_merge as merge;
+pub use interop_model as model;
+pub use interop_spec as spec;
+pub use interop_storage as storage;

@@ -1,0 +1,24 @@
+//! The on-disk TM sources under `assets/` stay in sync with the
+//! fixtures embedded in `interop-core`, and parse on their own.
+
+use db_interop::core::fixtures::{BOOKSELLER_TM, CSLIBRARY_TM, PAPER_SPEC};
+use db_interop::lang::{parse_database, parse_spec};
+
+fn asset(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/assets/");
+    std::fs::read_to_string(format!("{path}{name}")).expect("asset readable")
+}
+
+#[test]
+fn assets_match_embedded_fixtures() {
+    assert_eq!(asset("cslibrary.tm"), CSLIBRARY_TM);
+    assert_eq!(asset("bookseller.tm"), BOOKSELLER_TM);
+    assert_eq!(asset("paper_spec.tmspec"), PAPER_SPEC);
+}
+
+#[test]
+fn assets_parse_standalone() {
+    let local = parse_database(&asset("cslibrary.tm")).expect("parses");
+    let remote = parse_database(&asset("bookseller.tm")).expect("parses");
+    parse_spec(&asset("paper_spec.tmspec"), &local.schema, &remote.schema).expect("parses");
+}

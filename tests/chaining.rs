@@ -1,0 +1,145 @@
+//! Chained integration: the integrated view of DB1 and DB2, materialised
+//! as a database, serves as the local side of a further integration with
+//! a third database — extending the paper's pairwise methodology to
+//! n-ary interoperation by iteration.
+
+use db_interop::constraint::{Catalog, ConstraintId, Formula, ObjectConstraint};
+use db_interop::core::fixtures;
+use db_interop::core::{Integrator, IntegratorOptions};
+use db_interop::model::{ClassDef, ClassName, Database, DbName, Schema, Type, Value};
+use db_interop::spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Side, Spec};
+
+#[test]
+fn personnel_view_integrates_with_a_third_department() {
+    // Round 1: the paper's intro example.
+    let fx = fixtures::personnel_fixture();
+    let outcome1 = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .run()
+    .expect("round 1 integrates");
+    let dbint = outcome1
+        .view
+        .materialize("DBint", 60)
+        .expect("materializes");
+    let merged_class = dbint
+        .objects()
+        .find(|o| o.get(&"ssn".into()) == &Value::str("100"))
+        .expect("merged employee present")
+        .class
+        .clone();
+
+    // Round 2: a third department's database joins.
+    let db3_schema = Schema::new(
+        "DB3",
+        vec![ClassDef::new("Contractor")
+            .attr("ssn", Type::Str)
+            .attr("salary", Type::Real)
+            .attr("trav_reimb", Type::Int)],
+    )
+    .expect("schema");
+    let mut db3 = Database::new(db3_schema, 3);
+    db3.create(
+        "Contractor",
+        vec![
+            ("ssn", "100".into()),
+            ("salary", 1100.0.into()),
+            ("trav_reimb", 16i64.into()),
+        ],
+    )
+    .expect("contractor");
+    let mut cat3 = Catalog::new();
+    cat3.add_object(ObjectConstraint::new(
+        ConstraintId::new(&DbName::new("DB3"), &ClassName::new("Contractor"), "c1"),
+        "Contractor",
+        Formula::isin("trav_reimb", [16i64, 26]),
+    ));
+
+    let mut spec2 = Spec::new("DBint", "DB3");
+    spec2.add_rule(ComparisonRule::equality(
+        "r_chain",
+        merged_class.clone(),
+        "Contractor",
+        vec![InterCond::eq("ssn", "ssn")],
+    ));
+    spec2.add_propeq(PropEq::named_after_remote(
+        merged_class.as_str(),
+        "trav_reimb",
+        "Contractor",
+        "trav_reimb",
+        Conversion::Id,
+        Conversion::Id,
+        Decision::Avg,
+    ));
+    spec2.add_propeq(PropEq::named_after_remote(
+        merged_class.as_str(),
+        "salary",
+        "Contractor",
+        "salary",
+        Conversion::Id,
+        Conversion::Id,
+        Decision::Trust(Side::Local),
+    ));
+
+    let outcome2 = Integrator::new(dbint, Catalog::new(), db3, cat3, spec2)
+        .with_options(IntegratorOptions::default())
+        .run()
+        .expect("round 2 integrates");
+    // The tri-department employee exists and carries a twice-fused tariff:
+    // round 1 fused avg(10, 14) = 12; round 2 fuses avg(12, 16) = 14.
+    let tri = outcome2
+        .view
+        .objects
+        .values()
+        .find(|g| g.local.is_some() && g.remote.is_some())
+        .expect("chained merge happened");
+    assert_eq!(
+        outcome2.view.attr(tri, "trav_reimb"),
+        Value::int(14),
+        "tariff must fuse across both rounds"
+    );
+    // The materialised side carries no constraints, so DB3's tariff set
+    // cannot tighten a merged-scope constraint (avg against an unbounded
+    // integer is unbounded) — correctly, nothing unsound is derived and
+    // the instance data never violates what was derived.
+    assert!(!outcome2.conflicts.iter().any(|c| matches!(
+        c.kind,
+        db_interop::core::conflict::ConflictKind::InstanceViolation { .. }
+    )));
+    // DB3's rule still holds for its own unmerged contractors.
+    assert!(outcome2.global.object.iter().any(|d| {
+        matches!(&d.scope, db_interop::core::derive::Scope::RemoteOnly(c) if c.as_str() == "Contractor")
+    }));
+}
+
+#[test]
+fn chaining_the_paper_fixture_materializes_cleanly() {
+    let fx = fixtures::paper_fixture();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .expect("integrates");
+    let dbint = outcome.view.materialize("DBint", 61).expect("materializes");
+    // The materialised database is a valid model database: every object
+    // typechecks against the inferred schema (insert already enforced it)
+    // and navigation works across remapped references.
+    assert_eq!(dbint.len(), outcome.view.objects.len());
+    for obj in dbint.objects() {
+        dbint
+            .typecheck(obj)
+            .expect("inferred schema admits its own objects");
+    }
+}

@@ -1,0 +1,105 @@
+//! Experiment F1 — Figure 1: the two schemas and all 13 constraints.
+//!
+//! Parses the paper's CSLibrary and Bookseller specifications from the TM
+//! dialect, verifies every constraint is present and classified into the
+//! paper's object/class/database categories, and round-trips through the
+//! pretty-printer.
+
+use db_interop::constraint::classify::{classify_db, ConstraintKind};
+use db_interop::core::fixtures::{BOOKSELLER_TM, CSLIBRARY_TM, PAPER_SPEC};
+use db_interop::lang::{parse_database, parse_spec, print_database};
+use db_interop::model::ClassName;
+
+#[test]
+fn cslibrary_parses_with_expected_shape() {
+    let db = parse_database(CSLIBRARY_TM).expect("CSLibrary parses");
+    assert_eq!(db.schema.db.as_str(), "CSLibrary");
+    assert_eq!(db.schema.len(), 5);
+    // Figure 1 constraint inventory, left column.
+    let publication = ClassName::new("Publication");
+    assert_eq!(db.catalog.object_on(&publication).len(), 2);
+    assert_eq!(db.catalog.class_on(&publication).len(), 2);
+    assert!(db.catalog.class_on(&publication)[0].is_key());
+    assert_eq!(
+        db.catalog.object_on(&ClassName::new("RefereedPubl"))[0]
+            .formula
+            .to_string(),
+        "rating >= 2"
+    );
+    assert_eq!(
+        db.catalog.object_on(&ClassName::new("NonRefereedPubl"))[0]
+            .formula
+            .to_string(),
+        "rating <= 3"
+    );
+    assert_eq!(db.catalog.len(), 7);
+}
+
+#[test]
+fn bookseller_parses_with_expected_shape() {
+    let db = parse_database(BOOKSELLER_TM).expect("Bookseller parses");
+    assert_eq!(db.schema.len(), 4);
+    let proceedings = ClassName::new("Proceedings");
+    let ocs = db.catalog.object_on(&proceedings);
+    assert_eq!(ocs.len(), 3);
+    assert_eq!(
+        ocs[0].formula.to_string(),
+        "publisher.name = 'IEEE' implies ref? = true"
+    );
+    assert_eq!(
+        ocs[1].formula.to_string(),
+        "ref? = true implies rating >= 7"
+    );
+    assert_eq!(
+        ocs[2].formula.to_string(),
+        "publisher.name = 'ACM' implies rating >= 6"
+    );
+    // dbl: forall p in Publisher exists i in Item | i.publisher = p
+    assert_eq!(db.catalog.database_constraints().len(), 1);
+    assert_eq!(
+        classify_db(&db.catalog.database_constraints()[0]),
+        ConstraintKind::Database
+    );
+    assert_eq!(db.catalog.len(), 6);
+}
+
+#[test]
+fn print_parse_round_trip_both_databases() {
+    for src in [CSLIBRARY_TM, BOOKSELLER_TM] {
+        let first = parse_database(src).unwrap();
+        let printed = print_database(&first);
+        let second = parse_database(&printed).unwrap();
+        assert_eq!(first.schema, second.schema);
+        assert_eq!(first.catalog.len(), second.catalog.len());
+        assert_eq!(print_database(&first), print_database(&second));
+    }
+}
+
+#[test]
+fn paper_spec_parses_with_five_rules_and_five_propeqs() {
+    let local = parse_database(CSLIBRARY_TM).unwrap();
+    let remote = parse_database(BOOKSELLER_TM).unwrap();
+    let spec = parse_spec(PAPER_SPEC, &local.schema, &remote.schema).unwrap();
+    assert_eq!(spec.rules.len(), 5);
+    assert_eq!(spec.propeqs.len(), 5);
+    assert_eq!(spec.equality_rules().count(), 1);
+    assert_eq!(spec.similarity_rules().count(), 3);
+    assert_eq!(spec.descriptivity_rules().count(), 1);
+}
+
+#[test]
+fn range_types_match_figure1() {
+    use db_interop::model::{AttrName, Type};
+    let local = parse_database(CSLIBRARY_TM).unwrap();
+    let remote = parse_database(BOOKSELLER_TM).unwrap();
+    let (_, l) = local
+        .schema
+        .resolve_attr(&ClassName::new("ScientificPubl"), &AttrName::new("rating"))
+        .unwrap();
+    assert_eq!(l.ty, Type::Range(1, 5));
+    let (_, r) = remote
+        .schema
+        .resolve_attr(&ClassName::new("Proceedings"), &AttrName::new("rating"))
+        .unwrap();
+    assert_eq!(r.ty, Type::Range(1, 10));
+}

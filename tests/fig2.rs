@@ -1,0 +1,136 @@
+//! Experiment F2 — Figure 2: conformation and merging of the example
+//! extents; the virtual subclass `RefereedProceedings` arises from the
+//! partial overlap of `Proceedings` and `RefereedPubl`.
+
+use db_interop::core::fixtures;
+use db_interop::merge::merge;
+use db_interop::model::{AttrName, ClassName, Value};
+
+fn view() -> db_interop::merge::IntegratedView {
+    let fx = fixtures::paper_fixture();
+    let conf = db_interop::conform::conform(
+        &fx.local_db,
+        &fx.local_catalog,
+        &fx.remote_db,
+        &fx.remote_catalog,
+        &fx.spec,
+    )
+    .unwrap();
+    merge(&conf, &fixtures::merge_options()).unwrap()
+}
+
+#[test]
+fn refereed_proceedings_virtual_subclass_arises() {
+    let v = view();
+    let inter = v
+        .hierarchy
+        .intersections
+        .iter()
+        .find(|i| i.name == ClassName::new("RefereedProceedings"))
+        .expect("Figure 2's RefereedProceedings must arise from the extents");
+    assert_eq!(
+        inter.parents,
+        (
+            ClassName::new("RefereedPubl"),
+            ClassName::new("Proceedings")
+        )
+    );
+    // Two members: the merged VLDB proceedings and the ICDE proceedings
+    // admitted by r3.
+    assert_eq!(inter.extension.len(), 2);
+    assert!(v.hierarchy.is_direct_subclass(
+        &ClassName::new("RefereedProceedings"),
+        &ClassName::new("Proceedings")
+    ));
+    assert!(v.hierarchy.is_direct_subclass(
+        &ClassName::new("RefereedProceedings"),
+        &ClassName::new("RefereedPubl")
+    ));
+}
+
+#[test]
+fn conformation_objectifies_publishers() {
+    let v = view();
+    // The three bookseller publishers merge with the virtual local
+    // publishers created from Publication.publisher values; North-Holland
+    // exists only locally.
+    let publishers = v.extension(&ClassName::new("VirtPublisher"));
+    assert_eq!(publishers.len(), 4);
+    let merged = publishers
+        .iter()
+        .filter(|g| g.local.is_some() && g.remote.is_some())
+        .count();
+    assert_eq!(merged, 3);
+}
+
+#[test]
+fn merged_vldb_proceedings_fuses_values() {
+    let v = view();
+    // Local RefereedPubl 111 (ourprice 26, shopprice 29, rating 3→6) and
+    // remote Proceedings 111 (libprice 22, shopprice 25, rating 8) merge:
+    // trust(CSLibrary) keeps libprice 26, trust(Bookseller) keeps
+    // shopprice 25, avg fuses rating to 7.
+    let merged = v
+        .objects
+        .values()
+        .find(|g| {
+            g.local.is_some()
+                && g.remote.is_some()
+                && g.attrs.get(&AttrName::new("isbn")) == Some(&Value::str("111"))
+        })
+        .expect("isbn 111 merges");
+    assert_eq!(v.attr(merged, "libprice"), Value::real(26.0));
+    assert_eq!(v.attr(merged, "shopprice"), Value::real(25.0));
+    assert_eq!(v.attr(merged, "rating"), Value::int(7));
+    // union of editors and authors.
+    assert_eq!(
+        v.attr(merged, "authors"),
+        Value::str_set(["Apers", "Vermeer"])
+    );
+}
+
+#[test]
+fn monograph_merges_with_scientific_publication() {
+    let v = view();
+    // 'Database Theory' exists as a local ScientificPubl and a remote
+    // Monograph with the same isbn: the paper's point that Monograph ends
+    // up related to ScientificPubl through object relationships.
+    let merged = v
+        .objects
+        .values()
+        .find(|g| g.attrs.get(&AttrName::new("isbn")) == Some(&Value::str("222")))
+        .unwrap();
+    assert!(merged.local.is_some() && merged.remote.is_some());
+    assert!(merged.classes.contains(&ClassName::new("Monograph")));
+    assert!(merged.classes.contains(&ClassName::new("ScientificPubl")));
+}
+
+#[test]
+fn hierarchy_closes_over_both_schemas() {
+    let v = view();
+    let pubs = v.hierarchy.extension(&ClassName::new("Publication"));
+    let items = v.hierarchy.extension(&ClassName::new("Item"));
+    // Every merged object is in both hierarchies' roots.
+    for g in v.objects.values() {
+        if g.local.is_some()
+            && g.remote.is_some()
+            && g.classes
+                .iter()
+                .any(|c| c.as_str() != "Publisher" && c.as_str() != "VirtPublisher")
+        {
+            assert!(pubs.contains(&g.id), "{} not in Publication", g.id);
+            assert!(items.contains(&g.id), "{} not in Item", g.id);
+        }
+    }
+}
+
+#[test]
+fn similarity_classifies_remote_objects_locally() {
+    let v = view();
+    // r4: the non-refereed workshop notes land in NonRefereedPubl.
+    let non_ref = v.hierarchy.extension(&ClassName::new("NonRefereedPubl"));
+    assert_eq!(non_ref.len(), 2); // local 333 + remote 666
+                                  // r3: both refereed proceedings land in RefereedPubl.
+    let refd = v.hierarchy.extension(&ClassName::new("RefereedPubl"));
+    assert_eq!(refd.len(), 3); // local 111 (merged), local 888, remote 555
+}

@@ -1,0 +1,385 @@
+//! Experiments S1–S5f: every worked example in the paper's text,
+//! regenerated and asserted. Section references follow the paper.
+
+use db_interop::constraint::{ConstraintId, Status};
+use db_interop::core::conflict::ConflictKind;
+use db_interop::core::derive::{DerivationOrigin, Scope};
+use db_interop::core::fixtures;
+use db_interop::core::{Integrator, IntegratorOptions};
+use db_interop::model::ClassName;
+use db_interop::spec::{Decision, RuleId, Side};
+
+fn paper_outcome() -> db_interop::core::IntegrationOutcome {
+    let fx = fixtures::paper_fixture();
+    Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .unwrap()
+}
+
+/// S1 — §1 intro: `trav_reimb ∈ {10,20}` and `{14,24}` fused by `avg`
+/// derive the global `trav_reimb ∈ {12,17,22}`; `salary < 1500` is a
+/// subjective business rule valid only for single-department employees.
+#[test]
+fn s1_intro_personnel_example() {
+    let fx = fixtures::personnel_fixture();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .run()
+    .unwrap();
+    let avg = outcome
+        .global
+        .object
+        .iter()
+        .find(|d| matches!(d.origin, DerivationOrigin::DfCombination(Decision::Avg)))
+        .expect("avg combination derived");
+    assert_eq!(avg.formula.to_string(), "trav_reimb in {12, 17, 22}");
+    assert!(matches!(&avg.scope, Scope::Merged(a, b)
+        if a.as_str() == "Employee" && b.as_str() == "Staff"));
+    // salary < 1500: subjective, single-source scope only.
+    assert_eq!(
+        outcome.statuses[&ConstraintId::derived("DB1.Employee.c2")],
+        Status::Subjective
+    );
+    assert!(outcome.global.object.iter().any(|d| {
+        matches!(&d.scope, Scope::LocalOnly(c) if c.as_str() == "Employee")
+            && d.formula.to_string() == "salary < 1500"
+    }));
+}
+
+/// S3 — §3: from r3's intraobject condition `ref? = true` and oc2, the
+/// implied object constraint `rating >= 7` on admitted objects.
+#[test]
+fn s3_implied_constraint_example() {
+    let outcome = paper_outcome();
+    let implied = outcome
+        .implied
+        .iter()
+        .find(|i| i.rule == RuleId::new("r3") && i.formula.to_string() == "rating >= 7")
+        .expect("the §3 implied constraint");
+    assert_eq!(implied.target_class, ClassName::new("RefereedPubl"));
+    assert!(implied
+        .sources
+        .iter()
+        .any(|s| s.as_str() == "Bookseller.Proceedings.oc2"));
+}
+
+/// S4 — §4 conformation examples: `oc2` reallocated to `VirtPublisher`
+/// as `name in KNOWNPUBLISHERS`; RefereedPubl's `rating >= 2` conformed
+/// through `multiply(2)` to `rating >= 4`.
+#[test]
+fn s4_conformation_examples() {
+    let outcome = paper_outcome();
+    let virt = outcome
+        .conformed
+        .local
+        .catalog
+        .object_on(&ClassName::new("VirtPublisher"));
+    assert_eq!(virt.len(), 1);
+    assert!(virt[0]
+        .formula
+        .to_string()
+        .starts_with("name in {'ACM', 'IEEE'"));
+    let refereed = outcome
+        .conformed
+        .local
+        .catalog
+        .object_on(&ClassName::new("RefereedPubl"));
+    assert_eq!(refereed[0].formula.to_string(), "rating >= 4");
+}
+
+/// S5a — §5.1.2: the decision-function kinds map to property
+/// subjectivity exactly as the paper's prose states.
+#[test]
+fn s5a_subjectivity_table() {
+    let outcome = paper_outcome();
+    let subj = &outcome.subjectivity;
+    let table: Vec<((Side, &str, &str), bool)> = vec![
+        // trust(CSLibrary) on ourprice/libprice.
+        ((Side::Local, "Publication", "libprice"), false),
+        ((Side::Remote, "Item", "libprice"), true),
+        // trust(Bookseller) on shopprice.
+        ((Side::Local, "Publication", "shopprice"), true),
+        ((Side::Remote, "Item", "shopprice"), false),
+        // any on publisher/name.
+        ((Side::Local, "VirtPublisher", "name"), false),
+        ((Side::Remote, "Publisher", "name"), false),
+        // avg on rating.
+        ((Side::Local, "ScientificPubl", "rating"), true),
+        ((Side::Remote, "Proceedings", "rating"), true),
+        // union on editors/authors.
+        ((Side::Local, "ScientificPubl", "authors"), true), // editors conformed to 'authors'
+        ((Side::Remote, "Item", "authors"), true),
+    ];
+    for ((side, class, attr), expect_subjective) in table {
+        let schema = match side {
+            Side::Local => &outcome.conformed.local.db.schema,
+            Side::Remote => &outcome.conformed.remote.db.schema,
+        };
+        assert_eq!(
+            subj.is_subjective(
+                schema,
+                side,
+                &ClassName::new(class),
+                &db_interop::model::AttrName::new(attr)
+            ),
+            expect_subjective,
+            "{side} {class}.{attr}"
+        );
+    }
+}
+
+/// S5b — §5.2.1 equality: the ACM derivation; the trust-blocked
+/// libprice constraint pair (condition (1)).
+#[test]
+fn s5b_equality_derivation() {
+    let outcome = paper_outcome();
+    assert!(outcome
+        .global
+        .object
+        .iter()
+        .any(|d| d.formula.to_string() == "publisher.name = 'ACM' implies rating >= 5"));
+    // oc1 of Publication and Item cannot combine (condition (1)).
+    assert!(outcome
+        .global
+        .skipped
+        .iter()
+        .any(|s| { s.source.as_str().ends_with(".oc1") && s.reason.contains("condition (1)") }));
+    // No merged-scope constraint mentions libprice.
+    assert!(!outcome.global.object.iter().any(|d| {
+        matches!(d.scope, Scope::Merged(_, _)) && d.formula.to_string().contains("libprice")
+    }));
+}
+
+/// S5c — §5.2.1 strict similarity: `rating >= 7 ⊨ rating >= 4` admits
+/// r3 cleanly; the weakened-oc2 variant creates the admission conflict
+/// and the paper's repair (strengthen the rule) resolves it.
+#[test]
+fn s5c_strict_similarity_and_repair() {
+    // Clean case.
+    let outcome = paper_outcome();
+    assert!(!outcome
+        .global
+        .admission_failures
+        .iter()
+        .any(|f| f.rule == RuleId::new("r3")));
+    // Weakened variant.
+    let fx = fixtures::paper_fixture();
+    let mut rcat = db_interop::constraint::Catalog::new();
+    for oc in fx.remote_catalog.all_object() {
+        if oc.id.as_str() == "Bookseller.Proceedings.oc2" {
+            let mut weak = oc.clone();
+            weak.formula = db_interop::constraint::Formula::cmp(
+                "ref?",
+                db_interop::constraint::CmpOp::Eq,
+                true,
+            )
+            .implies(db_interop::constraint::Formula::cmp(
+                "rating",
+                db_interop::constraint::CmpOp::Ge,
+                3i64,
+            ));
+            rcat.add_object(weak);
+        } else {
+            rcat.add_object(oc.clone());
+        }
+    }
+    for cc in fx.remote_catalog.all_class() {
+        rcat.add_class(cc.clone());
+    }
+    for dc in fx.remote_catalog.database_constraints() {
+        rcat.add_database(dc.clone());
+    }
+    let mut integ = Integrator::new(fx.local_db, fx.local_catalog, fx.remote_db, rcat, fx.spec)
+        .with_options(IntegratorOptions {
+            merge: fixtures::merge_options(),
+            ..Default::default()
+        });
+    let first = integ.run().unwrap();
+    let failure = first
+        .global
+        .admission_failures
+        .iter()
+        .find(|f| f.rule == RuleId::new("r3"))
+        .expect("the paper's admission conflict");
+    assert_eq!(failure.violated.as_str(), "CSLibrary.RefereedPubl.oc1");
+    assert_eq!(failure.needed.to_string(), "rating >= 4");
+    // The paper's repair: r3 gains `rating >= 4`.
+    let outcomes = integ.run_with_repairs(5).unwrap();
+    assert!(!outcomes
+        .last()
+        .unwrap()
+        .global
+        .admission_failures
+        .iter()
+        .any(|f| f.rule == RuleId::new("r3")));
+    let r3 = integ
+        .spec()
+        .rules
+        .iter()
+        .find(|r| r.id == RuleId::new("r3"))
+        .unwrap();
+    assert!(r3.intra_subject.to_string().contains("rating >= 4"));
+}
+
+/// S5d — §5.2.1 approximate similarity: the virtual superclass carries
+/// `Ω ∨ Ω'`, and horizontal fragments are detected when `Ω ⊨ ¬φ'`.
+#[test]
+fn s5d_approx_similarity_disjunction_and_fragments() {
+    // Synthetic two-class scenario: local Cheap (price <= 10) and remote
+    // Expensive (price >= 20) under a common virtual class AnyItem.
+    use db_interop::constraint::{CmpOp, Formula, ObjectConstraint};
+    use db_interop::model::{ClassDef, Database, DbName, Schema, Type};
+    let local_schema =
+        Schema::new("L", vec![ClassDef::new("Cheap").attr("price", Type::Real)]).unwrap();
+    let remote_schema = Schema::new(
+        "R",
+        vec![ClassDef::new("Expensive").attr("price", Type::Real)],
+    )
+    .unwrap();
+    let mut lcat = db_interop::constraint::Catalog::new();
+    lcat.add_object(ObjectConstraint::new(
+        ConstraintId::new(&DbName::new("L"), &ClassName::new("Cheap"), "oc1"),
+        "Cheap",
+        Formula::cmp("price", CmpOp::Le, 10.0),
+    ));
+    let mut rcat = db_interop::constraint::Catalog::new();
+    rcat.add_object(ObjectConstraint::new(
+        ConstraintId::new(&DbName::new("R"), &ClassName::new("Expensive"), "oc1"),
+        "Expensive",
+        Formula::cmp("price", CmpOp::Ge, 20.0),
+    ));
+    let mut spec = db_interop::spec::Spec::new("L", "R");
+    spec.add_rule(db_interop::spec::ComparisonRule::approx_similarity(
+        "r_appr",
+        Side::Remote,
+        "Expensive",
+        "Cheap",
+        "AnyItem",
+        Formula::True,
+    ));
+    let mut ldb = Database::new(local_schema, 1);
+    ldb.create("Cheap", vec![("price", 5.0.into())]).unwrap();
+    let mut rdb = Database::new(remote_schema, 2);
+    rdb.create("Expensive", vec![("price", 25.0.into())])
+        .unwrap();
+    let outcome = Integrator::new(ldb, lcat, rdb, rcat, spec).run().unwrap();
+    // The disjunction on the virtual superclass.
+    let disj = outcome
+        .global
+        .object
+        .iter()
+        .find(|d| matches!(&d.scope, Scope::All(c) if c.as_str() == "AnyItem"))
+        .expect("virtual superclass constraint");
+    assert_eq!(disj.formula.to_string(), "price <= 10 or price >= 20");
+    assert_eq!(disj.origin, DerivationOrigin::ApproxDisjunction);
+    // Horizontal fragmentation: Ω(Cheap) ⊨ ¬(price >= 20).
+    assert!(
+        outcome
+            .global
+            .fragments
+            .iter()
+            .any(|f| f.virtual_class.as_str() == "AnyItem"
+                && f.condition.to_string() == "price >= 20")
+    );
+    // Both classes sit under the virtual superclass in the hierarchy.
+    assert!(outcome
+        .view
+        .hierarchy
+        .is_direct_subclass(&ClassName::new("Cheap"), &ClassName::new("AnyItem")));
+    assert!(outcome
+        .view
+        .hierarchy
+        .is_direct_subclass(&ClassName::new("Expensive"), &ClassName::new("AnyItem")));
+}
+
+/// S5e — §5.2.2 class constraints: aggregates stay subjective; keys
+/// propagate per the criterion; objective extension when untouched.
+#[test]
+fn s5e_class_constraints() {
+    let outcome = paper_outcome();
+    // Both isbn keys propagate (r1 joins key-to-key; sim subjects covered).
+    let keys: Vec<_> = outcome
+        .global
+        .class_constraints
+        .iter()
+        .filter(|(c, o)| c.is_key() && *o == DerivationOrigin::KeyPropagation)
+        .collect();
+    assert_eq!(keys.len(), 2);
+    // cc2 (sum < MAX) and the avg-rating constraint stay subjective.
+    for id in ["CSLibrary.Publication.cc2", "CSLibrary.ScientificPubl.cc1"] {
+        assert!(outcome
+            .global
+            .skipped
+            .iter()
+            .any(|s| s.source.as_str() == id));
+    }
+}
+
+/// S5f — §5.2.1/§5.2.3: the implicit conflict from the `any` decision
+/// function, and database constraints never propagating.
+#[test]
+fn s5f_implicit_conflict_and_db_constraints() {
+    let outcome = paper_outcome();
+    assert!(outcome.conflicts.iter().any(|c| {
+        matches!(&c.kind, ConflictKind::Implicit { constraint, .. }
+            if constraint.as_str() == "CSLibrary.Publication.oc2")
+    }));
+    assert_eq!(
+        outcome.statuses[&ConstraintId::derived("Bookseller.dbl")],
+        Status::Subjective
+    );
+    assert!(outcome
+        .global
+        .skipped
+        .iter()
+        .any(|s| s.source.as_str() == "Bookseller.dbl"));
+}
+
+/// §5.1.3 — the consistency rule: declaring objective a constraint on a
+/// subjective property is rejected as a specification inconsistency.
+#[test]
+fn s5_value_subjectivity_rule_enforced() {
+    let fx = fixtures::paper_fixture();
+    let mut spec = fx.spec.clone();
+    spec.declare_status(
+        ConstraintId::derived("Bookseller.Proceedings.oc2"),
+        Status::Objective,
+    );
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .unwrap();
+    assert!(outcome
+        .spec_issues
+        .iter()
+        .any(|i| i.context.contains("Proceedings.oc2")));
+    assert_eq!(
+        outcome.statuses[&ConstraintId::derived("Bookseller.Proceedings.oc2")],
+        Status::Subjective,
+        "forced subjective despite the declaration"
+    );
+}

@@ -1,0 +1,52 @@
+//! Scale smoke test: the full methodology on a few thousand objects —
+//! correctness invariants at a size where quadratic accidents would
+//! show, small enough for the default test run.
+
+use db_interop::core::{Integrator, IntegratorOptions};
+
+#[test]
+fn five_thousand_objects_integrate_correctly() {
+    let fx = interop_bench::synthetic_fixture(interop_bench::SyntheticConfig {
+        local_n: 2_500,
+        remote_n: 2_500,
+        match_ratio: 0.4,
+        constraints_per_side: 4,
+        seed: 11,
+    });
+    let local_n = fx.local_db.len();
+    let remote_n = fx.remote_db.len();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions::default())
+    .run()
+    .expect("integrates at scale");
+    let merged = outcome
+        .view
+        .objects
+        .values()
+        .filter(|g| g.local.is_some() && g.remote.is_some())
+        .count();
+    // 40% of 2500 remote objects share keys with distinct locals.
+    assert_eq!(merged, 1_000);
+    assert_eq!(outcome.view.objects.len(), local_n + remote_n - merged);
+    // The id map is total.
+    assert_eq!(outcome.view.id_map.len(), local_n + remote_n);
+    // Derivation produced the avg combinations and key propagation.
+    assert!(outcome.global.object.iter().any(|d| matches!(
+        d.origin,
+        db_interop::core::derive::DerivationOrigin::DfCombination(_)
+    )));
+    assert!(outcome.global.class_constraints.iter().any(
+        |(c, o)| c.is_key() && *o == db_interop::core::derive::DerivationOrigin::KeyPropagation
+    ));
+    // No instance-level violations: derivation is sound on this data.
+    assert!(!outcome.conflicts.iter().any(|c| matches!(
+        c.kind,
+        db_interop::core::conflict::ConflictKind::InstanceViolation { .. }
+    )));
+}

@@ -1,0 +1,272 @@
+//! End-to-end tests of the paper's two motivating use-cases (§1), wiring
+//! the derivation engine's output into the storage substrate:
+//!
+//! * query optimisation — a subquery contradicting a *derived global
+//!   constraint* is answered empty without scanning;
+//! * update validation — a doomed subtransaction is rejected before
+//!   submission.
+
+use db_interop::constraint::{CmpOp, Formula};
+use db_interop::core::fixtures;
+use db_interop::core::{Integrator, IntegratorOptions};
+use db_interop::model::{ClassName, Value};
+use db_interop::storage::{OptimizeOutcome, Optimizer, Store, Transaction};
+
+/// Builds a store over the *conformed remote* database so that derived
+/// global constraints (phrased in conformed terms) apply directly.
+fn conformed_remote_store(outcome: &db_interop::core::IntegrationOutcome) -> Store {
+    Store::new(
+        outcome.conformed.remote.db.clone(),
+        outcome.conformed.remote.catalog.clone(),
+    )
+}
+
+fn paper_outcome() -> db_interop::core::IntegrationOutcome {
+    let fx = fixtures::paper_fixture();
+    Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .unwrap()
+}
+
+#[test]
+fn derived_constraints_prune_contradictory_subqueries() {
+    let outcome = paper_outcome();
+    let store = conformed_remote_store(&outcome);
+    // Global constraints valid for all Proceedings (pass-through
+    // objective ones).
+    let constraints: Vec<Formula> = outcome
+        .global
+        .formulas_for_class(&ClassName::new("Proceedings"))
+        .into_iter()
+        .cloned()
+        .collect();
+    assert!(!constraints.is_empty(), "objective pass-throughs exist");
+    let opt = Optimizer::new(&store, "Proceedings", constraints);
+    // oc1: publisher.name='IEEE' implies ref?=true holds globally; a
+    // subquery asking for IEEE non-refereed proceedings contradicts it.
+    let doomed = Formula::cmp("publisher.name", CmpOp::Eq, "IEEE").and(Formula::cmp(
+        "ref?",
+        CmpOp::Eq,
+        false,
+    ));
+    let (hits, how) = opt.execute(&store, &doomed).unwrap();
+    assert_eq!(how, OptimizeOutcome::PrunedEmpty);
+    assert!(hits.is_empty());
+    // A satisfiable query is still answered, by scan.
+    let ok = Formula::cmp("ref?", CmpOp::Eq, true);
+    let (hits, how) = opt.execute(&store, &ok).unwrap();
+    assert_eq!(how, OptimizeOutcome::Scanned);
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn type_bounds_alone_prune_impossible_ratings() {
+    let outcome = paper_outcome();
+    let store = conformed_remote_store(&outcome);
+    let opt = Optimizer::new(&store, "Proceedings", vec![]);
+    let (hits, how) = opt
+        .execute(&store, &Formula::cmp("rating", CmpOp::Gt, 10i64))
+        .unwrap();
+    assert_eq!(how, OptimizeOutcome::PrunedEmpty);
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn doomed_subtransactions_rejected_before_submit() {
+    let outcome = paper_outcome();
+    let store = conformed_remote_store(&outcome);
+    // A refereed proceedings with rating 3 violates oc2 — prevalidation
+    // rejects it without touching the store.
+    let id = store
+        .db()
+        .extension(&ClassName::new("Proceedings"))
+        .into_iter()
+        .find(|&i| store.db().object(i).unwrap().get(&"ref?".into()) == &Value::Bool(true))
+        .unwrap();
+    let txn = Transaction::new().update(id, "rating", Value::Int(3));
+    let (at, err) = txn.prevalidate(&store).unwrap_err();
+    assert_eq!(at, 0);
+    assert!(matches!(
+        err,
+        db_interop::storage::StoreError::ObjectConstraintViolated { .. }
+    ));
+    // The store is untouched.
+    assert_ne!(
+        store.db().object(id).unwrap().get(&"rating".into()),
+        &Value::Int(3)
+    );
+}
+
+#[test]
+fn valid_subtransactions_pass_prevalidation_and_commit() {
+    let outcome = paper_outcome();
+    let mut store = conformed_remote_store(&outcome);
+    let id = store
+        .db()
+        .extension(&ClassName::new("Proceedings"))
+        .into_iter()
+        .find(|&i| store.db().object(i).unwrap().get(&"ref?".into()) == &Value::Bool(true))
+        .unwrap();
+    let txn = Transaction::new().update(id, "rating", Value::Int(9));
+    assert!(txn.prevalidate(&store).is_ok());
+    match txn.commit(&mut store) {
+        db_interop::storage::TxnOutcome::Committed { applied } => assert_eq!(applied, 1),
+        other => panic!("expected commit: {other:?}"),
+    }
+    assert_eq!(
+        store.db().object(id).unwrap().get(&"rating".into()),
+        &Value::Int(9)
+    );
+}
+
+#[test]
+fn merged_scope_constraints_prune_on_the_integrated_view() {
+    // The intro example's derived {12,17,22}: a global query for merged
+    // employees with trav_reimb = 15 must be empty — provable without
+    // touching data.
+    let fx = fixtures::personnel_fixture();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .run()
+    .unwrap();
+    let merged_constraints: Vec<Formula> = outcome
+        .global
+        .object
+        .iter()
+        .filter(|d| matches!(d.scope, db_interop::core::derive::Scope::Merged(_, _)))
+        .map(|d| d.formula.clone())
+        .collect();
+    assert!(!merged_constraints.is_empty());
+    // Set up a store shaped like the merged view (conformed local schema).
+    let store = Store::new(
+        outcome.conformed.local.db.clone(),
+        db_interop::constraint::Catalog::new(),
+    );
+    let opt = Optimizer::new(&store, "Employee", merged_constraints);
+    let (_, how) = opt
+        .execute(&store, &Formula::cmp("trav_reimb", CmpOp::Eq, 15i64))
+        .unwrap();
+    assert_eq!(how, OptimizeOutcome::PrunedEmpty);
+    // 17 is a legal fused tariff: not prunable.
+    let (_, how) = opt
+        .execute(&store, &Formula::cmp("trav_reimb", CmpOp::Eq, 17i64))
+        .unwrap();
+    assert_eq!(how, OptimizeOutcome::Scanned);
+}
+
+#[test]
+fn empty_databases_integrate_cleanly() {
+    let fx = fixtures::paper_fixture_empty();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .unwrap();
+    // Derivation is purely intensional: the same constraints derive with
+    // no data at all.
+    assert!(outcome
+        .global
+        .object
+        .iter()
+        .any(|d| d.formula.to_string() == "publisher.name = 'ACM' implies rating >= 5"));
+    assert!(outcome.view.objects.is_empty());
+    // And no instance-level conflicts, trivially.
+    assert!(!outcome.conflicts.iter().any(|c| matches!(
+        c.kind,
+        db_interop::core::conflict::ConflictKind::InstanceViolation { .. }
+    )));
+}
+
+#[test]
+fn integration_is_deterministic() {
+    let a = paper_outcome();
+    let b = paper_outcome();
+    assert_eq!(a.global.object.len(), b.global.object.len());
+    for (x, y) in a.global.object.iter().zip(&b.global.object) {
+        assert_eq!(x.formula, y.formula);
+        assert_eq!(x.scope, y.scope);
+    }
+    assert_eq!(a.conflicts.len(), b.conflicts.len());
+    assert_eq!(
+        a.view.objects.keys().collect::<Vec<_>>(),
+        b.view.objects.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fresh_database_satisfies_derived_constraints_on_load() {
+    // Loading the conformed remote data into a store that *also* enforces
+    // the derived objective constraints succeeds — deriving constraints
+    // never invalidates data that satisfied the component constraints.
+    let outcome = paper_outcome();
+    let mut catalog = outcome.conformed.remote.catalog.clone();
+    for d in &outcome.global.object {
+        if let db_interop::core::derive::Scope::All(c) = &d.scope {
+            if outcome.conformed.remote.db.schema.class(c).is_some()
+                && d.origin == db_interop::core::derive::DerivationOrigin::ObjectivePassThrough
+            {
+                catalog.add_object(db_interop::constraint::ObjectConstraint::new(
+                    d.id.clone(),
+                    c.clone(),
+                    d.formula.clone(),
+                ));
+            }
+        }
+    }
+    let store = Store::new(outcome.conformed.remote.db.clone(), catalog);
+    assert!(store.check_all().unwrap().is_empty());
+}
+
+#[test]
+fn materialized_view_is_a_queryable_database() {
+    // Figure 2 draws DBint as a database: materialize the integrated
+    // view, load it into a store, and query it.
+    let outcome = paper_outcome();
+    let db = outcome.view.materialize("DBint", 50).expect("materializes");
+    assert_eq!(db.len(), outcome.view.objects.len());
+    // Every object landed in exactly one (most specific) extent.
+    let total: usize = db.schema.class_names().map(|c| db.extent(c).len()).sum();
+    assert_eq!(total, db.len());
+    // Fused values survived materialisation, and references navigate
+    // inside DBint.
+    let merged = db
+        .objects()
+        .find(|o| o.get(&"isbn".into()) == &Value::str("111"))
+        .expect("the VLDB proceedings");
+    assert_eq!(merged.get(&"rating".into()), &Value::int(7));
+    assert_eq!(merged.get(&"libprice".into()), &Value::real(26.0));
+    let pubname = db
+        .navigate(merged, &["publisher".into(), "name".into()])
+        .expect("navigates");
+    assert_eq!(pubname, Value::str("ACM"));
+    // The materialized database is queryable through the store.
+    let class = merged.class.clone();
+    let store = Store::new(db, db_interop::constraint::Catalog::new());
+    let hits = db_interop::storage::Query::new(class, Formula::cmp("ref?", CmpOp::Eq, true))
+        .scan(&store)
+        .expect("scans");
+    assert!(!hits.is_empty());
+}
