@@ -1,0 +1,39 @@
+database Bookseller
+
+class Publisher
+  attributes
+    name : string
+    location : string
+end Publisher
+
+class Item
+  attributes
+    title : string
+    isbn : string
+    publisher : Publisher
+    authors : Pstring
+    shopprice : real
+    libprice : real
+  object constraints
+    oc1: libprice <= shopprice
+  class constraints
+    cc1: key isbn
+end Item
+
+class Proceedings isa Item
+  attributes
+    ref? : boolean
+    rating : 1..10
+  object constraints
+    oc1: publisher.name = 'IEEE' implies ref? = true
+    oc2: ref? = true implies rating >= 7
+    oc3: publisher.name = 'ACM' implies rating >= 6
+end Proceedings
+
+class Monograph isa Item
+  attributes
+    subjects : Pstring
+end Monograph
+
+database constraints
+  dbl: forall p in Publisher exists i in Item | i.publisher = p

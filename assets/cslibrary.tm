@@ -1,0 +1,46 @@
+database CSLibrary
+
+const KNOWNPUBLISHERS = {'ACM', 'IEEE', 'Springer', 'North-Holland'}
+const MAX = 10000
+
+class Publication
+  attributes
+    title : string
+    isbn : string
+    publisher : string
+    shopprice : real
+    ourprice : real
+  object constraints
+    oc1: ourprice <= shopprice
+    oc2: publisher in KNOWNPUBLISHERS
+  class constraints
+    cc1: key isbn
+    cc2: (sum (collect x for x in self) over ourprice) < MAX
+end Publication
+
+class ScientificPubl isa Publication
+  attributes
+    editors : Pstring
+    rating : 1..5
+  class constraints
+    cc1: (avg (collect x for x in self) over rating) < 4
+end ScientificPubl
+
+class RefereedPubl isa ScientificPubl
+  attributes
+    avgAccRate : real
+  object constraints
+    oc1: rating >= 2
+end RefereedPubl
+
+class NonRefereedPubl isa ScientificPubl
+  attributes
+    authAffil : string
+  object constraints
+    oc1: rating <= 3
+end NonRefereedPubl
+
+class ProfessionalPubl isa Publication
+  attributes
+    authors : Pstring
+end ProfessionalPubl

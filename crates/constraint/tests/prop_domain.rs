@@ -29,6 +29,8 @@ fn sample_points() -> Vec<R64> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
     #[test]
     fn complement_is_involution(s in arb_numset()) {
         let cc = s.complement().complement();

@@ -43,6 +43,8 @@ fn arb_halfline() -> impl Strategy<Value = Domain> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
     /// §2.2's requirement: ∀a: df(a, a) = a.
     #[test]
     fn decision_functions_are_idempotent(v in arb_scalar()) {

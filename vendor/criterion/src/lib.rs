@@ -1,0 +1,290 @@
+//! Vendored offline shim for the subset of the `criterion` API used by the
+//! benches in `crates/bench` (the build environment has no crates.io access).
+//!
+//! It is a real, if simple, measurement harness: each benchmark is warmed up,
+//! then timed over enough iterations to fill a small per-bench budget, and
+//! the median ns/iter is reported on stdout. Environment knobs:
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON line per benchmark
+//!   (`{"bench": ..., "median_ns": ..., "samples": ...}`), used to record
+//!   `BENCH_baseline.json`.
+//! * `CRITERION_BUDGET_MS` — per-benchmark measurement budget (default 200).
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark label: `BenchmarkId::new("phase", n)` renders as `phase/n`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher {
+    /// Median ns/iter of the routine, filled in by the iter methods.
+    median_ns: f64,
+    samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn measure<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        // One untimed pass to warm caches and let lazy statics settle.
+        let warm = timed_pass();
+        // Aim for ~16 samples within the budget, at least 1 iter each.
+        let per_sample = self.budget.as_secs_f64() / 16.0;
+        let est = warm.as_secs_f64().max(1e-9);
+        let iters_per_sample = (per_sample / est).clamp(1.0, 1e7) as u64;
+        let deadline = Instant::now() + self.budget;
+        let mut samples: Vec<f64> = Vec::new();
+        loop {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                total += timed_pass();
+            }
+            samples.push(total.as_secs_f64() * 1e9 / iters_per_sample as f64);
+            if Instant::now() >= deadline || samples.len() >= 64 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+        self.samples = samples.len();
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.measure(|| {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            start.elapsed()
+        });
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+fn record(name: &str, median_ns: f64, samples: usize, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<60} time: {}", format_ns(median_ns));
+    if let Some(Throughput::Elements(n)) = throughput {
+        if median_ns > 0.0 {
+            let rate = n as f64 / (median_ns * 1e-9);
+            let _ = write!(line, "  thrpt: {rate:.0} elem/s");
+        }
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"bench\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}",
+                name.replace('"', "'"),
+                median_ns,
+                samples
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            median_ns: 0.0,
+            samples: 0,
+            budget: budget(),
+        };
+        f(&mut b);
+        record(name, b.median_ns, b.samples, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // The shim sizes samples by time budget, not count.
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            median_ns: 0.0,
+            samples: 0,
+            budget: budget(),
+        };
+        f(&mut b);
+        record(
+            &format!("{}/{}", self.name, id.id),
+            b.median_ns,
+            b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            median_ns: 0.0,
+            samples: 0,
+            budget: budget(),
+        };
+        f(&mut b, input);
+        record(
+            &format!("{}/{}", self.name, id.id),
+            b.median_ns,
+            b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

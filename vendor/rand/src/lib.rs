@@ -1,0 +1,231 @@
+//! Vendored offline shim for the subset of the `rand` 0.8 API used by this
+//! workspace: `StdRng::seed_from_u64`, `Rng::gen_range` over integer and
+//! float ranges, `gen`, and `gen_bool`.
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! stands in for the real dependency. The generator is xoshiro256++ seeded
+//! via splitmix64 — deterministic for a given seed, which is all the
+//! synthetic-workload generators in `interop_bench` require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core 64-bit generator state (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct CoreRng {
+    s: [u64; 4],
+}
+
+impl CoreRng {
+    pub fn from_seed_u64(seed: u64) -> Self {
+        // splitmix64 stream to fill the state, per the xoshiro authors'
+        // recommendation.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        CoreRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` without modulo bias (Lemire's method would be
+    /// overkill here; rejection sampling on the top bits is fine).
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// Sampling from a range, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut CoreRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut CoreRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.next_below(span) as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut CoreRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as $wide).wrapping_add(rng.next_below(span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut CoreRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut CoreRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // f32 rounding can push start + frac * span up to `end` even for
+        // frac < 1; reject those draws to keep the range half-open.
+        loop {
+            let frac = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+            let v = self.start + frac * (self.end - self.start);
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    fn gen_standard(rng: &mut CoreRng) -> Self;
+}
+
+impl Standard for bool {
+    fn gen_standard(rng: &mut CoreRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn gen_standard(rng: &mut CoreRng) -> Self {
+        rng.next_f64()
+    }
+}
+impl Standard for u64 {
+    fn gen_standard(rng: &mut CoreRng) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn gen_standard(rng: &mut CoreRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+impl Standard for i64 {
+    fn gen_standard(rng: &mut CoreRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+pub trait Rng {
+    fn core(&mut self) -> &mut CoreRng;
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.core())
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self.core())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.core().next_f64() < p
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(pub(crate) CoreRng);
+
+    impl Rng for StdRng {
+        fn core(&mut self) -> &mut CoreRng {
+            &mut self.0
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(CoreRng::from_seed_u64(seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000i64), b.gen_range(0..1000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..8i64);
+            assert!((3..8).contains(&v));
+            let w = rng.gen_range(5..=10i64);
+            assert!((5..=10).contains(&w));
+            let f = rng.gen_range(1.0..500.0);
+            assert!((1.0..500.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<i64> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let vb: Vec<i64> = (0..16).map(|_| b.gen_range(0..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}
