@@ -98,6 +98,21 @@ pub fn eval_path(db: &Database, obj: &Object, p: &Path) -> Result<Value, ModelEr
     db.navigate(obj, &p.0)
 }
 
+/// Borrowing variant of [`eval_path`]: attribute paths return a reference
+/// into the object graph (no clone); only the empty `this` path must
+/// materialise an owned `Ref` value. Hot joins in the merge phase hash
+/// and compare through this without allocating.
+pub fn eval_path_ref<'a>(
+    db: &'a Database,
+    obj: &'a Object,
+    p: &Path,
+) -> Result<std::borrow::Cow<'a, Value>, ModelError> {
+    if p.is_this() {
+        return Ok(std::borrow::Cow::Owned(Value::Ref(obj.id)));
+    }
+    db.navigate_ref(obj, &p.0).map(std::borrow::Cow::Borrowed)
+}
+
 fn apply_arith(a: &Value, op: ArithOp, b: &Value) -> Value {
     match (a.as_num(), b.as_num()) {
         (Some(x), Some(y)) => {

@@ -227,7 +227,7 @@ impl<'a> Parser<'a> {
             }
             Tok::Str(s) => {
                 self.next();
-                Ok(Value::Str(s))
+                Ok(Value::Str(s.into()))
             }
             Tok::Minus => {
                 self.next();

@@ -7,11 +7,21 @@
 //! Partial overlaps give rise to virtual subclasses such as the paper's
 //! `RefereedProceedings`; approximate similarity gives rise to virtual
 //! superclasses.
+//!
+//! Inference is *count-based*: one pass over the global objects
+//! accumulates per-class extents and per-(local class, remote class)
+//! overlap counters, and subset/overlap relations are then read off the
+//! counts (`ext(a) ⊆ ext(b)` iff `|ext(a) ∩ ext(b)| = |ext(a)|`) without
+//! materialising or cloning any extent pair. Only genuine partial
+//! overlaps pay for an intersection, built by merging two sorted id
+//! lists. Classes with *equal* extents yield a single canonical
+//! equivalence edge (local isa remote) so the inferred edge set stays
+//! acyclic — see [`infer_hierarchy`].
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use interop_conform::Conformed;
-use interop_model::{ClassName, ObjectId, Schema};
+use interop_model::{ClassName, FxHashMap, ObjectId, Schema};
 use interop_spec::Side;
 
 use crate::fuse::FuseResult;
@@ -60,17 +70,26 @@ impl Hierarchy {
     }
 }
 
-fn ancestors_any(local: &Schema, remote: &Schema, class: &ClassName) -> Vec<ClassName> {
-    if local.class(class).is_some() {
-        local.self_and_ancestors(class)
-    } else if remote.class(class).is_some() {
-        remote.self_and_ancestors(class)
-    } else {
-        vec![class.clone()] // virtual class: no schema ancestors
-    }
+/// Which side of the federation a class name belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ChainSide {
+    Local,
+    Remote,
+    /// A virtual class (intersection or approx-similarity superclass):
+    /// in neither schema, so it has no ancestors and joins no cross pair.
+    Virtual,
 }
 
 /// Infers the global hierarchy from fused memberships.
+///
+/// Cross edges between a local class `a` and a remote class `b` are read
+/// off overlap counts: `a isa b` iff `|ext(a) ∩ ext(b)| = |ext(a)|`, and
+/// symmetrically. When both hold (equal non-empty extents) the classes
+/// are extensionally *equivalent*; a single canonical edge `b isa a` —
+/// the remote class files under the local one, the integration's home
+/// vocabulary — is emitted instead of the mutual pair, keeping the
+/// inferred edge set acyclic. The tie-break is deterministic because
+/// every counted pair is ordered (local, remote).
 pub fn infer_hierarchy(
     conf: &Conformed,
     fused: &FuseResult,
@@ -80,11 +99,73 @@ pub fn infer_hierarchy(
     let local = &conf.local.db.schema;
     let remote = &conf.remote.db.schema;
     let mut h = Hierarchy::default();
-    // 1. Extensions, closed upward.
+    // Interned class table: the hot pass below counts pairs and extents
+    // by small dense indices instead of hashing class-name strings. The
+    // pointer cache short-circuits interning for repeated clones of the
+    // same shared class-name allocation (the overwhelmingly common case —
+    // object classes are clones of schema-owned names); distinct
+    // allocations spelling the same class fall back to the string intern,
+    // so aliasing is impossible.
+    let mut names: Vec<ClassName> = Vec::new();
+    let mut index: FxHashMap<ClassName, u32> = FxHashMap::default();
+    let mut ptr_cache: FxHashMap<usize, u32> = FxHashMap::default();
+    // Memoised upward-closure per interned class: side + chain indices.
+    let mut chains: Vec<Option<(ChainSide, Vec<u32>)>> = Vec::new();
+    // 1. One pass over the global objects: per-class extents (gid lists
+    //    stay sorted because objects iterate in ascending id order) and
+    //    per-(local class, remote class) overlap counters.
+    let mut ext_acc: Vec<Vec<ObjectId>> = Vec::new();
+    let mut overlap: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    let mut lbuf: Vec<u32> = Vec::new();
+    let mut rbuf: Vec<u32> = Vec::new();
     for g in fused.objects.values() {
+        lbuf.clear();
+        rbuf.clear();
         for c in &g.classes {
-            for anc in ancestors_any(local, remote, c) {
-                h.extensions.entry(anc).or_default().insert(g.id);
+            let ci = match ptr_cache.get(&c.alloc_ptr()) {
+                Some(&i) => i as usize,
+                None => {
+                    let i = intern(c, &mut names, &mut index);
+                    ptr_cache.insert(c.alloc_ptr(), i);
+                    i as usize
+                }
+            };
+            if chains.len() < names.len() {
+                chains.resize(names.len(), None);
+            }
+            if chains[ci].is_none() {
+                let (side, chain_names) = chain_any(local, remote, c);
+                let chain: Vec<u32> = chain_names
+                    .iter()
+                    .map(|a| intern(a, &mut names, &mut index))
+                    .collect();
+                chains.resize(names.len().max(chains.len()), None);
+                chains[ci] = Some((side, chain));
+            }
+            let (side, chain) = chains[ci].as_ref().expect("filled above");
+            if ext_acc.len() < names.len() {
+                ext_acc.resize(names.len(), Vec::new());
+            }
+            for &ai in chain {
+                let ext = &mut ext_acc[ai as usize];
+                // An ancestor reachable from two of the object's classes
+                // repeats back-to-back — dedup against the tail.
+                if ext.last() != Some(&g.id) {
+                    ext.push(g.id);
+                }
+                let buf = match side {
+                    ChainSide::Local => &mut lbuf,
+                    ChainSide::Remote => &mut rbuf,
+                    ChainSide::Virtual => continue,
+                };
+                if !buf.contains(&ai) {
+                    buf.push(ai);
+                }
+            }
+        }
+        for &a in &lbuf {
+            for &b in &rbuf {
+                *overlap.entry((a, b)).or_insert(0) += 1;
             }
         }
     }
@@ -96,7 +177,59 @@ pub fn infer_hierarchy(
             }
         }
     }
-    // 3. Virtual superclasses from approximate similarity:
+    // 3. Extensionally inferred cross edges and intersections, derived
+    //    from the counters in ascending (local, remote) pair order so the
+    //    intersection list is deterministic.
+    let mut pairs: Vec<((u32, u32), usize)> = overlap.into_iter().collect();
+    pairs.sort_unstable_by(|x, y| {
+        (&names[x.0 .0 as usize], &names[x.0 .1 as usize])
+            .cmp(&(&names[y.0 .0 as usize], &names[y.0 .1 as usize]))
+    });
+    for ((ai, bi), shared) in pairs {
+        let (a, b) = (&names[ai as usize], &names[bi as usize]);
+        let na = ext_acc[ai as usize].len();
+        let nb = ext_acc[bi as usize].len();
+        let a_in_b = shared == na;
+        let b_in_a = shared == nb;
+        if a_in_b && b_in_a {
+            // Equal extents: the classes are extensionally equivalent.
+            // Emit the single canonical remote-isa-local edge (the local
+            // schema is the integration's home vocabulary) instead of the
+            // mutual pair, which would put a cycle in the DAG.
+            h.edges.insert((b.clone(), a.clone()));
+        } else if a_in_b {
+            h.edges.insert((a.clone(), b.clone()));
+        } else if b_in_a {
+            h.edges.insert((b.clone(), a.clone()));
+        } else {
+            let inter = intersect_sorted(&ext_acc[ai as usize], &ext_acc[bi as usize]);
+            debug_assert_eq!(inter.len(), shared);
+            let name = opts
+                .intersection_names
+                .get(&(a.clone(), b.clone()))
+                .cloned()
+                .unwrap_or_else(|| ClassName::new(format!("{b}And{a}")));
+            h.extensions.insert(name.clone(), inter.clone());
+            h.edges.insert((name.clone(), a.clone()));
+            h.edges.insert((name.clone(), b.clone()));
+            h.intersections.push(IntersectionClass {
+                name,
+                parents: (a.clone(), b.clone()),
+                extension: inter,
+            });
+        }
+    }
+    // Snapshot the accumulated extents into the deterministic output map
+    // (sorted id lists collect into `BTreeSet` in linear time). Entries
+    // already present — intersection classes — take precedence.
+    for (i, ids) in ext_acc.into_iter().enumerate() {
+        if !ids.is_empty() {
+            h.extensions
+                .entry(names[i].clone())
+                .or_insert_with(|| ids.into_iter().collect());
+        }
+    }
+    // 4. Virtual superclasses from approximate similarity:
     //    ext(Cᵛ) = ext(C) ∪ {subjects}; C isa Cᵛ.
     for s in sims {
         if let Some(v) = &s.virtual_class {
@@ -117,43 +250,46 @@ pub fn infer_hierarchy(
             }
         }
     }
-    // 4. Extensionally inferred cross edges and intersections.
-    let local_classes: Vec<ClassName> = local.class_names().cloned().collect();
-    let remote_classes: Vec<ClassName> = remote.class_names().cloned().collect();
-    for a in &local_classes {
-        for b in &remote_classes {
-            let ea = h.extension(a).clone();
-            let eb = h.extension(b).clone();
-            if ea.is_empty() || eb.is_empty() {
-                continue;
-            }
-            let inter: BTreeSet<ObjectId> = ea.intersection(&eb).copied().collect();
-            let a_in_b = ea.is_subset(&eb);
-            let b_in_a = eb.is_subset(&ea);
-            if a_in_b {
-                h.edges.insert((a.clone(), b.clone()));
-            }
-            if b_in_a {
-                h.edges.insert((b.clone(), a.clone()));
-            }
-            if !inter.is_empty() && !a_in_b && !b_in_a {
-                let name = opts
-                    .intersection_names
-                    .get(&(a.clone(), b.clone()))
-                    .cloned()
-                    .unwrap_or_else(|| ClassName::new(format!("{b}And{a}")));
-                h.extensions.insert(name.clone(), inter.clone());
-                h.edges.insert((name.clone(), a.clone()));
-                h.edges.insert((name.clone(), b.clone()));
-                h.intersections.push(IntersectionClass {
-                    name,
-                    parents: (a.clone(), b.clone()),
-                    extension: inter,
-                });
+    h
+}
+
+/// Interns a class name, returning its dense index.
+fn intern(c: &ClassName, names: &mut Vec<ClassName>, index: &mut FxHashMap<ClassName, u32>) -> u32 {
+    if let Some(&i) = index.get(c) {
+        return i;
+    }
+    let i = names.len() as u32;
+    names.push(c.clone());
+    index.insert(c.clone(), i);
+    i
+}
+
+fn chain_any(local: &Schema, remote: &Schema, class: &ClassName) -> (ChainSide, Vec<ClassName>) {
+    if local.class(class).is_some() {
+        (ChainSide::Local, local.self_and_ancestors(class))
+    } else if remote.class(class).is_some() {
+        (ChainSide::Remote, remote.self_and_ancestors(class))
+    } else {
+        (ChainSide::Virtual, vec![class.clone()])
+    }
+}
+
+/// Intersection of two ascending id lists by a linear merge walk.
+fn intersect_sorted(a: &[ObjectId], b: &[ObjectId]) -> BTreeSet<ObjectId> {
+    let mut out = BTreeSet::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.insert(a[i]);
+                i += 1;
+                j += 1;
             }
         }
     }
-    h
+    out
 }
 
 #[cfg(test)]
@@ -247,6 +383,35 @@ mod tests {
         let fused = fuse(conf, &eqs, &sims).unwrap();
         let h = infer_hierarchy(conf, &fused, &sims, opts);
         (fused, h)
+    }
+
+    /// Asserts the edge set has no directed cycle (DFS three-colouring).
+    fn assert_acyclic(h: &Hierarchy) {
+        let mut adj: BTreeMap<&ClassName, Vec<&ClassName>> = BTreeMap::new();
+        for (sub, sup) in &h.edges {
+            adj.entry(sub).or_default().push(sup);
+        }
+        let mut state: BTreeMap<&ClassName, u8> = BTreeMap::new(); // 1=open, 2=done
+        fn visit<'a>(
+            n: &'a ClassName,
+            adj: &BTreeMap<&'a ClassName, Vec<&'a ClassName>>,
+            state: &mut BTreeMap<&'a ClassName, u8>,
+        ) {
+            match state.get(n) {
+                Some(1) => panic!("cycle through {n}"),
+                Some(2) => return,
+                _ => {}
+            }
+            state.insert(n, 1);
+            for m in adj.get(n).into_iter().flatten() {
+                visit(m, adj, state);
+            }
+            state.insert(n, 2);
+        }
+        let nodes: Vec<&ClassName> = adj.keys().copied().collect();
+        for n in nodes {
+            visit(n, &adj, &mut state);
+        }
     }
 
     #[test]
@@ -359,5 +524,48 @@ mod tests {
             &ClassName::new("RefereedPubl")
         ));
         assert!(h.intersections.is_empty());
+    }
+
+    #[test]
+    fn equal_extents_yield_single_canonical_edge_not_a_cycle() {
+        // Regression: a local and a remote class whose extents coincide
+        // used to get *both* `a isa b` and `b isa a`, putting a cycle in
+        // the supposed DAG. The canonical form is one remote-isa-local
+        // equivalence edge.
+        let local_schema = Schema::new("L", vec![ClassDef::new("A").attr("k", Type::Str)]).unwrap();
+        let remote_schema =
+            Schema::new("R", vec![ClassDef::new("B").attr("k", Type::Str)]).unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        ldb.create("A", vec![("k", "1".into())]).unwrap();
+        ldb.create("A", vec![("k", "2".into())]).unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create("B", vec![("k", "1".into())]).unwrap();
+        rdb.create("B", vec![("k", "2".into())]).unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::equality(
+            "r",
+            "A",
+            "B",
+            vec![InterCond::eq("k", "k")],
+        ));
+        let conf =
+            interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap();
+        let (_, h) = build(&conf, &MergeOptions::default());
+        let a = ClassName::new("A");
+        let b = ClassName::new("B");
+        assert!(h.is_direct_subclass(&b, &a), "canonical remote-isa-local");
+        assert!(
+            !h.is_direct_subclass(&a, &b),
+            "mutual edge must not be emitted"
+        );
+        assert!(h.intersections.is_empty());
+        assert_acyclic(&h);
+    }
+
+    #[test]
+    fn inferred_edges_are_acyclic_on_fixtures() {
+        let (conf, opts) = fixture();
+        let (_, h) = build(&conf, &opts);
+        assert_acyclic(&h);
     }
 }

@@ -1,0 +1,99 @@
+//! A side-tagged, hash-indexed view of both conformed databases.
+//!
+//! Every merge phase needs random access to conformed objects by id —
+//! the hash joins in resolution, group assembly in fusion — and the
+//! ordered map inside [`interop_model::Database`] makes each such hit a
+//! tree search. [`ConformedIndex`] flattens both sides into one sorted
+//! member list plus a hash index, built once per [`crate::merge`] call
+//! and shared by the phases.
+
+use interop_conform::Conformed;
+use interop_model::{FxHashMap, Object, ObjectId};
+use interop_spec::Side;
+
+/// Hash-indexed objects of a conformed pair (spaces are disjoint, so one
+/// index covers both sides and the virtual objects).
+pub(crate) struct ConformedIndex<'a> {
+    /// `(id, side, object)` for every conformed object, ascending by id
+    /// (the two sides' spaces interleave, so one sort pass replaces
+    /// ordered-map bookkeeping downstream).
+    pub members: Vec<(ObjectId, Side, &'a Object)>,
+    /// id → position in `members`.
+    pub pos: FxHashMap<ObjectId, u32>,
+}
+
+impl<'a> ConformedIndex<'a> {
+    /// Builds the index in one sweep over both databases. Each side's
+    /// objects already iterate in ascending id order, so the combined
+    /// list is produced by a linear two-way merge, not a sort.
+    pub fn new(conf: &'a Conformed) -> Self {
+        let mut members: Vec<(ObjectId, Side, &'a Object)> =
+            Vec::with_capacity(conf.local.db.len() + conf.remote.db.len());
+        let mut li = conf.local.db.objects().peekable();
+        let mut ri = conf.remote.db.objects().peekable();
+        loop {
+            match (li.peek(), ri.peek()) {
+                (Some(l), Some(r)) => {
+                    if l.id < r.id {
+                        let o = li.next().expect("peeked");
+                        members.push((o.id, Side::Local, o));
+                    } else {
+                        let o = ri.next().expect("peeked");
+                        members.push((o.id, Side::Remote, o));
+                    }
+                }
+                (Some(_), None) => {
+                    let o = li.next().expect("peeked");
+                    members.push((o.id, Side::Local, o));
+                }
+                (None, Some(_)) => {
+                    let o = ri.next().expect("peeked");
+                    members.push((o.id, Side::Remote, o));
+                }
+                (None, None) => break,
+            }
+        }
+        let mut pos = FxHashMap::with_capacity_and_hasher(members.len(), Default::default());
+        for (i, (id, _, _)) in members.iter().enumerate() {
+            pos.insert(*id, i as u32);
+        }
+        ConformedIndex { members, pos }
+    }
+
+    /// Looks up a conformed object by id (either side).
+    pub fn object(&self, id: ObjectId) -> Option<&'a Object> {
+        self.pos.get(&id).map(|&i| self.members[i as usize].2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_constraint::Catalog;
+    use interop_model::{ClassDef, Database, Schema, Type};
+    use interop_spec::Spec;
+
+    #[test]
+    fn index_covers_both_sides_in_id_order() {
+        let ls = Schema::new("L", vec![ClassDef::new("A").attr("k", Type::Str)]).unwrap();
+        let rs = Schema::new("R", vec![ClassDef::new("B").attr("k", Type::Str)]).unwrap();
+        let mut ldb = Database::new(ls, 1);
+        let la = ldb.create("A", vec![]).unwrap();
+        let mut rdb = Database::new(rs, 2);
+        let rb = rdb.create("B", vec![]).unwrap();
+        let conf = interop_conform::conform(
+            &ldb,
+            &Catalog::new(),
+            &rdb,
+            &Catalog::new(),
+            &Spec::new("L", "R"),
+        )
+        .unwrap();
+        let idx = ConformedIndex::new(&conf);
+        assert_eq!(idx.members.len(), 2);
+        assert!(idx.members.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(idx.object(la).unwrap().id, la);
+        assert_eq!(idx.object(rb).unwrap().id, rb);
+        assert!(idx.object(ObjectId::new(9, 9)).is_none());
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod fuse;
 pub mod hierarchy;
+mod index;
 pub mod resolve;
 pub mod view;
 

@@ -1,11 +1,13 @@
 //! Entity resolution: evaluating comparison rules over conformed extents.
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
 use std::fmt;
 
 use interop_conform::Conformed;
-use interop_constraint::eval::{eval_formula, eval_path, Truth};
-use interop_model::{ClassName, Database, ModelError, ObjectId, Value};
+
+use crate::index::ConformedIndex;
+use interop_constraint::eval::{eval_formula, eval_path_ref, Truth};
+use interop_model::{ClassName, Database, FxHashMap, ModelError, ObjectId, Value};
 use interop_spec::{Relationship, RuleId, Side};
 
 /// Errors raised during merging.
@@ -68,8 +70,21 @@ pub struct SimMatch {
 /// falls back to a nested-loop check — the same asymptotics a real
 /// mediator would exhibit.
 pub fn resolve(conf: &Conformed) -> Result<(Vec<EqMatch>, Vec<SimMatch>), MergeError> {
+    resolve_with(conf, &ConformedIndex::new(conf))
+}
+
+/// [`resolve`] over a prebuilt object index (shared across the phases by
+/// [`crate::merge`]).
+pub(crate) fn resolve_with(
+    conf: &Conformed,
+    idx: &ConformedIndex<'_>,
+) -> Result<(Vec<EqMatch>, Vec<SimMatch>), MergeError> {
     let mut eqs = Vec::new();
     let mut sims = Vec::new();
+    let obj = |id: ObjectId| -> Result<&interop_model::Object, MergeError> {
+        idx.object(id)
+            .ok_or_else(|| MergeError::Model(format!("unknown conformed object {id}")))
+    };
     for rule in &conf.spec.rules {
         match &rule.relationship {
             Relationship::Equality => {
@@ -96,36 +111,93 @@ pub fn resolve(conf: &Conformed) -> Result<(Vec<EqMatch>, Vec<SimMatch>), MergeE
                     .iter()
                     .find(|ic| ic.op == interop_constraint::CmpOp::Eq);
                 if let Some(jc) = join_cond {
-                    let mut bucket: BTreeMap<Value, Vec<ObjectId>> = BTreeMap::new();
-                    for rid in &remotes {
-                        let robj = conf.remote.db.object_req(*rid)?;
-                        let v = eval_path(&conf.remote.db, robj, &jc.remote)?;
-                        if !v.is_null() {
-                            bucket.entry(v).or_default().push(*rid);
-                        }
+                    // When the join equality is the rule's only condition,
+                    // a bucket hit *is* the match — skip the re-check.
+                    let bucket_decides = rule.inter.len() == 1
+                        && rule.intra_counterpart == interop_constraint::Formula::True
+                        && rule.intra_subject == interop_constraint::Formula::True;
+                    // Hashed buckets over *borrowed* join keys: only
+                    // probed, never iterated, so the arbitrary iteration
+                    // order cannot leak into results (matches are emitted
+                    // in local-extension order). Single-candidate buckets
+                    // — the common case under key-like join attributes —
+                    // stay inline, no per-key Vec. Plain one-attribute
+                    // join paths (again the common case) key the table on
+                    // `&Value` straight out of the objects; longer paths
+                    // go through the borrowing path evaluator.
+                    fn single(p: &interop_constraint::Path) -> Option<&interop_model::AttrName> {
+                        p.0.first().filter(|_| p.0.len() == 1)
                     }
-                    for lid in &locals {
-                        let lobj = conf.local.db.object_req(*lid)?;
-                        let key = eval_path(&conf.local.db, lobj, &jc.local)?;
-                        if key.is_null() {
-                            continue;
+                    if let (Some(la), Some(ra)) = (single(&jc.local), single(&jc.remote)) {
+                        let mut bucket: FxHashMap<&Value, Bucket> =
+                            FxHashMap::with_capacity_and_hasher(remotes.len(), Default::default());
+                        for rid in &remotes {
+                            if let Some(v) = obj(*rid)?.attrs.get(ra) {
+                                if !v.is_null() {
+                                    bucket
+                                        .entry(v)
+                                        .and_modify(|b| b.push(*rid))
+                                        .or_insert(Bucket::One(*rid));
+                                }
+                            }
                         }
-                        if let Some(cands) = bucket.get(&key) {
-                            for rid in cands {
-                                if check_pair(conf, rule, *lid, *rid)? {
-                                    eqs.push(EqMatch {
-                                        rule: rule.id.clone(),
-                                        local: *lid,
-                                        remote: *rid,
-                                    });
+                        for lid in &locals {
+                            let lobj = obj(*lid)?;
+                            let Some(key) = lobj.attrs.get(la) else {
+                                continue;
+                            };
+                            if key.is_null() {
+                                continue;
+                            }
+                            if let Some(cands) = bucket.get(key) {
+                                for rid in cands.as_slice() {
+                                    if bucket_decides || check_pair(conf, rule, lobj, obj(*rid)?)? {
+                                        eqs.push(EqMatch {
+                                            rule: rule.id.clone(),
+                                            local: *lid,
+                                            remote: *rid,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        let mut bucket: FxHashMap<Cow<'_, Value>, Bucket> =
+                            FxHashMap::with_capacity_and_hasher(remotes.len(), Default::default());
+                        for rid in &remotes {
+                            let robj = obj(*rid)?;
+                            let v = eval_path_ref(&conf.remote.db, robj, &jc.remote)?;
+                            if !v.is_null() {
+                                bucket
+                                    .entry(v)
+                                    .and_modify(|b| b.push(*rid))
+                                    .or_insert(Bucket::One(*rid));
+                            }
+                        }
+                        for lid in &locals {
+                            let lobj = obj(*lid)?;
+                            let key = eval_path_ref(&conf.local.db, lobj, &jc.local)?;
+                            if key.is_null() {
+                                continue;
+                            }
+                            if let Some(cands) = bucket.get(&key) {
+                                for rid in cands.as_slice() {
+                                    if bucket_decides || check_pair(conf, rule, lobj, obj(*rid)?)? {
+                                        eqs.push(EqMatch {
+                                            rule: rule.id.clone(),
+                                            local: *lid,
+                                            remote: *rid,
+                                        });
+                                    }
                                 }
                             }
                         }
                     }
                 } else {
                     for lid in &locals {
+                        let lobj = obj(*lid)?;
                         for rid in &remotes {
-                            if check_pair(conf, rule, *lid, *rid)? {
+                            if check_pair(conf, rule, lobj, obj(*rid)?)? {
                                 eqs.push(EqMatch {
                                     rule: rule.id.clone(),
                                     local: *lid,
@@ -173,17 +245,37 @@ pub fn resolve(conf: &Conformed) -> Result<(Vec<EqMatch>, Vec<SimMatch>), MergeE
     Ok((eqs, sims))
 }
 
+/// A hash-join bucket holding one inline candidate or a spilled list.
+enum Bucket {
+    One(ObjectId),
+    Many(Vec<ObjectId>),
+}
+
+impl Bucket {
+    fn push(&mut self, id: ObjectId) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, id]),
+            Bucket::Many(v) => v.push(id),
+        }
+    }
+
+    fn as_slice(&self) -> &[ObjectId] {
+        match self {
+            Bucket::One(id) => std::slice::from_ref(id),
+            Bucket::Many(v) => v,
+        }
+    }
+}
+
 fn check_pair(
     conf: &Conformed,
     rule: &interop_spec::ComparisonRule,
-    lid: ObjectId,
-    rid: ObjectId,
+    lobj: &interop_model::Object,
+    robj: &interop_model::Object,
 ) -> Result<bool, MergeError> {
-    let lobj = conf.local.db.object_req(lid)?;
-    let robj = conf.remote.db.object_req(rid)?;
     for ic in &rule.inter {
-        let lv = eval_path(&conf.local.db, lobj, &ic.local)?;
-        let rv = eval_path(&conf.remote.db, robj, &ic.remote)?;
+        let lv = eval_path_ref(&conf.local.db, lobj, &ic.local)?;
+        let rv = eval_path_ref(&conf.remote.db, robj, &ic.remote)?;
         if lv.is_null() || rv.is_null() {
             return Ok(false);
         }

@@ -8,9 +8,9 @@ use interop_constraint::eval::Truth;
 use interop_constraint::{CmpOp, Expr, Formula, Path};
 use interop_model::{AttrName, ClassName, Database, ObjectId, Value};
 
-use crate::fuse::{fuse, FuseResult, GlobalObject};
+use crate::fuse::{FuseResult, GlobalObject};
 use crate::hierarchy::{infer_hierarchy, Hierarchy};
-use crate::resolve::{resolve, MergeError};
+use crate::resolve::MergeError;
 
 /// Options controlling the merge.
 #[derive(Clone, Debug, Default)]
@@ -35,10 +35,12 @@ pub struct IntegratedView {
 }
 
 /// Runs the merging phase on a conformed pair (§2.3): entity resolution,
-/// value fusion, hierarchy inference.
+/// value fusion, hierarchy inference. The phases share one hash-indexed
+/// view of the conformed objects instead of each re-indexing the pair.
 pub fn merge(conf: &Conformed, opts: &MergeOptions) -> Result<IntegratedView, MergeError> {
-    let (eqs, sims) = resolve(conf)?;
-    let fused: FuseResult = fuse(conf, &eqs, &sims)?;
+    let idx = crate::index::ConformedIndex::new(conf);
+    let (eqs, sims) = crate::resolve::resolve_with(conf, &idx)?;
+    let fused: FuseResult = crate::fuse::fuse_with(conf, &idx, &eqs, &sims)?;
     let hierarchy = infer_hierarchy(conf, &fused, &sims, opts);
     Ok(IntegratedView {
         objects: fused.objects,
@@ -183,17 +185,6 @@ impl IntegratedView {
         use interop_model::{ClassDef, Schema, Type};
         // Infer attribute types per class from member values.
         let mut class_attrs: BTreeMap<ClassName, BTreeMap<AttrName, Type>> = BTreeMap::new();
-        let infer = |v: &Value| -> Option<Type> {
-            match v {
-                Value::Null => None,
-                Value::Bool(_) => Some(Type::Bool),
-                Value::Int(_) => Some(Type::Int),
-                Value::Real(_) => Some(Type::Real),
-                Value::Str(_) => Some(Type::Str),
-                Value::Set(_) => Some(Type::pstring()),
-                Value::Ref(_) => None, // patched below once classes exist
-            }
-        };
         // Smallest containing class per object.
         let mut placement: BTreeMap<interop_model::ObjectId, ClassName> = BTreeMap::new();
         for g in self.objects.values() {
@@ -214,9 +205,16 @@ impl IntegratedView {
             placement.insert(g.id, class.clone());
             let attrs = class_attrs.entry(class).or_default();
             for (a, v) in &g.attrs {
-                if let Some(t) = infer(v) {
-                    let slot = attrs.entry(a.clone()).or_insert_with(|| t.clone());
-                    *slot = slot.join(&t).unwrap_or(Type::Str);
+                if let Some(t) = infer_value_type(v) {
+                    match attrs.entry(a.clone()) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(t);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            let joined = e.get().join(&t).unwrap_or(Type::Str);
+                            *e.get_mut() = joined;
+                        }
+                    }
                 }
             }
         }
@@ -269,12 +267,12 @@ impl IntegratedView {
         let schema = Schema::new(db_name, defs).map_err(|e| MergeError::Model(e.to_string()))?;
         let mut out = Database::new(schema, space);
         for g in self.objects.values() {
-            let mut obj = interop_model::Object::new(g.id, placement[&g.id].clone());
+            let class = &placement[&g.id];
+            let known = &class_attrs[class];
+            let mut obj = interop_model::Object::new(g.id, class.clone());
             for (a, v) in &g.attrs {
                 // Drop attributes whose type could not be inferred class-wide.
-                if class_attrs[&placement[&g.id]].contains_key(a)
-                    || ref_types.contains_key(&(placement[&g.id].clone(), a.clone()))
-                {
+                if known.contains_key(a) || ref_types.contains_key(&(class.clone(), a.clone())) {
                     obj.set(a.clone(), v.clone());
                 }
             }
@@ -282,6 +280,35 @@ impl IntegratedView {
                 .map_err(|e| MergeError::Model(e.to_string()))?;
         }
         Ok(out)
+    }
+}
+
+/// The materialisable type of a value, if any.
+///
+/// Sets carry the *join* of their members' element types (`{1, 2}` is a
+/// `P(int)`, not a `Pstring`), falling back to string elements when the
+/// members disagree or carry no scalar type (refs); the empty set also
+/// materialises as `Pstring`. `Null` and references yield no scalar type —
+/// references are patched to `Ref(class)` attributes by the caller.
+fn infer_value_type(v: &Value) -> Option<interop_model::Type> {
+    use interop_model::Type;
+    match v {
+        Value::Null => None,
+        Value::Bool(_) => Some(Type::Bool),
+        Value::Int(_) => Some(Type::Int),
+        Value::Real(_) => Some(Type::Real),
+        Value::Str(_) => Some(Type::Str),
+        Value::Set(items) => {
+            let mut elem: Option<Type> = None;
+            for t in items.iter().filter_map(infer_value_type) {
+                elem = Some(match elem {
+                    None => t,
+                    Some(prev) => prev.join(&t).unwrap_or(Type::Str),
+                });
+            }
+            Some(Type::SetOf(Box::new(elem.unwrap_or(Type::Str))))
+        }
+        Value::Ref(_) => None, // patched by the caller once classes exist
     }
 }
 
@@ -451,6 +478,71 @@ mod tests {
         assert_eq!(
             v.eval(merged, &Formula::cmp("nonexistent", CmpOp::Eq, 1i64)),
             Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn materialize_types_sets_by_element_kind() {
+        // Regression: `materialize` used to type every set as `Pstring`,
+        // so a set of ints could not round-trip through storage. The
+        // element type must be inferred from the members.
+        use interop_model::Type;
+        let local_schema = Schema::new(
+            "L",
+            vec![ClassDef::new("Doc")
+                .attr("isbn", Type::Str)
+                .attr("codes", Type::SetOf(Box::new(Type::Int)))
+                .attr("tags", Type::pstring())],
+        )
+        .unwrap();
+        let remote_schema =
+            Schema::new("R", vec![ClassDef::new("Item").attr("isbn", Type::Str)]).unwrap();
+        let mut ldb = Database::new(local_schema, 1);
+        let codes = Value::Set([Value::int(3), Value::int(7)].into_iter().collect());
+        ldb.create(
+            "Doc",
+            vec![
+                ("isbn", "X".into()),
+                ("codes", codes.clone()),
+                ("tags", Value::str_set(["a", "b"])),
+            ],
+        )
+        .unwrap();
+        let mut rdb = Database::new(remote_schema, 2);
+        rdb.create("Item", vec![("isbn", "X".into())]).unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::equality(
+            "r1",
+            "Doc",
+            "Item",
+            vec![InterCond::eq("isbn", "isbn")],
+        ));
+        let conf =
+            interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec).unwrap();
+        let v = merge(&conf, &MergeOptions::default()).unwrap();
+        let db = v.materialize("Mat", 7).unwrap();
+        // The materialised schema types the set attrs by element kind.
+        let g = v.objects.values().next().unwrap();
+        let class = &db.object(g.id).unwrap().class;
+        let (_, codes_def) = db
+            .schema
+            .resolve_attr(class, &AttrName::new("codes"))
+            .unwrap();
+        assert_eq!(codes_def.ty, Type::SetOf(Box::new(Type::Int)));
+        let (_, tags_def) = db
+            .schema
+            .resolve_attr(class, &AttrName::new("tags"))
+            .unwrap();
+        assert_eq!(tags_def.ty, Type::pstring());
+        // Round-trip through a constraint-enforcing store preserves the
+        // set value (the old Pstring typing made this insert fail).
+        let store = interop_storage::Store::new(db, Catalog::new());
+        let stored = store.db().object(g.id).unwrap();
+        assert_eq!(stored.get(&AttrName::new("codes")), &codes);
+        let back = store.into_db();
+        assert_eq!(
+            back.object(g.id).unwrap().get(&AttrName::new("codes")),
+            &codes
         );
     }
 

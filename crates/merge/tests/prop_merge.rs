@@ -2,10 +2,16 @@
 //! determinism, extent-closure invariants, and fusion correctness under
 //! random extents.
 
-use interop_constraint::Catalog;
-use interop_merge::{merge, MergeOptions};
-use interop_model::{ClassDef, ClassName, Database, Schema, Type, Value};
-use interop_spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Spec};
+use std::collections::{BTreeMap, BTreeSet};
+
+use interop_conform::Conformed;
+use interop_constraint::{Catalog, CmpOp, Formula};
+use interop_merge::{
+    fuse, infer_hierarchy, merge, resolve, FuseResult, Hierarchy, IntersectionClass, MergeOptions,
+    SimMatch,
+};
+use interop_model::{ClassDef, ClassName, Database, ObjectId, Schema, Type, Value};
+use interop_spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Side, Spec};
 use proptest::prelude::*;
 
 fn schemas() -> (Schema, Schema) {
@@ -159,6 +165,265 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// A richer random fixture with isa chains on both sides plus strict and
+/// approximate similarity, so hierarchy inference sees multi-class
+/// objects, subset relations, partial overlaps and virtual superclasses.
+///
+/// Local: `P` ← `S` ← `Rf`; remote: `I` ← `Pr`(flag), `I` ← `M`.
+/// Rules: `P ~ I` on key, `Pr` strictly similar to `Rf` when flagged,
+/// `M` approximately similar to `S` under the virtual class `SOrM`.
+fn rich_build(
+    locals: &[(u8, u8)],
+    remotes: &[(u8, u8, bool)],
+) -> (Conformed, FuseResult, Vec<SimMatch>, Hierarchy) {
+    let local_schema = Schema::new(
+        "L",
+        vec![
+            ClassDef::new("P").attr("key", Type::Str),
+            ClassDef::new("S").isa("P"),
+            ClassDef::new("Rf").isa("S"),
+        ],
+    )
+    .expect("static schema");
+    let remote_schema = Schema::new(
+        "R",
+        vec![
+            ClassDef::new("I").attr("key", Type::Str),
+            ClassDef::new("Pr").isa("I").attr("flag", Type::Bool),
+            ClassDef::new("M").isa("I"),
+        ],
+    )
+    .expect("static schema");
+    let mut ldb = Database::new(local_schema, 1);
+    for (key, class) in locals {
+        let class = ["P", "S", "Rf"][(*class % 3) as usize];
+        ldb.create(class, vec![("key", Value::str(format!("k{key}")))])
+            .expect("local object");
+    }
+    let mut rdb = Database::new(remote_schema, 2);
+    for (key, class, flag) in remotes {
+        let class = ["I", "Pr", "M"][(*class % 3) as usize];
+        let mut attrs = vec![("key", Value::str(format!("k{key}")))];
+        if class == "Pr" {
+            attrs.push(("flag", Value::Bool(*flag)));
+        }
+        rdb.create(class, attrs).expect("remote object");
+    }
+    let mut spec = Spec::new("L", "R");
+    spec.add_rule(ComparisonRule::equality(
+        "r_eq",
+        "P",
+        "I",
+        vec![InterCond::eq("key", "key")],
+    ));
+    spec.add_rule(ComparisonRule::similarity(
+        "r_sim",
+        Side::Remote,
+        "Pr",
+        "Rf",
+        Formula::cmp("flag", CmpOp::Eq, true),
+    ));
+    spec.add_rule(ComparisonRule::approx_similarity(
+        "r_approx",
+        Side::Remote,
+        "M",
+        "S",
+        "SOrM",
+        Formula::True,
+    ));
+    let conf = interop_conform::conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec)
+        .expect("conforms");
+    let (eqs, sims) = resolve(&conf).expect("resolves");
+    let fused = fuse(&conf, &eqs, &sims).expect("fuses");
+    let h = infer_hierarchy(&conf, &fused, &sims, &MergeOptions::default());
+    (conf, fused, sims, h)
+}
+
+/// Naive set-based oracle for hierarchy inference: builds every extent as
+/// a `BTreeSet`, then derives cross edges and intersections by pairwise
+/// cloned-set subset/intersection tests — the quadratic algorithm the
+/// count-based implementation replaced, including the canonical
+/// single-edge handling of equal extents.
+fn oracle_hierarchy(
+    conf: &Conformed,
+    fused: &FuseResult,
+    sims: &[SimMatch],
+    opts: &MergeOptions,
+) -> Hierarchy {
+    let local = &conf.local.db.schema;
+    let remote = &conf.remote.db.schema;
+    let ancestors_any = |class: &ClassName| -> Vec<ClassName> {
+        if local.class(class).is_some() {
+            local.self_and_ancestors(class)
+        } else if remote.class(class).is_some() {
+            remote.self_and_ancestors(class)
+        } else {
+            vec![class.clone()]
+        }
+    };
+    let mut h = Hierarchy::default();
+    for g in fused.objects.values() {
+        for c in &g.classes {
+            for anc in ancestors_any(c) {
+                h.extensions.entry(anc).or_default().insert(g.id);
+            }
+        }
+    }
+    for schema in [local, remote] {
+        for def in schema.classes() {
+            if let Some(p) = &def.parent {
+                h.edges.insert((def.name.clone(), p.clone()));
+            }
+        }
+    }
+    for s in sims {
+        if let Some(v) = &s.virtual_class {
+            h.virtual_superclasses.insert(v.clone());
+            let mut ext = h.extensions.get(&s.target).cloned().unwrap_or_default();
+            if let Some(gid) = fused.id_map.get(&s.subject) {
+                ext.insert(*gid);
+            }
+            h.extensions.entry(v.clone()).or_default().extend(ext);
+            h.edges.insert((s.target.clone(), v.clone()));
+            let subj_class = match s.side {
+                Side::Local => conf.local.db.object(s.subject).map(|o| o.class.clone()),
+                Side::Remote => conf.remote.db.object(s.subject).map(|o| o.class.clone()),
+            };
+            if let Some(sc) = subj_class {
+                h.edges.insert((sc, v.clone()));
+            }
+        }
+    }
+    let local_classes: Vec<ClassName> = local.class_names().cloned().collect();
+    let remote_classes: Vec<ClassName> = remote.class_names().cloned().collect();
+    for a in &local_classes {
+        for b in &remote_classes {
+            let ea = h.extensions.get(a).cloned().unwrap_or_default();
+            let eb = h.extensions.get(b).cloned().unwrap_or_default();
+            if ea.is_empty() || eb.is_empty() {
+                continue;
+            }
+            let inter: BTreeSet<ObjectId> = ea.intersection(&eb).copied().collect();
+            let a_in_b = ea.is_subset(&eb);
+            let b_in_a = eb.is_subset(&ea);
+            if a_in_b && b_in_a {
+                // Equal extents: single canonical remote-isa-local edge.
+                h.edges.insert((b.clone(), a.clone()));
+            } else if a_in_b {
+                h.edges.insert((a.clone(), b.clone()));
+            } else if b_in_a {
+                h.edges.insert((b.clone(), a.clone()));
+            } else if !inter.is_empty() {
+                let name = opts
+                    .intersection_names
+                    .get(&(a.clone(), b.clone()))
+                    .cloned()
+                    .unwrap_or_else(|| ClassName::new(format!("{b}And{a}")));
+                h.extensions.insert(name.clone(), inter.clone());
+                h.edges.insert((name.clone(), a.clone()));
+                h.edges.insert((name.clone(), b.clone()));
+                h.intersections.push(IntersectionClass {
+                    name,
+                    parents: (a.clone(), b.clone()),
+                    extension: inter,
+                });
+            }
+        }
+    }
+    h
+}
+
+/// Panics if the edge set contains a directed cycle.
+fn assert_edges_acyclic(edges: &BTreeSet<(ClassName, ClassName)>) -> Result<(), String> {
+    let mut adj: BTreeMap<&ClassName, Vec<&ClassName>> = BTreeMap::new();
+    for (sub, sup) in edges {
+        adj.entry(sub).or_default().push(sup);
+    }
+    // Kahn-style elimination: repeatedly drop nodes with no outgoing
+    // edges into un-dropped nodes; leftovers form a cycle.
+    let mut alive: BTreeSet<&ClassName> = edges.iter().flat_map(|(a, b)| [a, b]).collect();
+    loop {
+        let removable: Vec<&ClassName> = alive
+            .iter()
+            .filter(|n| {
+                adj.get(*n)
+                    .map(|outs| outs.iter().all(|m| !alive.contains(m)))
+                    .unwrap_or(true)
+            })
+            .copied()
+            .collect();
+        if removable.is_empty() {
+            break;
+        }
+        for n in removable {
+            alive.remove(n);
+        }
+    }
+    if alive.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("cycle among {alive:?}"))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The count-based hierarchy inference agrees exactly with the naive
+    /// cloned-set oracle on random multi-class fixtures.
+    #[test]
+    fn count_based_inference_matches_set_oracle(
+        locals in prop::collection::vec((0u8..12, 0u8..3), 0..14),
+        remotes in prop::collection::vec((0u8..12, 0u8..3, any::<bool>()), 0..14),
+    ) {
+        let (conf, fused, sims, h) = rich_build(&locals, &remotes);
+        let expect = oracle_hierarchy(&conf, &fused, &sims, &MergeOptions::default());
+        prop_assert_eq!(&h.edges, &expect.edges);
+        prop_assert_eq!(&h.intersections, &expect.intersections);
+        prop_assert_eq!(&h.extensions, &expect.extensions);
+        prop_assert_eq!(&h.virtual_superclasses, &expect.virtual_superclasses);
+    }
+
+    /// The inferred edge set is a DAG on every random fixture, and the
+    /// id map is total over both conformed extents.
+    #[test]
+    fn inferred_edges_acyclic_and_id_map_total(
+        locals in prop::collection::vec((0u8..10, 0u8..3), 0..12),
+        remotes in prop::collection::vec((0u8..10, 0u8..3, any::<bool>()), 0..12),
+    ) {
+        let (conf, fused, _, h) = rich_build(&locals, &remotes);
+        let acyclic = assert_edges_acyclic(&h.edges);
+        prop_assert!(acyclic.is_ok(), "inferred edges must be acyclic: {acyclic:?}");
+        for obj in conf.local.db.objects().chain(conf.remote.db.objects()) {
+            prop_assert!(
+                fused.id_map.contains_key(&obj.id),
+                "id_map must cover conformed object {}", obj.id
+            );
+        }
+        for gid in fused.id_map.values() {
+            prop_assert!(fused.objects.contains_key(gid));
+        }
+    }
+
+    /// Merging the rich fixture is deterministic across runs, hierarchy
+    /// included.
+    #[test]
+    fn rich_merge_deterministic(
+        locals in prop::collection::vec((0u8..8, 0u8..3), 0..10),
+        remotes in prop::collection::vec((0u8..8, 0u8..3, any::<bool>()), 0..10),
+    ) {
+        let (_, fa, _, ha) = rich_build(&locals, &remotes);
+        let (_, fb, _, hb) = rich_build(&locals, &remotes);
+        prop_assert_eq!(&fa.id_map, &fb.id_map);
+        prop_assert_eq!(&ha.edges, &hb.edges);
+        prop_assert_eq!(&ha.extensions, &hb.extensions);
+        prop_assert_eq!(&ha.intersections, &hb.intersections);
+        let attrs_a: Vec<_> = fa.objects.values().map(|g| &g.attrs).collect();
+        let attrs_b: Vec<_> = fb.objects.values().map(|g| &g.attrs).collect();
+        prop_assert_eq!(attrs_a, attrs_b);
     }
 }
 

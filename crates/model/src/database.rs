@@ -210,16 +210,24 @@ impl Database {
     ///
     /// Returns `Null` if any step is null; errors on dangling references.
     pub fn navigate(&self, obj: &Object, path: &[AttrName]) -> Result<Value> {
-        let mut cur = obj.clone();
+        self.navigate_ref(obj, path).cloned()
+    }
+
+    /// Borrowing variant of [`Database::navigate`]: returns a reference
+    /// into the object graph instead of cloning the final value. Hot paths
+    /// (the merge phase's hash joins) use this to compare and hash values
+    /// without allocating.
+    pub fn navigate_ref<'a>(&'a self, obj: &'a Object, path: &[AttrName]) -> Result<&'a Value> {
+        let mut cur = obj;
         for (i, attr) in path.iter().enumerate() {
-            let v = cur.get(attr).clone();
+            let v = cur.get(attr);
             if i + 1 == path.len() {
                 return Ok(v);
             }
             match v {
-                Value::Null => return Ok(Value::Null),
+                Value::Null => return Ok(&Value::Null),
                 Value::Ref(id) => {
-                    cur = self.object_req(id)?.clone();
+                    cur = self.object_req(*id)?;
                 }
                 other => {
                     return Err(ModelError::TypeMismatch {
@@ -231,7 +239,7 @@ impl Database {
                 }
             }
         }
-        Ok(Value::Null)
+        Ok(&Value::Null)
     }
 
     /// Registers a virtual class and migrates nothing — helper used by the

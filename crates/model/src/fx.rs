@@ -1,0 +1,136 @@
+//! A fast, non-cryptographic hasher for hot-path collections.
+//!
+//! The merge pipeline keys maps on [`crate::ObjectId`], identifier
+//! newtypes and [`crate::Value`]; `std`'s default SipHash is a
+//! measurable constant-factor cost there. This module provides an
+//! FxHash-style multiply-rotate hasher (the algorithm popularised by
+//! rustc's `FxHasher`) plus `FxHashMap`/`FxHashSet` aliases.
+//!
+//! Determinism note: iteration order of these maps is *arbitrary* (not
+//! seed-randomised, but insertion- and capacity-dependent). They must
+//! only be used for lookups and accumulation; anything user-visible is
+//! snapshotted into `BTreeMap`/`BTreeSet` at output boundaries so
+//! results stay deterministic. Hashing [`crate::Value`] is sound because
+//! `R64` bans NaN at construction and normalises `-0.0` in its `Hash`
+//! impl, so `Eq` and `Hash` agree on the whole value space.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the 64-bit variant of FxHash
+/// (`0x51_7c_c1_b7_27_22_0a_95`): an odd constant with a good bit mix
+/// under wrapping multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: for each input word,
+/// `state = (state.rotate_left(5) ^ word) * SEED`.
+///
+/// Not DoS-resistant — fine for in-process maps keyed by trusted data,
+/// which is the only way the workspace uses it.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Mix the length in so "ab" + "c" and "a" + "bc" differ.
+            self.mix(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObjectId, Value};
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        assert_ne!(hash_of(&ObjectId::new(1, 2)), hash_of(&ObjectId::new(2, 1)));
+        assert_ne!(hash_of(&Value::str("ab")), hash_of(&Value::str("ba")));
+        assert_ne!(hash_of(&Value::int(1)), hash_of(&Value::int(2)));
+    }
+
+    #[test]
+    fn chunk_boundaries_matter() {
+        // Same bytes split differently must not collide via the tail pad.
+        assert_ne!(
+            hash_of(&Value::str("abcdefg")),
+            hash_of(&Value::str("abcdefg\0"))
+        );
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_reals() {
+        // R64 normalises -0.0, so Int/Real cross-type equality is the only
+        // `sem_eq` nuance — structural Eq is what hashed maps use, and
+        // structurally equal values must collide.
+        assert_eq!(hash_of(&Value::real(0.0)), hash_of(&Value::real(-0.0)));
+        assert_eq!(hash_of(&Value::real(2.5)), hash_of(&Value::real(2.5)));
+    }
+
+    #[test]
+    fn usable_as_map() {
+        let mut m: FxHashMap<Value, u32> = FxHashMap::default();
+        m.insert(Value::str("k1"), 1);
+        m.insert(Value::int(7), 2);
+        assert_eq!(m[&Value::str("k1")], 1);
+        assert_eq!(m[&Value::int(7)], 2);
+        assert!(!m.contains_key(&Value::str("k2")));
+    }
+}

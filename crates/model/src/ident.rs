@@ -24,6 +24,14 @@ macro_rules! ident_newtype {
             pub fn as_str(&self) -> &str {
                 &self.0
             }
+
+            /// A pointer identifying this identifier's shared allocation,
+            /// usable as a cheap cache key on hot paths: clones of one
+            /// identifier share it, and equal identifiers from separate
+            /// allocations merely miss such a cache (never alias).
+            pub fn alloc_ptr(&self) -> usize {
+                self.0.as_ptr() as usize
+            }
         }
 
         impl fmt::Display for $name {

@@ -17,6 +17,7 @@
 
 pub mod database;
 pub mod error;
+pub mod fx;
 pub mod ident;
 pub mod object;
 pub mod schema;
@@ -25,6 +26,7 @@ pub mod value;
 
 pub use database::{Database, Extent};
 pub use error::ModelError;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ident::{AttrName, ClassName, DbName};
 pub use object::{Object, ObjectId};
 pub use schema::{AttrDef, ClassDef, Schema};

@@ -4,6 +4,15 @@
 //! must be usable as `BTreeSet`/`BTreeMap` keys (the constraint solver's
 //! finite-domain reasoning depends on it), so reals are wrapped in [`R64`],
 //! which bans NaN and therefore admits a total order.
+//!
+//! # Hashing invariant
+//!
+//! [`Value`] also derives `Hash` so hot paths (join buckets, id maps,
+//! extent accumulation in `interop-merge`) can use hashed maps instead of
+//! ordered ones. This is sound only because the `Real` variant is NaN-free
+//! by construction: [`R64`] rejects NaN, and its `Hash` impl normalises
+//! `-0.0` to `0.0` so that `Hash` agrees with `Eq` everywhere. Any new
+//! float-bearing variant must preserve this invariant.
 
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -139,8 +148,9 @@ pub enum Value {
     Int(i64),
     /// Real, used for prices and tariffs.
     Real(R64),
-    /// String.
-    Str(String),
+    /// String. Refcounted so cloning a value — which the merge pipeline
+    /// does for every fused attribute — is a pointer bump, not a copy.
+    Str(std::sync::Arc<str>),
     /// Finite set of values, e.g. `editors : Pstring`.
     Set(BTreeSet<Value>),
     /// Reference to another object (e.g. `publisher : Publisher`).
@@ -149,8 +159,8 @@ pub enum Value {
 
 impl Value {
     /// Shorthand for a string value.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(std::sync::Arc::from(s.as_ref()))
     }
 
     /// Shorthand for a real value.
@@ -167,9 +177,9 @@ impl Value {
     pub fn str_set<I, S>(items: I) -> Self
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
-        Value::Set(items.into_iter().map(|s| Value::Str(s.into())).collect())
+        Value::Set(items.into_iter().map(Value::str).collect())
     }
 
     /// Returns true iff this is [`Value::Null`].
@@ -197,7 +207,7 @@ impl Value {
     /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(&**s),
             _ => None,
         }
     }

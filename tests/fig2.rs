@@ -134,3 +134,33 @@ fn similarity_classifies_remote_objects_locally() {
     let refd = v.hierarchy.extension(&ClassName::new("RefereedPubl"));
     assert_eq!(refd.len(), 3); // local 111 (merged), local 888, remote 555
 }
+
+#[test]
+fn inferred_hierarchy_is_acyclic_on_paper_fixture() {
+    // Invariant: the inferred `isa` edge set is a DAG — equal-extent
+    // class pairs must produce a single canonical equivalence edge, never
+    // the mutual pair (Kahn-style elimination finds any leftover cycle).
+    let v = view();
+    let edges = &v.hierarchy.edges;
+    let mut alive: std::collections::BTreeSet<&ClassName> =
+        edges.iter().flat_map(|(a, b)| [a, b]).collect();
+    loop {
+        let removable: Vec<&ClassName> = alive
+            .iter()
+            .filter(|n| {
+                edges
+                    .iter()
+                    .filter(|(sub, _)| sub == **n)
+                    .all(|(_, sup)| !alive.contains(sup))
+            })
+            .copied()
+            .collect();
+        if removable.is_empty() {
+            break;
+        }
+        for n in removable {
+            alive.remove(n);
+        }
+    }
+    assert!(alive.is_empty(), "cycle among classes: {alive:?}");
+}
