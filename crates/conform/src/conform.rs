@@ -6,7 +6,8 @@ use interop_constraint::Catalog;
 use interop_model::Database;
 use interop_spec::{ComparisonRule, Conversion, InterCond, PropEq, Relationship, Spec};
 
-use crate::objectify::{conform_database, conformed_attr_name};
+use crate::interned::PlanIndex;
+use crate::objectify::conform_database;
 use crate::plan::{build_plans, ConformError, SidePlan};
 use crate::rewrite::{ConformNote, RewriteOutcome, Rewriter};
 
@@ -54,11 +55,19 @@ pub fn conform(
     let (lp, rp) = build_plans(spec, &local_db.schema, &remote_db.schema)?;
     let mut notes = Vec::new();
 
-    let local_conf_db = conform_database(local_db, &lp, LOCAL_VIRT_SPACE)?;
-    let remote_conf_db = conform_database(remote_db, &rp, REMOTE_VIRT_SPACE)?;
+    // One interned schema/plan index per side, shared by the database
+    // transformation, every constraint rewrite, and the spec rewrite —
+    // the schema hierarchy is walked once, not once per constraint path.
+    let lidx = PlanIndex::new(&local_db.schema, &lp);
+    let ridx = PlanIndex::new(&remote_db.schema, &rp);
+    let lrw = Rewriter::new(&lidx);
+    let rrw = Rewriter::new(&ridx);
 
-    let local_catalog = conform_catalog(local_db, local_cat, &lp, &mut notes);
-    let mut remote_catalog = conform_catalog(remote_db, remote_cat, &rp, &mut notes);
+    let local_conf_db = conform_database(local_db, &lidx, LOCAL_VIRT_SPACE)?;
+    let remote_conf_db = conform_database(remote_db, &ridx, REMOTE_VIRT_SPACE)?;
+
+    let local_catalog = conform_catalog(local_cat, &lrw, &mut notes);
+    let mut remote_catalog = conform_catalog(remote_cat, &rrw, &mut notes);
 
     // Value view: remote counterpart objects would be hidden into values;
     // constraints on them that reach outside the descriptive value set
@@ -67,7 +76,7 @@ pub fn conform(
         hide_counterpart_constraints(spec, remote_cat, &mut remote_catalog, &mut notes);
     }
 
-    let conf_spec = conform_spec(spec, local_db, remote_db, &lp, &rp, &mut notes)?;
+    let conf_spec = conform_spec(spec, &lrw, &rrw, &mut notes)?;
 
     Ok(Conformed {
         local: ConformedSide {
@@ -85,13 +94,7 @@ pub fn conform(
     })
 }
 
-fn conform_catalog(
-    db: &Database,
-    cat: &Catalog,
-    plan: &SidePlan,
-    notes: &mut Vec<ConformNote>,
-) -> Catalog {
-    let rw = Rewriter::new(&db.schema, plan);
+fn conform_catalog(cat: &Catalog, rw: &Rewriter, notes: &mut Vec<ConformNote>) -> Catalog {
     let mut out = Catalog::new();
     for oc in cat.all_object() {
         match rw.rewrite_object_constraint(oc) {
@@ -160,14 +163,11 @@ fn hide_counterpart_constraints(
 
 fn conform_spec(
     spec: &Spec,
-    local_db: &Database,
-    remote_db: &Database,
-    lp: &SidePlan,
-    rp: &SidePlan,
+    lrw: &Rewriter,
+    rrw: &Rewriter,
     notes: &mut Vec<ConformNote>,
 ) -> Result<Spec, ConformError> {
-    let lrw = Rewriter::new(&local_db.schema, lp);
-    let rrw = Rewriter::new(&remote_db.schema, rp);
+    let lp = lrw.index.plan;
     let mut out = Spec::new(spec.local_db.clone(), spec.remote_db.clone());
     out.object_view = spec.object_view;
     out.status_overrides = spec.status_overrides.clone();
@@ -225,8 +225,8 @@ fn conform_spec(
                 let mut r2 = rule.clone();
                 // Subject-side intra condition.
                 let (subj_rw, subj_schema_class) = match rule.subject_side {
-                    interop_spec::Side::Local => (&lrw, &rule.subject_class),
-                    interop_spec::Side::Remote => (&rrw, &rule.subject_class),
+                    interop_spec::Side::Local => (lrw, &rule.subject_class),
+                    interop_spec::Side::Remote => (rrw, &rule.subject_class),
                 };
                 r2.intra_subject = subj_rw
                     .rewrite_formula(subj_schema_class, &rule.intra_subject)
@@ -271,7 +271,7 @@ fn conform_spec(
         let la = pe.local_path.head().cloned().unwrap_or_default();
         let ra = pe.remote_path.head().cloned().unwrap_or_default();
         // Objectified local property: the propeq moves to the virtual class.
-        if let Some(o) = lp.objectify_for(&local_db.schema, &pe.local_class, &la) {
+        if let Some(o) = lrw.index.objectify_for(&pe.local_class, &la) {
             let virt_attr = o
                 .attr_names
                 .iter()
@@ -282,12 +282,9 @@ fn conform_spec(
                 local_class: o.virt_class.clone(),
                 local_path: interop_constraint::Path::attr(virt_attr.clone()),
                 remote_class: pe.remote_class.clone(),
-                remote_path: interop_constraint::Path::attr(conformed_attr_name(
-                    &remote_db.schema,
-                    rp,
-                    &pe.remote_class,
-                    &ra,
-                )),
+                remote_path: interop_constraint::Path::attr(
+                    rrw.index.conformed_attr_name(&pe.remote_class, &ra),
+                ),
                 cf_local: Conversion::Id,
                 cf_remote: Conversion::Id,
                 df: pe.df,

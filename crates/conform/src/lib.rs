@@ -23,10 +23,12 @@
 //! downstream.
 
 pub mod conform;
+pub mod interned;
 pub mod objectify;
 pub mod plan;
 pub mod rewrite;
 
 pub use conform::{conform, Conformed, ConformedSide};
+pub use interned::{AttrAction, AttrInfo, PlanIndex};
 pub use plan::{AttrPlan, ConformError, Objectify, SidePlan};
 pub use rewrite::{ConformNote, RewriteOutcome, Rewriter};

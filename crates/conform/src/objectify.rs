@@ -1,11 +1,11 @@
 //! Database transformation: attribute renames, value conversion, and
 //! value→object conversion (virtual classes).
 
-use std::collections::BTreeMap;
+use interop_model::fx::FxHashMap;
+use interop_model::{ClassDef, Database, Object, Schema, Type, Value};
 
-use interop_model::{AttrName, ClassDef, Database, Object, Schema, Type, Value};
-
-use crate::plan::{ConformError, SidePlan};
+use crate::interned::PlanIndex;
+use crate::plan::ConformError;
 
 /// Applies a side's plan to its database: builds the conformed schema
 /// (renamed/retyped attributes, virtual classes), converts every stored
@@ -15,19 +15,21 @@ use crate::plan::{ConformError, SidePlan};
 /// differ from both component databases' spaces.
 pub fn conform_database(
     db: &Database,
-    plan: &SidePlan,
+    index: &PlanIndex,
     virt_space: u32,
 ) -> Result<Database, ConformError> {
-    let schema = conform_schema(&db.schema, plan)?;
+    let schema = conform_schema(index)?;
     let mut out = Database::new(schema, db.space());
-    // Virtual object registry: (virt class, value tuple) → id.
-    let mut virt_ids: BTreeMap<(interop_model::ClassName, Vec<Value>), interop_model::ObjectId> =
-        BTreeMap::new();
+    // Virtual object registry: (virt class, value tuple) → id. Ids are
+    // assigned in first-encounter order while objects iterate in id
+    // order, so a hashed registry changes nothing user-visible.
+    let mut virt_ids: FxHashMap<(interop_model::ClassName, Vec<Value>), interop_model::ObjectId> =
+        FxHashMap::default();
     let mut next_virt: u64 = 0;
     for obj in db.objects() {
         let mut new_obj = Object::new(obj.id, obj.class.clone());
         for (attr, value) in &obj.attrs {
-            if let Some(o) = plan.objectify_for(&db.schema, &obj.class, attr) {
+            if let Some(o) = index.objectify_for(&obj.class, attr) {
                 // Collect the full value tuple for this objectification.
                 if attr != &o.ref_attr {
                     continue; // handled when we meet the ref attr
@@ -52,7 +54,7 @@ pub fn conform_database(
                 new_obj.set(o.ref_attr.clone(), Value::Ref(virt_id));
                 continue;
             }
-            let (new_name, converted) = match plan.attr_plan(&db.schema, &obj.class, attr) {
+            let (new_name, converted) = match index.attr_plan(&obj.class, attr) {
                 Some(ap) => {
                     let v = ap.conversion.apply(value).ok_or_else(|| {
                         ConformError::UnconvertibleValue {
@@ -76,7 +78,9 @@ pub fn conform_database(
 /// Builds the conformed schema: renames/retypes planned attributes,
 /// replaces objectified value attributes with a reference to the new
 /// virtual class, and installs the virtual classes.
-pub fn conform_schema(schema: &Schema, plan: &SidePlan) -> Result<Schema, ConformError> {
+pub fn conform_schema(index: &PlanIndex) -> Result<Schema, ConformError> {
+    let schema = index.schema;
+    let plan = index.plan;
     let mut defs: Vec<ClassDef> = Vec::new();
     for def in schema.classes() {
         let mut new_def = ClassDef::new(def.name.clone());
@@ -87,14 +91,14 @@ pub fn conform_schema(schema: &Schema, plan: &SidePlan) -> Result<Schema, Confor
             new_def = new_def.virt();
         }
         for a in &def.attrs {
-            if let Some(o) = plan.objectify_for(schema, &def.name, &a.name) {
+            if let Some(o) = index.objectify_for(&def.name, &a.name) {
                 if a.name == o.ref_attr {
                     new_def = new_def.attr(o.ref_attr.clone(), Type::Ref(o.virt_class.clone()));
                 }
                 // Non-ref value attributes disappear into the virtual class.
                 continue;
             }
-            match plan.attr_plan(schema, &def.name, &a.name) {
+            match index.attr_plan(&def.name, &a.name) {
                 // Only rename/retype at the declaring class (the plan's
                 // class must be an ancestor-or-self of the declarer).
                 Some(ap) => {
@@ -125,24 +129,11 @@ pub fn conform_schema(schema: &Schema, plan: &SidePlan) -> Result<Schema, Confor
     Schema::new(schema.db.clone(), defs).map_err(|e| ConformError::Model(e.to_string()))
 }
 
-/// Convenience: the renamed form of an attribute on a class (identity
-/// when unplanned).
-pub fn conformed_attr_name(
-    schema: &Schema,
-    plan: &SidePlan,
-    class: &interop_model::ClassName,
-    attr: &AttrName,
-) -> AttrName {
-    plan.attr_plan(schema, class, attr)
-        .map(|p| p.new_name.clone())
-        .unwrap_or_else(|| attr.clone())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::build_plans;
-    use interop_model::ClassName;
+    use crate::plan::{build_plans, SidePlan};
+    use interop_model::{AttrName, ClassName};
     use interop_spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Side, Spec};
 
     fn setup() -> (Database, SidePlan) {
@@ -226,7 +217,8 @@ mod tests {
     #[test]
     fn schema_gains_virtual_class_and_renames() {
         let (db, lp) = setup();
-        let s2 = conform_schema(&db.schema, &lp).unwrap();
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let s2 = conform_schema(&idx).unwrap();
         let virt = s2.class(&ClassName::new("VirtPublisher")).unwrap();
         assert!(virt.virtual_class);
         assert_eq!(virt.attrs[0].name, AttrName::new("name"));
@@ -252,7 +244,8 @@ mod tests {
     #[test]
     fn values_converted_and_virt_objects_deduped() {
         let (db, lp) = setup();
-        let out = conform_database(&db, &lp, 9).unwrap();
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let out = conform_database(&db, &idx, 9).unwrap();
         // Two distinct publishers → two virtual objects.
         assert_eq!(out.extent(&ClassName::new("VirtPublisher")).len(), 2);
         // Rating 3 on the 1..5 scale became 6 on the 1..10 scale.
@@ -283,9 +276,36 @@ mod tests {
     }
 
     #[test]
+    fn virtual_id_assignment_deterministic() {
+        // Virtual ids are assigned in first-encounter order over the
+        // id-ordered object iteration; the hashed registry must not leak
+        // its iteration order into the output.
+        let (db, lp) = setup();
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let a = conform_database(&db, &idx, 9).unwrap();
+        let b = conform_database(&db, &idx, 9).unwrap();
+        let ids = |d: &Database| -> Vec<(interop_model::ObjectId, Value)> {
+            d.extension(&ClassName::new("VirtPublisher"))
+                .into_iter()
+                .map(|id| {
+                    (
+                        id,
+                        d.object(id).unwrap().get(&AttrName::new("name")).clone(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b));
+        // First ACM publication appears before the IEEE one, so the ACM
+        // virtual object gets the first serial.
+        assert_eq!(ids(&a)[0].1, Value::str("ACM"));
+    }
+
+    #[test]
     fn object_ids_preserved() {
         let (db, lp) = setup();
-        let out = conform_database(&db, &lp, 9).unwrap();
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let out = conform_database(&db, &idx, 9).unwrap();
         for obj in db.objects() {
             assert!(out.object(obj.id).is_some(), "object {} lost", obj.id);
         }

@@ -111,8 +111,11 @@ pub struct Objectify {
 /// The conformation plan for one side.
 #[derive(Clone, Debug, Default)]
 pub struct SidePlan {
-    /// Attribute-level actions, keyed by the propeq's declaring class and
-    /// the attribute's name. Lookup is hierarchy-aware ([`SidePlan::attr_plan`]).
+    /// Attribute-level actions, keyed by the **declaring** class of the
+    /// attribute and its name ([`build_plans`] normalises a propeq stated
+    /// on a subclass up to the declarer, so the schema rename and the
+    /// per-object value rename always agree). Lookup is hierarchy-aware
+    /// ([`SidePlan::attr_plan`]).
     pub attr_map: BTreeMap<(ClassName, AttrName), AttrPlan>,
     /// Object–value conflicts to settle on this side.
     pub objectifications: Vec<Objectify>,
@@ -197,6 +200,15 @@ pub fn build_plans(
                 .first()
                 .map(|(a, _)| a.clone())
                 .ok_or_else(|| ConformError::MultiSegmentPath("<empty value set>".into()))?;
+            // Normalise to the declaring class of the reference attribute:
+            // the schema replaces the value attribute where it is declared,
+            // so the objectification must govern exactly that subtree — a
+            // rule stated on a subclass would otherwise rewrite subclass
+            // objects into a shape the conformed schema rejects.
+            let described = local
+                .resolve_attr(described, &ref_attr)
+                .map(|(c, _)| c.clone())
+                .expect("value attribute resolved above");
             lp.objectifications.push(Objectify {
                 described_class: described.clone(),
                 virt_class: ClassName::new(format!("Virt{}", rule.subject_class)),
@@ -210,13 +222,13 @@ pub fn build_plans(
         let la = head_attr(&pe.local_path)?;
         let ra = head_attr(&pe.remote_path)?;
         let conformed = head_attr(&pe.conformed_name)?;
-        let (_, ldef) = local.resolve_attr(&pe.local_class, &la).ok_or_else(|| {
+        let (ldecl, ldef) = local.resolve_attr(&pe.local_class, &la).ok_or_else(|| {
             ConformError::UnknownProperty {
                 class: pe.local_class.clone(),
                 path: la.to_string(),
             }
         })?;
-        let (_, rdef) = remote.resolve_attr(&pe.remote_class, &ra).ok_or_else(|| {
+        let (rdecl, rdef) = remote.resolve_attr(&pe.remote_class, &ra).ok_or_else(|| {
             ConformError::UnknownProperty {
                 class: pe.remote_class.clone(),
                 path: ra.to_string(),
@@ -256,8 +268,11 @@ pub fn build_plans(
                 }
             }
         } else {
+            // Key by the declaring class (normalising propeqs stated on a
+            // subclass) so the schema-level rename and the per-object
+            // value rename cover the same set of objects.
             lp.attr_map.insert(
-                (pe.local_class.clone(), la),
+                (ldecl.clone(), la),
                 AttrPlan {
                     new_name: conformed.clone(),
                     conversion: pe.cf_local.clone(),
@@ -266,7 +281,7 @@ pub fn build_plans(
             );
         }
         rp.attr_map.insert(
-            (pe.remote_class.clone(), ra),
+            (rdecl.clone(), ra),
             AttrPlan {
                 new_name: conformed,
                 conversion: pe.cf_remote.clone(),

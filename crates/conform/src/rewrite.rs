@@ -6,10 +6,10 @@ use interop_constraint::{
     ClassConstraint, ClassConstraintBody, CmpOp, DbConstraint, Expr, Formula, ObjectConstraint,
     Path,
 };
-use interop_model::{ClassName, Schema, Type, Value};
+use interop_model::{ClassName, Type, Value};
 use interop_spec::Conversion;
 
-use crate::plan::SidePlan;
+use crate::interned::PlanIndex;
 
 /// A note about a constraint that could not be conformed exactly and was
 /// therefore dropped (conservative) or otherwise adjusted.
@@ -32,18 +32,18 @@ pub enum RewriteOutcome {
     Dropped(ConformNote),
 }
 
-/// Rewrites formulas and constraints for one side according to its plan.
+/// Rewrites formulas and constraints for one side against the side's
+/// shared [`PlanIndex`] — one interned index serves every constraint and
+/// every spec rule, instead of re-walking the schema per path.
 pub struct Rewriter<'a> {
-    /// The side's (pre-conformation) schema.
-    pub schema: &'a Schema,
-    /// The side's plan.
-    pub plan: &'a SidePlan,
+    /// The shared flattened schema/plan index.
+    pub index: &'a PlanIndex<'a>,
 }
 
 impl<'a> Rewriter<'a> {
-    /// Creates a rewriter.
-    pub fn new(schema: &'a Schema, plan: &'a SidePlan) -> Self {
-        Rewriter { schema, plan }
+    /// Creates a rewriter over a side's interned index.
+    pub fn new(index: &'a PlanIndex<'a>) -> Self {
+        Rewriter { index }
     }
 
     /// Rewrites a path on `class`: objectified value attributes extend
@@ -62,7 +62,7 @@ impl<'a> Rewriter<'a> {
         while i < path.0.len() {
             let attr = &path.0[i];
             let last = i + 1 == path.0.len();
-            if let Some(o) = self.plan.objectify_for(self.schema, &cur, attr) {
+            if let Some(o) = self.index.objectify_for(&cur, attr) {
                 if last {
                     // Bare value attribute: extend into the virtual class.
                     let virt_attr = o
@@ -94,16 +94,17 @@ impl<'a> Rewriter<'a> {
                     "path continues past objectified value attribute '{attr}'"
                 ));
             }
-            let (new_name, cv) = match self.plan.attr_plan(self.schema, &cur, attr) {
+            let (new_name, cv) = match self.index.attr_plan(&cur, attr) {
                 Some(p) => (p.new_name.clone(), p.conversion.clone()),
                 None => (attr.clone(), Conversion::Id),
             };
             out.push(new_name);
             terminal = cv;
             if !last {
-                let (_, def) = self
-                    .schema
-                    .resolve_attr(&cur, attr)
+                let def = self
+                    .index
+                    .attr(&cur, attr)
+                    .map(|info| info.def)
                     .ok_or_else(|| format!("unknown attribute '{cur}.{attr}'"))?;
                 match &def.ty {
                     Type::Ref(c2) => cur = c2.clone(),
@@ -258,13 +259,14 @@ impl<'a> Rewriter<'a> {
     pub fn unrewrite_formula(&self, class: &ClassName, f: &Formula) -> Result<Formula, String> {
         // Enumerate original candidate paths (length ≤ 2) and build the
         // conformed → (original, inverse conversion) map.
+        let schema = self.index.schema;
         let mut map: std::collections::BTreeMap<Path, (Path, Conversion)> =
             std::collections::BTreeMap::new();
         let mut candidates: Vec<Path> = Vec::new();
-        for a in self.schema.all_attrs(class) {
+        for a in schema.all_attrs(class) {
             candidates.push(Path::attr(a.name.clone()));
             if let Type::Ref(target) = &a.ty {
-                for b in self.schema.all_attrs(target) {
+                for b in schema.all_attrs(target) {
                     candidates.push(Path(vec![a.name.clone(), b.name.clone()]));
                 }
             }
@@ -375,8 +377,8 @@ impl<'a> Rewriter<'a> {
         };
         // Reallocation: all paths start with an objectification's ref
         // attribute on this constraint's class.
-        for o in &self.plan.objectifications {
-            if !self.schema.is_subclass(&c.class, &o.described_class) {
+        for o in &self.index.plan.objectifications {
+            if !self.index.is_subclass(&c.class, &o.described_class) {
                 continue;
             }
             let paths = formula.paths();
@@ -544,9 +546,10 @@ impl<'a> Rewriter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interned::PlanIndex;
     use crate::plan::{build_plans, SidePlan};
     use interop_constraint::{ConstraintId, Formula};
-    use interop_model::{AttrName, ClassDef, DbName};
+    use interop_model::{AttrName, ClassDef, DbName, Schema};
     use interop_spec::{ComparisonRule, Decision, InterCond, PropEq, Side, Spec};
 
     fn setup() -> (Schema, Schema, SidePlan, SidePlan) {
@@ -632,7 +635,8 @@ mod tests {
         // §4: RefereedPubl ocl `rating >= 2` conformed via multiply(2)
         // becomes `rating >= 4`.
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let c = ObjectConstraint::new(
             ConstraintId::new(
                 &DbName::new("CSLibrary"),
@@ -655,7 +659,8 @@ mod tests {
         // §4: oc2 `publisher in KNOWNPUBLISHERS` moves to VirtPublisher as
         // `name in KNOWNPUBLISHERS`.
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let c = ObjectConstraint::new(
             cid("oc2"),
             "Publication",
@@ -674,7 +679,8 @@ mod tests {
     fn rename_in_two_path_comparison() {
         // ocl: ourprice <= shopprice → libprice <= shopprice.
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let c = ObjectConstraint::new(
             cid("oc1"),
             "Publication",
@@ -691,7 +697,8 @@ mod tests {
     #[test]
     fn differing_conversions_in_comparison_dropped() {
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let c = ObjectConstraint::new(
             ConstraintId::new(
                 &DbName::new("CSLibrary"),
@@ -714,7 +721,8 @@ mod tests {
     #[test]
     fn in_set_converted() {
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let f = Formula::isin("rating", [1i64, 3]);
         let out = rw
             .rewrite_formula(&ClassName::new("ScientificPubl"), &f)
@@ -727,7 +735,8 @@ mod tests {
         // Remote constraints use publisher.name; the remote plan leaves
         // Publisher.name in place (it is the conformed name).
         let (_, remote, _, rp) = setup();
-        let rw = Rewriter::new(&remote, &rp);
+        let idx = PlanIndex::new(&remote, &rp);
+        let rw = Rewriter::new(&idx);
         let f = Formula::cmp("publisher.name", CmpOp::Eq, "ACM").implies(Formula::cmp(
             "rating",
             CmpOp::Ge,
@@ -745,7 +754,8 @@ mod tests {
     #[test]
     fn aggregate_bound_scaling() {
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         // avg rating < 4 on the 1..5 scale → avg rating < 8 on 1..10.
         let c = ClassConstraint::new(
             ConstraintId::new(
@@ -771,7 +781,8 @@ mod tests {
     #[test]
     fn key_rename_and_objectified_key_rejected() {
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let key = ClassConstraint::key(cid("cc1"), "Publication", vec!["isbn"]);
         let out = rw.rewrite_class_constraint(&key).unwrap();
         match &out.body {
@@ -785,7 +796,8 @@ mod tests {
     #[test]
     fn contains_under_conversion_dropped() {
         let (local, _, lp, _) = setup();
-        let rw = Rewriter::new(&local, &lp);
+        let idx = PlanIndex::new(&local, &lp);
+        let rw = Rewriter::new(&idx);
         let f = Formula::Contains(Expr::attr("rating"), "x".into());
         assert!(rw
             .rewrite_formula(&ClassName::new("ScientificPubl"), &f)

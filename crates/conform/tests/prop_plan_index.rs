@@ -1,0 +1,199 @@
+//! Differential property suite for the interned conform index: on random
+//! schema hierarchies and random specs, every [`PlanIndex`] lookup must
+//! agree with the naive hierarchy-walking [`SidePlan`] lookups it
+//! replaced, and the full conformation built on top of it must be
+//! deterministic.
+
+use interop_conform::{conform, PlanIndex, SidePlan};
+use interop_constraint::Catalog;
+use interop_model::{AttrName, ClassDef, ClassName, Database, Schema, Type, Value};
+use interop_spec::{ComparisonRule, Conversion, Decision, InterCond, PropEq, Side, Spec};
+use proptest::prelude::*;
+
+const ATTRS: [(&str, &str); 5] = [
+    ("a0", "b0"),
+    ("a1", "b1"),
+    ("a2", "b2"),
+    ("a3", "b3"),
+    ("a4", "b4"),
+];
+
+fn attr_type(j: usize) -> Type {
+    match j % 4 {
+        0 => Type::Int,
+        1 => Type::Str,
+        2 => Type::Real,
+        _ => Type::Range(1, 5),
+    }
+}
+
+/// A chain hierarchy `L0 ← L1 ← … ← L{n-1}` where attribute `a_j` is
+/// declared on class `L{j % n}` — inherited lookups cross class
+/// boundaries for every deeper class.
+fn local_schema(n: usize) -> Schema {
+    let mut defs = Vec::new();
+    for i in 0..n {
+        let mut def = ClassDef::new(format!("L{i}"));
+        if i > 0 {
+            def = def.isa(format!("L{}", i - 1));
+        }
+        for (j, (a, _)) in ATTRS.iter().enumerate() {
+            if j % n == i {
+                def = def.attr(*a, attr_type(j));
+            }
+        }
+        defs.push(def);
+    }
+    Schema::new("PL", defs).expect("chain schema is valid")
+}
+
+fn remote_schema() -> Schema {
+    let mut item = ClassDef::new("R0");
+    for (j, (_, b)) in ATTRS.iter().enumerate() {
+        item = item.attr(*b, attr_type(j));
+    }
+    Schema::new(
+        "PR",
+        vec![item, ClassDef::new("Aux").attr("name", Type::Str)],
+    )
+    .expect("remote schema is valid")
+}
+
+/// Builds a spec from selector words: for each attribute, whether a
+/// propeq exists and which descendant class declares it; optionally a
+/// descriptivity rule over a string attribute.
+fn build_spec(n: usize, propeq_sel: &[(bool, u8)], descr: Option<u8>) -> Spec {
+    let mut spec = Spec::new("PL", "PR");
+    let mut objectified: Option<usize> = None;
+    if let Some(d) = descr {
+        // Pick a string attribute (j % 4 == 1) for objectification.
+        let j = [1usize, 1, 1][(d as usize) % 3]; // a1 is the only Str below 4
+        let declaring = j % n;
+        let class = format!("L{}", declaring + (d as usize) % (n - declaring).max(1));
+        spec.add_rule(ComparisonRule::descriptivity(
+            "rd",
+            class,
+            vec![ATTRS[j].0],
+            "Aux",
+            vec![InterCond::eq(ATTRS[j].0, "name")],
+        ));
+        objectified = Some(j);
+    }
+    for (j, (enabled, class_off)) in propeq_sel.iter().enumerate().take(ATTRS.len()) {
+        if !enabled {
+            continue;
+        }
+        let declaring = j % n;
+        // Any descendant (or the declarer itself) may host the propeq.
+        let host = declaring + (*class_off as usize) % (n - declaring).max(1);
+        let conv = if matches!(attr_type(j), Type::Range(_, _)) && class_off % 2 == 0 {
+            Conversion::Multiply(2.0)
+        } else {
+            Conversion::Id
+        };
+        if objectified == Some(j) {
+            continue; // the descriptivity rule owns this attribute
+        }
+        spec.add_propeq(PropEq::named_after_remote(
+            format!("L{host}"),
+            ATTRS[j].0,
+            "R0",
+            ATTRS[j].1,
+            conv,
+            Conversion::Id,
+            Decision::Trust(Side::Local),
+        ));
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every interned lookup agrees with the naive hierarchy walk, for
+    /// every (class, attribute) pair of the random schema.
+    #[test]
+    fn plan_index_matches_naive_walk(
+        n in 1usize..5,
+        propeq_sel in prop::collection::vec((any::<bool>(), 0u8..8), 5..6),
+        with_descr in any::<bool>(),
+        descr_sel in 0u8..8,
+    ) {
+        let local = local_schema(n);
+        let remote = remote_schema();
+        let spec = build_spec(n, &propeq_sel, with_descr.then_some(descr_sel));
+        let (lp, rp): (SidePlan, SidePlan) =
+            interop_conform::plan::build_plans(&spec, &local, &remote)
+                .expect("generated specs are well-typed");
+        for (schema, plan) in [(&local, &lp), (&remote, &rp)] {
+            let idx = PlanIndex::new(schema, plan);
+            for def in schema.classes() {
+                for adef in schema.all_attrs(&def.name) {
+                    let class = &def.name;
+                    let attr = &adef.name;
+                    prop_assert_eq!(
+                        idx.attr_plan(class, attr),
+                        plan.attr_plan(schema, class, attr),
+                        "attr_plan diverges on {}.{}", class, attr
+                    );
+                    prop_assert_eq!(
+                        idx.objectify_for(class, attr).map(|o| &o.virt_class),
+                        plan.objectify_for(schema, class, attr).map(|o| &o.virt_class),
+                        "objectify_for diverges on {}.{}", class, attr
+                    );
+                }
+                for other in schema.classes() {
+                    prop_assert_eq!(
+                        idx.is_subclass(&def.name, &other.name),
+                        schema.is_subclass(&def.name, &other.name),
+                        "is_subclass diverges on {} / {}", def.name, other.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Conformation over the interned index is deterministic: two runs on
+    /// the same random input produce identical schemas, catalogs and
+    /// extents (guards the hashed registries against order leaks).
+    #[test]
+    fn conform_is_deterministic(
+        n in 1usize..5,
+        propeq_sel in prop::collection::vec((any::<bool>(), 0u8..8), 5..6),
+        objs in prop::collection::vec((0u8..4, 0i64..50, 0u8..5), 0..12),
+    ) {
+        let local = local_schema(n);
+        let remote = remote_schema();
+        let spec = build_spec(n, &propeq_sel, None);
+        let mut ldb = Database::new(local, 1);
+        for (class, num, s) in &objs {
+            let class = format!("L{}", (*class as usize) % n);
+            let mut attrs: Vec<(&str, Value)> = Vec::new();
+            for (j, (a, _)) in ATTRS.iter().enumerate() {
+                if ldb.schema.resolve_attr(&ClassName::new(&class), &AttrName::new(*a)).is_none() {
+                    continue;
+                }
+                match attr_type(j) {
+                    Type::Int => attrs.push((*a, Value::int(*num))),
+                    Type::Str => attrs.push((*a, Value::str(format!("s{s}")))),
+                    Type::Real => attrs.push((*a, Value::real(*num as f64 / 2.0))),
+                    _ => attrs.push((*a, Value::int(1 + (*num % 5)))),
+                }
+            }
+            ldb.create(class, attrs).expect("typed object");
+        }
+        let rdb = Database::new(remote, 2);
+        let run = || {
+            conform(&ldb, &Catalog::new(), &rdb, &Catalog::new(), &spec)
+                .expect("generated inputs conform")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.local.db.schema, b.local.db.schema);
+        prop_assert_eq!(a.local.db.len(), b.local.db.len());
+        for obj in a.local.db.objects() {
+            let other = b.local.db.object(obj.id).expect("same ids");
+            prop_assert_eq!(obj, other);
+        }
+        prop_assert_eq!(a.notes.len(), b.notes.len());
+    }
+}

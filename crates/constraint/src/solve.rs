@@ -591,6 +591,51 @@ pub fn equivalent(phi: &Formula, psi: &Formula, env: &TypeEnv) -> bool {
     implies(phi, psi, env) && implies(psi, phi, env)
 }
 
+/// Is the formula free of arithmetic (`Bin`/`Neg`) expressions? Such
+/// formulas evaluate two-valued whenever all their paths are non-null,
+/// which is what lets the query planner transfer the solver's classical
+/// entailments to the three-valued evaluator.
+pub fn arithmetic_free(f: &Formula) -> bool {
+    fn expr_free(e: &Expr) -> bool {
+        match e {
+            Expr::Const(_) | Expr::Attr(_) => true,
+            Expr::Neg(_) | Expr::Bin(..) => false,
+        }
+    }
+    match f {
+        Formula::True | Formula::False => true,
+        Formula::Cmp(a, _, b) => expr_free(a) && expr_free(b),
+        Formula::In(e, _) | Formula::Contains(e, _) => expr_free(e),
+        Formula::Not(inner) => arithmetic_free(inner),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(arithmetic_free),
+        Formula::Implies(a, b) => arithmetic_free(a) && arithmetic_free(b),
+    }
+}
+
+/// Restricted entailment for the query planner's implied-true pruning:
+/// proves `constraints ⊨ target` using **only** premises whose paths are a
+/// subset of `target`'s paths, with both sides free of arithmetic.
+///
+/// The restriction is what makes the classical proof transfer to the
+/// three-valued evaluator: on any object where all of `target`'s paths are
+/// non-null, every usable premise evaluates two-valued — and, being
+/// store-enforced (never `False`), evaluates `True` — so `target`
+/// evaluates `True` as well. Premises reaching *other* paths may be
+/// `Unknown` on such an object and therefore cannot be used.
+pub fn implied_by_restricted(constraints: &[Formula], target: &Formula, env: &TypeEnv) -> bool {
+    if !arithmetic_free(target) {
+        return false;
+    }
+    let target_paths = target.paths();
+    let usable: Vec<Formula> = constraints
+        .iter()
+        .filter(|c| arithmetic_free(c) && c.paths().is_subset(&target_paths))
+        .cloned()
+        .collect();
+    let premise = Formula::conj(usable);
+    implies(&premise, target, env)
+}
+
 /// Is the conjunction of all formulas unsatisfiable? (The paper's
 /// *explicit conflict*: `Ω̂ ⊨ false`.)
 pub fn conjunction_unsat(fs: &[&Formula], env: &TypeEnv) -> bool {
@@ -1087,6 +1132,54 @@ mod tests {
         assert!(conjunction_unsat(&[&a, &b], &e));
         let c = Formula::cmp("rating", CmpOp::Ge, 2i64);
         assert!(!conjunction_unsat(&[&a, &c], &e));
+    }
+
+    #[test]
+    fn restricted_implication_uses_only_covered_premises() {
+        let e = env();
+        let enforced = [
+            Formula::cmp("rating", CmpOp::Ge, 5i64),
+            Formula::Cmp(Expr::attr("libprice"), CmpOp::Le, Expr::attr("shopprice")),
+        ];
+        // rating >= 2 follows from the rating premise alone.
+        assert!(implied_by_restricted(
+            &enforced,
+            &Formula::cmp("rating", CmpOp::Ge, 2i64),
+            &e
+        ));
+        // libprice <= shopprice is entailed classically, but the premise
+        // mentions shopprice, which the target 'libprice <= 1e9' does not
+        // cover — the premise may be Unknown where the target's paths are
+        // non-null, so the restricted check must refuse.
+        assert!(!implied_by_restricted(
+            &enforced,
+            &Formula::cmp("libprice", CmpOp::Le, 1e9),
+            &e
+        ));
+        // Not entailed at all.
+        assert!(!implied_by_restricted(
+            &enforced,
+            &Formula::cmp("rating", CmpOp::Ge, 6i64),
+            &e
+        ));
+    }
+
+    #[test]
+    fn arithmetic_free_classification() {
+        assert!(arithmetic_free(&Formula::cmp("rating", CmpOp::Ge, 5i64)));
+        assert!(arithmetic_free(&Formula::isin("trav_reimb", [10i64, 20])));
+        let arith = Formula::Cmp(
+            Expr::Bin(
+                Box::new(Expr::attr("rating")),
+                ArithOp::Add,
+                Box::new(Expr::val(1i64)),
+            ),
+            CmpOp::Ge,
+            Expr::val(5i64),
+        );
+        assert!(!arithmetic_free(&arith));
+        // Arithmetic targets are refused outright.
+        assert!(!implied_by_restricted(&[Formula::True], &arith, &env()));
     }
 
     #[test]

@@ -229,7 +229,8 @@ impl Integrator {
                         (&self.remote_db.schema, &outcome.conformed.remote.plan)
                     }
                 };
-                let rw = interop_conform::Rewriter::new(schema, plan);
+                let idx = interop_conform::PlanIndex::new(schema, plan);
+                let rw = interop_conform::Rewriter::new(&idx);
                 let cond = rw
                     .unrewrite_formula(&orig_rule.subject_class, &add_condition)
                     .ok()?;

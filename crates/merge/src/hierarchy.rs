@@ -274,22 +274,9 @@ fn chain_any(local: &Schema, remote: &Schema, class: &ClassName) -> (ChainSide, 
     }
 }
 
-/// Intersection of two ascending id lists by a linear merge walk.
+/// Intersection of two ascending id lists (shared linear-merge walk).
 fn intersect_sorted(a: &[ObjectId], b: &[ObjectId]) -> BTreeSet<ObjectId> {
-    let mut out = BTreeSet::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.insert(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
+    interop_model::intersect_sorted(a, b).into_iter().collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,37 @@
+//! Small shared algorithms over sorted sequences.
+
+/// Intersection of two ascending slices by a linear merge walk, returned
+/// ascending. Shared by the merge phase's hierarchy inference and the
+/// storage planner's posting-list intersection.
+pub fn intersect_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersects_ascending_slices() {
+        assert_eq!(
+            intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]),
+            vec![3, 7]
+        );
+        assert_eq!(intersect_sorted::<i64>(&[], &[1, 2]), Vec::<i64>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<i32>::new());
+        assert_eq!(intersect_sorted(&[5], &[5]), vec![5]);
+    }
+}

@@ -15,6 +15,7 @@
 //! loss-lessly: attribute types include ranges (`1..5`), set types
 //! (`Pstring`), and object references (`publisher : Publisher`).
 
+pub mod algo;
 pub mod database;
 pub mod error;
 pub mod fx;
@@ -24,6 +25,7 @@ pub mod schema;
 pub mod types;
 pub mod value;
 
+pub use algo::intersect_sorted;
 pub use database::{Database, Extent};
 pub use error::ModelError;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -1,6 +1,6 @@
 //! Schemas: classes, attributes and the `isa` hierarchy.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use crate::error::ModelError;
 use crate::ident::{AttrName, ClassName, DbName};
@@ -114,31 +114,31 @@ impl Schema {
                 }
             }
         }
-        // Cycle detection: walk parent chains with a visited set.
+        // Cycle detection: a parent chain longer than the class count
+        // must revisit a class (allocation-free; conformation re-runs
+        // this on every rebuilt schema).
         for start in self.classes.keys() {
-            let mut seen = BTreeSet::new();
-            let mut cur = Some(start.clone());
+            let mut steps = 0usize;
+            let mut cur = Some(start);
             while let Some(c) = cur {
-                if !seen.insert(c.clone()) {
-                    return Err(ModelError::CyclicInheritance(c));
+                steps += 1;
+                if steps > self.classes.len() {
+                    return Err(ModelError::CyclicInheritance(c.clone()));
                 }
-                cur = self.classes[&c].parent.clone();
+                cur = self.classes.get(c).and_then(|d| d.parent.as_ref());
             }
         }
-        // Attribute shadowing.
+        // Attribute shadowing: each declared attribute must not resolve
+        // on the parent chain.
         for def in self.classes.values() {
-            let mut inherited = BTreeSet::new();
-            for anc in self.ancestors(&def.name) {
-                for a in &self.classes[&anc].attrs {
-                    inherited.insert(a.name.clone());
-                }
-            }
-            for a in &def.attrs {
-                if inherited.contains(&a.name) {
-                    return Err(ModelError::ShadowedAttribute {
-                        class: def.name.clone(),
-                        attr: a.name.clone(),
-                    });
+            if let Some(parent) = &def.parent {
+                for a in &def.attrs {
+                    if self.resolve_attr(parent, &a.name).is_some() {
+                        return Err(ModelError::ShadowedAttribute {
+                            class: def.name.clone(),
+                            attr: a.name.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -227,25 +227,34 @@ impl Schema {
         out
     }
 
-    /// True iff `sub` is `sup` or a descendant of `sup`.
+    /// True iff `sub` is `sup` or a descendant of `sup`. Walks the parent
+    /// chain without allocating (hot in typechecking and query planning).
     pub fn is_subclass(&self, sub: &ClassName, sup: &ClassName) -> bool {
-        self.self_and_ancestors(sub).contains(sup)
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.classes.get(c).and_then(|d| d.parent.as_ref());
+        }
+        false
     }
 
     /// Resolves an attribute on `class`, searching the `isa` chain.
-    /// Returns the defining class and the declaration.
+    /// Returns the defining class and the declaration. Allocation-free:
+    /// this runs for every attribute of every inserted object.
     pub fn resolve_attr(
         &self,
         class: &ClassName,
         attr: &AttrName,
     ) -> Option<(&ClassName, &AttrDef)> {
-        for c in self.self_and_ancestors(class) {
-            let def = self.classes.get(&c)?;
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            let (key, def) = self.classes.get_key_value(c)?;
             if let Some(a) = def.attrs.iter().find(|a| &a.name == attr) {
-                // Re-borrow the key so the returned reference outlives `c`.
-                let (key, _) = self.classes.get_key_value(&c).expect("class present");
                 return Some((key, a));
             }
+            cur = def.parent.as_ref();
         }
         None
     }

@@ -1,8 +1,17 @@
-//! Key indexes: one map per keyed class, from key tuple to object id.
+//! Indexes: the unique key index enforcing key constraints, plus the
+//! secondary indexes backing the query planner — hash postings for
+//! equality predicates and sorted numeric entries for range predicates.
+//!
+//! Secondary indexes cover one `(class, attribute)` pair over the class
+//! *extension* (subclass instances included) and are built lazily by the
+//! store on first use; the store invalidates them wholesale whenever any
+//! mutation commits (see `Store::version`).
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
-use interop_model::{AttrName, ClassName, Object, ObjectId, Value};
+use interop_model::fx::FxHashMap;
+use interop_model::{AttrName, ClassName, Object, ObjectId, Value, R64};
 
 /// A unique index over the key attributes of one class (covering its
 /// whole extension, i.e. including subclass instances).
@@ -80,6 +89,107 @@ impl KeyIndex {
 /// The set of key indexes of a store, keyed by class name.
 pub type IndexSet = BTreeMap<ClassName, KeyIndex>;
 
+/// Canonicalises a value for equality-posting lookups: numerics collapse
+/// to `Real` so `Int(3)` and `Real(3.0)` share a posting list (matching
+/// the evaluator's `sem_eq`, which compares numerically across the two
+/// variants). `None` for nulls — a null never satisfies an equality.
+pub fn canon_key(v: &Value) -> Option<Value> {
+    if v.is_null() {
+        return None;
+    }
+    Some(match v.as_num() {
+        Some(n) => Value::Real(n),
+        None => v.clone(),
+    })
+}
+
+/// Equality postings for one `(class, attr)`: canonical value → sorted
+/// object ids. An object appears under its attribute's canonical value;
+/// nulls are not indexed (a null equality is `Unknown`, never a hit).
+#[derive(Clone, Debug, Default)]
+pub struct HashIndex {
+    map: FxHashMap<Value, Vec<ObjectId>>,
+}
+
+impl HashIndex {
+    /// Builds from `(value, id)` pairs (any order; ids deduplicated by
+    /// construction since each object contributes one value).
+    pub fn build<I: IntoIterator<Item = (Value, ObjectId)>>(pairs: I) -> Self {
+        let mut map: FxHashMap<Value, Vec<ObjectId>> = FxHashMap::default();
+        for (v, id) in pairs {
+            if let Some(key) = canon_key(&v) {
+                map.entry(key).or_default().push(id);
+            }
+        }
+        for ids in map.values_mut() {
+            ids.sort_unstable();
+        }
+        HashIndex { map }
+    }
+
+    /// The sorted posting list for a canonical key.
+    pub fn postings(&self, key: &Value) -> &[ObjectId] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Sorted numeric entries for one `(class, attr)`: `(value, id)` ordered
+/// by value then id. Only numeric values are indexed — a range predicate
+/// compares `Some` only against numbers, so non-numeric and null values
+/// can never satisfy it.
+#[derive(Clone, Debug, Default)]
+pub struct SortedIndex {
+    entries: Vec<(R64, ObjectId)>,
+}
+
+impl SortedIndex {
+    /// Builds from `(value, id)` pairs, keeping numeric values only.
+    pub fn build<'a, I: IntoIterator<Item = (&'a Value, ObjectId)>>(pairs: I) -> Self {
+        let mut entries: Vec<(R64, ObjectId)> = pairs
+            .into_iter()
+            .filter_map(|(v, id)| v.as_num().map(|n| (n, id)))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        SortedIndex { entries }
+    }
+
+    /// Number of indexed (numeric) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing numeric is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids whose value falls within the bounds, **sorted by id** (ready
+    /// for posting-list intersection).
+    pub fn range_ids(&self, lo: Bound<R64>, hi: Bound<R64>) -> Vec<ObjectId> {
+        let start = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => self.entries.partition_point(|(x, _)| *x < v),
+            Bound::Excluded(v) => self.entries.partition_point(|(x, _)| *x <= v),
+        };
+        let end = match hi {
+            Bound::Unbounded => self.entries.len(),
+            Bound::Included(v) => self.entries.partition_point(|(x, _)| *x <= v),
+            Bound::Excluded(v) => self.entries.partition_point(|(x, _)| *x < v),
+        };
+        let mut ids: Vec<ObjectId> = self.entries[start..end.max(start)]
+            .iter()
+            .map(|(_, id)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +233,68 @@ mod tests {
         let a = Object::new(ObjectId::new(1, 1), ClassName::new("Item"));
         idx.insert(&a).unwrap();
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn canon_key_unifies_numerics_and_skips_nulls() {
+        assert_eq!(canon_key(&Value::int(3)), Some(Value::real(3.0)));
+        assert_eq!(canon_key(&Value::real(3.0)), Some(Value::real(3.0)));
+        assert_eq!(canon_key(&Value::str("x")), Some(Value::str("x")));
+        assert_eq!(canon_key(&Value::Null), None);
+    }
+
+    #[test]
+    fn hash_index_postings_sorted_and_cross_type() {
+        let idx = HashIndex::build([
+            (Value::int(5), ObjectId::new(1, 9)),
+            (Value::real(5.0), ObjectId::new(1, 2)),
+            (Value::int(7), ObjectId::new(1, 4)),
+            (Value::Null, ObjectId::new(1, 5)),
+        ]);
+        // Int(5) and Real(5.0) land in one posting, sorted by id.
+        assert_eq!(
+            idx.postings(&Value::real(5.0)),
+            &[ObjectId::new(1, 2), ObjectId::new(1, 9)]
+        );
+        assert_eq!(idx.postings(&Value::real(7.0)).len(), 1);
+        assert_eq!(idx.postings(&Value::real(6.0)).len(), 0);
+        assert_eq!(idx.distinct(), 2, "null not indexed");
+    }
+
+    #[test]
+    fn sorted_index_range_bounds() {
+        let vals: Vec<Value> = vec![
+            Value::int(1),
+            Value::real(2.5),
+            Value::int(4),
+            Value::str("not numeric"),
+            Value::Null,
+        ];
+        let idx = SortedIndex::build(
+            vals.iter()
+                .enumerate()
+                .map(|(i, v)| (v, ObjectId::new(1, i as u64))),
+        );
+        assert_eq!(idx.len(), 3, "only numerics indexed");
+        use std::ops::Bound::*;
+        assert_eq!(idx.range_ids(Unbounded, Unbounded).len(), 3);
+        assert_eq!(
+            idx.range_ids(Included(R64::new(2.5)), Unbounded),
+            vec![ObjectId::new(1, 1), ObjectId::new(1, 2)]
+        );
+        assert_eq!(
+            idx.range_ids(Excluded(R64::new(2.5)), Unbounded),
+            vec![ObjectId::new(1, 2)]
+        );
+        assert_eq!(
+            idx.range_ids(Unbounded, Excluded(R64::new(1.0))),
+            Vec::<ObjectId>::new()
+        );
+        assert_eq!(
+            idx.range_ids(Included(R64::new(10.0)), Included(R64::new(0.0))),
+            Vec::<ObjectId>::new(),
+            "inverted range is empty, not a panic"
+        );
     }
 
     #[test]

@@ -10,18 +10,25 @@
 //! multi-operation transactions with validate-then-commit semantics and
 //! rollback, plus the *early validation* API that powers the paper's
 //! motivating use-case of pre-validating global update subtransactions.
-//! [`query`]/[`optimize`] implement predicate queries and the paper's
-//! other motivating use-case: pruning subqueries whose predicate
-//! contradicts a (derived) global constraint, without scanning.
+//! [`query`]/[`plan`]/[`optimize`] implement predicate queries and the
+//! paper's other motivating use-case: optimising queries with derived
+//! global constraints. The [`plan`] module compiles a predicate into
+//! index-satisfiable, constraint-pruned (implied-true), and residual
+//! conjuncts; [`optimize`] executes the plan against lazily built
+//! secondary indexes (hash postings for equality, sorted entries for
+//! ranges), pruning subqueries whose predicate contradicts a (derived)
+//! global constraint without scanning at all.
 
 pub mod index;
 pub mod optimize;
+pub mod plan;
 pub mod query;
 pub mod store;
 pub mod txn;
 
-pub use index::KeyIndex;
-pub use optimize::{OptimizeOutcome, Optimizer};
+pub use index::{HashIndex, KeyIndex, SortedIndex};
+pub use optimize::{execute_plan, OptimizeOutcome, Optimizer};
+pub use plan::{IndexAtom, QueryPlan, Step};
 pub use query::Query;
 pub use store::{Store, StoreError};
 pub use txn::{Transaction, TxnOp, TxnOutcome};

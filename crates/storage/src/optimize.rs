@@ -1,19 +1,30 @@
-//! Constraint-based query optimisation.
+//! Constraint-based query optimisation and the planned executor.
 //!
 //! The paper's first motivating use-case (§1): "Global integrity
 //! constraints thus obtained could for example be used in optimising
 //! queries against the integrated view, eliminating subqueries which are
 //! known to yield empty results." The [`Optimizer`] holds the (derived)
-//! constraints known to hold for a class and, before scanning, checks
-//! whether `pred ∧ constraints` is unsatisfiable — if so the answer is
-//! empty without touching a single object. A key-equality fast path uses
-//! the store's key index instead of scanning.
+//! constraints known to hold for a class and answers a predicate in
+//! stages:
+//!
+//! 1. **Pruning** — `pred ∧ constraints` unsatisfiable ⇒ empty without
+//!    touching an object ([`OptimizeOutcome::PrunedEmpty`]).
+//! 2. **Key fast path** — `key = const` probes the unique key index.
+//! 3. **Planned execution** — the predicate is compiled by
+//!    [`crate::plan::build_plan`]; index-satisfiable conjuncts resolve to
+//!    sorted posting lists (lazy per-class secondary indexes: hash for
+//!    equality, sorted for ranges) which are intersected *batch-wise*,
+//!    implied-true conjuncts are dropped, and only residual conjuncts are
+//!    evaluated per surviving candidate.
+//! 4. **Scan** — with no usable index atom, the extension is scanned with
+//!    the residual conjuncts.
 
+use interop_constraint::eval::{eval_formula, Truth};
 use interop_constraint::solve::{is_satisfiable, TypeEnv};
 use interop_constraint::{CmpOp, Expr, Formula, Path};
-use interop_model::{ClassName, ModelError, ObjectId, Value};
+use interop_model::{intersect_sorted, ClassName, ModelError, ObjectId, Value};
 
-use crate::query::Query;
+use crate::plan::{build_plan, IndexAtom, QueryPlan, Step};
 use crate::store::Store;
 
 /// How a query was answered.
@@ -23,7 +34,10 @@ pub enum OptimizeOutcome {
     PrunedEmpty,
     /// Answered via the key index (at most one candidate probed).
     KeyLookup,
-    /// Full extension scan.
+    /// Answered by intersecting secondary-index posting lists (residual
+    /// conjuncts evaluated on the surviving candidates only).
+    IndexScan,
+    /// Full extension scan (with implied-true conjuncts dropped).
     Scanned,
 }
 
@@ -55,8 +69,15 @@ impl Optimizer {
         &self.constraints
     }
 
-    /// Answers `pred` over the class, using constraint pruning and the
-    /// key index before falling back to a scan.
+    /// Compiles `pred` into a [`QueryPlan`] (no store access; useful for
+    /// explain-style inspection and tests).
+    pub fn plan(&self, pred: &Formula) -> QueryPlan {
+        build_plan(&self.class, pred, &self.constraints, &self.env)
+    }
+
+    /// Answers `pred` over the class, using constraint pruning, the key
+    /// index, and planned posting-list execution before falling back to a
+    /// scan. Hits are returned in ascending id order.
     pub fn execute(
         &self,
         store: &Store,
@@ -80,10 +101,7 @@ impl Optimizer {
                         // re-check class membership and the full predicate.
                         let obj = store.db().object_req(id)?;
                         let in_class = store.db().schema.is_subclass(&obj.class, &self.class);
-                        if in_class
-                            && interop_constraint::eval::eval_formula(store.db(), obj, pred)?
-                                == interop_constraint::eval::Truth::True
-                        {
+                        if in_class && eval_formula(store.db(), obj, pred)? == Truth::True {
                             out.push(id);
                         }
                     }
@@ -91,9 +109,92 @@ impl Optimizer {
                 }
             }
         }
-        // 3. Scan.
-        let hits = Query::new(self.class.clone(), pred.clone()).scan(store)?;
-        Ok((hits, OptimizeOutcome::Scanned))
+        // 3. Planned execution.
+        let plan = self.plan(pred);
+        execute_plan(store, &plan)
+    }
+}
+
+/// Executes a compiled plan: resolves index atoms to sorted posting
+/// lists, intersects them (smallest first), and evaluates residual
+/// conjuncts on the surviving candidates. With no index atom the class
+/// extension is scanned instead. Hits are in ascending id order.
+pub fn execute_plan(
+    store: &Store,
+    plan: &QueryPlan,
+) -> Result<(Vec<ObjectId>, OptimizeOutcome), ModelError> {
+    let mut postings: Vec<Vec<ObjectId>> = Vec::new();
+    let mut residuals: Vec<&Formula> = Vec::new();
+    for step in &plan.steps {
+        match step {
+            Step::Index(atom) => postings.push(resolve_atom(store, &plan.class, atom)),
+            Step::ImpliedTrue(_) => {}
+            Step::Residual(f) => residuals.push(f),
+        }
+    }
+    if postings.is_empty() {
+        // Scan with the residual conjuncts (implied-true ones already
+        // dropped; with no index steps they can only be path-free).
+        let mut hits = Vec::new();
+        let mut ids = store.db().extension(&plan.class);
+        ids.sort_unstable();
+        for id in ids {
+            let obj = store.db().object_req(id)?;
+            if passes(store, obj, &residuals)? {
+                hits.push(id);
+            }
+        }
+        return Ok((hits, OptimizeOutcome::Scanned));
+    }
+    // Batch intersection of sorted posting lists, smallest first.
+    postings.sort_unstable_by_key(Vec::len);
+    let mut candidates = postings.remove(0);
+    for list in &postings {
+        if candidates.is_empty() {
+            break;
+        }
+        candidates = intersect_sorted(&candidates, list);
+    }
+    let mut hits = Vec::new();
+    for id in candidates {
+        let obj = store.db().object_req(id)?;
+        if passes(store, obj, &residuals)? {
+            hits.push(id);
+        }
+    }
+    Ok((hits, OptimizeOutcome::IndexScan))
+}
+
+fn passes(
+    store: &Store,
+    obj: &interop_model::Object,
+    residuals: &[&Formula],
+) -> Result<bool, ModelError> {
+    for f in residuals {
+        if eval_formula(store.db(), obj, f)? != Truth::True {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Resolves one index atom to a sorted posting list against the store's
+/// lazy secondary indexes.
+fn resolve_atom(store: &Store, class: &ClassName, atom: &IndexAtom) -> Vec<ObjectId> {
+    match atom {
+        IndexAtom::Eq { attr, key } => store.hash_index(class, attr).postings(key).to_vec(),
+        IndexAtom::In { attr, keys } => {
+            let idx = store.hash_index(class, attr);
+            // Canonical keys are distinct, so posting lists are disjoint:
+            // concatenating and sorting yields a duplicate-free union.
+            let mut out: Vec<ObjectId> = keys
+                .iter()
+                .flat_map(|k| idx.postings(k).iter().copied())
+                .collect();
+            out.sort_unstable();
+            out
+        }
+        IndexAtom::Range { attr, lo, hi } => store.sorted_index(class, attr).range_ids(*lo, *hi),
     }
 }
 
@@ -111,6 +212,7 @@ fn key_eq_value(pred: &Formula, key: &Path) -> Option<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Query;
     use interop_constraint::{Catalog, ClassConstraint, ConstraintId};
     use interop_model::{ClassDef, Database, DbName, Schema, Type};
 
@@ -193,13 +295,15 @@ mod tests {
     }
 
     #[test]
-    fn fallback_scan_matches_query() {
+    fn range_predicate_uses_index_and_matches_scan() {
         let s = store_with_items(30);
         let opt = Optimizer::new(&s, "Item", vec![]);
         let pred = Formula::cmp("libprice", CmpOp::Ge, 30.0);
         let (hits, outcome) = opt.execute(&s, &pred).unwrap();
-        assert_eq!(outcome, OptimizeOutcome::Scanned);
-        assert_eq!(hits.len(), Query::new("Item", pred).scan(&s).unwrap().len());
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+        let mut scanned = Query::new("Item", pred).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits, scanned);
     }
 
     #[test]
@@ -209,6 +313,83 @@ mod tests {
         let (_, outcome) = opt
             .execute(&s, &Formula::cmp("rating", CmpOp::Ge, 7i64))
             .unwrap();
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+    }
+
+    #[test]
+    fn residual_predicates_scan_without_index() {
+        let s = store_with_items(20);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        // A disjunction is not index-satisfiable: scans, same answer.
+        let pred =
+            Formula::cmp("rating", CmpOp::Le, 2i64).or(Formula::cmp("rating", CmpOp::Ge, 9i64));
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
         assert_eq!(outcome, OptimizeOutcome::Scanned);
+        let mut scanned = Query::new("Item", pred).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits, scanned);
+    }
+
+    #[test]
+    fn conjunction_intersects_postings_and_keeps_residuals() {
+        let s = store_with_items(60);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        // rating = 3 (hash) ∧ libprice <= 40 (sorted) ∧ isbn <> 'isbn-2'
+        // (residual).
+        let pred = Formula::cmp("rating", CmpOp::Eq, 3i64)
+            .and(Formula::cmp("libprice", CmpOp::Le, 40.0))
+            .and(Formula::cmp("isbn", CmpOp::Ne, "isbn-2"));
+        let plan = opt.plan(&pred);
+        assert_eq!(plan.counts(), (2, 0, 1));
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+        let mut scanned = Query::new("Item", pred).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits, scanned);
+    }
+
+    #[test]
+    fn implied_true_conjunct_dropped_with_same_answer() {
+        let s = store_with_items(40);
+        let constraint = Formula::cmp("rating", CmpOp::Ge, 1i64);
+        let opt = Optimizer::new(&s, "Item", vec![constraint]);
+        let pred =
+            Formula::cmp("rating", CmpOp::Eq, 4i64).and(Formula::cmp("rating", CmpOp::Ge, 1i64));
+        let plan = opt.plan(&pred);
+        assert_eq!(plan.counts(), (1, 1, 0), "implied conjunct dropped");
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+        let mut scanned = Query::new("Item", pred).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits, scanned);
+    }
+
+    #[test]
+    fn empty_in_set_short_circuits_to_empty() {
+        let s = store_with_items(10);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let pred = Formula::In(Expr::attr("isbn"), std::collections::BTreeSet::new());
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        // The solver already refutes an empty membership set.
+        assert!(hits.is_empty());
+        assert_eq!(outcome, OptimizeOutcome::PrunedEmpty);
+    }
+
+    #[test]
+    fn stale_secondary_index_never_served() {
+        let mut s = store_with_items(10);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let pred = Formula::cmp("rating", CmpOp::Eq, 1i64);
+        let (hits_before, _) = opt.execute(&s, &pred).unwrap();
+        let (v0, n0) = s.secondary_cache_stats();
+        assert!(n0 > 0, "index cached after first planned query");
+        // Mutate: every rating-1 item switches to rating 2.
+        for id in hits_before.clone() {
+            s.update(id, "rating", Value::int(2)).unwrap();
+        }
+        let (hits_after, _) = opt.execute(&s, &pred).unwrap();
+        assert!(hits_after.is_empty(), "stale postings must not be read");
+        let (v1, _) = s.secondary_cache_stats();
+        assert!(v1 > v0, "cache rebuilt at the new store version");
     }
 }

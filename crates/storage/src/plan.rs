@@ -1,0 +1,320 @@
+//! The query planner: classifies each conjunct of a selection predicate
+//! as index-satisfiable, constraint-pruned, or residual.
+//!
+//! The paper's §1 payoff is that derived global constraints optimise
+//! queries against the integrated view. Two forms of constraint pruning
+//! appear here:
+//!
+//! * **implied-empty** — the whole predicate contradicts the known
+//!   constraints; the query is answered empty without touching an object
+//!   (decided by the [`crate::optimize::Optimizer`] before planning);
+//! * **implied-true** — a conjunct is entailed by the constraints and can
+//!   be dropped from evaluation. Soundness under three-valued semantics
+//!   requires (a) the entailment to use only premises over the conjunct's
+//!   own paths ([`interop_constraint::solve::implied_by_restricted`]) and
+//!   (b) every such path to be covered by a remaining index conjunct,
+//!   whose posting lists contain only objects with that path non-null.
+//!
+//! Index-satisfiable conjuncts execute as posting-list intersections
+//! (hash postings for equality/membership, sorted-index ranges for
+//! comparisons); whatever remains is evaluated per candidate object.
+
+use std::ops::Bound;
+
+use interop_constraint::solve::{implied_by_restricted, TypeEnv};
+use interop_constraint::{CmpOp, Expr, Formula, Path};
+use interop_model::{AttrName, ClassName, Value, R64};
+
+use crate::index::canon_key;
+
+/// An atom answerable from a secondary index.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexAtom {
+    /// `attr = const`: one hash posting list.
+    Eq {
+        /// The indexed attribute.
+        attr: AttrName,
+        /// The canonicalised probe value.
+        key: Value,
+    },
+    /// `attr in {consts}`: union of hash posting lists.
+    In {
+        /// The indexed attribute.
+        attr: AttrName,
+        /// Canonicalised, deduplicated probe values.
+        keys: Vec<Value>,
+    },
+    /// `attr op numeric-const` for an ordering `op`: a sorted-index range.
+    Range {
+        /// The indexed attribute.
+        attr: AttrName,
+        /// Lower bound.
+        lo: Bound<R64>,
+        /// Upper bound.
+        hi: Bound<R64>,
+    },
+}
+
+impl IndexAtom {
+    /// The attribute the atom probes.
+    pub fn attr(&self) -> &AttrName {
+        match self {
+            IndexAtom::Eq { attr, .. }
+            | IndexAtom::In { attr, .. }
+            | IndexAtom::Range { attr, .. } => attr,
+        }
+    }
+}
+
+/// One planned conjunct.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Satisfied by intersecting a posting list.
+    Index(IndexAtom),
+    /// Entailed by the known constraints on every candidate the index
+    /// steps produce; dropped from evaluation.
+    ImpliedTrue(Formula),
+    /// Evaluated per candidate object.
+    Residual(Formula),
+}
+
+/// A compiled selection plan over one class.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// The queried class (candidates range over its extension).
+    pub class: ClassName,
+    /// The planned conjuncts.
+    pub steps: Vec<Step>,
+}
+
+impl QueryPlan {
+    /// `(index, implied_true, residual)` step counts — handy in tests and
+    /// for explain-style diagnostics.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.steps {
+            match s {
+                Step::Index(_) => c.0 += 1,
+                Step::ImpliedTrue(_) => c.1 += 1,
+                Step::Residual(_) => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// True when at least one conjunct is answered from an index.
+    pub fn uses_index(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::Index(_)))
+    }
+}
+
+/// Splits a predicate into top-level conjuncts (`And` flattens; anything
+/// else is a single conjunct).
+fn conjuncts(pred: &Formula) -> Vec<&Formula> {
+    match pred {
+        Formula::And(fs) => fs.iter().collect(),
+        other => vec![other],
+    }
+}
+
+/// Recognises an index-satisfiable atom. Only single-segment paths are
+/// indexable (multi-segment paths navigate references and need the
+/// object graph).
+fn index_atom(f: &Formula) -> Option<IndexAtom> {
+    fn single(p: &Path) -> Option<&AttrName> {
+        if p.len() == 1 {
+            p.head()
+        } else {
+            None
+        }
+    }
+    match f {
+        Formula::Cmp(Expr::Attr(p), op, Expr::Const(v)) => cmp_atom(single(p)?, *op, v),
+        Formula::Cmp(Expr::Const(v), op, Expr::Attr(p)) => cmp_atom(single(p)?, op.flip(), v),
+        Formula::In(Expr::Attr(p), set) => {
+            let attr = single(p)?;
+            let mut keys: Vec<Value> = set.iter().filter_map(canon_key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            // An all-null (or empty) set still plans as an empty posting:
+            // the conjunct can never evaluate True.
+            Some(IndexAtom::In {
+                attr: attr.clone(),
+                keys,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn cmp_atom(attr: &AttrName, op: CmpOp, v: &Value) -> Option<IndexAtom> {
+    match op {
+        CmpOp::Eq => Some(IndexAtom::Eq {
+            attr: attr.clone(),
+            key: canon_key(v)?,
+        }),
+        CmpOp::Lt => Some(IndexAtom::Range {
+            attr: attr.clone(),
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(v.as_num()?),
+        }),
+        CmpOp::Le => Some(IndexAtom::Range {
+            attr: attr.clone(),
+            lo: Bound::Unbounded,
+            hi: Bound::Included(v.as_num()?),
+        }),
+        CmpOp::Gt => Some(IndexAtom::Range {
+            attr: attr.clone(),
+            lo: Bound::Excluded(v.as_num()?),
+            hi: Bound::Unbounded,
+        }),
+        CmpOp::Ge => Some(IndexAtom::Range {
+            attr: attr.clone(),
+            lo: Bound::Included(v.as_num()?),
+            hi: Bound::Unbounded,
+        }),
+        // `<>` needs a complement, which posting lists cannot express
+        // (and is True even for incomparable variants): residual.
+        CmpOp::Ne => None,
+    }
+}
+
+/// Builds the plan for `pred` over `class`, given the constraints known
+/// to hold for every object of the class and the class's type
+/// environment. Pure classification — no store access; posting lists are
+/// resolved at execution time against the store's lazy indexes.
+pub fn build_plan(
+    class: &ClassName,
+    pred: &Formula,
+    constraints: &[Formula],
+    env: &TypeEnv,
+) -> QueryPlan {
+    let parts = conjuncts(pred);
+    let atoms: Vec<Option<IndexAtom>> = parts.iter().map(|f| index_atom(f)).collect();
+    let implied: Vec<bool> = parts
+        .iter()
+        .map(|f| !constraints.is_empty() && implied_by_restricted(constraints, f, env))
+        .collect();
+    // Paths guaranteed non-null on every candidate: attributes probed by
+    // index atoms that are *kept* (an implied atom may itself be dropped,
+    // so it cannot vouch for anyone else's coverage).
+    let coverage: Vec<Path> = parts
+        .iter()
+        .zip(&atoms)
+        .zip(&implied)
+        .filter_map(|((_, atom), imp)| {
+            if *imp {
+                None
+            } else {
+                atom.as_ref().map(|a| Path::attr(a.attr().clone()))
+            }
+        })
+        .collect();
+    let steps = parts
+        .iter()
+        .zip(atoms)
+        .zip(implied)
+        .map(|((f, atom), imp)| {
+            if imp && f.paths().iter().all(|p| coverage.contains(p)) {
+                Step::ImpliedTrue((*f).clone())
+            } else if let Some(a) = atom {
+                Step::Index(a)
+            } else {
+                Step::Residual((*f).clone())
+            }
+        })
+        .collect();
+    QueryPlan {
+        class: class.clone(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop_model::Type;
+
+    fn env() -> TypeEnv {
+        TypeEnv::new()
+            .with("rating", Type::Range(1, 10))
+            .with("price", Type::Real)
+            .with("isbn", Type::Str)
+    }
+
+    #[test]
+    fn equality_and_range_atoms_recognised() {
+        let plan = build_plan(
+            &ClassName::new("Item"),
+            &Formula::cmp("isbn", CmpOp::Eq, "x").and(Formula::cmp("price", CmpOp::Le, 10.0)),
+            &[],
+            &env(),
+        );
+        assert_eq!(plan.counts(), (2, 0, 0));
+        assert!(plan.uses_index());
+    }
+
+    #[test]
+    fn flipped_constant_side_normalises() {
+        let f = Formula::Cmp(Expr::val(10.0), CmpOp::Ge, Expr::attr("price"));
+        let plan = build_plan(&ClassName::new("Item"), &f, &[], &env());
+        match &plan.steps[0] {
+            Step::Index(IndexAtom::Range { lo, hi, .. }) => {
+                assert_eq!(*lo, Bound::Unbounded);
+                assert_eq!(*hi, Bound::Included(R64::new(10.0)));
+            }
+            other => panic!("expected range atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ne_multiseg_and_disjunction_stay_residual() {
+        let pred = Formula::cmp("isbn", CmpOp::Ne, "x")
+            .and(Formula::cmp("publisher.name", CmpOp::Eq, "ACM"))
+            .and(Formula::cmp("rating", CmpOp::Ge, 5i64).or(Formula::cmp("price", CmpOp::Le, 1.0)));
+        let plan = build_plan(&ClassName::new("Item"), &pred, &[], &env());
+        assert_eq!(plan.counts(), (0, 0, 3));
+        assert!(!plan.uses_index());
+    }
+
+    #[test]
+    fn implied_conjunct_dropped_only_under_coverage() {
+        let constraints = vec![Formula::cmp("rating", CmpOp::Ge, 5i64)];
+        // rating = 7 covers the rating path, so rating >= 2 (implied by
+        // rating >= 5) is dropped.
+        let covered =
+            Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("rating", CmpOp::Ge, 2i64));
+        let plan = build_plan(&ClassName::new("Item"), &covered, &constraints, &env());
+        assert_eq!(plan.counts(), (1, 1, 0));
+        // Without a covering index conjunct the implied atom must stay:
+        // a null rating would otherwise be wrongly admitted.
+        let uncovered =
+            Formula::cmp("isbn", CmpOp::Eq, "x").and(Formula::cmp("rating", CmpOp::Ge, 2i64));
+        let plan = build_plan(&ClassName::new("Item"), &uncovered, &constraints, &env());
+        assert_eq!(plan.counts(), (2, 0, 0));
+    }
+
+    #[test]
+    fn mutually_implied_conjuncts_do_not_vouch_for_each_other() {
+        // Both conjuncts are implied by the constraint; if each covered
+        // the other, a null rating object would slip through. Neither may
+        // be dropped.
+        let constraints = vec![Formula::cmp("rating", CmpOp::Ge, 5i64)];
+        let pred =
+            Formula::cmp("rating", CmpOp::Ge, 4i64).and(Formula::cmp("rating", CmpOp::Ge, 3i64));
+        let plan = build_plan(&ClassName::new("Item"), &pred, &constraints, &env());
+        assert_eq!(plan.counts(), (2, 0, 0), "no self-vouching");
+    }
+
+    #[test]
+    fn in_set_canonicalises_probe_keys() {
+        let f = Formula::isin("rating", [Value::int(5), Value::real(5.0), Value::int(9)]);
+        let plan = build_plan(&ClassName::new("Item"), &f, &[], &env());
+        match &plan.steps[0] {
+            Step::Index(IndexAtom::In { keys, .. }) => {
+                assert_eq!(keys.len(), 2, "Int(5) and Real(5.0) collapse");
+            }
+            other => panic!("expected In atom, got {other:?}"),
+        }
+    }
+}

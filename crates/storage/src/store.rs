@@ -1,12 +1,15 @@
 //! The constraint-enforcing store.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
 
 use interop_constraint::eval::{check_class_constraint, check_db_constraint, eval_formula, Truth};
 use interop_constraint::{Catalog, ConstraintId};
+use interop_model::fx::FxHashMap;
 use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId, Value};
 
-use crate::index::{IndexSet, KeyIndex};
+use crate::index::{HashIndex, IndexSet, KeyIndex, SortedIndex};
 
 /// Errors from store operations.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,12 +70,27 @@ impl From<ModelError> for StoreError {
     }
 }
 
+/// Lazily built secondary indexes, keyed by the *queried* class (whose
+/// extension they cover) and attribute. `version` records the store
+/// mutation counter the cache was built against; any mismatch discards
+/// the whole cache, so a stale index can never serve a query.
+#[derive(Clone, Debug, Default)]
+struct SecondaryCache {
+    version: u64,
+    hash: FxHashMap<ClassName, FxHashMap<AttrName, Arc<HashIndex>>>,
+    sorted: FxHashMap<ClassName, FxHashMap<AttrName, Arc<SortedIndex>>>,
+}
+
 /// A database plus its enforced constraint catalog and key indexes.
 #[derive(Clone, Debug)]
 pub struct Store {
     db: Database,
     catalog: Catalog,
     indexes: IndexSet,
+    /// Bumped on every mutation attempt that may have touched state;
+    /// secondary indexes are valid only for the version they were built at.
+    version: u64,
+    secondary: RefCell<SecondaryCache>,
 }
 
 impl Store {
@@ -91,6 +109,8 @@ impl Store {
             db,
             catalog,
             indexes,
+            version: 0,
+            secondary: RefCell::new(SecondaryCache::default()),
         };
         // Index existing objects.
         let ids: Vec<ObjectId> = store.db.objects().map(|o| o.id).collect();
@@ -155,6 +175,75 @@ impl Store {
         Some(self.indexes[&c].attrs())
     }
 
+    /// The store's mutation counter. Bumped by every (attempted) insert,
+    /// update or remove; secondary indexes built at an older version are
+    /// discarded before they can serve a query.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Drops every cached secondary index if the store has mutated since
+    /// the cache was built. Called on each index access.
+    fn refresh_secondary(&self, cache: &mut SecondaryCache) {
+        if cache.version != self.version {
+            cache.hash.clear();
+            cache.sorted.clear();
+            cache.version = self.version;
+        }
+    }
+
+    /// The equality (hash) index over `class`'s extension for `attr`,
+    /// building it on first use.
+    pub fn hash_index(&self, class: &ClassName, attr: &AttrName) -> Arc<HashIndex> {
+        let mut cache = self.secondary.borrow_mut();
+        self.refresh_secondary(&mut cache);
+        if let Some(idx) = cache.hash.get(class).and_then(|m| m.get(attr)) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(HashIndex::build(self.db.extension(class).into_iter().map(
+            |id| {
+                let obj = self.db.object(id).expect("extension lists live objects");
+                (obj.get(attr).clone(), id)
+            },
+        )));
+        cache
+            .hash
+            .entry(class.clone())
+            .or_default()
+            .insert(attr.clone(), Arc::clone(&idx));
+        idx
+    }
+
+    /// The range (sorted) index over `class`'s extension for `attr`,
+    /// building it on first use.
+    pub fn sorted_index(&self, class: &ClassName, attr: &AttrName) -> Arc<SortedIndex> {
+        let mut cache = self.secondary.borrow_mut();
+        self.refresh_secondary(&mut cache);
+        if let Some(idx) = cache.sorted.get(class).and_then(|m| m.get(attr)) {
+            return Arc::clone(idx);
+        }
+        let ids = self.db.extension(class);
+        let idx = Arc::new(SortedIndex::build(ids.iter().map(|&id| {
+            let obj = self.db.object(id).expect("extension lists live objects");
+            (obj.get(attr), id)
+        })));
+        cache
+            .sorted
+            .entry(class.clone())
+            .or_default()
+            .insert(attr.clone(), Arc::clone(&idx));
+        idx
+    }
+
+    /// How many secondary indexes are currently cached, and the version
+    /// they are valid for. Test/diagnostic hook for invalidation checks.
+    pub fn secondary_cache_stats(&self) -> (u64, usize) {
+        let cache = self.secondary.borrow();
+        let n = cache.hash.values().map(|m| m.len()).sum::<usize>()
+            + cache.sorted.values().map(|m| m.len()).sum::<usize>();
+        (cache.version, n)
+    }
+
     /// Validates an object against the *object constraints* effective on
     /// its class without touching the store. This is the early-validation
     /// primitive: a global transaction manager can reject a doomed
@@ -202,6 +291,10 @@ impl Store {
     /// Inserts an object, enforcing all constraints. On any violation the
     /// store is left unchanged.
     pub fn insert(&mut self, obj: Object) -> Result<(), StoreError> {
+        // Conservative invalidation: bump even when the insert later
+        // fails — a failed op leaves state unchanged, so the only cost is
+        // a rebuild on the next query.
+        self.version += 1;
         self.validate_object(&obj)?;
         self.index_insert(&obj)?;
         let class = obj.class.clone();
@@ -247,6 +340,7 @@ impl Store {
         value: Value,
     ) -> Result<(), StoreError> {
         let attr = attr.into();
+        self.version += 1;
         let before = self.db.object_req(id)?.clone();
         let mut after = before.clone();
         after.set(attr.clone(), value.clone());
@@ -272,6 +366,7 @@ impl Store {
 
     /// Removes an object.
     pub fn remove(&mut self, id: ObjectId) -> Result<Object, StoreError> {
+        self.version += 1;
         let obj = self.db.remove(id)?;
         self.index_remove(&obj);
         if let Err(e) = self.check_class_and_db_constraints(&obj.class.clone()) {
@@ -506,6 +601,50 @@ mod tests {
             .with("libprice", 20.0);
         assert!(s.validate_object(&obj).is_err());
         assert_eq!(s.db().len(), 0);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation_attempt() {
+        let mut s = store();
+        let v0 = s.version();
+        let a = s.create("Item", vec![("isbn", "A".into())]).unwrap();
+        assert!(s.version() > v0);
+        let v1 = s.version();
+        // A *failed* mutation also invalidates (conservative).
+        let _ = s.create("Item", vec![("isbn", "A".into())]).unwrap_err();
+        assert!(s.version() > v1);
+        let v2 = s.version();
+        s.update(a, "isbn", Value::str("B")).unwrap();
+        assert!(s.version() > v2);
+        let v3 = s.version();
+        s.remove(a).unwrap();
+        assert!(s.version() > v3);
+    }
+
+    #[test]
+    fn secondary_indexes_lazy_and_invalidated() {
+        let mut s = store();
+        s.create("Item", vec![("isbn", "A".into())]).unwrap();
+        s.create(
+            "Proceedings",
+            vec![("isbn", "B".into()), ("rating", 9i64.into())],
+        )
+        .unwrap();
+        assert_eq!(s.secondary_cache_stats().1, 0, "nothing built eagerly");
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let idx = s.hash_index(&item, &isbn);
+        // Extension coverage: the Proceedings instance is in Item's index.
+        assert_eq!(idx.postings(&Value::str("B")).len(), 1);
+        assert_eq!(s.secondary_cache_stats().1, 1);
+        // Same version ⇒ cached instance is reused.
+        let again = s.hash_index(&item, &isbn);
+        assert!(std::sync::Arc::ptr_eq(&idx, &again));
+        // Any mutation drops the whole cache.
+        s.create("Item", vec![("isbn", "C".into())]).unwrap();
+        let rebuilt = s.hash_index(&item, &isbn);
+        assert!(!std::sync::Arc::ptr_eq(&idx, &rebuilt));
+        assert_eq!(rebuilt.postings(&Value::str("C")).len(), 1);
     }
 
     #[test]

@@ -341,6 +341,47 @@ mod tests {
     }
 
     #[test]
+    fn txn_interleaved_queries_never_see_stale_postings() {
+        let mut s = store();
+        let id = s
+            .create(
+                "Employee",
+                vec![
+                    ("ssn", "1".into()),
+                    ("salary", 1000.0.into()),
+                    ("trav_reimb", 10i64.into()),
+                ],
+            )
+            .unwrap();
+        let opt = interop_constraint_optimizer(&s);
+        let pred = Formula::cmp("trav_reimb", CmpOp::Eq, 10i64);
+        let (hits, _) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(hits, vec![id], "warm the index");
+        // A committed transaction flips the tariff; the same query must
+        // not read the stale posting list.
+        let txn = Transaction::new().update(id, "trav_reimb", Value::int(20));
+        assert!(matches!(txn.commit(&mut s), TxnOutcome::Committed { .. }));
+        let (hits, _) = opt.execute(&s, &pred).unwrap();
+        assert!(hits.is_empty());
+        // A rolled-back transaction restores state; the query must see
+        // the restored value (rollback mutations also bump the version).
+        let txn = Transaction::new()
+            .update(id, "trav_reimb", Value::int(10))
+            .update(id, "salary", Value::real(9999.0)); // violates c2
+        assert!(matches!(txn.commit(&mut s), TxnOutcome::RolledBack { .. }));
+        let (hits, _) = opt.execute(&s, &pred).unwrap();
+        assert!(hits.is_empty(), "rollback left tariff at 20");
+        let (hits, _) = opt
+            .execute(&s, &Formula::cmp("trav_reimb", CmpOp::Eq, 20i64))
+            .unwrap();
+        assert_eq!(hits, vec![id]);
+    }
+
+    fn interop_constraint_optimizer(s: &Store) -> crate::optimize::Optimizer {
+        crate::optimize::Optimizer::new(s, "Employee", vec![])
+    }
+
+    #[test]
     fn empty_transaction_commits() {
         let mut s = store();
         match Transaction::new().commit(&mut s) {

@@ -1,0 +1,178 @@
+//! Index-invalidation property suite: random operation sequences
+//! (direct store mutations and multi-op transactions, including ones
+//! that roll back) are interleaved with planned queries, and after every
+//! step the planner must agree with the naive scan oracle. A stale
+//! secondary index surviving a mutation would make the two diverge.
+
+use interop_constraint::{Catalog, CmpOp, ConstraintId, Formula, ObjectConstraint};
+use interop_model::{ClassDef, ClassName, Database, DbName, ObjectId, Schema, Type, Value};
+use interop_storage::{Optimizer, Query, Store, Transaction};
+use proptest::prelude::*;
+
+fn store(seed_objects: usize) -> Store {
+    let schema = Schema::new(
+        "S",
+        vec![ClassDef::new("Item")
+            .attr("k", Type::Str)
+            .attr("v", Type::Range(0, 100))
+            .attr("w", Type::Int)],
+    )
+    .expect("static schema");
+    let db_name = DbName::new("S");
+    let class = ClassName::new("Item");
+    let mut cat = Catalog::new();
+    cat.add_class(interop_constraint::ClassConstraint::key(
+        ConstraintId::new(&db_name, &class, "key"),
+        "Item",
+        vec!["k"],
+    ));
+    // Enforced bound — some random updates will violate it and roll back,
+    // which must also invalidate (rollback re-mutates state).
+    cat.add_object(ObjectConstraint::new(
+        ConstraintId::new(&db_name, &class, "bound"),
+        "Item",
+        Formula::cmp("v", CmpOp::Lt, 80i64),
+    ));
+    let mut s = Store::new(Database::new(schema, 1), cat);
+    for i in 0..seed_objects {
+        s.create(
+            "Item",
+            vec![
+                ("k", Value::str(format!("k{i}"))),
+                ("v", Value::Int((i % 80) as i64)),
+                ("w", Value::Int(i as i64)),
+            ],
+        )
+        .expect("seed object");
+    }
+    s
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { suffix: u8, v: i64 },
+    Update { target: u8, v: i64 },
+    Delete { target: u8 },
+    Txn { target: u8, v1: i64, v2: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..40, 0i64..100).prop_map(|(suffix, v)| Op::Insert { suffix, v }),
+        (0u8..20, 0i64..100).prop_map(|(target, v)| Op::Update { target, v }),
+        (0u8..20).prop_map(|target| Op::Delete { target }),
+        // A two-op transaction; when v2 >= 80 the batch rolls back after
+        // the first update already mutated (and re-mutates to undo).
+        (0u8..20, 0i64..79, 0i64..100).prop_map(|(target, v1, v2)| Op::Txn { target, v1, v2 }),
+    ]
+}
+
+fn apply(s: &mut Store, op: &Op, fresh: &mut u64) {
+    let ids: Vec<ObjectId> = s.db().objects().map(|o| o.id).collect();
+    let pick = |t: u8| -> Option<ObjectId> {
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids[t as usize % ids.len()])
+        }
+    };
+    match op {
+        Op::Insert { suffix, v } => {
+            *fresh += 1;
+            let _ = s.create(
+                "Item",
+                vec![
+                    ("k", Value::str(format!("n{suffix}-{fresh}"))),
+                    ("v", Value::Int(*v)),
+                ],
+            );
+        }
+        Op::Update { target, v } => {
+            if let Some(id) = pick(*target) {
+                let _ = s.update(id, "v", Value::Int(*v));
+            }
+        }
+        Op::Delete { target } => {
+            if let Some(id) = pick(*target) {
+                let _ = s.remove(id);
+            }
+        }
+        Op::Txn { target, v1, v2 } => {
+            if let Some(id) = pick(*target) {
+                let txn = Transaction::new().update(id, "v", Value::Int(*v1)).update(
+                    id,
+                    "v",
+                    Value::Int(*v2),
+                );
+                let _ = txn.commit(s);
+            }
+        }
+    }
+}
+
+/// The queries replayed after every mutation: each exercises a different
+/// index kind (hash equality, sorted range, intersection with residual).
+fn probes() -> Vec<Formula> {
+    vec![
+        Formula::cmp("v", CmpOp::Eq, 10i64),
+        Formula::cmp("v", CmpOp::Ge, 40i64),
+        Formula::cmp("v", CmpOp::Le, 60i64)
+            .and(Formula::cmp("w", CmpOp::Ge, 3i64))
+            .and(Formula::cmp("k", CmpOp::Ne, "k1")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every mutation (including failed ones and rolled-back
+    /// transactions), planned queries agree with the scan oracle — no
+    /// stale posting list is ever served.
+    #[test]
+    fn interleaved_mutations_never_serve_stale_indexes(
+        ops in prop::collection::vec(arb_op(), 1..14),
+    ) {
+        let mut s = store(8);
+        let opt = Optimizer::new(&s, "Item", vec![Formula::cmp("v", CmpOp::Lt, 80i64)]);
+        let mut fresh = 0u64;
+        // Warm the indexes before the first mutation.
+        for pred in probes() {
+            let _ = opt.execute(&s, &pred).expect("warm-up query");
+        }
+        for op in &ops {
+            apply(&mut s, op, &mut fresh);
+            for pred in probes() {
+                let (mut hits, _) = opt.execute(&s, &pred).expect("planned query");
+                hits.sort_unstable();
+                let mut expected = Query::new("Item", pred.clone())
+                    .scan(&s)
+                    .expect("oracle scan");
+                expected.sort_unstable();
+                prop_assert_eq!(
+                    hits, expected,
+                    "stale index after {:?} on pred {}", op, pred
+                );
+            }
+        }
+    }
+
+    /// The version counter is monotone across arbitrary op sequences and
+    /// the cache never reports a version older than the store's.
+    #[test]
+    fn cache_version_tracks_store_version(
+        ops in prop::collection::vec(arb_op(), 1..10),
+    ) {
+        let mut s = store(5);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let mut fresh = 0u64;
+        let mut last = s.version();
+        for op in &ops {
+            apply(&mut s, op, &mut fresh);
+            prop_assert!(s.version() >= last, "version must be monotone");
+            last = s.version();
+            let _ = opt.execute(&s, &probes()[0]).expect("query");
+            let (cache_v, _) = s.secondary_cache_stats();
+            prop_assert_eq!(cache_v, s.version(), "cache rebuilt at current version");
+        }
+    }
+}

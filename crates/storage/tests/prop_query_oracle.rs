@@ -1,0 +1,235 @@
+//! Differential oracle suite for the query planner: every random query
+//! is answered two ways — through the planner ([`Optimizer::execute`],
+//! with lazy secondary indexes, posting intersection, constraint
+//! pruning) and through the naive full-scan reference executor
+//! ([`Query::scan`], which evaluates the raw predicate on every object
+//! of the extension). The hit sets must be identical, and
+//! `PrunedEmpty` may only be claimed when the scan agrees the answer is
+//! empty.
+//!
+//! Stores are adversarial: mixed value types, missing (null) attributes,
+//! subclass hierarchies, and an always-empty class.
+
+use interop_constraint::{CmpOp, Expr, Formula};
+use interop_model::{ClassDef, Database, Schema, Type, Value};
+use interop_storage::{OptimizeOutcome, Optimizer, Query, Store};
+use proptest::prelude::*;
+
+/// One randomly generated object: class selector, attribute values, and
+/// a presence mask (bit i clear ⇒ attribute i left null).
+type ObjSpec = (u8, i64, u8, i64, i64, u8);
+
+/// One atomic predicate: (kind, attribute selector, operator selector,
+/// constant).
+type AtomSpec = (u8, u8, u8, i16);
+
+const CLASSES: [&str; 4] = ["Base", "Mid", "Leaf", "Empty"];
+const ATTRS: [&str; 4] = ["num", "name", "score", "extra"];
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn schema() -> Schema {
+    Schema::new(
+        "Q",
+        vec![
+            ClassDef::new("Base")
+                .attr("num", Type::Int)
+                .attr("name", Type::Str)
+                .attr("score", Type::Range(0, 20)),
+            ClassDef::new("Mid").isa("Base").attr("extra", Type::Real),
+            ClassDef::new("Leaf").isa("Mid"),
+            ClassDef::new("Empty")
+                .attr("num", Type::Int)
+                .attr("name", Type::Str)
+                .attr("score", Type::Range(0, 20)),
+        ],
+    )
+    .expect("static schema")
+}
+
+/// Builds a store whose objects satisfy `score >= 2` and `num >= 0` by
+/// construction — those are the "derived global constraints" handed to
+/// the optimizer, and the paper's premise is that supplied constraints
+/// are locally enforced.
+fn build_store(objs: &[ObjSpec]) -> Store {
+    let mut db = Database::new(schema(), 1);
+    for (class, num, name, score, extra, mask) in objs {
+        let class = CLASSES[(*class as usize) % 3]; // Empty never populated
+        let mut attrs: Vec<(&str, Value)> = Vec::new();
+        if mask & 1 != 0 {
+            attrs.push(("num", Value::int(num.rem_euclid(100))));
+        }
+        if mask & 2 != 0 {
+            attrs.push(("name", Value::str(NAMES[(*name as usize) % NAMES.len()])));
+        }
+        if mask & 4 != 0 {
+            attrs.push(("score", Value::int(2 + score.rem_euclid(19))));
+        }
+        if mask & 8 != 0 && class != "Base" {
+            attrs.push(("extra", Value::real((extra.rem_euclid(50)) as f64 / 2.0)));
+        }
+        db.create(class, attrs)
+            .expect("generated object typechecks");
+    }
+    Store::new(db, interop_constraint::Catalog::new())
+}
+
+fn enforced_constraints() -> Vec<Formula> {
+    vec![
+        Formula::cmp("score", CmpOp::Ge, 2i64),
+        Formula::cmp("num", CmpOp::Ge, 0i64),
+    ]
+}
+
+fn build_atom(&(kind, attr, op, konst): &AtomSpec) -> Formula {
+    let attr_name = ATTRS[(attr as usize) % ATTRS.len()];
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    let cmp_op = ops[(op as usize) % ops.len()];
+    match kind % 6 {
+        // Numeric comparison (sometimes against a string attr —
+        // exercising incomparable-variant semantics).
+        0 => Formula::cmp(attr_name, cmp_op, (konst % 30) as i64),
+        // Real-constant comparison (cross-type numerics).
+        1 => Formula::cmp(attr_name, cmp_op, (konst % 30) as f64 / 2.0),
+        // String comparison (sometimes against numeric attrs).
+        2 => Formula::cmp(
+            attr_name,
+            cmp_op,
+            NAMES[(konst.unsigned_abs() as usize) % NAMES.len()],
+        ),
+        // Membership over mixed int/real constants.
+        3 => Formula::In(
+            Expr::attr(attr_name),
+            [
+                Value::int((konst % 10) as i64),
+                Value::real((konst % 10) as f64),
+                Value::int((konst % 7) as i64),
+            ]
+            .into_iter()
+            .collect(),
+        ),
+        // Substring test.
+        4 => Formula::Contains(
+            Expr::attr("name"),
+            NAMES[(konst.unsigned_abs() as usize) % NAMES.len()].into(),
+        ),
+        // Null-probing equality against a constant the data never holds.
+        _ => Formula::cmp(attr_name, cmp_op, 1000i64),
+    }
+}
+
+/// Combines atoms into a predicate; `shape` picks the boolean structure
+/// so conjunctions (planner fast path), disjunctions, negations and
+/// implications (residual-only paths) are all exercised.
+fn build_pred(atoms: &[AtomSpec], shape: u8) -> Formula {
+    let fs: Vec<Formula> = atoms.iter().map(build_atom).collect();
+    match shape % 4 {
+        0 => Formula::conj(fs),
+        1 => {
+            let mut it = fs.into_iter();
+            let first = it.next().unwrap_or(Formula::True);
+            it.fold(first, |acc, f| acc.or(f))
+        }
+        2 => {
+            let mut it = fs.into_iter();
+            let first = it.next().unwrap_or(Formula::True);
+            Formula::Not(Box::new(first)).and(Formula::conj(it))
+        }
+        _ => {
+            let mut it = fs.into_iter();
+            let first = it.next().unwrap_or(Formula::True);
+            first.implies(Formula::conj(it))
+        }
+    }
+}
+
+fn oracle_hits(store: &Store, class: &str, pred: &Formula) -> Vec<interop_model::ObjectId> {
+    let mut hits = Query::new(class, pred.clone())
+        .scan(store)
+        .expect("oracle scans");
+    hits.sort_unstable();
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The planner and the scan oracle agree on every random query, with
+    /// and without the derived constraints armed.
+    #[test]
+    fn planner_matches_scan_oracle(
+        objs in prop::collection::vec(
+            (0u8..6, 0i64..200, 0u8..8, 0i64..40, 0i64..100, 0u8..16),
+            0..25,
+        ),
+        atoms in prop::collection::vec((0u8..12, 0u8..8, 0u8..12, -30i16..30), 1..5),
+        shape in 0u8..8,
+        class_sel in 0u8..8,
+        armed in any::<bool>(),
+    ) {
+        let store = build_store(&objs);
+        let class = CLASSES[(class_sel as usize) % CLASSES.len()];
+        let pred = build_pred(&atoms, shape);
+        let constraints = if armed { enforced_constraints() } else { Vec::new() };
+        let opt = Optimizer::new(&store, class, constraints);
+        let (mut hits, outcome) = opt.execute(&store, &pred).expect("planner executes");
+        hits.sort_unstable();
+        let expected = oracle_hits(&store, class, &pred);
+        prop_assert_eq!(
+            &hits, &expected,
+            "planner and scan oracle disagree on class {} pred {} (outcome {:?})",
+            class, pred, outcome
+        );
+        if outcome == OptimizeOutcome::PrunedEmpty {
+            prop_assert!(
+                expected.is_empty(),
+                "PrunedEmpty claimed but the scan finds hits for {}", pred
+            );
+        }
+    }
+
+    /// Conjunctive queries — the planner's index-intersection fast path —
+    /// agree with the oracle even when every conjunct is index-satisfiable.
+    #[test]
+    fn conjunctive_index_path_matches_oracle(
+        objs in prop::collection::vec(
+            (0u8..6, 0i64..200, 0u8..8, 0i64..40, 0i64..100, 0u8..16),
+            0..25,
+        ),
+        atoms in prop::collection::vec((0u8..4, 0u8..8, 0u8..12, -30i16..30), 1..4),
+        class_sel in 0u8..8,
+    ) {
+        let store = build_store(&objs);
+        let class = CLASSES[(class_sel as usize) % CLASSES.len()];
+        let pred = Formula::conj(atoms.iter().map(build_atom));
+        let opt = Optimizer::new(&store, class, enforced_constraints());
+        let (mut hits, _) = opt.execute(&store, &pred).expect("planner executes");
+        hits.sort_unstable();
+        prop_assert_eq!(hits, oracle_hits(&store, class, &pred));
+    }
+
+    /// Repeating a query against warm indexes returns identical results
+    /// (the lazy cache itself is deterministic).
+    #[test]
+    fn warm_indexes_are_stable(
+        objs in prop::collection::vec(
+            (0u8..6, 0i64..200, 0u8..8, 0i64..40, 0i64..100, 0u8..16),
+            0..20,
+        ),
+        atoms in prop::collection::vec((0u8..4, 0u8..8, 0u8..12, -30i16..30), 1..4),
+    ) {
+        let store = build_store(&objs);
+        let pred = Formula::conj(atoms.iter().map(build_atom));
+        let opt = Optimizer::new(&store, "Base", enforced_constraints());
+        let (first, o1) = opt.execute(&store, &pred).expect("cold run");
+        let (second, o2) = opt.execute(&store, &pred).expect("warm run");
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(o1, o2);
+    }
+}

@@ -72,6 +72,17 @@ def main():
         "of the control group itself is masked — pick a group the change "
         "under test does not touch)",
     )
+    ap.add_argument(
+        "--min-speedup",
+        nargs=3,
+        metavar=("SLOW_PREFIX", "FAST_PREFIX", "FACTOR"),
+        action="append",
+        default=[],
+        help="assert, within the NEW recording, that every benchmark under "
+        "SLOW_PREFIX is at least FACTOR× slower than its FAST_PREFIX "
+        "counterpart (matched by the suffix after the prefix). Used to "
+        "gate e.g. query_optimization/full_scan vs .../planned at 2x.",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -112,8 +123,34 @@ def main():
         if in_groups(name, args.groups):
             print(f"NEW       {name:<55} {'':>10} -> {fmt_ns(new[name]):>10}")
 
+    for slow_prefix, fast_prefix, factor in args.min_speedup:
+        factor = float(factor)
+        pairs = 0
+        for name in sorted(new):
+            if not name.startswith(slow_prefix + "/"):
+                continue
+            suffix = name[len(slow_prefix):]
+            fast = fast_prefix + suffix
+            if fast not in new:
+                failures.append(f"{fast}: missing counterpart for {name}")
+                continue
+            pairs += 1
+            ratio = new[name] / new[fast] if new[fast] > 0 else float("inf")
+            ok = ratio >= factor
+            status = "SPEEDUP" if ok else "TOO SLOW"
+            print(
+                f"{status:<9} {fast:<55} {fmt_ns(new[name]):>10} -> "
+                f"{fmt_ns(new[fast]):>10}  ({ratio:.2f}x, need {factor:.2f}x)"
+            )
+            if not ok:
+                failures.append(
+                    f"{fast}: only {ratio:.2f}x faster than {name} (need {factor:.2f}x)"
+                )
+        if pairs == 0:
+            failures.append(f"--min-speedup {slow_prefix}: no benchmarks matched")
+
     if failures:
-        print(f"\n{len(failures)} regression(s) beyond {args.threshold:.2f}x:", file=sys.stderr)
+        print(f"\n{len(failures)} bench gate failure(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1

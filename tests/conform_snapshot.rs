@@ -1,0 +1,135 @@
+//! Snapshot regression test: the conformation phase's output on the
+//! Figure-1/2 paper fixtures is pinned byte-for-byte. The conform-phase
+//! performance work (interned schema index, hash-map hot paths) must not
+//! change a single visible byte — schemas, rewritten constraints,
+//! objectified extents, conformed spec, and notes are all rendered here.
+//!
+//! To regenerate after an *intended* output change, run with
+//! `UPDATE_SNAPSHOTS=1` and review the diff.
+
+use db_interop::conform::{conform, Conformed};
+use db_interop::core::fixtures;
+use db_interop::model::Database;
+use std::fmt::Write as _;
+
+/// Renders every user-visible part of a conformation result into a
+/// deterministic text form.
+fn render(conf: &Conformed) -> String {
+    let mut out = String::new();
+    for (tag, side) in [("local", &conf.local), ("remote", &conf.remote)] {
+        writeln!(out, "== {tag} schema ==").unwrap();
+        render_db(&mut out, &side.db);
+        writeln!(out, "== {tag} catalog ==").unwrap();
+        for c in side.catalog.all_object() {
+            writeln!(out, "object {c}").unwrap();
+        }
+        for c in side.catalog.all_class() {
+            writeln!(out, "class {c}").unwrap();
+        }
+        for c in side.catalog.database_constraints() {
+            writeln!(out, "database {c}").unwrap();
+        }
+    }
+    writeln!(out, "== conformed spec ==").unwrap();
+    for r in &conf.spec.rules {
+        writeln!(out, "rule {r}").unwrap();
+    }
+    for p in &conf.spec.propeqs {
+        writeln!(out, "propeq {p}").unwrap();
+    }
+    writeln!(out, "== notes ==").unwrap();
+    for n in &conf.notes {
+        writeln!(out, "{}: {}", n.context, n.reason).unwrap();
+    }
+    out
+}
+
+fn render_db(out: &mut String, db: &Database) {
+    for def in db.schema.classes() {
+        let parent = def
+            .parent
+            .as_ref()
+            .map(|p| format!(" isa {p}"))
+            .unwrap_or_default();
+        let virt = if def.virtual_class { " (virtual)" } else { "" };
+        writeln!(out, "class {}{parent}{virt}", def.name).unwrap();
+        for a in &def.attrs {
+            writeln!(out, "  {} : {}", a.name, a.ty).unwrap();
+        }
+    }
+    for obj in db.objects() {
+        write!(out, "object {} : {} {{", obj.id, obj.class).unwrap();
+        for (i, (attr, v)) in obj.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{attr} = {v}").unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+    }
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = format!("{}/tests/snapshots/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok() {
+        std::fs::create_dir_all(format!("{}/tests/snapshots", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {path}: {e}; run with UPDATE_SNAPSHOTS=1"));
+    assert!(
+        expected == rendered,
+        "conform output diverged from pinned snapshot {path}.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{rendered}\n\
+         If the change is intended, regenerate with UPDATE_SNAPSHOTS=1 and review."
+    );
+}
+
+#[test]
+fn paper_fixture_conform_output_pinned() {
+    let fx = fixtures::paper_fixture();
+    let conf = conform(
+        &fx.local_db,
+        &fx.local_catalog,
+        &fx.remote_db,
+        &fx.remote_catalog,
+        &fx.spec,
+    )
+    .expect("paper fixture conforms");
+    check("conform_paper", &render(&conf));
+}
+
+#[test]
+fn empty_extents_conform_output_pinned() {
+    // Figure-1 schemas with no objects: pins the schema/catalog/spec
+    // rewriting independently of any data.
+    let fx = fixtures::paper_fixture_empty();
+    let conf = conform(
+        &fx.local_db,
+        &fx.local_catalog,
+        &fx.remote_db,
+        &fx.remote_catalog,
+        &fx.spec,
+    )
+    .expect("empty paper fixture conforms");
+    check("conform_paper_empty", &render(&conf));
+}
+
+#[test]
+fn value_view_conform_output_pinned() {
+    // The §4 value-view variant (no objectification; descriptivity handled
+    // by hiding) exercises the other half of the conform phase.
+    let fx = fixtures::paper_fixture();
+    let mut spec = fx.spec.clone();
+    spec.object_view = false;
+    let conf = conform(
+        &fx.local_db,
+        &fx.local_catalog,
+        &fx.remote_db,
+        &fx.remote_catalog,
+        &spec,
+    )
+    .expect("value view conforms");
+    check("conform_paper_value_view", &render(&conf));
+}

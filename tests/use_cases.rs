@@ -62,10 +62,11 @@ fn derived_constraints_prune_contradictory_subqueries() {
     let (hits, how) = opt.execute(&store, &doomed).unwrap();
     assert_eq!(how, OptimizeOutcome::PrunedEmpty);
     assert!(hits.is_empty());
-    // A satisfiable query is still answered, by scan.
+    // A satisfiable query is still answered — the planner serves the
+    // equality through a lazily built hash posting list.
     let ok = Formula::cmp("ref?", CmpOp::Eq, true);
     let (hits, how) = opt.execute(&store, &ok).unwrap();
-    assert_eq!(how, OptimizeOutcome::Scanned);
+    assert_eq!(how, OptimizeOutcome::IndexScan);
     assert_eq!(hits.len(), 2);
 }
 
@@ -162,11 +163,12 @@ fn merged_scope_constraints_prune_on_the_integrated_view() {
         .execute(&store, &Formula::cmp("trav_reimb", CmpOp::Eq, 15i64))
         .unwrap();
     assert_eq!(how, OptimizeOutcome::PrunedEmpty);
-    // 17 is a legal fused tariff: not prunable.
+    // 17 is a legal fused tariff: not prunable, answered via the
+    // equality index.
     let (_, how) = opt
         .execute(&store, &Formula::cmp("trav_reimb", CmpOp::Eq, 17i64))
         .unwrap();
-    assert_eq!(how, OptimizeOutcome::Scanned);
+    assert_eq!(how, OptimizeOutcome::IndexScan);
 }
 
 #[test]

@@ -2,12 +2,21 @@
 //! workspace's property-test suites.
 //!
 //! The build environment has no crates.io access, so this in-tree crate
-//! stands in for the real dependency. It implements random generation only
-//! (no shrinking): the `proptest!` macro, `Strategy` with `prop_map` /
-//! `prop_recursive` / `boxed`, ranges and tuples as strategies, regex-lite
-//! string strategies (`"[a-z]{0,6}"`), `prop::collection::{vec, btree_set}`,
-//! `prop::sample::select`, `prop_oneof!`, `any::<T>()`, and the
-//! `prop_assert*` / `prop_assume!` macros.
+//! stands in for the real dependency. It implements the `proptest!` macro,
+//! `Strategy` with `prop_map` / `prop_recursive` / `boxed`, ranges and
+//! tuples as strategies, regex-lite string strategies (`"[a-z]{0,6}"`),
+//! `prop::collection::{vec, btree_set}`, `prop::sample::select`,
+//! `prop_oneof!`, `any::<T>()`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Shrinking: integer-range, `vec`, `btree_set` and tuple strategies
+//! shrink failing cases by greedy binary search ([`Strategy::shrink`]
+//! proposes candidates largest-jump-first; the runner keeps the first
+//! candidate that still fails and iterates to a local minimum). Failures
+//! therefore report a *minimal counterexample* instead of just the seed.
+//! Composite strategies built with `prop_map` / `prop_oneof!` do not
+//! shrink (the mapping is not invertible); their failures still report the
+//! generated value.
 //!
 //! Determinism: each generated `#[test]` derives its RNG seed from the test
 //! name (FNV-1a) unless `PROPTEST_SEED` is set, so runs are reproducible and
@@ -98,8 +107,94 @@ pub mod test_runner {
         h
     }
 
+    /// Upper bound on candidate evaluations during one shrink search.
+    pub const SHRINK_BUDGET: u32 = 4096;
+
+    /// Greedily minimises a failing input: repeatedly asks the strategy
+    /// for shrink candidates (largest jump first) and moves to the first
+    /// candidate that still fails, until none fails or the budget runs
+    /// out. Returns the minimal failing value, its failure message, and
+    /// the number of accepted shrink steps.
+    pub fn minimize<S, F>(
+        strategy: &S,
+        mut cur: S::Value,
+        mut msg: String,
+        run_one: &mut F,
+    ) -> (S::Value, String, u32)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone,
+        F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut budget = SHRINK_BUDGET;
+        let mut steps = 0u32;
+        'search: loop {
+            for cand in strategy.shrink(&cur) {
+                if budget == 0 {
+                    break 'search;
+                }
+                budget -= 1;
+                // A candidate that passes or is rejected by `prop_assume!`
+                // is not a counterexample; keep looking.
+                if let Err(TestCaseError::Fail(m)) = run_one(&cand) {
+                    cur = cand;
+                    msg = m;
+                    steps += 1;
+                    continue 'search;
+                }
+            }
+            break;
+        }
+        (cur, msg, steps)
+    }
+
+    /// Drives one generated `#[test]` through the shrinking runner: the
+    /// strategy generates whole cases, failures are minimised via
+    /// [`minimize`] before panicking with the minimal counterexample.
+    pub fn run_cases_shrinking<S, F>(
+        name: &str,
+        config: &ProptestConfig,
+        strategy: &S,
+        mut run_one: F,
+    ) where
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_for(name);
+        let mut rng = TestRng::from_seed_u64(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let case = strategy.generate(&mut rng);
+            match run_one(&case) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest `{name}`: too many prop_assume! rejections \
+                             ({rejected}) after {passed} passing cases \
+                             (reproduce with PROPTEST_SEED={seed})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min, min_msg, steps) = minimize(strategy, case, msg, &mut run_one);
+                    panic!(
+                        "proptest `{name}` failed after {passed} passing cases: {min_msg}\n\
+                         minimal counterexample: {min:?} \
+                         (after {steps} shrink steps; reproduce with PROPTEST_SEED={seed})"
+                    );
+                }
+            }
+        }
+    }
+
     /// Drives one generated `#[test]`: `run_one` generates inputs from the
     /// strategies and evaluates the body, returning per-case pass/fail/reject.
+    /// No shrinking — kept for raw-closure harnesses that manage their own
+    /// generation; the `proptest!` macro uses [`run_cases_shrinking`].
     pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut run_one: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
@@ -138,11 +233,20 @@ pub mod strategy {
     use std::ops::{Range, RangeInclusive};
     use std::rc::Rc;
 
-    /// Random-generation-only strategy (no shrinking).
+    /// A value generator with optional shrinking.
     pub trait Strategy {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes simpler candidates for a failing `value`, ordered
+        /// largest-jump-first so the greedy runner binary-searches toward
+        /// the minimum. The default (no candidates) disables shrinking,
+        /// which is the right behaviour for non-invertible combinators
+        /// like `prop_map`.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
@@ -189,11 +293,15 @@ pub mod strategy {
     /// Object-safe view of `Strategy`, so strategies can be boxed.
     trait DynStrategy<T> {
         fn generate_dyn(&self, rng: &mut TestRng) -> T;
+        fn shrink_dyn(&self, value: &T) -> Vec<T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
         fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
             self.generate(rng)
+        }
+        fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -209,6 +317,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             self.0.generate_dyn(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink_dyn(value)
         }
     }
 
@@ -268,6 +379,27 @@ pub mod strategy {
         }
     }
 
+    /// Binary-search shrink candidates for an integer `v` with minimum
+    /// `start`: `[start, v - d/2, v - d/4, …, v - 1]` (largest jump
+    /// first). Each accepted candidate re-enters the search, so the
+    /// greedy runner converges to the smallest failing value in
+    /// O(log span) accepted steps.
+    fn shrink_int(start: i128, v: i128) -> Vec<i128> {
+        if v <= start {
+            return Vec::new();
+        }
+        let mut out = vec![start];
+        let mut d = (v - start) / 2;
+        while d > 0 {
+            let cand = v - d;
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+            d /= 2;
+        }
+        out
+    }
+
     macro_rules! impl_int_strategy {
         ($($t:ty),* $(,)?) => {$(
             impl Strategy for Range<$t> {
@@ -276,6 +408,12 @@ pub mod strategy {
                     assert!(self.start < self.end, "cannot sample empty range");
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
             impl Strategy for RangeInclusive<$t> {
@@ -289,6 +427,12 @@ pub mod strategy {
                     }
                     (start as i128 + rng.below(span + 1) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
         )*};
     }
@@ -300,6 +444,21 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> f64 {
             assert!(self.start < self.end, "cannot sample empty range");
             self.start + rng.unit_f64() * (self.end - self.start)
+        }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            // Binary search toward the range start, stopping once the
+            // remaining distance is negligible at the range's scale.
+            let eps = (self.end - self.start) * 1e-9;
+            if *value - self.start <= eps {
+                return Vec::new();
+            }
+            let mut out = vec![self.start];
+            let mut d = (*value - self.start) / 2.0;
+            while d > eps {
+                out.push(*value - d);
+                d /= 2.0;
+            }
+            out
         }
     }
 
@@ -388,10 +547,25 @@ pub mod strategy {
 
     macro_rules! impl_tuple_strategy {
         ($(($($s:ident $idx:tt),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone,)+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Component-wise: shrink one position, hold the rest.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -478,11 +652,42 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.clone().generate(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min_len = self.size.start;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // 1. Length reductions, biggest first: truncate to the
+            //    minimum, then drop each half, then single elements.
+            if value.len() > min_len {
+                out.push(value[..min_len].to_vec());
+                let half = value.len() / 2;
+                if half > min_len {
+                    out.push(value[..half].to_vec());
+                    out.push(value[half..].to_vec());
+                }
+                for i in 0..value.len().min(32) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // 2. Element-wise shrinking at the current length.
+            for (i, elem) in value.iter().enumerate().take(32) {
+                for cand in self.element.shrink(elem).into_iter().take(8) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -511,9 +716,24 @@ pub mod collection {
     impl<S> Strategy for BTreeSetStrategy<S>
     where
         S: Strategy,
-        S::Value: Ord,
+        S::Value: Ord + Clone,
     {
         type Value = BTreeSet<S::Value>;
+        fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+            let min_len = self.size.start;
+            let mut out = Vec::new();
+            if value.len() > min_len {
+                // Keep only the smallest `min_len` elements, then try
+                // removing each element individually.
+                out.push(value.iter().take(min_len).cloned().collect());
+                for e in value.iter().take(32) {
+                    let mut s = value.clone();
+                    s.remove(e);
+                    out.push(s);
+                }
+            }
+            out
+        }
         fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
             let target = self.size.clone().generate(rng);
             let mut out = BTreeSet::new();
@@ -649,11 +869,15 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let config = $config;
-                $crate::test_runner::run_cases(
+                // All argument strategies combine into one tuple strategy
+                // so a failing case shrinks as a whole (component-wise).
+                let __proptest_strategy = ($($strat,)+);
+                $crate::test_runner::run_cases_shrinking(
                     concat!(module_path!(), "::", stringify!($name)),
                     &config,
-                    |__proptest_rng| {
-                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    &__proptest_strategy,
+                    |__proptest_case| {
+                        let ($($arg,)+) = ::core::clone::Clone::clone(__proptest_case);
                         let __proptest_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                             (|| { $body ::core::result::Result::Ok(()) })();
                         __proptest_result
@@ -774,6 +998,102 @@ mod tests {
             saw_node |= matches!(t, T::Node(_));
         }
         assert!(saw_node, "recursive arm never chosen");
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_exact_boundary() {
+        // Property "x < 37" first fails at some random x >= 37; binary
+        // search must land on exactly 37 (the minimal counterexample).
+        let strategy = 0i64..1000;
+        let mut run = |v: &i64| {
+            if *v >= 37 {
+                Err(TestCaseError::fail(format!("{v} >= 37")))
+            } else {
+                Ok(())
+            }
+        };
+        let seeded_failure = 612i64; // any failing start converges
+        let (min, msg, steps) =
+            crate::test_runner::minimize(&strategy, seeded_failure, "seed".into(), &mut run);
+        assert_eq!(min, 37, "binary search must find the boundary");
+        assert!(msg.contains("37 >= 37"));
+        assert!(steps > 0 && steps <= 12, "log-bounded steps, got {steps}");
+    }
+
+    #[test]
+    fn vec_failure_shrinks_to_minimal_vector() {
+        // Property "len < 3" fails on any longer vector; the minimum is a
+        // 3-element vector of minimal elements.
+        let strategy = crate::collection::vec(0i64..100, 0..10);
+        let mut run = |v: &Vec<i64>| {
+            if v.len() >= 3 {
+                Err(TestCaseError::fail(format!("len {} >= 3", v.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::test_runner::minimize(
+            &strategy,
+            vec![71, 9, 33, 4, 55, 12, 80],
+            "seed".into(),
+            &mut run,
+        );
+        assert_eq!(min, vec![0, 0, 0], "minimal counterexample is [0, 0, 0]");
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        let strategy = (0i64..100, 0i64..100);
+        let mut run = |&(a, b): &(i64, i64)| {
+            if a + b >= 10 {
+                Err(TestCaseError::fail("sum too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) =
+            crate::test_runner::minimize(&strategy, (60, 70), "seed".into(), &mut run);
+        assert!(min.0 + min.1 >= 10, "minimum still fails");
+        // One component collapses to 0, the other to the boundary.
+        assert_eq!(min.0 + min.1, 10, "greedy shrink reaches the sum boundary");
+    }
+
+    #[test]
+    fn rejected_candidates_do_not_count_as_shrinks() {
+        // Candidates below 20 are rejected (prop_assume-style); the
+        // minimiser must not walk through them to reach spurious minima.
+        let strategy = 0i64..1000;
+        let mut run = |v: &i64| {
+            if *v < 20 {
+                Err(TestCaseError::Reject)
+            } else if *v >= 50 {
+                Err(TestCaseError::fail("big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::test_runner::minimize(&strategy, 800, "seed".into(), &mut run);
+        assert_eq!(min, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal counterexample: (37,")]
+    fn macro_failure_reports_minimal_counterexample() {
+        // End-to-end through the shrinking runner: the panic message
+        // carries the shrunk value, not the raw seeded failure.
+        let strategy = (0i64..1000,);
+        crate::test_runner::run_cases_shrinking(
+            "shim::shrink_e2e",
+            &ProptestConfig::with_cases(64),
+            &strategy,
+            |&(x,): &(i64,)| {
+                if x >= 37 {
+                    Err(TestCaseError::fail("boundary"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
     }
 
     // Exercise the macro end to end, exactly as the workspace suites use it.
