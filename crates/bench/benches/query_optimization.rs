@@ -3,11 +3,18 @@
 //! subqueries which are known to yield empty results". Compares the
 //! constraint-pruned path against the full scan it replaces, across
 //! store sizes, plus the key-index fast path.
+//!
+//! The `mixed_rw_*` pair measures **incremental index maintenance**: an
+//! interleaved update+query workload run once with wholesale
+//! invalidation (every mutation discards all postings and statistics;
+//! every query rebuilds) and once with per-object deltas. CI gates the
+//! incremental side at ≥2× the wholesale side within each recording.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use interop_bench::synthetic_store;
 use interop_constraint::{CmpOp, Formula};
-use interop_storage::{OptimizeOutcome, Optimizer, Query};
+use interop_model::{ClassName, Value};
+use interop_storage::{IndexMaintenance, OptimizeOutcome, Optimizer, Query};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("query_optimization");
@@ -85,6 +92,50 @@ fn bench(c: &mut Criterion) {
                     .expect("executes")
             })
         });
+    }
+
+    // Mixed read/write workload: each iteration commits one rating
+    // update, then answers three planned queries. Wholesale invalidation
+    // pays full index + statistics rebuilds on every iteration;
+    // incremental maintenance applies O(log n) deltas.
+    for n in [1_000usize, 10_000] {
+        for (mode_name, mode) in [
+            ("mixed_rw_wholesale", IndexMaintenance::Wholesale),
+            ("mixed_rw_incremental", IndexMaintenance::Incremental),
+        ] {
+            let mut store = synthetic_store(n, 7);
+            store.set_index_maintenance(mode);
+            let ids = store.db().extension(&ClassName::new("Item"));
+            let opt = Optimizer::new(
+                &store,
+                "Item",
+                vec![Formula::cmp("rating", CmpOp::Ge, 5i64)],
+            );
+            let preds = [
+                Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("price", CmpOp::Le, 30.0)),
+                Formula::cmp("price", CmpOp::Le, 5.0),
+                Formula::isin("rating", [9i64, 10]),
+            ];
+            // Warm the indexes and statistics once.
+            for p in &preds {
+                opt.execute(&store, p).expect("warm-up");
+            }
+            let mut i = 0usize;
+            g.bench_with_input(BenchmarkId::new(mode_name, n), &n, |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    let id = ids[(i * 37) % ids.len()];
+                    store
+                        .update(id, "rating", Value::Int(5 + (i as i64 % 6)))
+                        .expect("rating stays in bounds");
+                    let mut total = 0usize;
+                    for p in &preds {
+                        total += opt.execute(&store, p).expect("executes").0.len();
+                    }
+                    total
+                })
+            });
+        }
     }
     g.finish();
 }

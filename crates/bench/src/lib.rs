@@ -4,6 +4,18 @@
 //! synthetic workloads behind the use-case benchmarks (merge scaling,
 //! derivation scaling, query optimisation, update validation) and the
 //! parameter sweeps recorded in `EXPERIMENTS.md`.
+//!
+//! # Invariants
+//!
+//! * **Workloads are deterministic given their config**: every generator
+//!   threads a seeded [`rand::rngs::StdRng`], so two runs with the same
+//!   [`SyntheticConfig`] (or `(n, seed)` pair) produce byte-identical
+//!   databases — benchmark recordings and the `EXPLAIN` snapshot suite
+//!   both rely on it.
+//! * **Generated data satisfies its own catalog**: constraints emitted
+//!   alongside a workload hold on the generated extents (the
+//!   constraint-enforcing store would reject the fixture otherwise), so
+//!   benchmarks measure steady-state behaviour, not rejection paths.
 
 use interop_constraint::{
     Catalog, ClassConstraint, CmpOp, ConstraintId, Formula, ObjectConstraint,

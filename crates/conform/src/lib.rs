@@ -21,6 +21,23 @@
 //! under a non-identity conversion) are *dropped with a note* rather than
 //! silently kept wrong — the conservative direction for everything
 //! downstream.
+//!
+//! # Invariants
+//!
+//! * **Attribute plans are keyed by the declaring class.** A `propeq`
+//!   or descriptivity rule stated on a subclass resolves to the class
+//!   that *declares* the attribute before any renaming, so object data
+//!   is never rewritten into a shape the conformed schema rejects
+//!   (regression-tested; found by the differential suites).
+//! * **One interned [`interned::PlanIndex`] per side** serves the database
+//!   transformation, every constraint rewrite, and the spec rewrite —
+//!   built top-down so each class inherits its parent's resolved
+//!   attribute actions, with ancestry sets giving O(1) subclass tests.
+//!   Interned lookups are property-tested against naive hierarchy
+//!   walks.
+//! * **Conform output is deterministic** and pinned byte-for-byte on
+//!   the paper fixtures (`tests/conform_snapshot.rs` at the workspace
+//!   root); notes are emitted in source order.
 
 pub mod conform;
 pub mod interned;

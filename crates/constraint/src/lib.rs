@@ -24,6 +24,42 @@
 //! * a syntactic classifier ([`classify`]) assigning raw constraints to
 //!   the object/class/database categories (the role played by the IMPRESS
 //!   design toolbox \[FKS94\] in the paper).
+//!
+//! # Invariants
+//!
+//! * **The solver errs in one direction only.** Opaque atoms are
+//!   dropped (an over-approximation of the solution set), so
+//!   [`solve::is_satisfiable`] means "not *provably* empty" and
+//!   [`solve::implies`] returns `true` only for proven entailments.
+//!   Conflict detection, constraint admission, query pruning and
+//!   implied-true dropping are all safe against this direction; none is
+//!   safe against the opposite one.
+//! * **Evaluation is three-valued** ([`eval::Truth`]): a null attribute
+//!   makes an atom `Unknown`, never `True`/`False`. Constraint
+//!   *enforcement* accepts `Unknown` (a constraint is violated only when
+//!   provably `False`) while query answers require `True` — the
+//!   asymmetry the planner's coverage rules exist for
+//!   ([`solve::implied_by_restricted`]).
+//! * **Domains are closed under the algebra**: intersection, union,
+//!   complement and affine images of interval unions / (co)finite sets
+//!   stay within [`domain::Domain`], with mixed numeric/discrete
+//!   carriers widening conservatively.
+//!
+//! # Example
+//!
+//! ```
+//! use interop_constraint::solve::{implies, is_satisfiable, TypeEnv};
+//! use interop_constraint::{CmpOp, Formula};
+//! use interop_model::Type;
+//!
+//! let env = TypeEnv::new().with("rating", Type::Range(1, 10));
+//! let derived = Formula::cmp("rating", CmpOp::Ge, 5i64);
+//! // A subquery contradicting the derived constraint is provably empty…
+//! let doomed = derived.clone().and(Formula::cmp("rating", CmpOp::Lt, 3i64));
+//! assert!(!is_satisfiable(&doomed, &env));
+//! // …and entailment is proven, not guessed.
+//! assert!(implies(&derived, &Formula::cmp("rating", CmpOp::Ge, 2i64), &env));
+//! ```
 
 pub mod classify;
 pub mod constraint;

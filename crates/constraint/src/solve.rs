@@ -636,6 +636,46 @@ pub fn implied_by_restricted(constraints: &[Formula], target: &Formula, env: &Ty
     implies(&premise, target, env)
 }
 
+/// Enumeration cap for [`selectivity_hint`] — base domains larger than
+/// this are treated as non-enumerable (no prior available).
+const SELECTIVITY_CAP: usize = 256;
+
+/// Number of candidate values in a domain, when finitely enumerable
+/// within the cap.
+fn domain_count(d: &Domain, cap: usize) -> Option<usize> {
+    match d {
+        Domain::Num(n) => n.enumerate(cap).map(|vs| vs.len()),
+        Domain::Disc(DiscSet::In(s)) => Some(s.len()),
+        Domain::Disc(DiscSet::NotIn(_)) => None,
+    }
+}
+
+/// Plan-time selectivity prior for a single-path conjunct, from the
+/// domain algebra: the fraction of the attribute's finite base domain
+/// that satisfies `f`. `None` when the base domain is not finitely
+/// enumerable (strings, unbounded numerics) or `f` spans several paths.
+///
+/// This is the query planner's statistics-free fallback: a store may
+/// have no histogram for an attribute (or none built yet), but a typed
+/// domain like `rating : 1..10` already bounds how selective
+/// `rating >= 9` can be — exactly the way the paper's derived
+/// constraints prune provably-empty subqueries, applied quantitatively.
+pub fn selectivity_hint(f: &Formula, env: &TypeEnv) -> Option<f64> {
+    let paths = f.paths();
+    if paths.len() != 1 {
+        return None;
+    }
+    let path = paths.into_iter().next().expect("exactly one path");
+    let base = env.base_domain(&path);
+    let base_n = domain_count(&base, SELECTIVITY_CAP)?;
+    if base_n == 0 {
+        return Some(0.0);
+    }
+    let proj = project(f, &path, env).intersect(&base);
+    let proj_n = domain_count(&proj, SELECTIVITY_CAP)?;
+    Some((proj_n as f64 / base_n as f64).clamp(0.0, 1.0))
+}
+
 /// Is the conjunction of all formulas unsatisfiable? (The paper's
 /// *explicit conflict*: `Ω̂ ⊨ false`.)
 pub fn conjunction_unsat(fs: &[&Formula], env: &TypeEnv) -> bool {
@@ -865,6 +905,35 @@ mod tests {
             .with("publisher.name", Type::Str)
             .with("trav_reimb", Type::Int)
             .with("salary", Type::Real)
+    }
+
+    #[test]
+    fn selectivity_hint_from_finite_base_domain() {
+        let e = env();
+        // rating : 1..10 — `rating >= 9` admits {9, 10}: 0.2.
+        let f = Formula::cmp("rating", CmpOp::Ge, 9i64);
+        assert_eq!(selectivity_hint(&f, &e), Some(0.2));
+        // Membership sets count exactly.
+        let f = Formula::isin("rating", [3i64, 4, 99]);
+        assert_eq!(selectivity_hint(&f, &e), Some(0.2), "99 outside the base");
+        // Bool base domain has two values.
+        let f = Formula::cmp("ref?", CmpOp::Eq, true);
+        assert_eq!(selectivity_hint(&f, &e), Some(0.5));
+        // Non-enumerable bases and multi-path formulas give no prior.
+        assert_eq!(
+            selectivity_hint(&Formula::cmp("salary", CmpOp::Ge, 10.0), &e),
+            None
+        );
+        let multi = Formula::cmp("rating", CmpOp::Ge, 2i64).and(Formula::cmp(
+            "trav_reimb",
+            CmpOp::Eq,
+            10i64,
+        ));
+        assert_eq!(selectivity_hint(&multi, &e), None);
+        // A contradiction projects to the empty set.
+        let f =
+            Formula::cmp("rating", CmpOp::Ge, 9i64).and(Formula::cmp("rating", CmpOp::Lt, 3i64));
+        assert_eq!(selectivity_hint(&f, &e), Some(0.0));
     }
 
     #[test]

@@ -34,6 +34,23 @@
 //! [`report`] renders the outcome; [`fixtures`] provides the paper's
 //! Figure-1 databases, extents and specification for tests, examples and
 //! benchmarks.
+//!
+//! # Invariants
+//!
+//! * **Derived constraints are sound, not complete.** A constraint is
+//!   emitted for the integrated view only when the paper's conditions
+//!   are *proven* (objective pass-through, admissible combination,
+//!   admission check `Ω' ⊨ Ω̂`); anything unprovable is skipped with a
+//!   recorded [`SkipReason`]. Consumers — notably the storage planner,
+//!   which prunes queries with these formulas — may treat every derived
+//!   constraint as store-enforced truth.
+//! * **Subjectivity errs toward subjective**: a property is objective
+//!   only when its decision function provably cannot introduce
+//!   disagreement; designer declarations are validated against the
+//!   classification rather than trusted.
+//! * **Fixtures are the shared ground truth**: [`fixtures`] is the one
+//!   source of the Figure-1/2/3 artifacts used by tests, examples,
+//!   benchmarks and snapshots, so every layer exercises the same bytes.
 
 pub mod conflict;
 pub mod derive;

@@ -16,6 +16,19 @@
 //! * rule variables are plain identifiers (`o`, `r`) instead of `O`/`O'`
 //!   (the prime collides with string quotes);
 //! * supporting sugar such as `linear(a, b)` conversions.
+//!
+//! # Invariants
+//!
+//! * **Round-trip stability**: [`print_database`] output re-parses to
+//!   the same `Schema` + `Catalog` (pinned by a property suite and by
+//!   the Figure-1 fixtures under `assets/`, kept byte-identical to the
+//!   embedded copies).
+//! * **Parsing validates**: a successful [`parse_database`] has already
+//!   resolved every class reference, typed every attribute, and
+//!   classified every constraint — downstream code never sees a
+//!   dangling name.
+//! * **Errors carry positions** ([`ParseError`] spans), so fixture
+//!   regressions point at the offending TM line rather than a panic.
 
 pub mod error;
 pub mod lexer;

@@ -17,6 +17,23 @@
 //!   values, with the four-way classification of §5.1.2 (conflict
 //!   ignoring / avoiding / settling / eliminating) that drives property
 //!   subjectivity.
+//!
+//! # Invariants
+//!
+//! * **Rule conditions are split** into *interobject* predicates
+//!   (relating `o` and `r`) and *intraobject* predicates (one side
+//!   only) at construction — the §3 implied-constraint derivation and
+//!   the merge phase's join planning both rely on the split being
+//!   complete and disjoint.
+//! * **Conversion functions apply to constants too**: whatever maps
+//!   property *values* during conformation maps the constants inside
+//!   constraints over those properties ([`Conversion::apply`] is the
+//!   single code path for both), so a conformed constraint cannot drift
+//!   from its conformed data.
+//! * **The decision-function classification is total**: every [`Decision`]
+//!   has a [`DfKind`], and the subjectivity analysis in `interop-core`
+//!   treats anything not provably conflict-avoiding/-eliminating as
+//!   potentially subjective — the conservative direction.
 
 pub mod convert;
 pub mod decide;

@@ -4,8 +4,15 @@
 //!
 //! Secondary indexes cover one `(class, attribute)` pair over the class
 //! *extension* (subclass instances included) and are built lazily by the
-//! store on first use; the store invalidates them wholesale whenever any
-//! mutation commits (see `Store::version`).
+//! store on first use. Once built they are maintained **incrementally**:
+//! every committed mutation applies a per-object delta
+//! ([`HashIndex::insert`]/[`HashIndex::remove`] and the [`SortedIndex`]
+//! equivalents) instead of discarding the index (see `Store` for the
+//! delta routing and the wholesale-invalidation fallback mode).
+//!
+//! Invariant: every posting list is sorted by object id and duplicate
+//! free — the batch intersection in `optimize` relies on it, and the
+//! delta operations preserve it by binary-searched insertion.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -136,6 +143,32 @@ impl HashIndex {
     pub fn distinct(&self) -> usize {
         self.map.len()
     }
+
+    /// Delta: adds `id` under `v`'s canonical key (no-op for nulls),
+    /// keeping the posting list sorted.
+    pub fn insert(&mut self, v: &Value, id: ObjectId) {
+        if let Some(key) = canon_key(v) {
+            let ids = self.map.entry(key).or_default();
+            if let Err(pos) = ids.binary_search(&id) {
+                ids.insert(pos, id);
+            }
+        }
+    }
+
+    /// Delta: removes `id` from `v`'s posting list; an emptied list is
+    /// dropped so [`HashIndex::distinct`] stays exact.
+    pub fn remove(&mut self, v: &Value, id: ObjectId) {
+        if let Some(key) = canon_key(v) {
+            if let Some(ids) = self.map.get_mut(&key) {
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
 }
 
 /// Sorted numeric entries for one `(class, attr)`: `(value, id)` ordered
@@ -166,6 +199,27 @@ impl SortedIndex {
     /// True when nothing numeric is indexed.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Delta: adds a `(value, id)` entry when the value is numeric,
+    /// keeping the entries ordered by `(value, id)`. Idempotent like
+    /// [`HashIndex::insert`] — a repeated delta must not duplicate an
+    /// entry.
+    pub fn insert(&mut self, v: &Value, id: ObjectId) {
+        if let Some(n) = v.as_num() {
+            if let Err(pos) = self.entries.binary_search(&(n, id)) {
+                self.entries.insert(pos, (n, id));
+            }
+        }
+    }
+
+    /// Delta: removes the `(value, id)` entry if present.
+    pub fn remove(&mut self, v: &Value, id: ObjectId) {
+        if let Some(n) = v.as_num() {
+            if let Ok(pos) = self.entries.binary_search(&(n, id)) {
+                self.entries.remove(pos);
+            }
+        }
     }
 
     /// Ids whose value falls within the bounds, **sorted by id** (ready
@@ -295,6 +349,55 @@ mod tests {
             Vec::<ObjectId>::new(),
             "inverted range is empty, not a panic"
         );
+    }
+
+    #[test]
+    fn hash_index_deltas_keep_postings_sorted() {
+        let mut idx = HashIndex::build([
+            (Value::int(5), ObjectId::new(1, 9)),
+            (Value::int(5), ObjectId::new(1, 2)),
+        ]);
+        idx.insert(&Value::real(5.0), ObjectId::new(1, 4));
+        assert_eq!(
+            idx.postings(&Value::real(5.0)),
+            &[
+                ObjectId::new(1, 2),
+                ObjectId::new(1, 4),
+                ObjectId::new(1, 9)
+            ]
+        );
+        // Re-inserting an existing id is a no-op (idempotent deltas).
+        idx.insert(&Value::int(5), ObjectId::new(1, 4));
+        assert_eq!(idx.postings(&Value::real(5.0)).len(), 3);
+        idx.insert(&Value::Null, ObjectId::new(1, 7));
+        assert_eq!(idx.distinct(), 1, "null delta not indexed");
+        idx.remove(&Value::int(5), ObjectId::new(1, 4));
+        idx.remove(&Value::int(5), ObjectId::new(1, 2));
+        idx.remove(&Value::int(5), ObjectId::new(1, 9));
+        assert_eq!(idx.distinct(), 0, "emptied posting list dropped");
+    }
+
+    #[test]
+    fn sorted_index_deltas_keep_entries_ordered() {
+        let vals = [Value::int(3), Value::int(1)];
+        let mut idx = SortedIndex::build(
+            vals.iter()
+                .enumerate()
+                .map(|(i, v)| (v, ObjectId::new(1, i as u64))),
+        );
+        idx.insert(&Value::real(2.0), ObjectId::new(1, 9));
+        idx.insert(&Value::str("nope"), ObjectId::new(1, 8));
+        assert_eq!(idx.len(), 3, "non-numeric delta not indexed");
+        idx.insert(&Value::real(2.0), ObjectId::new(1, 9));
+        assert_eq!(idx.len(), 3, "idempotent deltas");
+        use std::ops::Bound::*;
+        assert_eq!(
+            idx.range_ids(Included(R64::new(2.0)), Unbounded),
+            vec![ObjectId::new(1, 0), ObjectId::new(1, 9)]
+        );
+        idx.remove(&Value::real(2.0), ObjectId::new(1, 9));
+        idx.remove(&Value::real(99.0), ObjectId::new(1, 9)); // absent: no-op
+        assert_eq!(idx.len(), 2);
     }
 
     #[test]

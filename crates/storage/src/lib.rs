@@ -14,21 +14,71 @@
 //! paper's other motivating use-case: optimising queries with derived
 //! global constraints. The [`plan`] module compiles a predicate into
 //! index-satisfiable, constraint-pruned (implied-true), and residual
-//! conjuncts; [`optimize`] executes the plan against lazily built
-//! secondary indexes (hash postings for equality, sorted entries for
-//! ranges), pruning subqueries whose predicate contradicts a (derived)
-//! global constraint without scanning at all.
+//! conjuncts and costs it against per-`(class, attr)` statistics
+//! ([`stats`]); [`optimize`] executes the costed plan against lazily
+//! built secondary indexes (hash postings for equality, sorted entries
+//! for ranges), pruning subqueries whose predicate contradicts a
+//! (derived) global constraint without scanning at all, and exposes
+//! every decision through [`Optimizer::explain`].
+//!
+//! # Invariants
+//!
+//! * **Posting lists are sorted by id and duplicate-free** — batch
+//!   intersection is a linear merge; the incremental delta operations
+//!   preserve the invariant by binary-searched insertion.
+//! * **Nulls are never indexed.** A posting hit *is* `Truth::True` for
+//!   its conjunct under three-valued semantics; equality postings skip
+//!   nulls and sorted indexes hold numerics only.
+//! * **Statistics are exact under deltas** ([`stats::AttrStats`]):
+//!   totals, non-null/numeric counts, per-value frequencies and
+//!   per-bucket histogram counts match a from-scratch recomputation
+//!   after any committed op sequence (property-tested); only histogram
+//!   *boundaries* age, and drifted summaries rebuild on access.
+//! * **The cache can never serve a stale entry**: every mutation
+//!   attempt bumps [`Store::version`] and either applies deltas and
+//!   stamps the cache (incremental mode) or discards it (wholesale
+//!   mode) before returning.
+//! * **EXPLAIN is execution**: [`Optimizer::explain`] and
+//!   [`Optimizer::execute`] share one decision path, so the reported
+//!   strategy is the executed one.
+//!
+//! # Example
+//!
+//! ```
+//! use interop_constraint::{Catalog, CmpOp, Formula};
+//! use interop_model::{ClassDef, Database, Schema, Type};
+//! use interop_storage::{OptimizeOutcome, Optimizer, Store};
+//!
+//! let schema = Schema::new(
+//!     "Shop",
+//!     vec![ClassDef::new("Item").attr("rating", Type::Range(1, 10))],
+//! )
+//! .unwrap();
+//! let mut store = Store::new(Database::new(schema, 1), Catalog::new());
+//! store.create("Item", vec![("rating", 7i64.into())]).unwrap();
+//!
+//! // A derived global constraint lets the optimiser prune.
+//! let opt = Optimizer::new(&store, "Item", vec![Formula::cmp("rating", CmpOp::Ge, 5i64)]);
+//! let doomed = Formula::cmp("rating", CmpOp::Lt, 5i64);
+//! let (hits, how) = opt.execute(&store, &doomed).unwrap();
+//! assert!(hits.is_empty());
+//! assert_eq!(how, OptimizeOutcome::PrunedEmpty);
+//! // And the decision is inspectable:
+//! assert!(opt.explain(&store, &doomed).to_string().contains("pruned-empty"));
+//! ```
 
 pub mod index;
 pub mod optimize;
 pub mod plan;
 pub mod query;
+pub mod stats;
 pub mod store;
 pub mod txn;
 
 pub use index::{HashIndex, KeyIndex, SortedIndex};
-pub use optimize::{execute_plan, OptimizeOutcome, Optimizer};
-pub use plan::{IndexAtom, QueryPlan, Step};
+pub use optimize::{execute_plan, Explain, ExplainStrategy, OptimizeOutcome, Optimizer};
+pub use plan::{CostedPlan, CostedRole, IndexAtom, QueryPlan, Step};
 pub use query::Query;
-pub use store::{Store, StoreError};
+pub use stats::AttrStats;
+pub use store::{IndexMaintenance, Store, StoreError};
 pub use txn::{Transaction, TxnOp, TxnOutcome};

@@ -1,4 +1,5 @@
-//! Constraint-based query optimisation and the planned executor.
+//! Constraint-based query optimisation, the costed executor, and the
+//! `EXPLAIN` surface.
 //!
 //! The paper's first motivating use-case (§1): "Global integrity
 //! constraints thus obtained could for example be used in optimising
@@ -10,21 +11,31 @@
 //! 1. **Pruning** — `pred ∧ constraints` unsatisfiable ⇒ empty without
 //!    touching an object ([`OptimizeOutcome::PrunedEmpty`]).
 //! 2. **Key fast path** — `key = const` probes the unique key index.
-//! 3. **Planned execution** — the predicate is compiled by
-//!    [`crate::plan::build_plan`]; index-satisfiable conjuncts resolve to
-//!    sorted posting lists (lazy per-class secondary indexes: hash for
-//!    equality, sorted for ranges) which are intersected *batch-wise*,
-//!    implied-true conjuncts are dropped, and only residual conjuncts are
-//!    evaluated per surviving candidate.
-//! 4. **Scan** — with no usable index atom, the extension is scanned with
-//!    the residual conjuncts.
+//! 3. **Costed execution** — the predicate is compiled by
+//!    [`crate::plan::build_costed_plan`]: per-`(class, attr)` statistics
+//!    estimate every index atom, the kept atoms resolve to sorted posting
+//!    lists (lazy per-class secondary indexes: hash for equality, sorted
+//!    for ranges) intersected **in plan order, cheapest first**,
+//!    implied-true conjuncts are dropped, and residual conjuncts
+//!    (including atoms demoted for poor selectivity) are evaluated per
+//!    surviving candidate.
+//! 4. **Scan** — when no atom is worth intersecting, the extension is
+//!    scanned with the residual conjuncts.
+//!
+//! Every decision is observable: [`Optimizer::explain`] returns an
+//! [`Explain`] whose `Display` rendering is stable and snapshot-tested
+//! (`tests/explain_snapshot.rs`).
+
+use std::fmt;
 
 use interop_constraint::eval::{eval_formula, Truth};
 use interop_constraint::solve::{is_satisfiable, TypeEnv};
 use interop_constraint::{CmpOp, Expr, Formula, Path};
-use interop_model::{intersect_sorted, ClassName, ModelError, ObjectId, Value};
+use interop_model::{intersect_sorted, AttrName, ClassName, ModelError, ObjectId, Value};
 
-use crate::plan::{build_plan, IndexAtom, QueryPlan, Step};
+use crate::plan::{
+    build_costed_plan, build_plan, CostedPlan, CostedRole, IndexAtom, QueryPlan, Step,
+};
 use crate::store::Store;
 
 /// How a query was answered.
@@ -51,6 +62,15 @@ pub struct Optimizer {
     env: TypeEnv,
 }
 
+/// How the optimiser decided to answer a predicate (shared by
+/// [`Optimizer::execute`] and [`Optimizer::explain`], so what `EXPLAIN`
+/// reports is exactly what execution does).
+enum Decision {
+    Pruned,
+    Key { attr: AttrName, value: Value },
+    Costed(CostedPlan),
+}
+
 impl Optimizer {
     /// Creates an optimiser for `class`, deriving the type environment
     /// from the store's schema.
@@ -69,56 +89,270 @@ impl Optimizer {
         &self.constraints
     }
 
-    /// Compiles `pred` into a [`QueryPlan`] (no store access; useful for
-    /// explain-style inspection and tests).
+    /// Compiles `pred` into a statistics-free [`QueryPlan`] (pure
+    /// classification, no store access).
     pub fn plan(&self, pred: &Formula) -> QueryPlan {
         build_plan(&self.class, pred, &self.constraints, &self.env)
     }
 
-    /// Answers `pred` over the class, using constraint pruning, the key
-    /// index, and planned posting-list execution before falling back to a
-    /// scan. Hits are returned in ascending id order.
-    pub fn execute(
-        &self,
-        store: &Store,
-        pred: &Formula,
-    ) -> Result<(Vec<ObjectId>, OptimizeOutcome), ModelError> {
+    /// Compiles `pred` into a [`CostedPlan`] against the store's
+    /// statistics (built lazily on first use).
+    pub fn costed_plan(&self, store: &Store, pred: &Formula) -> CostedPlan {
+        build_costed_plan(&self.class, pred, &self.constraints, &self.env, store)
+    }
+
+    fn decide(&self, store: &Store, pred: &Formula) -> Decision {
         // 1. Pruning: pred ∧ known constraints unsatisfiable ⇒ empty.
         let mut conj = pred.clone();
         for c in &self.constraints {
             conj = conj.and(c.clone());
         }
         if !is_satisfiable(&conj, &self.env) {
-            return Ok((Vec::new(), OptimizeOutcome::PrunedEmpty));
+            return Decision::Pruned;
         }
         // 2. Key fast path: `key = const` predicates probe the index.
         if let Some(key_attrs) = store.key_attrs(&self.class) {
             if key_attrs.len() == 1 {
                 if let Some(v) = key_eq_value(pred, &Path::attr(key_attrs[0].clone())) {
-                    let mut out = Vec::new();
-                    if let Some(id) = store.lookup_key(&self.class, &[v]) {
-                        // The index spans the keyed ancestor's extension;
-                        // re-check class membership and the full predicate.
-                        let obj = store.db().object_req(id)?;
-                        let in_class = store.db().schema.is_subclass(&obj.class, &self.class);
-                        if in_class && eval_formula(store.db(), obj, pred)? == Truth::True {
-                            out.push(id);
-                        }
-                    }
-                    return Ok((out, OptimizeOutcome::KeyLookup));
+                    return Decision::Key {
+                        attr: key_attrs[0].clone(),
+                        value: v,
+                    };
                 }
             }
         }
-        // 3. Planned execution.
-        let plan = self.plan(pred);
-        execute_plan(store, &plan)
+        // 3. Cost-based planning.
+        Decision::Costed(self.costed_plan(store, pred))
+    }
+
+    /// Answers `pred` over the class, using constraint pruning, the key
+    /// index, and costed posting-list execution before falling back to a
+    /// scan. Hits are returned in ascending id order.
+    pub fn execute(
+        &self,
+        store: &Store,
+        pred: &Formula,
+    ) -> Result<(Vec<ObjectId>, OptimizeOutcome), ModelError> {
+        match self.decide(store, pred) {
+            Decision::Pruned => Ok((Vec::new(), OptimizeOutcome::PrunedEmpty)),
+            Decision::Key { value, .. } => {
+                let mut out = Vec::new();
+                if let Some(id) = store.lookup_key(&self.class, &[value]) {
+                    // The index spans the keyed ancestor's extension;
+                    // re-check class membership and the full predicate.
+                    let obj = store.db().object_req(id)?;
+                    let in_class = store.db().schema.is_subclass(&obj.class, &self.class);
+                    if in_class && eval_formula(store.db(), obj, pred)? == Truth::True {
+                        out.push(id);
+                    }
+                }
+                Ok((out, OptimizeOutcome::KeyLookup))
+            }
+            Decision::Costed(plan) => execute_costed(store, &plan),
+        }
+    }
+
+    /// Explains how `pred` would be answered, without answering it: the
+    /// chosen strategy, the per-conjunct classification, the plan-time
+    /// cardinality estimates, and the intersection order. The rendering
+    /// ([`Explain`]'s `Display`) is stable across runs for a given store
+    /// state and is pinned by snapshot tests.
+    pub fn explain(&self, store: &Store, pred: &Formula) -> Explain {
+        let strategy = match self.decide(store, pred) {
+            Decision::Pruned => ExplainStrategy::PrunedEmpty,
+            Decision::Key { attr, .. } => ExplainStrategy::KeyLookup { attr },
+            Decision::Costed(plan) => {
+                if plan.uses_index() {
+                    ExplainStrategy::IndexScan { plan }
+                } else {
+                    ExplainStrategy::Scan { plan }
+                }
+            }
+        };
+        Explain {
+            class: self.class.clone(),
+            extension: store.db().extension(&self.class).len(),
+            strategy,
+        }
     }
 }
 
-/// Executes a compiled plan: resolves index atoms to sorted posting
-/// lists, intersects them (smallest first), and evaluates residual
-/// conjuncts on the surviving candidates. With no index atom the class
-/// extension is scanned instead. Hits are in ascending id order.
+/// How a predicate would be answered, with the evidence: the paper's
+/// derived-constraint pruning and the cost model's decisions made
+/// inspectable. Obtained from [`Optimizer::explain`]; render with
+/// `Display` for a stable, snapshot-testable plan description.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The queried class.
+    pub class: ClassName,
+    /// Exact extension size at explain time.
+    pub extension: usize,
+    /// The chosen strategy with its plan, when one was compiled.
+    pub strategy: ExplainStrategy,
+}
+
+/// The strategy arm of an [`Explain`].
+#[derive(Clone, Debug)]
+pub enum ExplainStrategy {
+    /// The predicate contradicts the known constraints.
+    PrunedEmpty,
+    /// A unique-key probe answers the query.
+    KeyLookup {
+        /// The key attribute probed.
+        attr: AttrName,
+    },
+    /// Posting-list intersection with residual evaluation.
+    IndexScan {
+        /// The costed plan (at least one atom kept).
+        plan: CostedPlan,
+    },
+    /// Extension scan: no atom was estimated worth intersecting.
+    Scan {
+        /// The costed plan (every atom demoted or residual).
+        plan: CostedPlan,
+    },
+}
+
+impl Explain {
+    /// The costed plan, when the strategy compiled one.
+    pub fn plan(&self) -> Option<&CostedPlan> {
+        match &self.strategy {
+            ExplainStrategy::IndexScan { plan } | ExplainStrategy::Scan { plan } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The [`OptimizeOutcome`] execution would report.
+    pub fn outcome(&self) -> OptimizeOutcome {
+        match &self.strategy {
+            ExplainStrategy::PrunedEmpty => OptimizeOutcome::PrunedEmpty,
+            ExplainStrategy::KeyLookup { .. } => OptimizeOutcome::KeyLookup,
+            ExplainStrategy::IndexScan { .. } => OptimizeOutcome::IndexScan,
+            ExplainStrategy::Scan { .. } => OptimizeOutcome::Scanned,
+        }
+    }
+}
+
+fn pct(est: usize, n: usize) -> String {
+    if n == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", est as f64 * 100.0 / n as f64)
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "class {} (extension {})", self.class, self.extension)?;
+        match &self.strategy {
+            ExplainStrategy::PrunedEmpty => {
+                writeln!(
+                    f,
+                    "strategy: pruned-empty (predicate contradicts known constraints)"
+                )
+            }
+            ExplainStrategy::KeyLookup { attr } => {
+                writeln!(f, "strategy: key-lookup ({attr})")
+            }
+            ExplainStrategy::IndexScan { plan } => {
+                match plan.est_rows() {
+                    Some(est) => writeln!(f, "strategy: index-scan (est. {est} rows)")?,
+                    None => writeln!(f, "strategy: index-scan")?,
+                }
+                render_conjuncts(f, plan)
+            }
+            ExplainStrategy::Scan { plan } => {
+                writeln!(f, "strategy: scan")?;
+                render_conjuncts(f, plan)
+            }
+        }
+    }
+}
+
+fn render_conjuncts(f: &mut fmt::Formatter<'_>, plan: &CostedPlan) -> fmt::Result {
+    let n = plan.extension;
+    for c in &plan.conjuncts {
+        match &c.role {
+            CostedRole::Index { est, order, .. } => writeln!(
+                f,
+                "  isect[{order}]  {}  est {est} rows ({})",
+                c.formula,
+                pct(*est, n)
+            )?,
+            CostedRole::Demoted { est, .. } => writeln!(
+                f,
+                "  demoted   {}  est {est} rows ({}) — poor selectivity",
+                c.formula,
+                pct(*est, n)
+            )?,
+            CostedRole::Residual { hint: Some(h) } => writeln!(
+                f,
+                "  residual  {}  (domain prior {:.1}%)",
+                c.formula,
+                h * 100.0
+            )?,
+            CostedRole::Residual { hint: None } => writeln!(f, "  residual  {}", c.formula)?,
+            CostedRole::ImpliedTrue => writeln!(
+                f,
+                "  implied   {}  (entailed by constraints; dropped)",
+                c.formula
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Executes a costed plan: resolves the kept index atoms to sorted
+/// posting lists **in plan order** (cheapest estimate first), intersects
+/// them batch-wise with early exit, and evaluates residual conjuncts —
+/// including demoted atoms — on the surviving candidates. With no kept
+/// atom the class extension is scanned instead. Hits are in ascending id
+/// order.
+pub fn execute_costed(
+    store: &Store,
+    plan: &CostedPlan,
+) -> Result<(Vec<ObjectId>, OptimizeOutcome), ModelError> {
+    let steps = plan.index_steps();
+    let residuals = plan.residuals();
+    if steps.is_empty() {
+        let mut hits = Vec::new();
+        let mut ids = store.db().extension(&plan.class);
+        ids.sort_unstable();
+        for id in ids {
+            let obj = store.db().object_req(id)?;
+            if passes(store, obj, &residuals)? {
+                hits.push(id);
+            }
+        }
+        return Ok((hits, OptimizeOutcome::Scanned));
+    }
+    let mut candidates: Option<Vec<ObjectId>> = None;
+    for (atom, _) in steps {
+        if candidates.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+        let postings = resolve_atom(store, &plan.class, atom);
+        candidates = Some(match candidates {
+            None => postings,
+            Some(cur) => intersect_sorted(&cur, &postings),
+        });
+    }
+    let mut hits = Vec::new();
+    for id in candidates.unwrap_or_default() {
+        let obj = store.db().object_req(id)?;
+        if passes(store, obj, &residuals)? {
+            hits.push(id);
+        }
+    }
+    Ok((hits, OptimizeOutcome::IndexScan))
+}
+
+/// Executes a statistics-free compiled plan: resolves index atoms to
+/// sorted posting lists, intersects them (smallest actual size first),
+/// and evaluates residual conjuncts on the surviving candidates. With no
+/// index atom the class extension is scanned instead. Hits are in
+/// ascending id order. Kept alongside [`execute_costed`] as the
+/// plan-introspection executor for [`QueryPlan`]s.
 pub fn execute_plan(
     store: &Store,
     plan: &QueryPlan,
@@ -373,6 +607,86 @@ mod tests {
         // The solver already refutes an empty membership set.
         assert!(hits.is_empty());
         assert_eq!(outcome, OptimizeOutcome::PrunedEmpty);
+    }
+
+    #[test]
+    fn poor_selectivity_demotes_to_scan_on_large_extensions() {
+        let s = store_with_items(500);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        // rating >= 2 matches ~90% of 500 items: intersecting 450
+        // postings prunes nothing; the cost model scans instead.
+        let pred = Formula::cmp("rating", CmpOp::Ge, 2i64);
+        let plan = opt.costed_plan(&s, &pred);
+        assert!(!plan.uses_index(), "poor-selectivity atom demoted");
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::Scanned);
+        let mut scanned = Query::new("Item", pred.clone()).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits, scanned);
+        // A selective conjunct flips the same shape back to the index.
+        let selective = Formula::cmp("rating", CmpOp::Eq, 3i64);
+        let (_, outcome) = opt.execute(&s, &selective).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+    }
+
+    #[test]
+    fn intersection_ordered_by_plan_time_estimate() {
+        let s = store_with_items(600);
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        // rating = 3 matches 60 rows; libprice <= 259.5 matches ~250 —
+        // the equality must be intersected first.
+        let pred =
+            Formula::cmp("libprice", CmpOp::Le, 259.5).and(Formula::cmp("rating", CmpOp::Eq, 3i64));
+        let plan = opt.costed_plan(&s, &pred);
+        let steps = plan.index_steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].0.attr().as_str(), "rating");
+        assert!(steps[0].1 < steps[1].1);
+        let (hits, outcome) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+        let mut scanned = Query::new("Item", pred).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits, scanned);
+    }
+
+    #[test]
+    fn explain_matches_execution_for_every_strategy() {
+        let s = store_with_items(200);
+        let opt = Optimizer::new(&s, "Item", vec![Formula::cmp("rating", CmpOp::Ge, 1i64)]);
+        for pred in [
+            Formula::cmp("rating", CmpOp::Gt, 10i64),  // pruned
+            Formula::cmp("isbn", CmpOp::Eq, "isbn-7"), // key lookup
+            Formula::cmp("rating", CmpOp::Eq, 4i64),   // index scan
+            Formula::cmp("rating", CmpOp::Ge, 2i64),   // demoted scan
+            Formula::cmp("rating", CmpOp::Le, 2i64).or(Formula::cmp("rating", CmpOp::Ge, 9i64)), // residual scan
+        ] {
+            let ex = opt.explain(&s, &pred);
+            let (_, outcome) = opt.execute(&s, &pred).unwrap();
+            assert_eq!(ex.outcome(), outcome, "explain diverged on {pred}");
+        }
+    }
+
+    #[test]
+    fn explain_renders_stable_description() {
+        let s = store_with_items(200);
+        let opt = Optimizer::new(&s, "Item", vec![Formula::cmp("rating", CmpOp::Ge, 1i64)]);
+        let pred = Formula::cmp("rating", CmpOp::Eq, 4i64)
+            .and(Formula::cmp("libprice", CmpOp::Le, 19.5))
+            .and(Formula::cmp("isbn", CmpOp::Ne, "isbn-3"))
+            .and(Formula::cmp("rating", CmpOp::Ge, 1i64));
+        let ex = opt.explain(&s, &pred);
+        let rendered = ex.to_string();
+        assert!(rendered.starts_with("class Item (extension 200)"));
+        assert!(rendered.contains("strategy: index-scan"), "{rendered}");
+        assert!(rendered.contains("isect[0]"), "{rendered}");
+        assert!(rendered.contains("isect[1]"), "{rendered}");
+        assert!(rendered.contains("residual"), "{rendered}");
+        assert!(
+            rendered.contains("implied") && rendered.contains("dropped"),
+            "{rendered}"
+        );
+        // Deterministic: a second explain renders byte-identically.
+        assert_eq!(rendered, opt.explain(&s, &pred).to_string());
     }
 
     #[test]

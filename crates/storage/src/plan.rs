@@ -18,14 +18,25 @@
 //! Index-satisfiable conjuncts execute as posting-list intersections
 //! (hash postings for equality/membership, sorted-index ranges for
 //! comparisons); whatever remains is evaluated per candidate object.
+//!
+//! On top of the classification sits the **cost model**
+//! ([`build_costed_plan`]): per-`(class, attr)` statistics estimate the
+//! cardinality of every index atom *at plan time*, the kept atoms are
+//! ordered cheapest-first for the batch intersection, and atoms whose
+//! estimated selectivity is poor are demoted to residual evaluation —
+//! falling back to a plain extension scan when no atom prunes enough to
+//! pay for itself. The decision is exposed through
+//! [`crate::optimize::Optimizer::explain`].
 
 use std::ops::Bound;
+use std::sync::Arc;
 
-use interop_constraint::solve::{implied_by_restricted, TypeEnv};
+use interop_constraint::solve::{implied_by_restricted, selectivity_hint, TypeEnv};
 use interop_constraint::{CmpOp, Expr, Formula, Path};
 use interop_model::{AttrName, ClassName, Value, R64};
 
 use crate::index::canon_key;
+use crate::stats::AttrStats;
 
 /// An atom answerable from a secondary index.
 #[derive(Clone, Debug, PartialEq)]
@@ -230,6 +241,271 @@ pub fn build_plan(
     }
 }
 
+/// A source of per-`(class, attr)` statistics for plan-time costing —
+/// implemented by [`crate::store::Store`] (which builds them lazily) and
+/// by in-memory fixtures in tests.
+pub trait StatsSource {
+    /// Statistics over `class`'s extension for `attr`.
+    fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats>;
+}
+
+/// Below this estimated cardinality an index atom is always kept:
+/// intersecting a short posting list is cheaper than any bookkeeping
+/// that would decide otherwise.
+pub const KEEP_FLOOR: usize = 64;
+
+/// An index atom is *demoted* to residual evaluation when its estimated
+/// cardinality exceeds both [`KEEP_FLOOR`] and this fraction of the
+/// extension — resolving and intersecting most of the extension costs
+/// more than evaluating the conjunct on whatever the other steps leave.
+pub const POOR_SELECTIVITY: f64 = 0.5;
+
+/// How one conjunct participates in a costed plan.
+#[derive(Clone, Debug)]
+pub enum CostedRole {
+    /// Intersected as a posting list, `order`-th cheapest-first.
+    Index {
+        /// The probe.
+        atom: IndexAtom,
+        /// Estimated matching rows.
+        est: usize,
+        /// Position in the execution order (0 = first intersected).
+        order: usize,
+    },
+    /// Index-satisfiable but too unselective: evaluated per candidate.
+    Demoted {
+        /// The recognised (unused) probe.
+        atom: IndexAtom,
+        /// Estimated matching rows that caused the demotion.
+        est: usize,
+    },
+    /// Not index-satisfiable: evaluated per candidate. `hint` is the
+    /// domain-algebra selectivity prior, when one exists.
+    Residual {
+        /// Statistics-free selectivity prior from the attribute's typed
+        /// domain ([`interop_constraint::solve::selectivity_hint`]).
+        hint: Option<f64>,
+    },
+    /// Entailed by the constraints on every surviving candidate: dropped.
+    ImpliedTrue,
+}
+
+/// One conjunct of a costed plan.
+#[derive(Clone, Debug)]
+pub struct CostedConjunct {
+    /// The original conjunct.
+    pub formula: Formula,
+    /// Its role in execution.
+    pub role: CostedRole,
+}
+
+/// A cost-based selection plan: classification plus plan-time estimates,
+/// intersection order, and demotion decisions.
+#[derive(Clone, Debug)]
+pub struct CostedPlan {
+    /// The queried class.
+    pub class: ClassName,
+    /// Extension size according to statistics (0 when no atom was costed
+    /// — the plan then scans, and never consulted statistics).
+    pub extension: usize,
+    /// The conjuncts in original predicate order.
+    pub conjuncts: Vec<CostedConjunct>,
+}
+
+impl CostedPlan {
+    /// The kept index atoms with their estimates, in execution order.
+    pub fn index_steps(&self) -> Vec<(&IndexAtom, usize)> {
+        let mut steps: Vec<(usize, &IndexAtom, usize)> = self
+            .conjuncts
+            .iter()
+            .filter_map(|c| match &c.role {
+                CostedRole::Index { atom, est, order } => Some((*order, atom, *est)),
+                _ => None,
+            })
+            .collect();
+        steps.sort_unstable_by_key(|(order, _, _)| *order);
+        steps
+            .into_iter()
+            .map(|(_, atom, est)| (atom, est))
+            .collect()
+    }
+
+    /// The conjuncts evaluated per candidate (plain residuals plus
+    /// demoted atoms), in original order.
+    pub fn residuals(&self) -> Vec<&Formula> {
+        self.conjuncts
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.role,
+                    CostedRole::Residual { .. } | CostedRole::Demoted { .. }
+                )
+            })
+            .map(|c| &c.formula)
+            .collect()
+    }
+
+    /// True when at least one posting list is intersected.
+    pub fn uses_index(&self) -> bool {
+        self.conjuncts
+            .iter()
+            .any(|c| matches!(c.role, CostedRole::Index { .. }))
+    }
+
+    /// `(index, demoted, residual, implied_true)` role counts.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for s in &self.conjuncts {
+            match s.role {
+                CostedRole::Index { .. } => c.0 += 1,
+                CostedRole::Demoted { .. } => c.1 += 1,
+                CostedRole::Residual { .. } => c.2 += 1,
+                CostedRole::ImpliedTrue => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Estimated result rows under the independence assumption:
+    /// `N · Π (estᵢ/N)` over the evaluated atoms, narrowed further by
+    /// residual selectivity hints. `None` when nothing is intersected
+    /// (scan).
+    pub fn est_rows(&self) -> Option<usize> {
+        if !self.uses_index() {
+            return None;
+        }
+        let n = self.extension;
+        if n == 0 {
+            return Some(0);
+        }
+        let mut frac = 1.0f64;
+        for c in &self.conjuncts {
+            match &c.role {
+                CostedRole::Index { est, .. } | CostedRole::Demoted { est, .. } => {
+                    frac *= *est as f64 / n as f64;
+                }
+                CostedRole::Residual { hint: Some(h) } => frac *= h,
+                CostedRole::Residual { hint: None } | CostedRole::ImpliedTrue => {}
+            }
+        }
+        Some((frac * n as f64).round() as usize)
+    }
+}
+
+/// Builds a cost-based plan for `pred` over `class`. Classification
+/// mirrors [`build_plan`]; on top of it, statistics from `stats` decide
+/// which index atoms are worth intersecting and in what order (see
+/// [`KEEP_FLOOR`] / [`POOR_SELECTIVITY`]). Implied-true conjuncts are
+/// dropped only when every path is covered by an atom that *is*
+/// evaluated — kept or demoted both qualify, since an atom excludes
+/// null-valued candidates whether it runs as a posting list or as a
+/// residual check.
+pub fn build_costed_plan(
+    class: &ClassName,
+    pred: &Formula,
+    constraints: &[Formula],
+    env: &TypeEnv,
+    stats: &dyn StatsSource,
+) -> CostedPlan {
+    let parts = conjuncts(pred);
+    let atoms: Vec<Option<IndexAtom>> = parts.iter().map(|f| index_atom(f)).collect();
+    let implied: Vec<bool> = parts
+        .iter()
+        .map(|f| !constraints.is_empty() && implied_by_restricted(constraints, f, env))
+        .collect();
+    // Paths guaranteed non-null on every candidate: attributes of every
+    // evaluated non-implied atom (an implied atom may itself be dropped,
+    // so it cannot vouch for anyone else's coverage; kept and demoted
+    // atoms both qualify — either way the atom's evaluation excludes
+    // candidates where the attribute is null).
+    let coverage: Vec<Path> = atoms
+        .iter()
+        .zip(&implied)
+        .filter_map(|(atom, imp)| {
+            if *imp {
+                None
+            } else {
+                atom.as_ref().map(|a| Path::attr(a.attr().clone()))
+            }
+        })
+        .collect();
+    let dropped: Vec<bool> = parts
+        .iter()
+        .zip(&implied)
+        .map(|(f, imp)| *imp && f.paths().iter().all(|p| coverage.contains(p)))
+        .collect();
+    // Estimate every atom that will be evaluated (dropped ones are never
+    // probed; estimating them would build statistics for nothing).
+    let mut extension = 0usize;
+    let ests: Vec<Option<usize>> = atoms
+        .iter()
+        .zip(&dropped)
+        .map(|(atom, drop)| match atom {
+            Some(a) if !*drop => {
+                let st = stats.attr_stats(class, a.attr());
+                extension = st.total();
+                Some(est_atom(&st, a))
+            }
+            _ => None,
+        })
+        .collect();
+    // Keep an atom when it prunes: small in absolute terms, or below the
+    // poor-selectivity fraction of the extension.
+    let keep_bound = (POOR_SELECTIVITY * extension as f64) as usize;
+    let keeps = |est: usize| est <= KEEP_FLOOR || est <= keep_bound;
+    // Execution order of the kept atoms: cheapest first, ties broken by
+    // attribute name then original position (stable and deterministic
+    // for the Explain snapshots).
+    let mut order_key: Vec<(usize, String, usize)> = Vec::new();
+    for (i, (atom, est)) in atoms.iter().zip(&ests).enumerate() {
+        if let (Some(atom), Some(est)) = (atom, est) {
+            if keeps(*est) {
+                order_key.push((*est, atom.attr().to_string(), i));
+            }
+        }
+    }
+    order_key.sort();
+    let order_of = |i: usize| order_key.iter().position(|&(_, _, p)| p == i);
+
+    let conjuncts = parts
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let role = if dropped[i] {
+                CostedRole::ImpliedTrue
+            } else if let Some(atom) = atoms[i].clone() {
+                let est = ests[i].expect("evaluated atoms were estimated");
+                match order_of(i) {
+                    Some(order) => CostedRole::Index { atom, est, order },
+                    None => CostedRole::Demoted { atom, est },
+                }
+            } else {
+                CostedRole::Residual {
+                    hint: selectivity_hint(f, env),
+                }
+            };
+            CostedConjunct {
+                formula: (*f).clone(),
+                role,
+            }
+        })
+        .collect();
+    CostedPlan {
+        class: class.clone(),
+        extension,
+        conjuncts,
+    }
+}
+
+/// Estimated matching rows for one atom.
+fn est_atom(st: &AttrStats, atom: &IndexAtom) -> usize {
+    match atom {
+        IndexAtom::Eq { key, .. } => st.est_eq(key),
+        IndexAtom::In { keys, .. } => st.est_in(keys),
+        IndexAtom::Range { lo, hi, .. } => st.est_range(*lo, *hi),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +592,111 @@ mod tests {
             }
             other => panic!("expected In atom, got {other:?}"),
         }
+    }
+
+    /// In-memory statistics fixture: each attribute's extension values.
+    struct FakeStats {
+        attrs: Vec<(AttrName, Arc<AttrStats>)>,
+    }
+
+    impl FakeStats {
+        fn new(attrs: Vec<(&str, Vec<Value>)>) -> Self {
+            FakeStats {
+                attrs: attrs
+                    .into_iter()
+                    .map(|(a, vs)| (AttrName::new(a), Arc::new(AttrStats::build(vs.iter()))))
+                    .collect(),
+            }
+        }
+    }
+
+    impl StatsSource for FakeStats {
+        fn attr_stats(&self, _class: &ClassName, attr: &AttrName) -> Arc<AttrStats> {
+            self.attrs
+                .iter()
+                .find(|(a, _)| a == attr)
+                .map(|(_, st)| Arc::clone(st))
+                .expect("fixture covers attr")
+        }
+    }
+
+    /// 1000 objects: rating uniform over 1..=10, price uniform 0..100.
+    fn stats_1000() -> FakeStats {
+        let rating: Vec<Value> = (0..1000).map(|i| Value::int(1 + (i % 10))).collect();
+        let price: Vec<Value> = (0..1000).map(|i| Value::real((i % 100) as f64)).collect();
+        FakeStats::new(vec![("rating", rating), ("price", price)])
+    }
+
+    #[test]
+    fn costed_plan_orders_by_estimated_cardinality() {
+        // price <= 4.5 (~50 rows) is cheaper than rating = 7 (100 rows),
+        // and rating >= 3 (800 rows) is demoted outright.
+        let pred = Formula::cmp("rating", CmpOp::Eq, 7i64)
+            .and(Formula::cmp("price", CmpOp::Le, 4.5))
+            .and(Formula::cmp("rating", CmpOp::Ge, 3i64));
+        let plan = build_costed_plan(&ClassName::new("Item"), &pred, &[], &env(), &stats_1000());
+        assert_eq!(plan.extension, 1000);
+        assert_eq!(plan.counts(), (2, 1, 0, 0), "two kept, one demoted");
+        let steps = plan.index_steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].0.attr().as_str(), "price");
+        assert_eq!(steps[1].0.attr().as_str(), "rating");
+        assert!(steps[0].1 <= steps[1].1, "cheapest first");
+        assert_eq!(plan.residuals().len(), 1, "demoted atom re-checked");
+    }
+
+    #[test]
+    fn poor_selectivity_everywhere_falls_back_to_scan() {
+        let pred =
+            Formula::cmp("rating", CmpOp::Ge, 2i64).and(Formula::cmp("price", CmpOp::Ge, 10.0));
+        let plan = build_costed_plan(&ClassName::new("Item"), &pred, &[], &env(), &stats_1000());
+        assert!(!plan.uses_index(), "both atoms ~90% of the extension");
+        assert_eq!(plan.counts(), (0, 2, 0, 0));
+        assert_eq!(plan.est_rows(), None);
+        assert_eq!(plan.residuals().len(), 2);
+    }
+
+    #[test]
+    fn keep_floor_protects_small_extensions() {
+        // 20 objects: even an atom matching everything stays indexed —
+        // intersecting 20 postings is cheaper than deciding not to.
+        let rating: Vec<Value> = (0..20).map(|_| Value::int(7)).collect();
+        let stats = FakeStats::new(vec![("rating", rating)]);
+        let pred = Formula::cmp("rating", CmpOp::Eq, 7i64);
+        let plan = build_costed_plan(&ClassName::new("Item"), &pred, &[], &env(), &stats);
+        assert!(plan.uses_index());
+        assert_eq!(plan.index_steps()[0].1, 20);
+    }
+
+    #[test]
+    fn demoted_atom_still_vouches_for_implied_coverage() {
+        // rating >= 3 is implied by the constraint and its only path is
+        // covered by the (demoted) rating-atom: it is dropped, and the
+        // demoted atom is evaluated as a residual.
+        let constraints = vec![Formula::cmp("rating", CmpOp::Ge, 5i64)];
+        let pred =
+            Formula::cmp("rating", CmpOp::Ge, 6i64).and(Formula::cmp("rating", CmpOp::Ge, 3i64));
+        let plan = build_costed_plan(
+            &ClassName::new("Item"),
+            &pred,
+            &constraints,
+            &env(),
+            &stats_1000(),
+        );
+        let (index, demoted, residual, implied) = plan.counts();
+        assert_eq!(implied, 1, "covered implied conjunct dropped");
+        assert_eq!(index + demoted, 1);
+        assert_eq!(residual, 0);
+    }
+
+    #[test]
+    fn est_rows_composes_independent_selectivities() {
+        let pred = Formula::cmp("rating", CmpOp::Eq, 7i64)
+            .and(Formula::cmp("price", CmpOp::Le, 9.5))
+            .and(Formula::cmp("rating", CmpOp::Ne, 0i64));
+        let plan = build_costed_plan(&ClassName::new("Item"), &pred, &[], &env(), &stats_1000());
+        let est = plan.est_rows().expect("indexed plan estimates rows");
+        // ~0.1 * ~0.1 * hint(rating <> 0 → 1.0) * 1000 ≈ 10.
+        assert!((5..=20).contains(&est), "estimate near 10, got {est}");
     }
 }

@@ -1,4 +1,12 @@
 //! Predicate queries over class extensions.
+//!
+//! [`Query::scan`] is deliberately naive — one pass, three-valued
+//! evaluation, no indexes, no statistics — because it doubles as the
+//! **differential oracle** for the whole planner stack: the property
+//! suites run every random query through both
+//! [`crate::optimize::Optimizer::execute`] and `Query::scan` and demand
+//! identical hit sets, whatever strategy the cost model picked. Keep it
+//! boring; its value is being obviously correct.
 
 use interop_constraint::eval::{eval_formula, Truth};
 use interop_constraint::Formula;

@@ -1,0 +1,430 @@
+//! Per-`(class, attribute)` cardinality statistics backing the planner's
+//! cost model.
+//!
+//! [`AttrStats`] summarises the attribute values of one class *extension*
+//! (subclass instances included): the extension size, the number of
+//! non-null values, exact per-value frequencies (whose key count is the
+//! distinct-count), and a small **equi-depth histogram** over the numeric
+//! values for range-selectivity estimates.
+//!
+//! Statistics are built lazily by the store on first use — in the same
+//! pass that would build a secondary index — and from then on maintained
+//! **incrementally**: every committed insert/update/remove applies a
+//! per-object delta ([`AttrStats::insert`] / [`AttrStats::remove`])
+//! instead of discarding the summary. The frequency counts, `total`,
+//! `non_null` and per-bucket histogram counts stay *exact* under deltas;
+//! only the histogram's bucket *boundaries* are as of build time. When
+//! the extension drifts to less than half or more than double its size at
+//! build, [`AttrStats::hist_stale`] reports `true` and the store rebuilds
+//! the summary on next access, re-balancing the buckets.
+//!
+//! `storage/tests/prop_invalidation.rs` asserts the maintenance is exact:
+//! after random op/txn interleavings, the incrementally maintained stats
+//! equal a from-scratch recomputation over the same bucket boundaries.
+
+use std::ops::Bound;
+
+use interop_model::fx::FxHashMap;
+use interop_model::{Value, R64};
+
+use crate::index::canon_key;
+
+/// Number of equi-depth buckets per histogram. Small on purpose: the
+/// histogram answers "roughly how selective is this range", not point
+/// queries (those use the exact frequency map).
+pub const HISTOGRAM_BUCKETS: usize = 8;
+
+/// An equi-depth histogram over the numeric values of one attribute.
+///
+/// Bucket `i` covers `(edge(i-1), bounds[i]]` where `edge(-1) = lo`;
+/// values inserted later that fall below `lo` count into bucket 0 and
+/// values above the last bound into the last bucket, so per-bucket counts
+/// remain exact for the (fixed) boundaries while the depth balance may
+/// drift until a rebuild.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Lower edge of bucket 0 (the minimum at build time).
+    lo: R64,
+    /// Ascending upper edges, one per bucket.
+    bounds: Vec<R64>,
+    /// Exact number of values currently in each bucket.
+    counts: Vec<u32>,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram from an **ascending** slice of
+    /// numeric values. Returns `None` for an empty slice.
+    pub fn build(sorted: &[R64]) -> Option<Self> {
+        if sorted.is_empty() {
+            return None;
+        }
+        let n = sorted.len();
+        let buckets = HISTOGRAM_BUCKETS.min(n);
+        let mut bounds = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            // Upper edge of bucket b-1: the value at its depth quantile.
+            bounds.push(sorted[b * n / buckets - 1]);
+        }
+        // Duplicate-heavy data can repeat edges; dedup keeps bucket
+        // assignment (first bucket whose bound admits the value)
+        // unambiguous and the bounds strictly ascending.
+        bounds.dedup();
+        let mut hist = Histogram {
+            lo: sorted[0],
+            counts: vec![0; bounds.len()],
+            bounds,
+        };
+        for &v in sorted {
+            let b = hist.bucket_of(v);
+            hist.counts[b] += 1;
+        }
+        Some(hist)
+    }
+
+    /// The bucket a value counts into: the first bucket whose upper edge
+    /// admits it, clamped into range so out-of-build-range values stay
+    /// countable.
+    fn bucket_of(&self, v: R64) -> usize {
+        self.bounds
+            .partition_point(|b| *b < v)
+            .min(self.bounds.len() - 1)
+    }
+
+    /// Counts a value in.
+    pub fn insert(&mut self, v: R64) {
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+    }
+
+    /// Counts a value out.
+    pub fn remove(&mut self, v: R64) {
+        let b = self.bucket_of(v);
+        self.counts[b] = self.counts[b].saturating_sub(1);
+    }
+
+    /// `(lower edge, upper edges, per-bucket counts)` — exposed for the
+    /// stats-consistency property suite.
+    pub fn parts(&self) -> (R64, &[R64], &[u32]) {
+        (self.lo, &self.bounds, &self.counts)
+    }
+
+    /// Estimated number of values in the given range, by linear
+    /// interpolation within partially-overlapped buckets.
+    pub fn est_range(&self, lo: Bound<R64>, hi: Bound<R64>) -> f64 {
+        let q_lo = match lo {
+            Bound::Unbounded => f64::NEG_INFINITY,
+            Bound::Included(v) | Bound::Excluded(v) => v.get(),
+        };
+        let q_hi = match hi {
+            Bound::Unbounded => f64::INFINITY,
+            Bound::Included(v) | Bound::Excluded(v) => v.get(),
+        };
+        if q_lo > q_hi {
+            return 0.0;
+        }
+        let mut est = 0.0;
+        let mut lower = self.lo.get();
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            let count = f64::from(self.counts[i]);
+            if count > 0.0 {
+                est += count * overlap_fraction(lower, bound.get(), q_lo, q_hi);
+            }
+            lower = bound.get();
+        }
+        est
+    }
+}
+
+/// Fraction of the bucket interval `[b_lo, b_hi]` covered by the query
+/// interval `[q_lo, q_hi]`, assuming values are uniform in the bucket.
+/// Degenerate (zero-width) buckets count fully when their edge lies
+/// inside the query range.
+fn overlap_fraction(b_lo: f64, b_hi: f64, q_lo: f64, q_hi: f64) -> f64 {
+    let lo = b_lo.max(q_lo);
+    let hi = b_hi.min(q_hi);
+    if lo > hi {
+        return 0.0;
+    }
+    let width = b_hi - b_lo;
+    if width <= 0.0 {
+        // Point bucket: in or out.
+        return 1.0;
+    }
+    ((hi - lo) / width).clamp(0.0, 1.0)
+}
+
+/// Cardinality statistics for one `(class, attribute)` over the class
+/// extension. See the module docs for the exactness guarantees.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttrStats {
+    /// Objects in the extension (null-valued ones included).
+    total: usize,
+    /// Objects whose value is non-null.
+    non_null: usize,
+    /// Objects whose value is numeric.
+    numeric: usize,
+    /// Exact frequency per canonical value (`Int(3)`/`Real(3.0)` share a
+    /// key, mirroring the hash index). `distinct == counts.len()`.
+    counts: FxHashMap<Value, u32>,
+    /// Equi-depth histogram over the numeric values; `None` when the
+    /// extension had no numeric values at build time.
+    hist: Option<Histogram>,
+    /// Extension size when the histogram was (re)built — the drift
+    /// reference for [`AttrStats::hist_stale`].
+    built_total: usize,
+}
+
+impl AttrStats {
+    /// Builds statistics from the attribute values of an extension.
+    pub fn build<'a, I: IntoIterator<Item = &'a Value>>(values: I) -> Self {
+        let mut s = AttrStats::default();
+        let mut numerics: Vec<R64> = Vec::new();
+        for v in values {
+            s.total += 1;
+            if let Some(key) = canon_key(v) {
+                s.non_null += 1;
+                *s.counts.entry(key).or_insert(0) += 1;
+            }
+            if let Some(n) = v.as_num() {
+                s.numeric += 1;
+                numerics.push(n);
+            }
+        }
+        numerics.sort_unstable();
+        s.hist = Histogram::build(&numerics);
+        s.built_total = s.total;
+        s
+    }
+
+    /// Rebuilds from the same values but **reusing `like`'s histogram
+    /// boundaries** — the scratch recomputation the consistency property
+    /// suite compares incremental maintenance against.
+    pub fn rebuild_like<'a, I: IntoIterator<Item = &'a Value>>(
+        like: &AttrStats,
+        values: I,
+    ) -> Self {
+        let mut s = AttrStats {
+            hist: like.hist.clone().map(|mut h| {
+                h.counts.iter_mut().for_each(|c| *c = 0);
+                h
+            }),
+            built_total: like.built_total,
+            ..AttrStats::default()
+        };
+        for v in values {
+            s.total += 1;
+            if let Some(key) = canon_key(v) {
+                s.non_null += 1;
+                *s.counts.entry(key).or_insert(0) += 1;
+            }
+            if let Some(n) = v.as_num() {
+                s.numeric += 1;
+                if let Some(h) = &mut s.hist {
+                    h.insert(n);
+                }
+            }
+        }
+        s
+    }
+
+    /// Extension size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Objects with a non-null value.
+    pub fn non_null(&self) -> usize {
+        self.non_null
+    }
+
+    /// Objects with a numeric value.
+    pub fn numeric(&self) -> usize {
+        self.numeric
+    }
+
+    /// Number of distinct (canonical) non-null values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The numeric histogram, if any values were numeric at build time.
+    pub fn histogram(&self) -> Option<&Histogram> {
+        self.hist.as_ref()
+    }
+
+    /// Counts one object's value in (a committed insert).
+    pub fn insert(&mut self, v: &Value) {
+        self.total += 1;
+        if let Some(key) = canon_key(v) {
+            self.non_null += 1;
+            *self.counts.entry(key).or_insert(0) += 1;
+        }
+        if let Some(n) = v.as_num() {
+            self.numeric += 1;
+            if let Some(h) = &mut self.hist {
+                h.insert(n);
+            }
+        }
+    }
+
+    /// Counts one object's value out (a committed remove).
+    pub fn remove(&mut self, v: &Value) {
+        self.total = self.total.saturating_sub(1);
+        if let Some(key) = canon_key(v) {
+            self.non_null = self.non_null.saturating_sub(1);
+            if let Some(c) = self.counts.get_mut(&key) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&key);
+                }
+            }
+        }
+        if let Some(n) = v.as_num() {
+            self.numeric = self.numeric.saturating_sub(1);
+            if let Some(h) = &mut self.hist {
+                h.remove(n);
+            }
+        }
+    }
+
+    /// Applies a committed single-attribute update (extension size is
+    /// unchanged; the value flips from `old` to `new`).
+    pub fn update(&mut self, old: &Value, new: &Value) {
+        self.remove(old);
+        self.insert(new);
+    }
+
+    /// True when the summary should be rebuilt before serving estimates:
+    /// numeric values appeared after a numeric-free build (no histogram
+    /// to route them into), or the extension drifted to less than half /
+    /// more than double its build-time size (equi-depth balance lost).
+    /// The small slack keeps tiny extensions from rebuilding every op.
+    pub fn hist_stale(&self) -> bool {
+        (self.hist.is_none() && self.numeric > 0)
+            || self.total > 2 * self.built_total + 8
+            || 2 * self.total + 8 < self.built_total
+    }
+
+    /// Estimated rows matching `attr = key` — exact, from the frequency
+    /// map (`key` must already be canonical, as produced by the planner).
+    pub fn est_eq(&self, key: &Value) -> usize {
+        self.counts.get(key).copied().unwrap_or(0) as usize
+    }
+
+    /// Estimated rows matching `attr in keys` — exact sum of frequencies
+    /// (canonical keys are distinct, so the posting lists are disjoint).
+    pub fn est_in(&self, keys: &[Value]) -> usize {
+        keys.iter().map(|k| self.est_eq(k)).sum()
+    }
+
+    /// Estimated rows matching a numeric range, from the histogram
+    /// (rounded; at least 1 when the histogram reports any overlap, so a
+    /// nonempty answer is never estimated at zero cost).
+    pub fn est_range(&self, lo: Bound<R64>, hi: Bound<R64>) -> usize {
+        match &self.hist {
+            None => 0,
+            Some(h) => {
+                let est = h.est_range(lo, hi);
+                if est > 0.0 {
+                    (est.round() as usize).max(1).min(self.numeric)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::int(x)).collect()
+    }
+
+    #[test]
+    fn build_counts_total_nonnull_distinct() {
+        let mut vs = vals(&[1, 1, 2, 3]);
+        vs.push(Value::Null);
+        vs.push(Value::str("x"));
+        let s = AttrStats::build(vs.iter());
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.non_null(), 5);
+        assert_eq!(s.numeric(), 4);
+        assert_eq!(s.distinct(), 4, "1, 2, 3, \"x\"");
+        assert_eq!(s.est_eq(&Value::real(1.0)), 2, "canonical numeric key");
+    }
+
+    #[test]
+    fn deltas_match_scratch_rebuild() {
+        let base = vals(&[5, 9, 9, 2, 7, 7, 7]);
+        let mut s = AttrStats::build(base.iter());
+        s.insert(&Value::int(4));
+        s.insert(&Value::Null);
+        s.remove(&Value::int(9));
+        s.update(&Value::int(2), &Value::str("two"));
+        let now: Vec<Value> = vals(&[5, 9, 7, 7, 7, 4])
+            .into_iter()
+            .chain([Value::Null, Value::str("two")])
+            .collect();
+        let scratch = AttrStats::rebuild_like(&s, now.iter());
+        assert_eq!(s, scratch);
+    }
+
+    #[test]
+    fn histogram_est_range_brackets_truth() {
+        let xs: Vec<Value> = (0..100).map(Value::int).collect();
+        let s = AttrStats::build(xs.iter());
+        use Bound::*;
+        let est = s.est_range(Included(R64::new(0.0)), Included(R64::new(99.0)));
+        assert_eq!(est, 100, "full range is exact");
+        let est = s.est_range(Included(R64::new(90.0)), Unbounded);
+        assert!((5..=20).contains(&est), "tail estimate near 10, got {est}");
+        assert_eq!(s.est_range(Included(R64::new(500.0)), Unbounded), 0);
+        assert_eq!(
+            s.est_range(Included(R64::new(10.0)), Included(R64::new(5.0))),
+            0,
+            "inverted range"
+        );
+    }
+
+    #[test]
+    fn histogram_none_without_numerics_then_stale() {
+        let vs = [Value::str("a"), Value::str("b")];
+        let mut s = AttrStats::build(vs.iter());
+        assert!(s.histogram().is_none());
+        assert!(!s.hist_stale());
+        s.insert(&Value::int(3));
+        assert!(s.hist_stale(), "numeric arrived with no histogram");
+    }
+
+    #[test]
+    fn drift_marks_stale() {
+        let vs = vals(&(0..32).collect::<Vec<_>>());
+        let mut s = AttrStats::build(vs.iter());
+        assert!(!s.hist_stale());
+        for i in 0..100 {
+            s.insert(&Value::int(i));
+        }
+        assert!(s.hist_stale(), "doubled since build");
+    }
+
+    #[test]
+    fn est_in_sums_disjoint_keys() {
+        let s = AttrStats::build(vals(&[1, 1, 2, 2, 2, 3]).iter());
+        let keys = [Value::real(1.0), Value::real(2.0)];
+        assert_eq!(s.est_in(&keys), 5);
+    }
+
+    #[test]
+    fn remove_to_zero_drops_distinct() {
+        let mut s = AttrStats::build(vals(&[4, 4]).iter());
+        assert_eq!(s.distinct(), 1);
+        s.remove(&Value::int(4));
+        assert_eq!(s.distinct(), 1);
+        s.remove(&Value::int(4));
+        assert_eq!(s.distinct(), 0);
+        assert_eq!(s.total(), 0);
+    }
+}

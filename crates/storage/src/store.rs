@@ -1,4 +1,13 @@
 //! The constraint-enforcing store.
+//!
+//! Besides enforcement, the store owns the planner's auxiliary state:
+//! lazily built secondary indexes and per-`(class, attr)` statistics.
+//! Both are maintained **incrementally** — a committed insert/update/
+//! remove applies per-object deltas to every already-built index and
+//! statistics summary covering the object, instead of discarding them —
+//! so write-heavy interleaved workloads stop rebuilding from scratch.
+//! [`IndexMaintenance::Wholesale`] restores the old discard-everything
+//! behaviour for benchmarking and differential testing.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -10,6 +19,7 @@ use interop_model::fx::FxHashMap;
 use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId, Value};
 
 use crate::index::{HashIndex, IndexSet, KeyIndex, SortedIndex};
+use crate::stats::AttrStats;
 
 /// Errors from store operations.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,15 +80,48 @@ impl From<ModelError> for StoreError {
     }
 }
 
-/// Lazily built secondary indexes, keyed by the *queried* class (whose
-/// extension they cover) and attribute. `version` records the store
-/// mutation counter the cache was built against; any mismatch discards
-/// the whole cache, so a stale index can never serve a query.
+/// How the store keeps secondary indexes and statistics current across
+/// mutations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexMaintenance {
+    /// Apply per-object deltas to every built index/statistics summary on
+    /// each committed mutation (the default).
+    #[default]
+    Incremental,
+    /// Discard everything on any mutation attempt and rebuild lazily on
+    /// the next query — the pre-cost-model behaviour, kept as the
+    /// benchmark baseline and as a differential-testing oracle.
+    Wholesale,
+}
+
+/// Lazily built secondary indexes and statistics, keyed by the *queried*
+/// class (whose extension they cover) and attribute. `version` records
+/// the store mutation counter the cache contents reflect; mutations
+/// either apply deltas and stamp the new version (incremental mode) or
+/// clear the maps (wholesale mode), so a stale entry can never serve a
+/// query.
 #[derive(Clone, Debug, Default)]
 struct SecondaryCache {
     version: u64,
     hash: FxHashMap<ClassName, FxHashMap<AttrName, Arc<HashIndex>>>,
     sorted: FxHashMap<ClassName, FxHashMap<AttrName, Arc<SortedIndex>>>,
+    stats: FxHashMap<ClassName, FxHashMap<AttrName, Arc<AttrStats>>>,
+}
+
+/// Applies `$apply` to every cached `(attr, entry)` of `$map` whose
+/// class extension covers `$class` — the shared loop shape of the three
+/// delta operations, written once so a change to the coverage rule (or
+/// a fourth secondary structure) edits one place per operation.
+macro_rules! for_covering {
+    ($db:expr, $map:expr, $class:expr, |$attr:ident, $entry:ident| $apply:block) => {
+        for (cached, attrs) in $map.iter_mut() {
+            if $db.schema.is_subclass($class, cached) {
+                for ($attr, $entry) in attrs.iter_mut() {
+                    $apply;
+                }
+            }
+        }
+    };
 }
 
 /// A database plus its enforced constraint catalog and key indexes.
@@ -88,8 +131,10 @@ pub struct Store {
     catalog: Catalog,
     indexes: IndexSet,
     /// Bumped on every mutation attempt that may have touched state;
-    /// secondary indexes are valid only for the version they were built at.
+    /// secondary indexes are valid only for the version they were
+    /// synchronised to (by delta or rebuild).
     version: u64,
+    maintenance: IndexMaintenance,
     secondary: RefCell<SecondaryCache>,
 }
 
@@ -110,6 +155,7 @@ impl Store {
             catalog,
             indexes,
             version: 0,
+            maintenance: IndexMaintenance::default(),
             secondary: RefCell::new(SecondaryCache::default()),
         };
         // Index existing objects.
@@ -176,27 +222,144 @@ impl Store {
     }
 
     /// The store's mutation counter. Bumped by every (attempted) insert,
-    /// update or remove; secondary indexes built at an older version are
-    /// discarded before they can serve a query.
+    /// update or remove; the secondary cache is synchronised to it by
+    /// deltas (or discarded, in wholesale mode) before the mutation
+    /// returns.
     pub fn version(&self) -> u64 {
         self.version
     }
 
-    /// Drops every cached secondary index if the store has mutated since
-    /// the cache was built. Called on each index access.
-    fn refresh_secondary(&self, cache: &mut SecondaryCache) {
+    /// The maintenance mode in effect.
+    pub fn index_maintenance(&self) -> IndexMaintenance {
+        self.maintenance
+    }
+
+    /// Switches how indexes and statistics survive mutations. Switching
+    /// drops the current cache (the conservative direction for both
+    /// modes).
+    pub fn set_index_maintenance(&mut self, mode: IndexMaintenance) {
+        self.maintenance = mode;
+        let mut cache = self.secondary.borrow_mut();
+        cache.hash.clear();
+        cache.sorted.clear();
+        cache.stats.clear();
+        cache.version = self.version;
+    }
+
+    /// Registers a mutation attempt: bumps the version and brings the
+    /// cache's stamp along. In wholesale mode the cache contents are
+    /// discarded instead; in incremental mode the caller follows up with
+    /// the per-object deltas for whatever the mutation actually changed
+    /// (nothing, for a rejected op — state is unchanged, so stamping
+    /// alone keeps the cache exact).
+    fn bump(&mut self) {
+        self.version += 1;
+        let mut cache = self.secondary.borrow_mut();
+        if self.maintenance == IndexMaintenance::Wholesale {
+            cache.hash.clear();
+            cache.sorted.clear();
+            cache.stats.clear();
+        }
+        cache.version = self.version;
+    }
+
+    /// Safety net on every cache read: a version mismatch means some
+    /// mutation path forgot to synchronise — discard rather than serve
+    /// stale entries. `debug_assert!`s loudly in test builds.
+    fn verify_cache(&self, cache: &mut SecondaryCache) {
+        debug_assert_eq!(
+            cache.version, self.version,
+            "secondary cache out of sync with store version"
+        );
         if cache.version != self.version {
             cache.hash.clear();
             cache.sorted.clear();
+            cache.stats.clear();
             cache.version = self.version;
         }
+    }
+
+    /// Applies a committed object insertion to every built index and
+    /// statistics summary whose class extension covers the object.
+    fn delta_insert(&mut self, id: ObjectId) {
+        if self.maintenance == IndexMaintenance::Wholesale {
+            return;
+        }
+        let db = &self.db;
+        let cache = self.secondary.get_mut();
+        let Some(obj) = db.object(id) else { return };
+        for_covering!(db, cache.hash, &obj.class, |attr, idx| {
+            Arc::make_mut(idx).insert(obj.get(attr), obj.id)
+        });
+        for_covering!(db, cache.sorted, &obj.class, |attr, idx| {
+            Arc::make_mut(idx).insert(obj.get(attr), obj.id)
+        });
+        for_covering!(db, cache.stats, &obj.class, |attr, st| {
+            Arc::make_mut(st).insert(obj.get(attr))
+        });
+    }
+
+    /// Applies a committed object removal (the mirror of
+    /// [`Store::delta_insert`]; `obj` is the removed object, already out
+    /// of the database).
+    fn delta_remove(&mut self, obj: &Object) {
+        if self.maintenance == IndexMaintenance::Wholesale {
+            return;
+        }
+        let db = &self.db;
+        let cache = self.secondary.get_mut();
+        for_covering!(db, cache.hash, &obj.class, |attr, idx| {
+            Arc::make_mut(idx).remove(obj.get(attr), obj.id)
+        });
+        for_covering!(db, cache.sorted, &obj.class, |attr, idx| {
+            Arc::make_mut(idx).remove(obj.get(attr), obj.id)
+        });
+        for_covering!(db, cache.stats, &obj.class, |attr, st| {
+            Arc::make_mut(st).remove(obj.get(attr))
+        });
+    }
+
+    /// Applies a committed single-attribute update: only entries for the
+    /// changed attribute are touched (extension membership is unchanged).
+    fn delta_update(
+        &mut self,
+        class: &ClassName,
+        id: ObjectId,
+        target: &AttrName,
+        old: &Value,
+        new: &Value,
+    ) {
+        if self.maintenance == IndexMaintenance::Wholesale {
+            return;
+        }
+        let db = &self.db;
+        let cache = self.secondary.get_mut();
+        for_covering!(db, cache.hash, class, |attr, idx| {
+            if attr == target {
+                let idx = Arc::make_mut(idx);
+                idx.remove(old, id);
+                idx.insert(new, id);
+            }
+        });
+        for_covering!(db, cache.sorted, class, |attr, idx| {
+            if attr == target {
+                let idx = Arc::make_mut(idx);
+                idx.remove(old, id);
+                idx.insert(new, id);
+            }
+        });
+        for_covering!(db, cache.stats, class, |attr, st| {
+            if attr == target {
+                Arc::make_mut(st).update(old, new);
+            }
+        });
     }
 
     /// The equality (hash) index over `class`'s extension for `attr`,
     /// building it on first use.
     pub fn hash_index(&self, class: &ClassName, attr: &AttrName) -> Arc<HashIndex> {
         let mut cache = self.secondary.borrow_mut();
-        self.refresh_secondary(&mut cache);
+        self.verify_cache(&mut cache);
         if let Some(idx) = cache.hash.get(class).and_then(|m| m.get(attr)) {
             return Arc::clone(idx);
         }
@@ -218,7 +381,7 @@ impl Store {
     /// building it on first use.
     pub fn sorted_index(&self, class: &ClassName, attr: &AttrName) -> Arc<SortedIndex> {
         let mut cache = self.secondary.borrow_mut();
-        self.refresh_secondary(&mut cache);
+        self.verify_cache(&mut cache);
         if let Some(idx) = cache.sorted.get(class).and_then(|m| m.get(attr)) {
             return Arc::clone(idx);
         }
@@ -235,12 +398,39 @@ impl Store {
         idx
     }
 
-    /// How many secondary indexes are currently cached, and the version
-    /// they are valid for. Test/diagnostic hook for invalidation checks.
+    /// The cardinality statistics over `class`'s extension for `attr`,
+    /// building them on first use in the same pass an index build would
+    /// make, and rebuilding when [`AttrStats::hist_stale`] reports that
+    /// the extension drifted too far from the histogram's build point.
+    pub fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats> {
+        let mut cache = self.secondary.borrow_mut();
+        self.verify_cache(&mut cache);
+        if let Some(st) = cache.stats.get(class).and_then(|m| m.get(attr)) {
+            if !st.hist_stale() {
+                return Arc::clone(st);
+            }
+        }
+        let ids = self.db.extension(class);
+        let st = Arc::new(AttrStats::build(ids.iter().map(|&id| {
+            let obj = self.db.object(id).expect("extension lists live objects");
+            obj.get(attr)
+        })));
+        cache
+            .stats
+            .entry(class.clone())
+            .or_default()
+            .insert(attr.clone(), Arc::clone(&st));
+        st
+    }
+
+    /// How many secondary structures (indexes + statistics) are
+    /// currently cached, and the version they are valid for.
+    /// Test/diagnostic hook for invalidation checks.
     pub fn secondary_cache_stats(&self) -> (u64, usize) {
         let cache = self.secondary.borrow();
         let n = cache.hash.values().map(|m| m.len()).sum::<usize>()
-            + cache.sorted.values().map(|m| m.len()).sum::<usize>();
+            + cache.sorted.values().map(|m| m.len()).sum::<usize>()
+            + cache.stats.values().map(|m| m.len()).sum::<usize>();
         (cache.version, n)
     }
 
@@ -291,10 +481,10 @@ impl Store {
     /// Inserts an object, enforcing all constraints. On any violation the
     /// store is left unchanged.
     pub fn insert(&mut self, obj: Object) -> Result<(), StoreError> {
-        // Conservative invalidation: bump even when the insert later
-        // fails — a failed op leaves state unchanged, so the only cost is
-        // a rebuild on the next query.
-        self.version += 1;
+        // Bump even when the insert later fails: a failed op leaves state
+        // unchanged, so stamping the cache at the new version keeps it
+        // exact with no delta to apply.
+        self.bump();
         self.validate_object(&obj)?;
         self.index_insert(&obj)?;
         let class = obj.class.clone();
@@ -312,6 +502,7 @@ impl Store {
             self.index_remove(&obj);
             return Err(e);
         }
+        self.delta_insert(id);
         Ok(())
     }
 
@@ -340,7 +531,7 @@ impl Store {
         value: Value,
     ) -> Result<(), StoreError> {
         let attr = attr.into();
-        self.version += 1;
+        self.bump();
         let before = self.db.object_req(id)?.clone();
         let mut after = before.clone();
         after.set(attr.clone(), value.clone());
@@ -350,7 +541,7 @@ impl Store {
             self.index_insert(&before).expect("restoring old key");
             return Err(e);
         }
-        self.db.update(id, attr, value)?;
+        self.db.update(id, attr.clone(), value.clone())?;
         if let Err(e) = self.check_class_and_db_constraints(&before.class) {
             // Restore the previous object state wholesale.
             self.db.remove(id).expect("object exists");
@@ -361,12 +552,14 @@ impl Store {
             self.index_insert(&before).expect("restoring old key");
             return Err(e);
         }
+        let old = before.get(&attr).clone();
+        self.delta_update(&before.class, id, &attr, &old, &value);
         Ok(())
     }
 
     /// Removes an object.
     pub fn remove(&mut self, id: ObjectId) -> Result<Object, StoreError> {
-        self.version += 1;
+        self.bump();
         let obj = self.db.remove(id)?;
         self.index_remove(&obj);
         if let Err(e) = self.check_class_and_db_constraints(&obj.class.clone()) {
@@ -374,6 +567,7 @@ impl Store {
             self.db.insert(obj).expect("reinsert after failed remove");
             return Err(e);
         }
+        self.delta_remove(&obj);
         Ok(obj)
     }
 
@@ -398,6 +592,12 @@ impl Store {
             }
         }
         Ok(bad)
+    }
+}
+
+impl crate::plan::StatsSource for Store {
+    fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats> {
+        Store::attr_stats(self, class, attr)
     }
 }
 
@@ -622,7 +822,7 @@ mod tests {
     }
 
     #[test]
-    fn secondary_indexes_lazy_and_invalidated() {
+    fn secondary_indexes_lazy_and_maintained() {
         let mut s = store();
         s.create("Item", vec![("isbn", "A".into())]).unwrap();
         s.create(
@@ -640,11 +840,77 @@ mod tests {
         // Same version ⇒ cached instance is reused.
         let again = s.hash_index(&item, &isbn);
         assert!(std::sync::Arc::ptr_eq(&idx, &again));
-        // Any mutation drops the whole cache.
+        // A mutation applies a delta; a reader holding the old Arc keeps
+        // an unchanged (copy-on-write) snapshot while the cache serves
+        // the updated postings.
         s.create("Item", vec![("isbn", "C".into())]).unwrap();
+        let updated = s.hash_index(&item, &isbn);
+        assert!(!std::sync::Arc::ptr_eq(&idx, &updated));
+        assert_eq!(updated.postings(&Value::str("C")).len(), 1);
+        assert_eq!(idx.postings(&Value::str("C")).len(), 0, "snapshot");
+        // With no outside reader the delta lands in place — no rebuild.
+        drop(idx);
+        drop(again);
+        drop(updated);
+        let (v0, _) = s.secondary_cache_stats();
+        s.create("Item", vec![("isbn", "D".into())]).unwrap();
+        let after = s.hash_index(&item, &isbn);
+        assert_eq!(after.postings(&Value::str("D")).len(), 1);
+        assert_eq!(s.secondary_cache_stats().0, v0 + 1, "version stamped");
+    }
+
+    #[test]
+    fn wholesale_mode_discards_on_every_mutation() {
+        let mut s = store();
+        s.set_index_maintenance(IndexMaintenance::Wholesale);
+        s.create("Item", vec![("isbn", "A".into())]).unwrap();
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let _ = s.hash_index(&item, &isbn);
+        let _ = s.attr_stats(&item, &isbn);
+        assert_eq!(s.secondary_cache_stats().1, 2);
+        // A *failed* mutation also discards (conservative).
+        let _ = s.create("Item", vec![("isbn", "A".into())]).unwrap_err();
+        assert_eq!(s.secondary_cache_stats().1, 0);
         let rebuilt = s.hash_index(&item, &isbn);
-        assert!(!std::sync::Arc::ptr_eq(&idx, &rebuilt));
-        assert_eq!(rebuilt.postings(&Value::str("C")).len(), 1);
+        assert_eq!(rebuilt.postings(&Value::str("A")).len(), 1);
+    }
+
+    #[test]
+    fn attr_stats_lazy_and_delta_maintained() {
+        let mut s = store();
+        let a = s
+            .create(
+                "Item",
+                vec![("isbn", "A".into()), ("shopprice", 10.0.into())],
+            )
+            .unwrap();
+        s.create(
+            "Proceedings",
+            vec![("isbn", "B".into()), ("shopprice", 20.0.into())],
+        )
+        .unwrap();
+        let item = ClassName::new("Item");
+        let price = AttrName::new("shopprice");
+        let st = s.attr_stats(&item, &price);
+        assert_eq!(st.total(), 2, "subclass instance counted");
+        assert_eq!(st.distinct(), 2);
+        // Update flips a value: stats follow without a rebuild.
+        s.update(a, "shopprice", Value::real(20.0)).unwrap();
+        let st = s.attr_stats(&item, &price);
+        assert_eq!(st.total(), 2);
+        assert_eq!(st.distinct(), 1, "10.0 gone, both at 20.0");
+        assert_eq!(st.est_eq(&Value::real(20.0)), 2);
+        // Remove shrinks the extension.
+        s.remove(a).unwrap();
+        let st = s.attr_stats(&item, &price);
+        assert_eq!(st.total(), 1);
+        // A failed mutation leaves stats untouched but stamps the cache.
+        let before = s.secondary_cache_stats();
+        let _ = s.create("Item", vec![("isbn", "B".into())]).unwrap_err();
+        let after = s.secondary_cache_stats();
+        assert_eq!(after.0, before.0 + 1);
+        assert_eq!(s.attr_stats(&item, &price).total(), 1);
     }
 
     #[test]

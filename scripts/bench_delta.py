@@ -83,11 +83,25 @@ def main():
         "counterpart (matched by the suffix after the prefix). Used to "
         "gate e.g. query_optimization/full_scan vs .../planned at 2x.",
     )
+    ap.add_argument(
+        "--expect",
+        metavar="PREFIX",
+        action="append",
+        default=[],
+        help="fail unless the NEW recording contains at least one benchmark "
+        "under PREFIX. Benchmarks absent from the baseline never fail the "
+        "delta check, so a renamed or silently dropped group would "
+        "otherwise pass; --expect pins the groups that must exist.",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
     new = load(args.new)
     failures = []
+
+    for prefix in args.expect:
+        if not any(in_groups(name, [prefix]) for name in new):
+            failures.append(f"--expect {prefix}: no benchmark recorded under this prefix")
 
     speed = 1.0
     if args.normalize_via:

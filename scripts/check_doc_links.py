@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Check the repository's markdown cross-links.
+
+Scans the tracked *.md files for inline links `[text](target)` and fails
+when:
+
+* a relative file target does not exist;
+* an anchor (`file.md#heading` or `#heading`) does not match any heading
+  in the target file, using GitHub's slugification (lowercase, strip
+  punctuation, spaces to hyphens).
+
+External (http/https/mailto) targets are skipped — the CI environment is
+offline and their liveness is not this script's job. Reference-style
+links and autolinks are out of scope; the repo uses inline links.
+
+Usage: python3 scripts/check_doc_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces→hyphens.
+
+    Underscores are kept (GitHub keeps them: `# conf_vldb_VermeerA96`
+    anchors as `#conf_vldb_vermeera96`); backticks and asterisks are
+    emphasis markers and are stripped.
+    """
+    heading = heading.strip().lower()
+    heading = re.sub(r"[`*]", "", heading)
+    out = []
+    for ch in heading:
+        if ch.isalnum() or ch == "_":
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-")
+    return "".join(out)
+
+
+def headings_of(path):
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slugs.add(slugify(m.group(1)))
+    return slugs
+
+
+def links_of(path):
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group(1)))
+    return links
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in ("target", ".git", "node_modules")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        for lineno, target in links_of(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            if target.startswith("#"):
+                dest, anchor = path, target[1:]
+            else:
+                rel, _, anchor = target.partition("#")
+                dest = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+            where = f"{path}:{lineno}"
+            if not os.path.exists(dest):
+                failures.append(f"{where}: broken link target {target!r}")
+                continue
+            if anchor and dest.endswith(".md"):
+                if anchor.lower() not in headings_of(dest):
+                    failures.append(
+                        f"{where}: no heading for anchor {anchor!r} in {dest}"
+                    )
+    if failures:
+        print(f"{len(failures)} broken doc link(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,13 +12,18 @@
 //! * [`spec`] — integration specifications (comparison rules, property
 //!   equivalences, conversion and decision functions);
 //! * [`lang`] — the TM-dialect front-end (Figure 1 parses verbatim);
-//! * [`storage`] — a constraint-enforcing in-memory object store with
-//!   constraint-based query pruning and transaction pre-validation;
+//! * [`storage`] — a constraint-enforcing in-memory object store with a
+//!   cost-based query planner (statistics, `EXPLAIN`), incremental index
+//!   maintenance, and transaction pre-validation;
 //! * [`conform`] — the §4 conformation phase;
 //! * [`merge`] — the §2.3 merging phase with extent-based hierarchy
 //!   inference;
 //! * [`core`] — the paper's contribution: subjectivity analysis, global
 //!   constraint derivation, conflict detection and repair (§3, §5).
+//!
+//! `ARCHITECTURE.md` at the repository root walks the full pipeline
+//! phase by phase; each crate's own docs state the invariants it
+//! guarantees to the layers above.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,182 @@
+//! Snapshot regression test for the planner's `EXPLAIN` surface: the
+//! rendered [`db_interop::storage::Explain`] output is pinned
+//! byte-for-byte on the paper fixtures and on a seeded synthetic store.
+//! Pinning the text pins every cost-model decision — strategy choice,
+//! per-conjunct classification, cardinality estimates, intersection
+//! order, and demotion — so an estimator or ordering change cannot slip
+//! through unreviewed.
+//!
+//! To regenerate after an *intended* planner change, run with
+//! `UPDATE_SNAPSHOTS=1` and review the diff.
+
+use db_interop::constraint::{CmpOp, Formula};
+use db_interop::core::fixtures;
+use db_interop::core::{Integrator, IntegratorOptions};
+use db_interop::model::ClassName;
+use db_interop::storage::{Optimizer, Store};
+use interop_bench::synthetic_store;
+use std::fmt::Write as _;
+
+fn check(name: &str, rendered: &str) {
+    let path = format!("{}/tests/snapshots/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok() {
+        std::fs::create_dir_all(format!("{}/tests/snapshots", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {path}: {e}; run with UPDATE_SNAPSHOTS=1"));
+    assert!(
+        expected == rendered,
+        "explain output diverged from pinned snapshot {path}.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{rendered}\n\
+         If the change is intended, regenerate with UPDATE_SNAPSHOTS=1 and review."
+    );
+}
+
+fn render(out: &mut String, title: &str, opt: &Optimizer, store: &Store, pred: &Formula) {
+    writeln!(out, "-- {title} --").unwrap();
+    writeln!(out, "predicate: {pred}").unwrap();
+    write!(out, "{}", opt.explain(store, pred)).unwrap();
+    writeln!(out).unwrap();
+}
+
+/// The §1 use-case store: the conformed remote (Bookseller) database
+/// with the derived global constraints for `Proceedings`.
+#[test]
+fn paper_fixture_explain_output_pinned() {
+    let fx = fixtures::paper_fixture();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .expect("paper fixture integrates");
+    let store = Store::new(
+        outcome.conformed.remote.db.clone(),
+        outcome.conformed.remote.catalog.clone(),
+    );
+    let constraints: Vec<Formula> = outcome
+        .global
+        .formulas_for_class(&ClassName::new("Proceedings"))
+        .into_iter()
+        .cloned()
+        .collect();
+    let opt = Optimizer::new(&store, "Proceedings", constraints);
+
+    let mut out = String::new();
+    render(
+        &mut out,
+        "contradicts derived oc1: pruned without a scan",
+        &opt,
+        &store,
+        &Formula::cmp("publisher.name", CmpOp::Eq, "IEEE").and(Formula::cmp(
+            "ref?",
+            CmpOp::Eq,
+            false,
+        )),
+    );
+    render(
+        &mut out,
+        "type bound alone refutes the rating",
+        &opt,
+        &store,
+        &Formula::cmp("rating", CmpOp::Gt, 10i64),
+    );
+    render(
+        &mut out,
+        "satisfiable equality served from a posting list",
+        &opt,
+        &store,
+        &Formula::cmp("ref?", CmpOp::Eq, true),
+    );
+    render(
+        &mut out,
+        "conjunction with a residual disequality",
+        &opt,
+        &store,
+        &Formula::cmp("ref?", CmpOp::Eq, true)
+            .and(Formula::cmp("rating", CmpOp::Ge, 7i64))
+            .and(Formula::cmp("isbn", CmpOp::Ne, "222")),
+    );
+    render(
+        &mut out,
+        "multi-segment path stays residual",
+        &opt,
+        &store,
+        &Formula::cmp("publisher.name", CmpOp::Eq, "ACM"),
+    );
+    check("explain_paper", &out);
+}
+
+/// The synthetic 10k-item store the query-optimisation benchmarks use:
+/// large enough for selectivity to matter, so ordering, demotion, and
+/// the scan fallback all appear.
+#[test]
+fn synthetic_store_explain_output_pinned() {
+    let store = synthetic_store(10_000, 42);
+    let opt = Optimizer::new(
+        &store,
+        "Item",
+        vec![Formula::cmp("rating", CmpOp::Ge, 5i64)],
+    );
+
+    let mut out = String::new();
+    render(
+        &mut out,
+        "contradicts the derived constraint",
+        &opt,
+        &store,
+        &Formula::cmp("rating", CmpOp::Lt, 5i64),
+    );
+    render(
+        &mut out,
+        "unique key probe",
+        &opt,
+        &store,
+        &Formula::cmp("isbn", CmpOp::Eq, "isbn-5000"),
+    );
+    render(
+        &mut out,
+        "selective conjunction: equality before range",
+        &opt,
+        &store,
+        &Formula::cmp("price", CmpOp::Le, 30.0).and(Formula::cmp("rating", CmpOp::Eq, 7i64)),
+    );
+    render(
+        &mut out,
+        "poor selectivity demotes to a scan",
+        &opt,
+        &store,
+        &Formula::cmp("rating", CmpOp::Ge, 6i64),
+    );
+    render(
+        &mut out,
+        "selective range keeps the index",
+        &opt,
+        &store,
+        &Formula::cmp("price", CmpOp::Le, 5.0),
+    );
+    render(
+        &mut out,
+        "implied-true conjunct dropped under coverage",
+        &opt,
+        &store,
+        &Formula::cmp("rating", CmpOp::Eq, 9i64).and(Formula::cmp("rating", CmpOp::Ge, 5i64)),
+    );
+    render(
+        &mut out,
+        "disjunction stays residual",
+        &opt,
+        &store,
+        &Formula::cmp("rating", CmpOp::Eq, 5i64).or(Formula::cmp("rating", CmpOp::Eq, 10i64)),
+    );
+    check("explain_synthetic", &out);
+}

@@ -9,17 +9,64 @@
 //! `prop_oneof!`, `any::<T>()`, and the `prop_assert*` / `prop_assume!`
 //! macros.
 //!
-//! Shrinking: integer-range, `vec`, `btree_set` and tuple strategies
-//! shrink failing cases by greedy binary search ([`Strategy::shrink`]
+//! # Shrinking — and its limits
+//!
+//! Integer-range, `vec`, `btree_set` and tuple strategies shrink failing
+//! cases by greedy binary search ([`strategy::Strategy::shrink`]
 //! proposes candidates largest-jump-first; the runner keeps the first
 //! candidate that still fails and iterates to a local minimum). Failures
 //! therefore report a *minimal counterexample* instead of just the seed.
-//! Composite strategies built with `prop_map` / `prop_oneof!` do not
-//! shrink (the mapping is not invertible); their failures still report the
-//! generated value.
 //!
-//! Determinism: each generated `#[test]` derives its RNG seed from the test
-//! name (FNV-1a) unless `PROPTEST_SEED` is set, so runs are reproducible and
+//! **Known limitation:** composite strategies built with `prop_map` /
+//! `prop_oneof!` (and anything layered on them, such as
+//! `prop_recursive` or mapped `sample::select`) do **not** shrink — the
+//! mapping is not invertible, so a shrunk pre-image cannot be recovered
+//! from a failing mapped value. Their failures still report the
+//! generated value and the seed, just not a minimum. The real
+//! `proptest` crate shrinks through these combinators by keeping the
+//! source value tree; this shim intentionally does not (see the
+//! `ROADMAP.md` note on swapping the real crates back in if registry
+//! access appears).
+//!
+//! ## Idiom: keep the failing input shrinkable
+//!
+//! New suites should generate **tuples of primitives** and apply the
+//! mapping *inside the test body*, rather than baking it into the
+//! strategy — the tuple shrinks component-wise, and the body re-derives
+//! the composite value from each shrunk candidate:
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     # #![proptest_config(ProptestConfig::with_cases(8))]
+//!     // In a real suite this fn carries #[test]; the doctest invokes
+//!     // it directly instead.
+//!     fn shrinkable((len, seed) in (0usize..32, 0u64..100)) {
+//!         // Derive the composite inside the body: `(len, seed)` still
+//!         // shrinks; a `prop_map`-built Vec<String> would not.
+//!         let names: Vec<String> =
+//!             (0..len).map(|i| format!("n{}", (seed + i as u64) % 7)).collect();
+//!         prop_assert!(names.len() < 40);
+//!     }
+//! }
+//! shrinkable();
+//! ```
+//!
+//! Avoid `prop_filter_map`-style strategies entirely (the shim does not
+//! provide them, deliberately): a filter-map is doubly un-shrinkable —
+//! not invertible *and* partial. Express the constraint either in the
+//! range itself (`1i64..80` instead of filtering `0..100`) or as a
+//! `prop_assume!` in the body, which keeps rejection explicit and the
+//! input shrinkable. `prop_oneof!` is fine for *enumerating operation
+//! kinds* (as the storage invalidation suite does) when each arm's
+//! payload is a primitive tuple — the payload still won't shrink, so
+//! keep arm payloads small and meaningful.
+//!
+//! # Determinism
+//!
+//! Each generated `#[test]` derives its RNG seed from the test name
+//! (FNV-1a) unless `PROPTEST_SEED` is set, so runs are reproducible and
 //! CI time is stable for a pinned case count.
 
 pub mod test_runner {
