@@ -14,7 +14,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use interop_bench::synthetic_store;
 use interop_constraint::{CmpOp, Formula};
 use interop_model::{ClassName, Value};
-use interop_storage::{IndexMaintenance, OptimizeOutcome, Optimizer, Query};
+use interop_storage::{
+    execute_costed, CompositePolicy, IndexMaintenance, OptimizeOutcome, Optimizer, Query,
+};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("query_optimization");
@@ -90,6 +92,57 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 opt.execute(&store, std::hint::black_box(&satisfiable))
                     .expect("executes")
+            })
+        });
+    }
+
+    // Composite-index pair: the recurring `rating = 7 ∧ shelf = 13`
+    // conjunction executed through the plan it gets *before* admission
+    // (two-way posting-list intersection) and through the plan it gets
+    // *after* (one composite lookup). Both plans run against the same
+    // warm store; CI gates the composite at ≥2× within each recording.
+    for n in [1_000usize, 10_000] {
+        let mut store = synthetic_store(n, 42);
+        // Baseline plan first, under a never-admit policy.
+        store.set_composite_policy(CompositePolicy::disabled());
+        let opt = Optimizer::new(
+            &store,
+            "Item",
+            vec![Formula::cmp("rating", CmpOp::Ge, 5i64)],
+        );
+        let pair =
+            Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("shelf", CmpOp::Eq, 13i64));
+        let isect_plan = opt.costed_plan(&store, &pair);
+        assert!(isect_plan.composite_probe().is_none());
+        assert_eq!(isect_plan.index_steps().len(), 2, "two-way intersection");
+        // Now let the default policy admit the recurring pair and plan
+        // again: one composite probe replaces the intersection.
+        store.set_composite_policy(CompositePolicy::default());
+        for _ in 0..CompositePolicy::default().admit_after {
+            let _ = opt.costed_plan(&store, &pair);
+        }
+        let composite_plan = opt.costed_plan(&store, &pair);
+        assert!(
+            composite_plan.composite_probe().is_some(),
+            "default policy admits the recurring pair"
+        );
+        // Warm the composite index and check both plans agree with the
+        // scan oracle.
+        let (isect_hits, _) = execute_costed(&store, &isect_plan).expect("executes");
+        let (composite_hits, _) = execute_costed(&store, &composite_plan).expect("executes");
+        assert_eq!(isect_hits, composite_hits, "same answer either way");
+        let mut scanned = Query::new("Item", pair.clone())
+            .scan(&store)
+            .expect("scans");
+        scanned.sort_unstable();
+        assert_eq!(composite_hits, scanned, "oracle agreement");
+
+        g.bench_with_input(BenchmarkId::new("composite_isect", n), &n, |b, _| {
+            b.iter(|| execute_costed(&store, std::hint::black_box(&isect_plan)).expect("executes"))
+        });
+        g.bench_with_input(BenchmarkId::new("composite_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                execute_costed(&store, std::hint::black_box(&composite_plan)).expect("executes")
             })
         });
     }

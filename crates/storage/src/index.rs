@@ -171,6 +171,85 @@ impl HashIndex {
     }
 }
 
+/// Equality postings over a canonicalised value *pair* for one
+/// `(class, attr_a, attr_b)` with `attr_a < attr_b` — the planner's
+/// composite secondary index. One lookup answers the conjunction
+/// `attr_a = x ∧ attr_b = y` that would otherwise intersect two
+/// [`HashIndex`] posting lists.
+///
+/// Invariants mirror the single-attribute indexes: each component is
+/// canonicalised by [`canon_key`] (so `Int(3)`/`Real(3.0)` collide per
+/// `sem_eq`), an object with a null in *either* component is not indexed
+/// (a null equality is `Unknown`, so the conjunction can never be
+/// `True`), and posting lists stay sorted by id and duplicate-free under
+/// deltas.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompositeIndex {
+    map: FxHashMap<(Value, Value), Vec<ObjectId>>,
+}
+
+impl CompositeIndex {
+    /// Builds from `(value_a, value_b, id)` triples (any order; each
+    /// object contributes one pair).
+    pub fn build<I: IntoIterator<Item = (Value, Value, ObjectId)>>(triples: I) -> Self {
+        let mut map: FxHashMap<(Value, Value), Vec<ObjectId>> = FxHashMap::default();
+        for (va, vb, id) in triples {
+            if let (Some(ka), Some(kb)) = (canon_key(&va), canon_key(&vb)) {
+                map.entry((ka, kb)).or_default().push(id);
+            }
+        }
+        for ids in map.values_mut() {
+            ids.sort_unstable();
+        }
+        CompositeIndex { map }
+    }
+
+    /// The sorted posting list for a canonical key pair (`ka`/`kb` must
+    /// already be canonical, as produced by the planner).
+    pub fn postings(&self, ka: &Value, kb: &Value) -> &[ObjectId] {
+        // One clone pair per probe; probes are rare (one per executed
+        // composite step) and the tuple key keeps the map allocation-free
+        // on the much hotter build/delta paths.
+        self.map
+            .get(&(ka.clone(), kb.clone()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed value pairs.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Delta: adds `id` under the canonical pair of `(va, vb)` (no-op
+    /// when either component is null), keeping the posting list sorted.
+    /// Idempotent, like the single-attribute deltas.
+    pub fn insert(&mut self, va: &Value, vb: &Value, id: ObjectId) {
+        if let (Some(ka), Some(kb)) = (canon_key(va), canon_key(vb)) {
+            let ids = self.map.entry((ka, kb)).or_default();
+            if let Err(pos) = ids.binary_search(&id) {
+                ids.insert(pos, id);
+            }
+        }
+    }
+
+    /// Delta: removes `id` from the pair's posting list; an emptied list
+    /// is dropped so [`CompositeIndex::distinct`] stays exact.
+    pub fn remove(&mut self, va: &Value, vb: &Value, id: ObjectId) {
+        if let (Some(ka), Some(kb)) = (canon_key(va), canon_key(vb)) {
+            let key = (ka, kb);
+            if let Some(ids) = self.map.get_mut(&key) {
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+}
+
 /// Sorted numeric entries for one `(class, attr)`: `(value, id)` ordered
 /// by value then id. Only numeric values are indexed — a range predicate
 /// compares `Some` only against numbers, so non-numeric and null values
@@ -398,6 +477,52 @@ mod tests {
         idx.remove(&Value::real(2.0), ObjectId::new(1, 9));
         idx.remove(&Value::real(99.0), ObjectId::new(1, 9)); // absent: no-op
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn composite_index_canonicalises_pairs_and_skips_nulls() {
+        let idx = CompositeIndex::build([
+            (Value::int(5), Value::str("x"), ObjectId::new(1, 9)),
+            (Value::real(5.0), Value::str("x"), ObjectId::new(1, 2)),
+            (Value::int(5), Value::str("y"), ObjectId::new(1, 4)),
+            (Value::Null, Value::str("x"), ObjectId::new(1, 5)),
+            (Value::int(5), Value::Null, ObjectId::new(1, 6)),
+        ]);
+        // Int(5) and Real(5.0) share one pair posting, sorted by id.
+        assert_eq!(
+            idx.postings(&Value::real(5.0), &Value::str("x")),
+            &[ObjectId::new(1, 2), ObjectId::new(1, 9)]
+        );
+        assert_eq!(idx.postings(&Value::real(5.0), &Value::str("y")).len(), 1);
+        assert_eq!(idx.distinct(), 2, "null-in-either-component not indexed");
+    }
+
+    #[test]
+    fn composite_index_deltas_keep_postings_sorted() {
+        let mut idx = CompositeIndex::build([
+            (Value::int(1), Value::int(2), ObjectId::new(1, 9)),
+            (Value::int(1), Value::int(2), ObjectId::new(1, 3)),
+        ]);
+        idx.insert(&Value::real(1.0), &Value::int(2), ObjectId::new(1, 5));
+        assert_eq!(
+            idx.postings(&Value::real(1.0), &Value::real(2.0)),
+            &[
+                ObjectId::new(1, 3),
+                ObjectId::new(1, 5),
+                ObjectId::new(1, 9)
+            ]
+        );
+        // Idempotent insert; null deltas are no-ops.
+        idx.insert(&Value::int(1), &Value::real(2.0), ObjectId::new(1, 5));
+        assert_eq!(idx.postings(&Value::real(1.0), &Value::real(2.0)).len(), 3);
+        idx.insert(&Value::Null, &Value::int(2), ObjectId::new(1, 7));
+        assert_eq!(idx.distinct(), 1);
+        idx.remove(&Value::int(1), &Value::int(2), ObjectId::new(1, 3));
+        idx.remove(&Value::int(1), &Value::int(2), ObjectId::new(1, 5));
+        idx.remove(&Value::int(1), &Value::int(2), ObjectId::new(1, 9));
+        assert_eq!(idx.distinct(), 0, "emptied pair posting dropped");
+        // Removing from an absent pair is a no-op, not a panic.
+        idx.remove(&Value::int(9), &Value::int(9), ObjectId::new(1, 1));
     }
 
     #[test]

@@ -25,10 +25,23 @@
 //!
 //! * **Posting lists are sorted by id and duplicate-free** — batch
 //!   intersection is a linear merge; the incremental delta operations
-//!   preserve the invariant by binary-searched insertion.
+//!   preserve the invariant by binary-searched insertion. Composite
+//!   pair postings ([`index::CompositeIndex`]) obey the same rules.
 //! * **Nulls are never indexed.** A posting hit *is* `Truth::True` for
 //!   its conjunct under three-valued semantics; equality postings skip
-//!   nulls and sorted indexes hold numerics only.
+//!   nulls, sorted indexes hold numerics only, and a composite skips an
+//!   object when *either* component is null (the conjunction would be
+//!   `Unknown`).
+//! * **Pair canonicalisation**: a composite is keyed by the ascending
+//!   attribute pair and by [`index::canon_key`]-canonical values, so the
+//!   admission sketch, the planner's [`plan::CompositeProbe`] and the
+//!   store's cache agree on exactly one key per unordered pair, and
+//!   `Int(3)`/`Real(3.0)` collide per `sem_eq` in either component.
+//! * **Admission is workload state, not data state**: the recurring-pair
+//!   sketch and admitted set ([`store::CompositePolicy`]) survive
+//!   mutations and wholesale cache discards; only the materialised
+//!   composite indexes live in the secondary cache and are
+//!   delta-maintained (or discarded) like every other structure.
 //! * **Statistics are exact under deltas** ([`stats::AttrStats`]):
 //!   totals, non-null/numeric counts, per-value frequencies and
 //!   per-bucket histogram counts match a from-scratch recomputation
@@ -75,10 +88,12 @@ pub mod stats;
 pub mod store;
 pub mod txn;
 
-pub use index::{HashIndex, KeyIndex, SortedIndex};
-pub use optimize::{execute_plan, Explain, ExplainStrategy, OptimizeOutcome, Optimizer};
-pub use plan::{CostedPlan, CostedRole, IndexAtom, QueryPlan, Step};
+pub use index::{CompositeIndex, HashIndex, KeyIndex, SortedIndex};
+pub use optimize::{
+    execute_costed, execute_plan, Explain, ExplainStrategy, OptimizeOutcome, Optimizer,
+};
+pub use plan::{CompositeProbe, CostedPlan, CostedRole, IndexAtom, ProbeStep, QueryPlan, Step};
 pub use query::Query;
-pub use stats::AttrStats;
-pub use store::{IndexMaintenance, Store, StoreError};
+pub use stats::{AttrStats, PairSketch};
+pub use store::{CompositePolicy, IndexMaintenance, Store, StoreError};
 pub use txn::{Transaction, TxnOp, TxnOutcome};

@@ -34,7 +34,7 @@ use interop_constraint::{CmpOp, Expr, Formula, Path};
 use interop_model::{intersect_sorted, AttrName, ClassName, ModelError, ObjectId, Value};
 
 use crate::plan::{
-    build_costed_plan, build_plan, CostedPlan, CostedRole, IndexAtom, QueryPlan, Step,
+    build_costed_plan, build_plan, CostedPlan, CostedRole, IndexAtom, ProbeStep, QueryPlan, Step,
 };
 use crate::store::Store;
 
@@ -269,6 +269,15 @@ impl fmt::Display for Explain {
     }
 }
 
+/// The execution-order slot of the composite probe at conjunct `at` —
+/// for the `covered` rendering, which points back at its carrier.
+fn composite_order(plan: &CostedPlan, at: usize) -> usize {
+    match &plan.conjuncts[at].role {
+        CostedRole::Composite { order, .. } => *order,
+        other => unreachable!("covered conjunct points at a composite, found {other:?}"),
+    }
+}
+
 fn render_conjuncts(f: &mut fmt::Formatter<'_>, plan: &CostedPlan) -> fmt::Result {
     let n = plan.extension;
     for c in &plan.conjuncts {
@@ -278,6 +287,30 @@ fn render_conjuncts(f: &mut fmt::Formatter<'_>, plan: &CostedPlan) -> fmt::Resul
                 "  isect[{order}]  {}  est {est} rows ({})",
                 c.formula,
                 pct(*est, n)
+            )?,
+            CostedRole::Composite {
+                probe,
+                est,
+                order,
+                replaced,
+                covers,
+            } => {
+                let (a, b) = probe.attr_pair();
+                writeln!(
+                    f,
+                    "  composite[{order}]({a}, {b})  {} and {}  est {est} rows ({}) — replaces isect est {} ∩ {}",
+                    c.formula,
+                    plan.conjuncts[*covers].formula,
+                    pct(*est, n),
+                    replaced.0,
+                    replaced.1
+                )?;
+            }
+            CostedRole::CoveredByComposite { by } => writeln!(
+                f,
+                "  covered   {}  (answered by composite[{}])",
+                c.formula,
+                composite_order(plan, *by)
             )?,
             CostedRole::Demoted { est, .. } => writeln!(
                 f,
@@ -302,17 +335,17 @@ fn render_conjuncts(f: &mut fmt::Formatter<'_>, plan: &CostedPlan) -> fmt::Resul
     Ok(())
 }
 
-/// Executes a costed plan: resolves the kept index atoms to sorted
-/// posting lists **in plan order** (cheapest estimate first), intersects
-/// them batch-wise with early exit, and evaluates residual conjuncts —
-/// including demoted atoms — on the surviving candidates. With no kept
-/// atom the class extension is scanned instead. Hits are in ascending id
-/// order.
+/// Executes a costed plan: resolves the probes — kept index atoms and
+/// admitted composite pair lookups — to sorted posting lists **in plan
+/// order** (cheapest estimate first), intersects them batch-wise with
+/// early exit, and evaluates residual conjuncts — including demoted
+/// atoms — on the surviving candidates. With no probe the class
+/// extension is scanned instead. Hits are in ascending id order.
 pub fn execute_costed(
     store: &Store,
     plan: &CostedPlan,
 ) -> Result<(Vec<ObjectId>, OptimizeOutcome), ModelError> {
-    let steps = plan.index_steps();
+    let steps = plan.probe_steps();
     let residuals = plan.residuals();
     if steps.is_empty() {
         let mut hits = Vec::new();
@@ -327,11 +360,21 @@ pub fn execute_costed(
         return Ok((hits, OptimizeOutcome::Scanned));
     }
     let mut candidates: Option<Vec<ObjectId>> = None;
-    for (atom, _) in steps {
+    for step in steps {
         if candidates.as_ref().is_some_and(Vec::is_empty) {
             break;
         }
-        let postings = resolve_atom(store, &plan.class, atom);
+        let postings = match step {
+            ProbeStep::Atom { atom, .. } => resolve_atom(store, &plan.class, atom),
+            ProbeStep::Composite { probe, .. } => {
+                let (a, b) = probe.attr_pair();
+                let (ka, kb) = probe.key_pair();
+                store
+                    .composite_index(&plan.class, a, b)
+                    .postings(ka, kb)
+                    .to_vec()
+            }
+        };
         candidates = Some(match candidates {
             None => postings,
             Some(cur) => intersect_sorted(&cur, &postings),
@@ -687,6 +730,50 @@ mod tests {
         );
         // Deterministic: a second explain renders byte-identically.
         assert_eq!(rendered, opt.explain(&s, &pred).to_string());
+    }
+
+    #[test]
+    fn admitted_composite_executes_identically_to_intersection() {
+        use crate::store::CompositePolicy;
+        let mut s = store_with_items(100);
+        s.set_composite_policy(CompositePolicy {
+            admit_after: 1,
+            min_gain: 0.0,
+        });
+        let opt = Optimizer::new(&s, "Item", vec![]);
+        let pred =
+            Formula::cmp("rating", CmpOp::Eq, 3i64).and(Formula::cmp("libprice", CmpOp::Eq, 12.0));
+        // First execution intersects two postings and notes the pair.
+        let (hits1, o1) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(o1, OptimizeOutcome::IndexScan);
+        let plan = opt.costed_plan(&s, &pred);
+        let probe = plan.composite_probe().expect("pair admitted");
+        assert_eq!(probe.attr_pair().0.as_str(), "libprice");
+        assert_eq!(probe.attr_pair().1.as_str(), "rating");
+        // The composite answer equals the intersection answer and the
+        // scan oracle.
+        let (hits2, o2) = opt.execute(&s, &pred).unwrap();
+        assert_eq!(o2, OptimizeOutcome::IndexScan);
+        assert_eq!(hits1, hits2);
+        let mut scanned = Query::new("Item", pred.clone()).scan(&s).unwrap();
+        scanned.sort_unstable();
+        assert_eq!(hits2, scanned);
+        assert_eq!(hits2.len(), 1);
+        // A mutation re-keys the composite posting; no stale pair served.
+        s.update(hits2[0], "rating", Value::int(4)).unwrap();
+        let (hits3, _) = opt.execute(&s, &pred).unwrap();
+        assert!(hits3.is_empty(), "composite followed the update");
+        // EXPLAIN renders the composite and covered lines and reports
+        // exactly what execution does.
+        let ex = opt.explain(&s, &pred);
+        let rendered = ex.to_string();
+        assert!(
+            rendered.contains("composite[0](libprice, rating)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("replaces isect est"), "{rendered}");
+        assert!(rendered.contains("answered by composite[0]"), "{rendered}");
+        assert_eq!(ex.outcome(), OptimizeOutcome::IndexScan);
     }
 
     #[test]

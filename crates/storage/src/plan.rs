@@ -243,10 +243,73 @@ pub fn build_plan(
 
 /// A source of per-`(class, attr)` statistics for plan-time costing —
 /// implemented by [`crate::store::Store`] (which builds them lazily) and
-/// by in-memory fixtures in tests.
+/// by in-memory fixtures in tests. The two composite hooks drive the
+/// store's lazy composite-index admission; their defaults make a plain
+/// statistics fixture composite-free.
 pub trait StatsSource {
     /// Statistics over `class`'s extension for `attr`.
     fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats>;
+
+    /// Reports that a plan kept two equality atoms over the (sorted,
+    /// distinct) attribute `pair` whose joint estimate is `joint_est`
+    /// and whose cheaper single-atom estimate is `min_single_est`. The
+    /// source applies its admission policy (recurrence + gain factor);
+    /// the planner reports unconditionally.
+    fn note_composite_candidate(
+        &self,
+        _class: &ClassName,
+        _pair: (&AttrName, &AttrName),
+        _joint_est: usize,
+        _min_single_est: usize,
+    ) {
+    }
+
+    /// True when a composite index over `pair` is admitted for `class`
+    /// — the planner then replaces the two-way intersection with one
+    /// composite probe.
+    fn composite_admitted(&self, _class: &ClassName, _pair: (&AttrName, &AttrName)) -> bool {
+        false
+    }
+}
+
+/// A composite pair probe: one lookup in a materialised
+/// [`crate::index::CompositeIndex`] answering `attr_a = x ∧ attr_b = y`.
+/// The attribute pair is canonicalised (sorted ascending) so the probe,
+/// the admission sketch, and the store's index cache all agree on one
+/// key per unordered pair; the values are canonical per
+/// [`crate::index::canon_key`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompositeProbe {
+    attrs: (AttrName, AttrName),
+    keys: (Value, Value),
+}
+
+impl CompositeProbe {
+    /// Builds a probe from two `(attr, canonical key)` pairs, sorting
+    /// the components so `attrs.0 < attrs.1`.
+    pub fn new(a: AttrName, ka: Value, b: AttrName, kb: Value) -> Self {
+        if a <= b {
+            CompositeProbe {
+                attrs: (a, b),
+                keys: (ka, kb),
+            }
+        } else {
+            CompositeProbe {
+                attrs: (b, a),
+                keys: (kb, ka),
+            }
+        }
+    }
+
+    /// The probed attribute pair, ascending.
+    pub fn attr_pair(&self) -> (&AttrName, &AttrName) {
+        (&self.attrs.0, &self.attrs.1)
+    }
+
+    /// The canonical probe values, aligned with [`CompositeProbe::attr_pair`].
+    pub fn key_pair(&self) -> (&Value, &Value) {
+        (&self.keys.0, &self.keys.1)
+    }
 }
 
 /// Below this estimated cardinality an index atom is always kept:
@@ -288,6 +351,28 @@ pub enum CostedRole {
     },
     /// Entailed by the constraints on every surviving candidate: dropped.
     ImpliedTrue,
+    /// This equality atom and the one at conjunct `covers` are answered
+    /// together by one admitted composite-index lookup, replacing their
+    /// two-way posting intersection.
+    Composite {
+        /// The canonicalised pair probe.
+        probe: CompositeProbe,
+        /// Joint estimate (independence assumption) for the pair.
+        est: usize,
+        /// Position in the execution order (shared with kept atoms).
+        order: usize,
+        /// The single-atom estimates of the replaced intersection, in
+        /// conjunct order (`self`, then `covers`).
+        replaced: (usize, usize),
+        /// Conjunct index of the partner equality the probe also answers.
+        covers: usize,
+    },
+    /// Answered by the composite probe at conjunct `by`; not executed
+    /// on its own.
+    CoveredByComposite {
+        /// Conjunct index of the [`CostedRole::Composite`] carrier.
+        by: usize,
+    },
 }
 
 /// One conjunct of a costed plan.
@@ -312,8 +397,30 @@ pub struct CostedPlan {
     pub conjuncts: Vec<CostedConjunct>,
 }
 
+/// One resolved probe of a costed plan's execution order: either a
+/// single-attribute atom or an admitted composite pair lookup.
+#[derive(Clone, Copy, Debug)]
+pub enum ProbeStep<'a> {
+    /// A single-attribute posting-list probe.
+    Atom {
+        /// The probe.
+        atom: &'a IndexAtom,
+        /// Its plan-time estimate.
+        est: usize,
+    },
+    /// A composite pair probe answering two equality conjuncts at once.
+    Composite {
+        /// The pair probe.
+        probe: &'a CompositeProbe,
+        /// The joint plan-time estimate.
+        est: usize,
+    },
+}
+
 impl CostedPlan {
-    /// The kept index atoms with their estimates, in execution order.
+    /// The kept single-attribute index atoms with their estimates, in
+    /// execution order. Composite probes are *not* included — use
+    /// [`CostedPlan::probe_steps`] for the full execution order.
     pub fn index_steps(&self) -> Vec<(&IndexAtom, usize)> {
         let mut steps: Vec<(usize, &IndexAtom, usize)> = self
             .conjuncts
@@ -328,6 +435,35 @@ impl CostedPlan {
             .into_iter()
             .map(|(_, atom, est)| (atom, est))
             .collect()
+    }
+
+    /// Every probe of the plan — kept atoms and composite pair lookups —
+    /// in execution order (cheapest estimate first).
+    pub fn probe_steps(&self) -> Vec<ProbeStep<'_>> {
+        let mut steps: Vec<(usize, ProbeStep<'_>)> = self
+            .conjuncts
+            .iter()
+            .filter_map(|c| match &c.role {
+                CostedRole::Index { atom, est, order } => {
+                    Some((*order, ProbeStep::Atom { atom, est: *est }))
+                }
+                CostedRole::Composite {
+                    probe, est, order, ..
+                } => Some((*order, ProbeStep::Composite { probe, est: *est })),
+                _ => None,
+            })
+            .collect();
+        steps.sort_unstable_by_key(|(order, _)| *order);
+        steps.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// The admitted composite probe, when the plan uses one (at most one
+    /// per plan — the two cheapest kept equality atoms).
+    pub fn composite_probe(&self) -> Option<&CompositeProbe> {
+        self.conjuncts.iter().find_map(|c| match &c.role {
+            CostedRole::Composite { probe, .. } => Some(probe),
+            _ => None,
+        })
     }
 
     /// The conjuncts evaluated per candidate (plain residuals plus
@@ -345,19 +481,26 @@ impl CostedPlan {
             .collect()
     }
 
-    /// True when at least one posting list is intersected.
+    /// True when at least one posting list (single or composite) is
+    /// probed.
     pub fn uses_index(&self) -> bool {
-        self.conjuncts
-            .iter()
-            .any(|c| matches!(c.role, CostedRole::Index { .. }))
+        self.conjuncts.iter().any(|c| {
+            matches!(
+                c.role,
+                CostedRole::Index { .. } | CostedRole::Composite { .. }
+            )
+        })
     }
 
-    /// `(index, demoted, residual, implied_true)` role counts.
+    /// `(index, demoted, residual, implied_true)` role counts. Both
+    /// conjuncts answered by a composite probe count as index-answered.
     pub fn counts(&self) -> (usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0);
         for s in &self.conjuncts {
             match s.role {
-                CostedRole::Index { .. } => c.0 += 1,
+                CostedRole::Index { .. }
+                | CostedRole::Composite { .. }
+                | CostedRole::CoveredByComposite { .. } => c.0 += 1,
                 CostedRole::Demoted { .. } => c.1 += 1,
                 CostedRole::Residual { .. } => c.2 += 1,
                 CostedRole::ImpliedTrue => c.3 += 1,
@@ -381,11 +524,18 @@ impl CostedPlan {
         let mut frac = 1.0f64;
         for c in &self.conjuncts {
             match &c.role {
-                CostedRole::Index { est, .. } | CostedRole::Demoted { est, .. } => {
+                CostedRole::Index { est, .. }
+                | CostedRole::Demoted { est, .. }
+                // The joint estimate already composes both covered
+                // conjuncts, so it contributes once and the covered
+                // partner contributes nothing.
+                | CostedRole::Composite { est, .. } => {
                     frac *= *est as f64 / n as f64;
                 }
                 CostedRole::Residual { hint: Some(h) } => frac *= h,
-                CostedRole::Residual { hint: None } | CostedRole::ImpliedTrue => {}
+                CostedRole::Residual { hint: None }
+                | CostedRole::ImpliedTrue
+                | CostedRole::CoveredByComposite { .. } => {}
             }
         }
         Some((frac * n as f64).round() as usize)
@@ -465,7 +615,64 @@ pub fn build_costed_plan(
         }
     }
     order_key.sort();
+    // Composite pair detection: the two cheapest kept equality atoms
+    // over *distinct* single attributes. Every sighting is reported to
+    // the statistics source (whose sketch + gain policy decide
+    // admission); once the pair is admitted, its two-way intersection is
+    // replaced by one composite-index lookup carrying the joint
+    // (independence-assumption) estimate.
+    let mut composite: Option<(usize, usize, CompositeProbe, usize)> = None;
+    let kept_eq: Vec<(usize, usize)> = order_key
+        .iter()
+        .filter(|&&(_, _, p)| matches!(atoms[p], Some(IndexAtom::Eq { .. })))
+        .map(|&(est, _, p)| (est, p))
+        .collect();
+    if let Some(&(est_a, pos_a)) = kept_eq.first() {
+        let attr_of = |p: usize| atoms[p].as_ref().expect("kept atom exists").attr();
+        if let Some(&(est_b, pos_b)) = kept_eq[1..]
+            .iter()
+            .find(|&&(_, p)| attr_of(p) != attr_of(pos_a))
+        {
+            let key_of = |p: usize| match &atoms[p] {
+                Some(IndexAtom::Eq { key, .. }) => key.clone(),
+                _ => unreachable!("kept_eq holds Eq atoms only"),
+            };
+            let probe = CompositeProbe::new(
+                attr_of(pos_a).clone(),
+                key_of(pos_a),
+                attr_of(pos_b).clone(),
+                key_of(pos_b),
+            );
+            let joint = ((est_a as f64 * est_b as f64) / extension.max(1) as f64).round() as usize;
+            stats.note_composite_candidate(class, probe.attr_pair(), joint, est_a.min(est_b));
+            if stats.composite_admitted(class, probe.attr_pair()) {
+                // The earlier conjunct carries the probe; the later one
+                // is covered. The probe takes one order slot at the
+                // joint estimate.
+                let (first, second) = (pos_a.min(pos_b), pos_a.max(pos_b));
+                order_key.retain(|&(_, _, p)| p != first && p != second);
+                let pair_label = format!("{}+{}", probe.attrs.0, probe.attrs.1);
+                order_key.push((joint, pair_label, first));
+                order_key.sort();
+                composite = Some((first, second, probe, joint));
+            }
+        }
+    }
     let order_of = |i: usize| order_key.iter().position(|&(_, _, p)| p == i);
+    // The role a conjunct gets when no composite replaces it.
+    let plain_role = |i: usize, f: &Formula| -> CostedRole {
+        if let Some(atom) = atoms[i].clone() {
+            let est = ests[i].expect("evaluated atoms were estimated");
+            match order_of(i) {
+                Some(order) => CostedRole::Index { atom, est, order },
+                None => CostedRole::Demoted { atom, est },
+            }
+        } else {
+            CostedRole::Residual {
+                hint: selectivity_hint(f, env),
+            }
+        }
+    };
 
     let conjuncts = parts
         .iter()
@@ -473,16 +680,25 @@ pub fn build_costed_plan(
         .map(|(i, f)| {
             let role = if dropped[i] {
                 CostedRole::ImpliedTrue
-            } else if let Some(atom) = atoms[i].clone() {
-                let est = ests[i].expect("evaluated atoms were estimated");
-                match order_of(i) {
-                    Some(order) => CostedRole::Index { atom, est, order },
-                    None => CostedRole::Demoted { atom, est },
+            } else if let Some((first, second, probe, joint)) = &composite {
+                if i == *first {
+                    CostedRole::Composite {
+                        probe: probe.clone(),
+                        est: *joint,
+                        order: order_of(i).expect("composite probe is ordered"),
+                        replaced: (
+                            ests[*first].expect("kept atom was estimated"),
+                            ests[*second].expect("kept atom was estimated"),
+                        ),
+                        covers: *second,
+                    }
+                } else if i == *second {
+                    CostedRole::CoveredByComposite { by: *first }
+                } else {
+                    plain_role(i, f)
                 }
             } else {
-                CostedRole::Residual {
-                    hint: selectivity_hint(f, env),
-                }
+                plain_role(i, f)
             };
             CostedConjunct {
                 formula: (*f).clone(),
@@ -687,6 +903,179 @@ mod tests {
         assert_eq!(implied, 1, "covered implied conjunct dropped");
         assert_eq!(index + demoted, 1);
         assert_eq!(residual, 0);
+    }
+
+    /// A statistics fixture with a real admission policy: qualifying
+    /// pair sightings are counted and admitted after `admit_after`.
+    struct CompositeStats {
+        inner: FakeStats,
+        admit_after: u32,
+        min_gain: f64,
+        seen: std::cell::RefCell<Vec<(String, u32)>>,
+    }
+
+    impl CompositeStats {
+        fn new(inner: FakeStats, admit_after: u32, min_gain: f64) -> Self {
+            CompositeStats {
+                inner,
+                admit_after,
+                min_gain,
+                seen: std::cell::RefCell::new(Vec::new()),
+            }
+        }
+    }
+
+    impl StatsSource for CompositeStats {
+        fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats> {
+            self.inner.attr_stats(class, attr)
+        }
+
+        fn note_composite_candidate(
+            &self,
+            _class: &ClassName,
+            pair: (&AttrName, &AttrName),
+            joint_est: usize,
+            min_single_est: usize,
+        ) {
+            if (min_single_est as f64) < self.min_gain * joint_est.max(1) as f64 {
+                return;
+            }
+            let key = format!("{}+{}", pair.0, pair.1);
+            let mut seen = self.seen.borrow_mut();
+            match seen.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => seen.push((key, 1)),
+            }
+        }
+
+        fn composite_admitted(&self, _class: &ClassName, pair: (&AttrName, &AttrName)) -> bool {
+            let key = format!("{}+{}", pair.0, pair.1);
+            self.seen
+                .borrow()
+                .iter()
+                .any(|(k, n)| *k == key && *n >= self.admit_after)
+        }
+    }
+
+    /// 1000 objects, two hot equality attrs: rating 10 distinct values,
+    /// shade 20 distinct values.
+    fn pair_stats_1000() -> FakeStats {
+        let rating: Vec<Value> = (0..1000).map(|i| Value::int(1 + (i % 10))).collect();
+        let shade: Vec<Value> = (0..1000).map(|i| Value::int(i % 20)).collect();
+        let price: Vec<Value> = (0..1000).map(|i| Value::real((i % 100) as f64)).collect();
+        FakeStats::new(vec![("rating", rating), ("shade", shade), ("price", price)])
+    }
+
+    fn pair_pred() -> Formula {
+        Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("shade", CmpOp::Eq, 3i64))
+    }
+
+    #[test]
+    fn composite_admitted_after_recurrences_and_replaces_intersection() {
+        let stats = CompositeStats::new(pair_stats_1000(), 2, 2.0);
+        let class = ClassName::new("Item");
+        // rating = 7 est 100, shade = 3 est 50 → joint = 100·50/1000 = 5;
+        // min_single 50 >= 2·5: qualifies.
+        let p1 = build_costed_plan(&class, &pair_pred(), &[], &env(), &stats);
+        assert!(p1.composite_probe().is_none(), "first sighting: isect");
+        assert_eq!(p1.counts(), (2, 0, 0, 0));
+        let p2 = build_costed_plan(&class, &pair_pred(), &[], &env(), &stats);
+        let probe = p2.composite_probe().expect("second sighting admits");
+        assert_eq!(
+            probe.attr_pair().0.as_str(),
+            "rating",
+            "pair sorted ascending"
+        );
+        assert_eq!(probe.attr_pair().1.as_str(), "shade");
+        assert_eq!(probe.key_pair().0, &Value::real(7.0), "canonical key");
+        // Both conjuncts count as index-answered; one probe step total.
+        assert_eq!(p2.counts(), (2, 0, 0, 0));
+        let steps = p2.probe_steps();
+        assert_eq!(steps.len(), 1);
+        match steps[0] {
+            ProbeStep::Composite { est, .. } => assert_eq!(est, 5),
+            other => panic!("expected composite step, got {other:?}"),
+        }
+        assert!(p2.index_steps().is_empty(), "no single-atom steps remain");
+        // The roles carry the replaced intersection and the partner.
+        match &p2.conjuncts[0].role {
+            CostedRole::Composite {
+                est,
+                replaced,
+                covers,
+                ..
+            } => {
+                assert_eq!(*est, 5);
+                assert_eq!(*replaced, (100, 50));
+                assert_eq!(*covers, 1);
+            }
+            other => panic!("expected composite carrier, got {other:?}"),
+        }
+        assert!(matches!(
+            p2.conjuncts[1].role,
+            CostedRole::CoveredByComposite { by: 0 }
+        ));
+        // est_rows counts the joint estimate exactly once.
+        assert_eq!(p2.est_rows(), Some(5));
+        assert!(p2.residuals().is_empty());
+    }
+
+    #[test]
+    fn composite_orders_with_remaining_atoms_by_joint_estimate() {
+        let stats = CompositeStats::new(pair_stats_1000(), 1, 1.0);
+        let class = ClassName::new("Item");
+        // A third kept atom (price <= 0.0, est 0) is cheaper than the
+        // joint estimate (5): it must be intersected first.
+        let pred = pair_pred().and(Formula::cmp("price", CmpOp::Le, 0.0));
+        let _ = build_costed_plan(&class, &pred, &[], &env(), &stats);
+        let plan = build_costed_plan(&class, &pred, &[], &env(), &stats);
+        let steps = plan.probe_steps();
+        assert_eq!(steps.len(), 2);
+        assert!(
+            matches!(steps[0], ProbeStep::Atom { .. }),
+            "cheap range atom first"
+        );
+        assert!(matches!(steps[1], ProbeStep::Composite { .. }));
+    }
+
+    #[test]
+    fn same_attribute_equalities_never_pair() {
+        let stats = CompositeStats::new(pair_stats_1000(), 1, 0.0);
+        let class = ClassName::new("Item");
+        let pred =
+            Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("rating", CmpOp::Eq, 8i64));
+        for _ in 0..3 {
+            let plan = build_costed_plan(&class, &pred, &[], &env(), &stats);
+            assert!(plan.composite_probe().is_none());
+        }
+        assert!(stats.seen.borrow().is_empty(), "no candidate reported");
+    }
+
+    #[test]
+    fn range_atoms_do_not_form_composites() {
+        let stats = CompositeStats::new(pair_stats_1000(), 1, 0.0);
+        let class = ClassName::new("Item");
+        let pred =
+            Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("price", CmpOp::Le, 30.0));
+        for _ in 0..3 {
+            let plan = build_costed_plan(&class, &pred, &[], &env(), &stats);
+            assert!(plan.composite_probe().is_none(), "needs two Eq atoms");
+        }
+    }
+
+    #[test]
+    fn poor_gain_pair_is_never_reported() {
+        // price = 42 est ~10, rating = 7 est 100 → joint = 1; with
+        // min_gain 2.0 the cheaper atom (10) clears 2·1, so swap in a
+        // pair where it does not: rating = 7 (100) with shade = 3 (50)
+        // at min_gain 20 → 50 < 20·5.
+        let stats = CompositeStats::new(pair_stats_1000(), 1, 20.0);
+        let class = ClassName::new("Item");
+        for _ in 0..3 {
+            let plan = build_costed_plan(&class, &pair_pred(), &[], &env(), &stats);
+            assert!(plan.composite_probe().is_none());
+        }
+        assert!(stats.seen.borrow().is_empty(), "gain gate filtered it");
     }
 
     #[test]

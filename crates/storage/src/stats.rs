@@ -22,12 +22,70 @@
 //! after random op/txn interleavings, the incrementally maintained stats
 //! equal a from-scratch recomputation over the same bucket boundaries.
 
+use std::hash::Hash;
 use std::ops::Bound;
 
 use interop_model::fx::FxHashMap;
 use interop_model::{Value, R64};
 
 use crate::index::canon_key;
+
+/// A small bounded frequency sketch (Misra–Gries) over hot keys — used
+/// by the store to count how often an eligible equality-atom *pair*
+/// recurs in planned queries before a composite index is admitted for
+/// it. At most `cap` keys are tracked; observing an untracked key while
+/// full decays every tracked count by one (dropping zeros) instead of
+/// growing, so a handful of genuinely hot pairs survive arbitrary
+/// streams of one-off pairs while memory stays O(cap).
+///
+/// Counts are therefore *lower bounds* on true frequencies — exact
+/// until the sketch first fills, never over-counted after. Admission
+/// only needs "seen at least N times", so a lower bound is the safe
+/// direction: a composite is admitted late, never spuriously.
+#[derive(Clone, Debug)]
+pub struct PairSketch<K: Eq + Hash + Clone> {
+    counts: FxHashMap<K, u32>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone> PairSketch<K> {
+    /// An empty sketch tracking at most `cap` keys (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        PairSketch {
+            counts: FxHashMap::default(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Counts one observation of `key`; returns the key's tracked count
+    /// after the observation (0 when the sketch was full of other keys
+    /// and decayed instead of tracking).
+    pub fn observe(&mut self, key: K) -> u32 {
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c += 1;
+            return *c;
+        }
+        if self.counts.len() < self.cap {
+            self.counts.insert(key, 1);
+            return 1;
+        }
+        self.counts.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+        0
+    }
+
+    /// The tracked count for `key` (a lower bound on its frequency).
+    pub fn count(&self, key: &K) -> u32 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of currently tracked keys.
+    pub fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+}
 
 /// Number of equi-depth buckets per histogram. Small on purpose: the
 /// histogram answers "roughly how selective is this range", not point
@@ -415,6 +473,33 @@ mod tests {
         let s = AttrStats::build(vals(&[1, 1, 2, 2, 2, 3]).iter());
         let keys = [Value::real(1.0), Value::real(2.0)];
         assert_eq!(s.est_in(&keys), 5);
+    }
+
+    #[test]
+    fn pair_sketch_counts_exactly_until_full() {
+        let mut s = PairSketch::new(2);
+        assert_eq!(s.observe("a"), 1);
+        assert_eq!(s.observe("a"), 2);
+        assert_eq!(s.observe("b"), 1);
+        assert_eq!(s.count(&"a"), 2);
+        assert_eq!(s.tracked(), 2);
+    }
+
+    #[test]
+    fn pair_sketch_decays_instead_of_growing() {
+        let mut s = PairSketch::new(2);
+        s.observe("hot");
+        s.observe("hot");
+        s.observe("hot");
+        s.observe("warm");
+        // Sketch full: a new key decays everyone by one; "warm" drops out.
+        assert_eq!(s.observe("cold"), 0);
+        assert_eq!(s.count(&"hot"), 2, "hot key survives the decay");
+        assert_eq!(s.count(&"warm"), 0);
+        assert_eq!(s.count(&"cold"), 0, "one-off key never tracked");
+        assert_eq!(s.tracked(), 1);
+        // Counts are lower bounds: "hot" was seen 3 times, tracked at 2.
+        assert_eq!(s.observe("hot"), 3);
     }
 
     #[test]

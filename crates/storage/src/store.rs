@@ -1,13 +1,17 @@
 //! The constraint-enforcing store.
 //!
 //! Besides enforcement, the store owns the planner's auxiliary state:
-//! lazily built secondary indexes and per-`(class, attr)` statistics.
-//! Both are maintained **incrementally** — a committed insert/update/
-//! remove applies per-object deltas to every already-built index and
-//! statistics summary covering the object, instead of discarding them —
-//! so write-heavy interleaved workloads stop rebuilding from scratch.
-//! [`IndexMaintenance::Wholesale`] restores the old discard-everything
-//! behaviour for benchmarking and differential testing.
+//! lazily built secondary indexes (single-attribute and composite
+//! pair), per-`(class, attr)` statistics, and the composite-admission
+//! tracker. All cached structures are maintained **incrementally** — a
+//! committed insert/update/remove applies per-object deltas to every
+//! already-built index and statistics summary covering the object,
+//! instead of discarding them — so write-heavy interleaved workloads
+//! stop rebuilding from scratch. [`IndexMaintenance::Wholesale`]
+//! restores the old discard-everything behaviour for benchmarking and
+//! differential testing. Composite indexes are materialised lazily once
+//! the [`CompositePolicy`] admits a recurring, sufficiently-selective
+//! equality-atom pair reported by the cost model.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -15,11 +19,11 @@ use std::sync::Arc;
 
 use interop_constraint::eval::{check_class_constraint, check_db_constraint, eval_formula, Truth};
 use interop_constraint::{Catalog, ConstraintId};
-use interop_model::fx::FxHashMap;
+use interop_model::fx::{FxHashMap, FxHashSet};
 use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId, Value};
 
-use crate::index::{HashIndex, IndexSet, KeyIndex, SortedIndex};
-use crate::stats::AttrStats;
+use crate::index::{CompositeIndex, HashIndex, IndexSet, KeyIndex, SortedIndex};
+use crate::stats::{AttrStats, PairSketch};
 
 /// Errors from store operations.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,6 +98,70 @@ pub enum IndexMaintenance {
     Wholesale,
 }
 
+/// When a composite index is admitted for a recurring equality-atom
+/// pair. The cost model reports every plan that keeps two equality
+/// atoms over distinct attributes; the pair *qualifies* when its joint
+/// estimate beats the cheaper single-atom posting by `min_gain`, and is
+/// *admitted* — materialised lazily on next use — after `admit_after`
+/// qualifying sightings (counted by a bounded [`PairSketch`], so a
+/// stream of one-off pairs cannot grow planner state).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompositePolicy {
+    /// Qualifying sightings before a pair is admitted.
+    pub admit_after: u32,
+    /// Required gain factor: `min_single_est >= min_gain * joint_est`
+    /// (with the joint estimate floored at one row).
+    pub min_gain: f64,
+}
+
+impl Default for CompositePolicy {
+    fn default() -> Self {
+        CompositePolicy {
+            admit_after: 3,
+            min_gain: 2.0,
+        }
+    }
+}
+
+impl CompositePolicy {
+    /// A policy that never admits a composite — the differential /
+    /// benchmark baseline (plans keep their two-way intersections).
+    pub fn disabled() -> Self {
+        CompositePolicy {
+            admit_after: u32::MAX,
+            min_gain: f64::INFINITY,
+        }
+    }
+}
+
+/// Tracked pairs per sketch: far above the number of simultaneously hot
+/// conjunct pairs a workload plausibly has, small enough to bound
+/// planner state.
+const COMPOSITE_SKETCH_CAP: usize = 64;
+
+/// A candidate key: the queried class plus the ascending attribute pair.
+type PairKey = (ClassName, AttrName, AttrName);
+
+/// The composite-admission state: *query-workload* state, not data
+/// state — it survives mutations (and wholesale cache discards), while
+/// the materialised composite indexes themselves live in the
+/// [`SecondaryCache`] and are maintained/discarded like every other
+/// secondary structure.
+#[derive(Clone, Debug)]
+struct CompositeAdmission {
+    sketch: PairSketch<PairKey>,
+    admitted: FxHashSet<PairKey>,
+}
+
+impl Default for CompositeAdmission {
+    fn default() -> Self {
+        CompositeAdmission {
+            sketch: PairSketch::new(COMPOSITE_SKETCH_CAP),
+            admitted: FxHashSet::default(),
+        }
+    }
+}
+
 /// Lazily built secondary indexes and statistics, keyed by the *queried*
 /// class (whose extension they cover) and attribute. `version` records
 /// the store mutation counter the cache contents reflect; mutations
@@ -106,6 +174,18 @@ struct SecondaryCache {
     hash: FxHashMap<ClassName, FxHashMap<AttrName, Arc<HashIndex>>>,
     sorted: FxHashMap<ClassName, FxHashMap<AttrName, Arc<SortedIndex>>>,
     stats: FxHashMap<ClassName, FxHashMap<AttrName, Arc<AttrStats>>>,
+    composite: FxHashMap<ClassName, FxHashMap<(AttrName, AttrName), Arc<CompositeIndex>>>,
+}
+
+impl SecondaryCache {
+    /// Discards every cached structure (indexes, statistics, composites),
+    /// leaving the version stamp to the caller.
+    fn clear(&mut self) {
+        self.hash.clear();
+        self.sorted.clear();
+        self.stats.clear();
+        self.composite.clear();
+    }
 }
 
 /// Applies `$apply` to every cached `(attr, entry)` of `$map` whose
@@ -136,6 +216,8 @@ pub struct Store {
     version: u64,
     maintenance: IndexMaintenance,
     secondary: RefCell<SecondaryCache>,
+    composite_policy: CompositePolicy,
+    composites: RefCell<CompositeAdmission>,
 }
 
 impl Store {
@@ -157,6 +239,8 @@ impl Store {
             version: 0,
             maintenance: IndexMaintenance::default(),
             secondary: RefCell::new(SecondaryCache::default()),
+            composite_policy: CompositePolicy::default(),
+            composites: RefCell::new(CompositeAdmission::default()),
         };
         // Index existing objects.
         let ids: Vec<ObjectId> = store.db.objects().map(|o| o.id).collect();
@@ -240,10 +324,30 @@ impl Store {
     pub fn set_index_maintenance(&mut self, mode: IndexMaintenance) {
         self.maintenance = mode;
         let mut cache = self.secondary.borrow_mut();
-        cache.hash.clear();
-        cache.sorted.clear();
-        cache.stats.clear();
+        cache.clear();
         cache.version = self.version;
+    }
+
+    /// The composite-admission policy in effect.
+    pub fn composite_policy(&self) -> CompositePolicy {
+        self.composite_policy
+    }
+
+    /// Replaces the composite-admission policy. Already-admitted pairs
+    /// stay admitted (the materialised index remains correct whatever
+    /// the policy says about future admissions); use a fresh store for a
+    /// composite-free baseline, or [`CompositePolicy::disabled`] from
+    /// the start.
+    pub fn set_composite_policy(&mut self, policy: CompositePolicy) {
+        self.composite_policy = policy;
+    }
+
+    /// The admitted composite pairs, sorted — diagnostics/tests hook.
+    pub fn admitted_composites(&self) -> Vec<(ClassName, AttrName, AttrName)> {
+        let adm = self.composites.borrow();
+        let mut out: Vec<_> = adm.admitted.iter().cloned().collect();
+        out.sort();
+        out
     }
 
     /// Registers a mutation attempt: bumps the version and brings the
@@ -256,9 +360,7 @@ impl Store {
         self.version += 1;
         let mut cache = self.secondary.borrow_mut();
         if self.maintenance == IndexMaintenance::Wholesale {
-            cache.hash.clear();
-            cache.sorted.clear();
-            cache.stats.clear();
+            cache.clear();
         }
         cache.version = self.version;
     }
@@ -272,9 +374,7 @@ impl Store {
             "secondary cache out of sync with store version"
         );
         if cache.version != self.version {
-            cache.hash.clear();
-            cache.sorted.clear();
-            cache.stats.clear();
+            cache.clear();
             cache.version = self.version;
         }
     }
@@ -297,6 +397,9 @@ impl Store {
         for_covering!(db, cache.stats, &obj.class, |attr, st| {
             Arc::make_mut(st).insert(obj.get(attr))
         });
+        for_covering!(db, cache.composite, &obj.class, |pair, idx| {
+            Arc::make_mut(idx).insert(obj.get(&pair.0), obj.get(&pair.1), obj.id)
+        });
     }
 
     /// Applies a committed object removal (the mirror of
@@ -316,6 +419,9 @@ impl Store {
         });
         for_covering!(db, cache.stats, &obj.class, |attr, st| {
             Arc::make_mut(st).remove(obj.get(attr))
+        });
+        for_covering!(db, cache.composite, &obj.class, |pair, idx| {
+            Arc::make_mut(idx).remove(obj.get(&pair.0), obj.get(&pair.1), obj.id)
         });
     }
 
@@ -351,6 +457,23 @@ impl Store {
         for_covering!(db, cache.stats, class, |attr, st| {
             if attr == target {
                 Arc::make_mut(st).update(old, new);
+            }
+        });
+        // A composite pair is touched when *either* component is the
+        // updated attribute; the partner component keeps its current
+        // (already-committed) value, read off the live object.
+        let Some(obj) = db.object(id) else { return };
+        for_covering!(db, cache.composite, class, |pair, idx| {
+            if &pair.0 == target {
+                let idx = Arc::make_mut(idx);
+                let other = obj.get(&pair.1);
+                idx.remove(old, other, id);
+                idx.insert(new, other, id);
+            } else if &pair.1 == target {
+                let idx = Arc::make_mut(idx);
+                let other = obj.get(&pair.0);
+                idx.remove(other, old, id);
+                idx.insert(other, new, id);
             }
         });
     }
@@ -423,14 +546,47 @@ impl Store {
         st
     }
 
-    /// How many secondary structures (indexes + statistics) are
-    /// currently cached, and the version they are valid for.
-    /// Test/diagnostic hook for invalidation checks.
+    /// The composite equality index over `class`'s extension for the
+    /// (unordered) attribute pair `{a, b}`, building it on first use.
+    /// Admission gates only whether the *planner* chooses composite
+    /// probes; this accessor materialises unconditionally, so tests can
+    /// compare a maintained composite against a scratch rebuild.
+    pub fn composite_index(
+        &self,
+        class: &ClassName,
+        a: &AttrName,
+        b: &AttrName,
+    ) -> Arc<CompositeIndex> {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let mut cache = self.secondary.borrow_mut();
+        self.verify_cache(&mut cache);
+        let pair = (a.clone(), b.clone());
+        if let Some(idx) = cache.composite.get(class).and_then(|m| m.get(&pair)) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(CompositeIndex::build(
+            self.db.extension(class).into_iter().map(|id| {
+                let obj = self.db.object(id).expect("extension lists live objects");
+                (obj.get(a).clone(), obj.get(b).clone(), id)
+            }),
+        ));
+        cache
+            .composite
+            .entry(class.clone())
+            .or_default()
+            .insert(pair, Arc::clone(&idx));
+        idx
+    }
+
+    /// How many secondary structures (indexes + statistics + composite
+    /// indexes) are currently cached, and the version they are valid
+    /// for. Test/diagnostic hook for invalidation checks.
     pub fn secondary_cache_stats(&self) -> (u64, usize) {
         let cache = self.secondary.borrow();
         let n = cache.hash.values().map(|m| m.len()).sum::<usize>()
             + cache.sorted.values().map(|m| m.len()).sum::<usize>()
-            + cache.stats.values().map(|m| m.len()).sum::<usize>();
+            + cache.stats.values().map(|m| m.len()).sum::<usize>()
+            + cache.composite.values().map(|m| m.len()).sum::<usize>();
         (cache.version, n)
     }
 
@@ -598,6 +754,39 @@ impl Store {
 impl crate::plan::StatsSource for Store {
     fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats> {
         Store::attr_stats(self, class, attr)
+    }
+
+    fn note_composite_candidate(
+        &self,
+        class: &ClassName,
+        pair: (&AttrName, &AttrName),
+        joint_est: usize,
+        min_single_est: usize,
+    ) {
+        // Gain gate: the pair qualifies only when its joint estimate
+        // beats the cheaper single-atom posting by the policy factor
+        // (joint floored at one row so an estimated-empty pair cannot
+        // qualify everything).
+        let policy = self.composite_policy;
+        if (min_single_est as f64) < policy.min_gain * joint_est.max(1) as f64 {
+            return;
+        }
+        let mut adm = self.composites.borrow_mut();
+        let key = (class.clone(), pair.0.clone(), pair.1.clone());
+        if adm.admitted.contains(&key) {
+            return;
+        }
+        if adm.sketch.observe(key.clone()) >= policy.admit_after {
+            adm.admitted.insert(key);
+        }
+    }
+
+    fn composite_admitted(&self, class: &ClassName, pair: (&AttrName, &AttrName)) -> bool {
+        self.composites
+            .borrow()
+            .admitted
+            .iter()
+            .any(|(c, a, b)| c == class && a == pair.0 && b == pair.1)
     }
 }
 
@@ -911,6 +1100,124 @@ mod tests {
         let after = s.secondary_cache_stats();
         assert_eq!(after.0, before.0 + 1);
         assert_eq!(s.attr_stats(&item, &price).total(), 1);
+    }
+
+    #[test]
+    fn composite_admission_counts_qualifying_sightings() {
+        use crate::plan::StatsSource;
+        let s = store();
+        let class = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        // Default policy admits after 3 qualifying sightings.
+        for expect in [false, false, true, true] {
+            s.note_composite_candidate(&class, (&isbn, &price), 1, 50);
+            assert_eq!(s.composite_admitted(&class, (&isbn, &price)), expect);
+        }
+        assert_eq!(s.admitted_composites().len(), 1);
+        // The gain gate filters non-qualifying sightings entirely.
+        let lib = AttrName::new("libprice");
+        for _ in 0..5 {
+            s.note_composite_candidate(&class, (&isbn, &lib), 40, 50);
+        }
+        assert!(
+            !s.composite_admitted(&class, (&isbn, &lib)),
+            "50 < 2.0 * 40: never qualifies"
+        );
+        assert_eq!(s.admitted_composites().len(), 1);
+    }
+
+    #[test]
+    fn disabled_policy_never_admits() {
+        use crate::plan::StatsSource;
+        let mut s = store();
+        s.set_composite_policy(CompositePolicy::disabled());
+        let class = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        for _ in 0..10 {
+            s.note_composite_candidate(&class, (&isbn, &price), 1, 1_000_000);
+        }
+        assert!(!s.composite_admitted(&class, (&isbn, &price)));
+    }
+
+    #[test]
+    fn composite_index_built_lazily_and_delta_maintained() {
+        let mut s = store();
+        let a = s
+            .create(
+                "Item",
+                vec![("isbn", "A".into()), ("shopprice", 10.0.into())],
+            )
+            .unwrap();
+        s.create(
+            "Proceedings",
+            vec![("isbn", "B".into()), ("shopprice", 10.0.into())],
+        )
+        .unwrap();
+        s.create("Item", vec![("isbn", "C".into())]).unwrap(); // null price
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        // Attr order is normalised: both accessors return the same index.
+        let idx = s.composite_index(&item, &price, &isbn);
+        let same = s.composite_index(&item, &isbn, &price);
+        assert!(Arc::ptr_eq(&idx, &same));
+        // isbn < shopprice, so pairs are (isbn, price); the subclass
+        // instance is covered, the null-price object is not indexed.
+        assert_eq!(
+            idx.postings(&Value::str("A"), &Value::real(10.0)),
+            &[a],
+            "pair postings keyed by ascending attr order"
+        );
+        assert_eq!(idx.distinct(), 2);
+        // Update of either component re-keys the pair.
+        s.update(a, "shopprice", Value::real(20.0)).unwrap();
+        let idx = s.composite_index(&item, &isbn, &price);
+        assert!(idx
+            .postings(&Value::str("A"), &Value::real(10.0))
+            .is_empty());
+        assert_eq!(idx.postings(&Value::str("A"), &Value::real(20.0)), &[a]);
+        s.update(a, "isbn", Value::str("A2")).unwrap();
+        let idx = s.composite_index(&item, &isbn, &price);
+        assert_eq!(idx.postings(&Value::str("A2"), &Value::real(20.0)), &[a]);
+        // A null update drops the pair; restoring re-adds it.
+        s.update(a, "shopprice", Value::Null).unwrap();
+        let idx = s.composite_index(&item, &isbn, &price);
+        assert_eq!(idx.distinct(), 1, "only the Proceedings pair remains");
+        // Remove takes the pair out.
+        s.remove(a).unwrap();
+        let idx = s.composite_index(&item, &isbn, &price);
+        assert_eq!(idx.distinct(), 1);
+    }
+
+    #[test]
+    fn wholesale_mode_discards_composites_but_keeps_admission() {
+        use crate::plan::StatsSource;
+        let mut s = store();
+        s.set_index_maintenance(IndexMaintenance::Wholesale);
+        s.create(
+            "Item",
+            vec![("isbn", "A".into()), ("shopprice", 10.0.into())],
+        )
+        .unwrap();
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        for _ in 0..3 {
+            s.note_composite_candidate(&item, (&isbn, &price), 1, 10);
+        }
+        assert!(s.composite_admitted(&item, (&isbn, &price)));
+        let _ = s.composite_index(&item, &isbn, &price);
+        let before = s.secondary_cache_stats().1;
+        assert!(before > 0);
+        s.create("Item", vec![("isbn", "B".into())]).unwrap();
+        assert_eq!(s.secondary_cache_stats().1, 0, "composite discarded too");
+        // Admission is workload state: it survives the discard and the
+        // index rebuilds lazily with the mutation applied.
+        assert!(s.composite_admitted(&item, (&isbn, &price)));
+        let idx = s.composite_index(&item, &isbn, &price);
+        assert_eq!(idx.postings(&Value::str("A"), &Value::real(10.0)).len(), 1);
     }
 
     #[test]

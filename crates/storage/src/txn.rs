@@ -11,11 +11,12 @@
 //! Transactions need no index bookkeeping of their own: every applied
 //! operation — and every *undo* operation during a rollback — goes
 //! through [`Store::insert`]/[`Store::update`]/[`Store::remove`], so the
-//! incremental index/statistics deltas (and, in wholesale mode, the
-//! cache discards) happen exactly once per state change. A rolled-back
-//! transaction therefore leaves postings and statistics identical to
-//! never having run, which `tests/prop_invalidation.rs` asserts under
-//! random interleavings.
+//! incremental index/statistics deltas — composite pair postings
+//! included — (and, in wholesale mode, the cache discards) happen
+//! exactly once per state change. A rolled-back transaction therefore
+//! leaves postings, composites and statistics identical to never having
+//! run, which `tests/prop_invalidation.rs` asserts under random
+//! interleavings.
 
 use interop_model::{AttrName, Object, ObjectId, Value};
 

@@ -12,7 +12,7 @@
 
 use interop_constraint::{CmpOp, Expr, Formula};
 use interop_model::{ClassDef, Database, Schema, Type, Value};
-use interop_storage::{OptimizeOutcome, Optimizer, Query, Store};
+use interop_storage::{CompositePolicy, OptimizeOutcome, Optimizer, Query, Store};
 use proptest::prelude::*;
 
 /// One randomly generated object: class selector, attribute values, and
@@ -157,8 +157,166 @@ fn oracle_hits(store: &Store, class: &str, pred: &Formula) -> Vec<interop_model:
     hits
 }
 
+/// One composite-heavy object: class selector, two hot attribute value
+/// selectors with representation bits (store the numeric as `Real`
+/// instead of `Int`, exercising data-side `sem_eq` collisions), and a
+/// presence mask (bit clear ⇒ attribute left null).
+type HotObjSpec = (u8, u8, bool, u8, bool, u8);
+
+/// One composite-heavy query: two hot probe constants with
+/// representation bits, plus a tail selector for an extra conjunct.
+type HotQuerySpec = (u8, bool, u8, bool, u8);
+
+/// Adversarial store for the composite planner: both hot attributes
+/// draw from tiny domains, so the same equality *pairs* recur across
+/// queries and the admission sketch crosses its threshold mid-test.
+/// `ha : int` also admits whole reals and `hb : real` admits ints
+/// (model numeric coercion), so `Int(k)`/`Real(k.0)` collide in the
+/// pair postings exactly as `sem_eq` demands.
+fn build_hot_store(objs: &[HotObjSpec]) -> Store {
+    let schema = Schema::new(
+        "H",
+        vec![
+            ClassDef::new("HBase")
+                .attr("ha", Type::Int)
+                .attr("hb", Type::Real)
+                .attr("tag", Type::Str),
+            ClassDef::new("HSub").isa("HBase"),
+            ClassDef::new("HEmpty")
+                .attr("ha", Type::Int)
+                .attr("hb", Type::Real),
+        ],
+    )
+    .expect("static schema");
+    let mut db = Database::new(schema, 1);
+    for (class, a, a_real, b, b_real, mask) in objs {
+        let class = if class % 3 == 0 { "HSub" } else { "HBase" };
+        let mut attrs: Vec<(&str, Value)> = Vec::new();
+        if mask & 1 != 0 {
+            let k = (*a % 4) as i64;
+            attrs.push((
+                "ha",
+                if *a_real {
+                    Value::real(k as f64)
+                } else {
+                    Value::int(k)
+                },
+            ));
+        }
+        if mask & 2 != 0 {
+            let k = (*b % 4) as i64;
+            attrs.push((
+                "hb",
+                if *b_real {
+                    Value::real(k as f64)
+                } else {
+                    Value::int(k)
+                },
+            ));
+        }
+        if mask & 4 != 0 {
+            attrs.push(("tag", Value::str(NAMES[(*mask as usize) % NAMES.len()])));
+        }
+        db.create(class, attrs).expect("hot object typechecks");
+    }
+    Store::new(db, interop_constraint::Catalog::new())
+}
+
+fn hot_pred(&(a, a_real, b, b_real, tail): &HotQuerySpec) -> Formula {
+    let ka = (a % 5) as i64; // one value outside the data domain: null/empty probes
+    let kb = (b % 5) as i64;
+    let fa = if a_real {
+        Formula::cmp("ha", CmpOp::Eq, ka as f64)
+    } else {
+        Formula::cmp("ha", CmpOp::Eq, ka)
+    };
+    let fb = if b_real {
+        Formula::cmp("hb", CmpOp::Eq, kb as f64)
+    } else {
+        Formula::cmp("hb", CmpOp::Eq, kb)
+    };
+    let pred = fa.and(fb);
+    match tail % 3 {
+        0 => pred,
+        1 => pred.and(Formula::cmp("tag", CmpOp::Ne, "a")),
+        _ => pred.and(Formula::cmp("ha", CmpOp::Ge, 1i64)),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Composite-heavy sweep: hot equality pairs recur until the store
+    /// admits a composite index, and the planner must agree with the
+    /// scan oracle before, during, and after admission — across null
+    /// paths, `Int`/`Real` collisions, and subclass extensions.
+    #[test]
+    fn composite_planner_matches_scan_oracle(
+        objs in prop::collection::vec(
+            (0u8..6, 0u8..8, any::<bool>(), 0u8..8, any::<bool>(), 0u8..8),
+            0..30,
+        ),
+        queries in prop::collection::vec(
+            (0u8..8, any::<bool>(), 0u8..8, any::<bool>(), 0u8..6),
+            1..5,
+        ),
+        class_sel in 0u8..4,
+        admit_after in 1u32..3,
+    ) {
+        let mut store = build_hot_store(&objs);
+        store.set_composite_policy(CompositePolicy {
+            admit_after,
+            min_gain: 0.0, // every recurring pair is eligible
+        });
+        let class = ["HBase", "HSub", "HEmpty"][(class_sel as usize) % 3];
+        let opt = Optimizer::new(&store, class, vec![]);
+        for q in &queries {
+            let pred = hot_pred(q);
+            // Re-run each query past the admission threshold: the first
+            // runs intersect, the later ones probe the composite. Every
+            // run must match the oracle.
+            for _ in 0..=admit_after {
+                let (mut hits, outcome) = opt.execute(&store, &pred).expect("planner executes");
+                hits.sort_unstable();
+                let expected = oracle_hits(&store, class, &pred);
+                prop_assert_eq!(
+                    &hits, &expected,
+                    "planner and oracle disagree on class {} pred {} (outcome {:?})",
+                    class, pred, outcome
+                );
+            }
+        }
+    }
+
+    /// Once a composite is admitted, mutating either component of the
+    /// pair keeps the composite answer in lockstep with the oracle.
+    #[test]
+    fn admitted_composite_survives_mutations(
+        objs in prop::collection::vec(
+            (0u8..6, 0u8..8, any::<bool>(), 0u8..8, any::<bool>(), 0u8..8),
+            1..20,
+        ),
+        flips in prop::collection::vec((0u8..20, 0u8..8, any::<bool>()), 1..8),
+    ) {
+        let mut store = build_hot_store(&objs);
+        store.set_composite_policy(CompositePolicy { admit_after: 1, min_gain: 0.0 });
+        let opt = Optimizer::new(&store, "HBase", vec![]);
+        let pred = Formula::cmp("ha", CmpOp::Eq, 1i64).and(Formula::cmp("hb", CmpOp::Eq, 2.0));
+        // Two runs: note + admit, then probe through the composite.
+        for _ in 0..2 {
+            let _ = opt.execute(&store, &pred).expect("warm-up");
+        }
+        for (target, v, to_a) in &flips {
+            let ids: Vec<_> = store.db().objects().map(|o| o.id).collect();
+            if ids.is_empty() { break; }
+            let id = ids[(*target as usize) % ids.len()];
+            let attr = if *to_a { "ha" } else { "hb" };
+            let _ = store.update(id, attr, Value::int((v % 4) as i64));
+            let (mut hits, _) = opt.execute(&store, &pred).expect("planner executes");
+            hits.sort_unstable();
+            prop_assert_eq!(hits, oracle_hits(&store, "HBase", &pred));
+        }
+    }
 
     /// The planner and the scan oracle agree on every random query, with
     /// and without the derived constraints armed.
@@ -212,6 +370,28 @@ proptest! {
         let (mut hits, _) = opt.execute(&store, &pred).expect("planner executes");
         hits.sort_unstable();
         prop_assert_eq!(hits, oracle_hits(&store, class, &pred));
+    }
+
+    /// Non-vacuity guard for the composite sweep: a recurring hot pair
+    /// on the sweep's store shape really is admitted, really executes
+    /// through the composite strategy, and still matches the oracle.
+    #[test]
+    fn hot_pair_reaches_composite_strategy(seed in 0u8..8) {
+        let objs: Vec<HotObjSpec> = (0..16u8)
+            .map(|i| (1u8, (i + seed) % 4, i % 2 == 0, (i / 2) % 4, i % 3 == 0, 7u8))
+            .collect();
+        let mut store = build_hot_store(&objs);
+        store.set_composite_policy(CompositePolicy { admit_after: 1, min_gain: 0.0 });
+        let opt = Optimizer::new(&store, "HBase", vec![]);
+        let pred = Formula::cmp("ha", CmpOp::Eq, 1i64).and(Formula::cmp("hb", CmpOp::Eq, 1.0));
+        let _ = opt.execute(&store, &pred).expect("warm-up");
+        let plan = opt.costed_plan(&store, &pred);
+        prop_assert!(plan.composite_probe().is_some(), "sweep shape admits composites");
+        let rendered = opt.explain(&store, &pred).to_string();
+        prop_assert!(rendered.contains("composite["), "{}", rendered);
+        let (mut hits, _) = opt.execute(&store, &pred).expect("composite run");
+        hits.sort_unstable();
+        prop_assert_eq!(hits, oracle_hits(&store, "HBase", &pred));
     }
 
     /// Repeating a query against warm indexes returns identical results

@@ -13,7 +13,7 @@ use db_interop::constraint::{CmpOp, Formula};
 use db_interop::core::fixtures;
 use db_interop::core::{Integrator, IntegratorOptions};
 use db_interop::model::ClassName;
-use db_interop::storage::{Optimizer, Store};
+use db_interop::storage::{CompositePolicy, Optimizer, Store};
 use interop_bench::synthetic_store;
 use std::fmt::Write as _;
 
@@ -179,4 +179,122 @@ fn synthetic_store_explain_output_pinned() {
         &Formula::cmp("rating", CmpOp::Eq, 5i64).or(Formula::cmp("rating", CmpOp::Eq, 10i64)),
     );
     check("explain_synthetic", &out);
+}
+
+/// Composite admission on the 10k synthetic store: the recurring
+/// `rating = r ∧ shelf = s` pair is planned as a two-way intersection
+/// until the admission threshold, then as one composite lookup — the
+/// pinned lines fix the admitted pair, the joint estimate, and the
+/// replaced intersection byte-for-byte. A pair failing the gain gate
+/// must keep intersecting forever.
+#[test]
+fn synthetic_store_composite_explain_output_pinned() {
+    let mut store = synthetic_store(10_000, 42);
+    store.set_composite_policy(CompositePolicy {
+        admit_after: 2,
+        min_gain: 2.0,
+    });
+    let opt = Optimizer::new(
+        &store,
+        "Item",
+        vec![Formula::cmp("rating", CmpOp::Ge, 5i64)],
+    );
+    let pair = Formula::cmp("rating", CmpOp::Eq, 7i64)
+        .and(Formula::cmp("shelf", CmpOp::Eq, 13i64))
+        .and(Formula::cmp("isbn", CmpOp::Ne, "isbn-3"));
+
+    let mut out = String::new();
+    render(
+        &mut out,
+        "first sighting of the hot pair: two-way intersection",
+        &opt,
+        &store,
+        &pair,
+    );
+    render(
+        &mut out,
+        "second sighting crosses the admission threshold: composite lookup",
+        &opt,
+        &store,
+        &pair,
+    );
+    render(
+        &mut out,
+        "admitted composite is reused on every later plan",
+        &opt,
+        &store,
+        &pair,
+    );
+    // price equalities are near-unique (est ≈ 1 row): the joint estimate
+    // cannot beat the cheaper atom by the 2× gain factor, so this pair
+    // is never even sketched — it keeps intersecting forever.
+    let poor_gain =
+        Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("price", CmpOp::Eq, 30.5));
+    for _ in 0..3 {
+        let _ = opt.explain(&store, &poor_gain);
+    }
+    render(
+        &mut out,
+        "poor-gain pair keeps the intersection after three sightings",
+        &opt,
+        &store,
+        &poor_gain,
+    );
+    assert!(out.contains("composite["), "composite strategy must appear");
+    check("explain_composite_synthetic", &out);
+}
+
+/// Composite admission on the paper fixture's conformed remote store:
+/// the `ref? = true ∧ rating = 8` pair over the three-object
+/// `Proceedings` extension.
+#[test]
+fn paper_fixture_composite_explain_output_pinned() {
+    let fx = fixtures::paper_fixture();
+    let outcome = Integrator::new(
+        fx.local_db,
+        fx.local_catalog,
+        fx.remote_db,
+        fx.remote_catalog,
+        fx.spec,
+    )
+    .with_options(IntegratorOptions {
+        merge: fixtures::merge_options(),
+        ..Default::default()
+    })
+    .run()
+    .expect("paper fixture integrates");
+    let mut store = Store::new(
+        outcome.conformed.remote.db.clone(),
+        outcome.conformed.remote.catalog.clone(),
+    );
+    store.set_composite_policy(CompositePolicy {
+        admit_after: 2,
+        min_gain: 1.0,
+    });
+    let constraints: Vec<Formula> = outcome
+        .global
+        .formulas_for_class(&ClassName::new("Proceedings"))
+        .into_iter()
+        .cloned()
+        .collect();
+    let opt = Optimizer::new(&store, "Proceedings", constraints);
+    let pair = Formula::cmp("ref?", CmpOp::Eq, true).and(Formula::cmp("rating", CmpOp::Eq, 8i64));
+
+    let mut out = String::new();
+    render(
+        &mut out,
+        "first sighting: intersection of ref? and rating postings",
+        &opt,
+        &store,
+        &pair,
+    );
+    render(
+        &mut out,
+        "recurring pair admitted: one composite lookup",
+        &opt,
+        &store,
+        &pair,
+    );
+    assert!(out.contains("composite["), "composite strategy must appear");
+    check("explain_composite_paper", &out);
 }

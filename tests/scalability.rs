@@ -6,7 +6,10 @@
 //! finishes in well under a second). The 60k-object stress test is the
 //! gated slow tier: `cargo test --test scalability -- --ignored`.
 
+use db_interop::constraint::{CmpOp, Formula};
 use db_interop::core::{IntegrationOutcome, Integrator, IntegratorOptions};
+use db_interop::model::{ClassName, Value};
+use db_interop::storage::{CompositePolicy, OptimizeOutcome, Optimizer, Query};
 
 /// Runs the full methodology on a synthetic fixture of the given size and
 /// checks the size-independent invariants: exact merge count, total view
@@ -61,6 +64,85 @@ fn five_thousand_objects_integrate_correctly() {
     assert!(outcome.global.class_constraints.iter().any(
         |(c, o)| c.is_key() && *o == db_interop::core::derive::DerivationOrigin::KeyPropagation
     ));
+}
+
+/// Mid-size storage tier: a 20k-object store runs a mixed read/write
+/// workload with composite indexes enabled — recurring hot-pair queries
+/// drive admission, then interleaved rating/shelf updates exercise the
+/// incremental composite deltas — and a sampled query set is
+/// cross-checked against the naive scan oracle at checkpoints. Promoted
+/// into the default `cargo test` tier (runs in well under a second in
+/// release, a few seconds in debug); the 60k integration stress test
+/// below stays `--ignored`.
+#[test]
+fn twenty_thousand_object_mixed_workload_with_composites() {
+    let mut store = interop_bench::synthetic_store(20_000, 17);
+    store.set_composite_policy(CompositePolicy {
+        admit_after: 2,
+        min_gain: 2.0,
+    });
+    let opt = Optimizer::new(
+        &store,
+        "Item",
+        vec![Formula::cmp("rating", CmpOp::Ge, 5i64)],
+    );
+    let hot_pair =
+        Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("shelf", CmpOp::Eq, 13i64));
+    // Recurring sightings cross the admission threshold.
+    for _ in 0..3 {
+        let (_, outcome) = opt.execute(&store, &hot_pair).expect("hot pair executes");
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+    }
+    assert!(
+        opt.costed_plan(&store, &hot_pair)
+            .composite_probe()
+            .is_some(),
+        "hot pair admitted after recurrences"
+    );
+    let class = ClassName::new("Item");
+    let ids = store.db().extension(&class);
+    let sampled = [
+        hot_pair.clone(),
+        Formula::cmp("rating", CmpOp::Eq, 9i64).and(Formula::cmp("shelf", CmpOp::Eq, 38i64)),
+        Formula::cmp("shelf", CmpOp::Eq, 13i64).and(Formula::cmp("price", CmpOp::Le, 20.0)),
+        Formula::cmp("rating", CmpOp::Ge, 10i64),
+        Formula::cmp("isbn", CmpOp::Eq, "isbn-10000"),
+    ];
+    let check_against_oracle = |store: &db_interop::storage::Store| {
+        for pred in &sampled {
+            let (mut hits, _) = opt.execute(store, pred).expect("planned query");
+            hits.sort_unstable();
+            let mut expected = Query::new("Item", pred.clone())
+                .scan(store)
+                .expect("oracle scan");
+            expected.sort_unstable();
+            assert_eq!(hits, expected, "planner diverged from oracle on {pred}");
+        }
+    };
+    check_against_oracle(&store);
+    // Mixed read/write: each iteration flips one rating and one shelf
+    // (both components of the admitted pair), then re-answers the hot
+    // pair through the composite.
+    for i in 0..200usize {
+        let id = ids[(i * 37) % ids.len()];
+        store
+            .update(id, "rating", Value::Int(5 + (i as i64 % 6)))
+            .expect("rating stays in bounds");
+        let id2 = ids[(i * 53 + 11) % ids.len()];
+        store
+            .update(id2, "shelf", Value::Int((i as i64 * 13) % 50))
+            .expect("shelf is unconstrained");
+        let (_, outcome) = opt.execute(&store, &hot_pair).expect("hot pair executes");
+        assert_eq!(outcome, OptimizeOutcome::IndexScan);
+        if i % 50 == 49 {
+            check_against_oracle(&store);
+        }
+    }
+    check_against_oracle(&store);
+    assert!(
+        !store.admitted_composites().is_empty(),
+        "admission survives the whole workload"
+    );
 }
 
 /// Slow tier: an order of magnitude beyond the smoke test, where an
