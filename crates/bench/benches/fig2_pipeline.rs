@@ -54,6 +54,35 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("synthetic_merge", n), &n, |b, _| {
             b.iter(|| interop_merge::merge(&sconf, &Default::default()).expect("merges"))
         });
+
+        // Single-object churn through the incremental pipeline: one
+        // source update re-conforms one object and patches the merge
+        // state in place — the contrast with `synthetic_merge` (a full
+        // from-scratch re-merge per change) is the tentpole payoff.
+        let mut ldb = sfx.local_db.clone();
+        let mut pipe = interop_core::IncrementalPipeline::new(
+            &ldb,
+            &sfx.local_catalog,
+            &sfx.remote_db,
+            &sfx.remote_catalog,
+            &sfx.spec,
+            Default::default(),
+        )
+        .expect("pipeline builds");
+        let id = ldb.objects().next().expect("non-empty fixture").id;
+        let price = interop_model::AttrName::new("price");
+        let mut toggle = false;
+        g.bench_with_input(BenchmarkId::new("incremental_merge", n), &n, |b, _| {
+            b.iter(|| {
+                toggle = !toggle;
+                let v = if toggle { 11.5 } else { 23.25 };
+                let mut o = ldb.object(id).expect("object lives").clone();
+                o.attrs.insert(price.clone(), interop_model::Value::real(v));
+                ldb.remove(id).expect("removes");
+                ldb.insert(o).expect("re-inserts");
+                pipe.apply_local(&ldb, &[id]).expect("patches");
+            })
+        });
     }
     g.finish();
 

@@ -1,0 +1,441 @@
+//! Delta-driven re-conformation: recompute the conformed image of just
+//! the source objects a mutation touched, instead of re-running
+//! [`crate::objectify::conform_database`] over the whole database.
+//!
+//! # Invariants
+//!
+//! * **Conformation is per-object plus a virtual-object registry.** A
+//!   conformed object depends only on its own source attributes and on
+//!   the ids of the virtual objects its objectified tuples map to — so
+//!   a source mutation can only change the conformed image of (a) the
+//!   touched objects themselves and (b) owners of a virtual object
+//!   whose id moved because its *minimum owner* changed. [`VirtRegistry::reconform`]
+//!   emits exactly that closure as [`ConformedDelta`]s.
+//! * **Virtual ids are a pure function of content.** A virtual object's
+//!   id derives from its minimum owner's serial and the
+//!   objectification's plan position (see
+//!   [`crate::objectify::conform_database`]); the registry maintains
+//!   the owner sets so incremental re-conformation lands on exactly the
+//!   ids a from-scratch conformation of the mutated database would
+//!   assign. The differential property suites pin this byte-for-byte.
+
+use std::collections::BTreeSet;
+
+use interop_model::fx::FxHashMap;
+use interop_model::{Database, Object, ObjectId, Value};
+
+use crate::interned::PlanIndex;
+use crate::objectify::{conform_object, make_virt_object, virt_id_for};
+use crate::plan::ConformError;
+
+/// One conformed-database patch produced by [`VirtRegistry::reconform`].
+#[derive(Clone, Debug)]
+pub enum ConformedDelta {
+    /// Insert, or replace the previous image of, this conformed object
+    /// (covers both source objects and virtual objects).
+    Upserted(Object),
+    /// The conformed object with this id no longer exists.
+    Removed(ObjectId),
+}
+
+/// An objectification key: (position in `plan.objectifications`, value
+/// tuple). Each key names one virtual object.
+type VirtKey = (usize, Vec<Value>);
+
+/// The owner sets behind one side's virtual objects, maintained across
+/// mutations so [`VirtRegistry::reconform`] can tell when a virtual object appears,
+/// disappears, or changes id (minimum owner moved).
+#[derive(Clone, Debug, Default)]
+pub struct VirtRegistry {
+    /// Owner serials per objectified value tuple, sorted so the minimum
+    /// owner (which names the virtual object) is O(1).
+    owners: FxHashMap<VirtKey, BTreeSet<u64>>,
+    /// Each owner's current tuples (its pre-image in `owners`), so a
+    /// mutation diff needs no access to the pre-mutation source object.
+    owner_tuples: FxHashMap<ObjectId, Vec<VirtKey>>,
+}
+
+/// The objectified tuples `obj` owns: at most one per objectification,
+/// present only when the objectification's reference attribute is set
+/// (mirrors the scratch pass, which keys creation off the ref attr).
+fn owner_tuples_of(obj: &Object, index: &PlanIndex) -> Vec<VirtKey> {
+    let mut out = Vec::new();
+    for attr in obj.attrs.keys() {
+        if let Some((opos, o)) = index.objectify_pos_for(&obj.class, attr) {
+            if attr == &o.ref_attr {
+                let tuple = o
+                    .attr_names
+                    .iter()
+                    .map(|(a, _)| obj.get(a).clone())
+                    .collect();
+                out.push((opos, tuple));
+            }
+        }
+    }
+    out
+}
+
+impl VirtRegistry {
+    /// Builds the registry for a source database (O(n), once per
+    /// pipeline construction).
+    pub fn new(db: &Database, index: &PlanIndex) -> Self {
+        let mut reg = VirtRegistry::default();
+        for obj in db.objects() {
+            // The registry stores bare owner serials and reconstructs
+            // ids as `ObjectId::new(src.space(), serial)` on re-emit,
+            // so — unlike the scratch pass, which tolerates any single
+            // owner space — delta tracking requires owners to live in
+            // the database's own allocation space. This holds for every
+            // live `Store`-backed source, the only place deltas flow
+            // from.
+            debug_assert_eq!(
+                obj.id.space(),
+                db.space(),
+                "delta tracking requires owner ids in the source database's space"
+            );
+            let tuples = owner_tuples_of(obj, index);
+            for (opos, tuple) in &tuples {
+                reg.owners
+                    .entry((*opos, tuple.clone()))
+                    .or_default()
+                    .insert(obj.id.serial());
+            }
+            if !tuples.is_empty() {
+                reg.owner_tuples.insert(obj.id, tuples);
+            }
+        }
+        reg
+    }
+
+    /// The current id of the virtual object for `key`, if any owner
+    /// remains.
+    fn virt_id(&self, virt_space: u32, nobj: u64, key: &VirtKey) -> Option<ObjectId> {
+        self.owners
+            .get(key)
+            .and_then(|s| s.first())
+            .map(|&min| virt_id_for(virt_space, min, nobj, key.0))
+    }
+
+    /// Re-conforms the `touched` source objects against the
+    /// post-mutation database `src`, updating the registry and emitting
+    /// the conformed-database patch. `conformed` is the current (not yet
+    /// patched) conformed database — consulted only to decide whether a
+    /// now-absent source id needs a `Removed` delta.
+    ///
+    /// Applying the returned deltas in order to `conformed` yields the
+    /// database `conform_database(src, index, virt_space)` would build,
+    /// up to extent insertion order (object sets and contents are
+    /// identical; nothing downstream reads conformed extent order).
+    pub fn reconform(
+        &mut self,
+        src: &Database,
+        index: &PlanIndex,
+        virt_space: u32,
+        conformed: &Database,
+        touched: &[ObjectId],
+    ) -> Result<Vec<ConformedDelta>, ConformError> {
+        let nobj = index.plan.objectifications.len() as u64;
+        // Phase A: diff ownership. `old_min` snapshots, per affected
+        // key, the minimum owner before this call (first touch wins).
+        let mut old_min: FxHashMap<VirtKey, Option<u64>> = FxHashMap::default();
+        for &id in touched {
+            let old = self.owner_tuples.remove(&id).unwrap_or_default();
+            let new = match src.object(id) {
+                Some(obj) => owner_tuples_of(obj, index),
+                None => Vec::new(),
+            };
+            for key in &old {
+                if new.contains(key) {
+                    continue;
+                }
+                if !old_min.contains_key(key) {
+                    old_min.insert(key.clone(), self.owners[key].first().copied());
+                }
+                let set = self.owners.get_mut(key).expect("tracked owner");
+                set.remove(&id.serial());
+                if set.is_empty() {
+                    self.owners.remove(key);
+                }
+            }
+            for key in &new {
+                if old.contains(key) {
+                    continue;
+                }
+                if !old_min.contains_key(key) {
+                    old_min.insert(
+                        key.clone(),
+                        self.owners.get(key).and_then(|s| s.first().copied()),
+                    );
+                }
+                self.owners
+                    .entry(key.clone())
+                    .or_default()
+                    .insert(id.serial());
+            }
+            if !new.is_empty() {
+                self.owner_tuples.insert(id, new);
+            }
+        }
+        // Phase B: emit. Virtual removals go first (a moved tuple can
+        // re-assign a freed id in the same patch), then virtual
+        // upserts, then source-object deltas in id order.
+        let mut virt_removed: Vec<ObjectId> = Vec::new();
+        let mut virt_upserted: Vec<Object> = Vec::new();
+        let mut reemit: BTreeSet<ObjectId> = touched.iter().copied().collect();
+        for (key, old) in &old_min {
+            let new = self.owners.get(key).and_then(|s| s.first().copied());
+            if *old == new {
+                continue;
+            }
+            if let Some(o) = old {
+                virt_removed.push(virt_id_for(virt_space, *o, nobj, key.0));
+            }
+            if let Some(n) = new {
+                let o = &index.plan.objectifications[key.0];
+                virt_upserted.push(make_virt_object(
+                    virt_id_for(virt_space, n, nobj, key.0),
+                    o,
+                    &key.1,
+                ));
+                if old.is_some() {
+                    // The id moved under surviving owners: every owner's
+                    // conformed reference is stale, touched or not.
+                    for &serial in &self.owners[key] {
+                        reemit.insert(ObjectId::new(src.space(), serial));
+                    }
+                }
+            }
+        }
+        virt_removed.sort_unstable();
+        virt_upserted.sort_unstable_by_key(|o| o.id);
+        let mut deltas: Vec<ConformedDelta> = virt_removed
+            .into_iter()
+            .map(ConformedDelta::Removed)
+            .collect();
+        deltas.extend(virt_upserted.into_iter().map(ConformedDelta::Upserted));
+        for id in reemit {
+            match src.object(id) {
+                Some(obj) => {
+                    let new_obj = conform_object(obj, index, |opos, _, tuple| {
+                        self.virt_id(virt_space, nobj, &(opos, tuple))
+                            .expect("registry tracks every live tuple")
+                    })?;
+                    deltas.push(ConformedDelta::Upserted(new_obj));
+                }
+                None => {
+                    if conformed.object(id).is_some() {
+                        deltas.push(ConformedDelta::Removed(id));
+                    }
+                }
+            }
+        }
+        Ok(deltas)
+    }
+}
+
+/// Applies a [`VirtRegistry::reconform`](VirtRegistry::reconform) patch to a conformed
+/// database in place.
+pub fn apply_deltas(db: &mut Database, deltas: &[ConformedDelta]) -> Result<(), ConformError> {
+    for d in deltas {
+        match d {
+            ConformedDelta::Upserted(obj) => {
+                let _ = db.remove(obj.id);
+                db.insert(obj.clone())
+                    .map_err(|e| ConformError::Model(e.to_string()))?;
+            }
+            ConformedDelta::Removed(id) => {
+                db.remove(*id)
+                    .map_err(|e| ConformError::Model(e.to_string()))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plans;
+    use interop_model::{AttrName, ClassDef, ClassName, Schema, Type};
+    use interop_spec::{ComparisonRule, InterCond, Spec};
+
+    fn setup() -> (Database, crate::plan::SidePlan) {
+        let local = Schema::new(
+            "L",
+            vec![ClassDef::new("Publication")
+                .attr("isbn", Type::Str)
+                .attr("publisher", Type::Str)],
+        )
+        .unwrap();
+        let remote = Schema::new(
+            "R",
+            vec![ClassDef::new("Publisher").attr("name", Type::Str)],
+        )
+        .unwrap();
+        let mut spec = Spec::new("L", "R");
+        spec.add_rule(ComparisonRule::descriptivity(
+            "r",
+            "Publication",
+            vec!["publisher"],
+            "Publisher",
+            vec![InterCond::eq("publisher", "name")],
+        ));
+        let (lp, _) = build_plans(&spec, &local, &remote).unwrap();
+        let mut db = Database::new(local, 1);
+        db.create(
+            "Publication",
+            vec![("isbn", "A".into()), ("publisher", "ACM".into())],
+        )
+        .unwrap();
+        db.create(
+            "Publication",
+            vec![("isbn", "B".into()), ("publisher", "ACM".into())],
+        )
+        .unwrap();
+        db.create(
+            "Publication",
+            vec![("isbn", "C".into()), ("publisher", "IEEE".into())],
+        )
+        .unwrap();
+        (db, lp)
+    }
+
+    /// Differential check: apply `mutate`, reconform the touched ids, and
+    /// require the patched conformed database to hold exactly the objects
+    /// a from-scratch conformation of the mutated source would.
+    fn check(mutate: impl FnOnce(&mut Database) -> Vec<ObjectId>) {
+        let (mut db, lp) = setup();
+        let (mut conformed, mut reg) = {
+            let idx = PlanIndex::new(&db.schema, &lp);
+            (
+                crate::objectify::conform_database(&db, &idx, 9).unwrap(),
+                VirtRegistry::new(&db, &idx),
+            )
+        };
+        let touched = mutate(&mut db);
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let deltas = reg.reconform(&db, &idx, 9, &conformed, &touched).unwrap();
+        apply_deltas(&mut conformed, &deltas).unwrap();
+        let scratch = crate::objectify::conform_database(&db, &idx, 9).unwrap();
+        let dump =
+            |d: &Database| -> Vec<String> { d.objects().map(|o| format!("{o:?}")).collect() };
+        assert_eq!(dump(&conformed), dump(&scratch));
+    }
+
+    #[test]
+    fn update_moves_object_between_virtuals() {
+        check(|db| {
+            let id = ObjectId::new(1, 1);
+            db.update(id, "publisher", Value::str("IEEE")).unwrap();
+            vec![id]
+        });
+    }
+
+    #[test]
+    fn removing_min_owner_moves_virtual_id_and_rewrites_refs() {
+        // Object 1:0 is the minimum ACM owner; removing it hands the
+        // virtual object to 1:1 under a new id, and 1:1's reference must
+        // be rewritten even though 1:1 itself was not touched.
+        check(|db| {
+            let id = ObjectId::new(1, 0);
+            db.remove(id).unwrap();
+            vec![id]
+        });
+    }
+
+    #[test]
+    fn insert_new_publisher_creates_virtual() {
+        check(|db| {
+            let id = db
+                .create(
+                    "Publication",
+                    vec![("isbn", "D".into()), ("publisher", "Springer".into())],
+                )
+                .unwrap();
+            vec![id]
+        });
+    }
+
+    #[test]
+    fn insert_below_min_takes_over_virtual() {
+        // A fresh owner with a smaller serial than the current minimum
+        // cannot happen through `create` (serials are monotone), but a
+        // direct insert can: the virtual id must move to the new owner.
+        check(|db| {
+            db.remove(ObjectId::new(1, 0)).unwrap();
+            let mut o = Object::new(ObjectId::new(1, 0), ClassName::new("Publication"));
+            o.set("isbn", Value::str("A2"));
+            o.set("publisher", Value::str("IEEE"));
+            db.insert(o).unwrap();
+            vec![ObjectId::new(1, 0)]
+        });
+    }
+
+    #[test]
+    fn last_owner_removal_drops_virtual() {
+        check(|db| {
+            let id = ObjectId::new(1, 2); // sole IEEE owner
+            db.remove(id).unwrap();
+            vec![id]
+        });
+    }
+
+    #[test]
+    fn rollback_shaped_noop_emits_nothing() {
+        let (mut db, lp) = setup();
+        let (conformed, mut reg) = {
+            let idx = PlanIndex::new(&db.schema, &lp);
+            (
+                crate::objectify::conform_database(&db, &idx, 9).unwrap(),
+                VirtRegistry::new(&db, &idx),
+            )
+        };
+        // Insert then remove (a rolled-back txn reports both as touched).
+        let id = db
+            .create(
+                "Publication",
+                vec![("isbn", "D".into()), ("publisher", "X".into())],
+            )
+            .unwrap();
+        db.remove(id).unwrap();
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let deltas = reg.reconform(&db, &idx, 9, &conformed, &[id]).unwrap();
+        assert!(deltas.is_empty(), "deltas: {deltas:?}");
+    }
+
+    #[test]
+    fn null_tuple_values_conform_like_scratch() {
+        check(|db| {
+            let id = db
+                .create("Publication", vec![("isbn", "E".into())])
+                .unwrap();
+            // publisher left null: no ref attr set → no virtual object,
+            // matching the scratch pass.
+            let _ = id;
+            vec![id]
+        });
+    }
+
+    #[test]
+    fn registry_tracks_attr_name_not_value_updates() {
+        // Updating a non-objectified attribute must not disturb the
+        // registry or the virtual objects.
+        check(|db| {
+            let id = ObjectId::new(1, 0);
+            db.update(id, "isbn", Value::str("A-2nd")).unwrap();
+            vec![id]
+        });
+    }
+
+    #[test]
+    fn conformed_attr_rename_reflected_in_delta() {
+        let (db, lp) = setup();
+        let idx = PlanIndex::new(&db.schema, &lp);
+        let conformed = crate::objectify::conform_database(&db, &idx, 9).unwrap();
+        let obj = conformed.object(ObjectId::new(1, 0)).unwrap();
+        assert!(
+            obj.get(&AttrName::new("publisher")).as_ref_id().is_some(),
+            "objectified attribute became a reference"
+        );
+    }
+}

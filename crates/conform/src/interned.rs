@@ -24,8 +24,10 @@ use crate::plan::{AttrPlan, Objectify, SidePlan};
 /// The planned action for one `(class, attribute)`.
 #[derive(Clone, Copy, Debug)]
 pub enum AttrAction<'a> {
-    /// The attribute's values are objectified into a virtual class.
-    Objectified(&'a Objectify),
+    /// The attribute's values are objectified into a virtual class. The
+    /// `usize` is the objectification's position in
+    /// `plan.objectifications` — virtual-object ids derive from it.
+    Objectified(usize, &'a Objectify),
     /// The attribute is renamed/converted per a propeq.
     Planned(&'a AttrPlan),
 }
@@ -100,20 +102,20 @@ impl<'a> PlanIndex<'a> {
                 }
             }
             act.sort_unstable_by_key(|(pos, _)| *pos);
-            let first_covering = |a: &AttrName| -> Option<&'a Objectify> {
+            let first_covering = |a: &AttrName| -> Option<(usize, &'a Objectify)> {
                 act.iter()
                     .find(|(_, o)| o.attr_names.iter().any(|(x, _)| x == a))
-                    .map(|(_, o)| *o)
+                    .map(|(pos, o)| (*pos, *o))
             };
             // Re-resolve inherited attributes newly captured here.
             for a in newly_covered {
                 if let Some(info) = per_attr.get_mut(a) {
-                    info.action = first_covering(a).map(AttrAction::Objectified);
+                    info.action = first_covering(a).map(|(pos, o)| AttrAction::Objectified(pos, o));
                 }
             }
             for adef in &def.attrs {
                 let action = match first_covering(&adef.name) {
-                    Some(o) => Some(AttrAction::Objectified(o)),
+                    Some((pos, o)) => Some(AttrAction::Objectified(pos, o)),
                     None => plan
                         .attr_map
                         .get(&(class.clone(), adef.name.clone()))
@@ -141,8 +143,18 @@ impl<'a> PlanIndex<'a> {
     /// The objectification affecting `class.attr`, if any (equivalent to
     /// [`SidePlan::objectify_for`] without the hierarchy walk).
     pub fn objectify_for(&self, class: &ClassName, attr: &AttrName) -> Option<&'a Objectify> {
+        self.objectify_pos_for(class, attr).map(|(_, o)| o)
+    }
+
+    /// [`Self::objectify_for`] plus the objectification's position in
+    /// `plan.objectifications` (the position keys virtual-object ids).
+    pub fn objectify_pos_for(
+        &self,
+        class: &ClassName,
+        attr: &AttrName,
+    ) -> Option<(usize, &'a Objectify)> {
         match self.attr(class, attr)?.action {
-            Some(AttrAction::Objectified(o)) => Some(o),
+            Some(AttrAction::Objectified(pos, o)) => Some((pos, o)),
             _ => None,
         }
     }

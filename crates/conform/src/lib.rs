@@ -38,14 +38,25 @@
 //! * **Conform output is deterministic** and pinned byte-for-byte on
 //!   the paper fixtures (`tests/conform_snapshot.rs` at the workspace
 //!   root); notes are emitted in source order.
+//! * **Delta emission is equivalent to re-conforming.** For a batch of
+//!   touched source ids, [`delta::VirtRegistry::reconform`] emits
+//!   [`delta::ConformedDelta`]s whose application
+//!   ([`delta::apply_deltas`]) yields exactly the conformed database a
+//!   full re-run of the interned plan would build — per-object
+//!   transformation re-run for just the touched ids, virtual-object
+//!   ownership diffed so emptied virtuals are retired and new ones
+//!   allocated deterministically (differentially tested, and relied on
+//!   by `interop_merge`'s incremental engine one layer up).
 
 pub mod conform;
+pub mod delta;
 pub mod interned;
 pub mod objectify;
 pub mod plan;
 pub mod rewrite;
 
-pub use conform::{conform, Conformed, ConformedSide};
+pub use conform::{conform, Conformed, ConformedSide, LOCAL_VIRT_SPACE, REMOTE_VIRT_SPACE};
+pub use delta::{apply_deltas, ConformedDelta, VirtRegistry};
 pub use interned::{AttrAction, AttrInfo, PlanIndex};
 pub use plan::{AttrPlan, ConformError, Objectify, SidePlan};
 pub use rewrite::{ConformNote, RewriteOutcome, Rewriter};

@@ -7,6 +7,21 @@ use interop_model::{ClassDef, Database, Object, Schema, Type, Value};
 use crate::interned::PlanIndex;
 use crate::plan::ConformError;
 
+/// The id of the virtual object owned (first) by source object serial
+/// `owner_serial` under objectification position `opos`: serials
+/// interleave as `owner_serial * nobj + opos`, injective because each
+/// owner yields exactly one tuple per objectification. Shared by the
+/// from-scratch pass and [`crate::delta::reconform`] so both derive the
+/// same ids.
+pub(crate) fn virt_id_for(
+    virt_space: u32,
+    owner_serial: u64,
+    nobj: u64,
+    opos: usize,
+) -> interop_model::ObjectId {
+    interop_model::ObjectId::new(virt_space, owner_serial * nobj + opos as u64)
+}
+
 /// Applies a side's plan to its database: builds the conformed schema
 /// (renamed/retyped attributes, virtual classes), converts every stored
 /// value, and materialises virtual objects from objectified values.
@@ -20,59 +35,101 @@ pub fn conform_database(
 ) -> Result<Database, ConformError> {
     let schema = conform_schema(index)?;
     let mut out = Database::new(schema, db.space());
-    // Virtual object registry: (virt class, value tuple) → id. Ids are
-    // assigned in first-encounter order while objects iterate in id
-    // order, so a hashed registry changes nothing user-visible.
-    let mut virt_ids: FxHashMap<(interop_model::ClassName, Vec<Value>), interop_model::ObjectId> =
+    // Virtual object registry: (objectification position, value tuple) →
+    // id. Each virtual id derives from its *first* (minimum-serial) owner:
+    // `owner.serial * nobj + opos`, injective because every owner yields
+    // one tuple per objectification. Objects iterate in id order, so the
+    // deriving owner is the tuple's minimum owner — making the id a pure
+    // function of database content, which is what lets `reconform` keep
+    // untouched virtual ids stable across source mutations. (Positions
+    // index `plan.objectifications`; each position owns a distinct
+    // virtual class, so keying by position equals keying by class.)
+    let mut virt_ids: FxHashMap<(usize, Vec<Value>), interop_model::ObjectId> =
         FxHashMap::default();
-    let mut next_virt: u64 = 0;
+    let nobj = index.plan.objectifications.len() as u64;
+    // Serial-derived virtual ids are injective as long as every owner
+    // lives in ONE space — which may legitimately differ from the
+    // database's own allocation space (a materialised integrated view
+    // keeps its objects' global-space ids while declaring a fresh
+    // space for future creations).
+    let mut owner_space: Option<u32> = None;
     for obj in db.objects() {
-        let mut new_obj = Object::new(obj.id, obj.class.clone());
-        for (attr, value) in &obj.attrs {
-            if let Some(o) = index.objectify_for(&obj.class, attr) {
-                // Collect the full value tuple for this objectification.
-                if attr != &o.ref_attr {
-                    continue; // handled when we meet the ref attr
-                }
-                let tuple: Vec<Value> = o
-                    .attr_names
-                    .iter()
-                    .map(|(a, _)| obj.get(a).clone())
-                    .collect();
-                let key = (o.virt_class.clone(), tuple.clone());
-                let virt_id = *virt_ids.entry(key).or_insert_with(|| {
-                    let id = interop_model::ObjectId::new(virt_space, next_virt);
-                    next_virt += 1;
-                    let mut v = Object::new(id, o.virt_class.clone());
-                    for ((_, virt_attr), val) in o.attr_names.iter().zip(tuple.iter()) {
-                        v.set(virt_attr.clone(), val.clone());
-                    }
-                    out.insert(v)
-                        .expect("virtual object matches virtual schema");
-                    id
-                });
-                new_obj.set(o.ref_attr.clone(), Value::Ref(virt_id));
-                continue;
-            }
-            let (new_name, converted) = match index.attr_plan(&obj.class, attr) {
-                Some(ap) => {
-                    let v = ap.conversion.apply(value).ok_or_else(|| {
-                        ConformError::UnconvertibleValue {
-                            class: obj.class.clone(),
-                            attr: attr.clone(),
-                            value: value.to_string(),
-                        }
-                    })?;
-                    (ap.new_name.clone(), v)
-                }
-                None => (attr.clone(), value.clone()),
-            };
-            new_obj.set(new_name, converted);
-        }
+        debug_assert_eq!(
+            *owner_space.get_or_insert(obj.id.space()),
+            obj.id.space(),
+            "virtual-id derivation requires a single-space source database"
+        );
+        let new_obj = conform_object(obj, index, |opos, o, tuple| {
+            *virt_ids.entry((opos, tuple.clone())).or_insert_with(|| {
+                let id = virt_id_for(virt_space, obj.id.serial(), nobj, opos);
+                out.insert(make_virt_object(id, o, &tuple))
+                    .expect("virtual object matches virtual schema");
+                id
+            })
+        })?;
         out.insert(new_obj)
             .map_err(|e| ConformError::Model(e.to_string()))?;
     }
     Ok(out)
+}
+
+/// Conforms one source object: renames/converts planned attributes and
+/// replaces objectified value tuples with a reference obtained from
+/// `virt_ref(opos, objectify, tuple)`. Shared by [`conform_database`]
+/// (which creates virtual objects on first encounter) and
+/// [`crate::delta::reconform`] (which resolves ids from its registry),
+/// so both emit byte-identical conformed objects.
+pub(crate) fn conform_object(
+    obj: &Object,
+    index: &PlanIndex,
+    mut virt_ref: impl FnMut(usize, &crate::plan::Objectify, Vec<Value>) -> interop_model::ObjectId,
+) -> Result<Object, ConformError> {
+    let mut new_obj = Object::new(obj.id, obj.class.clone());
+    for (attr, value) in &obj.attrs {
+        if let Some((opos, o)) = index.objectify_pos_for(&obj.class, attr) {
+            // Collect the full value tuple for this objectification.
+            if attr != &o.ref_attr {
+                continue; // handled when we meet the ref attr
+            }
+            let tuple: Vec<Value> = o
+                .attr_names
+                .iter()
+                .map(|(a, _)| obj.get(a).clone())
+                .collect();
+            let virt_id = virt_ref(opos, o, tuple);
+            new_obj.set(o.ref_attr.clone(), Value::Ref(virt_id));
+            continue;
+        }
+        let (new_name, converted) = match index.attr_plan(&obj.class, attr) {
+            Some(ap) => {
+                let v =
+                    ap.conversion
+                        .apply(value)
+                        .ok_or_else(|| ConformError::UnconvertibleValue {
+                            class: obj.class.clone(),
+                            attr: attr.clone(),
+                            value: value.to_string(),
+                        })?;
+                (ap.new_name.clone(), v)
+            }
+            None => (attr.clone(), value.clone()),
+        };
+        new_obj.set(new_name, converted);
+    }
+    Ok(new_obj)
+}
+
+/// Materialises the virtual object for an objectified value `tuple`.
+pub(crate) fn make_virt_object(
+    id: interop_model::ObjectId,
+    o: &crate::plan::Objectify,
+    tuple: &[Value],
+) -> Object {
+    let mut v = Object::new(id, o.virt_class.clone());
+    for ((_, virt_attr), val) in o.attr_names.iter().zip(tuple.iter()) {
+        v.set(virt_attr.clone(), val.clone());
+    }
+    v
 }
 
 /// Builds the conformed schema: renames/retypes planned attributes,

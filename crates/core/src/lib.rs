@@ -56,6 +56,7 @@ pub mod conflict;
 pub mod derive;
 pub mod fixtures;
 pub mod implied;
+pub mod incremental;
 pub mod pipeline;
 pub mod repair;
 pub mod report;
@@ -64,6 +65,7 @@ pub mod subjectivity;
 pub use conflict::{Conflict, ConflictKind};
 pub use derive::{DerivationOrigin, DerivedConstraint, GlobalConstraints, Scope, SkipReason};
 pub use implied::ImpliedConstraint;
+pub use incremental::IncrementalPipeline;
 pub use pipeline::{IntegrationOutcome, Integrator, IntegratorOptions};
 pub use repair::Repair;
 pub use subjectivity::{classify_constraints, property_subjectivity, SpecIssue, SubjectivityMap};

@@ -15,6 +15,29 @@ use crate::resolve::{EqMatch, MergeError, SimMatch};
 /// Space tag of global (merged) object ids.
 pub const GLOBAL_SPACE: u32 = 200;
 
+/// The global id of the group led by `leader` (the group's smallest
+/// conformed member id): the leader's `(space, serial)` packed into a
+/// serial in [`GLOBAL_SPACE`].
+///
+/// Deriving the global id from the leader — instead of numbering groups
+/// ordinally — makes it a *pure function of group membership*: inserting
+/// or removing unrelated objects cannot shift the ids of untouched
+/// groups, which is what lets [`crate::incremental`] patch the view in
+/// place and still match a from-scratch merge byte for byte.
+///
+/// The packing is monotone in `(space, serial)` for serials below
+/// 2^40 — every first-level merge, where spaces are small and serials
+/// are object counters. Re-merging a materialised view (chaining) can
+/// carry packed serials back in as input; `fuse_with` asserts the
+/// derived ids stay strictly increasing across groups, so a collision
+/// surfaces as an error instead of silent id aliasing.
+pub fn global_id_for(leader: ObjectId) -> ObjectId {
+    ObjectId::new(
+        GLOBAL_SPACE,
+        ((leader.space() as u64) << 40) | leader.serial(),
+    )
+}
+
 /// A merged global object.
 #[derive(Clone, Debug)]
 pub struct GlobalObject {
@@ -99,14 +122,26 @@ pub(crate) fn fuse_with(
     grouped.sort_unstable();
     // First pass: assign global ids (one per leader run) so references can
     // be remapped inline while objects are built. `gids` is parallel to
-    // `members_by_id`, so the id map needs no extra hashing.
+    // `members_by_id`, so the id map needs no extra hashing. Each group's
+    // id derives from its leader id via `global_id_for`; the strictly-
+    // increasing check turns a packing collision (possible only with
+    // serials ≥ 2^40, i.e. chained re-merges) into an error.
     let mut gids: Vec<ObjectId> = vec![ObjectId::new(GLOBAL_SPACE, 0); members_by_id.len()];
     let mut serial = 0u64;
     let mut cur_leader = u64::MAX;
     let mut cur_gid = ObjectId::new(GLOBAL_SPACE, 0);
+    let mut prev_gid: Option<ObjectId> = None;
     for packed in &grouped {
         if packed >> 32 != cur_leader {
-            cur_gid = ObjectId::new(GLOBAL_SPACE, serial);
+            cur_gid = global_id_for(members_by_id[(packed >> 32) as usize].0);
+            if prev_gid.is_some_and(|p| p >= cur_gid) {
+                return Err(MergeError::Model(format!(
+                    "global id collision: group of leader {} packs to already-assigned id {}",
+                    members_by_id[(packed >> 32) as usize].0,
+                    cur_gid
+                )));
+            }
+            prev_gid = Some(cur_gid);
             serial += 1;
             cur_leader = packed >> 32;
         }
@@ -115,21 +150,7 @@ pub(crate) fn fuse_with(
     // Conformed id → global id, through the shared member index.
     let global_of =
         |id: ObjectId| -> Option<ObjectId> { idx.pos.get(&id).map(|&i| gids[i as usize]) };
-    // Per-propeq conformed attribute, resolved once instead of per object.
-    let propeq_attrs: Vec<Option<AttrName>> = conf
-        .spec
-        .propeqs
-        .iter()
-        .map(|pe| pe.conformed_name.head().cloned())
-        .collect();
-    // Memoised propeq applicability per (local class, remote class) pair —
-    // `is_subclass` walks the isa chain, so resolve each pair once. Keyed
-    // by the class names' refcount pointers: class names on conformed
-    // objects are clones of the same schema-owned `Arc`s, so the pointer
-    // pair identifies the pair without hashing strings. (Distinct `Arc`s
-    // spelling the same class would only cost a duplicate cache entry
-    // with the same value.)
-    let mut propeq_cache: FxHashMap<(usize, usize), Rc<Vec<usize>>> = FxHashMap::default();
+    let mut fuser = Fuser::new(conf);
     let mut objects: Vec<(ObjectId, GlobalObject)> = Vec::with_capacity(serial as usize);
     let mut start = 0;
     while start < grouped.len() {
@@ -142,16 +163,109 @@ pub(crate) fn fuse_with(
         start = end;
         let member_idx = |packed: u64| (packed & u32::MAX as u64) as usize;
         let gid = gids[member_idx(members[0])];
+        let g = fuser.fuse_group(
+            gid,
+            members.iter().map(|p| {
+                let (_, side, o) = members_by_id[member_idx(*p)];
+                (side, o)
+            }),
+            &[],
+            &global_of,
+            &mut notes,
+        );
+        objects.push((gid, g));
+    }
+    let mut objects: BTreeMap<ObjectId, GlobalObject> = objects.into_iter().collect();
+    // Similarity memberships.
+    for s in sims {
+        if let Some(gid) = global_of(s.subject) {
+            let g = objects.get_mut(&gid).expect("gids target built objects");
+            let c = match &s.virtual_class {
+                None => &s.target,
+                Some(v) => v,
+            };
+            if let Err(at) = g.classes.binary_search(c) {
+                g.classes.insert(at, c.clone());
+            }
+        }
+    }
+    // Snapshot the id map into its deterministic output form: member ids
+    // are already sorted, so the map bulk-builds from the zip.
+    let id_map: BTreeMap<ObjectId, ObjectId> = members_by_id
+        .iter()
+        .zip(&gids)
+        .map(|((id, _, _), gid)| (*id, *gid))
+        .collect();
+    Ok(FuseResult {
+        objects,
+        id_map,
+        notes,
+    })
+}
+
+/// The per-group fusion engine shared by the from-scratch [`fuse_with`]
+/// pass and the incremental engine ([`crate::incremental`]): given a
+/// group's members it produces the [`GlobalObject`] exactly as the
+/// scratch pass would — same overlay, same decision-function
+/// application, same notes, in the same order. Holds the per-merge
+/// memoisation (resolved propeq attribute names, propeq applicability
+/// per class pair) so repeated group fusions stay cheap.
+pub(crate) struct Fuser<'a> {
+    conf: &'a Conformed,
+    /// Per-propeq conformed attribute, resolved once instead of per
+    /// object.
+    propeq_attrs: Vec<Option<AttrName>>,
+    /// Memoised propeq applicability per (local class, remote class)
+    /// pair — `is_subclass` walks the isa chain, so resolve each pair
+    /// once. Keyed by the class names' refcount pointers: class names on
+    /// conformed objects are clones of the same schema-owned `Arc`s, so
+    /// the pointer pair identifies the pair without hashing strings.
+    /// (Distinct `Arc`s spelling the same class would only cost a
+    /// duplicate cache entry with the same value.)
+    propeq_cache: FxHashMap<(usize, usize), Rc<Vec<usize>>>,
+}
+
+impl<'a> Fuser<'a> {
+    pub(crate) fn new(conf: &'a Conformed) -> Self {
+        let propeq_attrs = conf
+            .spec
+            .propeqs
+            .iter()
+            .map(|pe| pe.conformed_name.head().cloned())
+            .collect();
+        Fuser {
+            conf,
+            propeq_attrs,
+            propeq_cache: FxHashMap::default(),
+        }
+    }
+
+    /// Fuses one group into its [`GlobalObject`]. `members` must arrive
+    /// in ascending conformed-id order (as the scratch grouping pass
+    /// produces); `sim_classes` holds extra sorted class memberships
+    /// from similarity matches (the scratch pass applies those in a
+    /// post-pass instead and passes `&[]` here); `global_of` remaps
+    /// reference values; anomaly `notes` are appended in the same order
+    /// the scratch pass emits them.
+    pub(crate) fn fuse_group<'o>(
+        &mut self,
+        gid: ObjectId,
+        members: impl Iterator<Item = (Side, &'o Object)>,
+        sim_classes: &[ClassName],
+        global_of: &impl Fn(ObjectId) -> Option<ObjectId>,
+        notes: &mut Vec<String>,
+    ) -> GlobalObject {
+        let conf = self.conf;
         let mut lobj: Option<&Object> = None;
         let mut robj: Option<&Object> = None;
         let (mut n_local, mut n_remote) = (0usize, 0usize);
-        for packed in members {
-            match members_by_id[member_idx(*packed)] {
-                (_, Side::Local, o) => {
+        for (side, o) in members {
+            match side {
+                Side::Local => {
                     n_local += 1;
                     lobj = lobj.or(Some(o));
                 }
-                (_, Side::Remote, o) => {
+                Side::Remote => {
                     n_remote += 1;
                     robj = robj.or(Some(o));
                 }
@@ -168,7 +282,8 @@ pub(crate) fn fuse_with(
         let mut attrs: BTreeMap<AttrName, Value> = overlay_attrs(lobj, robj);
         let mut fused: BTreeMap<AttrName, (Value, Value, Decision)> = BTreeMap::new();
         if let (Some(l), Some(r)) = (lobj, robj) {
-            let applicable = propeq_cache
+            let applicable = self
+                .propeq_cache
                 .entry((l.class.alloc_ptr(), r.class.alloc_ptr()))
                 .or_insert_with(|| {
                     Rc::new(
@@ -191,7 +306,7 @@ pub(crate) fn fuse_with(
                 .clone();
             for &i in applicable.iter() {
                 let pe = &conf.spec.propeqs[i];
-                let attr = match &propeq_attrs[i] {
+                let attr = match &self.propeq_attrs[i] {
                     Some(a) => a.clone(),
                     None => continue,
                 };
@@ -236,7 +351,7 @@ pub(crate) fn fuse_with(
         // Remap references to global ids (the id map is already total).
         for v in attrs.values_mut() {
             if has_ref(v) {
-                *v = remap_value(v, &global_of);
+                *v = remap_value(v, global_of);
             }
         }
         let mut classes: Vec<ClassName> = Vec::new();
@@ -249,44 +364,20 @@ pub(crate) fn fuse_with(
             }
         }
         classes.sort_unstable();
-        objects.push((
-            gid,
-            GlobalObject {
-                id: gid,
-                attrs,
-                local: lobj.map(|o| o.id),
-                remote: robj.map(|o| o.id),
-                fused,
-                classes,
-            },
-        ));
-    }
-    let mut objects: BTreeMap<ObjectId, GlobalObject> = objects.into_iter().collect();
-    // Similarity memberships.
-    for s in sims {
-        if let Some(gid) = global_of(s.subject) {
-            let g = objects.get_mut(&gid).expect("gids target built objects");
-            let c = match &s.virtual_class {
-                None => &s.target,
-                Some(v) => v,
-            };
-            if let Err(at) = g.classes.binary_search(c) {
-                g.classes.insert(at, c.clone());
+        for c in sim_classes {
+            if let Err(at) = classes.binary_search(c) {
+                classes.insert(at, c.clone());
             }
         }
+        GlobalObject {
+            id: gid,
+            attrs,
+            local: lobj.map(|o| o.id),
+            remote: robj.map(|o| o.id),
+            fused,
+            classes,
+        }
     }
-    // Snapshot the id map into its deterministic output form: member ids
-    // are already sorted, so the map bulk-builds from the zip.
-    let id_map: BTreeMap<ObjectId, ObjectId> = members_by_id
-        .iter()
-        .zip(&gids)
-        .map(|((id, _, _), gid)| (*id, *gid))
-        .collect();
-    Ok(FuseResult {
-        objects,
-        id_map,
-        notes,
-    })
 }
 
 /// The implicit-`any` valuation of a (possibly one-sided) merged pair:
@@ -375,10 +466,12 @@ fn remap_value(v: &Value, global_of: &impl Fn(ObjectId) -> Option<ObjectId>) -> 
 ///
 /// Each group carries a deterministic *leader* independent of the tree
 /// shape the rank heuristic produces: on `union(a, b)`, the merged group
-/// inherits `a`'s leader. Equality matches call `union(local, remote)`, so
-/// a group's leader is the root the seed implementation (where `a`'s root
-/// simply became the parent) would have chosen — keeping group ordering,
-/// and therefore global id assignment, byte-identical to it.
+/// takes the *smaller* of the two leaders. The universe is enumerated in
+/// ascending id order, so a group's leader is always its minimum member
+/// id — a pure function of the partition, independent of the order in
+/// which matches are emitted. That independence is what lets the
+/// incremental engine re-derive a touched group's identity locally and
+/// land on exactly the ids a from-scratch merge would assign.
 struct UnionFind<'a> {
     index: &'a FxHashMap<ObjectId, u32>,
     parent: Vec<u32>,
@@ -416,9 +509,10 @@ impl<'a> UnionFind<'a> {
         i
     }
 
-    /// Unions the groups of `a` and `b`; `a`'s leader names the merged
-    /// group. Ids outside the universe are ignored (matches can only
-    /// reference conformed objects).
+    /// Unions the groups of `a` and `b`; the smaller of the two group
+    /// leaders names the merged group (leader = minimum member id). Ids
+    /// outside the universe are ignored (matches can only reference
+    /// conformed objects).
     fn union(&mut self, a: ObjectId, b: ObjectId) {
         let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
             return;
@@ -427,7 +521,7 @@ impl<'a> UnionFind<'a> {
         if ra == rb {
             return;
         }
-        let la = self.leader[ra as usize];
+        let la = self.leader[ra as usize].min(self.leader[rb as usize]);
         let root = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
             Ordering::Less => {
                 self.parent[ra as usize] = rb;
@@ -786,13 +880,19 @@ mod tests {
             let i = uf.index_of(id).expect("known id");
             ids[uf.leader_of_index(i) as usize]
         };
-        // Chain unions: leader is always the first argument's leader.
-        uf.union(ids[0], ids[1]);
-        uf.union(ids[2], ids[0]); // group leader becomes ids[2]
-        uf.union(ids[3], ids[4]);
-        uf.union(ids[2], ids[3]); // absorbs the 3-4 group
+        // The leader is the minimum member id, whatever the union order:
+        // unions deliberately name the larger id first.
+        uf.union(ids[4], ids[3]);
+        assert_eq!(leader_of(&mut uf, ids[4]), ids[3]);
+        uf.union(ids[1], ids[2]);
+        assert_eq!(leader_of(&mut uf, ids[2]), ids[1]);
+        uf.union(ids[3], ids[1]); // merges {3,4} and {1,2} → leader 1
+        for (i, id) in ids.iter().enumerate().take(5).skip(1) {
+            assert_eq!(leader_of(&mut uf, *id), ids[1], "member {i}");
+        }
+        uf.union(ids[2], ids[0]); // absorbing the smaller id moves the leader
         for (i, id) in ids.iter().enumerate().take(5) {
-            assert_eq!(leader_of(&mut uf, *id), ids[2], "member {i}");
+            assert_eq!(leader_of(&mut uf, *id), ids[0], "member {i}");
         }
         assert_eq!(leader_of(&mut uf, ids[5]), ids[5]);
         // After find-driven compression every member points ≤1 hop from
@@ -804,6 +904,6 @@ mod tests {
         }
         // Unknown ids are ignored.
         uf.union(ObjectId::new(9, 9), ids[0]);
-        assert_eq!(leader_of(&mut uf, ids[0]), ids[2]);
+        assert_eq!(leader_of(&mut uf, ids[0]), ids[0]);
     }
 }

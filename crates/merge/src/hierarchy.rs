@@ -68,11 +68,46 @@ impl Hierarchy {
     pub fn is_direct_subclass(&self, sub: &ClassName, sup: &ClassName) -> bool {
         self.edges.contains(&(sub.clone(), sup.clone()))
     }
+
+    /// Whether the inferred `isa` edge set is a DAG (no directed cycle).
+    ///
+    /// [`infer_hierarchy`] guarantees this by construction (equal-extent
+    /// pairs emit a single canonical edge); the incremental engine
+    /// re-checks it as a patch invariant after every delta application.
+    pub fn is_acyclic(&self) -> bool {
+        let mut adj: BTreeMap<&ClassName, Vec<&ClassName>> = BTreeMap::new();
+        for (sub, sup) in &self.edges {
+            adj.entry(sub).or_default().push(sup);
+        }
+        // DFS three-colouring: 1 = open (on the stack), 2 = done.
+        fn visit<'a>(
+            n: &'a ClassName,
+            adj: &BTreeMap<&'a ClassName, Vec<&'a ClassName>>,
+            state: &mut BTreeMap<&'a ClassName, u8>,
+        ) -> bool {
+            match state.get(n) {
+                Some(1) => return false,
+                Some(2) => return true,
+                _ => {}
+            }
+            state.insert(n, 1);
+            for m in adj.get(n).into_iter().flatten() {
+                if !visit(m, adj, state) {
+                    return false;
+                }
+            }
+            state.insert(n, 2);
+            true
+        }
+        let mut state: BTreeMap<&ClassName, u8> = BTreeMap::new();
+        let nodes: Vec<&ClassName> = adj.keys().copied().collect();
+        nodes.into_iter().all(|n| visit(n, &adj, &mut state))
+    }
 }
 
 /// Which side of the federation a class name belongs to.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum ChainSide {
+pub(crate) enum ChainSide {
     Local,
     Remote,
     /// A virtual class (intersection or approx-similarity superclass):
@@ -264,7 +299,15 @@ fn intern(c: &ClassName, names: &mut Vec<ClassName>, index: &mut FxHashMap<Class
     i
 }
 
-fn chain_any(local: &Schema, remote: &Schema, class: &ClassName) -> (ChainSide, Vec<ClassName>) {
+/// A class's side and upward closure (self plus ancestors), looked up in
+/// whichever schema declares it. Shared with [`crate::incremental`],
+/// whose extent/overlap counter patches must dedup ancestor chains
+/// exactly as the from-scratch pass above does.
+pub(crate) fn chain_any(
+    local: &Schema,
+    remote: &Schema,
+    class: &ClassName,
+) -> (ChainSide, Vec<ClassName>) {
     if local.class(class).is_some() {
         (ChainSide::Local, local.self_and_ancestors(class))
     } else if remote.class(class).is_some() {
@@ -372,33 +415,9 @@ mod tests {
         (fused, h)
     }
 
-    /// Asserts the edge set has no directed cycle (DFS three-colouring).
+    /// Asserts the edge set has no directed cycle.
     fn assert_acyclic(h: &Hierarchy) {
-        let mut adj: BTreeMap<&ClassName, Vec<&ClassName>> = BTreeMap::new();
-        for (sub, sup) in &h.edges {
-            adj.entry(sub).or_default().push(sup);
-        }
-        let mut state: BTreeMap<&ClassName, u8> = BTreeMap::new(); // 1=open, 2=done
-        fn visit<'a>(
-            n: &'a ClassName,
-            adj: &BTreeMap<&'a ClassName, Vec<&'a ClassName>>,
-            state: &mut BTreeMap<&'a ClassName, u8>,
-        ) {
-            match state.get(n) {
-                Some(1) => panic!("cycle through {n}"),
-                Some(2) => return,
-                _ => {}
-            }
-            state.insert(n, 1);
-            for m in adj.get(n).into_iter().flatten() {
-                visit(m, adj, state);
-            }
-            state.insert(n, 2);
-        }
-        let nodes: Vec<&ClassName> = adj.keys().copied().collect();
-        for n in nodes {
-            visit(n, &adj, &mut state);
-        }
+        assert!(h.is_acyclic(), "inferred isa edges contain a cycle");
     }
 
     #[test]

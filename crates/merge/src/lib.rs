@@ -24,14 +24,31 @@
 //!   relations read off per-class extent and overlap counters agree
 //!   with cloned-set computations (property-tested), and only genuine
 //!   partial overlaps materialise an intersection class.
+//! * **Counter patching preserves the scratch counts.** The
+//!   incremental engine ([`IncrementalMerge`]) maintains the same
+//!   per-class extent and per-(local, remote) overlap counters by
+//!   decrementing every unmerged group's contribution and incrementing
+//!   every re-fused group's; decrements underflow-check and error
+//!   rather than corrupt, and after any patch sequence the counters
+//!   equal a from-scratch recount over the maintained view
+//!   ([`IncrementalMerge::check_invariants`], exercised after every
+//!   patch by the pipeline property suite).
+//! * **Patched output equals scratch output byte-for-byte.** After
+//!   every [`IncrementalMerge::apply`] the maintained view is
+//!   `Debug`-identical to `merge` run from scratch on the patched
+//!   conformed pair — group membership, fused values, notes order,
+//!   and the re-inferred hierarchy included (differentially tested,
+//!   transaction rollbacks included).
 
 pub mod fuse;
 pub mod hierarchy;
+pub mod incremental;
 mod index;
 pub mod resolve;
 pub mod view;
 
 pub use fuse::{fuse, FuseResult, GlobalObject, GLOBAL_SPACE};
 pub use hierarchy::{infer_hierarchy, Hierarchy, IntersectionClass};
+pub use incremental::IncrementalMerge;
 pub use resolve::{resolve, EqMatch, MergeError, SimMatch};
 pub use view::{merge, IntegratedView, MergeOptions};

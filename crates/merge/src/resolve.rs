@@ -267,7 +267,11 @@ impl Bucket {
     }
 }
 
-fn check_pair(
+/// Evaluates one rule's interobject and intraobject conditions on a
+/// candidate pair. Shared by the from-scratch resolution pass above and
+/// the incremental re-matcher ([`crate::incremental`]), so both gates
+/// agree by construction.
+pub(crate) fn check_pair(
     conf: &Conformed,
     rule: &interop_spec::ComparisonRule,
     lobj: &interop_model::Object,

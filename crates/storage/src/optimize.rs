@@ -739,6 +739,7 @@ mod tests {
         s.set_composite_policy(CompositePolicy {
             admit_after: 1,
             min_gain: 0.0,
+            evict_after: u32::MAX,
         });
         let opt = Optimizer::new(&s, "Item", vec![]);
         let pred =

@@ -81,6 +81,13 @@ impl<K: Eq + Hash + Clone> PairSketch<K> {
         self.counts.get(key).copied().unwrap_or(0)
     }
 
+    /// Drops a key's tracked count entirely. Used when an admitted
+    /// composite pair is evicted: re-admission must take fresh
+    /// qualifying sightings, not coast on the pre-eviction count.
+    pub fn forget(&mut self, key: &K) {
+        self.counts.remove(key);
+    }
+
     /// Number of currently tracked keys.
     pub fn tracked(&self) -> usize {
         self.counts.len()

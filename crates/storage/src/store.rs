@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use interop_constraint::eval::{check_class_constraint, check_db_constraint, eval_formula, Truth};
 use interop_constraint::{Catalog, ConstraintId};
-use interop_model::fx::{FxHashMap, FxHashSet};
+use interop_model::fx::FxHashMap;
 use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId, Value};
 
 use crate::index::{CompositeIndex, HashIndex, IndexSet, KeyIndex, SortedIndex};
@@ -112,6 +112,14 @@ pub struct CompositePolicy {
     /// Required gain factor: `min_single_est >= min_gain * joint_est`
     /// (with the joint estimate floored at one row).
     pub min_gain: f64,
+    /// Probes-without-use before an admitted pair is **evicted**: every
+    /// planner consultation of the composite machinery advances a probe
+    /// clock, and a pair whose last use (an admission-check hit) lies
+    /// more than `evict_after` probes back is dropped — its admission
+    /// revoked, its sketch count forgotten (re-admission takes fresh
+    /// qualifying sightings) and its materialised index discarded, so a
+    /// pair the workload stopped querying stops charging every write.
+    pub evict_after: u32,
 }
 
 impl Default for CompositePolicy {
@@ -119,6 +127,7 @@ impl Default for CompositePolicy {
         CompositePolicy {
             admit_after: 3,
             min_gain: 2.0,
+            evict_after: 256,
         }
     }
 }
@@ -130,6 +139,7 @@ impl CompositePolicy {
         CompositePolicy {
             admit_after: u32::MAX,
             min_gain: f64::INFINITY,
+            evict_after: u32::MAX,
         }
     }
 }
@@ -146,18 +156,24 @@ type PairKey = (ClassName, AttrName, AttrName);
 /// state — it survives mutations (and wholesale cache discards), while
 /// the materialised composite indexes themselves live in the
 /// [`SecondaryCache`] and are maintained/discarded like every other
-/// secondary structure.
+/// secondary structure. `clock` counts planner consultations of the
+/// composite machinery; each admitted pair records the clock of its
+/// last *use* (an admission-check hit), and pairs idle for more than
+/// [`CompositePolicy::evict_after`] probes are evicted.
 #[derive(Clone, Debug)]
 struct CompositeAdmission {
     sketch: PairSketch<PairKey>,
-    admitted: FxHashSet<PairKey>,
+    /// Admitted pair → probe-clock value of its last use.
+    admitted: FxHashMap<PairKey, u64>,
+    clock: u64,
 }
 
 impl Default for CompositeAdmission {
     fn default() -> Self {
         CompositeAdmission {
             sketch: PairSketch::new(COMPOSITE_SKETCH_CAP),
-            admitted: FxHashSet::default(),
+            admitted: FxHashMap::default(),
+            clock: 0,
         }
     }
 }
@@ -218,6 +234,11 @@ pub struct Store {
     secondary: RefCell<SecondaryCache>,
     composite_policy: CompositePolicy,
     composites: RefCell<CompositeAdmission>,
+    /// When `Some`, every *committed* state change appends the object id
+    /// it touched (rollback undo operations included — they go through
+    /// the same mutators). Drained, sorted and deduplicated by
+    /// [`Store::take_touched`] for downstream incremental consumers.
+    touched_log: Option<Vec<ObjectId>>,
 }
 
 impl Store {
@@ -241,6 +262,7 @@ impl Store {
             secondary: RefCell::new(SecondaryCache::default()),
             composite_policy: CompositePolicy::default(),
             composites: RefCell::new(CompositeAdmission::default()),
+            touched_log: None,
         };
         // Index existing objects.
         let ids: Vec<ObjectId> = store.db.objects().map(|o| o.id).collect();
@@ -345,9 +367,68 @@ impl Store {
     /// The admitted composite pairs, sorted — diagnostics/tests hook.
     pub fn admitted_composites(&self) -> Vec<(ClassName, AttrName, AttrName)> {
         let adm = self.composites.borrow();
-        let mut out: Vec<_> = adm.admitted.iter().cloned().collect();
+        let mut out: Vec<_> = adm.admitted.keys().cloned().collect();
         out.sort();
         out
+    }
+
+    /// Starts (or stops) recording the ids of committed state changes.
+    /// Disabling discards anything recorded. The log feeds per-object
+    /// re-conformation in the incremental integration pipeline: after a
+    /// batch of mutations, [`Store::take_touched`] yields exactly the
+    /// ids whose state may differ from the last drain — failed
+    /// operations append nothing, and a rolled-back transaction appends
+    /// its undo operations too, so consumers re-examine those objects
+    /// and find them unchanged rather than missing a change.
+    pub fn track_touched(&mut self, on: bool) {
+        self.touched_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the touched-id log (sorted, deduplicated). Empty when
+    /// tracking is off or nothing was committed since the last drain.
+    pub fn take_touched(&mut self) -> Vec<ObjectId> {
+        let Some(log) = &mut self.touched_log else {
+            return Vec::new();
+        };
+        let mut out = std::mem::take(log);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn log_touched(&mut self, id: ObjectId) {
+        if let Some(log) = &mut self.touched_log {
+            log.push(id);
+        }
+    }
+
+    /// Evicts every admitted pair whose last use lies more than
+    /// `evict_after` probes back: revokes the admission, forgets the
+    /// sketch count (re-admission takes fresh qualifying sightings) and
+    /// drops the materialised index so writes stop maintaining it.
+    fn evict_stale_composites(&self, adm: &mut CompositeAdmission) {
+        let horizon = self.composite_policy.evict_after as u64;
+        let stale: Vec<PairKey> = adm
+            .admitted
+            .iter()
+            .filter(|(_, &last_use)| adm.clock.saturating_sub(last_use) > horizon)
+            .map(|(k, _)| k.clone())
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        let mut cache = self.secondary.borrow_mut();
+        for key in stale {
+            adm.admitted.remove(&key);
+            adm.sketch.forget(&key);
+            let (class, a, b) = key;
+            if let Some(m) = cache.composite.get_mut(&class) {
+                m.remove(&(a, b));
+                if m.is_empty() {
+                    cache.composite.remove(&class);
+                }
+            }
+        }
     }
 
     /// Registers a mutation attempt: bumps the version and brings the
@@ -659,6 +740,7 @@ impl Store {
             return Err(e);
         }
         self.delta_insert(id);
+        self.log_touched(id);
         Ok(())
     }
 
@@ -710,6 +792,7 @@ impl Store {
         }
         let old = before.get(&attr).clone();
         self.delta_update(&before.class, id, &attr, &old, &value);
+        self.log_touched(id);
         Ok(())
     }
 
@@ -724,6 +807,7 @@ impl Store {
             return Err(e);
         }
         self.delta_remove(&obj);
+        self.log_touched(id);
         Ok(obj)
     }
 
@@ -768,25 +852,39 @@ impl crate::plan::StatsSource for Store {
         // (joint floored at one row so an estimated-empty pair cannot
         // qualify everything).
         let policy = self.composite_policy;
+        let mut adm = self.composites.borrow_mut();
+        adm.clock += 1;
+        self.evict_stale_composites(&mut adm);
         if (min_single_est as f64) < policy.min_gain * joint_est.max(1) as f64 {
             return;
         }
-        let mut adm = self.composites.borrow_mut();
         let key = (class.clone(), pair.0.clone(), pair.1.clone());
-        if adm.admitted.contains(&key) {
+        if adm.admitted.contains_key(&key) {
             return;
         }
         if adm.sketch.observe(key.clone()) >= policy.admit_after {
-            adm.admitted.insert(key);
+            let now = adm.clock;
+            adm.admitted.insert(key, now);
         }
     }
 
     fn composite_admitted(&self, class: &ClassName, pair: (&AttrName, &AttrName)) -> bool {
-        self.composites
-            .borrow()
-            .admitted
-            .iter()
-            .any(|(c, a, b)| c == class && a == pair.0 && b == pair.1)
+        let mut adm = self.composites.borrow_mut();
+        adm.clock += 1;
+        let key = (class.clone(), pair.0.clone(), pair.1.clone());
+        // A hit is a *use*: refresh the pair's recency before sweeping,
+        // so the pair being asked about is never evicted out from under
+        // the plan that asked.
+        let now = adm.clock;
+        let hit = match adm.admitted.get_mut(&key) {
+            Some(last_use) => {
+                *last_use = now;
+                true
+            }
+            None => false,
+        };
+        self.evict_stale_composites(&mut adm);
+        hit
     }
 }
 
@@ -1218,6 +1316,195 @@ mod tests {
         assert!(s.composite_admitted(&item, (&isbn, &price)));
         let idx = s.composite_index(&item, &isbn, &price);
         assert_eq!(idx.postings(&Value::str("A"), &Value::real(10.0)).len(), 1);
+    }
+
+    #[test]
+    fn stale_composite_evicted_and_readmittable() {
+        use crate::plan::StatsSource;
+        let mut s = store();
+        s.set_composite_policy(CompositePolicy {
+            admit_after: 2,
+            min_gain: 2.0,
+            evict_after: 3,
+        });
+        s.create(
+            "Item",
+            vec![("isbn", "A".into()), ("shopprice", 10.0.into())],
+        )
+        .unwrap();
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        let lib = AttrName::new("libprice");
+        for _ in 0..2 {
+            s.note_composite_candidate(&item, (&isbn, &price), 1, 10);
+        }
+        assert!(s.composite_admitted(&item, (&isbn, &price)));
+        let _ = s.composite_index(&item, &isbn, &price);
+        let materialised = s.secondary_cache_stats().1;
+        assert!(materialised > 0);
+        // Probe *other* pairs past `evict_after` without touching the
+        // admitted one: its admission is revoked and the materialised
+        // index is dropped, so it stops charging the write path.
+        for _ in 0..5 {
+            s.note_composite_candidate(&item, (&isbn, &lib), 40, 50);
+        }
+        assert!(s.admitted_composites().is_empty(), "stale pair evicted");
+        assert!(
+            s.secondary_cache_stats().1 < materialised,
+            "materialised composite dropped with the admission"
+        );
+        // The sketch count was forgotten too: one qualifying sighting is
+        // not enough to come straight back...
+        s.note_composite_candidate(&item, (&isbn, &price), 1, 10);
+        assert!(!s.composite_admitted(&item, (&isbn, &price)));
+        // ...but fresh qualifying sightings re-admit as usual.
+        s.note_composite_candidate(&item, (&isbn, &price), 1, 10);
+        assert!(s.composite_admitted(&item, (&isbn, &price)));
+        assert_eq!(s.admitted_composites().len(), 1);
+    }
+
+    #[test]
+    fn hot_composite_survives_its_own_probes() {
+        use crate::plan::StatsSource;
+        let mut s = store();
+        s.set_composite_policy(CompositePolicy {
+            admit_after: 1,
+            min_gain: 0.0,
+            evict_after: 2,
+        });
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        s.note_composite_candidate(&item, (&isbn, &price), 1, 10);
+        // A pair probed every consultation refreshes its last-use stamp
+        // before the eviction sweep runs, so it is never evicted by the
+        // very queries that keep it hot.
+        for _ in 0..10 {
+            assert!(s.composite_admitted(&item, (&isbn, &price)));
+        }
+    }
+
+    #[test]
+    fn failed_ops_and_rollbacks_keep_incremental_caches() {
+        use crate::txn::{Transaction, TxnOutcome};
+        let mut s = store();
+        let a = s
+            .create(
+                "Item",
+                vec![("isbn", "A".into()), ("shopprice", 10.0.into())],
+            )
+            .unwrap();
+        let item = ClassName::new("Item");
+        let isbn = AttrName::new("isbn");
+        let price = AttrName::new("shopprice");
+        let idx = s.hash_index(&item, &isbn);
+        let st = s.attr_stats(&item, &price);
+        let built = s.secondary_cache_stats().1;
+        // A failed create bumps the version (conservative invalidation
+        // for *readers holding snapshots*) but must not throw away the
+        // incremental cache: nothing in the database changed.
+        let _ = s.create("Item", vec![("isbn", "A".into())]).unwrap_err();
+        assert_eq!(s.secondary_cache_stats().1, built, "entries kept");
+        assert!(
+            Arc::ptr_eq(&idx, &s.hash_index(&item, &isbn)),
+            "failed op reuses the built index, no rebuild"
+        );
+        assert!(Arc::ptr_eq(&st, &s.attr_stats(&item, &price)));
+        // A rolled-back transaction applies ops and then undoes them
+        // through the same mutators, so every delta is mirrored by its
+        // inverse: the cache stays correct without a rebuild.
+        let txn = Transaction::new()
+            .update(a, "shopprice", Value::real(99.0))
+            .update(a, "isbn", Value::int(7)); // type error ⇒ rollback
+        let outcome = txn.commit(&mut s);
+        assert!(matches!(outcome, TxnOutcome::RolledBack { .. }));
+        assert_eq!(s.secondary_cache_stats().1, built, "entries kept");
+        let idx = s.hash_index(&item, &isbn);
+        assert_eq!(idx.postings(&Value::str("A")), &[a], "postings correct");
+        let st = s.attr_stats(&item, &price);
+        assert_eq!(st.est_eq(&Value::real(10.0)), 1, "stats correct");
+        assert_eq!(st.est_eq(&Value::real(99.0)), 0, "no ghost of the undo");
+    }
+
+    #[test]
+    fn hist_staleness_oscillation_cannot_skew_stats() {
+        let mut s = store();
+        let item = ClassName::new("Item");
+        let price = AttrName::new("shopprice");
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            ids.push(
+                s.create(
+                    "Item",
+                    vec![
+                        ("isbn", format!("I{i}").as_str().into()),
+                        ("shopprice", (i as f64).into()),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        let _ = s.attr_stats(&item, &price); // histogram built at 16 rows
+                                             // Hover under the 2× drift threshold: churn that never crosses
+                                             // it must keep the delta-maintained stats equal to a scratch
+                                             // rebuild — the histogram keeps exact counts for its fixed
+                                             // boundaries, so no skew accumulates.
+        for round in 0..6 {
+            let id = ids.pop().unwrap();
+            s.remove(id).unwrap();
+            ids.push(
+                s.create(
+                    "Item",
+                    vec![
+                        ("isbn", format!("R{round}").as_str().into()),
+                        ("shopprice", (round as f64 + 0.5).into()),
+                    ],
+                )
+                .unwrap(),
+            );
+            let st = s.attr_stats(&item, &price);
+            assert!(!st.hist_stale(), "hovering churn stays fresh");
+            let scratch = AttrStats::rebuild_like(
+                &st,
+                s.db()
+                    .extension(&item)
+                    .iter()
+                    .map(|&id| s.db().object(id).unwrap().get(&price)),
+            );
+            for v in s
+                .db()
+                .objects()
+                .map(|o| o.get(&price).clone())
+                .collect::<Vec<_>>()
+            {
+                assert_eq!(st.est_eq(&v), scratch.est_eq(&v), "exact under churn");
+            }
+        }
+        // Now cross the threshold: the next read rebuilds in place and
+        // the fresh summary is not stale again (no oscillation).
+        for i in 0..40 {
+            s.create(
+                "Item",
+                vec![
+                    ("isbn", format!("G{i}").as_str().into()),
+                    ("shopprice", (100.0 + i as f64).into()),
+                ],
+            )
+            .unwrap();
+        }
+        let st = s.attr_stats(&item, &price);
+        assert!(!st.hist_stale(), "rebuilt at the new size");
+        assert_eq!(st.total(), s.db().extension(&item).len());
+        // And shrinking back below half triggers exactly one more
+        // rebuild, after which the summary is fresh again.
+        let all: Vec<_> = s.db().objects().map(|o| o.id).collect();
+        for id in all.iter().skip(8) {
+            s.remove(*id).unwrap();
+        }
+        let st = s.attr_stats(&item, &price);
+        assert!(!st.hist_stale());
+        assert_eq!(st.total(), s.db().extension(&item).len());
     }
 
     #[test]

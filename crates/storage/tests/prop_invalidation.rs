@@ -149,6 +149,7 @@ fn eager_composites() -> CompositePolicy {
     CompositePolicy {
         admit_after: 1,
         min_gain: 0.0,
+        evict_after: u32::MAX,
     }
 }
 

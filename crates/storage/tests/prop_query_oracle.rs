@@ -267,6 +267,7 @@ proptest! {
         store.set_composite_policy(CompositePolicy {
             admit_after,
             min_gain: 0.0, // every recurring pair is eligible
+            evict_after: u32::MAX,
         });
         let class = ["HBase", "HSub", "HEmpty"][(class_sel as usize) % 3];
         let opt = Optimizer::new(&store, class, vec![]);
@@ -299,7 +300,7 @@ proptest! {
         flips in prop::collection::vec((0u8..20, 0u8..8, any::<bool>()), 1..8),
     ) {
         let mut store = build_hot_store(&objs);
-        store.set_composite_policy(CompositePolicy { admit_after: 1, min_gain: 0.0 });
+        store.set_composite_policy(CompositePolicy { admit_after: 1, min_gain: 0.0, evict_after: u32::MAX });
         let opt = Optimizer::new(&store, "HBase", vec![]);
         let pred = Formula::cmp("ha", CmpOp::Eq, 1i64).and(Formula::cmp("hb", CmpOp::Eq, 2.0));
         // Two runs: note + admit, then probe through the composite.
@@ -381,7 +382,7 @@ proptest! {
             .map(|i| (1u8, (i + seed) % 4, i % 2 == 0, (i / 2) % 4, i % 3 == 0, 7u8))
             .collect();
         let mut store = build_hot_store(&objs);
-        store.set_composite_policy(CompositePolicy { admit_after: 1, min_gain: 0.0 });
+        store.set_composite_policy(CompositePolicy { admit_after: 1, min_gain: 0.0, evict_after: u32::MAX });
         let opt = Optimizer::new(&store, "HBase", vec![]);
         let pred = Formula::cmp("ha", CmpOp::Eq, 1i64).and(Formula::cmp("hb", CmpOp::Eq, 1.0));
         let _ = opt.execute(&store, &pred).expect("warm-up");

@@ -80,8 +80,10 @@ def main():
         default=[],
         help="assert, within the NEW recording, that every benchmark under "
         "SLOW_PREFIX is at least FACTOR× slower than its FAST_PREFIX "
-        "counterpart (matched by the suffix after the prefix). Used to "
-        "gate e.g. query_optimization/full_scan vs .../planned at 2x.",
+        "counterpart (matched by the suffix after the prefix; an exact "
+        "bench name also matches, pairing with the exact FAST name). "
+        "Used to gate e.g. query_optimization/full_scan vs .../planned "
+        "at 2x, or a single parameterized size at a steeper factor.",
     )
     ap.add_argument(
         "--expect",
@@ -141,7 +143,7 @@ def main():
         factor = float(factor)
         pairs = 0
         for name in sorted(new):
-            if not name.startswith(slow_prefix + "/"):
+            if name != slow_prefix and not name.startswith(slow_prefix + "/"):
                 continue
             suffix = name[len(slow_prefix):]
             fast = fast_prefix + suffix

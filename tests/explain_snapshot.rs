@@ -181,6 +181,70 @@ fn synthetic_store_explain_output_pinned() {
     check("explain_synthetic", &out);
 }
 
+/// An empty (and then near-empty) class extension: every rendered
+/// row-percentage and the `joint = est_a·est_b/N` selectivity math must
+/// stay finite — no `NaN%`, no division by zero — and the estimates
+/// pin to zero rows rather than garbage. Regression for the
+/// empty-extension guards in `pct`/`est_rows`/composite noting.
+#[test]
+fn empty_extension_explain_output_pinned() {
+    use db_interop::constraint::Catalog;
+    use db_interop::model::{ClassDef, Database, Schema, Type};
+    let schema = Schema::new(
+        "Ghostly",
+        vec![ClassDef::new("Ghost")
+            .attr("name", Type::Str)
+            .attr("rating", Type::Int)
+            .attr("shelf", Type::Int)],
+    )
+    .unwrap();
+    let mut store = Store::new(Database::new(schema, 1), Catalog::new());
+    store.set_composite_policy(CompositePolicy {
+        admit_after: 1,
+        min_gain: 0.0,
+        evict_after: u32::MAX,
+    });
+    let opt = Optimizer::new(&store, "Ghost", vec![]);
+    let eq = Formula::cmp("rating", CmpOp::Eq, 7i64);
+    let pair = Formula::cmp("rating", CmpOp::Eq, 7i64).and(Formula::cmp("shelf", CmpOp::Eq, 13i64));
+
+    let mut out = String::new();
+    render(
+        &mut out,
+        "equality over an empty extension",
+        &opt,
+        &store,
+        &eq,
+    );
+    render(
+        &mut out,
+        "conjunct pair over an empty extension (joint estimate floored)",
+        &opt,
+        &store,
+        &pair,
+    );
+    // Near-empty: a single object — percentages render against N = 1
+    // and the joint estimate divides by the real extension size.
+    store
+        .create(
+            "Ghost",
+            vec![
+                ("name", "only".into()),
+                ("rating", 7i64.into()),
+                ("shelf", 13i64.into()),
+            ],
+        )
+        .unwrap();
+    render(
+        &mut out,
+        "conjunct pair over a one-object extension",
+        &opt,
+        &store,
+        &pair,
+    );
+    check("explain_empty", &out);
+}
+
 /// Composite admission on the 10k synthetic store: the recurring
 /// `rating = r ∧ shelf = s` pair is planned as a two-way intersection
 /// until the admission threshold, then as one composite lookup — the
@@ -193,6 +257,7 @@ fn synthetic_store_composite_explain_output_pinned() {
     store.set_composite_policy(CompositePolicy {
         admit_after: 2,
         min_gain: 2.0,
+        evict_after: u32::MAX,
     });
     let opt = Optimizer::new(
         &store,
@@ -270,6 +335,7 @@ fn paper_fixture_composite_explain_output_pinned() {
     store.set_composite_policy(CompositePolicy {
         admit_after: 2,
         min_gain: 1.0,
+        evict_after: u32::MAX,
     });
     let constraints: Vec<Formula> = outcome
         .global

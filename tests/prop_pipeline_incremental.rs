@@ -1,0 +1,238 @@
+//! Pipeline-level incremental-vs-scratch property suite: random source
+//! mutation sequences — inserts, updates, deletes, **null flips on the
+//! propeq-covered attributes the store's composite index also covers**,
+//! failed ops, and multi-op transactions that roll back — are driven
+//! through [`Store`]s wrapping both source databases. After every step
+//! the store's touched-id log feeds
+//! [`db_interop::core::IncrementalPipeline`], and the patched view must
+//! equal a from-scratch conform → merge rebuild **byte-for-byte**
+//! (`Debug` rendering), with the patched counters re-counted against the
+//! view (non-negativity and no drift) and the inferred hierarchy still
+//! acyclic after every patch.
+//!
+//! The local store additionally keeps an admitted composite index over
+//! the `(grade, price)` pair hot, so the random null flips exercise the
+//! composite delta path while the pipeline consumes the same mutations.
+
+use db_interop::constraint::{CmpOp, Formula};
+use db_interop::core::IncrementalPipeline;
+use db_interop::merge::{merge, MergeOptions};
+use db_interop::model::{ObjectId, Value};
+use db_interop::storage::{CompositePolicy, Optimizer, Store, Transaction};
+use interop_bench::{synthetic_fixture, SyntheticConfig};
+use proptest::prelude::*;
+
+/// One random source mutation. Values are raw generator output; `apply`
+/// maps them onto the live object population.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert a fresh object (`side` false = local LProd, true = RProd).
+    Insert { side: bool, price: i64 },
+    /// Update `price` — negative values violate the enforced
+    /// `price >= 0` constraint and must fail without a trace.
+    UpdatePrice { side: bool, target: u8, price: i64 },
+    /// Null-flip `grade` or `price` (both propeq-governed, and the pair
+    /// the local store's composite index covers).
+    NullFlip { side: bool, target: u8, grade: bool },
+    /// Remove an object.
+    Delete { side: bool, target: u8 },
+    /// A two-update transaction whose second update violates the price
+    /// bound: applies, then undoes through the same mutators — the
+    /// touched log records the id, the net source state is unchanged.
+    RollbackTxn { side: bool, target: u8, good: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<bool>(), 1i64..50).prop_map(|(side, price)| Op::Insert { side, price }),
+        (any::<bool>(), 0u8..24, -10i64..50).prop_map(|(side, target, price)| Op::UpdatePrice {
+            side,
+            target,
+            price
+        }),
+        (any::<bool>(), 0u8..24, any::<bool>()).prop_map(|(side, target, grade)| Op::NullFlip {
+            side,
+            target,
+            grade
+        }),
+        (any::<bool>(), 0u8..24).prop_map(|(side, target)| Op::Delete { side, target }),
+        (any::<bool>(), 0u8..24, 1i64..50).prop_map(|(side, target, good)| Op::RollbackTxn {
+            side,
+            target,
+            good
+        }),
+    ]
+}
+
+/// Applies `op` to the picked store; every mutation outcome (success,
+/// constraint violation, rollback) is acceptable — the differential
+/// check below only cares that the pipeline tracks whatever happened.
+fn apply(op: &Op, lstore: &mut Store, rstore: &mut Store, fresh: &mut u64) {
+    let (store, class) = if matches!(
+        op,
+        Op::Insert { side: false, .. }
+            | Op::UpdatePrice { side: false, .. }
+            | Op::NullFlip { side: false, .. }
+            | Op::Delete { side: false, .. }
+            | Op::RollbackTxn { side: false, .. }
+    ) {
+        (lstore, "LProd")
+    } else {
+        (rstore, "RProd")
+    };
+    let ids: Vec<ObjectId> = store.db().objects().map(|o| o.id).collect();
+    let pick = |t: u8| -> Option<ObjectId> {
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids[t as usize % ids.len()])
+        }
+    };
+    match op {
+        Op::Insert { price, .. } => {
+            *fresh += 1;
+            let _ = store.create(
+                class,
+                vec![
+                    ("key", Value::str(format!("fresh-{fresh}"))),
+                    ("price", Value::real(*price as f64)),
+                    ("score", Value::int(4)),
+                    ("grade", Value::int(7)),
+                ],
+            );
+        }
+        Op::UpdatePrice { target, price, .. } => {
+            if let Some(id) = pick(*target) {
+                let _ = store.update(id, "price", Value::real(*price as f64));
+            }
+        }
+        Op::NullFlip { target, grade, .. } => {
+            if let Some(id) = pick(*target) {
+                let attr = if *grade { "grade" } else { "price" };
+                let _ = store.update(id, attr, Value::Null);
+            }
+        }
+        Op::Delete { target, .. } => {
+            if let Some(id) = pick(*target) {
+                let _ = store.remove(id);
+            }
+        }
+        Op::RollbackTxn { target, good, .. } => {
+            if let Some(id) = pick(*target) {
+                let txn = Transaction::new()
+                    .update(id, "price", Value::real(*good as f64))
+                    .update(id, "price", Value::real(-1.0));
+                let _ = txn.commit(store);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_pipeline_tracks_scratch_rebuild(
+        seed in 0u64..1_000,
+        ops in prop::collection::vec(arb_op(), 1..16),
+    ) {
+        let fx = synthetic_fixture(SyntheticConfig {
+            local_n: 10,
+            remote_n: 10,
+            match_ratio: 0.5,
+            constraints_per_side: 2,
+            seed,
+        });
+        let mut lstore = Store::new(fx.local_db.clone(), fx.local_catalog.clone());
+        let mut rstore = Store::new(fx.remote_db.clone(), fx.remote_catalog.clone());
+        lstore.track_touched(true);
+        rstore.track_touched(true);
+        // Admit and materialise the (grade, price) composite on the
+        // local store so the null flips below hit its delta path.
+        lstore.set_composite_policy(CompositePolicy {
+            admit_after: 1,
+            min_gain: 0.0,
+            evict_after: u32::MAX,
+        });
+        let pair = Formula::cmp("grade", CmpOp::Eq, 7i64)
+            .and(Formula::cmp("price", CmpOp::Eq, 3.0));
+        for _ in 0..2 {
+            let opt = Optimizer::new(&lstore, "LProd", vec![]);
+            let _ = opt.execute(&lstore, &pair).expect("warm-up plans");
+        }
+
+        let opts = MergeOptions::default();
+        let mut pipe = IncrementalPipeline::new(
+            lstore.db(),
+            &fx.local_catalog,
+            rstore.db(),
+            &fx.remote_catalog,
+            &fx.spec,
+            opts.clone(),
+        )
+        .expect("pipeline seeds");
+
+        let mut fresh = 0u64;
+        for op in &ops {
+            let local = matches!(
+                op,
+                Op::Insert { side: false, .. }
+                    | Op::UpdatePrice { side: false, .. }
+                    | Op::NullFlip { side: false, .. }
+                    | Op::Delete { side: false, .. }
+                    | Op::RollbackTxn { side: false, .. }
+            );
+            apply(op, &mut lstore, &mut rstore, &mut fresh);
+            let (store, touched) = if local {
+                let t = lstore.take_touched();
+                (&lstore, t)
+            } else {
+                let t = rstore.take_touched();
+                (&rstore, t)
+            };
+            if local {
+                pipe.apply_local(store.db(), &touched).expect("patch applies");
+            } else {
+                pipe.apply_remote(store.db(), &touched).expect("patch applies");
+            }
+
+            // Differential oracle: the patched view equals a full
+            // conform → merge rebuild on the mutated sources.
+            let conf = db_interop::conform::conform(
+                lstore.db(),
+                &fx.local_catalog,
+                rstore.db(),
+                &fx.remote_catalog,
+                &fx.spec,
+            )
+            .expect("scratch conforms");
+            let want = merge(&conf, &opts).expect("scratch merges");
+            prop_assert_eq!(
+                format!("{:?}", pipe.view()),
+                format!("{want:?}"),
+                "incremental view diverged from scratch after {:?}",
+                op
+            );
+            // Counter and DAG invariants hold after every patch.
+            if let Err(e) = pipe.check_invariants() {
+                return Err(TestCaseError::fail(format!("invariant broken after {op:?}: {e}")));
+            }
+            // The maintained composite stays in lockstep with a scan.
+            let opt = Optimizer::new(&lstore, "LProd", vec![]);
+            let (mut hits, _) = opt.execute(&lstore, &pair).expect("probe plans");
+            hits.sort_unstable();
+            let mut oracle: Vec<ObjectId> = lstore
+                .db()
+                .objects()
+                .filter(|o| {
+                    o.class.as_str() == "LProd"
+                        && o.attrs.get(&"grade".into()) == Some(&Value::int(7))
+                        && o.attrs.get(&"price".into()) == Some(&Value::real(3.0))
+                })
+                .map(|o| o.id)
+                .collect();
+            oracle.sort_unstable();
+            prop_assert_eq!(hits, oracle, "composite diverged after {:?}", op);
+        }
+    }
+}

@@ -80,6 +80,7 @@ fn twenty_thousand_object_mixed_workload_with_composites() {
     store.set_composite_policy(CompositePolicy {
         admit_after: 2,
         min_gain: 2.0,
+        evict_after: u32::MAX,
     });
     let opt = Optimizer::new(
         &store,
