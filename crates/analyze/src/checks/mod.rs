@@ -1,0 +1,89 @@
+//! The check registry: each submodule contributes one family of
+//! diagnostics to the stream. Shared atom-walking and type-compatibility
+//! helpers live here.
+
+pub mod conformed;
+pub mod constraints;
+pub mod spec_rules;
+
+use interop_constraint::solve::TypeEnv;
+use interop_constraint::{Expr, Formula, Path};
+use interop_model::{Type, Value};
+
+/// Collects every comparison/membership/substring atom of `f`,
+/// descending through the boolean connectives.
+pub(crate) fn atoms<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Cmp(..) | Formula::In(..) | Formula::Contains(..) => out.push(f),
+        Formula::Not(g) => atoms(g, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                atoms(g, out);
+            }
+        }
+        Formula::Implies(a, b) => {
+            atoms(a, out);
+            atoms(b, out);
+        }
+    }
+}
+
+/// Is a constant of this value shape a plausible member of the declared
+/// type? Deliberately permissive where the constraint fragment is opaque
+/// (sets, references): the analyzer only reports mismatches evaluation
+/// could never reconcile.
+pub(crate) fn const_compat(ty: &Type, v: &Value) -> bool {
+    matches!(
+        (ty, v),
+        (_, Value::Null)
+            | (Type::Bool, Value::Bool(_))
+            | (
+                Type::Int | Type::Real | Type::Range(_, _),
+                Value::Int(_) | Value::Real(_)
+            )
+            | (Type::Str, Value::Str(_))
+            | (Type::SetOf(_), _)
+            | (Type::Ref(_), _)
+    )
+}
+
+fn check_const(p: &Path, v: &Value, env: &TypeEnv, out: &mut Vec<String>) {
+    let Some(ty) = env.get(p) else { return };
+    if !const_compat(ty, v) {
+        out.push(format!(
+            "'{p}' has domain {ty} but is compared against {} constant {v}",
+            v.kind()
+        ));
+    }
+}
+
+/// All atom-level type mismatches of `f` against the declared domains in
+/// `env` — the A007 core, shared by the constraint and rule checks.
+pub(crate) fn type_mismatches(f: &Formula, env: &TypeEnv) -> Vec<String> {
+    let mut ats = Vec::new();
+    atoms(f, &mut ats);
+    let mut found = Vec::new();
+    for a in ats {
+        match a {
+            Formula::Cmp(Expr::Attr(p), _, Expr::Const(v))
+            | Formula::Cmp(Expr::Const(v), _, Expr::Attr(p)) => check_const(p, v, env, &mut found),
+            Formula::In(Expr::Attr(p), set) => {
+                for v in set {
+                    check_const(p, v, env, &mut found);
+                }
+            }
+            Formula::Contains(Expr::Attr(p), _) => {
+                if let Some(ty) = env.get(p) {
+                    if !matches!(ty, Type::Str) {
+                        found.push(format!(
+                            "contains() applies to '{p}' whose domain {ty} is not string"
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    found
+}

@@ -1,0 +1,388 @@
+//! Spec-level checks: dead rules (A004), shadowed rules (A005),
+//! divergent attribute actions (A006), type mismatches inside rule
+//! premises (A007), and the planner lints over premises (A008/A009).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use interop_constraint::normalize::split_conjuncts;
+use interop_constraint::solve::{
+    conjunction_unsat, implied_by_restricted, is_satisfiable, selectivity_hint, TypeEnv,
+};
+use interop_constraint::{Catalog, CmpOp, Expr, Formula};
+use interop_model::{AttrName, ClassName, Schema};
+use interop_spec::{ComparisonRule, Conversion, PropEq, Relationship, Side};
+use interop_storage::store::CompositePolicy;
+use interop_storage::{composite_gain_hint, indexable_atoms, IndexAtom};
+
+use crate::diag::{Code, Diagnostic, Location};
+use crate::AnalysisInput;
+
+pub(crate) fn check(
+    input: &AnalysisInput<'_>,
+    diags: &mut Vec<Diagnostic>,
+    broken_constraints: &BTreeSet<String>,
+) {
+    let mut type_broken_rules: BTreeSet<usize> = BTreeSet::new();
+    premise_checks(input, diags, broken_constraints, &mut type_broken_rules);
+    shadowed_rules(input, diags, &type_broken_rules);
+    divergent_actions(input, diags);
+}
+
+/// The rule's location, with the parser-recorded spec line when present.
+fn rule_loc(input: &AnalysisInput<'_>, r: &ComparisonRule) -> Location {
+    Location::at(
+        format!("rule {}", r.id),
+        input.spec.locations.rules.get(&r.id).copied(),
+    )
+}
+
+fn side_of<'a>(input: &AnalysisInput<'a>, side: Side) -> (&'a Schema, &'a Catalog) {
+    match side {
+        Side::Local => (input.local, input.local_catalog),
+        Side::Remote => (input.remote, input.remote_catalog),
+    }
+}
+
+/// A rule's premises with the class each one ranges over: the subject
+/// condition on the subject class, and — for equality/descriptivity —
+/// the counterpart condition on the counterpart class.
+fn premises<'r>(
+    input: &AnalysisInput<'r>,
+    r: &'r ComparisonRule,
+) -> Vec<(&'r Formula, &'r ClassName, Side)> {
+    let mut out = vec![(&r.intra_subject, &r.subject_class, r.subject_side)];
+    if let Some(c) = &r.counterpart_class {
+        out.push((&r.intra_counterpart, c, r.subject_side.other()));
+    }
+    let _ = input;
+    out
+}
+
+/// A004 + A007 + A008 + A009, one pass per rule premise.
+fn premise_checks(
+    input: &AnalysisInput<'_>,
+    diags: &mut Vec<Diagnostic>,
+    broken_constraints: &BTreeSet<String>,
+    type_broken_rules: &mut BTreeSet<usize>,
+) {
+    for (ridx, r) in input.spec.rules.iter().enumerate() {
+        let loc = rule_loc(input, r);
+        for (premise, class, side) in premises(input, r) {
+            if *premise == Formula::True {
+                continue;
+            }
+            let (schema, catalog) = side_of(input, side);
+            if schema.class(class).is_none() {
+                continue; // unknown class: conformation reports it (A010)
+            }
+            let env = TypeEnv::for_class(schema, class);
+
+            // A007 on the premise. A type-broken premise is excluded
+            // from the satisfiability checks below (same suppression as
+            // for constraints: one root cause, one code).
+            let mismatches = super::type_mismatches(premise, &env);
+            if !mismatches.is_empty() {
+                for m in mismatches {
+                    diags.push(Diagnostic::new(Code::A007, loc.clone(), m));
+                }
+                type_broken_rules.insert(ridx);
+                continue;
+            }
+
+            // A004: dead premise — against the domains alone, or against
+            // the constraints enforced on the class.
+            if !is_satisfiable(premise, &env) {
+                diags.push(Diagnostic::new(
+                    Code::A004,
+                    loc.clone(),
+                    format!(
+                        "premise '{premise}' on class {class} can never hold \
+                         over the declared domains; the rule is dead"
+                    ),
+                ));
+                continue;
+            }
+            let enforced: Vec<&Formula> = catalog
+                .object_effective(schema, class)
+                .into_iter()
+                .filter(|oc| !broken_constraints.contains(oc.id.as_str()))
+                .map(|oc| &oc.formula)
+                .collect();
+            if !enforced.is_empty() {
+                let mut all = vec![premise];
+                all.extend(enforced.iter().copied());
+                if conjunction_unsat(&all, &env) {
+                    diags.push(Diagnostic::new(
+                        Code::A004,
+                        loc.clone(),
+                        format!(
+                            "premise '{premise}' contradicts the constraints enforced \
+                             on class {class}; the rule can never fire"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+
+            planner_lints(premise, &env, &loc, diags);
+        }
+    }
+}
+
+/// A008/A009 over one premise.
+fn planner_lints(premise: &Formula, env: &TypeEnv, loc: &Location, diags: &mut Vec<Diagnostic>) {
+    let conjuncts = split_conjuncts(premise);
+    // A008: conjuncts that *look* index-shaped (a path against a
+    // constant) but can never probe an index. Inherently non-indexable
+    // atoms — contains(), path-vs-path — are not flagged.
+    for c in &conjuncts {
+        if !indexable_atoms(c).is_empty() {
+            continue;
+        }
+        let reason = match c {
+            Formula::Cmp(Expr::Attr(p), op, Expr::Const(v))
+            | Formula::Cmp(Expr::Const(v), op, Expr::Attr(p)) => {
+                if p.len() > 1 {
+                    Some("a multi-segment path navigates references and has no index")
+                } else if *op == CmpOp::Ne {
+                    Some("'<>' cannot be answered from posting lists")
+                } else if *op != CmpOp::Eq && v.as_num().is_none() {
+                    Some(
+                        "an ordering comparison against a non-numeric constant \
+                         has no sorted-index entry",
+                    )
+                } else {
+                    None
+                }
+            }
+            Formula::In(Expr::Attr(p), _) if p.len() > 1 => {
+                Some("a multi-segment path navigates references and has no index")
+            }
+            _ => None,
+        };
+        if let Some(reason) = reason {
+            diags.push(Diagnostic::new(
+                Code::A008,
+                loc.clone(),
+                format!("conjunct '{c}' can never probe an index: {reason}"),
+            ));
+        }
+    }
+    // A009: equality pairs whose static gain estimate clears the default
+    // composite admission policy.
+    let policy = CompositePolicy::default();
+    let eq_atoms: Vec<(&Formula, AttrName, f64)> = conjuncts
+        .iter()
+        .filter_map(|c| {
+            let mut found = indexable_atoms(c);
+            match (found.len(), found.pop()) {
+                (1, Some(IndexAtom::Eq { attr, .. })) => {
+                    selectivity_hint(c, env).map(|sel| (c, attr, sel))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    let mut seen_pairs: BTreeSet<(AttrName, AttrName)> = BTreeSet::new();
+    for (i, (_, a, sel_a)) in eq_atoms.iter().enumerate() {
+        for (_, b, sel_b) in eq_atoms.iter().skip(i + 1) {
+            if a == b {
+                continue;
+            }
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            if !seen_pairs.insert((x.clone(), y.clone())) {
+                continue;
+            }
+            let gain = composite_gain_hint(*sel_a, *sel_b);
+            if gain >= policy.min_gain {
+                diags.push(Diagnostic::new(
+                    Code::A009,
+                    loc.clone(),
+                    format!(
+                        "equality pair ({x}, {y}) qualifies for a composite index \
+                         (estimated gain {gain:.1}x >= policy {:.1}x)",
+                        policy.min_gain
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The signature under which two rules compete: same relationship
+/// target, same subject, same interobject conditions.
+fn signature(r: &ComparisonRule) -> Option<String> {
+    let target = match &r.relationship {
+        Relationship::Equality => "=".to_owned(),
+        Relationship::StrictSimilarity { class } => format!("sim:{class}"),
+        Relationship::ApproxSimilarity {
+            class,
+            virtual_class,
+        } => format!("approx:{class}:{virtual_class}"),
+        // Descriptivity relates a value set, not object membership;
+        // overlapping descriptivity rules are legitimate.
+        Relationship::Descriptivity { .. } => return None,
+    };
+    let mut inter: Vec<String> = r.inter.iter().map(|c| c.to_string()).collect();
+    inter.sort();
+    Some(format!(
+        "{target}|{:?}|{}|{}|{}",
+        r.subject_side,
+        r.subject_class,
+        r.counterpart_class
+            .as_ref()
+            .map(|c| c.as_str())
+            .unwrap_or(""),
+        inter.join("&")
+    ))
+}
+
+/// A005: a later rule whose premises are implied by an earlier rule with
+/// the same signature adds nothing — every object it matches already
+/// fired the earlier rule.
+fn shadowed_rules(
+    input: &AnalysisInput<'_>,
+    diags: &mut Vec<Diagnostic>,
+    type_broken_rules: &BTreeSet<usize>,
+) {
+    let rules = &input.spec.rules;
+    for (j, rj) in rules.iter().enumerate() {
+        if type_broken_rules.contains(&j) {
+            continue;
+        }
+        let Some(sig_j) = signature(rj) else { continue };
+        for (i, ri) in rules.iter().enumerate().take(j) {
+            if type_broken_rules.contains(&i) || signature(ri).as_ref() != Some(&sig_j) {
+                continue;
+            }
+            let (schema, _) = side_of(input, rj.subject_side);
+            if schema.class(&rj.subject_class).is_none() {
+                continue;
+            }
+            let env = TypeEnv::for_class(schema, &rj.subject_class);
+            let subject_shadowed = ri.intra_subject == Formula::True
+                || implied_by_restricted(
+                    std::slice::from_ref(&rj.intra_subject),
+                    &ri.intra_subject,
+                    &env,
+                );
+            let counterpart_shadowed = ri.intra_counterpart == Formula::True || {
+                match &rj.counterpart_class {
+                    Some(c) => {
+                        let (cschema, _) = side_of(input, rj.subject_side.other());
+                        cschema.class(c).is_some()
+                            && implied_by_restricted(
+                                std::slice::from_ref(&rj.intra_counterpart),
+                                &ri.intra_counterpart,
+                                &TypeEnv::for_class(cschema, c),
+                            )
+                    }
+                    None => false,
+                }
+            };
+            if subject_shadowed && counterpart_shadowed {
+                diags.push(
+                    Diagnostic::new(
+                        Code::A005,
+                        rule_loc(input, rj),
+                        format!(
+                            "every object matched by this rule already matches the \
+                             earlier rule '{}'; the rule is redundant",
+                            ri.id
+                        ),
+                    )
+                    .with_related(rule_loc(input, ri)),
+                );
+                break; // one shadowing witness per rule is enough
+            }
+        }
+    }
+}
+
+fn conv_str(c: &Conversion) -> String {
+    match c {
+        Conversion::Id => "id".to_owned(),
+        Conversion::Multiply(k) => format!("multiply({k})"),
+        Conversion::Linear { a, b } => format!("linear({a}, {b})"),
+        Conversion::Table(_) => "table(..)".to_owned(),
+    }
+}
+
+fn propeq_loc(input: &AnalysisInput<'_>, idx: usize, p: &PropEq) -> Location {
+    Location::at(
+        format!(
+            "propeq {}.{} ~ {}.{}",
+            p.local_class, p.local_path, p.remote_class, p.remote_path
+        ),
+        input.spec.locations.propeqs.get(&idx).copied(),
+    )
+}
+
+/// A006: two propeqs resolving to the same *declared* attribute with
+/// divergent actions (conformed name or conversion). `build_plans` keys
+/// its attribute map by the declaring class and inserts last-wins, so
+/// one of the actions would be silently dropped — the class of defect
+/// the differential suites previously only caught at runtime.
+fn divergent_actions(input: &AnalysisInput<'_>, diags: &mut Vec<Diagnostic>) {
+    // (side-tag, declaring class, attr) -> [(propeq idx, conformed name, conversion)]
+    type ActionGroups<'p> = BTreeMap<(u8, ClassName, String), Vec<(usize, String, &'p Conversion)>>;
+    let mut groups: ActionGroups<'_> = BTreeMap::new();
+    for (idx, p) in input.spec.propeqs.iter().enumerate() {
+        let conformed = p.conformed_name.to_string();
+        for (tag, schema, class, path, conv) in [
+            (0u8, input.local, &p.local_class, &p.local_path, &p.cf_local),
+            (
+                1u8,
+                input.remote,
+                &p.remote_class,
+                &p.remote_path,
+                &p.cf_remote,
+            ),
+        ] {
+            let key = if path.len() == 1 {
+                match path.head().and_then(|a| schema.resolve_attr(class, a)) {
+                    Some((declaring, def)) => (tag, declaring.clone(), def.name.to_string()),
+                    None => continue, // unknown attr: conformation reports it
+                }
+            } else {
+                (tag, class.clone(), path.to_string())
+            };
+            groups
+                .entry(key)
+                .or_default()
+                .push((idx, conformed.clone(), conv));
+        }
+    }
+    for ((_, class, attr), members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let mut actions: Vec<(String, String)> = members
+            .iter()
+            .map(|(_, name, conv)| (name.clone(), conv_str(conv)))
+            .collect();
+        actions.sort();
+        actions.dedup();
+        if actions.len() < 2 {
+            continue; // agreeing duplicates are harmless
+        }
+        let described: Vec<String> = actions
+            .iter()
+            .map(|(n, c)| format!("'{n}' via {c}"))
+            .collect();
+        let first = &input.spec.propeqs[members[0].0];
+        let mut d = Diagnostic::new(
+            Code::A006,
+            propeq_loc(input, members[0].0, first),
+            format!(
+                "attribute {class}.{attr} is given divergent actions ({}); \
+                 the conform plan silently keeps only the last one",
+                described.join(" vs ")
+            ),
+        );
+        for (idx, _, _) in members.iter().skip(1) {
+            d = d.with_related(propeq_loc(input, *idx, &input.spec.propeqs[*idx]));
+        }
+        diags.push(d);
+    }
+}

@@ -1,0 +1,191 @@
+//! The seeded defect corpus: one self-contained fixture per diagnostic
+//! code, each a (local `.tm`, remote `.tm`, `.tmspec`) source triple
+//! whose only planted defect is the one its code describes.
+//!
+//! The corpus is the single source of truth for three consumers: the
+//! snapshot suite (pinned rendered diagnostics per fixture), the
+//! property suite's non-vacuity half (each defect is caught by exactly
+//! its code), and the CLI's `--corpus` mode (CI asserts the corpus run
+//! is noisy while the paper fixture stays clean).
+
+use interop_lang::{parse_database, parse_spec};
+
+use crate::diag::{Code, Diagnostic};
+use crate::{analyze, AnalysisInput};
+
+/// One corpus fixture: sources plus the code its planted defect must
+/// trigger.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// The diagnostic code this fixture seeds.
+    pub code: Code,
+    /// Stable fixture name (snapshot file stem).
+    pub name: &'static str,
+    /// Local database source (`.tm`).
+    pub local_tm: String,
+    /// Remote database source (`.tm`).
+    pub remote_tm: String,
+    /// Integration spec source (`.tmspec`).
+    pub spec: String,
+}
+
+/// Base local database; `extra` is spliced into the `Person` class body
+/// after the attributes (e.g. an `object constraints` block).
+fn local_tm(extra: &str) -> String {
+    format!(
+        "database LocalDB\n\n\
+         class Person\n  attributes\n    name : string\n    age : 0..120\n    score : 1..5\n\
+         {extra}end Person\n\n\
+         class Student isa Person\n  attributes\n    unit : string\nend Student\n"
+    )
+}
+
+/// Base remote database; `extra` splices into the `Member` class body.
+fn remote_tm(extra: &str) -> String {
+    format!(
+        "database RemoteDB\n\n\
+         class Member\n  attributes\n    name : string\n    age : 0..120\n    \
+         grade : 1..10\n    level : 1..4\n    active : boolean\n\
+         {extra}end Member\n"
+    )
+}
+
+/// Base spec; `extra` lines follow the always-present equality rule.
+fn spec_src(extra: &str) -> String {
+    format!(
+        "integration LocalDB with RemoteDB\n\n\
+         rule r1: Eq(p : Person, m : Member) <- p.name = m.name\n\
+         {extra}"
+    )
+}
+
+/// The full defect corpus, one fixture per registered code, in code
+/// order.
+pub fn defect_corpus() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            code: Code::A001,
+            name: "a001_unsat_constraint",
+            local_tm: local_tm("  object constraints\n    bad: age >= 18 and age <= 10\n"),
+            remote_tm: remote_tm(""),
+            spec: spec_src(""),
+        },
+        Fixture {
+            code: Code::A002,
+            name: "a002_contradictory_pair",
+            local_tm: local_tm("  object constraints\n    oc1: age >= 18\n    oc2: age <= 10\n"),
+            remote_tm: remote_tm(""),
+            spec: spec_src(""),
+        },
+        Fixture {
+            code: Code::A003,
+            name: "a003_cross_db_contradiction",
+            local_tm: local_tm("  object constraints\n    oc1: score >= 4\n"),
+            remote_tm: remote_tm("  object constraints\n    oc1: grade <= 5\n"),
+            spec: spec_src("propeq(Person.score, Member.grade, multiply(2), id, avg)\n"),
+        },
+        Fixture {
+            code: Code::A004,
+            name: "a004_dead_rule",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src("rule r2: Sim(m : Member, Student) <- m.age > 200\n"),
+        },
+        Fixture {
+            code: Code::A005,
+            name: "a005_shadowed_rule",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src(
+                "rule r2: Sim(m : Member, Student) <- m.grade >= 5\n\
+                 rule r3: Sim(m : Member, Student) <- m.grade >= 7\n",
+            ),
+        },
+        Fixture {
+            code: Code::A006,
+            name: "a006_divergent_actions",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src(
+                "propeq(Person.score, Member.grade, id, id, avg)\n\
+                 propeq(Student.score, Member.level, id, id, avg)\n",
+            ),
+        },
+        Fixture {
+            code: Code::A007,
+            name: "a007_type_mismatch",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src("rule r2: Sim(m : Member, Student) <- m.name = 3\n"),
+        },
+        Fixture {
+            code: Code::A008,
+            name: "a008_unindexable_conjunct",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src("rule r2: Sim(m : Member, Student) <- m.name <> 'zzz'\n"),
+        },
+        Fixture {
+            code: Code::A009,
+            name: "a009_composite_pair",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src("rule r2: Sim(m : Member, Student) <- m.grade = 4 and m.level = 2\n"),
+        },
+        Fixture {
+            code: Code::A010,
+            name: "a010_unconformable_spec",
+            local_tm: local_tm(""),
+            remote_tm: remote_tm(""),
+            spec: spec_src("propeq(Person.ghost, Member.grade, id, id, any)\n"),
+        },
+    ]
+}
+
+/// Parses a fixture's three sources and runs the analyzer over them.
+/// Errors (which a well-formed corpus never produces) are reported as
+/// text so callers need no panic path.
+pub fn analyze_fixture(f: &Fixture) -> Result<Vec<Diagnostic>, String> {
+    let local = parse_database(&f.local_tm).map_err(|e| format!("{}: local: {e}", f.name))?;
+    let remote = parse_database(&f.remote_tm).map_err(|e| format!("{}: remote: {e}", f.name))?;
+    let spec = parse_spec(&f.spec, &local.schema, &remote.schema)
+        .map_err(|e| format!("{}: spec: {e}", f.name))?;
+    Ok(analyze(&AnalysisInput {
+        local: &local.schema,
+        local_catalog: &local.catalog,
+        remote: &remote.schema,
+        remote_catalog: &remote.catalog,
+        spec: &spec,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_code_in_order() {
+        let corpus = defect_corpus();
+        let codes: Vec<Code> = corpus.iter().map(|f| f.code).collect();
+        assert_eq!(codes, Code::ALL.to_vec());
+        let mut names: Vec<&str> = corpus.iter().map(|f| f.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "fixture names must be unique");
+    }
+
+    #[test]
+    fn every_fixture_triggers_exactly_its_code() {
+        for f in defect_corpus() {
+            let diags = analyze_fixture(&f).unwrap();
+            let fired: std::collections::BTreeSet<Code> = diags.iter().map(|d| d.code).collect();
+            assert_eq!(
+                fired,
+                std::iter::once(f.code).collect(),
+                "fixture {} expected only {:?}, got:\n{}",
+                f.name,
+                f.code,
+                crate::render(&diags)
+            );
+        }
+    }
+}

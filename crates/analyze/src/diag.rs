@@ -1,0 +1,289 @@
+//! The diagnostics model: stable codes, severities, locations, and a
+//! deterministic rendering used by the snapshot suites and the CLI.
+
+use std::fmt;
+
+/// A stable diagnostic code. Codes are append-only: a released code never
+/// changes meaning, so snapshots and allowlists stay valid across
+/// versions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// A single constraint is unsatisfiable over its class's declared
+    /// attribute domains.
+    A001,
+    /// Two constraints effective on one class can never hold together.
+    A002,
+    /// A local and a remote constraint contradict each other once both
+    /// are rewritten into the conformed namespace.
+    A003,
+    /// A rule premise can never hold (against the declared domains, or
+    /// against the constraints enforced on the subject class).
+    A004,
+    /// A rule is shadowed by an earlier rule with the same target: every
+    /// object the later rule matches already fires the earlier one.
+    A005,
+    /// Two property equivalences resolve to the same declared attribute
+    /// with divergent actions; the conform plan silently keeps only one.
+    A006,
+    /// A comparison atom's constant is incompatible with the attribute's
+    /// declared domain.
+    A007,
+    /// A comparison conjunct looks index-shaped but can never probe an
+    /// index (planner lint).
+    A008,
+    /// An equality-atom pair qualifies for a composite index under the
+    /// default admission policy (planner hint).
+    A009,
+    /// The spec cannot be conformed at all: plan construction fails
+    /// before any data is touched.
+    A010,
+}
+
+/// Diagnostic severity. `Error` diagnostics make strict pre-flight
+/// refuse the spec; warnings and hints never block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The spec is defective; integration will fail or silently corrupt.
+    Error,
+    /// The spec is suspicious but runnable.
+    Warning,
+    /// An optimisation opportunity, not a defect.
+    Hint,
+}
+
+impl Code {
+    /// Every registered code, ascending.
+    pub const ALL: [Code; 10] = [
+        Code::A001,
+        Code::A002,
+        Code::A003,
+        Code::A004,
+        Code::A005,
+        Code::A006,
+        Code::A007,
+        Code::A008,
+        Code::A009,
+        Code::A010,
+    ];
+
+    /// The code text (`"A001"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+            Code::A007 => "A007",
+            Code::A008 => "A008",
+            Code::A009 => "A009",
+            Code::A010 => "A010",
+        }
+    }
+
+    /// The severity every diagnostic with this code carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::A001 | Code::A002 | Code::A003 | Code::A006 | Code::A007 | Code::A010 => {
+                Severity::Error
+            }
+            Code::A004 | Code::A005 => Severity::Warning,
+            Code::A008 | Code::A009 => Severity::Hint,
+        }
+    }
+
+    /// A one-line summary of what the code means (the CLI's `--codes`
+    /// reference table).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::A001 => "constraint is unsatisfiable over its declared domains",
+            Code::A002 => "two constraints effective on one class contradict each other",
+            Code::A003 => "local and remote constraints contradict after conformation",
+            Code::A004 => "rule premise can never hold; the rule is dead",
+            Code::A005 => "rule is shadowed by an earlier rule with the same target",
+            Code::A006 => "property equivalences assign divergent actions to one attribute",
+            Code::A007 => "comparison constant is incompatible with the declared domain",
+            Code::A008 => "comparison conjunct can never be answered from an index",
+            Code::A009 => "equality pair qualifies for a composite index",
+            Code::A010 => "spec cannot be conformed",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Hint => "hint",
+        })
+    }
+}
+
+/// Where a diagnostic points: a named spec item (constraint id, rule id,
+/// propeq, class) plus the 1-based spec source line when the parser
+/// recorded one ([`interop_spec::SpecLocations`]).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location {
+    /// The item the diagnostic anchors to, e.g. `CSLibrary.Publication.oc1`
+    /// or `rule r3`.
+    pub item: String,
+    /// Spec source line, when known.
+    pub line: Option<u32>,
+}
+
+impl Location {
+    /// A location with no source line (items from `.tm` catalogs).
+    pub fn item(item: impl Into<String>) -> Self {
+        Location {
+            item: item.into(),
+            line: None,
+        }
+    }
+
+    /// A location with an optional spec source line.
+    pub fn at(item: impl Into<String>, line: Option<u32>) -> Self {
+        Location {
+            item: item.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "{} (spec line {n})", self.item),
+            None => f.write_str(&self.item),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The check that fired.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The primary location.
+    pub location: Location,
+    /// Human-readable description of this instance.
+    pub message: String,
+    /// Other locations involved (the second constraint of a pair, the
+    /// shadowing rule, ...).
+    pub related: Vec<Location>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; the severity comes from the code.
+    pub fn new(code: Code, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            location,
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
+
+    /// Builder: attaches a related location.
+    pub fn with_related(mut self, loc: Location) -> Self {
+        self.related.push(loc);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        for r in &self.related {
+            write!(f, "\n  related: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sorts diagnostics into the canonical stream order (code, then
+/// location, then message) and drops exact duplicates. Every analyzer
+/// entry point funnels its output through here, so two runs over the
+/// same input render byte-identically.
+pub fn canonicalize(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| {
+        (&a.code, &a.location, &a.message, &a.related).cmp(&(
+            &b.code,
+            &b.location,
+            &b.message,
+            &b.related,
+        ))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Renders a diagnostic stream one finding per paragraph — the format
+/// pinned by the snapshot suite and printed by `examples/analyze.rs`.
+/// An empty stream renders as the explicit all-clear marker so snapshots
+/// of clean fixtures are non-empty files.
+pub fn render(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "no diagnostics\n".to_owned();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_sorted_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for w in Code::ALL.windows(2) {
+            assert!(w[0] < w[1], "ALL must be ascending");
+        }
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code text");
+            assert!(!c.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedupes() {
+        let a = Diagnostic::new(Code::A002, Location::item("x"), "m");
+        let b = Diagnostic::new(Code::A001, Location::item("y"), "m");
+        let out = canonicalize(vec![a.clone(), b.clone(), a.clone()]);
+        assert_eq!(out, vec![b, a]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new(
+            Code::A001,
+            Location::at("rule r1", Some(3)),
+            "premise is unsatisfiable",
+        )
+        .with_related(Location::item("L.C.oc1"));
+        assert_eq!(
+            d.to_string(),
+            "error[A001] at rule r1 (spec line 3): premise is unsatisfiable\n  related: L.C.oc1"
+        );
+        assert_eq!(render(&[]), "no diagnostics\n");
+    }
+}

@@ -168,6 +168,20 @@ impl<'a> PlanIndex<'a> {
         }
     }
 
+    /// All visible attributes of `class`, fully resolved, in
+    /// attribute-name order. Deterministic introspection surface for the
+    /// static analyzer (`interop_analyze`), which inspects every resolved
+    /// action without re-walking the hierarchy.
+    pub fn class_attrs(&self, class: &ClassName) -> Vec<(&AttrName, &AttrInfo<'a>)> {
+        let mut v: Vec<_> = self
+            .attrs
+            .get(class)
+            .map(|m| m.iter().collect())
+            .unwrap_or_default();
+        v.sort_unstable_by_key(|(a, _)| *a);
+        v
+    }
+
     /// O(1) subclass test: is `sub` equal to or a descendant of `sup`?
     pub fn is_subclass(&self, sub: &ClassName, sup: &ClassName) -> bool {
         self.ancestry

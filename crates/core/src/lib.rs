@@ -66,6 +66,8 @@ pub use conflict::{Conflict, ConflictKind};
 pub use derive::{DerivationOrigin, DerivedConstraint, GlobalConstraints, Scope, SkipReason};
 pub use implied::ImpliedConstraint;
 pub use incremental::IncrementalPipeline;
-pub use pipeline::{IntegrationOutcome, Integrator, IntegratorOptions};
+pub use pipeline::{
+    IntegrateError, IntegrationOutcome, Integrator, IntegratorOptions, PreflightMode,
+};
 pub use repair::Repair;
 pub use subjectivity::{classify_constraints, property_subjectivity, SpecIssue, SubjectivityMap};

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use interop_analyze::{analyze, has_errors, render, AnalysisInput, Diagnostic};
 use interop_conform::{conform, ConformError, Conformed};
 use interop_constraint::{Catalog, ConstraintId, Status};
 use interop_merge::{merge, IntegratedView, MergeError, MergeOptions};
@@ -26,6 +27,11 @@ pub enum IntegrateError {
     Conform(ConformError),
     /// Merging failed.
     Merge(MergeError),
+    /// Strict pre-flight refused the specification: the static analyzer
+    /// found at least one error-severity diagnostic. Carries the full
+    /// canonical stream so callers can render every finding, not just
+    /// the first.
+    Preflight(Vec<Diagnostic>),
 }
 
 impl fmt::Display for IntegrateError {
@@ -33,6 +39,17 @@ impl fmt::Display for IntegrateError {
         match self {
             IntegrateError::Conform(e) => write!(f, "conformation failed: {e}"),
             IntegrateError::Merge(e) => write!(f, "merging failed: {e}"),
+            IntegrateError::Preflight(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == interop_analyze::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "pre-flight refused the specification ({errors} error(s)):\n{}",
+                    render(diags).trim_end()
+                )
+            }
         }
     }
 }
@@ -95,6 +112,17 @@ impl IntegrationOutcome {
     }
 }
 
+/// How the pre-flight gate treats analyzer findings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PreflightMode {
+    /// Error-severity diagnostics refuse the specification before any
+    /// data is read.
+    #[default]
+    Strict,
+    /// Diagnostics are reported but never block.
+    Warn,
+}
+
 /// The pipeline driver.
 pub struct Integrator {
     local_db: Database,
@@ -138,6 +166,40 @@ impl Integrator {
     /// Replaces the specification (used by the repair loop).
     pub fn set_spec(&mut self, spec: Spec) {
         self.spec = spec;
+    }
+
+    /// Runs the static analyzer over the schemas, catalogs and spec —
+    /// no object data is touched — and returns the canonical diagnostic
+    /// stream. Always safe to call; never fails.
+    pub fn preflight(&self) -> Vec<Diagnostic> {
+        analyze(&AnalysisInput {
+            local: &self.local_db.schema,
+            local_catalog: &self.local_catalog,
+            remote: &self.remote_db.schema,
+            remote_catalog: &self.remote_catalog,
+            spec: &self.spec,
+        })
+    }
+
+    /// Pre-flight gate: analyzes the spec and, in [`PreflightMode::Strict`],
+    /// refuses to proceed when any error-severity diagnostic is present —
+    /// *before* the pipeline reads a single object. In
+    /// [`PreflightMode::Warn`] the diagnostics are returned for display
+    /// but never block.
+    pub fn preflight_gate(&self, mode: PreflightMode) -> Result<Vec<Diagnostic>, IntegrateError> {
+        let diags = self.preflight();
+        if mode == PreflightMode::Strict && has_errors(&diags) {
+            return Err(IntegrateError::Preflight(diags));
+        }
+        Ok(diags)
+    }
+
+    /// Convenience: strict pre-flight, then the full pipeline. Defective
+    /// specs fail in milliseconds with the complete diagnostic stream
+    /// instead of failing (or silently misbehaving) mid-integration.
+    pub fn run_checked(&self) -> Result<IntegrationOutcome, IntegrateError> {
+        self.preflight_gate(PreflightMode::Strict)?;
+        self.run()
     }
 
     /// Runs the full pipeline once.

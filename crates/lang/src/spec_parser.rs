@@ -78,11 +78,16 @@ impl SpecParser<'_, '_> {
         }
         let mut spec = Spec::new(local_db, remote_db);
         loop {
+            // Line of the item keyword, recorded into `spec.locations` so
+            // the static analyzer can point diagnostics at source lines.
+            let line = self.p.line();
             if self.p.accept_kw("rule") {
                 let r = self.rule()?;
+                spec.locations.rules.insert(r.id.clone(), line);
                 spec.add_rule(r);
             } else if self.p.at_kw("propeq") {
                 let pe = self.propeq()?;
+                spec.locations.propeqs.insert(spec.propeqs.len(), line);
                 spec.add_propeq(pe);
             } else if self.p.accept_kw("declare") {
                 let status = if self.p.accept_kw("subjective") {
@@ -92,7 +97,9 @@ impl SpecParser<'_, '_> {
                     Status::Objective
                 };
                 let id = self.dotted_id()?;
-                spec.declare_status(ConstraintId::derived(&id), status);
+                let cid = ConstraintId::derived(&id);
+                spec.locations.declares.insert(cid.clone(), line);
+                spec.declare_status(cid, status);
             } else if self.p.accept_kw("value_view") {
                 spec.object_view = false;
             } else if matches!(self.p.peek(), Tok::Eof) {
@@ -530,6 +537,28 @@ declare objective Bookseller.Proceedings.oc1
         assert_eq!(spec.rules.len(), 6);
         assert_eq!(spec.propeqs.len(), 5);
         assert_eq!(spec.status_overrides.len(), 2);
+    }
+
+    #[test]
+    fn spec_locations_recorded() {
+        let (mut local, remote) = schemas();
+        local
+            .add_class(interop_model::ClassDef::new("NonRefereedPubl").isa("ScientificPubl"))
+            .unwrap();
+        let spec = parse_spec(SPEC, &local, &remote).unwrap();
+        // SPEC opens with a blank line: `integration` is line 2, the six
+        // rules sit on lines 4-9, the five propeqs on 11-15, the two
+        // declares on 17-18.
+        assert_eq!(spec.locations.rules.get(&RuleId::new("r1")), Some(&4));
+        assert_eq!(spec.locations.rules.get(&RuleId::new("r6")), Some(&9));
+        assert_eq!(spec.locations.propeqs.get(&0), Some(&11));
+        assert_eq!(spec.locations.propeqs.get(&4), Some(&15));
+        assert_eq!(spec.locations.declares.len(), 2);
+        assert!(spec
+            .locations
+            .declares
+            .values()
+            .all(|l| *l == 17 || *l == 18));
     }
 
     #[test]

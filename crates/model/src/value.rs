@@ -69,6 +69,9 @@ impl Ord for R64 {
 
 impl std::hash::Hash for R64 {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // A NaN here would make Hash disagree with Eq (NaN != NaN) and
+        // silently corrupt every hashed map keyed on Value.
+        debug_assert!(!self.0.is_nan(), "R64 is NaN-free by construction");
         // Normalise -0.0 to 0.0 so that Hash agrees with Eq.
         let v = if self.0 == 0.0 { 0.0 } else { self.0 };
         v.to_bits().hash(state);

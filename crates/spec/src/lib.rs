@@ -45,4 +45,4 @@ pub use convert::Conversion;
 pub use decide::{Decision, DfKind, Side};
 pub use propeq::PropEq;
 pub use relationship::Relationship;
-pub use rules::{ComparisonRule, InterCond, RuleId, Spec};
+pub use rules::{ComparisonRule, InterCond, RuleId, Spec, SpecLocations};

@@ -257,6 +257,28 @@ impl fmt::Display for ComparisonRule {
     }
 }
 
+/// Source positions for items of a parsed specification, used by
+/// diagnostics (the static analyzer's `Location`s point here). All lines
+/// are 1-based; items built programmatically simply have no entry, so
+/// every lookup is optional.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpecLocations {
+    /// Source line of each comparison rule, by rule id.
+    pub rules: BTreeMap<RuleId, u32>,
+    /// Source line of each property equivalence, by its position in
+    /// [`Spec::propeqs`] (propeqs have no stable identifier of their own).
+    pub propeqs: BTreeMap<usize, u32>,
+    /// Source line of each status declaration, by constraint id.
+    pub declares: BTreeMap<ConstraintId, u32>,
+}
+
+impl SpecLocations {
+    /// True when no positions were recorded (programmatic spec).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.propeqs.is_empty() && self.declares.is_empty()
+    }
+}
+
 /// A complete integration specification between one local and one remote
 /// database (§2.2): comparison rules, property equivalences, the chosen
 /// object-value conflict resolution, and the designer's objectivity
@@ -280,6 +302,9 @@ pub struct Spec {
     /// and rejects declarations that violate "subjective values ⇒
     /// subjective constraints".
     pub status_overrides: BTreeMap<ConstraintId, Status>,
+    /// Source positions recorded by the spec parser (empty for
+    /// programmatically built specs).
+    pub locations: SpecLocations,
 }
 
 impl Spec {
@@ -293,6 +318,7 @@ impl Spec {
             propeqs: Vec::new(),
             object_view: true,
             status_overrides: BTreeMap::new(),
+            locations: SpecLocations::default(),
         }
     }
 

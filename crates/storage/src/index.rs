@@ -104,10 +104,17 @@ pub fn canon_key(v: &Value) -> Option<Value> {
     if v.is_null() {
         return None;
     }
-    Some(match v.as_num() {
+    let key = match v.as_num() {
         Some(n) => Value::Real(n),
         None => v.clone(),
-    })
+    };
+    // Canonicalisation must agree with the evaluator: postings collide
+    // exactly where `sem_eq` holds, or index probes return wrong rows.
+    debug_assert!(
+        key.sem_eq(v),
+        "canon_key must preserve sem_eq: {v:?} -> {key:?}"
+    );
+    Some(key)
 }
 
 /// Equality postings for one `(class, attr)`: canonical value → sorted
@@ -358,6 +365,26 @@ mod tests {
         idx.insert(&a).unwrap();
         idx.insert(&a).unwrap();
         assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn huge_real_key_collides_with_no_int() {
+        // Int/Real unification is via `as_num` (Int -> f64). A real far
+        // outside i64's range must map to a key no Int can produce:
+        // `Real(1e300)` postings and any Int postings stay disjoint.
+        let huge = Value::real(1e300);
+        for i in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            assert_ne!(canon_key(&huge), canon_key(&Value::Int(i)));
+            assert!(!huge.sem_eq(&Value::Int(i)));
+        }
+        let idx = HashIndex::build(vec![
+            (Value::Int(i64::MAX), ObjectId::new(1, 1)),
+            (huge.clone(), ObjectId::new(1, 2)),
+        ]);
+        let key = canon_key(&huge).unwrap();
+        assert_eq!(idx.postings(&key), &[ObjectId::new(1, 2)]);
+        let int_key = canon_key(&Value::Int(i64::MAX)).unwrap();
+        assert_eq!(idx.postings(&int_key), &[ObjectId::new(1, 1)]);
     }
 
     #[test]

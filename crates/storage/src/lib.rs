@@ -92,7 +92,10 @@ pub use index::{CompositeIndex, HashIndex, KeyIndex, SortedIndex};
 pub use optimize::{
     execute_costed, execute_plan, Explain, ExplainStrategy, OptimizeOutcome, Optimizer,
 };
-pub use plan::{CompositeProbe, CostedPlan, CostedRole, IndexAtom, ProbeStep, QueryPlan, Step};
+pub use plan::{
+    composite_gain_hint, indexable_atoms, CompositeProbe, CostedPlan, CostedRole, IndexAtom,
+    ProbeStep, QueryPlan, Step,
+};
 pub use query::Query;
 pub use stats::{AttrStats, PairSketch};
 pub use store::{CompositePolicy, IndexMaintenance, Store, StoreError};

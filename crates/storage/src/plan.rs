@@ -190,6 +190,31 @@ fn cmp_atom(attr: &AttrName, op: CmpOp, v: &Value) -> Option<IndexAtom> {
     }
 }
 
+/// The index-answerable atoms among `pred`'s top-level conjuncts, in
+/// conjunct order. Pure shape classification (the same recogniser
+/// [`build_plan`] uses) with no store access — the static analyzer's
+/// plan-lint hook: a predicate yielding no atoms here always executes as
+/// a full scan, whatever the data.
+pub fn indexable_atoms(pred: &Formula) -> Vec<IndexAtom> {
+    conjuncts(pred)
+        .iter()
+        .filter_map(|f| index_atom(f))
+        .collect()
+}
+
+/// Static composite-pair gain estimate from two equality atoms'
+/// selectivity fractions (`interop_constraint::solve::selectivity_hint`).
+/// Mirrors the admission gate in `Store::note_composite_candidate` under
+/// attribute independence, with the extension size cancelled out:
+/// `joint = s_a·s_b·N`, `min_single = min(s_a, s_b)·N`, so the gain
+/// factor is `min(s_a, s_b) / (s_a·s_b)`. A pair whose hint reaches
+/// [`crate::store::CompositePolicy::min_gain`] would qualify for
+/// admission on every sighting.
+pub fn composite_gain_hint(sel_a: f64, sel_b: f64) -> f64 {
+    let joint = (sel_a * sel_b).max(f64::EPSILON);
+    sel_a.min(sel_b).max(0.0) / joint
+}
+
 /// Builds the plan for `pred` over `class`, given the constraints known
 /// to hold for every object of the class and the class's type
 /// environment. Pure classification — no store access; posting lists are

@@ -1,0 +1,124 @@
+//! Static spec analysis from the command line: parse two TM database
+//! specifications and an integration specification, run the analyzer
+//! registry (A001–A010), and print the canonical diagnostic stream —
+//! without touching any object data.
+//!
+//! ```sh
+//! cargo run --example analyze -- \
+//!     assets/cslibrary.tm assets/bookseller.tm assets/paper_spec.tmspec
+//! ```
+//!
+//! With no arguments, the bundled Figure-1 assets are analyzed (they
+//! are diagnostic-free). Two extra modes:
+//!
+//! * `--codes` prints the diagnostic-code reference table;
+//! * `--corpus` analyzes the seeded defect corpus and prints each
+//!   fixture's diagnostics (CI asserts this run is noisy).
+//!
+//! Exit status: 0 when no error-severity diagnostic was produced, 1 on
+//! errors, 2 on usage/IO problems.
+
+use db_interop::analyze::{analyze, corpus, has_errors, render, AnalysisInput, Code};
+use db_interop::lang::{parse_database, parse_spec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--codes") => {
+            print_codes();
+            return;
+        }
+        Some("--corpus") => {
+            run_corpus();
+            return;
+        }
+        _ => {}
+    }
+    let (local_path, remote_path, spec_path) = match args.as_slice() {
+        [l, r, s] => (l.clone(), r.clone(), s.clone()),
+        [] => (
+            "assets/cslibrary.tm".to_owned(),
+            "assets/bookseller.tm".to_owned(),
+            "assets/paper_spec.tmspec".to_owned(),
+        ),
+        _ => {
+            eprintln!("usage: analyze [<local.tm> <remote.tm> <spec.tmspec> | --corpus | --codes]");
+            std::process::exit(2);
+        }
+    };
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let local = match parse_database(&read(&local_path)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{local_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let remote = match parse_database(&read(&remote_path)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{remote_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match parse_spec(&read(&spec_path), &local.schema, &remote.schema) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("analyzing {} with {}\n", local.schema.db, remote.schema.db);
+    let diags = analyze(&AnalysisInput {
+        local: &local.schema,
+        local_catalog: &local.catalog,
+        remote: &remote.schema,
+        remote_catalog: &remote.catalog,
+        spec: &spec,
+    });
+    print!("{}", render(&diags));
+    if has_errors(&diags) {
+        std::process::exit(1);
+    }
+}
+
+fn print_codes() {
+    println!("code  severity  summary");
+    for code in Code::ALL {
+        println!(
+            "{}  {:<8}  {}",
+            code.as_str(),
+            code.severity().to_string(),
+            code.summary()
+        );
+    }
+}
+
+fn run_corpus() {
+    let mut total = 0usize;
+    for f in corpus::defect_corpus() {
+        let diags = match corpus::analyze_fixture(&f) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("corpus fixture failed to parse: {e}");
+                std::process::exit(2);
+            }
+        };
+        total += diags.len();
+        println!("== {} (seeds {}) ==", f.name, f.code.as_str());
+        print!("{}", render(&diags));
+        println!();
+    }
+    println!("{total} diagnostics across the corpus");
+    // The corpus run is *supposed* to be noisy; a silent corpus means
+    // the analyzer went blind. Signal that as an error for CI.
+    if total < Code::ALL.len() {
+        eprintln!("corpus produced fewer diagnostics than registered codes");
+        std::process::exit(1);
+    }
+}

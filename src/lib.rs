@@ -18,6 +18,9 @@
 //! * [`conform`] — the §4 conformation phase;
 //! * [`merge`] — the §2.3 merging phase with extent-based hierarchy
 //!   inference;
+//! * [`analyze`] — static spec analysis: pre-flight diagnostics
+//!   (A001–A010) over schemas, catalogs and the spec before any data is
+//!   touched;
 //! * [`core`] — the paper's contribution: subjectivity analysis, global
 //!   constraint derivation, conflict detection and repair (§3, §5).
 //!
@@ -53,6 +56,7 @@
 //!     .any(|d| d.formula.to_string() == "publisher.name = 'ACM' implies rating >= 5"));
 //! ```
 
+pub use interop_analyze as analyze;
 pub use interop_conform as conform;
 pub use interop_constraint as constraint;
 pub use interop_core as core;

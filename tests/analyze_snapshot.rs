@@ -1,0 +1,146 @@
+//! Snapshot regression suite for the static spec analyzer: the rendered
+//! diagnostic stream is pinned byte-for-byte for the paper fixture
+//! (which must stay diagnostic-free) and for every seeded defect-corpus
+//! fixture (each of which must keep reporting exactly its planted
+//! defect). The pre-flight gate's strict/warn behaviour is checked on
+//! the same inputs.
+//!
+//! To regenerate after an *intended* output change, run with
+//! `UPDATE_SNAPSHOTS=1` and review the diff.
+
+use db_interop::analyze::{analyze, corpus, has_errors, render, AnalysisInput, Severity};
+use db_interop::core::{IntegrateError, Integrator, PreflightMode};
+use db_interop::lang::{parse_database, parse_spec, ParsedDatabase};
+use db_interop::model::Database;
+use db_interop::spec::Spec;
+
+fn check(name: &str, rendered: &str) {
+    let path = format!("{}/tests/snapshots/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok() {
+        std::fs::create_dir_all(format!("{}/tests/snapshots", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {path}: {e}; run with UPDATE_SNAPSHOTS=1"));
+    assert!(
+        expected == rendered,
+        "analyzer output diverged from pinned snapshot {path}.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{rendered}\n\
+         If the change is intended, regenerate with UPDATE_SNAPSHOTS=1 and review."
+    );
+}
+
+/// Parses the bundled Figure-1 assets (through the real front-end, so
+/// spec line locations are populated).
+fn paper_sources() -> (ParsedDatabase, ParsedDatabase, Spec) {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let read = |p: &str| std::fs::read_to_string(format!("{root}/{p}")).unwrap();
+    let local = parse_database(&read("assets/cslibrary.tm")).unwrap();
+    let remote = parse_database(&read("assets/bookseller.tm")).unwrap();
+    let spec = parse_spec(
+        &read("assets/paper_spec.tmspec"),
+        &local.schema,
+        &remote.schema,
+    )
+    .unwrap();
+    (local, remote, spec)
+}
+
+#[test]
+fn paper_fixture_is_diagnostic_free_pinned() {
+    let (local, remote, spec) = paper_sources();
+    let diags = analyze(&AnalysisInput {
+        local: &local.schema,
+        local_catalog: &local.catalog,
+        remote: &remote.schema,
+        remote_catalog: &remote.catalog,
+        spec: &spec,
+    });
+    assert!(
+        diags.is_empty(),
+        "paper fixture must be clean:\n{}",
+        render(&diags)
+    );
+    check("analyze_paper", &render(&diags));
+}
+
+#[test]
+fn defect_corpus_diagnostics_pinned() {
+    for f in corpus::defect_corpus() {
+        let diags = corpus::analyze_fixture(&f).unwrap();
+        check(&format!("analyze_{}", f.name), &render(&diags));
+    }
+}
+
+/// Builds an [`Integrator`] over a corpus fixture's sources (empty
+/// extents — pre-flight never needs data anyway).
+fn integrator_for(f: &corpus::Fixture) -> Integrator {
+    let local = parse_database(&f.local_tm).unwrap();
+    let remote = parse_database(&f.remote_tm).unwrap();
+    let spec = parse_spec(&f.spec, &local.schema, &remote.schema).unwrap();
+    Integrator::new(
+        Database::new(local.schema, 1),
+        local.catalog,
+        Database::new(remote.schema, 2),
+        remote.catalog,
+        spec,
+    )
+}
+
+#[test]
+fn strict_preflight_refuses_error_fixtures_warn_does_not() {
+    for f in corpus::defect_corpus() {
+        let integrator = integrator_for(&f);
+        let diags = integrator.preflight();
+        // Warn mode reports the same stream but never blocks.
+        let warned = integrator.preflight_gate(PreflightMode::Warn).unwrap();
+        assert_eq!(
+            warned, diags,
+            "{}: warn mode must not alter the stream",
+            f.name
+        );
+        let strict = integrator.preflight_gate(PreflightMode::Strict);
+        if f.code.severity() == Severity::Error {
+            match strict {
+                Err(IntegrateError::Preflight(d)) => {
+                    assert_eq!(d, diags, "{}: refusal must carry the full stream", f.name)
+                }
+                other => panic!(
+                    "{}: strict pre-flight must refuse an error-seeded fixture, got {other:?}",
+                    f.name
+                ),
+            }
+            // And the refusal happens in run_checked too, before any work.
+            assert!(
+                matches!(integrator.run_checked(), Err(IntegrateError::Preflight(_))),
+                "{}: run_checked must refuse",
+                f.name
+            );
+        } else {
+            assert!(
+                strict.is_ok(),
+                "{}: warnings and hints must not refuse the spec",
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_fixture_passes_strict_preflight_end_to_end() {
+    let (local, remote, spec) = paper_sources();
+    let integrator = Integrator::new(
+        Database::new(local.schema, 1),
+        local.catalog,
+        Database::new(remote.schema, 2),
+        remote.catalog,
+        spec,
+    );
+    let diags = integrator.preflight_gate(PreflightMode::Strict).unwrap();
+    assert!(diags.is_empty());
+    assert!(!has_errors(&diags));
+    integrator
+        .run_checked()
+        .expect("paper fixture integrates through the gate");
+}
