@@ -1,0 +1,128 @@
+//! Durability bench — what the write-ahead log costs on the write
+//! path. Loads 10k objects into a volatile store (`DurabilityMode::Off`
+//! — the pre-durability baseline, byte-identical behaviour) and into a
+//! WAL-backed store, then prices recovery: reopening the 10k-object
+//! log, and reopening after `snapshot_now` (replay-free).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use interop_constraint::Catalog;
+use interop_model::{ClassDef, ClassName, Database, Object, ObjectId, Schema, Type};
+use interop_storage::{DurabilityMode, Store};
+
+const N: usize = 10_000;
+
+fn schema() -> Schema {
+    Schema::new(
+        "Bench",
+        vec![ClassDef::new("Item")
+            .attr("k", Type::Str)
+            .attr("v", Type::Int)],
+    )
+    .expect("static schema")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("interop-bench-dur-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn item(serial: u64) -> Object {
+    Object::new(ObjectId::new(1, serial), ClassName::new("Item"))
+        .with("k", format!("k{serial}").as_str())
+        .with("v", serial as i64)
+}
+
+fn load(store: &mut Store) {
+    for serial in 1..=N as u64 {
+        store.insert(item(serial)).expect("in-schema insert");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("durability");
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::new("writes_off", N), &N, |b, _| {
+        b.iter(|| {
+            let mut s = Store::new(Database::new(schema(), 1), Catalog::new());
+            load(&mut s);
+            std::hint::black_box(s.db().len())
+        })
+    });
+
+    let dir = scratch("wal");
+    g.bench_with_input(BenchmarkId::new("writes_wal", N), &N, |b, _| {
+        b.iter_batched(
+            || {
+                // Fresh log per run: WAL append cost, not replay cost.
+                let _ = std::fs::remove_dir_all(&dir);
+                Store::open(
+                    Database::new(schema(), 1),
+                    Catalog::new(),
+                    &dir,
+                    DurabilityMode::Wal,
+                )
+                .expect("open durable store")
+            },
+            |mut s| {
+                load(&mut s);
+                std::hint::black_box(s.db().len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Recovery price of the same 10k-object history: replayed from the
+    // log, then (after `snapshot_now`) loaded straight from a snapshot.
+    let reopen = |tag: &str| {
+        let d = scratch(tag);
+        let mut s = Store::open(
+            Database::new(schema(), 1),
+            Catalog::new(),
+            &d,
+            DurabilityMode::Wal,
+        )
+        .expect("open durable store");
+        load(&mut s);
+        if tag == "snap" {
+            s.snapshot_now().expect("snapshot");
+        }
+        drop(s);
+        d
+    };
+    let wal_dir = reopen("replay");
+    g.bench_with_input(BenchmarkId::new("recover_replay", N), &N, |b, _| {
+        b.iter(|| {
+            let s = Store::open(
+                Database::new(schema(), 1),
+                Catalog::new(),
+                &wal_dir,
+                DurabilityMode::Wal,
+            )
+            .expect("recover");
+            std::hint::black_box(s.db().len())
+        })
+    });
+    let snap_dir = reopen("snap");
+    g.bench_with_input(BenchmarkId::new("recover_snapshot", N), &N, |b, _| {
+        b.iter(|| {
+            let s = Store::open(
+                Database::new(schema(), 1),
+                Catalog::new(),
+                &snap_dir,
+                DurabilityMode::Wal,
+            )
+            .expect("recover");
+            std::hint::black_box(s.db().len())
+        })
+    });
+
+    g.finish();
+    for d in [dir, wal_dir, snap_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -93,6 +93,35 @@ impl IncrementalPipeline {
         Ok(self.merge.apply(Side::Local, &deltas)?)
     }
 
+    /// Drains a local-side [`Store`]'s touched-id log and folds exactly
+    /// those changes into the view. This is the durability resume entry
+    /// point: a store recovered by `Store::open` hands back the ids
+    /// touched since the pipeline's last drain *before* the shutdown or
+    /// crash (the log's tracking state and undrained ids are persisted
+    /// with the data), so the pipeline catches up incrementally instead
+    /// of re-merging from scratch. A no-op when nothing was touched.
+    ///
+    /// [`Store`]: interop_storage::Store
+    pub fn sync_local(
+        &mut self,
+        store: &mut interop_storage::Store,
+    ) -> Result<&IntegratedView, IntegrateError> {
+        let touched = store.take_touched();
+        self.apply_local(store.db(), &touched)
+    }
+
+    /// Drains a remote-side [`Store`]'s touched-id log into the view
+    /// (see [`sync_local`](Self::sync_local)).
+    ///
+    /// [`Store`]: interop_storage::Store
+    pub fn sync_remote(
+        &mut self,
+        store: &mut interop_storage::Store,
+    ) -> Result<&IntegratedView, IntegrateError> {
+        let touched = store.take_touched();
+        self.apply_remote(store.db(), &touched)
+    }
+
     /// Folds a remote-source mutation into the view (see
     /// [`apply_local`](Self::apply_local)).
     pub fn apply_remote(

@@ -19,7 +19,11 @@
 //! built secondary indexes (hash postings for equality, sorted entries
 //! for ranges), pruning subqueries whose predicate contradicts a
 //! (derived) global constraint without scanning at all, and exposes
-//! every decision through [`Optimizer::explain`].
+//! every decision through [`Optimizer::explain`]. [`wal`] and
+//! [`snapshot`] add durability: [`Store::open`] recovers the newest
+//! valid snapshot plus the committed write-ahead-log tail, while
+//! [`store::DurabilityMode::Off`] keeps every in-memory path exactly as
+//! before.
 //!
 //! # Invariants
 //!
@@ -54,6 +58,21 @@
 //! * **EXPLAIN is execution**: [`Optimizer::explain`] and
 //!   [`Optimizer::execute`] share one decision path, so the reported
 //!   strategy is the executed one.
+//! * **Commit-boundary atomicity** ([`wal`]): a transaction reaches the
+//!   write-ahead log only as one contiguous `Begin … deltas … Commit`
+//!   run appended after it fully succeeded in memory; rollbacks append
+//!   nothing of the transaction, and recovery applies a transaction
+//!   only when its `Commit` frame is intact — never a prefix.
+//! * **Torn tails are discarded, never reinterpreted**: WAL replay
+//!   stops at the first frame that fails its length or CRC-32 check and
+//!   truncates the log back to the last committed boundary — a
+//!   later frame that happens to checksum correctly is unreachable by
+//!   construction, because frame boundaries after a tear cannot be
+//!   trusted.
+//! * **[`store::DurabilityMode::Off`] is byte-identical**: a store
+//!   created by [`Store::new`] (or cloned from any store) takes the
+//!   exact pre-durability code paths — no file I/O, no record
+//!   serialisation, no behavioural drift for existing benches or tests.
 //!
 //! # Example
 //!
@@ -84,9 +103,11 @@ pub mod index;
 pub mod optimize;
 pub mod plan;
 pub mod query;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod txn;
+pub mod wal;
 
 pub use index::{CompositeIndex, HashIndex, KeyIndex, SortedIndex};
 pub use optimize::{
@@ -97,6 +118,8 @@ pub use plan::{
     ProbeStep, QueryPlan, Step,
 };
 pub use query::Query;
+pub use snapshot::SnapshotData;
 pub use stats::{AttrStats, PairSketch};
-pub use store::{CompositePolicy, IndexMaintenance, Store, StoreError};
+pub use store::{CompositePolicy, DurabilityMode, IndexMaintenance, Store, StoreError};
 pub use txn::{Transaction, TxnOp, TxnOutcome};
+pub use wal::{DurabilityError, WalRecord};

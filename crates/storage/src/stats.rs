@@ -99,6 +99,30 @@ impl<K: Eq + Hash + Clone> PairSketch<K> {
 /// queries (those use the exact frequency map).
 pub const HISTOGRAM_BUCKETS: usize = 8;
 
+/// Decrements a counter that must be positive. A zero counter here
+/// means a delta-maintenance bug — something is being counted *out*
+/// that was never counted *in* — so this refuses loudly under debug
+/// assertions (the `release-with-asserts` CI variant included) instead
+/// of letting `saturating_sub` silently absorb the bug into skewed
+/// estimates. Plain release builds clamp at zero: estimates degrade,
+/// counters never wrap.
+macro_rules! checked_dec {
+    ($counter:expr, $what:expr) => {
+        if $counter > 0 {
+            $counter -= 1;
+        } else {
+            debug_assert!(
+                false,
+                concat!(
+                    "stats underflow: ",
+                    $what,
+                    " decremented at zero (delta-maintenance bug)"
+                )
+            );
+        }
+    };
+}
+
 /// An equi-depth histogram over the numeric values of one attribute.
 ///
 /// Bucket `i` covers `(edge(i-1), bounds[i]]` where `edge(-1) = lo`;
@@ -164,7 +188,7 @@ impl Histogram {
     /// Counts a value out.
     pub fn remove(&mut self, v: R64) {
         let b = self.bucket_of(v);
-        self.counts[b] = self.counts[b].saturating_sub(1);
+        checked_dec!(self.counts[b], "histogram bucket count");
     }
 
     /// `(lower edge, upper edges, per-bucket counts)` — exposed for the
@@ -174,17 +198,24 @@ impl Histogram {
     }
 
     /// Estimated number of values in the given range, by linear
-    /// interpolation within partially-overlapped buckets.
+    /// interpolation within partially-overlapped buckets. A provably
+    /// empty query interval — inverted, or collapsed to a point one of
+    /// whose endpoints is excluded — estimates exactly `0.0`, as does a
+    /// range touching a point bucket's edge only through an excluded
+    /// endpoint (`x < min` over duplicate-heavy minima must not count
+    /// the minimum's bucket).
     pub fn est_range(&self, lo: Bound<R64>, hi: Bound<R64>) -> f64 {
-        let q_lo = match lo {
-            Bound::Unbounded => f64::NEG_INFINITY,
-            Bound::Included(v) | Bound::Excluded(v) => v.get(),
+        let (q_lo, lo_inc) = match lo {
+            Bound::Unbounded => (f64::NEG_INFINITY, true),
+            Bound::Included(v) => (v.get(), true),
+            Bound::Excluded(v) => (v.get(), false),
         };
-        let q_hi = match hi {
-            Bound::Unbounded => f64::INFINITY,
-            Bound::Included(v) | Bound::Excluded(v) => v.get(),
+        let (q_hi, hi_inc) = match hi {
+            Bound::Unbounded => (f64::INFINITY, true),
+            Bound::Included(v) => (v.get(), true),
+            Bound::Excluded(v) => (v.get(), false),
         };
-        if q_lo > q_hi {
+        if q_lo > q_hi || (q_lo == q_hi && !(lo_inc && hi_inc)) {
             return 0.0;
         }
         let mut est = 0.0;
@@ -192,7 +223,7 @@ impl Histogram {
         for (i, &bound) in self.bounds.iter().enumerate() {
             let count = f64::from(self.counts[i]);
             if count > 0.0 {
-                est += count * overlap_fraction(lower, bound.get(), q_lo, q_hi);
+                est += count * overlap_fraction(lower, bound.get(), q_lo, q_hi, lo_inc, hi_inc);
             }
             lower = bound.get();
         }
@@ -201,10 +232,14 @@ impl Histogram {
 }
 
 /// Fraction of the bucket interval `[b_lo, b_hi]` covered by the query
-/// interval `[q_lo, q_hi]`, assuming values are uniform in the bucket.
-/// Degenerate (zero-width) buckets count fully when their edge lies
-/// inside the query range.
-fn overlap_fraction(b_lo: f64, b_hi: f64, q_lo: f64, q_hi: f64) -> f64 {
+/// interval `q_lo..q_hi` (endpoint inclusivity per `lo_inc`/`hi_inc`),
+/// assuming values are uniform in the bucket. A degenerate (zero-width)
+/// bucket — the duplicate-heavy-minimum case, where every value sits at
+/// one edge — counts fully iff the query interval actually contains
+/// that edge: strictly inside, or at an *inclusive* endpoint. Endpoint
+/// exclusivity on non-degenerate buckets is ignored (a single point has
+/// zero measure under the uniform assumption).
+fn overlap_fraction(b_lo: f64, b_hi: f64, q_lo: f64, q_hi: f64, lo_inc: bool, hi_inc: bool) -> f64 {
     let lo = b_lo.max(q_lo);
     let hi = b_hi.min(q_hi);
     if lo > hi {
@@ -212,8 +247,11 @@ fn overlap_fraction(b_lo: f64, b_hi: f64, q_lo: f64, q_hi: f64) -> f64 {
     }
     let width = b_hi - b_lo;
     if width <= 0.0 {
-        // Point bucket: in or out.
-        return 1.0;
+        // Point bucket at edge `b_hi`: in or out, nothing in between.
+        let edge = b_hi;
+        let above_lo = q_lo < edge || (q_lo == edge && lo_inc);
+        let below_hi = edge < q_hi || (edge == q_hi && hi_inc);
+        return if above_lo && below_hi { 1.0 } else { 0.0 };
     }
     ((hi - lo) / width).clamp(0.0, 1.0)
 }
@@ -334,18 +372,23 @@ impl AttrStats {
 
     /// Counts one object's value out (a committed remove).
     pub fn remove(&mut self, v: &Value) {
-        self.total = self.total.saturating_sub(1);
+        checked_dec!(self.total, "extension total");
         if let Some(key) = canon_key(v) {
-            self.non_null = self.non_null.saturating_sub(1);
-            if let Some(c) = self.counts.get_mut(&key) {
-                *c -= 1;
-                if *c == 0 {
+            checked_dec!(self.non_null, "non-null count");
+            match self.counts.get_mut(&key) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
                     self.counts.remove(&key);
                 }
+                None => debug_assert!(
+                    false,
+                    "stats underflow: frequency of an uncounted value \
+                     decremented (delta-maintenance bug)"
+                ),
             }
         }
         if let Some(n) = v.as_num() {
-            self.numeric = self.numeric.saturating_sub(1);
+            checked_dec!(self.numeric, "numeric count");
             if let Some(h) = &mut self.hist {
                 h.remove(n);
             }
@@ -507,6 +550,61 @@ mod tests {
         assert_eq!(s.tracked(), 1);
         // Counts are lower bounds: "hot" was seen 3 times, tracked at 2.
         assert_eq!(s.observe("hot"), 3);
+    }
+
+    #[test]
+    fn provably_empty_ranges_estimate_zero() {
+        use Bound::*;
+        // Duplicate-heavy minimum: bucket 0 degenerates to the point
+        // [1, 1] holding four values.
+        let s = AttrStats::build(vals(&[1, 1, 1, 1, 2, 3]).iter());
+        assert_eq!(
+            s.est_range(Unbounded, Excluded(R64::new(1.0))),
+            0,
+            "x < min is provably empty"
+        );
+        assert_eq!(
+            s.est_range(Unbounded, Included(R64::new(1.0))),
+            4,
+            "x <= min still counts the point bucket"
+        );
+        // All-equal extension: the whole histogram is one point bucket.
+        let s = AttrStats::build(vals(&[3, 3, 3]).iter());
+        assert_eq!(s.est_range(Excluded(R64::new(3.0)), Unbounded), 0);
+        assert_eq!(s.est_range(Unbounded, Excluded(R64::new(3.0))), 0);
+        assert_eq!(s.est_range(Included(R64::new(3.0)), Unbounded), 3);
+        // A point interval with an excluded endpoint is empty by
+        // construction.
+        let s = AttrStats::build(vals(&[0, 10, 20, 30]).iter());
+        assert_eq!(
+            s.est_range(Included(R64::new(10.0)), Excluded(R64::new(10.0))),
+            0
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stats underflow")]
+    fn underflow_is_loud_total() {
+        let mut s = AttrStats::default();
+        s.remove(&Value::int(1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stats underflow")]
+    fn underflow_is_loud_uncounted_value() {
+        let mut s = AttrStats::build(vals(&[1]).iter());
+        s.remove(&Value::int(2));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stats underflow")]
+    fn underflow_is_loud_histogram_bucket() {
+        let mut h = Histogram::build(&[R64::new(1.0)]).unwrap();
+        h.remove(R64::new(1.0));
+        h.remove(R64::new(1.0));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use interop_constraint::eval::{check_class_constraint, check_db_constraint, eval_formula, Truth};
@@ -23,7 +24,9 @@ use interop_model::fx::FxHashMap;
 use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId, Value};
 
 use crate::index::{CompositeIndex, HashIndex, IndexSet, KeyIndex, SortedIndex};
+use crate::snapshot;
 use crate::stats::{AttrStats, PairSketch};
+use crate::wal::{self, DurabilityError, WalRecord, WalWriter};
 
 /// Errors from store operations.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +57,12 @@ pub enum StoreError {
         /// The object already holding the key.
         holder: ObjectId,
     },
+    /// The durability layer failed (WAL append or snapshot write). The
+    /// in-memory state of the failing operation is decided by the call
+    /// site: single store operations stay applied (memory runs ahead of
+    /// the log, reported loudly); transaction commits roll back so
+    /// memory and log agree.
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for StoreError {
@@ -72,6 +81,7 @@ impl fmt::Display for StoreError {
             StoreError::KeyViolation { class, holder } => {
                 write!(f, "key of class {class} already held by object {holder}")
             }
+            StoreError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -81,6 +91,12 @@ impl std::error::Error for StoreError {}
 impl From<ModelError> for StoreError {
     fn from(e: ModelError) -> Self {
         StoreError::Model(e)
+    }
+}
+
+impl From<DurabilityError> for StoreError {
+    fn from(e: DurabilityError) -> Self {
+        StoreError::Durability(e)
     }
 }
 
@@ -97,6 +113,57 @@ pub enum IndexMaintenance {
     /// benchmark baseline and as a differential-testing oracle.
     Wholesale,
 }
+
+/// Whether (and how) committed mutations are persisted.
+///
+/// `Off` keeps the store byte-identical to the pre-durability builds:
+/// no files are touched, no records are serialized, and every hot path
+/// takes the same branches it always did. `Wal` appends every committed
+/// transaction to the write-ahead log; `WalWithSnapshots` additionally
+/// dumps the canonical extension every
+/// [`Store::set_snapshot_every`] committed transactions and truncates
+/// the log, bounding replay time on reopen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// In-memory only (the default; all existing behaviour unchanged).
+    #[default]
+    Off,
+    /// Append committed transactions to the write-ahead log.
+    Wal,
+    /// WAL plus periodic snapshots (log truncated after each snapshot).
+    WalWithSnapshots,
+}
+
+/// Committed transactions between automatic snapshots (in
+/// [`DurabilityMode::WalWithSnapshots`]) unless overridden via
+/// [`Store::set_snapshot_every`].
+const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
+
+/// The live durability machinery of a store opened with
+/// [`Store::open`]: the WAL append handle, the transaction sequence
+/// counter, and the in-flight transaction buffer. Deltas produced while
+/// `in_txn` accumulate in `pending` and reach the file only as one
+/// contiguous `Begin … Commit` run at commit time — a rollback discards
+/// them (and the inverse deltas of the undo operations) entirely.
+#[derive(Debug)]
+struct DurabilityState {
+    mode: DurabilityMode,
+    dir: PathBuf,
+    writer: WalWriter,
+    /// Sequence number of the last committed transaction.
+    txn_seq: u64,
+    /// True between `wal_txn_begin` and commit/rollback.
+    in_txn: bool,
+    /// Deltas of the in-flight transaction.
+    pending: Vec<WalRecord>,
+    /// Committed transactions since the last snapshot.
+    txns_since_snapshot: u64,
+    /// Snapshot cadence (`WalWithSnapshots` only).
+    snapshot_every: u64,
+}
+
+/// File name of the write-ahead log inside the durability directory.
+const WAL_FILE: &str = "wal.log";
 
 /// When a composite index is admitted for a recurring equality-atom
 /// pair. The cost model reports every plan that keeps two equality
@@ -221,7 +288,7 @@ macro_rules! for_covering {
 }
 
 /// A database plus its enforced constraint catalog and key indexes.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Store {
     db: Database,
     catalog: Catalog,
@@ -239,6 +306,31 @@ pub struct Store {
     /// the same mutators). Drained, sorted and deduplicated by
     /// [`Store::take_touched`] for downstream incremental consumers.
     touched_log: Option<Vec<ObjectId>>,
+    /// `Some` only for stores opened with [`Store::open`] in a
+    /// persistent [`DurabilityMode`]; `None` keeps every mutation path
+    /// free of durability branches beyond one `Option` check.
+    durability: Option<Box<DurabilityState>>,
+}
+
+impl Clone for Store {
+    /// Clones the in-memory state only: the clone is a **detached**
+    /// copy with [`DurabilityMode::Off`] — it shares no WAL handle with
+    /// the original and persists nothing. (A WAL file handle cannot be
+    /// meaningfully shared by two independently mutating stores.)
+    fn clone(&self) -> Self {
+        Store {
+            db: self.db.clone(),
+            catalog: self.catalog.clone(),
+            indexes: self.indexes.clone(),
+            version: self.version,
+            maintenance: self.maintenance,
+            secondary: self.secondary.clone(),
+            composite_policy: self.composite_policy,
+            composites: self.composites.clone(),
+            touched_log: self.touched_log.clone(),
+            durability: None,
+        }
+    }
 }
 
 impl Store {
@@ -263,6 +355,7 @@ impl Store {
             composite_policy: CompositePolicy::default(),
             composites: RefCell::new(CompositeAdmission::default()),
             touched_log: None,
+            durability: None,
         };
         // Index existing objects.
         let ids: Vec<ObjectId> = store.db.objects().map(|o| o.id).collect();
@@ -271,6 +364,262 @@ impl Store {
             store.index_insert(&obj).ok();
         }
         store
+    }
+
+    /// Opens a durable store rooted at `dir`, recovering any state a
+    /// previous process persisted there: the newest valid snapshot is
+    /// loaded into `db`, the WAL tail is replayed **one committed
+    /// transaction at a time**, and any torn trailing frame — or a
+    /// `Begin … delta` run missing its `Commit` — is discarded and
+    /// truncated away. Secondary indexes, statistics and composite
+    /// admissions are *not* persisted; they rebuild lazily exactly as
+    /// on a fresh store.
+    ///
+    /// `db` supplies the schema (and any bootstrap objects for a fresh
+    /// directory); recovered objects are inserted into it. With
+    /// [`DurabilityMode::Off`] this is exactly [`Store::new`] — no file
+    /// is read or created.
+    ///
+    /// Replay applies recovered deltas directly to the database,
+    /// bypassing the store mutators, so the touched-id log cannot be
+    /// polluted by replayed history; the log state (tracking flag +
+    /// undrained ids) is itself recovered from the snapshot and the
+    /// WAL's tracking markers.
+    pub fn open(
+        mut db: Database,
+        catalog: Catalog,
+        dir: impl AsRef<Path>,
+        mode: DurabilityMode,
+    ) -> Result<Store, DurabilityError> {
+        if mode == DurabilityMode::Off {
+            return Ok(Store::new(db, catalog));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DurabilityError::Io(format!("{}: {e}", dir.display())))?;
+
+        let mut watermark = 0u64;
+        let mut tracking = false;
+        let mut touched: Vec<ObjectId> = Vec::new();
+        if let Some(snap) = snapshot::load_latest(&dir)? {
+            watermark = snap.watermark;
+            tracking = snap.tracking;
+            touched = snap.touched;
+            for obj in snap.objects {
+                db.insert(obj)
+                    .map_err(|e| DurabilityError::Model(e.to_string()))?;
+            }
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::scan_wal(&wal_path)?;
+        let mut txn_seq = watermark;
+        // (seq, buffered deltas) of an open `Begin … Commit` run.
+        let mut open_txn: Option<(u64, Vec<WalRecord>)> = None;
+        // End offset of the last frame that left no transaction open —
+        // the commit boundary the WAL is truncated back to. Frames past
+        // it belong to an unterminated run (or the torn tail) and are
+        // discarded.
+        let mut boundary = 0u64;
+        for (i, rec) in scan.records.into_iter().enumerate() {
+            match rec {
+                WalRecord::Begin { seq } => open_txn = Some((seq, Vec::new())),
+                WalRecord::Commit { seq } => {
+                    if let Some((begin_seq, deltas)) = open_txn.take() {
+                        if begin_seq == seq && seq > watermark {
+                            Self::replay_deltas(&mut db, deltas, tracking.then_some(&mut touched))?;
+                        }
+                        txn_seq = txn_seq.max(seq);
+                    }
+                }
+                WalRecord::Rollback => open_txn = None,
+                WalRecord::TouchedDrain => touched.clear(),
+                WalRecord::TrackTouched { on } => {
+                    tracking = on;
+                    touched.clear();
+                }
+                delta => {
+                    if let Some((_, deltas)) = &mut open_txn {
+                        deltas.push(delta);
+                    }
+                    // A delta outside Begin/Commit cannot be produced by
+                    // this writer; ignore it defensively rather than
+                    // guessing at its transaction.
+                }
+            }
+            if open_txn.is_none() {
+                boundary = scan.frame_ends[i];
+            }
+        }
+        let writer = WalWriter::open(&wal_path, boundary)?;
+
+        let mut store = Store::new(db, catalog);
+        store.touched_log = tracking.then_some(touched);
+        store.durability = Some(Box::new(DurabilityState {
+            mode,
+            dir,
+            writer,
+            txn_seq,
+            in_txn: false,
+            pending: Vec::new(),
+            txns_since_snapshot: 0,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }));
+        Ok(store)
+    }
+
+    /// Applies one committed transaction's recovered deltas to the
+    /// database. Runs against the bare [`Database`] — no store mutator,
+    /// no index, no touched-log side effects — because the store is
+    /// constructed *after* replay and builds everything from the final
+    /// state.
+    fn replay_deltas(
+        db: &mut Database,
+        deltas: Vec<WalRecord>,
+        mut touched: Option<&mut Vec<ObjectId>>,
+    ) -> Result<(), DurabilityError> {
+        let model = |e: interop_model::ModelError| DurabilityError::Model(e.to_string());
+        for delta in deltas {
+            let id = match delta {
+                WalRecord::DeltaInsert(obj) => {
+                    let id = obj.id;
+                    db.insert(obj).map_err(model)?;
+                    id
+                }
+                WalRecord::DeltaUpdate { id, attr, new, .. } => {
+                    db.update(id, attr, new).map_err(model)?;
+                    id
+                }
+                WalRecord::DeltaRemove { id } => {
+                    db.remove(id).map_err(model)?;
+                    id
+                }
+                // Control records never reach here (the replay loop
+                // routes them before buffering); skip defensively.
+                _ => continue,
+            };
+            if let Some(log) = touched.as_deref_mut() {
+                log.push(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// The durability mode in effect ([`DurabilityMode::Off`] for
+    /// stores created with [`Store::new`] or obtained by cloning).
+    pub fn durability_mode(&self) -> DurabilityMode {
+        self.durability
+            .as_ref()
+            .map_or(DurabilityMode::Off, |d| d.mode)
+    }
+
+    /// Sets the snapshot cadence for [`DurabilityMode::WalWithSnapshots`]:
+    /// a snapshot is taken (and the WAL truncated) every `every`
+    /// committed transactions. Clamped to at least 1; no effect in
+    /// other modes.
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.snapshot_every = every.max(1);
+        }
+    }
+
+    /// Takes a snapshot of the current extension now and truncates the
+    /// WAL. No-op for non-durable stores. Useful before a planned
+    /// shutdown to make the next [`Store::open`] replay-free.
+    pub fn snapshot_now(&mut self) -> Result<(), StoreError> {
+        let Some(d) = self.durability.as_deref_mut() else {
+            return Ok(());
+        };
+        let tracking = self.touched_log.is_some();
+        let touched = self.touched_log.clone().unwrap_or_default();
+        let objects: Vec<&Object> = self.db.objects().collect();
+        snapshot::write_snapshot(&d.dir, d.txn_seq, tracking, &touched, &objects)?;
+        d.writer.reset()?;
+        d.txns_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Appends one committed single-operation transaction (`Begin`,
+    /// `rec`, `Commit`) to the WAL — or, inside an explicit
+    /// transaction, buffers `rec` until [`Store::wal_txn_commit`].
+    /// No-op when durability is off.
+    fn wal_op(&mut self, rec: WalRecord) -> Result<(), StoreError> {
+        let Some(d) = self.durability.as_deref_mut() else {
+            return Ok(());
+        };
+        if d.in_txn {
+            d.pending.push(rec);
+            return Ok(());
+        }
+        let seq = d.txn_seq + 1;
+        d.writer
+            .append(&[WalRecord::Begin { seq }, rec, WalRecord::Commit { seq }])?;
+        d.txn_seq = seq;
+        self.note_committed_txn()
+    }
+
+    /// Post-commit bookkeeping: counts the transaction towards the
+    /// snapshot cadence and snapshots when it is reached.
+    fn note_committed_txn(&mut self) -> Result<(), StoreError> {
+        let Some(d) = self.durability.as_deref_mut() else {
+            return Ok(());
+        };
+        if d.mode != DurabilityMode::WalWithSnapshots {
+            return Ok(());
+        }
+        d.txns_since_snapshot += 1;
+        if d.txns_since_snapshot >= d.snapshot_every {
+            self.snapshot_now()?;
+        }
+        Ok(())
+    }
+
+    /// Opens a WAL transaction bracket: subsequent mutator deltas are
+    /// buffered instead of appended. Called by [`crate::txn::Txn::commit`].
+    pub(crate) fn wal_txn_begin(&mut self) {
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.in_txn = true;
+            d.pending.clear();
+        }
+    }
+
+    /// Closes the bracket successfully: appends the buffered deltas as
+    /// one contiguous `Begin … Commit` run (nothing, for an empty
+    /// transaction). On append failure the transaction is **not**
+    /// durable; the caller must roll the in-memory state back so memory
+    /// and log agree.
+    pub(crate) fn wal_txn_commit(&mut self) -> Result<(), StoreError> {
+        let Some(d) = self.durability.as_deref_mut() else {
+            return Ok(());
+        };
+        if !d.in_txn {
+            return Ok(());
+        }
+        d.in_txn = false;
+        let pending = std::mem::take(&mut d.pending);
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let seq = d.txn_seq + 1;
+        let mut frames = Vec::with_capacity(pending.len() + 2);
+        frames.push(WalRecord::Begin { seq });
+        frames.extend(pending);
+        frames.push(WalRecord::Commit { seq });
+        d.writer.append(&frames)?;
+        d.txn_seq = seq;
+        self.note_committed_txn()
+    }
+
+    /// Closes the bracket after a rollback: the buffered deltas (and
+    /// the inverse deltas the undo operations pushed) are discarded —
+    /// nothing of the transaction reaches the log beyond a best-effort
+    /// `Rollback` marker, which replay treats as "no transaction open".
+    pub(crate) fn wal_txn_rollback(&mut self) {
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.in_txn = false;
+            d.pending.clear();
+            let _ = d.writer.append(&[WalRecord::Rollback]);
+        }
     }
 
     /// Immutable access to the underlying database.
@@ -382,6 +731,13 @@ impl Store {
     /// and find them unchanged rather than missing a change.
     pub fn track_touched(&mut self, on: bool) {
         self.touched_log = if on { Some(Vec::new()) } else { None };
+        // Persist the tracking state so a reopened store resumes (or
+        // stays out of) incremental mode. Best-effort: losing the
+        // marker only costs the next open a conservative tracking
+        // state, never correctness of the data itself.
+        if let Some(d) = self.durability.as_deref_mut() {
+            let _ = d.writer.append(&[WalRecord::TrackTouched { on }]);
+        }
     }
 
     /// Drains the touched-id log (sorted, deduplicated). Empty when
@@ -393,6 +749,15 @@ impl Store {
         let mut out = std::mem::take(log);
         out.sort_unstable();
         out.dedup();
+        // Record the drain so a reopened store doesn't hand the
+        // incremental pipeline already-consumed ids. Best-effort: a
+        // lost marker means recovery re-offers ids whose objects the
+        // pipeline then re-examines and finds unchanged — safe.
+        if !out.is_empty() {
+            if let Some(d) = self.durability.as_deref_mut() {
+                let _ = d.writer.append(&[WalRecord::TouchedDrain]);
+            }
+        }
         out
     }
 
@@ -741,6 +1106,10 @@ impl Store {
         }
         self.delta_insert(id);
         self.log_touched(id);
+        if self.durability.is_some() {
+            let obj = self.db.object(id).expect("just inserted").clone();
+            self.wal_op(WalRecord::DeltaInsert(obj))?;
+        }
         Ok(())
     }
 
@@ -793,6 +1162,14 @@ impl Store {
         let old = before.get(&attr).clone();
         self.delta_update(&before.class, id, &attr, &old, &value);
         self.log_touched(id);
+        if self.durability.is_some() {
+            self.wal_op(WalRecord::DeltaUpdate {
+                id,
+                attr,
+                old,
+                new: value,
+            })?;
+        }
         Ok(())
     }
 
@@ -808,6 +1185,7 @@ impl Store {
         }
         self.delta_remove(&obj);
         self.log_touched(id);
+        self.wal_op(WalRecord::DeltaRemove { id })?;
         Ok(obj)
     }
 

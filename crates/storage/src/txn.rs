@@ -141,9 +141,18 @@ impl Transaction {
 
     /// Applies all operations; on the first violation, rolls back every
     /// previously applied operation and reports the failure.
+    ///
+    /// On a durable store the whole transaction reaches the write-ahead
+    /// log as **one contiguous `Begin … Commit` run, appended only on
+    /// success**: per-operation deltas are buffered while the
+    /// transaction runs, a rollback discards them (crash recovery then
+    /// sees nothing of the transaction), and a WAL append failure rolls
+    /// the in-memory state back too, so memory never claims a commit
+    /// the log doesn't hold.
     pub fn commit(self, store: &mut Store) -> TxnOutcome {
         /// A deferred inverse operation.
         type Undo = Box<dyn FnOnce(&mut Store)>;
+        store.wal_txn_begin();
         let mut undo: Vec<Undo> = Vec::new();
         for (i, op) in self.ops.into_iter().enumerate() {
             let result: Result<Undo, StoreError> = match op {
@@ -175,9 +184,14 @@ impl Transaction {
             match result {
                 Ok(u) => undo.push(u),
                 Err(error) => {
+                    // Undo mutations push their inverse deltas into the
+                    // still-open WAL bracket; the rollback below throws
+                    // the whole bracket away, so nothing of this
+                    // transaction reaches the log.
                     for u in undo.into_iter().rev() {
                         u(store);
                     }
+                    store.wal_txn_rollback();
                     return TxnOutcome::RolledBack {
                         failed_at: i,
                         error,
@@ -185,9 +199,21 @@ impl Transaction {
                 }
             }
         }
-        TxnOutcome::Committed {
-            applied: undo.len(),
+        let applied = undo.len();
+        if let Err(error) = store.wal_txn_commit() {
+            // The log refused the transaction: roll memory back so the
+            // two agree, and report the durability failure.
+            store.wal_txn_begin();
+            for u in undo.into_iter().rev() {
+                u(store);
+            }
+            store.wal_txn_rollback();
+            return TxnOutcome::RolledBack {
+                failed_at: applied,
+                error,
+            };
         }
+        TxnOutcome::Committed { applied }
     }
 }
 

@@ -1,0 +1,594 @@
+//! The write-ahead log: an append-only file of CRC32-framed, length-
+//! prefixed records serialized from the same per-object deltas the
+//! store's incremental index maintenance already computes.
+//!
+//! # Frame format
+//!
+//! ```text
+//! +----------------+----------------+=================+
+//! | len: u32 LE    | crc: u32 LE    | payload (len B) |
+//! +----------------+----------------+=================+
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE) of the payload bytes. A frame whose
+//! header is short, whose payload is short, or whose CRC mismatches is
+//! *torn*: replay stops at the end of the previous frame and the tail —
+//! including any later frames that would individually validate — is
+//! discarded and physically truncated on open. Replay therefore never
+//! resurrects bytes written after a corruption point.
+//!
+//! # Commit-boundary atomicity
+//!
+//! A committed transaction is appended as one contiguous byte run:
+//! `Begin{seq}`, its delta records, `Commit{seq}`. Replay buffers
+//! deltas between `Begin` and the matching `Commit` and applies them
+//! only when the `Commit` frame is intact — a crash mid-append loses
+//! the whole transaction, never a prefix of it. Autocommitted single
+//! operations are logged as one-delta transactions. A rolled-back
+//! transaction contributes nothing but a [`WalRecord::Rollback`]
+//! marker: its deltas (and the inverse deltas its undo operations
+//! produce) are discarded before anything reaches the file.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use interop_model::{AttrName, ClassName, Object, ObjectId, Value, R64};
+
+/// Errors from the durability layer (WAL append/replay, snapshots).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DurabilityError {
+    /// An operating-system I/O failure (message includes the path).
+    Io(String),
+    /// A structurally invalid file: a CRC-valid frame whose payload
+    /// does not decode, or a snapshot failing its integrity checks.
+    /// (A *torn tail* is not an error — it is discarded silently.)
+    Corrupt(String),
+    /// Replayed data the model layer rejected — the log and the schema
+    /// disagree (e.g. a schema change since the log was written).
+    Model(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(m) => write!(f, "durability I/O error: {m}"),
+            DurabilityError::Corrupt(m) => write!(f, "corrupt durability file: {m}"),
+            DurabilityError::Model(m) => write!(f, "replayed data rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> DurabilityError {
+    DurabilityError::Io(format!("{}: {e}", path.display()))
+}
+
+/// One logical WAL record. Delta records mirror the store's per-object
+/// incremental deltas; the bracketing records carry transaction
+/// structure; the tracking records persist the touched-id watermark the
+/// incremental pipeline resumes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// Opens transaction `seq` (monotonically increasing).
+    Begin {
+        /// The transaction sequence number.
+        seq: u64,
+    },
+    /// A committed object insertion.
+    DeltaInsert(Object),
+    /// A committed single-attribute update.
+    DeltaUpdate {
+        /// Target object.
+        id: ObjectId,
+        /// Updated attribute.
+        attr: AttrName,
+        /// Value before the update (for diagnostics/audit; forward
+        /// replay applies `new`).
+        old: Value,
+        /// Value after the update.
+        new: Value,
+    },
+    /// A committed object removal.
+    DeltaRemove {
+        /// The removed object's id.
+        id: ObjectId,
+    },
+    /// Closes transaction `seq`; replay applies the buffered deltas.
+    Commit {
+        /// The transaction sequence number (must match the open `Begin`).
+        seq: u64,
+    },
+    /// A rolled-back transaction: nothing was committed (the marker
+    /// exists for audit; replay discards any open transaction).
+    Rollback,
+    /// The touched-id log was drained ([`crate::Store::take_touched`]):
+    /// the incremental-pipeline watermark advances past every commit
+    /// before this record.
+    TouchedDrain,
+    /// Touched-id tracking was switched on or off.
+    TrackTouched {
+        /// The new tracking state.
+        on: bool,
+    },
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven. Vendored: the build environment
+// has no crates.io access.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Binary codec (shared with the snapshot module).
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_id(out: &mut Vec<u8>, id: ObjectId) {
+    put_u32(out, id.space());
+    put_u64(out, id.serial());
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            out.push(3);
+            put_u64(out, r.get().to_bits());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Set(items) => {
+            out.push(5);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+        Value::Ref(id) => {
+            out.push(6);
+            put_id(out, *id);
+        }
+    }
+}
+
+pub(crate) fn put_object(out: &mut Vec<u8>, obj: &Object) {
+    put_id(out, obj.id);
+    put_str(out, obj.class.as_str());
+    put_u32(out, obj.attrs.len() as u32);
+    for (attr, value) in &obj.attrs {
+        put_str(out, attr.as_str());
+        put_value(out, value);
+    }
+}
+
+/// A bounds-checked payload reader; every accessor reports `None` past
+/// the end (decoded into [`DurabilityError::Corrupt`] by callers).
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .and_then(|s| Some(u64::from_le_bytes(s.try_into().ok()?)))
+    }
+
+    pub(crate) fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .and_then(|s| Some(i64::from_le_bytes(s.try_into().ok()?)))
+    }
+
+    pub(crate) fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    pub(crate) fn id(&mut self) -> Option<ObjectId> {
+        let space = self.u32()?;
+        let serial = self.u64()?;
+        Some(ObjectId::new(space, serial))
+    }
+
+    pub(crate) fn value(&mut self) -> Option<Value> {
+        match self.u8()? {
+            0 => Some(Value::Null),
+            1 => Some(Value::Bool(self.u8()? != 0)),
+            2 => Some(Value::Int(self.i64()?)),
+            3 => {
+                let bits = self.u64()?;
+                Some(Value::Real(R64::try_new(f64::from_bits(bits))?))
+            }
+            4 => Some(Value::str(self.str()?)),
+            5 => {
+                let n = self.u32()?;
+                let mut items = std::collections::BTreeSet::new();
+                for _ in 0..n {
+                    items.insert(self.value()?);
+                }
+                Some(Value::Set(items))
+            }
+            6 => Some(Value::Ref(self.id()?)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn object(&mut self) -> Option<Object> {
+        let id = self.id()?;
+        let class = ClassName::new(self.str()?);
+        let mut obj = Object::new(id, class);
+        let n = self.u32()?;
+        for _ in 0..n {
+            let attr = AttrName::new(self.str()?);
+            let value = self.value()?;
+            obj.attrs.insert(attr, value);
+        }
+        Some(obj)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record <-> payload
+// ---------------------------------------------------------------------
+
+const TAG_BEGIN: u8 = 1;
+const TAG_DELTA_INSERT: u8 = 2;
+const TAG_DELTA_UPDATE: u8 = 3;
+const TAG_DELTA_REMOVE: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_ROLLBACK: u8 = 6;
+const TAG_TOUCHED_DRAIN: u8 = 7;
+const TAG_TRACK_TOUCHED: u8 = 8;
+
+fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        WalRecord::Begin { seq } => {
+            out.push(TAG_BEGIN);
+            put_u64(&mut out, *seq);
+        }
+        WalRecord::DeltaInsert(obj) => {
+            out.push(TAG_DELTA_INSERT);
+            put_object(&mut out, obj);
+        }
+        WalRecord::DeltaUpdate { id, attr, old, new } => {
+            out.push(TAG_DELTA_UPDATE);
+            put_id(&mut out, *id);
+            put_str(&mut out, attr.as_str());
+            put_value(&mut out, old);
+            put_value(&mut out, new);
+        }
+        WalRecord::DeltaRemove { id } => {
+            out.push(TAG_DELTA_REMOVE);
+            put_id(&mut out, *id);
+        }
+        WalRecord::Commit { seq } => {
+            out.push(TAG_COMMIT);
+            put_u64(&mut out, *seq);
+        }
+        WalRecord::Rollback => out.push(TAG_ROLLBACK),
+        WalRecord::TouchedDrain => out.push(TAG_TOUCHED_DRAIN),
+        WalRecord::TrackTouched { on } => {
+            out.push(TAG_TRACK_TOUCHED);
+            out.push(u8::from(*on));
+        }
+    }
+    out
+}
+
+fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor::new(payload);
+    let rec = match c.u8()? {
+        TAG_BEGIN => WalRecord::Begin { seq: c.u64()? },
+        TAG_DELTA_INSERT => WalRecord::DeltaInsert(c.object()?),
+        TAG_DELTA_UPDATE => WalRecord::DeltaUpdate {
+            id: c.id()?,
+            attr: AttrName::new(c.str()?),
+            old: c.value()?,
+            new: c.value()?,
+        },
+        TAG_DELTA_REMOVE => WalRecord::DeltaRemove { id: c.id()? },
+        TAG_COMMIT => WalRecord::Commit { seq: c.u64()? },
+        TAG_ROLLBACK => WalRecord::Rollback,
+        TAG_TOUCHED_DRAIN => WalRecord::TouchedDrain,
+        TAG_TRACK_TOUCHED => WalRecord::TrackTouched { on: c.u8()? != 0 },
+        _ => return None,
+    };
+    if !c.is_empty() {
+        return None; // trailing garbage inside a CRC-valid frame
+    }
+    Some(rec)
+}
+
+/// Encodes one record as a complete frame (`len`, `crc`, payload) —
+/// also the corruption-test hook for crafting adversarial files.
+pub fn frame_bytes(rec: &WalRecord) -> Vec<u8> {
+    let payload = encode_record(rec);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The result of scanning a WAL file: every record up to the first torn
+/// or corrupt frame, and the byte length of that valid prefix.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Decoded records of the valid prefix, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset one past each decoded frame (parallel to `records`) —
+    /// replay truncates to the offset after the last frame that closes a
+    /// transaction, discarding an unterminated `Begin …` run along with
+    /// the torn tail.
+    pub frame_ends: Vec<u64>,
+    /// Byte offset one past the last intact frame.
+    pub valid_len: u64,
+    /// Total file length as read (equal to `valid_len` for a clean log).
+    pub file_len: u64,
+}
+
+/// Reads a WAL file, stopping at the first torn or undecodable frame.
+/// A missing file scans as empty. Frames *after* a torn one are
+/// discarded even if individually valid — bytes past a corruption point
+/// are not trusted.
+pub fn scan_wal(path: &Path) -> Result<WalScan, DurabilityError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let file_len = bytes.len() as u64;
+    let mut records = Vec::new();
+    let mut frame_ends = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            break; // torn or clean end
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let Some(payload) = rest.get(8..8 + len) else {
+            break; // torn payload
+        };
+        if crc32(payload) != crc {
+            break; // flipped bits
+        }
+        let Some(rec) = decode_record(payload) else {
+            break; // CRC-valid but undecodable: stop, same as torn
+        };
+        records.push(rec);
+        pos += 8 + len;
+        frame_ends.push(pos as u64);
+    }
+    Ok(WalScan {
+        records,
+        frame_ends,
+        valid_len: pos as u64,
+        file_len,
+    })
+}
+
+/// An append handle over the WAL file. Opening truncates the file to
+/// `valid_len` (discarding any torn tail found by [`scan_wal`]) and
+/// positions at the end; every [`WalWriter::append`] writes its frames
+/// as one contiguous run and flushes before returning.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: std::path::PathBuf,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the log at `path`, truncated to
+    /// `valid_len` bytes.
+    pub fn open(path: &Path, valid_len: u64) -> Result<Self, DurabilityError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.set_len(valid_len).map_err(|e| io_err(path, e))?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+        };
+        w.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err(&w.path, e))?;
+        Ok(w)
+    }
+
+    /// Appends `records` as one contiguous frame run and flushes.
+    pub fn append(&mut self, records: &[WalRecord]) -> Result<(), DurabilityError> {
+        let mut buf = Vec::new();
+        for rec in records {
+            buf.extend_from_slice(&frame_bytes(rec));
+        }
+        self.file
+            .write_all(&buf)
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Discards the entire log (after a successful snapshot captured
+    /// everything it held).
+    pub fn reset(&mut self) -> Result<(), DurabilityError> {
+        self.file.set_len(0).map_err(|e| io_err(&self.path, e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&self.path, e))?;
+        Ok(())
+    }
+
+    /// Current byte length of the log.
+    pub fn len(&mut self) -> Result<u64, DurabilityError> {
+        let mut f = &self.file;
+        f.seek(SeekFrom::End(0)).map_err(|e| io_err(&self.path, e))
+    }
+
+    /// True when the log holds no frames.
+    pub fn is_empty(&mut self) -> Result<bool, DurabilityError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> Object {
+        Object::new(ObjectId::new(7, 42), ClassName::new("Item"))
+            .with("isbn", "90-6196-001")
+            .with("price", 29.5)
+            .with("stock", 3i64)
+            .with("ref?", true)
+            .with("tags", Value::str_set(["a", "b"]))
+            .with("pub", Value::Ref(ObjectId::new(1, 9)))
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = vec![
+            WalRecord::Begin { seq: 3 },
+            WalRecord::DeltaInsert(obj()),
+            WalRecord::DeltaUpdate {
+                id: ObjectId::new(7, 42),
+                attr: AttrName::new("price"),
+                old: Value::real(29.5),
+                new: Value::Null,
+            },
+            WalRecord::DeltaRemove {
+                id: ObjectId::new(7, 42),
+            },
+            WalRecord::Commit { seq: 3 },
+            WalRecord::Rollback,
+            WalRecord::TouchedDrain,
+            WalRecord::TrackTouched { on: true },
+            WalRecord::TrackTouched { on: false },
+        ];
+        for rec in &records {
+            let payload = encode_record(rec);
+            assert_eq!(decode_record(&payload).as_ref(), Some(rec));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_tags() {
+        let mut payload = encode_record(&WalRecord::Rollback);
+        payload.push(0);
+        assert_eq!(decode_record(&payload), None, "trailing garbage");
+        assert_eq!(decode_record(&[99]), None, "unknown tag");
+        assert_eq!(decode_record(&[]), None, "empty payload");
+        // Truncated object payload.
+        let full = encode_record(&WalRecord::DeltaInsert(obj()));
+        assert_eq!(decode_record(&full[..full.len() - 3]), None);
+    }
+
+    #[test]
+    fn nan_real_refuses_to_decode() {
+        // A hand-crafted Real(NaN) payload must not produce a Value —
+        // R64's NaN-freedom invariant holds even for hostile files.
+        let mut payload = vec![TAG_DELTA_UPDATE];
+        put_id(&mut payload, ObjectId::new(0, 0));
+        put_str(&mut payload, "a");
+        put_value(&mut payload, &Value::Null);
+        payload.push(3); // Real tag
+        put_u64(&mut payload, f64::NAN.to_bits());
+        assert_eq!(decode_record(&payload), None);
+    }
+}

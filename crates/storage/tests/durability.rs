@@ -1,0 +1,244 @@
+//! Integration tests for the durability layer: reopen replays committed
+//! work, snapshots truncate the log, the touched-id log survives a
+//! restart without re-logging replayed history, clones are detached,
+//! and `DurabilityMode::Off` touches no files.
+
+use std::path::{Path, PathBuf};
+
+use interop_constraint::Catalog;
+use interop_model::{ClassDef, Database, ObjectId, Schema, Type, Value};
+use interop_storage::{DurabilityMode, Store, Transaction, TxnOutcome};
+
+fn schema() -> Schema {
+    Schema::new(
+        "S",
+        vec![ClassDef::new("Item")
+            .attr("k", Type::Str)
+            .attr("v", Type::Range(0, 1000))],
+    )
+    .expect("static schema")
+}
+
+/// A fresh scratch directory under the system temp dir, unique per
+/// test (and per process, so parallel CI runs don't collide).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interop-dur-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path, mode: DurabilityMode) -> Store {
+    Store::open(Database::new(schema(), 1), Catalog::new(), dir, mode).expect("open")
+}
+
+/// Sorted `(id, attrs)` dump — extent order may legitimately differ
+/// after recovery (snapshot order + WAL order), the *set* may not.
+fn dump(s: &Store) -> Vec<(ObjectId, Vec<(String, Value)>)> {
+    let mut out: Vec<_> = s
+        .db()
+        .objects()
+        .map(|o| {
+            (
+                o.id,
+                o.attrs
+                    .iter()
+                    .map(|(a, v)| (a.to_string(), v.clone()))
+                    .collect(),
+            )
+        })
+        .collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[test]
+fn reopen_replays_committed_ops() {
+    let dir = scratch("reopen");
+    let mut s = open(&dir, DurabilityMode::Wal);
+    let a = s
+        .create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    let b = s
+        .create("Item", vec![("k", "b".into()), ("v", 2i64.into())])
+        .unwrap();
+    s.update(a, "v", Value::int(7)).unwrap();
+    s.remove(b).unwrap();
+    let before = dump(&s);
+    drop(s);
+
+    let mut s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(dump(&s), before);
+    // Serial continuity: new ids must not collide with recovered ones.
+    let c = s
+        .create("Item", vec![("k", "c".into()), ("v", 3i64.into())])
+        .unwrap();
+    assert!(c > a, "fresh id allocated past recovered serials");
+    drop(s);
+    let s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(s.db().len(), 2);
+}
+
+#[test]
+fn txn_commit_replays_rollback_leaves_no_trace() {
+    let dir = scratch("txn");
+    let mut s = open(&dir, DurabilityMode::Wal);
+    let a = s
+        .create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    let txn = Transaction::new().update(a, "v", Value::int(5)).insert(
+        interop_model::Object::new(ObjectId::new(1, 900), "Item".into())
+            .with("k", "t")
+            .with("v", 6i64),
+    );
+    assert!(matches!(txn.commit(&mut s), TxnOutcome::Committed { .. }));
+    // A doomed transaction: the second op violates the schema range, so
+    // the first rolls back — and nothing of it may reach the log.
+    let txn = Transaction::new()
+        .update(a, "v", Value::int(999))
+        .update(a, "v", Value::int(-1));
+    assert!(matches!(txn.commit(&mut s), TxnOutcome::RolledBack { .. }));
+    let before = dump(&s);
+    drop(s);
+
+    let s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(dump(&s), before);
+    assert_eq!(
+        s.db().object(a).unwrap().get(&"v".into()),
+        &Value::int(5),
+        "committed txn survives, rolled-back txn leaves no trace"
+    );
+}
+
+#[test]
+fn snapshots_truncate_wal_and_recover() {
+    let dir = scratch("snap");
+    let mut s = open(&dir, DurabilityMode::WalWithSnapshots);
+    s.set_snapshot_every(4);
+    for i in 0..10i64 {
+        s.create(
+            "Item",
+            vec![("k", format!("k{i}").as_str().into()), ("v", i.into())],
+        )
+        .unwrap();
+    }
+    let before = dump(&s);
+    drop(s);
+    // 10 committed txns at cadence 4 → snapshots at 4 and 8; the WAL
+    // holds only the 2 post-snapshot txns.
+    let wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    assert!(wal > 0, "post-snapshot txns remain in the log");
+    let snaps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .collect();
+    assert_eq!(snaps.len(), 1, "older snapshots pruned");
+
+    let s = open(&dir, DurabilityMode::WalWithSnapshots);
+    assert_eq!(dump(&s), before);
+}
+
+#[test]
+fn snapshot_now_makes_reopen_replay_free() {
+    let dir = scratch("snapnow");
+    let mut s = open(&dir, DurabilityMode::Wal);
+    for i in 0..5i64 {
+        s.create(
+            "Item",
+            vec![("k", format!("k{i}").as_str().into()), ("v", i.into())],
+        )
+        .unwrap();
+    }
+    let before = dump(&s);
+    s.snapshot_now().unwrap();
+    drop(s);
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+        0,
+        "snapshot truncates the log"
+    );
+    let s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(dump(&s), before);
+}
+
+/// Satellite regression: replay must not re-log replayed mutations, and
+/// a drain marker must survive a restart — otherwise a reopened store
+/// hands the incremental pipeline the entire database as "touched".
+#[test]
+fn reopen_does_not_relog_replayed_history() {
+    let dir = scratch("touched");
+    let mut s = open(&dir, DurabilityMode::Wal);
+    s.track_touched(true);
+    let a = s
+        .create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    let b = s
+        .create("Item", vec![("k", "b".into()), ("v", 2i64.into())])
+        .unwrap();
+    assert_eq!(s.take_touched(), vec![a, b], "drained before shutdown");
+    // One more mutation after the drain: the only id a reopened store
+    // may report.
+    s.update(a, "v", Value::int(3)).unwrap();
+    drop(s);
+
+    let mut s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(s.db().len(), 2, "replay applied everything");
+    assert_eq!(
+        s.take_touched(),
+        vec![a],
+        "only post-drain history is touched — replayed mutations are not re-logged"
+    );
+    drop(s);
+
+    // Reopen again with nothing new since that drain.
+    let mut s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(
+        s.take_touched(),
+        Vec::new(),
+        "reopen after a drain reports nothing"
+    );
+}
+
+#[test]
+fn tracking_state_survives_reopen() {
+    let dir = scratch("tracking");
+    let mut s = open(&dir, DurabilityMode::Wal);
+    s.create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    drop(s);
+    // Tracking was never enabled: a reopened store stays untracked.
+    let mut s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(s.take_touched(), Vec::new());
+    s.track_touched(true);
+    let b = s
+        .create("Item", vec![("k", "b".into()), ("v", 2i64.into())])
+        .unwrap();
+    drop(s);
+    // Enabled + one undrained mutation: reopen resumes with exactly it.
+    let mut s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(s.take_touched(), vec![b]);
+}
+
+#[test]
+fn clone_is_detached_and_off() {
+    let dir = scratch("clone");
+    let mut s = open(&dir, DurabilityMode::Wal);
+    s.create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    let mut c = s.clone();
+    assert_eq!(c.durability_mode(), DurabilityMode::Off);
+    c.create("Item", vec![("k", "clone-only".into()), ("v", 2i64.into())])
+        .unwrap();
+    drop(c);
+    drop(s);
+    let s = open(&dir, DurabilityMode::Wal);
+    assert_eq!(s.db().len(), 1, "the clone persisted nothing");
+}
+
+#[test]
+fn off_mode_touches_no_files() {
+    let dir = scratch("off");
+    let s = open(&dir, DurabilityMode::Off);
+    assert_eq!(s.durability_mode(), DurabilityMode::Off);
+    assert!(!dir.exists(), "Off creates neither directory nor files");
+}

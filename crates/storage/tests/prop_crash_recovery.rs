@@ -1,0 +1,258 @@
+//! The tentpole crash-point property suite: a random sequence of
+//! single-op mutations and multi-op transactions (some of which roll
+//! back) runs against a durable store while an in-memory oracle store
+//! applies the same operations. The WAL is then truncated at **every
+//! byte offset** — every possible crash point — and reopened; the
+//! recovered store must equal the oracle's state as of the last
+//! transaction whose full `Begin … Commit` run survived the cut, both
+//! as an object dump and through planned queries.
+
+use std::path::PathBuf;
+
+use interop_constraint::{Catalog, CmpOp, Formula};
+use interop_model::{ClassDef, ClassName, Database, Object, ObjectId, Schema, Type, Value};
+use interop_storage::{DurabilityMode, Optimizer, Store, Transaction};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(
+        "S",
+        vec![ClassDef::new("Item")
+            .attr("k", Type::Str)
+            .attr("v", Type::Range(0, 100))],
+    )
+    .expect("static schema")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interop-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One recovered object: id plus its sorted attribute list.
+type ObjDump = (ObjectId, Vec<(String, Value)>);
+
+fn dump(s: &Store) -> Vec<ObjDump> {
+    let mut out: Vec<_> = s
+        .db()
+        .objects()
+        .map(|o| {
+            (
+                o.id,
+                o.attrs
+                    .iter()
+                    .map(|(a, v)| (a.to_string(), v.clone()))
+                    .collect(),
+            )
+        })
+        .collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// One autocommitted insert.
+    Insert { v: i64 },
+    /// One autocommitted update of an existing object (no-op when the
+    /// population is empty).
+    Update { target: u8, v: i64 },
+    /// One autocommitted remove.
+    Remove { target: u8 },
+    /// A multi-op transaction: two inserts and an update. `doom` makes
+    /// the final update violate the schema range, rolling the whole
+    /// transaction back — recovery must then show no trace of it.
+    Txn { v: i64, doom: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..100).prop_map(|v| Op::Insert { v }),
+        (any::<u8>(), 0i64..100).prop_map(|(target, v)| Op::Update { target, v }),
+        any::<u8>().prop_map(|target| Op::Remove { target }),
+        (0i64..100, any::<bool>()).prop_map(|(v, doom)| Op::Txn { v, doom }),
+    ]
+}
+
+/// Applies one op identically to both stores.
+fn apply(op: &Op, s: &mut Store, fresh: &mut u64) {
+    let ids: Vec<ObjectId> = s.db().objects().map(|o| o.id).collect();
+    let pick = |t: u8| ids.get(t as usize % ids.len().max(1)).copied();
+    match op {
+        Op::Insert { v } => {
+            *fresh += 1;
+            let obj = Object::new(ObjectId::new(1, 1000 + *fresh), ClassName::new("Item"))
+                .with("k", format!("k{fresh}").as_str())
+                .with("v", *v);
+            s.insert(obj).expect("in-range insert");
+        }
+        Op::Update { target, v } => {
+            if let Some(id) = pick(*target) {
+                s.update(id, "v", Value::int(*v)).expect("in-range update");
+            }
+        }
+        Op::Remove { target } => {
+            if let Some(id) = pick(*target) {
+                s.remove(id).expect("existing remove");
+            }
+        }
+        Op::Txn { v, doom } => {
+            *fresh += 1;
+            let a = Object::new(ObjectId::new(1, 1000 + *fresh), ClassName::new("Item"))
+                .with("k", format!("t{fresh}").as_str())
+                .with("v", *v);
+            *fresh += 1;
+            let b = Object::new(ObjectId::new(1, 1000 + *fresh), ClassName::new("Item"))
+                .with("k", format!("t{fresh}").as_str())
+                .with("v", *v);
+            let bad_or_good = if *doom { -1 } else { *v };
+            let txn = Transaction::new().insert(a.clone()).insert(b).update(
+                a.id,
+                "v",
+                Value::int(bad_or_good),
+            );
+            // Committed or rolled back, both stores agree.
+            let _ = txn.commit(s);
+        }
+    }
+}
+
+/// The ids `v == needle` should hit, straight off the oracle dump.
+fn expected_hits(dump: &[ObjDump], needle: i64) -> Vec<ObjectId> {
+    dump.iter()
+        .filter(|(_, attrs)| {
+            attrs
+                .iter()
+                .any(|(a, v)| a == "v" && v == &Value::int(needle))
+        })
+        .map(|(id, _)| *id)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For every byte-offset truncation of the WAL, recovery yields the
+    /// oracle state of the committed prefix.
+    #[test]
+    fn every_truncation_offset_recovers_committed_prefix(
+        ops in prop::collection::vec(arb_op(), 3..8),
+        needle in 0i64..100,
+    ) {
+        let dir = scratch("prop");
+        let wal_path = dir.join("wal.log");
+        let mut durable = Store::open(
+            Database::new(schema(), 1),
+            Catalog::new(),
+            &dir,
+            DurabilityMode::Wal,
+        )
+        .expect("open fresh");
+        let mut oracle = Store::new(Database::new(schema(), 1), Catalog::new());
+        let mut fresh = 0u64;
+
+        // Checkpoints: (WAL length, oracle dump) after every op. The
+        // expected recovery at truncation L is the dump of the largest
+        // checkpoint length <= L — commit-boundary semantics.
+        let mut checkpoints: Vec<(u64, Vec<ObjDump>)> =
+            vec![(0, dump(&oracle))];
+        for op in &ops {
+            let mut f2 = fresh;
+            apply(op, &mut durable, &mut fresh);
+            apply(op, &mut oracle, &mut f2);
+            prop_assert_eq!(f2, fresh);
+            let len = std::fs::metadata(&wal_path).expect("wal exists").len();
+            checkpoints.push((len, dump(&oracle)));
+        }
+        prop_assert_eq!(&dump(&durable), &checkpoints.last().unwrap().1);
+        drop(durable);
+        let pristine = std::fs::read(&wal_path).expect("read wal");
+
+        for cut in 0..=pristine.len() {
+            std::fs::write(&wal_path, &pristine[..cut]).expect("write truncated");
+            let recovered = Store::open(
+                Database::new(schema(), 1),
+                Catalog::new(),
+                &dir,
+                DurabilityMode::Wal,
+            )
+            .expect("recovery never errors on truncation");
+            let expect = &checkpoints
+                .iter()
+                .rev()
+                .find(|(len, _)| *len <= cut as u64)
+                .expect("checkpoint 0 always qualifies")
+                .1;
+            let got = dump(&recovered);
+            prop_assert_eq!(&got, expect, "truncated at byte {}", cut);
+            // Differential query check: the recovered store's planner
+            // answers match the oracle extension.
+            let opt = Optimizer::new(&recovered, "Item", vec![]);
+            let pred = Formula::cmp("v", CmpOp::Eq, needle);
+            let (mut hits, _) = opt.execute(&recovered, &pred).expect("query");
+            hits.sort_unstable();
+            prop_assert_eq!(hits, expected_hits(expect, needle), "query at byte {}", cut);
+        }
+    }
+
+    /// Same crash sweep with snapshots in the mix: the surviving state
+    /// is snapshot + committed WAL tail, and a cut can never lose a
+    /// snapshotted transaction.
+    #[test]
+    fn truncation_with_snapshots_never_loses_snapshotted_state(
+        ops in prop::collection::vec(arb_op(), 4..8),
+    ) {
+        let dir = scratch("prop-snap");
+        let wal_path = dir.join("wal.log");
+        let mut durable = Store::open(
+            Database::new(schema(), 1),
+            Catalog::new(),
+            &dir,
+            DurabilityMode::WalWithSnapshots,
+        )
+        .expect("open fresh");
+        durable.set_snapshot_every(3);
+        let mut oracle = Store::new(Database::new(schema(), 1), Catalog::new());
+        let mut fresh = 0u64;
+        let mut checkpoints: Vec<(u64, Vec<ObjDump>)> =
+            vec![(0, dump(&oracle))];
+        let mut last_len = 0u64;
+        for op in &ops {
+            let mut f2 = fresh;
+            apply(op, &mut durable, &mut fresh);
+            apply(op, &mut oracle, &mut f2);
+            let len = std::fs::metadata(&wal_path).expect("wal exists").len();
+            // A shrinking log means a snapshot fired inside this op:
+            // every earlier checkpoint described the pre-snapshot file
+            // and no longer applies — the snapshot itself now carries
+            // that state, so this op's dump becomes the new base (what
+            // a cut at offset 0 must recover).
+            if len < last_len {
+                checkpoints.clear();
+            }
+            checkpoints.push((len, dump(&oracle)));
+            last_len = len;
+        }
+        drop(durable);
+        let pristine = std::fs::read(&wal_path).expect("read wal");
+
+        for cut in 0..=pristine.len() {
+            std::fs::write(&wal_path, &pristine[..cut]).expect("write truncated");
+            let recovered = Store::open(
+                Database::new(schema(), 1),
+                Catalog::new(),
+                &dir,
+                DurabilityMode::WalWithSnapshots,
+            )
+            .expect("recovery never errors on truncation");
+            let expect = &checkpoints
+                .iter()
+                .rev()
+                .find(|(len, _)| *len <= cut as u64)
+                .expect("snapshot-era checkpoint")
+                .1;
+            prop_assert_eq!(&dump(&recovered), expect, "truncated at byte {}", cut);
+        }
+    }
+}

@@ -245,6 +245,61 @@ fn empty_extension_explain_output_pinned() {
     check("explain_empty", &out);
 }
 
+/// A duplicate-heavy minimum degenerates the histogram's first bucket
+/// to a single point: `x < min` must estimate **zero** rows (the range
+/// is provably empty), while `x <= min` still counts the whole point
+/// bucket. Regression for the `est_range` floor that used to report
+/// such ranges as ≥ 1 row.
+#[test]
+fn point_bucket_range_explain_output_pinned() {
+    use db_interop::constraint::Catalog;
+    use db_interop::model::{ClassDef, Database, Schema, Type};
+    let schema = Schema::new(
+        "Dup",
+        vec![ClassDef::new("Dup")
+            .attr("name", Type::Str)
+            .attr("x", Type::Int)],
+    )
+    .unwrap();
+    let mut store = Store::new(Database::new(schema, 1), Catalog::new());
+    for (i, x) in [0i64, 0, 0, 0, 5, 9].iter().enumerate() {
+        store
+            .create(
+                "Dup",
+                vec![
+                    ("name", format!("d{i}").as_str().into()),
+                    ("x", (*x).into()),
+                ],
+            )
+            .unwrap();
+    }
+    let opt = Optimizer::new(&store, "Dup", vec![]);
+
+    let mut out = String::new();
+    render(
+        &mut out,
+        "x < min over a duplicate-heavy minimum: provably empty",
+        &opt,
+        &store,
+        &Formula::cmp("x", CmpOp::Lt, 0i64),
+    );
+    render(
+        &mut out,
+        "x <= min still counts the whole point bucket",
+        &opt,
+        &store,
+        &Formula::cmp("x", CmpOp::Le, 0i64),
+    );
+    render(
+        &mut out,
+        "x > max is provably empty",
+        &opt,
+        &store,
+        &Formula::cmp("x", CmpOp::Gt, 9i64),
+    );
+    check("explain_point_bucket", &out);
+}
+
 /// Composite admission on the 10k synthetic store: the recurring
 /// `rating = r ∧ shelf = s` pair is planned as a two-way intersection
 /// until the admission threshold, then as one composite lookup — the
