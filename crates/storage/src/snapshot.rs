@@ -5,15 +5,18 @@
 //! (classes ascending by name, objects ascending by id within each
 //! class), closed by a trailing CRC-32 over everything before it.
 //!
-//! # Atomicity
+//! # Atomicity and durability
 //!
-//! Snapshots are written to a `.tmp` sibling and `rename`d into place,
-//! so a crash mid-write leaves either the previous snapshot set or a
-//! stray `.tmp` that loading ignores — never a half-written live file.
-//! After a successful snapshot the WAL is truncated; a crash *between*
-//! those two steps is benign because the snapshot records the
-//! transaction watermark and replay skips WAL transactions at or below
-//! it.
+//! Snapshots are written to a `.tmp` sibling, `sync_all`ed, and only
+//! then `rename`d into place, with a directory fsync after the rename —
+//! so a crash (or power loss, which may reorder unforced writes) leaves
+//! either the previous snapshot set or a stray `.tmp` that loading
+//! ignores, never a live file whose name is durable but whose bytes are
+//! not. [`write_snapshot`] returns only once the new snapshot is fully
+//! durable, which is why callers may prune older snapshots and truncate
+//! the WAL afterwards. A crash *between* snapshot and WAL truncation is
+//! benign because the snapshot records the transaction watermark and
+//! replay skips WAL transactions at or below it.
 //!
 //! # What a snapshot captures
 //!
@@ -23,11 +26,12 @@
 //! Secondary indexes, statistics and composite admissions are *not*
 //! captured: they rebuild lazily exactly as on a fresh store.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use interop_model::{Object, ObjectId};
 
-use crate::wal::{crc32, put_id, put_object, put_u32, put_u64, Cursor, DurabilityError};
+use crate::wal::{crc32, fsync_dir, put_id, put_object, put_u32, put_u64, Cursor, DurabilityError};
 
 /// Snapshot format magic + version. Bump on any layout change.
 const MAGIC: &[u8; 8] = b"IOSNAP01";
@@ -100,7 +104,10 @@ fn decode(bytes: &[u8], path: &Path) -> Result<SnapshotData, DurabilityError> {
         let watermark = c.u64()?;
         let tracking = c.u8()? != 0;
         let n_touched = c.u32()?;
-        let mut touched = Vec::with_capacity(n_touched as usize);
+        // Clamp the pre-allocation: the count is untrusted input, and a
+        // CRC-valid crafted file must not force a huge allocation before
+        // the short body is detected (the loop still reads every id).
+        let mut touched = Vec::with_capacity((n_touched as usize).min(1 << 20));
         for _ in 0..n_touched {
             touched.push(c.id()?);
         }
@@ -122,8 +129,11 @@ fn decode(bytes: &[u8], path: &Path) -> Result<SnapshotData, DurabilityError> {
     parse().ok_or_else(|| corrupt("undecodable body"))
 }
 
-/// Writes a snapshot for `watermark` into `dir` (tmp + atomic rename),
-/// then removes any older snapshot files. Returns the live path.
+/// Writes a snapshot for `watermark` into `dir` (tmp, fsync, atomic
+/// rename, directory fsync), then removes any older snapshot files.
+/// Returns the live path — and returns at all only once the new
+/// snapshot is durable, so callers may safely discard what it replaces
+/// (older snapshots here, the WAL in [`crate::Store::snapshot_now`]).
 pub fn write_snapshot(
     dir: &Path,
     watermark: u64,
@@ -134,8 +144,15 @@ pub fn write_snapshot(
     let bytes = encode(watermark, tracking, touched, objects);
     let live = snapshot_path(dir, watermark);
     let tmp = live.with_extension("snap.tmp");
-    std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+    // The data must be durable *before* the rename: power loss can make
+    // the rename durable ahead of unforced data writes, which would
+    // leave a corrupt live snapshot after the fallbacks are pruned.
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
     std::fs::rename(&tmp, &live).map_err(|e| io_err(&live, e))?;
+    fsync_dir(dir)?;
     // Older snapshots are now redundant; removal failures are benign
     // (loading picks the newest valid file regardless).
     for (path, mark) in list_snapshots(dir)? {

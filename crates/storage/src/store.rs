@@ -57,11 +57,15 @@ pub enum StoreError {
         /// The object already holding the key.
         holder: ObjectId,
     },
-    /// The durability layer failed (WAL append or snapshot write). The
+    /// The durability layer failed **before** anything reached the log
+    /// (WAL append, or an explicit [`Store::snapshot_now`]). The
     /// in-memory state of the failing operation is decided by the call
     /// site: single store operations stay applied (memory runs ahead of
     /// the log, reported loudly); transaction commits roll back so
-    /// memory and log agree.
+    /// memory and log agree. A failure *after* the commit is durable —
+    /// the automatic snapshot cadence — never surfaces here: the commit
+    /// stands and the error is reported via
+    /// [`Store::take_snapshot_error`].
     Durability(DurabilityError),
 }
 
@@ -160,6 +164,11 @@ struct DurabilityState {
     txns_since_snapshot: u64,
     /// Snapshot cadence (`WalWithSnapshots` only).
     snapshot_every: u64,
+    /// The error of the most recent failed *automatic* snapshot, held
+    /// for [`Store::take_snapshot_error`]. Automatic snapshots run
+    /// after the commit is already durable in the WAL, so their failure
+    /// must not fail (let alone roll back) the commit itself.
+    snapshot_error: Option<DurabilityError>,
 }
 
 /// File name of the write-ahead log inside the durability directory.
@@ -464,6 +473,7 @@ impl Store {
             pending: Vec::new(),
             txns_since_snapshot: 0,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            snapshot_error: None,
         }));
         Ok(store)
     }
@@ -527,6 +537,14 @@ impl Store {
     /// WAL. No-op for non-durable stores. Useful before a planned
     /// shutdown to make the next [`Store::open`] replay-free.
     pub fn snapshot_now(&mut self) -> Result<(), StoreError> {
+        self.snapshot_inner().map_err(StoreError::from)
+    }
+
+    /// The shared snapshot body. The WAL is reset only *after*
+    /// [`snapshot::write_snapshot`] returns, i.e. after the new
+    /// snapshot is fully durable — a failure leaves the log (and the
+    /// older snapshots) exactly as they were.
+    fn snapshot_inner(&mut self) -> Result<(), DurabilityError> {
         let Some(d) = self.durability.as_deref_mut() else {
             return Ok(());
         };
@@ -537,6 +555,17 @@ impl Store {
         d.writer.reset()?;
         d.txns_since_snapshot = 0;
         Ok(())
+    }
+
+    /// Takes (and clears) the error of the most recent failed
+    /// *automatic* snapshot, if any. Automatic snapshots run after the
+    /// triggering commit is already durable in the WAL, so their
+    /// failure cannot fail the commit — it is surfaced here instead,
+    /// and the cadence retries on the next committed transaction.
+    pub fn take_snapshot_error(&mut self) -> Option<DurabilityError> {
+        self.durability
+            .as_deref_mut()
+            .and_then(|d| d.snapshot_error.take())
     }
 
     /// Appends one committed single-operation transaction (`Begin`,
@@ -555,23 +584,34 @@ impl Store {
         d.writer
             .append(&[WalRecord::Begin { seq }, rec, WalRecord::Commit { seq }])?;
         d.txn_seq = seq;
-        self.note_committed_txn()
+        self.note_committed_txn();
+        Ok(())
     }
 
     /// Post-commit bookkeeping: counts the transaction towards the
-    /// snapshot cadence and snapshots when it is reached.
-    fn note_committed_txn(&mut self) -> Result<(), StoreError> {
+    /// snapshot cadence and snapshots when it is reached. Infallible by
+    /// design — the transaction is already durable in the WAL when this
+    /// runs, so a snapshot failure must not propagate into the commit
+    /// path (a caller would roll memory back while the log keeps the
+    /// commit, and replay would diverge on reopen). The error is
+    /// stashed for [`Store::take_snapshot_error`]; the unreset cadence
+    /// counter retries the snapshot on the next commit.
+    fn note_committed_txn(&mut self) {
         let Some(d) = self.durability.as_deref_mut() else {
-            return Ok(());
+            return;
         };
         if d.mode != DurabilityMode::WalWithSnapshots {
-            return Ok(());
+            return;
         }
         d.txns_since_snapshot += 1;
-        if d.txns_since_snapshot >= d.snapshot_every {
-            self.snapshot_now()?;
+        if d.txns_since_snapshot < d.snapshot_every {
+            return;
         }
-        Ok(())
+        if let Err(e) = self.snapshot_inner() {
+            if let Some(d) = self.durability.as_deref_mut() {
+                d.snapshot_error = Some(e);
+            }
+        }
     }
 
     /// Opens a WAL transaction bracket: subsequent mutator deltas are
@@ -587,7 +627,9 @@ impl Store {
     /// one contiguous `Begin … Commit` run (nothing, for an empty
     /// transaction). On append failure the transaction is **not**
     /// durable; the caller must roll the in-memory state back so memory
-    /// and log agree.
+    /// and log agree. `Err` is returned **only** for append failures:
+    /// once the append succeeds the transaction is committed for good,
+    /// and post-commit work (the snapshot cadence) runs best-effort.
     pub(crate) fn wal_txn_commit(&mut self) -> Result<(), StoreError> {
         let Some(d) = self.durability.as_deref_mut() else {
             return Ok(());
@@ -607,7 +649,8 @@ impl Store {
         frames.push(WalRecord::Commit { seq });
         d.writer.append(&frames)?;
         d.txn_seq = seq;
-        self.note_committed_txn()
+        self.note_committed_txn();
+        Ok(())
     }
 
     /// Closes the bracket after a rollback: the buffered deltas (and

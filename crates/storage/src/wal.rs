@@ -66,6 +66,20 @@ fn io_err(path: &Path, e: std::io::Error) -> DurabilityError {
     DurabilityError::Io(format!("{}: {e}", path.display()))
 }
 
+/// Flushes directory metadata so a file just created in (or renamed
+/// into) `dir` survives power loss — a data fsync alone does not make
+/// the *name* durable. No-op on platforms without directory handles.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    #[cfg(unix)]
+    {
+        let f = File::open(dir).map_err(|e| io_err(dir, e))?;
+        f.sync_all().map_err(|e| io_err(dir, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
 /// One logical WAL record. Delta records mirror the store's per-object
 /// incremental deltas; the bracketing records carry transaction
 /// structure; the tracking records persist the touched-id watermark the
@@ -461,11 +475,17 @@ pub fn scan_wal(path: &Path) -> Result<WalScan, DurabilityError> {
 pub struct WalWriter {
     file: File,
     path: std::path::PathBuf,
+    /// Set when a failed append left bytes in the file that could not
+    /// be truncated away: the tail may be torn, and a later successful
+    /// append would put valid frames *after* the tear — frames replay
+    /// silently discards. A poisoned writer refuses all appends.
+    poisoned: bool,
 }
 
 impl WalWriter {
     /// Opens (creating if absent) the log at `path`, truncated to
-    /// `valid_len` bytes.
+    /// `valid_len` bytes. The parent directory is fsynced so a freshly
+    /// created log file survives power loss.
     pub fn open(path: &Path, valid_len: u64) -> Result<Self, DurabilityError> {
         let file = OpenOptions::new()
             .read(true)
@@ -475,9 +495,13 @@ impl WalWriter {
             .open(path)
             .map_err(|e| io_err(path, e))?;
         file.set_len(valid_len).map_err(|e| io_err(path, e))?;
+        if let Some(parent) = path.parent() {
+            fsync_dir(parent)?;
+        }
         let mut w = WalWriter {
             file,
             path: path.to_path_buf(),
+            poisoned: false,
         };
         w.file
             .seek(SeekFrom::End(0))
@@ -485,17 +509,45 @@ impl WalWriter {
         Ok(w)
     }
 
-    /// Appends `records` as one contiguous frame run and flushes.
+    /// Appends `records` as one contiguous frame run and flushes. On
+    /// failure the file is truncated back to its pre-append length, so
+    /// the log never holds valid frames after torn bytes; if even the
+    /// truncation fails the writer poisons itself and refuses further
+    /// appends.
     pub fn append(&mut self, records: &[WalRecord]) -> Result<(), DurabilityError> {
+        if self.poisoned {
+            return Err(DurabilityError::Io(format!(
+                "{}: writer poisoned by an unrecovered append failure",
+                self.path.display()
+            )));
+        }
+        let start = self.len()?;
         let mut buf = Vec::new();
         for rec in records {
             buf.extend_from_slice(&frame_bytes(rec));
         }
-        self.file
+        let written = self
+            .file
             .write_all(&buf)
-            .and_then(|()| self.file.flush())
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| io_err(&self.path, e))
+            .and_then(|()| self.file.sync_data());
+        if let Err(e) = written {
+            let restored = self
+                .file
+                .set_len(start)
+                .and_then(|()| self.file.seek(SeekFrom::Start(start)).map(|_| ()));
+            if restored.is_err() {
+                self.poisoned = true;
+            }
+            return Err(io_err(&self.path, e));
+        }
+        Ok(())
+    }
+
+    /// Swaps the underlying file handle — test hook for forcing append
+    /// failures (e.g. a read-only handle) against a real log file.
+    #[cfg(test)]
+    fn swap_file_for_test(&mut self, file: File) -> File {
+        std::mem::replace(&mut self.file, file)
     }
 
     /// Discards the entire log (after a successful snapshot captured
@@ -577,6 +629,37 @@ mod tests {
         // Truncated object payload.
         let full = encode_record(&WalRecord::DeltaInsert(obj()));
         assert_eq!(decode_record(&full[..full.len() - 3]), None);
+    }
+
+    #[test]
+    fn failed_append_never_leaves_bytes_ahead_of_acknowledged_frames() {
+        let dir = std::env::temp_dir().join(format!("interop-wal-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::open(&path, 0).unwrap();
+        w.append(&[WalRecord::Begin { seq: 1 }, WalRecord::Commit { seq: 1 }])
+            .unwrap();
+        let good_len = w.len().unwrap();
+        // Swap in a read-only handle: the write fails, the truncate-back
+        // fails too, and the writer must poison itself rather than let a
+        // later append land after a possible tear.
+        let real = w.swap_file_for_test(File::open(&path).unwrap());
+        assert!(matches!(
+            w.append(&[WalRecord::Rollback]),
+            Err(DurabilityError::Io(_))
+        ));
+        drop(w.swap_file_for_test(real));
+        let err = w.append(&[WalRecord::Rollback]).unwrap_err();
+        assert!(
+            matches!(&err, DurabilityError::Io(m) if m.contains("poisoned")),
+            "writable again, but the writer stays poisoned: {err}"
+        );
+        // The acknowledged prefix is untouched on disk.
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.file_len, good_len, "no torn bytes were persisted");
+        assert_eq!(scan.records.len(), 2);
     }
 
     #[test]

@@ -138,6 +138,48 @@ fn snapshots_truncate_wal_and_recover() {
     assert_eq!(dump(&s), before);
 }
 
+/// Review regression: the automatic snapshot cadence runs *after* the
+/// commit's WAL append succeeded — a snapshot failure at that point
+/// must not report the transaction as rolled back (the log durably
+/// holds it; replay would diverge from a memory rollback, and a
+/// retried insert would then collide on reopen). The commit stands,
+/// the error surfaces via `take_snapshot_error`, and the next commit
+/// retries the snapshot.
+#[test]
+fn snapshot_failure_does_not_roll_back_a_durable_commit() {
+    let dir = scratch("snapfail");
+    let mut s = open(&dir, DurabilityMode::WalWithSnapshots);
+    s.set_snapshot_every(1);
+    // Force the snapshot after the first commit (watermark 1) to fail:
+    // occupy its tmp path with a directory.
+    let blocker = dir.join("snapshot-00000000000000000001.snap.tmp");
+    std::fs::create_dir_all(&blocker).unwrap();
+    let txn = Transaction::new().insert(
+        interop_model::Object::new(ObjectId::new(1, 900), "Item".into())
+            .with("k", "t")
+            .with("v", 6i64),
+    );
+    assert!(
+        matches!(txn.commit(&mut s), TxnOutcome::Committed { .. }),
+        "the WAL append succeeded, so the commit must stand"
+    );
+    let err = s.take_snapshot_error().expect("snapshot failure surfaced");
+    assert!(
+        err.to_string().contains("snap.tmp"),
+        "points at the file: {err}"
+    );
+    assert!(s.take_snapshot_error().is_none(), "taken once");
+    assert_eq!(s.db().len(), 1, "memory keeps the committed txn");
+    // The next commit (watermark 2, free tmp path) retries and succeeds.
+    s.create("Item", vec![("k", "u".into()), ("v", 7i64.into())])
+        .unwrap();
+    assert!(s.take_snapshot_error().is_none(), "retry succeeded");
+    let before = dump(&s);
+    drop(s);
+    let s = open(&dir, DurabilityMode::WalWithSnapshots);
+    assert_eq!(dump(&s), before, "both commits recovered");
+}
+
 #[test]
 fn snapshot_now_makes_reopen_replay_free() {
     let dir = scratch("snapnow");
