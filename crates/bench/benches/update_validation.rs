@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
             &rate,
             |b, _| {
                 b.iter_batched(
-                    || (store.clone(), txn.clone()),
+                    || (store.detached_clone(), txn.clone()),
                     |(mut s, t)| match t.commit(&mut s) {
                         TxnOutcome::Committed { .. } | TxnOutcome::RolledBack { .. } => s,
                     },

@@ -122,6 +122,33 @@ impl IncrementalPipeline {
         self.apply_remote(store.db(), &touched)
     }
 
+    /// Drains a shared MVCC store's touched-id log and folds exactly
+    /// those changes into the view — the concurrent counterpart of
+    /// [`sync_local`](Self::sync_local). The ids and the snapshot they
+    /// are consistent with are taken atomically under the store's
+    /// commit mutex ([`MvccStore::drain_touched`]), so a commit racing
+    /// this call lands either entirely in this sync or entirely in the
+    /// next one.
+    ///
+    /// [`MvccStore::drain_touched`]: interop_storage::MvccStore::drain_touched
+    pub fn sync_shared_local(
+        &mut self,
+        store: &interop_storage::MvccStore,
+    ) -> Result<&IntegratedView, IntegrateError> {
+        let (snapshot, touched) = store.drain_touched();
+        self.apply_local(snapshot.db(), &touched)
+    }
+
+    /// Drains a shared remote-side MVCC store into the view (see
+    /// [`sync_shared_local`](Self::sync_shared_local)).
+    pub fn sync_shared_remote(
+        &mut self,
+        store: &interop_storage::MvccStore,
+    ) -> Result<&IntegratedView, IntegrateError> {
+        let (snapshot, touched) = store.drain_touched();
+        self.apply_remote(snapshot.db(), &touched)
+    }
+
     /// Folds a remote-source mutation into the view (see
     /// [`apply_local`](Self::apply_local)).
     pub fn apply_remote(

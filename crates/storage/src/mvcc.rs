@@ -1,0 +1,693 @@
+//! Multi-version concurrency: many sessions, one store.
+//!
+//! [`MvccStore`] wraps a single-threaded [`Store`] in a cheaply
+//! cloneable, `Send + Sync` handle. Every transaction
+//! ([`MvccStore::begin`]) captures the latest **published snapshot** —
+//! an `Arc<Store>` that is never mutated after publication — so
+//! readers never block writers and never observe a partial commit.
+//! Writes buffer in a transaction-local overlay (a detached copy of
+//! the snapshot, so own writes are visible to the session's reads and
+//! planned queries, and constraints reject doomed operations early)
+//! and reach the shared state only at [`MvccTxn::commit`]:
+//!
+//! 1. **First-committer-wins**: if any object in the transaction's
+//!    write set was committed past the transaction's begin timestamp,
+//!    commit fails with [`CommitError::WriteConflict`].
+//! 2. **Read validation** (default [`ValidationMode::Serializable`]):
+//!    if any *item* the transaction read — object slots, plus
+//!    class-extension items recording what its planned queries
+//!    observed — changed since begin, commit fails with
+//!    [`CommitError::ReadConflict`]. Skipping this step
+//!    ([`ValidationMode::FirstCommitterWins`]) yields classic snapshot
+//!    isolation, whose write-skew anomalies the serializability oracle
+//!    ([`crate::oracle`]) demonstrably catches.
+//! 3. The buffered operations re-commit through the **canonical**
+//!    store — the one [`Store`] that owns durability — as one ordinary
+//!    [`Transaction`], so constraint enforcement and the WAL's
+//!    `Begin…Commit` bracket are exactly the single-threaded code
+//!    path: commits serialize into the log in timestamp order.
+//! 4. The commit timestamp is stamped on every written item, a fresh
+//!    snapshot is published copy-on-write, and (when history recording
+//!    is on) a [`TxnRecord`] is appended for the oracle.
+//!
+//! Commit-time work runs under one commit mutex; everything before it
+//! — reads, planned queries, constraint checks, conflict-free
+//! buffering — touches only the transaction's own snapshot.
+//!
+//! # Example
+//!
+//! ```
+//! use interop_constraint::Catalog;
+//! use interop_model::{ClassDef, Database, Schema, Type, Value};
+//! use interop_storage::{CommitError, MvccStore, Store};
+//!
+//! let schema = Schema::new(
+//!     "Shop",
+//!     vec![ClassDef::new("Item")
+//!         .attr("sku", Type::Str)
+//!         .attr("stock", Type::Int)],
+//! )
+//! .unwrap();
+//! let store = MvccStore::new(Store::new(Database::new(schema, 1), Catalog::new()));
+//!
+//! // Seed one object, then race two sessions over it.
+//! let mut setup = store.begin();
+//! let id = setup
+//!     .create("Item", vec![("sku", "A".into()), ("stock", 10i64.into())])
+//!     .unwrap();
+//! setup.commit().unwrap();
+//!
+//! let (mut t1, mut t2) = (store.begin(), store.begin());
+//! t1.update(id, "stock", Value::int(9)).unwrap();
+//! t2.update(id, "stock", Value::int(3)).unwrap();
+//! t1.commit().unwrap();
+//! // First committer wins; the loser learns it conflicted.
+//! assert!(matches!(t2.commit(), Err(CommitError::WriteConflict { .. })));
+//!
+//! // Readers see the committed value — and a session begun *before* a
+//! // commit keeps its consistent snapshot.
+//! let mut r = store.begin();
+//! assert_eq!(r.get(id).unwrap().get(&"stock".into()), &Value::int(9));
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+use interop_model::fx::FxHashMap;
+use interop_model::{AttrName, ClassName, Object, ObjectId, Value};
+
+use crate::optimize::Optimizer;
+use crate::oracle::{Item, QueryRecord, TxnRecord};
+use crate::store::{DurabilityMode, Store, StoreError};
+use crate::txn::{Transaction, TxnOp, TxnOutcome};
+
+/// Why a [`MvccTxn::commit`] was refused. In every case the shared
+/// store is untouched by the failed transaction — commit is atomic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommitError {
+    /// Another transaction committed a write to an object in this
+    /// transaction's write set after this transaction began
+    /// (first-committer-wins).
+    WriteConflict {
+        /// The contended object.
+        object: ObjectId,
+        /// When the competing write committed.
+        committed_ts: u64,
+        /// This transaction's snapshot timestamp.
+        begin_ts: u64,
+    },
+    /// An item this transaction read changed between begin and commit
+    /// (read validation under [`ValidationMode::Serializable`]).
+    ReadConflict {
+        /// The item whose version moved.
+        item: Item,
+        /// The version this transaction observed.
+        observed_ts: u64,
+        /// The version now committed.
+        committed_ts: u64,
+    },
+    /// The canonical store rejected the buffered operations at commit
+    /// (e.g. a key collision with a concurrently committed insert that
+    /// no object-level conflict check can see). The transaction rolled
+    /// back cleanly.
+    Rejected {
+        /// Index of the failing buffered operation.
+        failed_at: usize,
+        /// The store's reason.
+        error: StoreError,
+    },
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::WriteConflict {
+                object,
+                committed_ts,
+                begin_ts,
+            } => write!(
+                f,
+                "write conflict on {object}: committed at ts {committed_ts}, \
+                 after this txn began at ts {begin_ts}"
+            ),
+            CommitError::ReadConflict {
+                item,
+                observed_ts,
+                committed_ts,
+            } => write!(
+                f,
+                "read conflict on {item}: observed version {observed_ts}, \
+                 now {committed_ts}"
+            ),
+            CommitError::Rejected { failed_at, error } => {
+                write!(f, "rejected at op {failed_at}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// What commit-time validation enforces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidationMode {
+    /// Write-conflict detection **and** read validation: commits admit
+    /// only serializable histories (the oracle's property suite runs
+    /// over this mode and asserts every history it admits is
+    /// serializable).
+    #[default]
+    Serializable,
+    /// Write-conflict detection only — classic snapshot isolation.
+    /// Admits write skew; kept so the test suite can produce real
+    /// anomalies and prove the serializability oracle rejects them.
+    FirstCommitterWins,
+}
+
+/// The committed tail of the store, guarded by the commit mutex.
+struct Committed {
+    /// The canonical store: owns durability; every commit re-applies
+    /// its buffered ops here through the ordinary [`Transaction`]
+    /// path, so the WAL sees one `Begin…Commit` run per commit, in
+    /// timestamp order.
+    store: Store,
+    /// A volatile mirror of `store`, maintained copy-on-write and
+    /// published as the read snapshot. Kept separate so published
+    /// `Arc`s never alias the durability-owning store.
+    mirror: Arc<Store>,
+    /// Item → commit timestamp of its latest committed write.
+    versions: Arc<FxHashMap<Item, u64>>,
+    /// The latest commit timestamp.
+    ts: u64,
+    /// When `Some`, every commit (read-only included) appends its
+    /// [`TxnRecord`] for the serializability oracle.
+    history: Option<Vec<TxnRecord>>,
+}
+
+/// The read-side publication: swapped atomically (under a brief write
+/// lock) after each commit; [`MvccStore::begin`] takes the read lock
+/// only long enough to clone two `Arc`s.
+struct Published {
+    ts: u64,
+    snapshot: Arc<Store>,
+    versions: Arc<FxHashMap<Item, u64>>,
+}
+
+struct Inner {
+    committed: Mutex<Committed>,
+    published: RwLock<Published>,
+    validation: ValidationMode,
+    /// Lock-free object-id allocation for concurrent sessions.
+    next_serial: AtomicU64,
+    space: u32,
+}
+
+/// A shared, thread-safe handle to one MVCC store. Cloning is cheap
+/// (`Arc`); all clones address the same store.
+#[derive(Clone)]
+pub struct MvccStore {
+    inner: Arc<Inner>,
+}
+
+/// Compile-time proof the sharing model holds: handles and in-flight
+/// transactions may cross threads.
+const _: fn() = assert_send_sync::<MvccStore>;
+const _: fn() = assert_send::<MvccTxn>;
+const fn assert_send_sync<T: Send + Sync>() {}
+const fn assert_send<T: Send>() {}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MvccStore {
+    /// Wraps `store` — typically fresh from [`Store::new`] or a
+    /// durable [`Store::open`] — for concurrent use, with the default
+    /// [`ValidationMode::Serializable`].
+    pub fn new(store: Store) -> Self {
+        Self::with_validation(store, ValidationMode::default())
+    }
+
+    /// [`MvccStore::new`] with an explicit validation mode.
+    pub fn with_validation(store: Store, validation: ValidationMode) -> Self {
+        let space = store.db().space();
+        let next_serial = store
+            .db()
+            .objects()
+            .map(|o| o.id.serial())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut mirror = store.detached_clone();
+        // The mirror never feeds the incremental pipeline directly;
+        // keeping its private touched log off stops it growing
+        // unboundedly when the canonical store tracks ids.
+        mirror.track_touched(false);
+        let mirror = Arc::new(mirror);
+        let versions: Arc<FxHashMap<Item, u64>> = Arc::new(FxHashMap::default());
+        MvccStore {
+            inner: Arc::new(Inner {
+                committed: Mutex::new(Committed {
+                    store,
+                    mirror: Arc::clone(&mirror),
+                    versions: Arc::clone(&versions),
+                    ts: 0,
+                    history: None,
+                }),
+                published: RwLock::new(Published {
+                    ts: 0,
+                    snapshot: mirror,
+                    versions,
+                }),
+                validation,
+                next_serial: AtomicU64::new(next_serial),
+                space,
+            }),
+        }
+    }
+
+    /// The validation mode commits run under.
+    pub fn validation(&self) -> ValidationMode {
+        self.inner.validation
+    }
+
+    /// Begins a transaction against the latest published snapshot.
+    /// Dropping the returned [`MvccTxn`] without committing rolls it
+    /// back (it buffered everything locally, so there is nothing to
+    /// undo).
+    pub fn begin(&self) -> MvccTxn {
+        let p = self
+            .inner
+            .published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        MvccTxn {
+            store: self.clone(),
+            begin_ts: p.ts,
+            snapshot: Arc::clone(&p.snapshot),
+            versions: Arc::clone(&p.versions),
+            local: None,
+            ops: Vec::new(),
+            write_objs: BTreeSet::new(),
+            write_classes: BTreeSet::new(),
+            reads: Vec::new(),
+            read_seen: BTreeSet::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    /// The latest published snapshot — a consistent, immutable view
+    /// for ad-hoc reads outside any transaction.
+    pub fn read_view(&self) -> Arc<Store> {
+        let p = self
+            .inner
+            .published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(&p.snapshot)
+    }
+
+    /// The latest commit timestamp (0 before the first commit).
+    pub fn last_commit_ts(&self) -> u64 {
+        self.inner
+            .published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ts
+    }
+
+    /// Allocates a fresh object id, unique across all sessions.
+    pub fn fresh_id(&self) -> ObjectId {
+        let serial = self.inner.next_serial.fetch_add(1, Ordering::Relaxed);
+        ObjectId::new(self.inner.space, serial)
+    }
+
+    /// Starts (`true`) or stops-and-discards (`false`) history
+    /// recording for the serializability oracle: while on, every
+    /// commit appends a [`TxnRecord`].
+    pub fn record_history(&self, on: bool) {
+        lock(&self.inner.committed).history = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the recorded history (empty when recording is off).
+    pub fn take_history(&self) -> Vec<TxnRecord> {
+        let mut c = lock(&self.inner.committed);
+        match &mut c.history {
+            Some(h) => std::mem::take(h),
+            None => Vec::new(),
+        }
+    }
+
+    /// Starts or stops the canonical store's touched-id log (see
+    /// [`Store::track_touched`]).
+    pub fn track_touched(&self, on: bool) {
+        lock(&self.inner.committed).store.track_touched(on);
+    }
+
+    /// Atomically drains the touched-id log and returns it together
+    /// with the snapshot those ids are consistent with — the
+    /// incremental-pipeline entry point for shared stores (both sides
+    /// taken under the commit mutex, so no commit can slip between
+    /// them).
+    pub fn drain_touched(&self) -> (Arc<Store>, Vec<ObjectId>) {
+        let mut c = lock(&self.inner.committed);
+        let touched = c.store.take_touched();
+        (Arc::clone(&c.mirror), touched)
+    }
+
+    /// The canonical store's durability mode.
+    pub fn durability_mode(&self) -> DurabilityMode {
+        lock(&self.inner.committed).store.durability_mode()
+    }
+
+    /// Snapshots the canonical store now (see [`Store::snapshot_now`]).
+    pub fn snapshot_now(&self) -> Result<(), StoreError> {
+        lock(&self.inner.committed).store.snapshot_now()
+    }
+
+    /// Unwraps the canonical store when this is the last handle;
+    /// returns the handle unchanged otherwise.
+    pub fn into_store(self) -> Result<Store, MvccStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner
+                .committed
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .store),
+            Err(inner) => Err(MvccStore { inner }),
+        }
+    }
+}
+
+impl fmt::Debug for MvccStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MvccStore")
+            .field("last_commit_ts", &self.last_commit_ts())
+            .field("validation", &self.inner.validation)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One session's transaction: snapshot reads, locally buffered writes,
+/// validate-then-commit. `Send`, so worker threads can own one each.
+pub struct MvccTxn {
+    store: MvccStore,
+    begin_ts: u64,
+    /// The published snapshot this transaction reads.
+    snapshot: Arc<Store>,
+    /// Item versions as of `begin_ts` (what reads observe).
+    versions: Arc<FxHashMap<Item, u64>>,
+    /// Lazily created overlay: snapshot + own writes, so reads and
+    /// planned queries see the transaction's own effects and doomed
+    /// operations are rejected by real constraint checks immediately.
+    local: Option<Box<Store>>,
+    /// Buffered operations, re-committed through the canonical store.
+    ops: Vec<TxnOp>,
+    write_objs: BTreeSet<ObjectId>,
+    write_classes: BTreeSet<ClassName>,
+    /// Items read, with the version observed (recorded once each).
+    reads: Vec<(Item, u64)>,
+    read_seen: BTreeSet<Item>,
+    queries: Vec<QueryRecord>,
+}
+
+impl MvccTxn {
+    /// The snapshot timestamp this transaction reads at.
+    pub fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    /// The store the transaction currently reads: the local overlay
+    /// once it has written, the shared snapshot before.
+    fn reading_store(&self) -> &Store {
+        match &self.local {
+            Some(l) => l,
+            None => &self.snapshot,
+        }
+    }
+
+    fn observed_version(&self, item: &Item) -> u64 {
+        self.versions.get(item).copied().unwrap_or(0)
+    }
+
+    /// Records a read of `item` at its snapshot version, once.
+    fn note_read(&mut self, item: Item) {
+        if self.read_seen.insert(item.clone()) {
+            let v = self.observed_version(&item);
+            self.reads.push((item, v));
+        }
+    }
+
+    /// Records a write of `id`: the slot itself plus the class-level
+    /// items of its class and every ancestor, so concurrent planned
+    /// queries over any covering extension conflict (phantom
+    /// protection) and same-class writers are totally ordered.
+    fn note_write(&mut self, id: ObjectId, class: &ClassName) {
+        self.write_objs.insert(id);
+        for c in self.snapshot.db().schema.self_and_ancestors(class) {
+            self.write_classes.insert(c);
+        }
+    }
+
+    fn local_mut(&mut self) -> &mut Store {
+        if self.local.is_none() {
+            self.local = Some(Box::new(self.snapshot.detached_clone()));
+        }
+        match &mut self.local {
+            Some(l) => l,
+            None => unreachable!("just installed above"),
+        }
+    }
+
+    /// Reads one object (own uncommitted writes visible). Reads of
+    /// objects this transaction has not written are recorded for
+    /// commit-time validation — including reads that find nothing.
+    pub fn get(&mut self, id: ObjectId) -> Option<Object> {
+        if !self.write_objs.contains(&id) {
+            self.note_read(Item::Obj(id));
+        }
+        self.reading_store().db().object(id).cloned()
+    }
+
+    /// Buffers an insert, validated against the transaction's view.
+    pub fn insert(&mut self, obj: Object) -> Result<(), StoreError> {
+        let (id, class) = (obj.id, obj.class.clone());
+        self.local_mut().insert(obj.clone())?;
+        self.note_write(id, &class);
+        self.ops.push(TxnOp::Insert(obj));
+        Ok(())
+    }
+
+    /// Creates and inserts an object of `class` with a globally fresh
+    /// id, returning the id.
+    pub fn create(
+        &mut self,
+        class: impl Into<ClassName>,
+        attrs: Vec<(&str, Value)>,
+    ) -> Result<ObjectId, StoreError> {
+        let id = self.store.fresh_id();
+        let mut obj = Object::new(id, class.into());
+        for (name, v) in attrs {
+            obj.set(name, v);
+        }
+        self.insert(obj)?;
+        Ok(id)
+    }
+
+    /// Buffers a single-attribute update (read-modify-write: the
+    /// target's snapshot version joins the read set).
+    pub fn update(
+        &mut self,
+        id: ObjectId,
+        attr: impl Into<AttrName>,
+        value: Value,
+    ) -> Result<(), StoreError> {
+        if !self.write_objs.contains(&id) {
+            self.note_read(Item::Obj(id));
+        }
+        let attr = attr.into();
+        let local = self.local_mut();
+        let class = local.db().object_req(id)?.class.clone();
+        local.update(id, attr.clone(), value.clone())?;
+        self.note_write(id, &class);
+        self.ops.push(TxnOp::Update { id, attr, value });
+        Ok(())
+    }
+
+    /// Buffers a removal (read-modify-write, like
+    /// [`MvccTxn::update`]).
+    pub fn remove(&mut self, id: ObjectId) -> Result<Object, StoreError> {
+        if !self.write_objs.contains(&id) {
+            self.note_read(Item::Obj(id));
+        }
+        let obj = self.local_mut().remove(id)?;
+        self.note_write(id, &obj.class);
+        self.ops.push(TxnOp::Delete(id));
+        Ok(obj)
+    }
+
+    /// Runs a planned query against the transaction's view (own
+    /// writes visible), recording the queried class and every hit for
+    /// commit-time validation and for the oracle.
+    pub fn query(
+        &mut self,
+        class: impl Into<ClassName>,
+        predicate: &interop_constraint::Formula,
+    ) -> Result<Vec<ObjectId>, StoreError> {
+        let class = class.into();
+        let store = self.reading_store();
+        let opt = Optimizer::new(store, class.clone(), Vec::new());
+        let (mut hits, _) = opt.execute(store, predicate)?;
+        hits.sort_unstable();
+        self.note_read(Item::Class(class.clone()));
+        for &id in &hits {
+            if !self.write_objs.contains(&id) {
+                self.note_read(Item::Obj(id));
+            }
+        }
+        self.queries.push(QueryRecord {
+            class,
+            predicate: predicate.clone(),
+            hits: hits.clone(),
+            at: self.ops.len(),
+        });
+        Ok(hits)
+    }
+
+    /// Discards the transaction. Equivalent to dropping it; provided
+    /// so call sites can say what they mean.
+    pub fn rollback(self) {}
+
+    /// Validates and commits, returning the commit timestamp.
+    ///
+    /// Read-only transactions always succeed, with
+    /// `commit timestamp == begin timestamp` — they are serializable
+    /// at their snapshot position by construction and skip validation
+    /// entirely.
+    pub fn commit(self) -> Result<u64, CommitError> {
+        let MvccTxn {
+            store,
+            begin_ts,
+            ops,
+            write_objs,
+            write_classes,
+            reads,
+            queries,
+            ..
+        } = self;
+        let inner = &store.inner;
+        let mut c = lock(&inner.committed);
+
+        if ops.is_empty() {
+            if let Some(h) = &mut c.history {
+                h.push(TxnRecord {
+                    txn: h.len(),
+                    begin_ts,
+                    commit_ts: begin_ts,
+                    reads,
+                    writes: Vec::new(),
+                    ops: Vec::new(),
+                    queries,
+                });
+            }
+            return Ok(begin_ts);
+        }
+
+        // 1. First-committer-wins on the object write set.
+        for &id in &write_objs {
+            let cur = c.versions.get(&Item::Obj(id)).copied().unwrap_or(0);
+            if cur > begin_ts {
+                return Err(CommitError::WriteConflict {
+                    object: id,
+                    committed_ts: cur,
+                    begin_ts,
+                });
+            }
+        }
+
+        // 2. Read validation (serializable mode).
+        if inner.validation == ValidationMode::Serializable {
+            for (item, v) in &reads {
+                let cur = c.versions.get(item).copied().unwrap_or(0);
+                if cur != *v {
+                    return Err(CommitError::ReadConflict {
+                        item: item.clone(),
+                        observed_ts: *v,
+                        committed_ts: cur,
+                    });
+                }
+            }
+        }
+
+        // 3. Re-commit through the canonical store: full constraint
+        // enforcement plus the WAL `Begin…Commit` bracket.
+        match Transaction::from_ops(ops.clone()).commit(&mut c.store) {
+            TxnOutcome::RolledBack { failed_at, error } => {
+                return Err(CommitError::Rejected { failed_at, error });
+            }
+            TxnOutcome::Committed { .. } => {}
+        }
+
+        // 4. Stamp versions and publish a fresh snapshot.
+        c.ts += 1;
+        let ts = c.ts;
+        let mut writes = Vec::with_capacity(write_objs.len() + write_classes.len());
+        {
+            let versions = Arc::make_mut(&mut c.versions);
+            for &id in &write_objs {
+                versions.insert(Item::Obj(id), ts);
+                writes.push(Item::Obj(id));
+            }
+            for cl in &write_classes {
+                versions.insert(Item::Class(cl.clone()), ts);
+                writes.push(Item::Class(cl.clone()));
+            }
+        }
+        if Arc::get_mut(&mut c.mirror).is_none() {
+            // Readers still hold the published snapshot: copy-on-write.
+            let mut fresh = c.mirror.detached_clone();
+            fresh.track_touched(false);
+            c.mirror = Arc::new(fresh);
+        }
+        if let Some(m) = Arc::get_mut(&mut c.mirror) {
+            let outcome = Transaction::from_ops(ops.clone()).commit(m);
+            debug_assert!(
+                matches!(outcome, TxnOutcome::Committed { .. }),
+                "mirror diverged from the canonical store"
+            );
+        }
+        if let Some(h) = &mut c.history {
+            h.push(TxnRecord {
+                txn: h.len(),
+                begin_ts,
+                commit_ts: ts,
+                reads,
+                writes,
+                ops,
+                queries,
+            });
+        }
+        let published = Published {
+            ts,
+            snapshot: Arc::clone(&c.mirror),
+            versions: Arc::clone(&c.versions),
+        };
+        // Publish while still holding the commit mutex, so snapshots
+        // become visible in commit order.
+        *inner
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = published;
+        Ok(ts)
+    }
+}
+
+impl fmt::Debug for MvccTxn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MvccTxn")
+            .field("begin_ts", &self.begin_ts)
+            .field("ops", &self.ops.len())
+            .field("reads", &self.reads.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,500 @@
+//! A black-box serializability oracle over recorded transaction
+//! histories, in the style of *Vbox: Efficient Black-Box
+//! Serializability Verification* (arxiv 2503.05163).
+//!
+//! The MVCC layer ([`crate::mvcc`]) can record, for every transaction
+//! it commits, the *items* it read (with the commit timestamp of the
+//! version it observed) and the items it wrote — object slots plus
+//! class-level "predicate" items that stand in for the extension a
+//! planned query scanned. From those records alone — no knowledge of
+//! the store's internals — [`check`] builds the **direct serialization
+//! graph**:
+//!
+//! * **WR** (write→read): T₁ wrote the version T₂ read,
+//! * **WW** (write→write): T₁ wrote the version T₂ overwrote,
+//! * **RW** (read→write, anti-dependency): T₁ read a version T₂
+//!   replaced,
+//!
+//! and accepts the history **iff the graph is acyclic**, returning a
+//! recovered serial order (a topological sort) that every edge
+//! respects. [`check_order`] additionally validates an externally
+//! observed order — e.g. the WAL's `Begin…Commit` run order — against
+//! the graph, and [`replay`] re-executes a history's operations in a
+//! serial order through a fresh single-threaded [`Store`], re-running
+//! each recorded planned query and comparing its answer, which turns
+//! "some serial history exists" into "this serial history produces the
+//! same dumps and query answers".
+//!
+//! The oracle is deliberately independent of the MVCC commit path: it
+//! never looks at timestamps to decide acceptance (timestamps only
+//! dedupe version identity), so a concurrency-control bug that lets a
+//! non-serializable interleaving commit shows up as a cycle here —
+//! `tests/oracle_nonvacuity.rs` proves the checker can actually fail
+//! by feeding it a hand-seeded write-skew history.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use interop_constraint::Formula;
+use interop_model::{ClassName, ObjectId};
+
+use crate::optimize::Optimizer;
+use crate::store::Store;
+use crate::txn::TxnOp;
+
+/// One versioned item a transaction can read or write.
+///
+/// `Obj` is an object slot. `Class` is the predicate-level item for a
+/// class extension: a planned query records a read of the queried
+/// class, and every mutation records a write of the object's class and
+/// all its ancestors — so a query's *absence* observations (objects it
+/// did not see) still conflict with concurrent inserts/deletes that
+/// would have changed its answer (phantom protection).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Item {
+    /// An object slot.
+    Obj(ObjectId),
+    /// A class extension (predicate item).
+    Class(ClassName),
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Obj(id) => write!(f, "obj {id}"),
+            Item::Class(c) => write!(f, "class {c}"),
+        }
+    }
+}
+
+/// One planned query a transaction ran, with the answer it observed —
+/// replayed verbatim by [`replay`] to check that the recovered serial
+/// order reproduces it. `at` is the number of buffered write
+/// operations the transaction had issued when the query ran, so replay
+/// can interleave queries and writes exactly as the session did.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// The queried class.
+    pub class: ClassName,
+    /// The predicate.
+    pub predicate: Formula,
+    /// The ids the planner returned, sorted.
+    pub hits: Vec<ObjectId>,
+    /// Buffered-op count at query time (own-writes visibility point).
+    pub at: usize,
+}
+
+/// The record of one *committed* transaction: everything the oracle
+/// needs, nothing the store's internals leak.
+#[derive(Clone, Debug)]
+pub struct TxnRecord {
+    /// Index of this transaction in the history (graph node id).
+    pub txn: usize,
+    /// Published commit timestamp at begin (the snapshot it read).
+    pub begin_ts: u64,
+    /// Commit timestamp (`== begin_ts` for read-only transactions).
+    pub commit_ts: u64,
+    /// Items read, each with the commit timestamp of the version
+    /// observed (0 = the initial, never-written version).
+    pub reads: Vec<(Item, u64)>,
+    /// Items written (their new version is `commit_ts`).
+    pub writes: Vec<Item>,
+    /// The committed operations, for [`replay`].
+    pub ops: Vec<TxnOp>,
+    /// Planned queries run inside the transaction, for [`replay`].
+    pub queries: Vec<QueryRecord>,
+}
+
+/// The kind of a direct-serialization-graph edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// `from` wrote the version `to` read.
+    WriteRead,
+    /// `from` wrote the version `to` overwrote.
+    WriteWrite,
+    /// `from` read a version `to` replaced (anti-dependency).
+    ReadWrite,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::WriteRead => write!(f, "WR"),
+            EdgeKind::WriteWrite => write!(f, "WW"),
+            EdgeKind::ReadWrite => write!(f, "RW"),
+        }
+    }
+}
+
+/// One dependency edge: `from` must precede `to` in any equivalent
+/// serial order.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Preceding transaction (history index).
+    pub from: usize,
+    /// Following transaction (history index).
+    pub to: usize,
+    /// Dependency kind.
+    pub kind: EdgeKind,
+    /// The item the dependency is on.
+    pub item: Item,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T{} -{}-> T{} on {}",
+            self.from, self.kind, self.to, self.item
+        )
+    }
+}
+
+/// The oracle's verdict on a history.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The graph is acyclic: the history is serializable, equivalent to
+    /// executing `order` serially.
+    Serializable {
+        /// A topological order of the history (indices into it).
+        order: Vec<usize>,
+        /// The full edge set, for diagnostics.
+        edges: Vec<Edge>,
+    },
+    /// The graph has a cycle: no serial order exists.
+    Cyclic {
+        /// The transactions on one dependency cycle.
+        cycle: Vec<usize>,
+        /// The full edge set.
+        edges: Vec<Edge>,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Serializable`].
+    pub fn is_serializable(&self) -> bool {
+        matches!(self, Verdict::Serializable { .. })
+    }
+}
+
+/// Builds the direct serialization graph of `history`: WR, WW and RW
+/// edges between distinct transactions, deduplicated and sorted.
+///
+/// Version identity comes from the recorded timestamps: the writers of
+/// an item, ordered by commit timestamp, form its version chain;
+/// version 0 is the initial state. A read of version `v` depends on
+/// the writer that committed at `v` (WR) and anti-depends on the next
+/// writer after `v` (RW); consecutive writers form WW edges.
+pub fn serialization_edges(history: &[TxnRecord]) -> Vec<Edge> {
+    // Item → its writers as (commit_ts, txn), in version-chain order.
+    let mut writers: BTreeMap<&Item, Vec<(u64, usize)>> = BTreeMap::new();
+    for t in history {
+        for w in &t.writes {
+            writers.entry(w).or_default().push((t.commit_ts, t.txn));
+        }
+    }
+    for chain in writers.values_mut() {
+        chain.sort_unstable();
+    }
+
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    for (item, chain) in &writers {
+        for pair in chain.windows(2) {
+            let (from, to) = (pair[0].1, pair[1].1);
+            if from != to {
+                edges.insert(Edge {
+                    from,
+                    to,
+                    kind: EdgeKind::WriteWrite,
+                    item: (*item).clone(),
+                });
+            }
+        }
+    }
+    for t in history {
+        for (item, v) in &t.reads {
+            let Some(chain) = writers.get(item) else {
+                continue;
+            };
+            if *v > 0 {
+                // The writer that produced the observed version.
+                if let Ok(i) = chain.binary_search_by(|(ts, _)| ts.cmp(v)) {
+                    let w = chain[i].1;
+                    if w != t.txn {
+                        edges.insert(Edge {
+                            from: w,
+                            to: t.txn,
+                            kind: EdgeKind::WriteRead,
+                            item: item.clone(),
+                        });
+                    }
+                }
+            }
+            // The first writer past the observed version replaced it.
+            if let Some((_, w)) = chain.iter().find(|(ts, _)| ts > v) {
+                if *w != t.txn {
+                    edges.insert(Edge {
+                        from: t.txn,
+                        to: *w,
+                        kind: EdgeKind::ReadWrite,
+                        item: item.clone(),
+                    });
+                }
+            }
+        }
+    }
+    edges.into_iter().collect()
+}
+
+/// Accepts `history` iff its direct serialization graph is acyclic,
+/// returning a recovered serial order (or one offending cycle).
+///
+/// Ties in the topological sort are broken by commit timestamp, so the
+/// recovered order is deterministic and — for histories produced by a
+/// correct first-committer-wins MVCC — coincides with commit order.
+pub fn check(history: &[TxnRecord]) -> Verdict {
+    let edges = serialization_edges(history);
+    let n = history.len();
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &edges {
+        adj[e.from].push(e.to);
+        indeg[e.to] += 1;
+    }
+
+    // Kahn's algorithm with a commit-ts tie-break.
+    let mut ready: BTreeSet<(u64, usize)> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| (history[i].commit_ts, i))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&(ts, i)) = ready.iter().next() {
+        ready.remove(&(ts, i));
+        order.push(i);
+        for &j in &adj[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.insert((history[j].commit_ts, j));
+            }
+        }
+    }
+    if order.len() == n {
+        return Verdict::Serializable { order, edges };
+    }
+
+    // Extract one cycle from the leftover subgraph: walk successors
+    // with positive in-degree until a node repeats.
+    let mut cycle = Vec::new();
+    let mut seen = vec![usize::MAX; n];
+    if let Some(start) = (0..n).find(|&i| indeg[i] > 0) {
+        let mut cur = start;
+        loop {
+            if seen[cur] != usize::MAX {
+                cycle = cycle.split_off(seen[cur]);
+                break;
+            }
+            seen[cur] = cycle.len();
+            cycle.push(cur);
+            match adj[cur].iter().find(|&&j| indeg[j] > 0) {
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+    }
+    Verdict::Cyclic { cycle, edges }
+}
+
+/// Validates an externally observed order (e.g. the WAL's
+/// `Begin…Commit` run order) against the history's dependency graph:
+/// the order — which may cover only a subset of the history, such as
+/// its write transactions — must not contradict any dependency path.
+///
+/// Returns `Err` with a human-readable violation when some transaction
+/// placed earlier in `order` is reachable (via dependency edges) *from*
+/// one placed later.
+pub fn check_order(history: &[TxnRecord], order: &[usize]) -> Result<(), String> {
+    let edges = serialization_edges(history);
+    let n = history.len();
+    for &i in order {
+        if i >= n {
+            return Err(format!("order names T{i}, but the history has {n} txns"));
+        }
+    }
+    // Transitive closure by DFS from every ordered node (histories the
+    // test suites feed in are a few thousand nodes at most).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &edges {
+        adj[e.from].push(e.to);
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+    for &start in order {
+        let mut stack = vec![start];
+        let mut seen = vec![false; n];
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            for &j in &adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                    if pos[j] != usize::MAX && pos[j] < pos[start] {
+                        return Err(format!(
+                            "T{start} (position {}) must precede T{j} (position {}): \
+                             a dependency path runs T{start} → … → T{j}",
+                            pos[start], pos[j]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays `history` in `order` through `base` — a fresh
+/// single-threaded store holding the same initial state the concurrent
+/// run began from — re-running every recorded planned query at its
+/// recorded position and comparing answers.
+///
+/// A serializable history replayed in a valid serial order must apply
+/// cleanly (every op re-commits) and reproduce every query answer;
+/// any divergence is returned as a human-readable error.
+pub fn replay(history: &[TxnRecord], order: &[usize], base: &mut Store) -> Result<(), String> {
+    for &i in order {
+        let Some(t) = history.get(i) else {
+            return Err(format!("order names T{i}, beyond the history"));
+        };
+        let mut queries: Vec<&QueryRecord> = t.queries.iter().collect();
+        queries.sort_by_key(|q| q.at);
+        let mut applied = 0;
+        let mut run_ops = |upto: usize, base: &mut Store| -> Result<(), String> {
+            while applied < upto.min(t.ops.len()) {
+                apply_op(&t.ops[applied], base)
+                    .map_err(|e| format!("T{i} op {applied} failed on replay: {e}"))?;
+                applied += 1;
+            }
+            Ok(())
+        };
+        for q in queries {
+            run_ops(q.at, base)?;
+            let opt = Optimizer::new(base, q.class.clone(), Vec::new());
+            let (mut hits, _) = opt
+                .execute(base, &q.predicate)
+                .map_err(|e| format!("T{i} query failed on replay: {e}"))?;
+            hits.sort_unstable();
+            if hits != q.hits {
+                return Err(format!(
+                    "T{i} query on {} diverged: recorded {:?}, replay found {:?}",
+                    q.class, q.hits, hits
+                ));
+            }
+        }
+        run_ops(t.ops.len(), base)?;
+    }
+    Ok(())
+}
+
+fn apply_op(op: &TxnOp, s: &mut Store) -> Result<(), crate::store::StoreError> {
+    match op {
+        TxnOp::Insert(obj) => s.insert(obj.clone()),
+        TxnOp::Update { id, attr, value } => s.update(*id, attr.clone(), value.clone()),
+        TxnOp::Delete(id) => s.remove(*id).map(|_| ()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(txn: usize, begin_ts: u64, commit_ts: u64) -> TxnRecord {
+        TxnRecord {
+            txn,
+            begin_ts,
+            commit_ts,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            ops: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    fn obj(n: u64) -> Item {
+        Item::Obj(ObjectId::new(1, n))
+    }
+
+    #[test]
+    fn empty_and_independent_histories_are_serializable() {
+        assert!(check(&[]).is_serializable());
+        let mut a = rec(0, 0, 1);
+        a.writes.push(obj(1));
+        let mut b = rec(1, 0, 2);
+        b.writes.push(obj(2));
+        let v = check(&[a, b]);
+        match v {
+            Verdict::Serializable { order, edges } => {
+                assert_eq!(order, vec![0, 1]);
+                assert!(edges.is_empty());
+            }
+            Verdict::Cyclic { .. } => panic!("independent txns can't cycle"),
+        }
+    }
+
+    #[test]
+    fn wr_ww_rw_edges_are_derived() {
+        // T0 writes x@1; T1 reads x@1 and writes x@2.
+        let mut t0 = rec(0, 0, 1);
+        t0.writes.push(obj(1));
+        let mut t1 = rec(1, 1, 2);
+        t1.reads.push((obj(1), 1));
+        t1.writes.push(obj(1));
+        // T2 read x@1 before T1 replaced it: RW anti-dependency.
+        let mut t2 = rec(2, 1, 3);
+        t2.reads.push((obj(1), 1));
+        let edges = serialization_edges(&[t0, t1, t2]);
+        let kinds: Vec<(usize, usize, EdgeKind)> =
+            edges.iter().map(|e| (e.from, e.to, e.kind)).collect();
+        assert!(kinds.contains(&(0, 1, EdgeKind::WriteRead)));
+        assert!(kinds.contains(&(0, 1, EdgeKind::WriteWrite)));
+        assert!(kinds.contains(&(0, 2, EdgeKind::WriteRead)));
+        assert!(kinds.contains(&(2, 1, EdgeKind::ReadWrite)));
+    }
+
+    #[test]
+    fn rw_cycle_is_rejected() {
+        // Classic write skew: T0 reads y@0 writes x; T1 reads x@0
+        // writes y. Two anti-dependency edges, one cycle.
+        let mut t0 = rec(0, 0, 1);
+        t0.reads.push((obj(2), 0));
+        t0.writes.push(obj(1));
+        let mut t1 = rec(1, 0, 2);
+        t1.reads.push((obj(1), 0));
+        t1.writes.push(obj(2));
+        match check(&[t0, t1]) {
+            Verdict::Cyclic { cycle, edges } => {
+                assert_eq!(edges.len(), 2);
+                let mut c = cycle;
+                c.sort_unstable();
+                assert_eq!(c, vec![0, 1]);
+            }
+            Verdict::Serializable { .. } => panic!("write skew must be rejected"),
+        }
+    }
+
+    #[test]
+    fn check_order_flags_contradictions() {
+        let mut t0 = rec(0, 0, 1);
+        t0.writes.push(obj(1));
+        let mut t1 = rec(1, 1, 2);
+        t1.reads.push((obj(1), 1));
+        t1.writes.push(obj(1));
+        let h = [t0, t1];
+        assert!(check_order(&h, &[0, 1]).is_ok());
+        let err = check_order(&h, &[1, 0]).expect_err("reversed order contradicts WR");
+        assert!(err.contains("must precede"));
+        // A subset order is fine as long as it's consistent.
+        assert!(check_order(&h, &[0]).is_ok());
+        assert!(check_order(&h, &[1]).is_ok());
+    }
+}

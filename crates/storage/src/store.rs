@@ -13,10 +13,9 @@
 //! the [`CompositePolicy`] admits a recurring, sufficiently-selective
 //! equality-atom pair reported by the cost model.
 
-use std::cell::RefCell;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use interop_constraint::eval::{check_class_constraint, check_db_constraint, eval_formula, Truth};
 use interop_constraint::{Catalog, ConstraintId};
@@ -296,6 +295,22 @@ macro_rules! for_covering {
     };
 }
 
+/// Locks a cache mutex, tolerating poisoning: the guarded structures
+/// hold rebuildable derived state (secondary indexes, statistics,
+/// composite-admission counters), so a peer that panicked mid-update
+/// cannot leave them semantically corrupt — at worst
+/// [`Store::verify_cache`] discards and rebuilds on the next read.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The `&mut self` counterpart of [`lock`]: direct access through the
+/// exclusive borrow, with the same poison tolerance and no locking
+/// cost.
+fn lock_mut<T>(m: &mut Mutex<T>) -> &mut T {
+    m.get_mut().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A database plus its enforced constraint catalog and key indexes.
 #[derive(Debug)]
 pub struct Store {
@@ -307,9 +322,14 @@ pub struct Store {
     /// synchronised to (by delta or rebuild).
     version: u64,
     maintenance: IndexMaintenance,
-    secondary: RefCell<SecondaryCache>,
+    /// `Mutex`, not `RefCell`: the caches are filled lazily behind
+    /// `&self`, and MVCC sessions ([`crate::mvcc`]) run planned queries
+    /// against one shared snapshot from many threads — `Store` must be
+    /// `Sync`. Single-threaded callers pay one uncontended lock per
+    /// cache access.
+    secondary: Mutex<SecondaryCache>,
     composite_policy: CompositePolicy,
-    composites: RefCell<CompositeAdmission>,
+    composites: Mutex<CompositeAdmission>,
     /// When `Some`, every *committed* state change appends the object id
     /// it touched (rollback undo operations included — they go through
     /// the same mutators). Drained, sorted and deduplicated by
@@ -321,28 +341,42 @@ pub struct Store {
     durability: Option<Box<DurabilityState>>,
 }
 
-impl Clone for Store {
+/// Compile-time proof that the store can back shared MVCC sessions: a
+/// `Store` (snapshot) may be sent to and referenced from many threads.
+/// If a field ever regresses to `RefCell`/`Rc`, this line fails to
+/// compile.
+const _: fn() = assert_send_sync::<Store>;
+const fn assert_send_sync<T: Send + Sync>() {}
+
+// `Store` deliberately does NOT implement `Clone`. A durable store
+// owns a WAL file handle, and a file handle cannot be meaningfully
+// shared by two independently mutating stores — an implicit
+// `.clone()` would have to silently detach durability, and for a
+// while it did, letting tests "persist" mutations into a copy whose
+// WAL no longer existed. Use [`Store::detached_clone`], which states
+// that contract in its name.
+impl Store {
     /// Clones the in-memory state only: the clone is a **detached**
-    /// copy with [`DurabilityMode::Off`] — it shares no WAL handle with
-    /// the original and persists nothing. (A WAL file handle cannot be
-    /// meaningfully shared by two independently mutating stores.)
-    fn clone(&self) -> Self {
+    /// copy with [`DurabilityMode::Off`] — it shares no WAL handle
+    /// with the original and persists **nothing**, whatever the
+    /// original's [`DurabilityMode`]. This is the explicit replacement
+    /// for the removed `Clone` impl, so call sites visibly opt in to
+    /// losing durability (e.g. scratch oracles, MVCC snapshots,
+    /// benchmark per-iteration copies).
+    pub fn detached_clone(&self) -> Store {
         Store {
             db: self.db.clone(),
             catalog: self.catalog.clone(),
             indexes: self.indexes.clone(),
             version: self.version,
             maintenance: self.maintenance,
-            secondary: self.secondary.clone(),
+            secondary: Mutex::new(lock(&self.secondary).clone()),
             composite_policy: self.composite_policy,
-            composites: self.composites.clone(),
+            composites: Mutex::new(lock(&self.composites).clone()),
             touched_log: self.touched_log.clone(),
             durability: None,
         }
     }
-}
-
-impl Store {
     /// Creates a store over an (empty or pre-populated) database. Builds
     /// key indexes from the catalog's key constraints; pre-existing
     /// objects are indexed (and trusted to satisfy the constraints —
@@ -360,9 +394,9 @@ impl Store {
             indexes,
             version: 0,
             maintenance: IndexMaintenance::default(),
-            secondary: RefCell::new(SecondaryCache::default()),
+            secondary: Mutex::new(SecondaryCache::default()),
             composite_policy: CompositePolicy::default(),
-            composites: RefCell::new(CompositeAdmission::default()),
+            composites: Mutex::new(CompositeAdmission::default()),
             touched_log: None,
             durability: None,
         };
@@ -737,7 +771,7 @@ impl Store {
     /// modes).
     pub fn set_index_maintenance(&mut self, mode: IndexMaintenance) {
         self.maintenance = mode;
-        let mut cache = self.secondary.borrow_mut();
+        let cache = lock_mut(&mut self.secondary);
         cache.clear();
         cache.version = self.version;
     }
@@ -758,7 +792,7 @@ impl Store {
 
     /// The admitted composite pairs, sorted — diagnostics/tests hook.
     pub fn admitted_composites(&self) -> Vec<(ClassName, AttrName, AttrName)> {
-        let adm = self.composites.borrow();
+        let adm = lock(&self.composites);
         let mut out: Vec<_> = adm.admitted.keys().cloned().collect();
         out.sort();
         out
@@ -825,7 +859,9 @@ impl Store {
         if stale.is_empty() {
             return;
         }
-        let mut cache = self.secondary.borrow_mut();
+        // Lock order: composites (held by the caller) → secondary.
+        // Every multi-lock path takes them in this order.
+        let mut cache = lock(&self.secondary);
         for key in stale {
             adm.admitted.remove(&key);
             adm.sketch.forget(&key);
@@ -847,7 +883,7 @@ impl Store {
     /// alone keeps the cache exact).
     fn bump(&mut self) {
         self.version += 1;
-        let mut cache = self.secondary.borrow_mut();
+        let cache = lock_mut(&mut self.secondary);
         if self.maintenance == IndexMaintenance::Wholesale {
             cache.clear();
         }
@@ -875,7 +911,7 @@ impl Store {
             return;
         }
         let db = &self.db;
-        let cache = self.secondary.get_mut();
+        let cache = lock_mut(&mut self.secondary);
         let Some(obj) = db.object(id) else { return };
         for_covering!(db, cache.hash, &obj.class, |attr, idx| {
             Arc::make_mut(idx).insert(obj.get(attr), obj.id)
@@ -899,7 +935,7 @@ impl Store {
             return;
         }
         let db = &self.db;
-        let cache = self.secondary.get_mut();
+        let cache = lock_mut(&mut self.secondary);
         for_covering!(db, cache.hash, &obj.class, |attr, idx| {
             Arc::make_mut(idx).remove(obj.get(attr), obj.id)
         });
@@ -928,7 +964,7 @@ impl Store {
             return;
         }
         let db = &self.db;
-        let cache = self.secondary.get_mut();
+        let cache = lock_mut(&mut self.secondary);
         for_covering!(db, cache.hash, class, |attr, idx| {
             if attr == target {
                 let idx = Arc::make_mut(idx);
@@ -970,7 +1006,7 @@ impl Store {
     /// The equality (hash) index over `class`'s extension for `attr`,
     /// building it on first use.
     pub fn hash_index(&self, class: &ClassName, attr: &AttrName) -> Arc<HashIndex> {
-        let mut cache = self.secondary.borrow_mut();
+        let mut cache = lock(&self.secondary);
         self.verify_cache(&mut cache);
         if let Some(idx) = cache.hash.get(class).and_then(|m| m.get(attr)) {
             return Arc::clone(idx);
@@ -992,7 +1028,7 @@ impl Store {
     /// The range (sorted) index over `class`'s extension for `attr`,
     /// building it on first use.
     pub fn sorted_index(&self, class: &ClassName, attr: &AttrName) -> Arc<SortedIndex> {
-        let mut cache = self.secondary.borrow_mut();
+        let mut cache = lock(&self.secondary);
         self.verify_cache(&mut cache);
         if let Some(idx) = cache.sorted.get(class).and_then(|m| m.get(attr)) {
             return Arc::clone(idx);
@@ -1015,7 +1051,7 @@ impl Store {
     /// make, and rebuilding when [`AttrStats::hist_stale`] reports that
     /// the extension drifted too far from the histogram's build point.
     pub fn attr_stats(&self, class: &ClassName, attr: &AttrName) -> Arc<AttrStats> {
-        let mut cache = self.secondary.borrow_mut();
+        let mut cache = lock(&self.secondary);
         self.verify_cache(&mut cache);
         if let Some(st) = cache.stats.get(class).and_then(|m| m.get(attr)) {
             if !st.hist_stale() {
@@ -1047,7 +1083,7 @@ impl Store {
         b: &AttrName,
     ) -> Arc<CompositeIndex> {
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        let mut cache = self.secondary.borrow_mut();
+        let mut cache = lock(&self.secondary);
         self.verify_cache(&mut cache);
         let pair = (a.clone(), b.clone());
         if let Some(idx) = cache.composite.get(class).and_then(|m| m.get(&pair)) {
@@ -1071,7 +1107,7 @@ impl Store {
     /// indexes) are currently cached, and the version they are valid
     /// for. Test/diagnostic hook for invalidation checks.
     pub fn secondary_cache_stats(&self) -> (u64, usize) {
-        let cache = self.secondary.borrow();
+        let cache = lock(&self.secondary);
         let n = cache.hash.values().map(|m| m.len()).sum::<usize>()
             + cache.sorted.values().map(|m| m.len()).sum::<usize>()
             + cache.stats.values().map(|m| m.len()).sum::<usize>()
@@ -1273,7 +1309,7 @@ impl crate::plan::StatsSource for Store {
         // (joint floored at one row so an estimated-empty pair cannot
         // qualify everything).
         let policy = self.composite_policy;
-        let mut adm = self.composites.borrow_mut();
+        let mut adm = lock(&self.composites);
         adm.clock += 1;
         self.evict_stale_composites(&mut adm);
         if (min_single_est as f64) < policy.min_gain * joint_est.max(1) as f64 {
@@ -1290,7 +1326,7 @@ impl crate::plan::StatsSource for Store {
     }
 
     fn composite_admitted(&self, class: &ClassName, pair: (&AttrName, &AttrName)) -> bool {
-        let mut adm = self.composites.borrow_mut();
+        let mut adm = lock(&self.composites);
         adm.clock += 1;
         let key = (class.clone(), pair.0.clone(), pair.1.clone());
         // A hit is a *use*: refresh the pair's recency before sweeping,

@@ -70,6 +70,14 @@ impl Transaction {
         Transaction::default()
     }
 
+    /// Builds a transaction from pre-recorded operations — the MVCC
+    /// commit path ([`crate::mvcc`]) re-submits a session's buffered
+    /// ops through the canonical store this way, and the
+    /// serializability oracle replays recorded histories with it.
+    pub fn from_ops(ops: Vec<TxnOp>) -> Self {
+        Transaction { ops }
+    }
+
     /// Appends an insert.
     pub fn insert(mut self, obj: Object) -> Self {
         self.ops.push(TxnOp::Insert(obj));

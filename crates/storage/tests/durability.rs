@@ -262,12 +262,16 @@ fn tracking_state_survives_reopen() {
 }
 
 #[test]
-fn clone_is_detached_and_off() {
+fn detached_clone_is_detached_and_off() {
+    // `Store` no longer implements `Clone` — an implicit `.clone()` of
+    // a durable store silently dropped durability. The explicit
+    // replacement must still be detached, and mutations of the copy
+    // must never reach the original's WAL.
     let dir = scratch("clone");
     let mut s = open(&dir, DurabilityMode::Wal);
     s.create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
         .unwrap();
-    let mut c = s.clone();
+    let mut c = s.detached_clone();
     assert_eq!(c.durability_mode(), DurabilityMode::Off);
     c.create("Item", vec![("k", "clone-only".into()), ("v", 2i64.into())])
         .unwrap();

@@ -11,7 +11,10 @@ use std::path::PathBuf;
 
 use interop_constraint::{Catalog, CmpOp, Formula};
 use interop_model::{ClassDef, ClassName, Database, Object, ObjectId, Schema, Type, Value};
-use interop_storage::{DurabilityMode, Optimizer, Store, Transaction};
+use interop_storage::wal::{scan_wal, WalRecord};
+use interop_storage::{
+    replay, DurabilityMode, MvccStore, Optimizer, Store, Transaction, TxnRecord,
+};
 use proptest::prelude::*;
 
 fn schema() -> Schema {
@@ -253,6 +256,120 @@ proptest! {
                 .expect("snapshot-era checkpoint")
                 .1;
             prop_assert_eq!(&dump(&recovered), expect, "truncated at byte {}", cut);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The crash sweep with **multi-threaded producers**: concurrent
+    /// sessions commit through a shared [`MvccStore`] over a durable
+    /// store, then the WAL is truncated at every byte offset. The
+    /// recovered state must equal the replay of the commit-order prefix
+    /// whose `Begin…Commit` runs survived the cut — concurrency must
+    /// not weaken commit-boundary recovery semantics.
+    #[test]
+    fn concurrent_producers_crash_sweep_recovers_commit_prefixes(
+        seed in any::<u64>(),
+    ) {
+        let dir = scratch("mt");
+        let wal_path = dir.join("wal.log");
+        let shared = MvccStore::new(Store::open(
+            Database::new(schema(), 1),
+            Catalog::new(),
+            &dir,
+            DurabilityMode::Wal,
+        ).expect("open fresh"));
+        shared.record_history(true);
+
+        let mut setup = shared.begin();
+        let mut pool = Vec::new();
+        for i in 0..4i64 {
+            pool.push(setup.create(
+                "Item",
+                vec![("k", format!("s{i}").as_str().into()), ("v", i.into())],
+            ).expect("seed insert"));
+        }
+        setup.commit().expect("seed commit");
+
+        std::thread::scope(|s| {
+            for th in 0..3u64 {
+                let shared = shared.clone();
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let mut x = (seed ^ ((th + 1) << 32)).max(1);
+                    let mut rng = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x.wrapping_mul(2685821657736338717)
+                    };
+                    for n in 0..4u64 {
+                        let mut t = shared.begin();
+                        match rng() % 3 {
+                            0 => {
+                                let _ = t.create("Item", vec![
+                                    ("k", format!("w{th}-{n}").as_str().into()),
+                                    ("v", ((rng() % 100) as i64).into()),
+                                ]);
+                            }
+                            1 => {
+                                let id = pool[(rng() % pool.len() as u64) as usize];
+                                let _ = t.update(id, "v", Value::int((rng() % 100) as i64));
+                            }
+                            _ => {
+                                let id = pool[(rng() % pool.len() as u64) as usize];
+                                let _ = t.remove(id);
+                            }
+                        }
+                        let _ = t.commit();
+                    }
+                });
+            }
+        });
+
+        let history = shared.take_history();
+        let inner = shared.into_store().expect("sole handle after join");
+        drop(inner); // release the WAL file
+
+        // Write txns in commit order ↔ complete Begin…Commit runs.
+        let mut writers: Vec<&TxnRecord> =
+            history.iter().filter(|t| !t.ops.is_empty()).collect();
+        writers.sort_by_key(|t| t.commit_ts);
+        let scan = scan_wal(&wal_path).expect("scan");
+        let mut run_ends = Vec::new();
+        for (i, r) in scan.records.iter().enumerate() {
+            if matches!(r, WalRecord::Commit { .. }) {
+                run_ends.push(scan.frame_ends[i]);
+            }
+        }
+        prop_assert_eq!(run_ends.len(), writers.len(), "one run per write commit");
+
+        // expected[k] = commit-order prefix state after k runs.
+        let mut expected: Vec<Vec<ObjDump>> = Vec::with_capacity(writers.len() + 1);
+        let mut base = Store::new(Database::new(schema(), 1), Catalog::new());
+        expected.push(dump(&base));
+        for w in &writers {
+            replay(&history, &[w.txn], &mut base).expect("prefix replay");
+            expected.push(dump(&base));
+        }
+
+        let pristine = std::fs::read(&wal_path).expect("read wal");
+        for cut in 0..=pristine.len() {
+            std::fs::write(&wal_path, &pristine[..cut]).expect("write truncated");
+            let recovered = Store::open(
+                Database::new(schema(), 1),
+                Catalog::new(),
+                &dir,
+                DurabilityMode::Wal,
+            ).expect("recovery never errors on truncation");
+            let k = run_ends.iter().take_while(|&&end| end <= cut as u64).count();
+            prop_assert_eq!(
+                &dump(&recovered), &expected[k],
+                "cut at byte {} must recover the {}-run prefix (seed {})",
+                cut, k, seed
+            );
         }
     }
 }

@@ -12,9 +12,11 @@
 //! * [`spec`] — integration specifications (comparison rules, property
 //!   equivalences, conversion and decision functions);
 //! * [`lang`] — the TM-dialect front-end (Figure 1 parses verbatim);
-//! * [`storage`] — a constraint-enforcing in-memory object store with a
+//! * [`storage`] — a constraint-enforcing object store with a
 //!   cost-based query planner (statistics, `EXPLAIN`), incremental index
-//!   maintenance, and transaction pre-validation;
+//!   maintenance, transaction pre-validation, write-ahead-log
+//!   durability, and concurrent MVCC sessions checked by a black-box
+//!   serializability oracle;
 //! * [`conform`] — the §4 conformation phase;
 //! * [`merge`] — the §2.3 merging phase with extent-based hierarchy
 //!   inference;

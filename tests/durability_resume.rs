@@ -100,9 +100,9 @@ fn reopened_store_resumes_incremental_merge() {
     .expect("reopen");
     assert_eq!(lstore.db().len(), expected_db.len(), "replay recovered all");
     let touched = {
-        // Peek without draining: clone the recovered store (detached)
-        // and drain the clone.
-        let mut peek = lstore.clone();
+        // Peek without draining: copy the recovered store (explicitly
+        // detached — the copy shares no WAL) and drain the copy.
+        let mut peek = lstore.detached_clone();
         peek.take_touched()
     };
     assert_eq!(
