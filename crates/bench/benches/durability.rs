@@ -6,10 +6,21 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use interop_constraint::Catalog;
-use interop_model::{ClassDef, ClassName, Database, Object, ObjectId, Schema, Type};
-use interop_storage::{DurabilityMode, Store};
+use interop_model::{ClassDef, ClassName, Database, Object, ObjectId, Schema, Type, Value};
+use interop_storage::{DurabilityMode, GroupCommitPolicy, MvccStore, Store};
 
 const N: usize = 10_000;
+
+/// Concurrent committers for the group-commit bench.
+const GROUP_THREADS: usize = 8;
+
+/// Commits each committer keeps in flight before redeeming the oldest
+/// durability ticket. Group-commit batches grow with the total number
+/// of unacknowledged commits (`GROUP_THREADS × PIPELINE_DEPTH`), so
+/// pipelining — not thread count — is what decouples the batch size
+/// from the session count and lets one `sync_data` cover hundreds of
+/// commits.
+const PIPELINE_DEPTH: usize = 64;
 
 fn schema() -> Schema {
     Schema::new(
@@ -73,6 +84,65 @@ fn bench(c: &mut Criterion) {
         )
     });
 
+    // Same txn count, but through concurrent MVCC sessions with group
+    // commit: committers pipeline their commits ([`MvccTxn::
+    // commit_pipelined`]), so hundreds of unacknowledged commits are in
+    // flight and one elected leader's `sync_data` covers them all.
+    // Every ticket is redeemed inside the measured region — each txn's
+    // durability acknowledgement is paid for, just in batches instead
+    // of one fsync each. Disjoint write sets (one seeded object per
+    // thread) keep first-committer-wins out of the picture, so this
+    // prices the sync batching alone.
+    let grouped_dir = scratch("grouped");
+    g.bench_with_input(BenchmarkId::new("writes_wal_grouped", N), &N, |b, _| {
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_dir_all(&grouped_dir);
+                let mut s = Store::open(
+                    Database::new(schema(), 1),
+                    Catalog::new(),
+                    &grouped_dir,
+                    DurabilityMode::Wal,
+                )
+                .expect("open durable store");
+                s.set_group_commit(GroupCommitPolicy::grouped(4096, 0));
+                for th in 1..=GROUP_THREADS as u64 {
+                    s.insert(item(th)).expect("seed one object per thread");
+                }
+                MvccStore::new(s)
+            },
+            |store| {
+                std::thread::scope(|scope| {
+                    for th in 0..GROUP_THREADS as u64 {
+                        let store = &store;
+                        scope.spawn(move || {
+                            let id = ObjectId::new(1, th + 1);
+                            let mut pending = std::collections::VecDeque::new();
+                            for i in 0..N.div_ceil(GROUP_THREADS) {
+                                let mut t = store.begin();
+                                t.update(id, "v", Value::Int(i as i64))
+                                    .expect("in-schema update");
+                                pending.push_back(
+                                    t.commit_pipelined().expect("disjoint writers commit"),
+                                );
+                                if pending.len() >= PIPELINE_DEPTH {
+                                    let oldest = pending.pop_front().expect("non-empty");
+                                    std::hint::black_box(
+                                        oldest.wait().expect("covering sync lands"),
+                                    );
+                                }
+                            }
+                            for ticket in pending {
+                                std::hint::black_box(ticket.wait().expect("covering sync lands"));
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
     // Recovery price of the same 10k-object history: replayed from the
     // log, then (after `snapshot_now`) loaded straight from a snapshot.
     let reopen = |tag: &str| {
@@ -119,7 +189,7 @@ fn bench(c: &mut Criterion) {
     });
 
     g.finish();
-    for d in [dir, wal_dir, snap_dir] {
+    for d in [dir, grouped_dir, wal_dir, snap_dir] {
         let _ = std::fs::remove_dir_all(&d);
     }
 }

@@ -1,6 +1,7 @@
 //! Databases: a schema plus populated class extents.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::ModelError;
 use crate::ident::{AttrName, ClassName, DbName};
@@ -17,13 +18,19 @@ pub type Extent = Vec<ObjectId>;
 /// Extents are *direct*: `extent(C)` holds only objects whose most-specific
 /// class is `C`. Use [`Database::extension`] for the TM semantics where a
 /// class's extension includes all subclass instances.
+/// Cloning a `Database` is cheap by design: the schema and every
+/// object are behind `Arc`s, so a clone shares structure with the
+/// original and copies an object only when a mutation touches it
+/// (copy-on-write via `Arc::make_mut`). MVCC snapshots and the
+/// group-commit mirror clone stores on every commit, so this is a
+/// write-path cost, not a convenience.
 #[derive(Clone, Debug)]
 pub struct Database {
-    /// The schema this database instantiates.
-    pub schema: Schema,
+    /// The schema this database instantiates (shared, copy-on-write).
+    pub schema: Arc<Schema>,
     space: u32,
     next_serial: u64,
-    objects: BTreeMap<ObjectId, Object>,
+    objects: BTreeMap<ObjectId, Arc<Object>>,
     extents: BTreeMap<ClassName, Extent>,
 }
 
@@ -37,7 +44,7 @@ impl Database {
             .map(|c| (c.clone(), Vec::new()))
             .collect();
         Database {
-            schema,
+            schema: Arc::new(schema),
             space,
             next_serial: 0,
             objects: BTreeMap::new(),
@@ -91,7 +98,7 @@ impl Database {
             .expect("validated class has extent")
             .push(obj.id);
         self.next_serial = self.next_serial.max(obj.id.serial() + 1);
-        self.objects.insert(obj.id, obj);
+        self.objects.insert(obj.id, Arc::new(obj));
         Ok(())
     }
 
@@ -131,7 +138,7 @@ impl Database {
         if let Some(ext) = self.extents.get_mut(&obj.class) {
             ext.retain(|&o| o != id);
         }
-        Ok(obj)
+        Ok(Arc::try_unwrap(obj).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Updates one attribute of an object, type-checking the new value.
@@ -154,10 +161,7 @@ impl Database {
                         got: value.kind().to_string(),
                     });
                 }
-                self.objects
-                    .get_mut(&id)
-                    .expect("checked above")
-                    .set(attr, value);
+                Arc::make_mut(self.objects.get_mut(&id).expect("checked above")).set(attr, value);
                 Ok(())
             }
         }
@@ -165,17 +169,20 @@ impl Database {
 
     /// Looks up an object by id.
     pub fn object(&self, id: ObjectId) -> Option<&Object> {
-        self.objects.get(&id)
+        self.objects.get(&id).map(|o| &**o)
     }
 
     /// Looks up an object, erroring if absent.
     pub fn object_req(&self, id: ObjectId) -> Result<&Object> {
-        self.objects.get(&id).ok_or(ModelError::UnknownObject(id))
+        self.objects
+            .get(&id)
+            .map(|o| &**o)
+            .ok_or(ModelError::UnknownObject(id))
     }
 
     /// All objects, in id order.
     pub fn objects(&self) -> impl Iterator<Item = &Object> {
-        self.objects.values()
+        self.objects.values().map(|o| &**o)
     }
 
     /// Number of objects.
@@ -246,7 +253,7 @@ impl Database {
     /// conformation phase.
     pub fn add_virtual_class(&mut self, def: crate::schema::ClassDef) -> Result<()> {
         let name = def.name.clone();
-        self.schema.add_class(def)?;
+        Arc::make_mut(&mut self.schema).add_class(def)?;
         self.extents.entry(name).or_default();
         Ok(())
     }

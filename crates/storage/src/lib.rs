@@ -25,7 +25,10 @@
 //! (derived) global constraint without scanning at all, and exposes
 //! every decision through [`Optimizer::explain`]. [`wal`] and
 //! [`snapshot`] add durability: [`Store::open`] recovers the newest
-//! valid snapshot plus the committed write-ahead-log tail, while
+//! valid snapshot plus the committed tail of a size-rotated segmented
+//! write-ahead log, a [`wal::GroupCommitPolicy`] amortizes the
+//! commit-boundary fsync across concurrent sessions (with pipelined
+//! acknowledgement via [`mvcc::MvccTxn::commit_pipelined`]), and
 //! [`store::DurabilityMode::Off`] keeps every in-memory path exactly as
 //! before.
 //!
@@ -100,6 +103,16 @@
 //!   under the commit mutex, so the log's `Begin…Commit` run order is
 //!   the commit-timestamp order — itself a valid serialization order
 //!   of the recorded history.
+//! * **Acknowledged never means lost** ([`wal::GroupCommitPolicy`]):
+//!   under group commit, [`mvcc::MvccTxn::commit`] returns (and a
+//!   pipelined [`mvcc::CommitTicket`] redeems) only after a
+//!   `sync_data` covering that commit's log bytes has succeeded. A
+//!   crash loses at most a *suffix* of published-but-unacknowledged
+//!   commits — recovery always yields a commit-order prefix containing
+//!   every acknowledged transaction. The first sync failure latches:
+//!   it is reported to every waiter at and past the failed batch, and
+//!   the log is restored to its last durable length so later commits
+//!   cannot be reordered around the hole.
 //!
 //! # Example
 //!
@@ -139,7 +152,9 @@ pub mod txn;
 pub mod wal;
 
 pub use index::{CompositeIndex, HashIndex, KeyIndex, SortedIndex};
-pub use mvcc::{CommitError, MvccStore, MvccTxn, ValidationMode};
+pub use mvcc::{
+    CommitError, CommitTicket, MvccStore, MvccTxn, RetryPolicy, RunTxnError, ValidationMode,
+};
 pub use optimize::{
     execute_costed, execute_plan, Explain, ExplainStrategy, OptimizeOutcome, Optimizer,
 };
@@ -154,6 +169,8 @@ pub use plan::{
 pub use query::Query;
 pub use snapshot::SnapshotData;
 pub use stats::{AttrStats, PairSketch};
-pub use store::{CompositePolicy, DurabilityMode, IndexMaintenance, Store, StoreError};
+pub use store::{
+    CompositePolicy, DurabilityMode, IndexMaintenance, SnapshotFailure, Store, StoreError,
+};
 pub use txn::{Transaction, TxnOp, TxnOutcome};
-pub use wal::{DurabilityError, WalRecord};
+pub use wal::{DurabilityError, GroupCommitPolicy, WalAck, WalRecord};

@@ -34,6 +34,42 @@
 //! — reads, planned queries, constraint checks, conflict-free
 //! buffering — touches only the transaction's own snapshot.
 //!
+//! # Durability under concurrency
+//!
+//! With a grouped [`GroupCommitPolicy`] (see
+//! [`MvccStore::set_group_commit`]) step 3 only *buffers* the WAL run;
+//! the committer publishes, releases the commit mutex, and then waits
+//! for the covering `sync_data` — issued once per batch by an elected
+//! leader — before `commit()` returns. Acknowledged never means lost:
+//! a crash can lose only transactions whose `commit()` had not yet
+//! returned, and recovery still lands on a commit-order prefix. A
+//! failed group sync surfaces as [`CommitError::SyncFailed`]: the
+//! commit stands in memory but is not acknowledged as durable, and the
+//! poisoned log fails later commits loudly.
+//!
+//! [`MvccTxn::commit_pipelined`] splits the two halves apart: it
+//! returns as soon as the commit is published, handing back a
+//! [`CommitTicket`] the session redeems for the durability
+//! acknowledgement whenever it chooses. A session keeping a window of
+//! unredeemed tickets lets one leader sync cover hundreds of commits —
+//! batch size then scales with in-flight commits, not session count —
+//! at the usual group-commit price: a crash before a ticket is
+//! redeemed may lose that commit (and everything after it, never
+//! anything before it).
+//!
+//! For [`DurabilityMode::WalWithSnapshots`] stores the construction
+//! also spawns a **background snapshot worker**: at cadence the commit
+//! path only seals the active WAL segment and hands the already
+//! published `Arc` snapshot to the worker, which writes the snapshot
+//! file (tmp + rename, as ever) and then prunes the sealed segments it
+//! made redundant — writers never stall on the dump.
+//! [`MvccStore::flush_snapshots`] waits for the worker to go idle;
+//! dropping the last handle drains it.
+//!
+//! Conflict losers can retry mechanically:
+//! [`MvccStore::run_txn`] re-runs a closure on a fresh snapshot under a
+//! bounded [`RetryPolicy`].
+//!
 //! # Example
 //!
 //! ```
@@ -73,15 +109,19 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::thread::JoinHandle;
 
 use interop_model::fx::FxHashMap;
 use interop_model::{AttrName, ClassName, Object, ObjectId, Value};
 
 use crate::optimize::Optimizer;
 use crate::oracle::{Item, QueryRecord, TxnRecord};
-use crate::store::{DurabilityMode, Store, StoreError};
+use crate::snapshot;
+use crate::store::{DurabilityMode, SnapshotFailure, SnapshotJob, Store, StoreError};
 use crate::txn::{Transaction, TxnOp, TxnOutcome};
+use crate::wal::{DurabilityError, GroupCommitPolicy, WalAck};
 
 /// Why a [`MvccTxn::commit`] was refused. In every case the shared
 /// store is untouched by the failed transaction — commit is atomic.
@@ -118,6 +158,20 @@ pub enum CommitError {
         /// The store's reason.
         error: StoreError,
     },
+    /// Group commit only: the transaction reached the shared store and
+    /// the log buffer, but the covering `sync_data` **failed** — the
+    /// commit is applied in memory (later snapshots see it) yet may
+    /// not survive a crash. The log is poisoned against further
+    /// appends, so subsequent durable commits fail loudly too. This is
+    /// the concurrent analogue of the single-writer memory-runs-ahead
+    /// contract: acknowledged never means lost, so an un-syncable
+    /// commit is not acknowledged as durable.
+    SyncFailed {
+        /// The in-memory commit timestamp the transaction received.
+        ts: u64,
+        /// The sync failure.
+        error: DurabilityError,
+    },
 }
 
 impl fmt::Display for CommitError {
@@ -144,6 +198,11 @@ impl fmt::Display for CommitError {
             CommitError::Rejected { failed_at, error } => {
                 write!(f, "rejected at op {failed_at}: {error}")
             }
+            CommitError::SyncFailed { ts, error } => write!(
+                f,
+                "commit ts {ts} applied in memory but the group sync \
+                 failed; durability is not guaranteed: {error}"
+            ),
         }
     }
 }
@@ -165,8 +224,69 @@ pub enum ValidationMode {
     FirstCommitterWins,
 }
 
+/// How many times [`MvccStore::run_txn`] re-runs a conflict-losing
+/// closure before giving up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum commit attempts, the first included (clamped to ≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Eight attempts: enough that a handful of contending writers all
+    /// make progress, small enough that pathological contention fails
+    /// fast instead of livelocking.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 8 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with an explicit attempt budget.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts }
+    }
+}
+
+/// Why [`MvccStore::run_txn`] gave up.
+#[derive(Debug)]
+pub enum RunTxnError<E> {
+    /// The closure itself failed; the transaction was discarded and
+    /// not retried.
+    Txn(E),
+    /// The commit failed for a non-conflict reason (constraint
+    /// rejection, durability failure) — retrying would not help.
+    Commit(CommitError),
+    /// Every attempt lost a conflict.
+    Contention {
+        /// Attempts made (= the policy's budget).
+        attempts: u32,
+        /// The conflict the final attempt lost.
+        last: CommitError,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for RunTxnError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunTxnError::Txn(e) => write!(f, "transaction closure failed: {e}"),
+            RunTxnError::Commit(e) => write!(f, "commit failed: {e}"),
+            RunTxnError::Contention { attempts, last } => {
+                write!(f, "still conflicting after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for RunTxnError<E> {}
+
 /// The committed tail of the store, guarded by the commit mutex.
 struct Committed {
+    /// Whether the canonical store's WAL runs under a grouped policy —
+    /// cached here so the hot commit path never takes the group-commit
+    /// mutex (which ack waiters and the sync leader contend on) just to
+    /// read the policy. Kept in step by [`MvccStore::set_group_commit`].
+    grouped: bool,
     /// The canonical store: owns durability; every commit re-applies
     /// its buffered ops here through the ordinary [`Transaction`]
     /// path, so the WAL sees one `Begin…Commit` run per commit, in
@@ -195,12 +315,144 @@ struct Published {
 }
 
 struct Inner {
-    committed: Mutex<Committed>,
+    /// Shared with the background snapshot worker (which must apply
+    /// prune/failure results under the same commit mutex) — the worker
+    /// deliberately holds this `Arc` and **not** `Inner`, so dropping
+    /// the last [`MvccStore`] handle tears the worker down.
+    committed: Arc<Mutex<Committed>>,
     published: RwLock<Published>,
     validation: ValidationMode,
     /// Lock-free object-id allocation for concurrent sessions.
     next_serial: AtomicU64,
     space: u32,
+    /// Present only for [`DurabilityMode::WalWithSnapshots`]: the
+    /// background worker that writes cadence snapshots off the commit
+    /// path.
+    snapshots: Option<SnapshotWorker>,
+}
+
+/// Handle to the background snapshot worker thread. Dropping it drops
+/// the job sender (the worker drains queued jobs and exits) and joins
+/// the thread — so every submitted snapshot is written or its failure
+/// recorded before the handle is gone.
+struct SnapshotWorker {
+    tx: Option<Sender<(SnapshotJob, Arc<Store>)>>,
+    handle: Option<JoinHandle<()>>,
+    progress: Arc<SnapshotProgress>,
+    /// Fallback target when the worker thread could not be spawned
+    /// (resource exhaustion): jobs then run inline on the committing
+    /// thread instead of being dropped.
+    committed: Arc<Mutex<Committed>>,
+}
+
+/// Submitted/completed counters with a condvar, so tests (and shutdown
+/// paths) can wait for the worker to go idle.
+struct SnapshotProgress {
+    counts: Mutex<(u64, u64)>,
+    cv: Condvar,
+}
+
+impl SnapshotProgress {
+    fn submitted(&self) {
+        lock(&self.counts).0 += 1;
+    }
+
+    fn completed(&self) {
+        lock(&self.counts).1 += 1;
+        self.cv.notify_all();
+    }
+
+    fn wait_idle(&self) {
+        let mut counts = lock(&self.counts);
+        while counts.1 < counts.0 {
+            counts = self.cv.wait(counts).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl SnapshotWorker {
+    fn spawn(committed: Arc<Mutex<Committed>>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let progress = Arc::new(SnapshotProgress {
+            counts: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        });
+        let worker_progress = Arc::clone(&progress);
+        let worker_committed = Arc::clone(&committed);
+        // Thread spawn fails only under resource exhaustion; a
+        // worker-less handle degrades to running snapshot jobs inline
+        // on the committing thread rather than panicking or dropping
+        // them.
+        let handle = std::thread::Builder::new()
+            .name("mvcc-snapshot".into())
+            .spawn(move || snapshot_worker(rx, worker_committed, worker_progress))
+            .ok();
+        SnapshotWorker {
+            tx: handle.is_some().then_some(tx),
+            handle,
+            progress,
+            committed,
+        }
+    }
+
+    fn submit(&self, job: SnapshotJob, snap: Arc<Store>) {
+        if let Some(tx) = &self.tx {
+            self.progress.submitted();
+            if tx.send((job, snap)).is_err() {
+                // Worker already gone (it panicked); balance the
+                // counter so waiters do not hang.
+                self.progress.completed();
+            }
+        } else {
+            run_snapshot_job(job, snap, &self.committed);
+        }
+    }
+}
+
+impl Drop for SnapshotWorker {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker loop: dump each job's published snapshot to disk, then —
+/// under the commit mutex — prune the sealed segments the durable
+/// snapshot covers (or record the failure for
+/// [`MvccStore::take_snapshot_error`]).
+fn snapshot_worker(
+    rx: Receiver<(SnapshotJob, Arc<Store>)>,
+    committed: Arc<Mutex<Committed>>,
+    progress: Arc<SnapshotProgress>,
+) {
+    while let Ok((job, snap)) = rx.recv() {
+        run_snapshot_job(job, snap, &committed);
+        progress.completed();
+    }
+}
+
+/// One snapshot job, start to finish: dump the published snapshot to
+/// disk, then — under the commit mutex — prune the sealed segments it
+/// covers, or record the failure. Runs on the worker thread normally,
+/// or inline on the committing thread if the worker could not spawn.
+fn run_snapshot_job(job: SnapshotJob, snap: Arc<Store>, committed: &Mutex<Committed>) {
+    let objects: Vec<&Object> = snap.db().objects().collect();
+    let result = snapshot::write_snapshot(
+        &job.dir,
+        job.watermark,
+        job.tracking,
+        &job.touched,
+        &objects,
+    );
+    drop(objects);
+    drop(snap);
+    let mut c = lock(committed);
+    match result {
+        Ok(_) => c.store.prune_wal_segments(&job.prunable),
+        Err(e) => c.store.note_snapshot_failure(e),
+    }
 }
 
 /// A shared, thread-safe handle to one MVCC store. Cloning is cheap
@@ -230,7 +482,13 @@ impl MvccStore {
     }
 
     /// [`MvccStore::new`] with an explicit validation mode.
-    pub fn with_validation(store: Store, validation: ValidationMode) -> Self {
+    ///
+    /// For a [`DurabilityMode::WalWithSnapshots`] store this also
+    /// spawns the background snapshot worker and switches the store's
+    /// cadence to deferred: committers only raise a flag at cadence,
+    /// and the worker dumps the already-published `Arc` snapshot off
+    /// the commit path.
+    pub fn with_validation(mut store: Store, validation: ValidationMode) -> Self {
         let space = store.db().space();
         let next_serial = store
             .db()
@@ -238,6 +496,8 @@ impl MvccStore {
             .map(|o| o.id.serial())
             .max()
             .map_or(0, |m| m + 1);
+        let wants_worker = store.durability_mode() == DurabilityMode::WalWithSnapshots;
+        store.set_deferred_snapshots(wants_worker);
         let mut mirror = store.detached_clone();
         // The mirror never feeds the incremental pipeline directly;
         // keeping its private touched log off stops it growing
@@ -245,15 +505,18 @@ impl MvccStore {
         mirror.track_touched(false);
         let mirror = Arc::new(mirror);
         let versions: Arc<FxHashMap<Item, u64>> = Arc::new(FxHashMap::default());
+        let committed = Arc::new(Mutex::new(Committed {
+            grouped: store.group_commit().is_grouped(),
+            store,
+            mirror: Arc::clone(&mirror),
+            versions: Arc::clone(&versions),
+            ts: 0,
+            history: None,
+        }));
+        let snapshots = wants_worker.then(|| SnapshotWorker::spawn(Arc::clone(&committed)));
         MvccStore {
             inner: Arc::new(Inner {
-                committed: Mutex::new(Committed {
-                    store,
-                    mirror: Arc::clone(&mirror),
-                    versions: Arc::clone(&versions),
-                    ts: 0,
-                    history: None,
-                }),
+                committed,
                 published: RwLock::new(Published {
                     ts: 0,
                     snapshot: mirror,
@@ -262,6 +525,7 @@ impl MvccStore {
                 validation,
                 next_serial: AtomicU64::new(next_serial),
                 space,
+                snapshots,
             }),
         }
     }
@@ -360,20 +624,118 @@ impl MvccStore {
         lock(&self.inner.committed).store.durability_mode()
     }
 
-    /// Snapshots the canonical store now (see [`Store::snapshot_now`]).
+    /// Snapshots the canonical store now (see [`Store::snapshot_now`]),
+    /// inline on the calling thread — the background worker is not
+    /// involved.
     pub fn snapshot_now(&self) -> Result<(), StoreError> {
         lock(&self.inner.committed).store.snapshot_now()
     }
 
+    /// Takes (and clears) the record of failed automatic snapshots —
+    /// background ones included — since the last poll (see
+    /// [`Store::take_snapshot_error`]).
+    pub fn take_snapshot_error(&self) -> Option<SnapshotFailure> {
+        lock(&self.inner.committed).store.take_snapshot_error()
+    }
+
+    /// Sets the group-commit policy (see [`Store::set_group_commit`]):
+    /// with a grouped policy, concurrent committers share one
+    /// `sync_data` per batch and block only for the covering sync —
+    /// outside the commit mutex, so the batch forms.
+    pub fn set_group_commit(&self, policy: GroupCommitPolicy) {
+        let mut c = lock(&self.inner.committed);
+        c.store.set_group_commit(policy);
+        // Read back what actually took effect: a volatile store ignores
+        // the policy, and then so does the commit path.
+        c.grouped = c.store.group_commit().is_grouped();
+    }
+
+    /// The group-commit policy in effect.
+    pub fn group_commit(&self) -> GroupCommitPolicy {
+        lock(&self.inner.committed).store.group_commit()
+    }
+
+    /// Sets the WAL segment rotation threshold (see
+    /// [`Store::set_wal_segment_bytes`]).
+    pub fn set_wal_segment_bytes(&self, bytes: u64) {
+        lock(&self.inner.committed)
+            .store
+            .set_wal_segment_bytes(bytes);
+    }
+
+    /// Blocks until every background snapshot submitted so far has been
+    /// written (and its segment pruning applied) or has recorded its
+    /// failure. A no-op without a background worker. Tests use this to
+    /// observe cadence snapshots deterministically; shutdown does not
+    /// need it — dropping the last handle drains the worker anyway.
+    pub fn flush_snapshots(&self) {
+        if let Some(w) = &self.inner.snapshots {
+            w.progress.wait_idle();
+        }
+    }
+
+    /// Runs `f` inside a transaction, retrying
+    /// [`CommitError::WriteConflict`] / [`CommitError::ReadConflict`]
+    /// losers on a fresh snapshot up to the policy's attempt budget.
+    /// Returns the closure's value and the commit timestamp.
+    ///
+    /// The closure may run several times, so it must be idempotent
+    /// from the transaction's point of view (buffer writes through the
+    /// transaction it is handed, keep side effects out). A closure
+    /// error aborts immediately ([`RunTxnError::Txn`]); a
+    /// non-conflict commit failure is final ([`RunTxnError::Commit`]);
+    /// conflicts past the budget surface as
+    /// [`RunTxnError::Contention`] with the last conflict attached.
+    pub fn run_txn<T, E>(
+        &self,
+        policy: RetryPolicy,
+        mut f: impl FnMut(&mut MvccTxn) -> Result<T, E>,
+    ) -> Result<(T, u64), RunTxnError<E>> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let mut txn = self.begin();
+            let value = f(&mut txn).map_err(RunTxnError::Txn)?;
+            match txn.commit() {
+                Ok(ts) => return Ok((value, ts)),
+                Err(e @ (CommitError::WriteConflict { .. } | CommitError::ReadConflict { .. })) => {
+                    if attempt >= max_attempts {
+                        return Err(RunTxnError::Contention {
+                            attempts: attempt,
+                            last: e,
+                        });
+                    }
+                }
+                Err(e) => return Err(RunTxnError::Commit(e)),
+            }
+        }
+    }
+
     /// Unwraps the canonical store when this is the last handle;
-    /// returns the handle unchanged otherwise.
+    /// returns the handle unchanged otherwise. Shuts the background
+    /// snapshot worker down first (draining every queued snapshot), and
+    /// hands the cadence back to the inline path of the single-threaded
+    /// store.
     pub fn into_store(self) -> Result<Store, MvccStore> {
         match Arc::try_unwrap(self.inner) {
-            Ok(inner) => Ok(inner
-                .committed
-                .into_inner()
-                .unwrap_or_else(PoisonError::into_inner)
-                .store),
+            Ok(inner) => {
+                let Inner {
+                    committed,
+                    snapshots,
+                    ..
+                } = inner;
+                // Joins the worker, which drains its queue first — so
+                // its `Arc` clone of `committed` is gone afterwards.
+                drop(snapshots);
+                let mut store = Arc::try_unwrap(committed)
+                    .unwrap_or_else(|_| unreachable!("worker joined; no other holder remains"))
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .store;
+                store.set_deferred_snapshots(false);
+                Ok(store)
+            }
             Err(inner) => Err(MvccStore { inner }),
         }
     }
@@ -565,6 +927,42 @@ impl MvccTxn {
     /// at their snapshot position by construction and skip validation
     /// entirely.
     pub fn commit(self) -> Result<u64, CommitError> {
+        let (ts, ack) = self.commit_start()?;
+        // Only now — commit mutex released, later committers free to
+        // join the batch — wait for the covering sync. `Err` means the
+        // commit stands in memory but may not survive a crash; the log
+        // is poisoned, so nothing later is acknowledged either.
+        if let Some(ack) = ack {
+            if let Err(error) = ack.wait() {
+                return Err(CommitError::SyncFailed { ts, error });
+            }
+        }
+        Ok(ts)
+    }
+
+    /// Validates and commits like [`MvccTxn::commit`], but does **not**
+    /// wait for the covering sync: it returns a [`CommitTicket`] the
+    /// caller redeems with [`CommitTicket::wait`] whenever it needs the
+    /// durability acknowledgement.
+    ///
+    /// This is the pipelined flavour of group commit: a session can
+    /// keep several commits in flight and wait for their tickets in
+    /// batches, so the group leader's one `sync_data` covers far more
+    /// than one commit per session. On return the commit is already
+    /// *published* — visible to every later snapshot — but until the
+    /// ticket is waited on it is not *acknowledged*: a crash in the gap
+    /// may lose it (together with everything after it, never anything
+    /// before — recovery still lands on a commit-order prefix).
+    /// Dropping the ticket forfeits the acknowledgement, nothing else.
+    pub fn commit_pipelined(self) -> Result<CommitTicket, CommitError> {
+        let (ts, ack) = self.commit_start()?;
+        Ok(CommitTicket { ts, ack })
+    }
+
+    /// Shared commit path: everything up to (not including) the wait
+    /// for the covering sync. Returns the commit timestamp and the WAL
+    /// ack to wait on, if the store is durable and grouped.
+    fn commit_start(self) -> Result<(u64, Option<WalAck>), CommitError> {
         let MvccTxn {
             store,
             begin_ts,
@@ -590,7 +988,7 @@ impl MvccTxn {
                     queries,
                 });
             }
-            return Ok(begin_ts);
+            return Ok((begin_ts, None));
         }
 
         // 1. First-committer-wins on the object write set.
@@ -620,13 +1018,34 @@ impl MvccTxn {
         }
 
         // 3. Re-commit through the canonical store: full constraint
-        // enforcement plus the WAL `Begin…Commit` bracket.
-        match Transaction::from_ops(ops.clone()).commit(&mut c.store) {
-            TxnOutcome::RolledBack { failed_at, error } => {
-                return Err(CommitError::Rejected { failed_at, error });
+        // enforcement plus the WAL `Begin…Commit` bracket. Under a
+        // grouped policy the run is only buffered — the covering
+        // `sync_data` is the group leader's, and this committer waits
+        // for it *after* releasing the commit mutex, so the batch can
+        // form while it publishes.
+        // The canonical pass consumes an owned op list; keep the
+        // original around only if the history recorder needs it.
+        let mut ops = ops;
+        let canonical_ops = if c.history.is_some() {
+            ops.clone()
+        } else {
+            std::mem::take(&mut ops)
+        };
+        let ack = if c.grouped {
+            match Transaction::from_ops(canonical_ops).commit_deferred(&mut c.store) {
+                (TxnOutcome::RolledBack { failed_at, error }, _) => {
+                    return Err(CommitError::Rejected { failed_at, error });
+                }
+                (TxnOutcome::Committed { .. }, ack) => ack,
             }
-            TxnOutcome::Committed { .. } => {}
-        }
+        } else {
+            match Transaction::from_ops(canonical_ops).commit(&mut c.store) {
+                TxnOutcome::RolledBack { failed_at, error } => {
+                    return Err(CommitError::Rejected { failed_at, error });
+                }
+                TxnOutcome::Committed { .. } => None,
+            }
+        };
 
         // 4. Stamp versions and publish a fresh snapshot.
         c.ts += 1;
@@ -643,19 +1062,13 @@ impl MvccTxn {
                 writes.push(Item::Class(cl.clone()));
             }
         }
-        if Arc::get_mut(&mut c.mirror).is_none() {
-            // Readers still hold the published snapshot: copy-on-write.
-            let mut fresh = c.mirror.detached_clone();
-            fresh.track_touched(false);
-            c.mirror = Arc::new(fresh);
-        }
-        if let Some(m) = Arc::get_mut(&mut c.mirror) {
-            let outcome = Transaction::from_ops(ops.clone()).commit(m);
-            debug_assert!(
-                matches!(outcome, TxnOutcome::Committed { .. }),
-                "mirror diverged from the canonical store"
-            );
-        }
+        // Publish a fresh snapshot of the canonical store. Cloning is
+        // cheap by construction — the database shares its schema and
+        // objects behind `Arc`s — so re-cloning every commit beats
+        // maintaining a copy-on-write mirror by re-applying the ops.
+        let mut fresh = c.store.detached_clone();
+        fresh.track_touched(false);
+        c.mirror = Arc::new(fresh);
         if let Some(h) = &mut c.history {
             h.push(TxnRecord {
                 txn: h.len(),
@@ -672,13 +1085,63 @@ impl MvccTxn {
             snapshot: Arc::clone(&c.mirror),
             versions: Arc::clone(&c.versions),
         };
+        // If the cadence fell due on this commit, capture the snapshot
+        // job (sealing the active segment) together with the mirror —
+        // which is exactly the extension at the job's watermark — for
+        // the background worker.
+        let snapshot_job = c
+            .store
+            .take_snapshot_job()
+            .map(|job| (job, Arc::clone(&c.mirror)));
         // Publish while still holding the commit mutex, so snapshots
         // become visible in commit order.
         *inner
             .published
             .write()
             .unwrap_or_else(PoisonError::into_inner) = published;
-        Ok(ts)
+        drop(c);
+        if let Some((job, snap)) = snapshot_job {
+            if let Some(w) = &inner.snapshots {
+                w.submit(job, snap);
+            }
+        }
+        Ok((ts, ack))
+    }
+}
+
+/// The durability IOU from [`MvccTxn::commit_pipelined`]: the commit is
+/// published, and [`CommitTicket::wait`] blocks until the covering
+/// group sync has made it durable (or surfaces the sticky sync failure
+/// as [`CommitError::SyncFailed`], exactly as `commit()` would).
+///
+/// Tickets are redeemable in any order — each waits only for its own
+/// covering sync, and a later ticket's successful wait implies every
+/// earlier commit is durable too (the log syncs in commit order).
+/// Dropping a ticket without waiting forfeits only the
+/// acknowledgement; the commit itself is never undone.
+#[derive(Debug)]
+#[must_use = "the commit is not acknowledged as durable until the ticket is waited on"]
+pub struct CommitTicket {
+    ts: u64,
+    ack: Option<WalAck>,
+}
+
+impl CommitTicket {
+    /// The commit timestamp — already assigned and published.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Blocks until the commit is durable and returns its timestamp.
+    /// For volatile or non-grouped stores the commit was already as
+    /// durable as it will ever be, and this returns immediately.
+    pub fn wait(self) -> Result<u64, CommitError> {
+        if let Some(ack) = &self.ack {
+            if let Err(error) = ack.wait() {
+                return Err(CommitError::SyncFailed { ts: self.ts, error });
+            }
+        }
+        Ok(self.ts)
     }
 }
 

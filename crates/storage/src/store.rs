@@ -25,7 +25,9 @@ use interop_model::{AttrName, ClassName, Database, ModelError, Object, ObjectId,
 use crate::index::{CompositeIndex, HashIndex, IndexSet, KeyIndex, SortedIndex};
 use crate::snapshot;
 use crate::stats::{AttrStats, PairSketch};
-use crate::wal::{self, DurabilityError, WalRecord, WalWriter};
+use crate::wal::{
+    self, DurabilityError, GroupCommitPolicy, SealedSegment, SegmentedWal, WalRecord,
+};
 
 /// Errors from store operations.
 #[derive(Clone, Debug, PartialEq)]
@@ -152,7 +154,8 @@ const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
 struct DurabilityState {
     mode: DurabilityMode,
     dir: PathBuf,
-    writer: WalWriter,
+    /// The segmented write-ahead log (rotation, pruning, group commit).
+    wal: SegmentedWal,
     /// Sequence number of the last committed transaction.
     txn_seq: u64,
     /// True between `wal_txn_begin` and commit/rollback.
@@ -163,15 +166,69 @@ struct DurabilityState {
     txns_since_snapshot: u64,
     /// Snapshot cadence (`WalWithSnapshots` only).
     snapshot_every: u64,
-    /// The error of the most recent failed *automatic* snapshot, held
-    /// for [`Store::take_snapshot_error`]. Automatic snapshots run
-    /// after the commit is already durable in the WAL, so their failure
-    /// must not fail (let alone roll back) the commit itself.
+    /// When true the snapshot cadence only raises `snapshot_due`
+    /// instead of dumping inline in the commit path; an owner (the MVCC
+    /// layer's background worker) drains the flag via
+    /// [`Store::take_snapshot_job`] and writes the snapshot off-thread.
+    deferred_snapshots: bool,
+    /// Raised by the cadence in deferred mode; cleared at job capture.
+    snapshot_due: bool,
+    /// The **first** error among failed *automatic* snapshots since the
+    /// last [`Store::take_snapshot_error`] poll — later failures bump
+    /// `snapshot_failures` but never overwrite it, so a poller sees the
+    /// true history (root cause + extent) rather than only the newest
+    /// symptom. Automatic snapshots run after the commit is already
+    /// durable in the WAL, so their failure must not fail (let alone
+    /// roll back) the commit itself.
     snapshot_error: Option<DurabilityError>,
+    /// Failed automatic snapshot attempts since the last poll.
+    snapshot_failures: u64,
 }
 
-/// File name of the write-ahead log inside the durability directory.
-const WAL_FILE: &str = "wal.log";
+/// What a deferred (background) snapshot must persist: captured under
+/// the commit path at cadence time, written to disk by a worker thread
+/// so committers never stall on the dump. The worker pairs it with the
+/// published MVCC `Arc` snapshot, whose state is exactly the extension
+/// at `watermark`.
+#[derive(Debug)]
+pub(crate) struct SnapshotJob {
+    /// The durability directory.
+    pub(crate) dir: PathBuf,
+    /// The last committed transaction the snapshot covers.
+    pub(crate) watermark: u64,
+    /// Touched-id tracking state at capture.
+    pub(crate) tracking: bool,
+    /// Undrained touched ids at capture.
+    pub(crate) touched: Vec<ObjectId>,
+    /// Sealed WAL segments the snapshot makes redundant — pruned (under
+    /// the commit path) only after the snapshot file is durable. Only
+    /// segments sealed *before* capture qualify: markers or commits
+    /// appended later live in segments outside this list.
+    pub(crate) prunable: Vec<u64>,
+}
+
+/// The record of failed automatic snapshots since the last successful
+/// poll of [`Store::take_snapshot_error`]: the **first** failure (later
+/// ones never overwrite it) plus how many attempts failed in total.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotFailure {
+    /// The first error since the last poll — the root cause.
+    pub first: DurabilityError,
+    /// Total failed attempts since the last poll (including the first).
+    pub failures: u64,
+}
+
+impl fmt::Display for SnapshotFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} failed snapshot attempt(s); first: {}",
+            self.failures, self.first
+        )
+    }
+}
+
+impl std::error::Error for SnapshotFailure {}
 
 /// When a composite index is admitted for a recurring equality-atom
 /// pair. The cost model reports every plan that keeps two equality
@@ -454,60 +511,107 @@ impl Store {
             }
         }
 
-        let wal_path = dir.join(WAL_FILE);
-        let scan = wal::scan_wal(&wal_path)?;
+        let mut scans = wal::scan_segments(&dir)?;
         let mut txn_seq = watermark;
         // (seq, buffered deltas) of an open `Begin … Commit` run.
         let mut open_txn: Option<(u64, Vec<WalRecord>)> = None;
-        // End offset of the last frame that left no transaction open —
-        // the commit boundary the WAL is truncated back to. Frames past
-        // it belong to an unterminated run (or the torn tail) and are
-        // discarded.
-        let mut boundary = 0u64;
-        for (i, rec) in scan.records.into_iter().enumerate() {
-            match rec {
-                WalRecord::Begin { seq } => open_txn = Some((seq, Vec::new())),
-                WalRecord::Commit { seq } => {
-                    if let Some((begin_seq, deltas)) = open_txn.take() {
-                        if begin_seq == seq && seq > watermark {
-                            Self::replay_deltas(&mut db, deltas, tracking.then_some(&mut touched))?;
+        // The commit boundary: the segment and end offset of the last
+        // frame that left no transaction open. Frames past it — in that
+        // segment or any later one — belong to an unterminated run (or
+        // the torn tail) and are discarded.
+        let mut boundary: Option<(u64, u64)> = None;
+        for seg in &mut scans {
+            let records = std::mem::take(&mut seg.scan.records);
+            let frame_ends = std::mem::take(&mut seg.scan.frame_ends);
+            let torn = seg.scan.valid_len < seg.scan.file_len;
+            let mut seg_boundary = 0u64;
+            for (i, rec) in records.into_iter().enumerate() {
+                match rec {
+                    WalRecord::Begin { seq } => open_txn = Some((seq, Vec::new())),
+                    WalRecord::Commit { seq } => {
+                        if let Some((begin_seq, deltas)) = open_txn.take() {
+                            if begin_seq == seq && seq > watermark {
+                                Self::replay_deltas(
+                                    &mut db,
+                                    deltas,
+                                    tracking.then_some(&mut touched),
+                                )?;
+                            }
+                            txn_seq = txn_seq.max(seq);
                         }
-                        txn_seq = txn_seq.max(seq);
+                    }
+                    WalRecord::Rollback => open_txn = None,
+                    WalRecord::TouchedDrain => touched.clear(),
+                    WalRecord::TrackTouched { on } => {
+                        tracking = on;
+                        touched.clear();
+                    }
+                    delta => {
+                        if let Some((_, deltas)) = &mut open_txn {
+                            deltas.push(delta);
+                        }
+                        // A delta outside Begin/Commit cannot be produced
+                        // by this writer; ignore it defensively rather
+                        // than guessing at its transaction.
                     }
                 }
-                WalRecord::Rollback => open_txn = None,
-                WalRecord::TouchedDrain => touched.clear(),
-                WalRecord::TrackTouched { on } => {
-                    tracking = on;
-                    touched.clear();
-                }
-                delta => {
-                    if let Some((_, deltas)) = &mut open_txn {
-                        deltas.push(delta);
-                    }
-                    // A delta outside Begin/Commit cannot be produced by
-                    // this writer; ignore it defensively rather than
-                    // guessing at its transaction.
+                if open_txn.is_none() {
+                    seg_boundary = frame_ends[i];
                 }
             }
-            if open_txn.is_none() {
-                boundary = scan.frame_ends[i];
+            boundary = Some((seg.seq, seg_boundary));
+            if open_txn.take().is_some() {
+                // A run left open at the end of a segment: whether from
+                // a crash mid-append or a hostile file, everything from
+                // here on is untrusted and discarded.
+                break;
+            }
+            if torn {
+                break;
             }
         }
-        let writer = WalWriter::open(&wal_path, boundary)?;
+        // Fresh directories start at segment 1 (`wal.log` is the legacy
+        // segment 0, still readable above).
+        let (active_seq, valid_len) = boundary.unwrap_or((1, 0));
+        // Segments past the boundary hold only discarded bytes.
+        let mut removed_any = false;
+        for (seq, path) in wal::list_segments(&dir)? {
+            if seq > active_seq {
+                std::fs::remove_file(&path)
+                    .map_err(|e| DurabilityError::Io(format!("{}: {e}", path.display())))?;
+                removed_any = true;
+            }
+        }
+        if removed_any {
+            wal::fsync_dir(&dir)?;
+        }
+        // Earlier segments are sealed; bound their contents by the
+        // recovered counter (conservative: too high only delays pruning).
+        let sealed: Vec<SealedSegment> = scans
+            .iter()
+            .filter(|s| s.seq < active_seq)
+            .map(|s| SealedSegment {
+                seq: s.seq,
+                last_txn: txn_seq,
+            })
+            .collect();
+        let wal = SegmentedWal::open(&dir, active_seq, valid_len, sealed, txn_seq)?;
 
         let mut store = Store::new(db, catalog);
         store.touched_log = tracking.then_some(touched);
         store.durability = Some(Box::new(DurabilityState {
             mode,
             dir,
-            writer,
+            wal,
             txn_seq,
             in_txn: false,
             pending: Vec::new(),
             txns_since_snapshot: 0,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            deferred_snapshots: false,
+            snapshot_due: false,
             snapshot_error: None,
+            snapshot_failures: 0,
         }));
         Ok(store)
     }
@@ -577,7 +681,10 @@ impl Store {
     /// The shared snapshot body. The WAL is reset only *after*
     /// [`snapshot::write_snapshot`] returns, i.e. after the new
     /// snapshot is fully durable — a failure leaves the log (and the
-    /// older snapshots) exactly as they were.
+    /// older snapshots) exactly as they were. The reset itself is
+    /// durable (truncation synced, sealed-segment deletions followed by
+    /// a directory fsync), so power loss cannot resurrect stale
+    /// committed frames the snapshot already holds.
     fn snapshot_inner(&mut self) -> Result<(), DurabilityError> {
         let Some(d) = self.durability.as_deref_mut() else {
             return Ok(());
@@ -586,20 +693,38 @@ impl Store {
         let touched = self.touched_log.clone().unwrap_or_default();
         let objects: Vec<&Object> = self.db.objects().collect();
         snapshot::write_snapshot(&d.dir, d.txn_seq, tracking, &touched, &objects)?;
-        d.writer.reset()?;
+        d.wal.reset_all()?;
         d.txns_since_snapshot = 0;
+        d.snapshot_due = false;
         Ok(())
     }
 
-    /// Takes (and clears) the error of the most recent failed
-    /// *automatic* snapshot, if any. Automatic snapshots run after the
-    /// triggering commit is already durable in the WAL, so their
-    /// failure cannot fail the commit — it is surfaced here instead,
-    /// and the cadence retries on the next committed transaction.
-    pub fn take_snapshot_error(&mut self) -> Option<DurabilityError> {
-        self.durability
-            .as_deref_mut()
-            .and_then(|d| d.snapshot_error.take())
+    /// Takes (and clears) the record of automatic-snapshot failures
+    /// since the last poll, if any: the **first** error plus the total
+    /// attempt count — later failures never overwrite the first, so the
+    /// history is not silently collapsed into the newest symptom.
+    /// Automatic snapshots run after the triggering commit is already
+    /// durable in the WAL, so their failure cannot fail the commit — it
+    /// is surfaced here instead, and the cadence retries on the next
+    /// committed transaction.
+    pub fn take_snapshot_error(&mut self) -> Option<SnapshotFailure> {
+        let d = self.durability.as_deref_mut()?;
+        let first = d.snapshot_error.take()?;
+        Some(SnapshotFailure {
+            first,
+            failures: std::mem::take(&mut d.snapshot_failures),
+        })
+    }
+
+    /// Records one failed automatic-snapshot attempt: the first error
+    /// is kept, every attempt is counted.
+    pub(crate) fn note_snapshot_failure(&mut self, e: DurabilityError) {
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.snapshot_failures += 1;
+            if d.snapshot_error.is_none() {
+                d.snapshot_error = Some(e);
+            }
+        }
     }
 
     /// Appends one committed single-operation transaction (`Begin`,
@@ -615,21 +740,25 @@ impl Store {
             return Ok(());
         }
         let seq = d.txn_seq + 1;
-        d.writer
-            .append(&[WalRecord::Begin { seq }, rec, WalRecord::Commit { seq }])?;
+        d.wal.append_run_synced(
+            &[WalRecord::Begin { seq }, rec, WalRecord::Commit { seq }],
+            seq,
+        )?;
         d.txn_seq = seq;
         self.note_committed_txn();
         Ok(())
     }
 
     /// Post-commit bookkeeping: counts the transaction towards the
-    /// snapshot cadence and snapshots when it is reached. Infallible by
-    /// design — the transaction is already durable in the WAL when this
-    /// runs, so a snapshot failure must not propagate into the commit
-    /// path (a caller would roll memory back while the log keeps the
-    /// commit, and replay would diverge on reopen). The error is
-    /// stashed for [`Store::take_snapshot_error`]; the unreset cadence
-    /// counter retries the snapshot on the next commit.
+    /// snapshot cadence and snapshots when it is reached — inline here,
+    /// or by raising `snapshot_due` for the background worker when
+    /// deferred snapshots are on. Infallible by design — the
+    /// transaction is already durable in the WAL when this runs, so a
+    /// snapshot failure must not propagate into the commit path (a
+    /// caller would roll memory back while the log keeps the commit,
+    /// and replay would diverge on reopen). The error is stashed for
+    /// [`Store::take_snapshot_error`]; the unreset cadence counter
+    /// retries the snapshot on the next commit.
     fn note_committed_txn(&mut self) {
         let Some(d) = self.durability.as_deref_mut() else {
             return;
@@ -641,10 +770,104 @@ impl Store {
         if d.txns_since_snapshot < d.snapshot_every {
             return;
         }
+        if d.deferred_snapshots {
+            d.snapshot_due = true;
+            return;
+        }
         if let Err(e) = self.snapshot_inner() {
-            if let Some(d) = self.durability.as_deref_mut() {
+            self.note_snapshot_failure(e);
+        }
+    }
+
+    /// Switches the snapshot cadence between inline (the commit path
+    /// dumps the extension itself) and deferred (the cadence only
+    /// raises a flag for [`Store::take_snapshot_job`]). The MVCC layer
+    /// turns this on when it owns a background snapshot worker.
+    pub(crate) fn set_deferred_snapshots(&mut self, on: bool) {
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.deferred_snapshots = on;
+        }
+    }
+
+    /// Captures the work of one due background snapshot, or `None` when
+    /// no snapshot is due. Seals the active segment first (so every
+    /// transaction the snapshot covers sits in sealed — durable,
+    /// prunable — segments) and lists the sealed segments the snapshot
+    /// will make redundant. The caller pairs the job with an `Arc`
+    /// snapshot of the extension at the same commit point and hands
+    /// both to the worker; [`Store::prune_wal_segments`] runs after the
+    /// snapshot file is durable.
+    pub(crate) fn take_snapshot_job(&mut self) -> Option<SnapshotJob> {
+        let tracking = self.touched_log.is_some();
+        let touched = self.touched_log.clone().unwrap_or_default();
+        let d = self.durability.as_deref_mut()?;
+        if !d.snapshot_due {
+            return None;
+        }
+        d.snapshot_due = false;
+        d.txns_since_snapshot = 0;
+        if d.wal.active_len() > 0 {
+            if let Err(e) = d.wal.rotate() {
+                // The snapshot never started; count it as a failed
+                // attempt and let the cadence retry.
+                d.snapshot_failures += 1;
+                if d.snapshot_error.is_none() {
+                    d.snapshot_error = Some(e);
+                }
+                return None;
+            }
+        }
+        let watermark = d.txn_seq;
+        Some(SnapshotJob {
+            dir: d.dir.clone(),
+            watermark,
+            tracking,
+            touched,
+            prunable: d.wal.prunable(watermark),
+        })
+    }
+
+    /// Deletes sealed WAL segments a durable snapshot made redundant
+    /// (directory-fsynced). Failures are recorded as snapshot failures —
+    /// the segments stay, replay merely re-skips their transactions.
+    pub(crate) fn prune_wal_segments(&mut self, seqs: &[u64]) {
+        let Some(d) = self.durability.as_deref_mut() else {
+            return;
+        };
+        if let Err(e) = d.wal.prune_sealed(seqs) {
+            d.snapshot_failures += 1;
+            if d.snapshot_error.is_none() {
                 d.snapshot_error = Some(e);
             }
+        }
+    }
+
+    /// Sets the group-commit policy (how commits share fsyncs). The
+    /// default syncs every commit before acknowledging it. Grouping
+    /// takes effect for concurrent MVCC committers, whose
+    /// acknowledgement can wait outside the commit path; the plain
+    /// single-writer store always syncs before returning (there is
+    /// nobody to share the sync with, so dwelling would only add
+    /// latency). No effect when durability is off.
+    pub fn set_group_commit(&mut self, policy: GroupCommitPolicy) {
+        if let Some(d) = self.durability.as_deref() {
+            d.wal.group().set_policy(policy);
+        }
+    }
+
+    /// The group-commit policy in effect (the sync-per-commit default
+    /// when durability is off).
+    pub fn group_commit(&self) -> GroupCommitPolicy {
+        self.durability
+            .as_deref()
+            .map_or_else(GroupCommitPolicy::default, |d| d.wal.group().policy())
+    }
+
+    /// Sets the WAL segment rotation threshold in bytes (clamped to at
+    /// least 1). No effect when durability is off.
+    pub fn set_wal_segment_bytes(&mut self, bytes: u64) {
+        if let Some(d) = self.durability.as_deref_mut() {
+            d.wal.set_segment_bytes(bytes);
         }
     }
 
@@ -681,10 +904,47 @@ impl Store {
         frames.push(WalRecord::Begin { seq });
         frames.extend(pending);
         frames.push(WalRecord::Commit { seq });
-        d.writer.append(&frames)?;
+        d.wal.append_run_synced(&frames, seq)?;
         d.txn_seq = seq;
         self.note_committed_txn();
         Ok(())
+    }
+
+    /// The group-commit variant of [`Store::wal_txn_commit`]: the run
+    /// is buffered into the log and the covering `sync_data` is left to
+    /// the group leader — the returned ack blocks until it lands.
+    /// `Ok(None)` means there was nothing to log (no durability, no
+    /// bracket, or an empty transaction).
+    ///
+    /// The contract differs from the synced variant in one way: once
+    /// this returns `Ok`, the transaction **cannot be rolled back** —
+    /// its frames sit in the file ahead of later committers' frames, so
+    /// a failure of the covering sync is reported through
+    /// [`wal::WalAck::wait`] (and poisons the log against further
+    /// appends) while the in-memory commit stands, exactly like the
+    /// loudly-reported memory-runs-ahead semantics of single-op
+    /// durability failures.
+    pub(crate) fn wal_txn_commit_deferred(&mut self) -> Result<Option<wal::WalAck>, StoreError> {
+        let Some(d) = self.durability.as_deref_mut() else {
+            return Ok(None);
+        };
+        if !d.in_txn {
+            return Ok(None);
+        }
+        d.in_txn = false;
+        let pending = std::mem::take(&mut d.pending);
+        if pending.is_empty() {
+            return Ok(None);
+        }
+        let seq = d.txn_seq + 1;
+        let mut frames = Vec::with_capacity(pending.len() + 2);
+        frames.push(WalRecord::Begin { seq });
+        frames.extend(pending);
+        frames.push(WalRecord::Commit { seq });
+        let ack = d.wal.append_run(&frames, seq)?;
+        d.txn_seq = seq;
+        self.note_committed_txn();
+        Ok(Some(ack))
     }
 
     /// Closes the bracket after a rollback: the buffered deltas (and
@@ -695,7 +955,7 @@ impl Store {
         if let Some(d) = self.durability.as_deref_mut() {
             d.in_txn = false;
             d.pending.clear();
-            let _ = d.writer.append(&[WalRecord::Rollback]);
+            let _ = d.wal.append_run_synced(&[WalRecord::Rollback], d.txn_seq);
         }
     }
 
@@ -813,7 +1073,9 @@ impl Store {
         // marker only costs the next open a conservative tracking
         // state, never correctness of the data itself.
         if let Some(d) = self.durability.as_deref_mut() {
-            let _ = d.writer.append(&[WalRecord::TrackTouched { on }]);
+            let _ = d
+                .wal
+                .append_run_synced(&[WalRecord::TrackTouched { on }], d.txn_seq);
         }
     }
 
@@ -832,7 +1094,9 @@ impl Store {
         // pipeline then re-examines and finds unchanged — safe.
         if !out.is_empty() {
             if let Some(d) = self.durability.as_deref_mut() {
-                let _ = d.writer.append(&[WalRecord::TouchedDrain]);
+                let _ = d
+                    .wal
+                    .append_run_synced(&[WalRecord::TouchedDrain], d.txn_seq);
             }
         }
         out

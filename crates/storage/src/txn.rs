@@ -21,6 +21,7 @@
 use interop_model::{AttrName, Object, ObjectId, Value};
 
 use crate::store::{Store, StoreError};
+use crate::wal::WalAck;
 
 /// One operation of a transaction.
 #[derive(Clone, Debug)]
@@ -158,36 +159,71 @@ impl Transaction {
     /// the in-memory state back too, so memory never claims a commit
     /// the log doesn't hold.
     pub fn commit(self, store: &mut Store) -> TxnOutcome {
-        /// A deferred inverse operation.
-        type Undo = Box<dyn FnOnce(&mut Store)>;
+        self.commit_inner(store, false).0
+    }
+
+    /// The group-commit variant of [`Transaction::commit`]: identical
+    /// up to the WAL append, but the run is only *buffered* into the
+    /// log — the covering `sync_data` is left to the group-commit
+    /// leader, and the returned [`WalAck`] (present only when
+    /// durability actually logged something) blocks until it lands.
+    ///
+    /// An **append** failure still rolls the in-memory state back,
+    /// exactly like [`Transaction::commit`]. A failure of the deferred
+    /// sync, by contrast, is reported through [`WalAck::wait`] while
+    /// the in-memory commit stands — the frames sit in the file ahead
+    /// of later committers' frames, so they cannot be truncated away;
+    /// the MVCC layer surfaces this as a loud commit error.
+    pub(crate) fn commit_deferred(self, store: &mut Store) -> (TxnOutcome, Option<WalAck>) {
+        self.commit_inner(store, true)
+    }
+
+    fn commit_inner(self, store: &mut Store, deferred: bool) -> (TxnOutcome, Option<WalAck>) {
+        /// A recorded inverse operation, applied newest-first on
+        /// rollback. A plain enum (not a boxed closure) keeps the
+        /// commit hot path free of one heap allocation per operation.
+        enum Undo {
+            Insert(ObjectId),
+            Update {
+                id: ObjectId,
+                attr: AttrName,
+                old: Value,
+            },
+            Delete(Object),
+        }
+        impl Undo {
+            fn apply(self, s: &mut Store) {
+                match self {
+                    Undo::Insert(id) => {
+                        s.remove(id).ok();
+                    }
+                    Undo::Update { id, attr, old } => {
+                        s.update(id, attr, old).ok();
+                    }
+                    Undo::Delete(obj) => {
+                        s.insert(obj).ok();
+                    }
+                }
+            }
+        }
         store.wal_txn_begin();
         let mut undo: Vec<Undo> = Vec::new();
         for (i, op) in self.ops.into_iter().enumerate() {
             let result: Result<Undo, StoreError> = match op {
                 TxnOp::Insert(obj) => {
                     let id = obj.id;
-                    store.insert(obj).map(move |()| {
-                        Box::new(move |s: &mut Store| {
-                            s.remove(id).ok();
-                        }) as Box<dyn FnOnce(&mut Store)>
-                    })
+                    store.insert(obj).map(|()| Undo::Insert(id))
                 }
                 TxnOp::Update { id, attr, value } => match store.db().object_req(id) {
                     Err(e) => Err(StoreError::Model(e)),
                     Ok(before) => {
                         let old = before.get(&attr).clone();
-                        store.update(id, attr.clone(), value).map(move |()| {
-                            Box::new(move |s: &mut Store| {
-                                s.update(id, attr, old).ok();
-                            }) as Box<dyn FnOnce(&mut Store)>
-                        })
+                        store
+                            .update(id, attr.clone(), value)
+                            .map(|()| Undo::Update { id, attr, old })
                     }
                 },
-                TxnOp::Delete(id) => store.remove(id).map(|obj| {
-                    Box::new(move |s: &mut Store| {
-                        s.insert(obj).ok();
-                    }) as Box<dyn FnOnce(&mut Store)>
-                }),
+                TxnOp::Delete(id) => store.remove(id).map(Undo::Delete),
             };
             match result {
                 Ok(u) => undo.push(u),
@@ -197,31 +233,44 @@ impl Transaction {
                     // the whole bracket away, so nothing of this
                     // transaction reaches the log.
                     for u in undo.into_iter().rev() {
-                        u(store);
+                        u.apply(store);
                     }
                     store.wal_txn_rollback();
-                    return TxnOutcome::RolledBack {
-                        failed_at: i,
-                        error,
-                    };
+                    return (
+                        TxnOutcome::RolledBack {
+                            failed_at: i,
+                            error,
+                        },
+                        None,
+                    );
                 }
             }
         }
         let applied = undo.len();
-        if let Err(error) = store.wal_txn_commit() {
-            // The log refused the transaction: roll memory back so the
-            // two agree, and report the durability failure.
-            store.wal_txn_begin();
-            for u in undo.into_iter().rev() {
-                u(store);
+        let finish = if deferred {
+            store.wal_txn_commit_deferred()
+        } else {
+            store.wal_txn_commit().map(|()| None)
+        };
+        match finish {
+            Ok(ack) => (TxnOutcome::Committed { applied }, ack),
+            Err(error) => {
+                // The log refused the transaction: roll memory back so
+                // the two agree, and report the durability failure.
+                store.wal_txn_begin();
+                for u in undo.into_iter().rev() {
+                    u.apply(store);
+                }
+                store.wal_txn_rollback();
+                (
+                    TxnOutcome::RolledBack {
+                        failed_at: applied,
+                        error,
+                    },
+                    None,
+                )
             }
-            store.wal_txn_rollback();
-            return TxnOutcome::RolledBack {
-                failed_at: applied,
-                error,
-            };
         }
-        TxnOutcome::Committed { applied }
     }
 }
 

@@ -28,11 +28,45 @@
 //! transaction contributes nothing but a [`WalRecord::Rollback`]
 //! marker: its deltas (and the inverse deltas its undo operations
 //! produce) are discarded before anything reaches the file.
+//!
+//! # Segments
+//!
+//! The log is a sequence of files `wal-{seq:020}.log` ([`SegmentedWal`]);
+//! the pre-rotation layout's single `wal.log` is still read as segment 0.
+//! Appends go to the highest (*active*) segment; when it crosses the
+//! size threshold it is *sealed* — one final `sync_data`, so every byte
+//! of a sealed segment is durable by construction — and the next
+//! segment is created (and the directory fsynced, so the new name
+//! survives power loss). Recovery scans segments in ascending order
+//! with the single-file torn-tail rules applied per segment, and stops
+//! at the first torn segment or sequence gap: bytes past a corruption
+//! point are not trusted, even when they live in a later file. A
+//! snapshot at watermark `W` makes every sealed segment whose
+//! transactions all have `seq <= W` redundant; pruning deletes those
+//! files and fsyncs the directory.
+//!
+//! # Group commit
+//!
+//! [`WalWriter::append_buffered`] writes frames without syncing;
+//! [`GroupSync`] tracks which appends a `sync_data` has covered.
+//! Committers enqueue their frame runs (serialized by the store's
+//! commit path), then [`WalAck::wait`]: the first uncovered waiter
+//! elects itself leader, optionally dwells for up to
+//! [`GroupCommitPolicy::max_delay_us`] or until
+//! [`GroupCommitPolicy::max_batch`] runs are pending, issues **one**
+//! `sync_data` for the whole batch, and wakes every covered waiter. A
+//! commit is acknowledged only after its covering sync, so
+//! *acknowledged ≠ lost* is preserved: a crash can lose only
+//! unacknowledged tail transactions. The default policy (batch 1,
+//! no delay) reproduces the historical sync-per-commit behaviour
+//! exactly.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use interop_model::{AttrName, ClassName, Object, ObjectId, Value, R64};
 
@@ -337,31 +371,37 @@ const TAG_ROLLBACK: u8 = 6;
 const TAG_TOUCHED_DRAIN: u8 = 7;
 const TAG_TRACK_TOUCHED: u8 = 8;
 
+#[cfg(test)]
 fn encode_record(rec: &WalRecord) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_record_into(rec, &mut out);
+    out
+}
+
+fn encode_record_into(rec: &WalRecord, out: &mut Vec<u8>) {
     match rec {
         WalRecord::Begin { seq } => {
             out.push(TAG_BEGIN);
-            put_u64(&mut out, *seq);
+            put_u64(out, *seq);
         }
         WalRecord::DeltaInsert(obj) => {
             out.push(TAG_DELTA_INSERT);
-            put_object(&mut out, obj);
+            put_object(out, obj);
         }
         WalRecord::DeltaUpdate { id, attr, old, new } => {
             out.push(TAG_DELTA_UPDATE);
-            put_id(&mut out, *id);
-            put_str(&mut out, attr.as_str());
-            put_value(&mut out, old);
-            put_value(&mut out, new);
+            put_id(out, *id);
+            put_str(out, attr.as_str());
+            put_value(out, old);
+            put_value(out, new);
         }
         WalRecord::DeltaRemove { id } => {
             out.push(TAG_DELTA_REMOVE);
-            put_id(&mut out, *id);
+            put_id(out, *id);
         }
         WalRecord::Commit { seq } => {
             out.push(TAG_COMMIT);
-            put_u64(&mut out, *seq);
+            put_u64(out, *seq);
         }
         WalRecord::Rollback => out.push(TAG_ROLLBACK),
         WalRecord::TouchedDrain => out.push(TAG_TOUCHED_DRAIN),
@@ -370,7 +410,6 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             out.push(u8::from(*on));
         }
     }
-    out
 }
 
 fn decode_record(payload: &[u8]) -> Option<WalRecord> {
@@ -400,12 +439,23 @@ fn decode_record(payload: &[u8]) -> Option<WalRecord> {
 /// Encodes one record as a complete frame (`len`, `crc`, payload) —
 /// also the corruption-test hook for crafting adversarial files.
 pub fn frame_bytes(rec: &WalRecord) -> Vec<u8> {
-    let payload = encode_record(rec);
-    let mut out = Vec::with_capacity(8 + payload.len());
-    put_u32(&mut out, payload.len() as u32);
-    put_u32(&mut out, crc32(&payload));
-    out.extend_from_slice(&payload);
+    let mut out = Vec::new();
+    frame_bytes_into(rec, &mut out);
     out
+}
+
+/// [`frame_bytes`] into a caller-supplied buffer, so a multi-record
+/// run encodes with no per-frame allocation: the payload is written in
+/// place after a hole for the header, which is then backfilled with
+/// the real length and CRC.
+pub fn frame_bytes_into(rec: &WalRecord, out: &mut Vec<u8>) {
+    let base = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    encode_record_into(rec, out);
+    let payload_len = out.len() - base - 8;
+    let crc = crc32(&out[base + 8..]);
+    out[base..base + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// The result of scanning a WAL file: every record up to the first torn
@@ -467,19 +517,27 @@ pub fn scan_wal(path: &Path) -> Result<WalScan, DurabilityError> {
     })
 }
 
-/// An append handle over the WAL file. Opening truncates the file to
-/// `valid_len` (discarding any torn tail found by [`scan_wal`]) and
-/// positions at the end; every [`WalWriter::append`] writes its frames
-/// as one contiguous run and flushes before returning.
+/// An append handle over one WAL segment file. Opening truncates the
+/// file to `valid_len` (discarding any torn tail found by [`scan_wal`])
+/// and positions at the end. [`WalWriter::append_buffered`] writes a
+/// frame run without syncing (group commit syncs later through
+/// [`GroupSync`]); [`WalWriter::append`] is the historical
+/// write-then-`sync_data` combination.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    /// Shared so a group-commit leader can `sync_data` the segment
+    /// without holding the store's commit path.
+    file: Arc<File>,
     path: std::path::PathBuf,
     /// Set when a failed append left bytes in the file that could not
     /// be truncated away: the tail may be torn, and a later successful
     /// append would put valid frames *after* the tear — frames replay
     /// silently discards. A poisoned writer refuses all appends.
     poisoned: bool,
+    /// The file length, maintained in memory so the append hot path
+    /// does not pay a `seek` syscall per run. Every mutation of the
+    /// file's length goes through this writer, which keeps it exact.
+    cached_len: u64,
 }
 
 impl WalWriter {
@@ -499,76 +557,638 @@ impl WalWriter {
             fsync_dir(parent)?;
         }
         let mut w = WalWriter {
-            file,
+            file: Arc::new(file),
             path: path.to_path_buf(),
             poisoned: false,
+            cached_len: 0,
         };
-        w.file
+        w.cached_len = (&*w.file)
             .seek(SeekFrom::End(0))
             .map_err(|e| io_err(&w.path, e))?;
         Ok(w)
     }
 
-    /// Appends `records` as one contiguous frame run and flushes. On
-    /// failure the file is truncated back to its pre-append length, so
-    /// the log never holds valid frames after torn bytes; if even the
-    /// truncation fails the writer poisons itself and refuses further
-    /// appends.
-    pub fn append(&mut self, records: &[WalRecord]) -> Result<(), DurabilityError> {
+    /// Writes `records` as one contiguous frame run **without syncing**
+    /// and returns the file length after the run. On failure the file
+    /// is truncated back to its pre-append length, so the log never
+    /// holds valid frames after torn bytes; if even the truncation
+    /// fails the writer poisons itself and refuses further appends.
+    pub fn append_buffered(&mut self, records: &[WalRecord]) -> Result<u64, DurabilityError> {
         if self.poisoned {
             return Err(DurabilityError::Io(format!(
                 "{}: writer poisoned by an unrecovered append failure",
                 self.path.display()
             )));
         }
-        let start = self.len()?;
+        let start = self.cached_len;
         let mut buf = Vec::new();
         for rec in records {
-            buf.extend_from_slice(&frame_bytes(rec));
+            frame_bytes_into(rec, &mut buf);
         }
-        let written = self
-            .file
-            .write_all(&buf)
-            .and_then(|()| self.file.sync_data());
-        if let Err(e) = written {
+        if let Err(e) = (&*self.file).write_all(&buf) {
             let restored = self
                 .file
                 .set_len(start)
-                .and_then(|()| self.file.seek(SeekFrom::Start(start)).map(|_| ()));
+                .and_then(|()| (&*self.file).seek(SeekFrom::Start(start)).map(|_| ()));
             if restored.is_err() {
                 self.poisoned = true;
             }
             return Err(io_err(&self.path, e));
         }
+        self.cached_len = start + buf.len() as u64;
+        Ok(self.cached_len)
+    }
+
+    /// Flushes previously buffered appends to stable storage.
+    pub fn sync(&self) -> Result<(), DurabilityError> {
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Appends `records` as one contiguous frame run and `sync_data`s
+    /// before returning — the pre-group-commit behaviour. On sync
+    /// failure the file is truncated back so the log never acknowledges
+    /// bytes it could not flush.
+    pub fn append(&mut self, records: &[WalRecord]) -> Result<(), DurabilityError> {
+        let start = self.cached_len;
+        self.append_buffered(records)?;
+        if let Err(e) = self.sync() {
+            let restored = self
+                .file
+                .set_len(start)
+                .and_then(|()| (&*self.file).seek(SeekFrom::Start(start)).map(|_| ()));
+            if restored.is_err() {
+                self.poisoned = true;
+            } else {
+                self.cached_len = start;
+            }
+            return Err(e);
+        }
         Ok(())
+    }
+
+    /// The shared handle of the underlying segment file, for the
+    /// group-commit leader's out-of-band `sync_data`.
+    pub(crate) fn file(&self) -> &Arc<File> {
+        &self.file
     }
 
     /// Swaps the underlying file handle — test hook for forcing append
     /// failures (e.g. a read-only handle) against a real log file.
     #[cfg(test)]
-    fn swap_file_for_test(&mut self, file: File) -> File {
+    fn swap_file_for_test(&mut self, file: Arc<File>) -> Arc<File> {
         std::mem::replace(&mut self.file, file)
     }
 
     /// Discards the entire log (after a successful snapshot captured
     /// everything it held).
+    ///
+    /// **Invariant: the truncation is itself durable.** `set_len(0)`
+    /// alone lives only in the page cache; after power loss the old
+    /// length — and the stale committed frames inside it — could come
+    /// back, and only the `seq > watermark` replay filter would stand
+    /// between those resurrected frames and a double-apply. `sync_all`
+    /// (size is metadata, so `sync_data` is not enough) forces the
+    /// truncation to disk before the reset is acknowledged.
     pub fn reset(&mut self) -> Result<(), DurabilityError> {
         self.file.set_len(0).map_err(|e| io_err(&self.path, e))?;
-        self.file
+        (&*self.file)
             .seek(SeekFrom::Start(0))
             .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+        self.cached_len = 0;
         Ok(())
     }
 
     /// Current byte length of the log.
     pub fn len(&mut self) -> Result<u64, DurabilityError> {
-        let mut f = &self.file;
-        f.seek(SeekFrom::End(0)).map_err(|e| io_err(&self.path, e))
+        Ok(self.cached_len)
     }
 
     /// True when the log holds no frames.
     pub fn is_empty(&mut self) -> Result<bool, DurabilityError> {
         Ok(self.len()? == 0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------
+
+/// How commits share fsyncs. The default (`max_batch: 1`,
+/// `max_delay_us: 0`) syncs every commit before acknowledging it —
+/// byte-for-byte the historical behaviour, so grouping is strictly
+/// opt-in. A grouped policy lets the sync leader dwell until
+/// `max_batch` commit runs are buffered or `max_delay_us` has elapsed,
+/// then cover the whole batch with **one** `sync_data`.
+///
+/// Grouping never weakens *acknowledged ≠ lost*: a commit is
+/// acknowledged only after a sync covering its bytes, so a crash can
+/// lose only transactions that were never acknowledged — and recovery
+/// still lands on a commit-order prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupCommitPolicy {
+    /// Sync as soon as this many commit runs are awaiting one.
+    pub max_batch: usize,
+    /// Sync no later than this after the leader started waiting.
+    pub max_delay_us: u64,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy {
+            max_batch: 1,
+            max_delay_us: 0,
+        }
+    }
+}
+
+impl GroupCommitPolicy {
+    /// A grouped policy (`max_batch` is clamped to at least 1).
+    pub fn grouped(max_batch: usize, max_delay_us: u64) -> Self {
+        GroupCommitPolicy {
+            max_batch: max_batch.max(1),
+            max_delay_us,
+        }
+    }
+
+    /// True when this policy can defer the covering sync past the
+    /// append (anything beyond sync-per-commit-before-ack).
+    pub fn is_grouped(&self) -> bool {
+        self.max_batch > 1 || self.max_delay_us > 0
+    }
+}
+
+/// The group-commit sync coordinator. Appends are serialized by the
+/// store's commit path and numbered; `synced` is the highest append
+/// index a `sync_data` (or a segment seal, or a snapshot reset) has
+/// covered. Waiters for uncovered indexes elect a leader that issues
+/// one sync for everything appended so far.
+///
+/// A failed `sync_data` is **sticky**: after an fsync error the page
+/// cache state of the file is unknowable, so the coordinator records
+/// the first error, every uncovered waiter (present and future) gets
+/// it, and the owning log refuses further appends. Already-covered
+/// indexes stay acknowledged — their bytes were flushed before the
+/// failure.
+#[derive(Debug)]
+pub struct GroupSync {
+    state: Mutex<GroupState>,
+    /// Waiters parked until a covering sync; notified when `synced`
+    /// advances (or the sticky error lands).
+    cv_ack: Condvar,
+    /// The dwelling leader, parked until its batch fills; notified
+    /// (once per batch) when `pending` reaches `policy.max_batch`.
+    /// Separate from `cv_ack` so an append never stampedes the parked
+    /// ack waiters — on one core that stampede dominated the commit
+    /// path.
+    cv_batch: Condvar,
+}
+
+#[derive(Debug)]
+struct GroupState {
+    policy: GroupCommitPolicy,
+    /// The active segment's shared handle — what the leader syncs.
+    file: Option<Arc<File>>,
+    /// Total appends so far (monotonic; 1-based).
+    appended: u64,
+    /// Highest append index known durable.
+    synced: u64,
+    /// Appends not yet covered by a sync — the leader's batch-size
+    /// trigger.
+    pending: usize,
+    /// A leader is currently dwelling or syncing.
+    leader: bool,
+    /// First sync failure, sticky.
+    error: Option<DurabilityError>,
+}
+
+/// A claim ticket for one appended commit run: [`WalAck::wait`] blocks
+/// until a covering sync makes the run durable (or reports the sticky
+/// sync failure). Dropping an ack without waiting leaves the run to be
+/// covered by whichever sync comes next — it is never lost, only
+/// unacknowledged.
+#[derive(Debug)]
+pub struct WalAck {
+    gc: Arc<GroupSync>,
+    idx: u64,
+}
+
+impl WalAck {
+    /// Blocks until the covering sync completes; one waiter becomes the
+    /// leader and issues it.
+    pub fn wait(&self) -> Result<(), DurabilityError> {
+        self.gc.wait_durable(self.idx)
+    }
+}
+
+impl GroupSync {
+    pub(crate) fn new(policy: GroupCommitPolicy) -> Arc<GroupSync> {
+        Arc::new(GroupSync {
+            state: Mutex::new(GroupState {
+                policy,
+                file: None,
+                appended: 0,
+                synced: 0,
+                pending: 0,
+                leader: false,
+                error: None,
+            }),
+            cv_ack: Condvar::new(),
+            cv_batch: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GroupState> {
+        // The mutex is never held across a panic-capable section.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn set_policy(&self, policy: GroupCommitPolicy) {
+        self.lock().policy = policy;
+        self.cv_ack.notify_all();
+        self.cv_batch.notify_all();
+    }
+
+    pub(crate) fn policy(&self) -> GroupCommitPolicy {
+        self.lock().policy
+    }
+
+    /// Fails once a sync has failed — the gate that stops a log from
+    /// accepting appends it could never acknowledge.
+    pub(crate) fn check(&self) -> Result<(), DurabilityError> {
+        match &self.lock().error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Registers one buffered commit run in `file` and returns its ack.
+    pub(crate) fn note_append(self: &Arc<Self>, file: &Arc<File>) -> WalAck {
+        let mut s = self.lock();
+        s.appended += 1;
+        s.pending += 1;
+        s.file = Some(Arc::clone(file));
+        let idx = s.appended;
+        // Nudge a dwelling leader exactly when its batch trigger fires;
+        // earlier appends let it keep dwelling, and a zero-delay leader
+        // is never parked (it is either off syncing or done).
+        let batch_full = s.leader && s.policy.max_delay_us > 0 && s.pending >= s.policy.max_batch;
+        drop(s);
+        if batch_full {
+            self.cv_batch.notify_one();
+        }
+        WalAck {
+            gc: Arc::clone(self),
+            idx,
+        }
+    }
+
+    /// Everything appended so far just became durable by other means (a
+    /// segment seal's sync, or a snapshot that captured the log's whole
+    /// contents before it was reset).
+    pub(crate) fn mark_all_synced(&self) {
+        let mut s = self.lock();
+        s.synced = s.appended;
+        s.pending = 0;
+        drop(s);
+        self.cv_ack.notify_all();
+        self.cv_batch.notify_all();
+    }
+
+    fn wait_durable(&self, idx: u64) -> Result<(), DurabilityError> {
+        let mut s = self.lock();
+        loop {
+            if s.synced >= idx {
+                return Ok(());
+            }
+            if let Some(e) = &s.error {
+                return Err(e.clone());
+            }
+            if s.leader {
+                s = self.cv_ack.wait(s).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // Leader election: dwell for the batch, then sync once.
+            s.leader = true;
+            if s.policy.max_delay_us > 0 {
+                let deadline = Instant::now() + Duration::from_micros(s.policy.max_delay_us);
+                while s.pending < s.policy.max_batch && s.synced < idx && s.error.is_none() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (ns, _) = self
+                        .cv_batch
+                        .wait_timeout(s, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    s = ns;
+                }
+                if s.synced >= idx || s.error.is_some() {
+                    s.leader = false;
+                    drop(s);
+                    self.cv_ack.notify_all();
+                    s = self.lock();
+                    continue;
+                }
+            }
+            let target = s.appended;
+            let covered = s.pending;
+            let file = s.file.clone();
+            drop(s);
+            let res = match &file {
+                Some(f) => f
+                    .sync_data()
+                    .map_err(|e| DurabilityError::Io(format!("wal sync: {e}"))),
+                None => Ok(()),
+            };
+            s = self.lock();
+            s.leader = false;
+            match res {
+                Ok(()) => {
+                    if target > s.synced {
+                        s.synced = target;
+                    }
+                    s.pending = s.pending.saturating_sub(covered);
+                }
+                Err(e) => {
+                    s.error.get_or_insert(e);
+                }
+            }
+            drop(s);
+            self.cv_ack.notify_all();
+            s = self.lock();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segments
+// ---------------------------------------------------------------------
+
+/// The single-file layout's log name, still read as segment 0.
+pub const LEGACY_WAL_FILE: &str = "wal.log";
+
+/// Rotate the active segment once it crosses this many bytes.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// The file name of WAL segment `seq` inside the durability directory.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    if seq == 0 {
+        dir.join(LEGACY_WAL_FILE)
+    } else {
+        dir.join(format!("wal-{seq:020}.log"))
+    }
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    if name == LEGACY_WAL_FILE {
+        return Some(0);
+    }
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every WAL segment in `dir`, ascending by sequence. A missing
+/// directory lists as empty.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut out = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    for entry in rd {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+/// One scanned segment of a multi-file log.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// The segment sequence number.
+    pub seq: u64,
+    /// The segment file's path.
+    pub path: PathBuf,
+    /// Its single-file scan (torn-tail rules apply per segment).
+    pub scan: WalScan,
+}
+
+/// Scans the log's segments in ascending order. The scan stops after
+/// the first *torn* segment (later files are bytes past a corruption
+/// point and cannot be trusted) and at the first sequence **gap** (a
+/// vanished middle segment means the surviving tail is not a prefix);
+/// segments beyond the stop point are not returned — recovery deletes
+/// their files.
+pub fn scan_segments(dir: &Path) -> Result<Vec<SegmentScan>, DurabilityError> {
+    let mut out: Vec<SegmentScan> = Vec::new();
+    for (seq, path) in list_segments(dir)? {
+        if let Some(prev) = out.last() {
+            if seq != prev.seq + 1 {
+                break; // gap: the tail is not a prefix
+            }
+        }
+        let scan = scan_wal(&path)?;
+        let torn = scan.valid_len < scan.file_len;
+        out.push(SegmentScan { seq, path, scan });
+        if torn {
+            break; // nothing after a corruption point is trusted
+        }
+    }
+    Ok(out)
+}
+
+/// A sealed (no-longer-active) segment and the highest transaction
+/// sequence it can contain — the pruning criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SealedSegment {
+    /// The segment's sequence number.
+    pub seq: u64,
+    /// Every transaction in the segment has `seq <= last_txn`.
+    pub last_txn: u64,
+}
+
+/// The multi-segment write-ahead log: an append handle over the active
+/// segment, rotation, pruning, and the shared [`GroupSync`] that
+/// acknowledges appends. All mutating calls are serialized by the
+/// owning store's commit path; only [`WalAck::wait`] and the sync
+/// leader run outside it.
+#[derive(Debug)]
+pub struct SegmentedWal {
+    dir: PathBuf,
+    active_seq: u64,
+    active_len: u64,
+    /// Highest transaction sequence appended to the active segment.
+    active_last_txn: u64,
+    writer: WalWriter,
+    sealed: Vec<SealedSegment>,
+    segment_bytes: u64,
+    gc: Arc<GroupSync>,
+}
+
+impl SegmentedWal {
+    /// Opens the log with `active_seq` as the active segment (created
+    /// if absent, truncated to `valid_len`), over the already-recovered
+    /// `sealed` list. `last_txn` is an upper bound on the transaction
+    /// sequences already inside the active segment (recovery passes the
+    /// recovered sequence counter; too high only delays pruning, never
+    /// corrupts it).
+    pub fn open(
+        dir: &Path,
+        active_seq: u64,
+        valid_len: u64,
+        sealed: Vec<SealedSegment>,
+        last_txn: u64,
+    ) -> Result<Self, DurabilityError> {
+        let writer = WalWriter::open(&segment_path(dir, active_seq), valid_len)?;
+        Ok(SegmentedWal {
+            dir: dir.to_path_buf(),
+            active_seq,
+            active_len: valid_len,
+            active_last_txn: last_txn,
+            writer,
+            sealed,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            gc: GroupSync::new(GroupCommitPolicy::default()),
+        })
+    }
+
+    /// The shared sync coordinator (for acks and policy).
+    pub fn group(&self) -> &Arc<GroupSync> {
+        &self.gc
+    }
+
+    /// Sets the rotation threshold (clamped to at least 1 byte).
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes.max(1);
+    }
+
+    /// The active segment's sequence number.
+    pub fn active_seq(&self) -> u64 {
+        self.active_seq
+    }
+
+    /// The sealed segments still on disk, ascending.
+    pub fn sealed(&self) -> &[SealedSegment] {
+        &self.sealed
+    }
+
+    /// Appends one transaction's frame run (or a standalone marker) to
+    /// the active segment, rotating first when the threshold is
+    /// crossed, and returns the ack to wait on. `last_txn` is the
+    /// highest transaction sequence in `records` (the current counter
+    /// for markers).
+    pub fn append_run(
+        &mut self,
+        records: &[WalRecord],
+        last_txn: u64,
+    ) -> Result<WalAck, DurabilityError> {
+        self.gc.check()?;
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let end = self.writer.append_buffered(records)?;
+        self.active_len = end;
+        self.active_last_txn = self.active_last_txn.max(last_txn);
+        Ok(self.gc.note_append(self.writer.file()))
+    }
+
+    /// The single-writer variant of [`SegmentedWal::append_run`]:
+    /// appends and `sync_data`s before returning, with the historical
+    /// failure contract — on any failure the file is restored to its
+    /// pre-append length (there is no later append to protect), so the
+    /// caller may roll its in-memory state back and the log agrees.
+    pub fn append_run_synced(
+        &mut self,
+        records: &[WalRecord],
+        last_txn: u64,
+    ) -> Result<(), DurabilityError> {
+        self.gc.check()?;
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        self.writer.append(records)?;
+        self.active_len = self.writer.len()?;
+        self.active_last_txn = self.active_last_txn.max(last_txn);
+        self.gc.mark_all_synced();
+        Ok(())
+    }
+
+    /// Seals the active segment — one final `sync_data`, making every
+    /// byte of it durable — and creates the next one (fsyncing the
+    /// directory so the new name survives power loss).
+    pub fn rotate(&mut self) -> Result<(), DurabilityError> {
+        self.writer.sync()?;
+        self.gc.mark_all_synced();
+        self.sealed.push(SealedSegment {
+            seq: self.active_seq,
+            last_txn: self.active_last_txn,
+        });
+        self.active_seq += 1;
+        self.writer = WalWriter::open(&segment_path(&self.dir, self.active_seq), 0)?;
+        self.active_len = 0;
+        Ok(())
+    }
+
+    /// The sealed segments a snapshot at `watermark` makes redundant:
+    /// every transaction in them replays as `seq <= watermark`.
+    pub fn prunable(&self, watermark: u64) -> Vec<u64> {
+        self.sealed
+            .iter()
+            .filter(|s| s.last_txn <= watermark)
+            .map(|s| s.seq)
+            .collect()
+    }
+
+    /// Deletes the given sealed segments and fsyncs the directory so
+    /// the removal is durable. Unknown sequences are ignored (already
+    /// pruned).
+    pub fn prune_sealed(&mut self, seqs: &[u64]) -> Result<(), DurabilityError> {
+        let mut removed = false;
+        for &seq in seqs {
+            if let Some(i) = self.sealed.iter().position(|s| s.seq == seq) {
+                let path = segment_path(&self.dir, seq);
+                std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                self.sealed.remove(i);
+                removed = true;
+            }
+        }
+        if removed {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    /// Discards the entire log after a snapshot captured everything it
+    /// held: durably truncates the active segment ([`WalWriter::reset`])
+    /// and deletes every sealed segment, fsyncing the directory. All
+    /// outstanding appends are marked durable — the snapshot holds
+    /// them now.
+    pub fn reset_all(&mut self) -> Result<(), DurabilityError> {
+        self.writer.reset()?;
+        self.active_len = 0;
+        let had_sealed = !self.sealed.is_empty();
+        for s in std::mem::take(&mut self.sealed) {
+            let path = segment_path(&self.dir, s.seq);
+            std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+        if had_sealed {
+            fsync_dir(&self.dir)?;
+        }
+        self.gc.mark_all_synced();
+        Ok(())
+    }
+
+    /// Byte length of the active segment.
+    pub fn active_len(&self) -> u64 {
+        self.active_len
     }
 }
 
@@ -644,7 +1264,7 @@ mod tests {
         // Swap in a read-only handle: the write fails, the truncate-back
         // fails too, and the writer must poison itself rather than let a
         // later append land after a possible tear.
-        let real = w.swap_file_for_test(File::open(&path).unwrap());
+        let real = w.swap_file_for_test(Arc::new(File::open(&path).unwrap()));
         assert!(matches!(
             w.append(&[WalRecord::Rollback]),
             Err(DurabilityError::Io(_))
@@ -660,6 +1280,121 @@ mod tests {
         assert_eq!(scan.valid_len, good_len);
         assert_eq!(scan.file_len, good_len, "no torn bytes were persisted");
         assert_eq!(scan.records.len(), 2);
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("interop-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run(seq: u64) -> Vec<WalRecord> {
+        vec![WalRecord::Begin { seq }, WalRecord::Commit { seq }]
+    }
+
+    #[test]
+    fn grouped_acks_are_covered_by_one_leader_sync() {
+        let dir = scratch("group");
+        let mut wal = SegmentedWal::open(&dir, 1, 0, Vec::new(), 0).unwrap();
+        wal.group()
+            .set_policy(GroupCommitPolicy::grouped(3, 50_000));
+        let acks: Vec<WalAck> = (1..=3)
+            .map(|seq| wal.append_run(&run(seq), seq).unwrap())
+            .collect();
+        // Three appended, none synced yet. Waiting from several threads
+        // elects one leader; the batch is full, so it syncs immediately
+        // and every ack is covered by that one sync.
+        std::thread::scope(|s| {
+            for ack in &acks {
+                s.spawn(move || ack.wait().expect("covered by the group sync"));
+            }
+        });
+        // A later waiter finds its index already durable.
+        acks[0].wait().unwrap();
+        let scan = scan_wal(&segment_path(&dir, 1)).unwrap();
+        assert_eq!(scan.records.len(), 6, "all three runs on disk");
+    }
+
+    #[test]
+    fn ack_epochs_survive_rotation_and_reset() {
+        let dir = scratch("epochs");
+        let mut wal = SegmentedWal::open(&dir, 1, 0, Vec::new(), 0).unwrap();
+        wal.group()
+            .set_policy(GroupCommitPolicy::grouped(64, 10_000));
+        let a1 = wal.append_run(&run(1), 1).unwrap();
+        // Rotation syncs the sealed segment — the pending ack is
+        // durable even though no waiter ever became leader, and the
+        // epoch counters must say so despite the file position of the
+        // *new* segment restarting at 0.
+        wal.rotate().unwrap();
+        a1.wait().expect("sealed segments are durable");
+        let a2 = wal.append_run(&run(2), 2).unwrap();
+        // A durable reset (snapshot) truncates in place: same story —
+        // offset reuse must not resurrect or orphan ack indexes.
+        wal.reset_all().unwrap();
+        a2.wait().expect("reset syncs everything it discards");
+        let a3 = wal.append_run(&run(3), 3).unwrap();
+        a3.wait().expect("post-reset appends get fresh epochs");
+        assert_eq!(wal.sealed(), &[], "reset deleted the sealed segment");
+    }
+
+    #[test]
+    fn rotation_seals_prunes_and_lists_in_order() {
+        let dir = scratch("rotate");
+        let mut wal = SegmentedWal::open(&dir, 1, 0, Vec::new(), 0).unwrap();
+        wal.append_run_synced(&run(1), 1).unwrap();
+        wal.rotate().unwrap();
+        wal.append_run_synced(&run(2), 2).unwrap();
+        wal.rotate().unwrap();
+        wal.append_run_synced(&run(3), 3).unwrap();
+        assert_eq!(wal.active_seq(), 3);
+        let listed: Vec<u64> = list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(listed, vec![1, 2, 3], "ascending sequence order");
+        // Everything up to txn 2 is snapshotted: both sealed segments
+        // qualify and are deleted; the active segment never does.
+        assert_eq!(wal.prunable(2), vec![1, 2]);
+        wal.prune_sealed(&[1, 2]).unwrap();
+        let listed: Vec<u64> = list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(listed, vec![3], "covered sealed segments deleted");
+        assert_eq!(wal.prunable(99), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scan_segments_stops_at_gap_and_torn_segment() {
+        let dir = scratch("gap");
+        let mut wal = SegmentedWal::open(&dir, 1, 0, Vec::new(), 0).unwrap();
+        wal.append_run_synced(&run(1), 1).unwrap();
+        wal.rotate().unwrap();
+        wal.append_run_synced(&run(2), 2).unwrap();
+        wal.rotate().unwrap();
+        wal.append_run_synced(&run(3), 3).unwrap();
+        // Tear the middle segment: everything after it is unreachable.
+        let mid = segment_path(&dir, 2);
+        let bytes = std::fs::read(&mid).unwrap();
+        std::fs::write(&mid, &bytes[..bytes.len() - 1]).unwrap();
+        let scans = scan_segments(&dir).unwrap();
+        assert_eq!(
+            scans.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "the torn segment is the last one scanned"
+        );
+        // A sequence gap has the same effect.
+        std::fs::remove_file(&mid).unwrap();
+        let scans = scan_segments(&dir).unwrap();
+        assert_eq!(
+            scans.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![1],
+            "nothing past a missing sequence number is trusted"
+        );
     }
 
     #[test]

@@ -124,8 +124,11 @@ fn snapshots_truncate_wal_and_recover() {
     let before = dump(&s);
     drop(s);
     // 10 committed txns at cadence 4 → snapshots at 4 and 8; the WAL
-    // holds only the 2 post-snapshot txns.
-    let wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    // (the first — and only — segment of a fresh directory) holds only
+    // the 2 post-snapshot txns.
+    let wal = std::fs::metadata(interop_storage::wal::segment_path(&dir, 1))
+        .unwrap()
+        .len();
     assert!(wal > 0, "post-snapshot txns remain in the log");
     let snaps: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
@@ -180,6 +183,85 @@ fn snapshot_failure_does_not_roll_back_a_durable_commit() {
     assert_eq!(dump(&s), before, "both commits recovered");
 }
 
+/// Satellite regression: `WalWriter::reset()` used to truncate with no
+/// sync — after power loss the filesystem could legally resurrect the
+/// pre-truncation length, replaying *stale committed frames the
+/// snapshot already holds*. The reset is now durable (`sync_all`,
+/// since a size change is metadata), and the replay-side
+/// `seq > watermark` filter stays as belt-and-braces. This test
+/// simulates the resurrection: it writes the pre-snapshot log bytes
+/// back into the truncated segment and demands recovery ignore them.
+#[test]
+fn resurrected_stale_tail_never_reapplies_snapshotted_txns() {
+    let dir = scratch("resurrect");
+    let mut s = open(&dir, DurabilityMode::WalWithSnapshots);
+    s.set_snapshot_every(100); // only explicit snapshots
+    let a = s
+        .create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    s.update(a, "v", Value::int(2)).unwrap();
+    let wal_path = interop_storage::wal::segment_path(&dir, 1);
+    let stale = std::fs::read(&wal_path).unwrap();
+    assert!(!stale.is_empty());
+    // Snapshot: the two txns move into the snapshot, the log resets.
+    s.snapshot_now().unwrap();
+    // One post-snapshot commit, so the resurrected tail lands *after*
+    // live frames — the worst case, since replay must scan past it.
+    s.update(a, "v", Value::int(3)).unwrap();
+    let before = dump(&s);
+    drop(s);
+    // Simulate the un-synced truncate coming back: append the stale
+    // pre-snapshot frames after the live tail. Their CRCs are intact —
+    // only their `seq <= watermark` marks them as already applied.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&wal_path)
+        .unwrap();
+    f.write_all(&stale).unwrap();
+    drop(f);
+
+    let s = open(&dir, DurabilityMode::WalWithSnapshots);
+    assert_eq!(
+        dump(&s),
+        before,
+        "stale resurrected frames must not be reapplied"
+    );
+    assert_eq!(
+        s.db().object(a).unwrap().get(&"v".into()),
+        &Value::int(3),
+        "the post-snapshot update wins, not the resurrected v=2"
+    );
+}
+
+/// Satellite regression: a second snapshot failure used to *overwrite*
+/// the first unretrieved error, collapsing the history into the newest
+/// symptom. Now the first error is kept and every attempt counted.
+#[test]
+fn snapshot_failures_keep_first_error_and_count_all() {
+    let dir = scratch("snapfail2");
+    let mut s = open(&dir, DurabilityMode::WalWithSnapshots);
+    s.set_snapshot_every(1);
+    // Block the tmp paths of the snapshots at watermarks 1 and 2.
+    for w in 1..=2 {
+        std::fs::create_dir_all(dir.join(format!("snapshot-{w:020}.snap.tmp"))).unwrap();
+    }
+    s.create("Item", vec![("k", "a".into()), ("v", 1i64.into())])
+        .unwrap();
+    s.create("Item", vec![("k", "b".into()), ("v", 2i64.into())])
+        .unwrap();
+    let err = s.take_snapshot_error().expect("failures surfaced");
+    assert_eq!(err.failures, 2, "both attempts counted");
+    assert!(
+        err.first
+            .to_string()
+            .contains("snapshot-00000000000000000001.snap.tmp"),
+        "the FIRST failure is kept, not overwritten by the second: {}",
+        err.first
+    );
+    assert!(s.take_snapshot_error().is_none(), "taken once");
+}
+
 #[test]
 fn snapshot_now_makes_reopen_replay_free() {
     let dir = scratch("snapnow");
@@ -195,7 +277,9 @@ fn snapshot_now_makes_reopen_replay_free() {
     s.snapshot_now().unwrap();
     drop(s);
     assert_eq!(
-        std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+        std::fs::metadata(interop_storage::wal::segment_path(&dir, 1))
+            .unwrap()
+            .len(),
         0,
         "snapshot truncates the log"
     );

@@ -6,7 +6,8 @@
 use interop_constraint::{Catalog, CmpOp, ConstraintId, Formula, ObjectConstraint};
 use interop_model::{ClassDef, ClassName, Database, DbName, ObjectId, Schema, Type, Value};
 use interop_storage::{
-    CommitError, DurabilityMode, MvccStore, Optimizer, Store, StoreError, ValidationMode,
+    CommitError, DurabilityMode, MvccStore, Optimizer, RetryPolicy, RunTxnError, Store, StoreError,
+    ValidationMode,
 };
 
 fn schema() -> Schema {
@@ -404,4 +405,116 @@ fn durable_mvcc_store_persists_commits() {
     .expect("reopen");
     assert!(reopened.db().object(id).is_some(), "commit recovered");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: `run_txn` retries conflict losers on fresh snapshots —
+/// N contending increment closures must all make progress, with no
+/// manual retry loop and no lost updates.
+#[test]
+fn run_txn_makes_progress_under_contention() {
+    let store = fresh();
+    let mut setup = store.begin();
+    let id = setup
+        .create("Item", vec![("k", "c".into()), ("v", 0i64.into())])
+        .expect("seed");
+    setup.commit().expect("seed commit");
+
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let store = &store;
+            s.spawn(move || {
+                let (_, _ts) = store
+                    .run_txn(RetryPolicy::default(), |t| {
+                        let v = match t.get(id).map(|o| o.get(&"v".into()).clone()) {
+                            Some(Value::Int(v)) => v,
+                            other => panic!("seeded int, got {other:?}"),
+                        };
+                        t.update(id, "v", Value::int(v + 1))?;
+                        Ok::<_, StoreError>(())
+                    })
+                    .expect("bounded retry absorbs the conflicts");
+            });
+        }
+    });
+    let view = store.read_view();
+    assert_eq!(
+        view.db().object(id).unwrap().get(&"v".into()),
+        &Value::int(6),
+        "every increment landed exactly once"
+    );
+}
+
+/// Satellite: the attempt budget is honoured — a closure that always
+/// loses gives up with `RunTxnError::Contention` after exactly N
+/// attempts, and the last conflict is attached.
+#[test]
+fn run_txn_gives_up_after_budget() {
+    let store = fresh();
+    let mut setup = store.begin();
+    let id = setup
+        .create("Item", vec![("k", "c".into()), ("v", 0i64.into())])
+        .expect("seed");
+    setup.commit().expect("seed commit");
+
+    let mut attempts = 0u32;
+    let result = store.run_txn(RetryPolicy::attempts(3), |t| {
+        attempts += 1;
+        t.update(id, "v", Value::int(1))?;
+        // Sabotage: a competing commit lands between the closure and
+        // this transaction's commit, so it always loses.
+        let mut rival = store.begin();
+        rival.update(id, "v", Value::int(2)).expect("rival update");
+        rival.commit().expect("rival wins");
+        Ok::<_, StoreError>(())
+    });
+    match result {
+        Err(RunTxnError::Contention { attempts: n, last }) => {
+            assert_eq!(n, 3, "gave up after the budget");
+            assert!(matches!(last, CommitError::WriteConflict { .. }));
+        }
+        other => panic!("expected contention give-up, got {other:?}"),
+    }
+    assert_eq!(attempts, 3, "the closure ran once per attempt");
+}
+
+/// A closure error aborts immediately (no retry), and a non-conflict
+/// commit failure is final.
+#[test]
+fn run_txn_aborts_on_closure_error_and_rejection() {
+    let store = MvccStore::new(Store::new(Database::new(schema(), 1), catalog()));
+    let mut calls = 0u32;
+    let r = store.run_txn(RetryPolicy::default(), |_t| {
+        calls += 1;
+        Err::<(), &str>("domain failure")
+    });
+    assert!(matches!(r, Err(RunTxnError::Txn("domain failure"))));
+    assert_eq!(calls, 1, "closure errors are not retried");
+
+    // Two run_txn calls inserting the same key `k`: the second commit
+    // is Rejected by the key constraint (a collision no object-level
+    // conflict check can see) — final, not retried.
+    let (_, _) = store
+        .run_txn(RetryPolicy::default(), |t| {
+            t.create("Item", vec![("k", "dup".into()), ("v", 1i64.into())])?;
+            Ok::<_, StoreError>(())
+        })
+        .expect("first insert");
+    let mut calls = 0u32;
+    let r = store.run_txn(RetryPolicy::attempts(5), |t| {
+        calls += 1;
+        // A fresh id each attempt, same unique key.
+        t.create("Item", vec![("k", "dup".into()), ("v", 2i64.into())])?;
+        Ok::<_, StoreError>(())
+    });
+    match r {
+        Err(RunTxnError::Txn(StoreError::KeyViolation { .. })) => {
+            // The overlay already holds the committed "dup" key, so the
+            // closure itself fails — equally final.
+            assert_eq!(calls, 1);
+        }
+        Err(RunTxnError::Commit(CommitError::Rejected { .. })) => {
+            assert_eq!(calls, 1, "rejections are not retried");
+        }
+        other => panic!("expected a final failure, got {other:?}"),
+    }
 }

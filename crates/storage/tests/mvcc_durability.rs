@@ -10,7 +10,9 @@ use std::path::PathBuf;
 
 use interop_constraint::{Catalog, CmpOp, Formula};
 use interop_model::{ClassDef, Database, ObjectId, Schema, Type, Value};
-use interop_storage::wal::{scan_wal, WalScan};
+use interop_storage::wal::{
+    list_segments, scan_segments, scan_wal, segment_path, GroupCommitPolicy, WalScan,
+};
 use interop_storage::{
     check_order, replay, DurabilityMode, MvccStore, Store, TxnRecord, WalRecord,
 };
@@ -189,7 +191,7 @@ fn writers_in_commit_order(history: &[TxnRecord]) -> Vec<usize> {
 fn concurrent_commits_serialize_into_wal_in_commit_order() {
     let dir = scratch("order");
     let history = run_concurrent(&dir, 4, 8, 0xC0FFEE);
-    let scan = scan_wal(&dir.join("wal.log")).expect("scan");
+    let scan = scan_wal(&segment_path(&dir, 1)).expect("scan");
     let runs = commit_runs(&scan);
     let order = writers_in_commit_order(&history);
 
@@ -222,7 +224,7 @@ fn concurrent_commits_serialize_into_wal_in_commit_order() {
 #[test]
 fn every_truncation_offset_recovers_a_commit_order_prefix() {
     let dir = scratch("sweep");
-    let wal_path = dir.join("wal.log");
+    let wal_path = segment_path(&dir, 1);
     let history = run_concurrent(&dir, 3, 4, 0xBEEF);
     let scan = scan_wal(&wal_path).expect("scan");
     let runs = commit_runs(&scan);
@@ -249,5 +251,313 @@ fn every_truncation_offset_recovers_a_commit_order_prefix() {
             "cut at byte {cut} must recover the {k}-run prefix"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole sweep extension: **group commit + segment rotation**. A
+/// concurrent workload runs under a grouped policy with a tiny segment
+/// threshold, so the log rotates several times. Every commit the store
+/// *acknowledged* (an `Ok` from `commit()`, i.e. after its covering
+/// group sync) must survive recovery of the intact log; and truncating
+/// the **active** segment at every byte must recover exactly a
+/// commit-order prefix — with every run in the sealed segments always
+/// included, since sealing syncs them by construction.
+#[test]
+fn grouped_multi_segment_sweep_recovers_acknowledged_prefix() {
+    let dir = scratch("grouped");
+    let store = MvccStore::new(open_durable(&dir));
+    store.set_group_commit(GroupCommitPolicy::grouped(8, 200));
+    store.set_wal_segment_bytes(256);
+    store.record_history(true);
+
+    let mut setup = store.begin();
+    let mut seeds = Vec::new();
+    for i in 0..4i64 {
+        seeds.push(
+            setup
+                .create(
+                    "Item",
+                    vec![("k", format!("s{i}").as_str().into()), ("v", i.into())],
+                )
+                .expect("seed insert"),
+        );
+    }
+    setup.commit().expect("seed commit");
+
+    let acked = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for th in 0..3u64 {
+            let store = store.clone();
+            let seeds = seeds.clone();
+            let acked = &acked;
+            s.spawn(move || {
+                let mut rng = Rng::new(0xFEED ^ ((th + 1) << 32));
+                for n in 0..6u64 {
+                    let mut t = store.begin();
+                    // Always one unique create (so the txn writes), plus
+                    // sometimes a contended seed update (so some commits
+                    // lose validation and are *not* acknowledged).
+                    let _ = t.create(
+                        "Item",
+                        vec![
+                            ("k", format!("g{th}-{n}").as_str().into()),
+                            ("v", (rng.below(100) as i64).into()),
+                        ],
+                    );
+                    if rng.below(2) == 0 {
+                        let id = seeds[rng.below(seeds.len() as u64) as usize];
+                        let _ = t.update(id, "v", Value::int(rng.below(100) as i64));
+                    }
+                    if let Ok(ts) = t.commit() {
+                        acked.lock().unwrap().push(ts);
+                    }
+                }
+            });
+        }
+    });
+    let history = store.take_history();
+    let acked = acked.into_inner().unwrap();
+    drop(store.into_store().expect("sole handle after join"));
+
+    let segs = scan_segments(&dir).expect("scan segments");
+    assert!(segs.len() > 1, "the workload must rotate the log");
+    let (active_seq, active_path) = {
+        let last = segs.last().expect("at least one segment");
+        (last.seq, last.path.clone())
+    };
+    let mut sealed_runs = 0usize;
+    let mut active_run_ends = Vec::new();
+    for seg in &segs {
+        for (i, r) in seg.scan.records.iter().enumerate() {
+            if matches!(r, WalRecord::Commit { .. }) {
+                if seg.seq == active_seq {
+                    active_run_ends.push(seg.scan.frame_ends[i]);
+                } else {
+                    sealed_runs += 1;
+                }
+            }
+        }
+    }
+    let mut writers: Vec<&TxnRecord> = history.iter().filter(|t| !t.ops.is_empty()).collect();
+    writers.sort_by_key(|t| t.commit_ts);
+    assert_eq!(
+        sealed_runs + active_run_ends.len(),
+        writers.len(),
+        "one Begin…Commit run per committed write txn, across all segments"
+    );
+    // Every acknowledged commit is a recorded writer: nothing the group
+    // sync acknowledged is missing from the intact log.
+    for ts in &acked {
+        assert!(
+            writers.iter().any(|w| w.commit_ts == *ts),
+            "acknowledged ts {ts} must be in the log"
+        );
+    }
+
+    // expected[k] = state after the first k committed write txns.
+    let mut expected: Vec<Vec<ObjDump>> = Vec::with_capacity(writers.len() + 1);
+    let mut base = Store::new(Database::new(schema(), 1), Catalog::new());
+    expected.push(dump(&base));
+    for w in &writers {
+        replay(&history, &[w.txn], &mut base).expect("prefix replay");
+        expected.push(dump(&base));
+    }
+
+    let pristine = std::fs::read(&active_path).expect("read active segment");
+    for cut in 0..=pristine.len() {
+        std::fs::write(&active_path, &pristine[..cut]).expect("truncate");
+        let recovered = open_durable(&dir);
+        let k = sealed_runs
+            + active_run_ends
+                .iter()
+                .take_while(|&&end| end <= cut as u64)
+                .count();
+        assert!(
+            k >= sealed_runs,
+            "sealed segments are durable: no cut of the active segment loses them"
+        );
+        assert_eq!(
+            dump(&recovered),
+            expected[k],
+            "cut at byte {cut} of the active segment must recover the {k}-run prefix"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole: background snapshots. With an [`MvccStore`] over a
+/// `WalWithSnapshots` store, the cadence only seals the active segment
+/// and hands the published snapshot to a worker thread — committers
+/// never write the dump. After a flush, the snapshot file exists, the
+/// sealed segments it covers are pruned, no error was recorded, and a
+/// reopen recovers snapshot + WAL tail exactly.
+#[test]
+fn background_snapshots_prune_covered_segments() {
+    let dir = scratch("bgsnap");
+    let mut base = Store::open(
+        Database::new(schema(), 1),
+        Catalog::new(),
+        &dir,
+        DurabilityMode::WalWithSnapshots,
+    )
+    .expect("open durable");
+    base.set_snapshot_every(8);
+    base.set_wal_segment_bytes(128);
+    let store = MvccStore::new(base);
+
+    for i in 0..20i64 {
+        let mut t = store.begin();
+        t.create(
+            "Item",
+            vec![
+                ("k", format!("b{i}").as_str().into()),
+                ("v", (i % 100).into()),
+            ],
+        )
+        .expect("create");
+        t.commit().expect("commit");
+    }
+    store.flush_snapshots();
+    assert!(
+        store.take_snapshot_error().is_none(),
+        "background snapshots succeeded"
+    );
+    let snaps = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .count();
+    assert!(snaps >= 1, "a cadence snapshot reached the directory");
+    let segs = list_segments(&dir).expect("list segments");
+    assert!(
+        segs.first().expect("an active segment remains").0 > 1,
+        "segments fully covered by the snapshot were pruned"
+    );
+
+    let before = dump(&store.read_view());
+    drop(store.into_store().expect("sole handle"));
+    let reopened = Store::open(
+        Database::new(schema(), 1),
+        Catalog::new(),
+        &dir,
+        DurabilityMode::WalWithSnapshots,
+    )
+    .expect("reopen");
+    assert_eq!(dump(&reopened), before, "snapshot + tail ≡ pre-close state");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pipelined group commit: `commit_pipelined` publishes the commit
+/// immediately and defers only the durability acknowledgement to the
+/// returned ticket. Once every ticket is redeemed, reopening the
+/// directory must recover every commit — and ticket timestamps are the
+/// commit timestamps, so they increase per session.
+#[test]
+fn pipelined_commits_recover_after_tickets_are_redeemed() {
+    let dir = scratch("pipelined");
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 50;
+    const DEPTH: usize = 8;
+    let mut s = open_durable(&dir);
+    s.set_group_commit(GroupCommitPolicy::grouped(64, 0));
+    let store = MvccStore::new(s);
+
+    let mut setup = store.begin();
+    let mut ids = Vec::new();
+    for th in 0..THREADS {
+        ids.push(
+            setup
+                .create(
+                    "Item",
+                    vec![("k", format!("t{th}").as_str().into()), ("v", 0i64.into())],
+                )
+                .expect("seed insert"),
+        );
+    }
+    setup.commit().expect("seed commits");
+
+    std::thread::scope(|scope| {
+        for (th, &id) in ids.iter().enumerate() {
+            let store = &store;
+            scope.spawn(move || {
+                let mut pending = std::collections::VecDeque::new();
+                let mut last_ts = 0;
+                for i in 0..PER_THREAD {
+                    let mut t = store.begin();
+                    t.update(id, "v", Value::Int(((th * 7 + i) % 100) as i64))
+                        .expect("disjoint update");
+                    let ticket = t.commit_pipelined().expect("disjoint writers commit");
+                    assert!(
+                        ticket.ts() > last_ts,
+                        "commit timestamps increase within a session"
+                    );
+                    last_ts = ticket.ts();
+                    pending.push_back(ticket);
+                    if pending.len() >= DEPTH {
+                        let oldest = pending.pop_front().expect("non-empty");
+                        oldest.wait().expect("covering sync lands");
+                    }
+                }
+                for ticket in pending {
+                    ticket.wait().expect("covering sync lands");
+                }
+            });
+        }
+    });
+
+    // A read-only transaction's ticket is trivially durable.
+    let empty = store.begin().commit_pipelined().expect("empty commit");
+    let ts = empty.ts();
+    assert_eq!(empty.wait().expect("nothing to sync"), ts);
+
+    let before = dump(&store.read_view());
+    drop(store.into_store().expect("sole handle"));
+    let reopened = open_durable(&dir);
+    assert_eq!(
+        dump(&reopened),
+        before,
+        "every redeemed ticket's commit was recovered"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dropping a ticket forfeits only the acknowledgement: the commit is
+/// still in the log ahead of later commits, so a later ticket's
+/// successful wait implies the dropped one is durable too.
+#[test]
+fn dropped_ticket_commit_still_recovered() {
+    let dir = scratch("ticket-drop");
+    let mut s = open_durable(&dir);
+    s.set_group_commit(GroupCommitPolicy::grouped(8, 0));
+    let store = MvccStore::new(s);
+
+    let mut setup = store.begin();
+    let id = setup
+        .create("Item", vec![("k", "a".into()), ("v", 0i64.into())])
+        .expect("seed insert");
+    setup.commit().expect("seed commits");
+
+    let mut t = store.begin();
+    t.update(id, "v", Value::Int(1)).expect("update");
+    drop(t.commit_pipelined().expect("first commit")); // never waited
+
+    let mut t = store.begin();
+    t.update(id, "v", Value::Int(2)).expect("update");
+    t.commit_pipelined()
+        .expect("second commit")
+        .wait()
+        .expect("covering sync also covers the dropped ticket's run");
+
+    drop(store.into_store().expect("sole handle"));
+    let reopened = open_durable(&dir);
+    let v = reopened
+        .db()
+        .object(id)
+        .expect("recovered")
+        .attrs
+        .iter()
+        .find(|(a, _)| a.as_str() == "v")
+        .map(|(_, v)| v.clone());
+    assert_eq!(v, Some(Value::Int(2)), "both commits recovered in order");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 
 use interop_constraint::{Catalog, CmpOp, Formula};
 use interop_model::{ClassDef, ClassName, Database, Object, ObjectId, Schema, Type, Value};
-use interop_storage::wal::{scan_wal, WalRecord};
+use interop_storage::wal::{scan_wal, segment_path, WalRecord};
 use interop_storage::{
     replay, DurabilityMode, MvccStore, Optimizer, Store, Transaction, TxnRecord,
 };
@@ -144,7 +144,7 @@ proptest! {
         needle in 0i64..100,
     ) {
         let dir = scratch("prop");
-        let wal_path = dir.join("wal.log");
+        let wal_path = segment_path(&dir, 1);
         let mut durable = Store::open(
             Database::new(schema(), 1),
             Catalog::new(),
@@ -207,7 +207,7 @@ proptest! {
         ops in prop::collection::vec(arb_op(), 4..8),
     ) {
         let dir = scratch("prop-snap");
-        let wal_path = dir.join("wal.log");
+        let wal_path = segment_path(&dir, 1);
         let mut durable = Store::open(
             Database::new(schema(), 1),
             Catalog::new(),
@@ -274,7 +274,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let dir = scratch("mt");
-        let wal_path = dir.join("wal.log");
+        let wal_path = segment_path(&dir, 1);
         let shared = MvccStore::new(Store::open(
             Database::new(schema(), 1),
             Catalog::new(),
@@ -369,6 +369,137 @@ proptest! {
                 &dump(&recovered), &expected[k],
                 "cut at byte {} must recover the {}-run prefix (seed {})",
                 cut, k, seed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The concurrent crash sweep under **group commit and segment
+    /// rotation**: committers share fsyncs behind a grouped policy and
+    /// a tiny segment threshold forces rotation, then the *active*
+    /// segment is truncated at every byte. Recovery must land on a
+    /// commit-order prefix that always contains every run in the sealed
+    /// segments (sealing syncs them), and every transaction whose
+    /// `commit()` was acknowledged must be present in the intact log.
+    #[test]
+    fn grouped_rotated_crash_sweep_recovers_commit_prefixes(
+        seed in any::<u64>(),
+    ) {
+        use interop_storage::wal::{scan_segments, GroupCommitPolicy};
+
+        let dir = scratch("grouped");
+        let shared = MvccStore::new(Store::open(
+            Database::new(schema(), 1),
+            Catalog::new(),
+            &dir,
+            DurabilityMode::Wal,
+        ).expect("open fresh"));
+        shared.set_group_commit(GroupCommitPolicy::grouped(4, 100));
+        shared.set_wal_segment_bytes(200);
+        shared.record_history(true);
+
+        let mut setup = shared.begin();
+        let mut pool = Vec::new();
+        for i in 0..3i64 {
+            pool.push(setup.create(
+                "Item",
+                vec![("k", format!("s{i}").as_str().into()), ("v", i.into())],
+            ).expect("seed insert"));
+        }
+        setup.commit().expect("seed commit");
+
+        let acked = std::sync::Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for th in 0..3u64 {
+                let shared = shared.clone();
+                let pool = pool.clone();
+                let acked = &acked;
+                s.spawn(move || {
+                    let mut x = (seed ^ ((th + 1) << 32)).max(1);
+                    let mut rng = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x.wrapping_mul(2685821657736338717)
+                    };
+                    for n in 0..4u64 {
+                        let mut t = shared.begin();
+                        let _ = t.create("Item", vec![
+                            ("k", format!("w{th}-{n}").as_str().into()),
+                            ("v", ((rng() % 100) as i64).into()),
+                        ]);
+                        if rng() % 2 == 0 {
+                            let id = pool[(rng() % pool.len() as u64) as usize];
+                            let _ = t.update(id, "v", Value::int((rng() % 100) as i64));
+                        }
+                        if t.commit().is_ok() {
+                            *acked.lock().unwrap() += 1;
+                        }
+                    }
+                });
+            }
+        });
+
+        let history = shared.take_history();
+        let acked = *acked.lock().unwrap();
+        drop(shared.into_store().expect("sole handle after join"));
+
+        let mut writers: Vec<&TxnRecord> =
+            history.iter().filter(|t| !t.ops.is_empty()).collect();
+        writers.sort_by_key(|t| t.commit_ts);
+        prop_assert_eq!(
+            writers.len(), acked + 1,
+            "every acknowledged commit (plus the seed) is a recorded writer"
+        );
+
+        let segs = scan_segments(&dir).expect("scan segments");
+        let (active_seq, active_path) = {
+            let last = segs.last().expect("segments exist");
+            (last.seq, last.path.clone())
+        };
+        let mut sealed_runs = 0usize;
+        let mut active_run_ends = Vec::new();
+        for seg in &segs {
+            for (i, r) in seg.scan.records.iter().enumerate() {
+                if matches!(r, WalRecord::Commit { .. }) {
+                    if seg.seq == active_seq {
+                        active_run_ends.push(seg.scan.frame_ends[i]);
+                    } else {
+                        sealed_runs += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(sealed_runs + active_run_ends.len(), writers.len());
+
+        let mut expected: Vec<Vec<ObjDump>> = Vec::with_capacity(writers.len() + 1);
+        let mut base = Store::new(Database::new(schema(), 1), Catalog::new());
+        expected.push(dump(&base));
+        for w in &writers {
+            replay(&history, &[w.txn], &mut base).expect("prefix replay");
+            expected.push(dump(&base));
+        }
+
+        let pristine = std::fs::read(&active_path).expect("read active segment");
+        for cut in 0..=pristine.len() {
+            std::fs::write(&active_path, &pristine[..cut]).expect("truncate");
+            let recovered = Store::open(
+                Database::new(schema(), 1),
+                Catalog::new(),
+                &dir,
+                DurabilityMode::Wal,
+            ).expect("recovery never errors on truncation");
+            let k = sealed_runs + active_run_ends
+                .iter()
+                .take_while(|&&end| end <= cut as u64)
+                .count();
+            prop_assert_eq!(
+                &dump(&recovered), &expected[k],
+                "cut at byte {} must recover the {}-run prefix (seed {}, {} sealed runs)",
+                cut, k, seed, sealed_runs
             );
         }
     }

@@ -8,7 +8,7 @@
 
 use db_interop::constraint::Catalog;
 use db_interop::model::{AttrName, ClassDef, Database, Schema, Type, Value};
-use db_interop::storage::{check, replay, CommitError, MvccStore, Store, Verdict};
+use db_interop::storage::{check, replay, MvccStore, RetryPolicy, Store, StoreError, Verdict};
 
 fn schema() -> Schema {
     Schema::new(
@@ -47,26 +47,26 @@ fn main() {
     // A race: every thread reads alice's balance off its own snapshot
     // and tries to deposit 10. Snapshots mean no reader ever blocks;
     // first-committer-wins means overlapping writers lose cleanly and
-    // retry — no deposit is ever lost.
+    // retry — `run_txn` owns the retry loop (bounded, fresh snapshot
+    // per attempt), so no deposit is ever lost and no one hand-rolls
+    // `loop { … match commit() { … } }`.
     std::thread::scope(|s| {
         for _ in 0..4 {
             let store = &store;
-            s.spawn(move || loop {
-                let mut t = store.begin();
-                let balance = match t
-                    .get(alice)
-                    .and_then(|o| o.attrs.get(&AttrName::new("balance")).cloned())
-                {
-                    Some(Value::Int(b)) => b,
-                    _ => unreachable!("alice was seeded"),
-                };
-                t.update(alice, "balance", Value::Int(balance + 10))
-                    .expect("typechecks");
-                match t.commit() {
-                    Ok(_) => break,
-                    Err(CommitError::WriteConflict { .. }) => continue, // lost the race
-                    Err(e) => panic!("unexpected commit failure: {e:?}"),
-                }
+            s.spawn(move || {
+                store
+                    .run_txn(RetryPolicy::default(), |t| {
+                        let balance = match t
+                            .get(alice)
+                            .and_then(|o| o.attrs.get(&AttrName::new("balance")).cloned())
+                        {
+                            Some(Value::Int(b)) => b,
+                            _ => unreachable!("alice was seeded"),
+                        };
+                        t.update(alice, "balance", Value::Int(balance + 10))?;
+                        Ok::<_, StoreError>(())
+                    })
+                    .expect("bounded retry absorbs the write conflicts");
             });
         }
     });
